@@ -1,0 +1,46 @@
+//! Criterion bench: compatibility estimators on a fixed sparsely labeled graph
+//! (the per-method costs behind Fig. 6f and Fig. 6k).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fg_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup() -> (Graph, Labeling, SeedLabels) {
+    let cfg = GeneratorConfig::balanced(5_000, 15.0, 3, 8.0).expect("valid config");
+    let mut rng = StdRng::seed_from_u64(2);
+    let syn = generate(&cfg, &mut rng).expect("generation");
+    let seeds = syn.labeling.stratified_sample(0.01, &mut rng);
+    (syn.graph, syn.labeling, seeds)
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let (graph, labeling, seeds) = setup();
+    let mut group = c.benchmark_group("estimators");
+    group.sample_size(10);
+
+    group.bench_function("MCE", |b| {
+        let est = MyopicCompatibilityEstimation::default();
+        b.iter(|| est.estimate(&graph, &seeds).expect("MCE"))
+    });
+    group.bench_function("LCE", |b| {
+        let est = LinearCompatibilityEstimation::default();
+        b.iter(|| est.estimate(&graph, &seeds).expect("LCE"))
+    });
+    group.bench_function("DCE", |b| {
+        let est = DistantCompatibilityEstimation::default();
+        b.iter(|| est.estimate(&graph, &seeds).expect("DCE"))
+    });
+    group.bench_function("DCEr_r10", |b| {
+        let est = DceWithRestarts::default();
+        b.iter(|| est.estimate(&graph, &seeds).expect("DCEr"))
+    });
+    group.bench_function("GS_measurement", |b| {
+        let est = GoldStandard::new(labeling.clone());
+        b.iter(|| est.estimate(&graph, &seeds).expect("GS"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimators);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion bench: label-propagation methods (LinBP, loopy BP, harmonic functions,
+//! random walks) on the same graph — the denominator of the paper's "estimation is
+//! cheaper than propagation" claim.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fg_core::prelude::*;
+use fg_propagation::BpConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup() -> (Graph, SeedLabels, fg_sparse::DenseMatrix) {
+    let cfg = GeneratorConfig::balanced(5_000, 15.0, 3, 8.0).expect("valid config");
+    let mut rng = StdRng::seed_from_u64(3);
+    let syn = generate(&cfg, &mut rng).expect("generation");
+    let seeds = syn.labeling.stratified_sample(0.01, &mut rng);
+    let h = syn.planted_h.as_dense().clone();
+    (syn.graph, seeds, h)
+}
+
+fn bench_propagation(c: &mut Criterion) {
+    let (graph, seeds, h) = setup();
+    let mut group = c.benchmark_group("propagation");
+    group.sample_size(10);
+
+    group.bench_function("LinBP_10_iterations", |b| {
+        let cfg = LinBpConfig {
+            max_iterations: 10,
+            tolerance: None,
+            ..LinBpConfig::default()
+        };
+        b.iter(|| propagate(&graph, &seeds, &h, &cfg).expect("LinBP"))
+    });
+    group.bench_function("LoopyBP_10_iterations", |b| {
+        let cfg = BpConfig {
+            max_iterations: 10,
+            tolerance: 0.0,
+            ..BpConfig::default()
+        };
+        b.iter(|| fg_propagation::propagate_bp(&graph, &seeds, &h, &cfg).expect("BP"))
+    });
+    group.bench_function("HarmonicFunctions", |b| {
+        let cfg = HarmonicConfig {
+            max_iterations: 10,
+            ..HarmonicConfig::default()
+        };
+        b.iter(|| harmonic_functions(&graph, &seeds, &cfg).expect("harmonic"))
+    });
+    group.bench_function("MultiRankWalk", |b| {
+        let cfg = RandomWalkConfig {
+            max_iterations: 10,
+            ..RandomWalkConfig::default()
+        };
+        b.iter(|| multi_rank_walk(&graph, &seeds, &cfg).expect("walk"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_propagation);
+criterion_main!(benches);

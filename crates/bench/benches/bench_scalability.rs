@@ -1,0 +1,43 @@
+//! Criterion bench: DCEr estimation and LinBP propagation as the graph grows
+//! (the Fig. 3b / Fig. 6k scaling curves, measured with Criterion's statistics).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fg_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn make(n: usize) -> (Graph, SeedLabels, fg_sparse::DenseMatrix) {
+    let cfg = GeneratorConfig::balanced(n, 5.0, 3, 8.0).expect("valid config");
+    let mut rng = StdRng::seed_from_u64(4);
+    let syn = generate(&cfg, &mut rng).expect("generation");
+    let seeds = syn.labeling.stratified_sample(0.01, &mut rng);
+    let h = syn.planted_h.as_dense().clone();
+    (syn.graph, seeds, h)
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let sizes = [2_000usize, 8_000, 32_000];
+    let mut group = c.benchmark_group("scaling_with_edges");
+    group.sample_size(10);
+    for &n in &sizes {
+        let (graph, seeds, h) = make(n);
+        let m = graph.num_edges() as u64;
+        group.throughput(Throughput::Elements(m));
+        group.bench_with_input(BenchmarkId::new("DCEr", m), &n, |b, _| {
+            let est = DceWithRestarts::default();
+            b.iter(|| est.estimate(&graph, &seeds).expect("DCEr"))
+        });
+        group.bench_with_input(BenchmarkId::new("LinBP_propagation", m), &n, |b, _| {
+            let cfg = LinBpConfig {
+                max_iterations: 10,
+                tolerance: None,
+                ..LinBpConfig::default()
+            };
+            b.iter(|| propagate(&graph, &seeds, &h, &cfg).expect("propagation"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Fig. 10 (Example C.1): propagating with the uncentered `H` can diverge in magnitude
+//! while the centered residual version converges — yet the argmax labels agree at every
+//! iteration. We track the belief magnitudes and the label agreement per iteration.
+
+use fg_bench::ExperimentTable;
+use fg_core::prelude::*;
+use fg_propagation::convergence_epsilon;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // The h = 8 compatibility matrix of Example C.1.
+    let h = CompatibilityMatrix::from_rows(&[
+        vec![0.1, 0.8, 0.1],
+        vec![0.8, 0.1, 0.1],
+        vec![0.1, 0.1, 0.8],
+    ])
+    .expect("valid H");
+    let config = GeneratorConfig::balanced(1_000, 10.0, 3, 8.0).expect("valid config");
+    let mut rng = StdRng::seed_from_u64(83);
+    let syn = generate(&config, &mut rng).expect("generation succeeds");
+    let seeds = syn.labeling.stratified_sample(0.05, &mut rng);
+    println!("fig10: centered vs uncentered LinBP on the Example C.1 matrix");
+
+    // Scaling chosen so the centered version sits at s = 0.95 of the convergence
+    // boundary; the same epsilon puts the uncentered version slightly above it.
+    let eps = convergence_epsilon(&syn.graph, h.as_dense(), 0.95).expect("epsilon");
+
+    let mut table = ExperimentTable::new(
+        "fig10_convergence",
+        &["iteration", "max_abs_centered", "max_abs_uncentered", "label_agreement"],
+    );
+    for iterations in [1usize, 2, 4, 8, 12, 16, 20, 25, 30] {
+        let base = LinBpConfig {
+            explicit_epsilon: Some(eps),
+            tolerance: None,
+            max_iterations: iterations,
+            ..LinBpConfig::default()
+        };
+        let centered = propagate(
+            &syn.graph,
+            &seeds,
+            h.as_dense(),
+            &LinBpConfig {
+                centered: true,
+                ..base.clone()
+            },
+        )
+        .expect("centered propagation");
+        let uncentered = propagate(
+            &syn.graph,
+            &seeds,
+            h.as_dense(),
+            &LinBpConfig {
+                centered: false,
+                ..base
+            },
+        )
+        .expect("uncentered propagation");
+        let agreement = centered
+            .predictions
+            .iter()
+            .zip(uncentered.predictions.iter())
+            .filter(|(a, b)| a == b)
+            .count() as f64
+            / centered.predictions.len() as f64;
+        table.push_row(vec![
+            iterations.to_string(),
+            format!("{:.3e}", centered.beliefs.max_abs()),
+            format!("{:.3e}", uncentered.beliefs.max_abs()),
+            format!("{agreement:.3}"),
+        ]);
+    }
+    table.print_and_save();
+    println!("\nExpected shape (paper Fig. 10): the uncentered belief magnitudes grow");
+    println!("without bound while the centered ones stay bounded, yet the per-iteration");
+    println!("label agreement stays at (or extremely close to) 1.0 — Theorem 3.1 in action.");
+}

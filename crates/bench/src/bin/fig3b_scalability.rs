@@ -1,0 +1,95 @@
+//! Fig. 3b / Fig. 6k: estimation and propagation time as the number of edges `m` grows
+//! (d = 5, h = 8, f = 0.01). The paper's headline: DCEr estimates compatibilities on a
+//! 16.4M-edge graph in 11 s — 28x faster than propagation and 3–4 orders of magnitude
+//! faster than the Holdout baseline.
+//!
+//! Absolute times differ on other hardware; the *shape* to check is (1) all estimators
+//! scale linearly in m, (2) MCE < DCE ≈ DCEr < LCE < propagation < Holdout.
+
+use fg_bench::{scale_factor, time_it, ExperimentTable};
+use fg_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // Node counts chosen so m = 2.5 n spans ~2.5 orders of magnitude by default.
+    let scale = scale_factor();
+    let sizes: Vec<usize> = [2_000usize, 10_000, 50_000, 200_000]
+        .iter()
+        .map(|&n| ((n as f64 * scale) as usize).max(500))
+        .collect();
+    let with_holdout = std::env::var("FG_WITH_HOLDOUT").as_deref() == Ok("1");
+
+    let mut table = ExperimentTable::new(
+        "fig3b_scalability",
+        &["n", "m", "MCE_s", "LCE_s", "DCE_s", "DCEr_s", "Propagation_s", "Holdout_s"],
+    );
+
+    for &n in &sizes {
+        let config = GeneratorConfig::balanced(n, 5.0, 3, 8.0).expect("valid config");
+        let mut rng = StdRng::seed_from_u64(3);
+        let syn = generate(&config, &mut rng).expect("generation succeeds");
+        let seeds = syn.labeling.stratified_sample(0.01, &mut rng);
+
+        let (_, mce_t) = time_it(|| {
+            MyopicCompatibilityEstimation::default()
+                .estimate(&syn.graph, &seeds)
+                .expect("MCE")
+        });
+        let (_, lce_t) = time_it(|| {
+            LinearCompatibilityEstimation::default()
+                .estimate(&syn.graph, &seeds)
+                .expect("LCE")
+        });
+        let (_, dce_t) = time_it(|| {
+            DistantCompatibilityEstimation::default()
+                .estimate(&syn.graph, &seeds)
+                .expect("DCE")
+        });
+        let (dcer_h, dcer_t) = time_it(|| {
+            DceWithRestarts::default()
+                .estimate(&syn.graph, &seeds)
+                .expect("DCEr")
+        });
+        let (_, prop_t) = time_it(|| {
+            propagate(
+                &syn.graph,
+                &seeds,
+                &dcer_h,
+                &LinBpConfig {
+                    max_iterations: 10,
+                    tolerance: None,
+                    ..LinBpConfig::default()
+                },
+            )
+            .expect("propagation")
+        });
+        let holdout_t = if with_holdout && n <= 10_000 {
+            let (_, t) = time_it(|| {
+                HoldoutEstimation::default()
+                    .estimate(&syn.graph, &seeds)
+                    .expect("Holdout")
+            });
+            format!("{:.3}", t.as_secs_f64())
+        } else {
+            "-".to_string()
+        };
+
+        table.push_row(vec![
+            n.to_string(),
+            syn.graph.num_edges().to_string(),
+            format!("{:.3}", mce_t.as_secs_f64()),
+            format!("{:.3}", lce_t.as_secs_f64()),
+            format!("{:.3}", dce_t.as_secs_f64()),
+            format!("{:.3}", dcer_t.as_secs_f64()),
+            format!("{:.3}", prop_t.as_secs_f64()),
+            holdout_t,
+        ]);
+    }
+    table.print_and_save();
+    println!("\nExpected shape (paper Fig. 3b/6k): every estimator scales linearly in m;");
+    println!("MCE is cheapest, DCE and DCEr coincide for large m (the summarization");
+    println!("dominates), LCE is noticeably slower, and 10-iteration propagation costs");
+    println!("more than DCEr. Holdout (enable with FG_WITH_HOLDOUT=1) is orders of");
+    println!("magnitude slower still.");
+}

@@ -1,0 +1,43 @@
+//! Fig. 6j: accuracy vs label sparsity under class imbalance α = [1/6, 1/3, 1/2] and a
+//! general (non-h-parameterized) compatibility matrix
+//! H = [[0.2, 0.6, 0.2], [0.6, 0.1, 0.3], [0.2, 0.3, 0.5]] (n = 10k, d = 25).
+//!
+//! The paper's point: DCEr handles label imbalance and arbitrary H just as well.
+
+use fg_bench::{accuracy_vs_sparsity, outcomes_to_table, scaled_n, EstimatorKind};
+use fg_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = scaled_n(10_000);
+    let h = CompatibilityMatrix::from_rows(&[
+        vec![0.2, 0.6, 0.2],
+        vec![0.6, 0.1, 0.3],
+        vec![0.2, 0.3, 0.5],
+    ])
+    .expect("valid general H");
+    let config = GeneratorConfig {
+        n,
+        m: (n as f64 * 25.0 / 2.0) as usize,
+        alpha: vec![1.0 / 6.0, 1.0 / 3.0, 1.0 / 2.0],
+        h,
+        distribution: DegreeDistribution::paper_power_law(),
+    };
+    let mut rng = StdRng::seed_from_u64(67);
+    let syn = generate(&config, &mut rng).expect("generation succeeds");
+    println!(
+        "fig6j: class imbalance alpha = [1/6, 1/3, 1/2], general H (n = {}, d = 25)",
+        syn.graph.num_nodes()
+    );
+
+    let fractions = [0.0001, 0.001, 0.01, 0.1, 1.0];
+    let kinds = EstimatorKind::standard_set();
+    let outcomes = accuracy_vs_sparsity(&syn.graph, &syn.labeling, &fractions, &kinds, 3, 19)
+        .expect("sweep succeeds");
+    let table = outcomes_to_table("fig6j_imbalance", &outcomes, &kinds, |o| o.accuracy);
+    table.print_and_save();
+    println!("\nExpected shape (paper Fig. 6j): same ordering as Fig. 3a — DCEr tracks GS");
+    println!("across the whole sparsity range despite the imbalance, MCE/LCE need much");
+    println!("denser labels.");
+}

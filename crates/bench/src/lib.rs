@@ -1,0 +1,22 @@
+//! # fg-bench
+//!
+//! Experiment harness shared by the figure-reproduction binaries (`src/bin/fig*.rs`) and
+//! the Criterion benches. Every table and figure of the paper's evaluation section has a
+//! corresponding binary that prints the same rows/series the paper reports and writes a
+//! CSV under `target/experiments/`.
+//!
+//! The harness keeps experiment sizes configurable through the `FG_SCALE` environment
+//! variable (default 1.0 for figure binaries, where the built-in sizes are already
+//! laptop-friendly reductions of the paper's setups).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod sweeps;
+
+pub use harness::{scale_factor, scaled_n, time_it, ExperimentTable};
+pub use sweeps::{
+    accuracy_vs_sparsity, estimator_set, l2_vs_sparsity, outcomes_to_table, EstimatorKind,
+    SweepOutcome,
+};

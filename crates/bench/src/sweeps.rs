@@ -1,0 +1,267 @@
+//! Reusable experiment sweeps: accuracy-vs-sparsity and L2-error-vs-sparsity curves over
+//! a configurable set of estimators. These back most of the figure binaries (Fig. 3a,
+//! 6e, 6j, 7a–h, 12, 14).
+
+use crate::harness::ExperimentTable;
+use fg_core::prelude::*;
+use fg_core::Result;
+use fg_graph::CompatibilityMatrix;
+use fg_sparse::DenseMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+/// The estimator families compared throughout the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimatorKind {
+    /// Gold standard: measured from the fully labeled graph.
+    GoldStandard,
+    /// Linear compatibility estimation (Eq. 8).
+    Lce,
+    /// Myopic compatibility estimation (Eq. 12).
+    Mce,
+    /// Distant compatibility estimation, single start (Eq. 13/14).
+    Dce,
+    /// DCE with restarts (Section 4.8).
+    Dcer,
+    /// The Holdout baseline (Eq. 7).
+    Holdout,
+    /// Two-value heuristic (Appendix E.1).
+    Heuristic,
+}
+
+impl EstimatorKind {
+    /// Display name matching the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EstimatorKind::GoldStandard => "GS",
+            EstimatorKind::Lce => "LCE",
+            EstimatorKind::Mce => "MCE",
+            EstimatorKind::Dce => "DCE",
+            EstimatorKind::Dcer => "DCEr",
+            EstimatorKind::Holdout => "Holdout",
+            EstimatorKind::Heuristic => "Heuristic",
+        }
+    }
+
+    /// The default comparison set used in the accuracy figures (Holdout excluded because
+    /// it is orders of magnitude slower; add it explicitly where the paper does).
+    pub fn standard_set() -> Vec<EstimatorKind> {
+        vec![
+            EstimatorKind::GoldStandard,
+            EstimatorKind::Lce,
+            EstimatorKind::Mce,
+            EstimatorKind::Dce,
+            EstimatorKind::Dcer,
+        ]
+    }
+}
+
+/// Build a concrete estimator for a kind, given the ground-truth labeling (needed only
+/// by the GS and Heuristic baselines).
+pub fn estimator_set(
+    kinds: &[EstimatorKind],
+    labeling: &Labeling,
+    gold: &DenseMatrix,
+) -> Vec<(EstimatorKind, Box<dyn CompatibilityEstimator>)> {
+    kinds
+        .iter()
+        .map(|&kind| {
+            let est: Box<dyn CompatibilityEstimator> = match kind {
+                EstimatorKind::GoldStandard => Box::new(GoldStandard::new(labeling.clone())),
+                EstimatorKind::Lce => Box::new(LinearCompatibilityEstimation::default()),
+                EstimatorKind::Mce => Box::new(MyopicCompatibilityEstimation::default()),
+                EstimatorKind::Dce => Box::new(DistantCompatibilityEstimation::default()),
+                EstimatorKind::Dcer => Box::new(DceWithRestarts::default()),
+                EstimatorKind::Holdout => Box::new(HoldoutEstimation::default()),
+                EstimatorKind::Heuristic => {
+                    // The measured gold standard is row-stochastic but (under class
+                    // imbalance) not exactly doubly stochastic; project it onto the
+                    // doubly-stochastic polytope (clamping away negatives) so the
+                    // heuristic sees the same high/low structure the paper assumes.
+                    let gold_matrix = project_gold_for_heuristic(gold);
+                    Box::new(
+                        TwoValueHeuristic::new(gold_matrix, 0.5)
+                            .expect("0.5 is a valid spread"),
+                    )
+                }
+            };
+            (kind, est)
+        })
+        .collect()
+}
+
+/// Project the measured (row-stochastic) gold standard onto a valid symmetric
+/// doubly-stochastic compatibility matrix: symmetrize, clamp a small positive floor, and
+/// run Sinkhorn–Knopp row/column scalings. Preserves which entries are high vs low,
+/// which is all the two-value heuristic needs.
+fn project_gold_for_heuristic(gold: &DenseMatrix) -> CompatibilityMatrix {
+    let k = gold.rows();
+    let mut m = gold.add(&gold.transpose()).expect("same shape").scaled(0.5);
+    for v in m.data_mut() {
+        *v = v.max(1e-4);
+    }
+    for _ in 0..500 {
+        m = m.row_normalized();
+        m = m.transpose().row_normalized().transpose();
+    }
+    let sym = m
+        .add(&m.transpose())
+        .expect("same shape")
+        .scaled(0.5);
+    CompatibilityMatrix::new(sym)
+        .unwrap_or_else(|_| CompatibilityMatrix::uniform(k).expect("k > 0"))
+}
+
+/// One measured point of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// Label fraction `f`.
+    pub fraction: f64,
+    /// Estimator name.
+    pub estimator: &'static str,
+    /// End-to-end macro accuracy over the unlabeled nodes.
+    pub accuracy: f64,
+    /// L2 distance of the estimate from the gold standard.
+    pub l2_error: f64,
+    /// Wall-clock time of the estimation step.
+    pub estimation_time: Duration,
+}
+
+/// Run an accuracy-vs-label-sparsity sweep: for every fraction and estimator, sample a
+/// stratified seed set, estimate `H`, propagate with LinBP, and record accuracy, L2
+/// error and estimation time.
+pub fn accuracy_vs_sparsity(
+    graph: &Graph,
+    labeling: &Labeling,
+    fractions: &[f64],
+    kinds: &[EstimatorKind],
+    repetitions: usize,
+    seed: u64,
+) -> Result<Vec<SweepOutcome>> {
+    let gold = measure_compatibilities(graph, labeling)?;
+    let estimators = estimator_set(kinds, labeling, &gold);
+    let linbp = LinBpConfig::default();
+    let mut outcomes = Vec::new();
+    for (fi, &fraction) in fractions.iter().enumerate() {
+        for rep in 0..repetitions.max(1) {
+            let mut rng = StdRng::seed_from_u64(seed ^ ((fi as u64) << 32) ^ rep as u64);
+            let seeds = labeling.stratified_sample(fraction, &mut rng);
+            for (kind, estimator) in &estimators {
+                let result = estimate_and_propagate(estimator, graph, &seeds, &linbp)?;
+                outcomes.push(SweepOutcome {
+                    fraction,
+                    estimator: kind.name(),
+                    accuracy: result.accuracy(labeling, &seeds),
+                    l2_error: result.estimated_h.frobenius_distance(&gold)?,
+                    estimation_time: result.estimation_time,
+                });
+            }
+        }
+    }
+    Ok(outcomes)
+}
+
+/// Convenience wrapper returning only L2 errors (the Fig. 6e / Fig. 14 metric).
+pub fn l2_vs_sparsity(
+    graph: &Graph,
+    labeling: &Labeling,
+    fractions: &[f64],
+    kinds: &[EstimatorKind],
+    repetitions: usize,
+    seed: u64,
+) -> Result<Vec<SweepOutcome>> {
+    accuracy_vs_sparsity(graph, labeling, fractions, kinds, repetitions, seed)
+}
+
+/// Aggregate sweep outcomes into a table: one row per fraction, one column per
+/// estimator, averaging over repetitions. `metric` selects accuracy or L2 error.
+pub fn outcomes_to_table(
+    name: &str,
+    outcomes: &[SweepOutcome],
+    kinds: &[EstimatorKind],
+    metric: fn(&SweepOutcome) -> f64,
+) -> ExperimentTable {
+    let mut fractions: Vec<f64> = outcomes.iter().map(|o| o.fraction).collect();
+    fractions.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    fractions.dedup();
+    let mut headers = vec!["f".to_string()];
+    headers.extend(kinds.iter().map(|k| k.name().to_string()));
+    let mut table = ExperimentTable {
+        name: name.to_string(),
+        headers,
+        rows: Vec::new(),
+    };
+    for &f in &fractions {
+        let mut row = vec![format!("{f}")];
+        for kind in kinds {
+            let values: Vec<f64> = outcomes
+                .iter()
+                .filter(|o| o.fraction == f && o.estimator == kind.name())
+                .map(metric)
+                .collect();
+            let mean = if values.is_empty() {
+                f64::NAN
+            } else {
+                values.iter().sum::<f64>() / values.len() as f64
+            };
+            row.push(format!("{mean:.3}"));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_all_combinations() {
+        let cfg = GeneratorConfig::balanced(400, 10.0, 3, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let syn = generate(&cfg, &mut rng).unwrap();
+        let kinds = [EstimatorKind::GoldStandard, EstimatorKind::Mce, EstimatorKind::Dcer];
+        let outcomes = accuracy_vs_sparsity(
+            &syn.graph,
+            &syn.labeling,
+            &[0.05, 0.2],
+            &kinds,
+            1,
+            7,
+        )
+        .unwrap();
+        assert_eq!(outcomes.len(), 2 * kinds.len());
+        for o in &outcomes {
+            assert!(o.accuracy >= 0.0 && o.accuracy <= 1.0);
+            assert!(o.l2_error >= 0.0);
+        }
+        let table = outcomes_to_table("unit_sweep", &outcomes, &kinds, |o| o.accuracy);
+        assert_eq!(table.rows.len(), 2);
+        assert_eq!(table.headers.len(), 1 + kinds.len());
+    }
+
+    #[test]
+    fn estimator_kind_names() {
+        assert_eq!(EstimatorKind::Dcer.name(), "DCEr");
+        assert_eq!(EstimatorKind::standard_set().len(), 5);
+    }
+
+    #[test]
+    fn estimator_set_builds_all_kinds() {
+        let labeling = Labeling::new(vec![0, 1, 2, 0, 1, 2], 3).unwrap();
+        let gold = CompatibilityMatrix::h_skew(3, 3.0).unwrap().into_dense();
+        let kinds = [
+            EstimatorKind::GoldStandard,
+            EstimatorKind::Lce,
+            EstimatorKind::Mce,
+            EstimatorKind::Dce,
+            EstimatorKind::Dcer,
+            EstimatorKind::Holdout,
+            EstimatorKind::Heuristic,
+        ];
+        let set = estimator_set(&kinds, &labeling, &gold);
+        assert_eq!(set.len(), 7);
+        assert_eq!(set[6].1.name(), "Heuristic");
+    }
+}

@@ -1,0 +1,176 @@
+//! Minimal command-line argument parsing.
+//!
+//! The CLI intentionally avoids external argument-parsing dependencies; options follow
+//! the conventional `--name value` / `--flag` style and are collected into an
+//! [`ArgMap`] that the individual commands query with typed accessors.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error produced while parsing or querying command-line arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parsed `--key value` options and boolean `--flag`s.
+#[derive(Debug, Clone, Default)]
+pub struct ArgMap {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+    positional: Vec<String>,
+}
+
+impl ArgMap {
+    /// Parse a raw argument list (excluding the program name and subcommand).
+    ///
+    /// A token starting with `--` introduces either a flag (if the next token also
+    /// starts with `--` or is absent) or a key/value option. Remaining tokens are
+    /// positional.
+    pub fn parse(args: &[String]) -> Result<ArgMap, ArgError> {
+        let mut map = ArgMap::default();
+        let mut i = 0;
+        while i < args.len() {
+            let token = &args[i];
+            if let Some(name) = token.strip_prefix("--") {
+                if name.is_empty() {
+                    return Err(ArgError("empty option name '--'".into()));
+                }
+                let next_is_value = args
+                    .get(i + 1)
+                    .map(|n| !n.starts_with("--"))
+                    .unwrap_or(false);
+                if next_is_value {
+                    map.values.insert(name.to_string(), args[i + 1].clone());
+                    i += 2;
+                } else {
+                    map.flags.push(name.to_string());
+                    i += 1;
+                }
+            } else {
+                map.positional.push(token.clone());
+                i += 1;
+            }
+        }
+        Ok(map)
+    }
+
+    /// Whether a boolean flag was supplied.
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Positional arguments.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// Raw string value of an option.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(|s| s.as_str())
+    }
+
+    /// Required string option.
+    pub fn require(&self, name: &str) -> Result<&str, ArgError> {
+        self.get(name)
+            .ok_or_else(|| ArgError(format!("missing required option --{name}")))
+    }
+
+    /// Optional typed option with a default.
+    pub fn get_parsed_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse::<T>()
+                .map_err(|_| ArgError(format!("option --{name} has invalid value '{raw}'"))),
+        }
+    }
+
+    /// Required typed option.
+    pub fn require_parsed<T: std::str::FromStr>(&self, name: &str) -> Result<T, ArgError> {
+        let raw = self.require(name)?;
+        raw.parse::<T>()
+            .map_err(|_| ArgError(format!("option --{name} has invalid value '{raw}'")))
+    }
+
+    /// Comma-separated list of floats (e.g. `--alpha 0.2,0.3,0.5`).
+    pub fn get_float_list(&self, name: &str) -> Result<Option<Vec<f64>>, ArgError> {
+        match self.get(name) {
+            None => Ok(None),
+            Some(raw) => {
+                let parsed: Result<Vec<f64>, _> =
+                    raw.split(',').map(|tok| tok.trim().parse::<f64>()).collect();
+                parsed
+                    .map(Some)
+                    .map_err(|_| ArgError(format!("option --{name} has invalid list '{raw}'")))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> ArgMap {
+        ArgMap::parse(&tokens.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn key_value_options() {
+        let args = parse(&["--nodes", "100", "--degree", "7.5"]);
+        assert_eq!(args.get("nodes"), Some("100"));
+        assert_eq!(args.require_parsed::<usize>("nodes").unwrap(), 100);
+        assert_eq!(args.require_parsed::<f64>("degree").unwrap(), 7.5);
+        assert!(args.require("missing").is_err());
+    }
+
+    #[test]
+    fn flags_and_positional() {
+        // A `--flag` is recognized when followed by another option or the end of the
+        // argument list; a bare token is positional.
+        let args = parse(&["cora", "--seed", "3", "--uniform-degrees"]);
+        assert!(args.has_flag("uniform-degrees"));
+        assert!(!args.has_flag("other"));
+        assert_eq!(args.positional(), &["cora".to_string()]);
+        assert_eq!(args.get_parsed_or("seed", 0u64).unwrap(), 3);
+        assert_eq!(args.get_parsed_or("missing", 42u64).unwrap(), 42);
+    }
+
+    #[test]
+    fn float_lists() {
+        let args = parse(&["--alpha", "0.2, 0.3,0.5"]);
+        assert_eq!(
+            args.get_float_list("alpha").unwrap(),
+            Some(vec![0.2, 0.3, 0.5])
+        );
+        assert_eq!(args.get_float_list("absent").unwrap(), None);
+        let bad = parse(&["--alpha", "0.2,x"]);
+        assert!(bad.get_float_list("alpha").is_err());
+    }
+
+    #[test]
+    fn invalid_values_are_reported() {
+        let args = parse(&["--nodes", "abc"]);
+        let err = args.require_parsed::<usize>("nodes").unwrap_err();
+        assert!(err.to_string().contains("nodes"));
+    }
+
+    #[test]
+    fn empty_option_name_rejected() {
+        let tokens: Vec<String> = vec!["--".to_string()];
+        assert!(ArgMap::parse(&tokens).is_err());
+    }
+
+    #[test]
+    fn trailing_flag_without_value() {
+        let args = parse(&["--verbose"]);
+        assert!(args.has_flag("verbose"));
+    }
+}

@@ -1,0 +1,363 @@
+//! Implementation of the CLI subcommands.
+//!
+//! Each command is a plain function over an [`ArgMap`] so the logic is unit-testable
+//! without spawning the binary. Errors are strings suitable for printing to stderr.
+
+use crate::args::ArgMap;
+use crate::matrix_io;
+use fg_core::prelude::*;
+use fg_core::DceConfig;
+use fg_datasets::{synthesize, DatasetId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::Path;
+
+type CommandResult = Result<String, String>;
+
+fn err<E: std::fmt::Display>(e: E) -> String {
+    e.to_string()
+}
+
+/// Load the graph (`--edges`, `--nodes`) and seed labels (`--labels`, `--classes`) shared
+/// by the estimation / propagation / classification commands.
+fn load_graph_and_labels(args: &ArgMap) -> Result<(Graph, SeedLabels, usize), String> {
+    let n: usize = args.require_parsed("nodes").map_err(err)?;
+    let k: usize = args.require_parsed("classes").map_err(err)?;
+    let edges_path: String = args.require("edges").map_err(err)?.to_string();
+    let labels_path: String = args.require("labels").map_err(err)?.to_string();
+    let graph = fg_datasets::read_edge_list(Path::new(&edges_path), n).map_err(err)?;
+    let seeds = fg_datasets::read_labels(Path::new(&labels_path), n, k).map_err(err)?;
+    Ok((graph, seeds, k))
+}
+
+/// Build the estimator selected by `--method` (default `dcer`).
+fn build_estimator(args: &ArgMap) -> Result<Box<dyn CompatibilityEstimator>, String> {
+    let method = args.get("method").unwrap_or("dcer").to_ascii_lowercase();
+    let lmax: usize = args.get_parsed_or("lmax", 5).map_err(err)?;
+    let lambda: f64 = args.get_parsed_or("lambda", 10.0).map_err(err)?;
+    let restarts: usize = args.get_parsed_or("restarts", 10).map_err(err)?;
+    let splits: usize = args.get_parsed_or("splits", 1).map_err(err)?;
+    let estimator: Box<dyn CompatibilityEstimator> = match method.as_str() {
+        "mce" => Box::new(MyopicCompatibilityEstimation::default()),
+        "lce" => Box::new(LinearCompatibilityEstimation::default()),
+        "dce" => Box::new(DistantCompatibilityEstimation::new(DceConfig::new(lmax, lambda))),
+        "dcer" => Box::new(DceWithRestarts::new(DceConfig::new(lmax, lambda), restarts)),
+        "holdout" => Box::new(HoldoutEstimation::with_splits(splits)),
+        other => return Err(format!("unknown estimation method '{other}' (expected mce, lce, dce, dcer, or holdout)")),
+    };
+    Ok(estimator)
+}
+
+/// `fg generate`: create a synthetic planted-compatibility graph and write it as an edge
+/// list plus a full label file.
+pub fn cmd_generate(args: &ArgMap) -> CommandResult {
+    let n: usize = args.require_parsed("nodes").map_err(err)?;
+    let degree: f64 = args.get_parsed_or("degree", 10.0).map_err(err)?;
+    let k: usize = args.get_parsed_or("classes", 3).map_err(err)?;
+    let skew: f64 = args.get_parsed_or("skew", 3.0).map_err(err)?;
+    let seed: u64 = args.get_parsed_or("seed", 0).map_err(err)?;
+    let out_edges: String = args.require("out-edges").map_err(err)?.to_string();
+    let out_labels: String = args.require("out-labels").map_err(err)?.to_string();
+
+    let mut config = if args.has_flag("uniform-degrees") {
+        GeneratorConfig::balanced_uniform(n, degree, k, skew).map_err(err)?
+    } else {
+        GeneratorConfig::balanced(n, degree, k, skew).map_err(err)?
+    };
+    if let Some(alpha) = args.get_float_list("alpha").map_err(err)? {
+        config.alpha = alpha;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let synthetic = generate(&config, &mut rng).map_err(err)?;
+
+    fg_datasets::write_edge_list(Path::new(&out_edges), &synthetic.graph).map_err(err)?;
+    std::fs::write(
+        Path::new(&out_labels),
+        fg_datasets::format_labels(&synthetic.labeling),
+    )
+    .map_err(err)?;
+    Ok(format!(
+        "generated graph with {} nodes and {} edges (planted skew {skew}); wrote {out_edges} and {out_labels}",
+        synthetic.graph.num_nodes(),
+        synthetic.graph.num_edges()
+    ))
+}
+
+/// `fg dataset`: write one of the real-world dataset substitutes to disk.
+pub fn cmd_dataset(args: &ArgMap) -> CommandResult {
+    let name: String = args.require("name").map_err(err)?.to_string();
+    let id = DatasetId::parse(&name)
+        .ok_or_else(|| format!("unknown dataset '{name}' (expected one of {:?})", DatasetId::all().map(|d| d.name())))?;
+    let scale: f64 = args.get_parsed_or("scale", 0.05).map_err(err)?;
+    let seed: u64 = args.get_parsed_or("seed", 0).map_err(err)?;
+    let out_edges: String = args.require("out-edges").map_err(err)?.to_string();
+    let out_labels: String = args.require("out-labels").map_err(err)?.to_string();
+
+    let instance = synthesize(id, scale, seed).map_err(err)?;
+    fg_datasets::write_edge_list(Path::new(&out_edges), &instance.graph).map_err(err)?;
+    std::fs::write(
+        Path::new(&out_labels),
+        fg_datasets::format_labels(&instance.labeling),
+    )
+    .map_err(err)?;
+    Ok(format!(
+        "wrote {} substitute ({} nodes, {} edges, k = {}) to {out_edges} / {out_labels}",
+        id.name(),
+        instance.graph.num_nodes(),
+        instance.graph.num_edges(),
+        instance.spec.k
+    ))
+}
+
+/// `fg estimate`: estimate the compatibility matrix from a partially labeled graph.
+pub fn cmd_estimate(args: &ArgMap) -> CommandResult {
+    let (graph, seeds, _) = load_graph_and_labels(args)?;
+    let estimator = build_estimator(args)?;
+    let h = estimator.estimate(&graph, &seeds).map_err(err)?;
+    let rendered = matrix_io::format_matrix(&h);
+    if let Some(out) = args.get("out") {
+        matrix_io::write_matrix(Path::new(out), &h).map_err(err)?;
+    }
+    Ok(format!(
+        "estimated compatibilities with {} from {} labeled nodes:\n{rendered}",
+        estimator.name(),
+        seeds.num_labeled()
+    ))
+}
+
+/// `fg propagate`: label the remaining nodes with LinBP given an explicit compatibility
+/// matrix file.
+pub fn cmd_propagate(args: &ArgMap) -> CommandResult {
+    let (graph, seeds, k) = load_graph_and_labels(args)?;
+    let compat_path: String = args.require("compat").map_err(err)?.to_string();
+    let h = matrix_io::read_matrix(Path::new(&compat_path)).map_err(err)?;
+    if h.rows() != k {
+        return Err(format!(
+            "compatibility matrix is {}x{} but --classes is {k}",
+            h.rows(),
+            h.cols()
+        ));
+    }
+    let iterations: usize = args.get_parsed_or("iterations", 10).map_err(err)?;
+    let config = LinBpConfig {
+        max_iterations: iterations,
+        ..LinBpConfig::default()
+    };
+    let result = propagate(&graph, &seeds, &h, &config).map_err(err)?;
+    if let Some(out) = args.get("out") {
+        matrix_io::write_predictions(Path::new(out), &result.predictions).map_err(err)?;
+    }
+    Ok(format!(
+        "propagated labels to {} nodes in {} iterations (epsilon = {:.4})",
+        graph.num_nodes(),
+        result.iterations,
+        result.epsilon
+    ))
+}
+
+/// `fg classify`: end-to-end estimation + propagation; optionally evaluate against a
+/// ground-truth label file.
+pub fn cmd_classify(args: &ArgMap) -> CommandResult {
+    let (graph, seeds, k) = load_graph_and_labels(args)?;
+    let estimator = build_estimator(args)?;
+    let result =
+        estimate_and_propagate(&estimator, &graph, &seeds, &LinBpConfig::default()).map_err(err)?;
+    if let Some(out) = args.get("out") {
+        matrix_io::write_predictions(Path::new(out), &result.propagation.predictions)
+            .map_err(err)?;
+    }
+    let mut report = format!(
+        "classified {} nodes with {} (estimation {:?}, propagation {:?})",
+        graph.num_nodes(),
+        result.estimator,
+        result.estimation_time,
+        result.propagation_time
+    );
+    if let Some(truth_path) = args.get("truth") {
+        let truth_seeds =
+            fg_datasets::read_labels(Path::new(truth_path), graph.num_nodes(), k).map_err(err)?;
+        let labels: Option<Vec<usize>> = truth_seeds.as_slice().iter().copied().collect();
+        match labels {
+            Some(full) => {
+                let truth = Labeling::new(full, k).map_err(err)?;
+                let accuracy = result.accuracy(&truth, &seeds);
+                report.push_str(&format!("\nmacro accuracy on unlabeled nodes: {accuracy:.4}"));
+            }
+            None => report.push_str("\n(truth file does not label every node; skipping accuracy)"),
+        }
+    }
+    Ok(report)
+}
+
+/// Top-level usage string.
+pub fn usage() -> String {
+    [
+        "fg — factorized graph representations for SSL from sparse data",
+        "",
+        "USAGE: fg <command> [options]",
+        "",
+        "COMMANDS:",
+        "  generate   --nodes N [--degree D] [--classes K] [--skew H] [--alpha a,b,..]",
+        "             [--uniform-degrees] [--seed S] --out-edges FILE --out-labels FILE",
+        "  dataset    --name Cora|Citeseer|Hep-Th|MovieLens|Enron|Prop-37|Pokec-Gender|Flickr",
+        "             [--scale X] [--seed S] --out-edges FILE --out-labels FILE",
+        "  estimate   --edges FILE --nodes N --classes K --labels FILE",
+        "             [--method dcer|dce|mce|lce|holdout] [--lmax L] [--lambda X]",
+        "             [--restarts R] [--splits B] [--out H_FILE]",
+        "  propagate  --edges FILE --nodes N --classes K --labels FILE --compat H_FILE",
+        "             [--iterations I] [--out PREDICTIONS]",
+        "  classify   --edges FILE --nodes N --classes K --labels FILE",
+        "             [--method ...] [--truth FULL_LABELS] [--out PREDICTIONS]",
+    ]
+    .join("\n")
+}
+
+/// Dispatch a subcommand by name.
+pub fn run(command: &str, args: &ArgMap) -> CommandResult {
+    match command {
+        "generate" => cmd_generate(args),
+        "dataset" => cmd_dataset(args),
+        "estimate" => cmd_estimate(args),
+        "propagate" => cmd_propagate(args),
+        "classify" => cmd_classify(args),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(format!("unknown command '{other}'\n\n{}", usage())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn args(tokens: &[&str]) -> ArgMap {
+        ArgMap::parse(&tokens.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fg_cli_cmd_{name}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn generate_then_classify_end_to_end() {
+        let dir = temp_dir("end_to_end");
+        let edges = dir.join("edges.tsv");
+        let labels = dir.join("labels.tsv");
+        let out = cmd_generate(&args(&[
+            "--nodes", "400", "--degree", "12", "--classes", "3", "--skew", "8",
+            "--seed", "1",
+            "--out-edges", edges.to_str().unwrap(),
+            "--out-labels", labels.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("400 nodes"));
+        assert!(edges.exists() && labels.exists());
+
+        // Build a sparse seed file by keeping every 10th label.
+        let full = std::fs::read_to_string(&labels).unwrap();
+        let sparse: String = full
+            .lines()
+            .filter(|l| !l.starts_with('#'))
+            .enumerate()
+            .filter(|(i, _)| i % 10 == 0)
+            .map(|(_, l)| format!("{l}\n"))
+            .collect();
+        let seed_path = dir.join("seeds.tsv");
+        std::fs::write(&seed_path, sparse).unwrap();
+
+        let predictions = dir.join("pred.tsv");
+        let report = cmd_classify(&args(&[
+            "--edges", edges.to_str().unwrap(),
+            "--nodes", "400", "--classes", "3",
+            "--labels", seed_path.to_str().unwrap(),
+            "--truth", labels.to_str().unwrap(),
+            "--method", "dcer",
+            "--out", predictions.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(report.contains("macro accuracy"));
+        assert!(predictions.exists());
+        // Accuracy should be far above random on this strongly heterophilous graph.
+        let accuracy: f64 = report
+            .split("macro accuracy on unlabeled nodes: ")
+            .nth(1)
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert!(accuracy > 0.4, "accuracy {accuracy}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn estimate_and_propagate_commands() {
+        let dir = temp_dir("estimate_propagate");
+        let edges = dir.join("edges.tsv");
+        let labels = dir.join("labels.tsv");
+        cmd_generate(&args(&[
+            "--nodes", "300", "--degree", "10", "--classes", "3",
+            "--out-edges", edges.to_str().unwrap(),
+            "--out-labels", labels.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let h_path = dir.join("h.txt");
+        let report = cmd_estimate(&args(&[
+            "--edges", edges.to_str().unwrap(),
+            "--nodes", "300", "--classes", "3",
+            "--labels", labels.to_str().unwrap(),
+            "--method", "mce",
+            "--out", h_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(report.contains("MCE"));
+        assert!(h_path.exists());
+
+        let pred_path = dir.join("pred.tsv");
+        let report = cmd_propagate(&args(&[
+            "--edges", edges.to_str().unwrap(),
+            "--nodes", "300", "--classes", "3",
+            "--labels", labels.to_str().unwrap(),
+            "--compat", h_path.to_str().unwrap(),
+            "--out", pred_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(report.contains("propagated labels"));
+        assert!(pred_path.exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dataset_command_writes_substitute() {
+        let dir = temp_dir("dataset");
+        let edges = dir.join("cora_edges.tsv");
+        let labels = dir.join("cora_labels.tsv");
+        let report = cmd_dataset(&args(&[
+            "--name", "Cora", "--scale", "0.2",
+            "--out-edges", edges.to_str().unwrap(),
+            "--out-labels", labels.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(report.contains("Cora"));
+        assert!(edges.exists() && labels.exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn error_paths() {
+        // Unknown command.
+        assert!(run("bogus", &args(&[])).is_err());
+        // Help works.
+        assert!(run("help", &args(&[])).unwrap().contains("USAGE"));
+        // Unknown method.
+        assert!(build_estimator(&args(&["--method", "nope"])).is_err());
+        // Missing required options.
+        assert!(cmd_generate(&args(&["--nodes", "10"])).is_err());
+        assert!(cmd_dataset(&args(&["--name", "NotADataset", "--out-edges", "x", "--out-labels", "y"])).is_err());
+        // Known methods build.
+        for method in ["mce", "lce", "dce", "dcer", "holdout"] {
+            assert!(build_estimator(&args(&["--method", method])).is_ok());
+        }
+    }
+}

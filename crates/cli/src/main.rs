@@ -1,0 +1,37 @@
+//! `fg` — command-line interface for the factorized-graphs workspace.
+//!
+//! Provides graph generation, dataset-substitute export, compatibility estimation,
+//! label propagation, and end-to-end classification over plain-text edge-list and
+//! label files. Run `fg help` for usage.
+
+mod args;
+mod commands;
+mod matrix_io;
+
+use args::ArgMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = raw.split_first() else {
+        eprintln!("{}", commands::usage());
+        return ExitCode::from(2);
+    };
+    let parsed = match ArgMap::parse(rest) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match commands::run(command, &parsed) {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

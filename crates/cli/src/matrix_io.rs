@@ -1,0 +1,132 @@
+//! Reading and writing compatibility matrices and prediction files as plain text.
+
+use fg_sparse::DenseMatrix;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// Error type for matrix / prediction file handling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatrixIoError(pub String);
+
+impl std::fmt::Display for MatrixIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for MatrixIoError {}
+
+/// Parse a `k x k` matrix from text: one row per line, whitespace-separated floats,
+/// `#` comments and blank lines ignored.
+pub fn parse_matrix(content: &str) -> Result<DenseMatrix, MatrixIoError> {
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for (line_no, line) in content.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let row: Result<Vec<f64>, _> = trimmed
+            .split_whitespace()
+            .map(|tok| tok.parse::<f64>())
+            .collect();
+        let row = row.map_err(|_| {
+            MatrixIoError(format!("line {}: invalid matrix entry", line_no + 1))
+        })?;
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err(MatrixIoError("matrix file contains no rows".into()));
+    }
+    let cols = rows[0].len();
+    if rows.iter().any(|r| r.len() != cols) {
+        return Err(MatrixIoError("matrix rows have inconsistent lengths".into()));
+    }
+    DenseMatrix::from_rows(&rows).map_err(|e| MatrixIoError(e.to_string()))
+}
+
+/// Render a matrix as text (one row per line).
+pub fn format_matrix(matrix: &DenseMatrix) -> String {
+    let mut out = String::new();
+    for i in 0..matrix.rows() {
+        let row: Vec<String> = matrix.row(i).iter().map(|v| format!("{v:.6}")).collect();
+        let _ = writeln!(out, "{}", row.join(" "));
+    }
+    out
+}
+
+/// Read a matrix from a file.
+pub fn read_matrix(path: &Path) -> Result<DenseMatrix, MatrixIoError> {
+    let content = fs::read_to_string(path)
+        .map_err(|e| MatrixIoError(format!("cannot read {}: {e}", path.display())))?;
+    parse_matrix(&content)
+}
+
+/// Write a matrix to a file.
+pub fn write_matrix(path: &Path, matrix: &DenseMatrix) -> Result<(), MatrixIoError> {
+    fs::write(path, format_matrix(matrix))
+        .map_err(|e| MatrixIoError(format!("cannot write {}: {e}", path.display())))
+}
+
+/// Render per-node predictions as `node<TAB>class` lines.
+pub fn format_predictions(predictions: &[usize]) -> String {
+    let mut out = String::with_capacity(predictions.len() * 8);
+    out.push_str("# node\tpredicted_class\n");
+    for (node, class) in predictions.iter().enumerate() {
+        let _ = writeln!(out, "{node}\t{class}");
+    }
+    out
+}
+
+/// Write predictions to a file.
+pub fn write_predictions(path: &Path, predictions: &[usize]) -> Result<(), MatrixIoError> {
+    fs::write(path, format_predictions(predictions))
+        .map_err(|e| MatrixIoError(format!("cannot write {}: {e}", path.display())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_roundtrip() {
+        let m = DenseMatrix::from_rows(&[vec![0.2, 0.8], vec![0.8, 0.2]]).unwrap();
+        let text = format_matrix(&m);
+        let back = parse_matrix(&text).unwrap();
+        assert!(back.approx_eq(&m, 1e-9));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let m = parse_matrix("# comment\n\n0.5 0.5\n0.5 0.5\n").unwrap();
+        assert_eq!(m.shape(), (2, 2));
+    }
+
+    #[test]
+    fn malformed_matrices_rejected() {
+        assert!(parse_matrix("").is_err());
+        assert!(parse_matrix("0.1 x\n").is_err());
+        assert!(parse_matrix("0.1 0.9\n0.5\n").is_err());
+    }
+
+    #[test]
+    fn predictions_format() {
+        let text = format_predictions(&[2, 0, 1]);
+        assert!(text.contains("0\t2"));
+        assert!(text.contains("2\t1"));
+        assert_eq!(text.lines().count(), 4);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("fg_cli_matrix_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("h.txt");
+        let m = DenseMatrix::from_rows(&[vec![0.3, 0.7], vec![0.7, 0.3]]).unwrap();
+        write_matrix(&path, &m).unwrap();
+        let back = read_matrix(&path).unwrap();
+        assert!(back.approx_eq(&m, 1e-6));
+        assert!(read_matrix(Path::new("/nonexistent/h.txt")).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

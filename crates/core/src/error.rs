@@ -1,0 +1,75 @@
+//! Error type for compatibility estimation.
+
+use std::fmt;
+
+/// Errors produced by the estimation pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Configuration of an estimator or optimizer is invalid.
+    InvalidConfig(String),
+    /// The optimization failed (e.g. produced non-finite values).
+    OptimizationFailed(String),
+    /// The input (graph / seed labels) is unusable for estimation.
+    InvalidInput(String),
+    /// Error bubbled up from the graph layer.
+    Graph(fg_graph::GraphError),
+    /// Error bubbled up from the linear-algebra layer.
+    Sparse(fg_sparse::SparseError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::OptimizationFailed(msg) => write!(f, "optimization failed: {msg}"),
+            CoreError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            CoreError::Graph(e) => write!(f, "graph error: {e}"),
+            CoreError::Sparse(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Graph(e) => Some(e),
+            CoreError::Sparse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fg_graph::GraphError> for CoreError {
+    fn from(e: fg_graph::GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+impl From<fg_sparse::SparseError> for CoreError {
+    fn from(e: fg_sparse::SparseError) -> Self {
+        CoreError::Sparse(e)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CoreError::InvalidConfig("x".into()).to_string().contains("configuration"));
+        assert!(CoreError::OptimizationFailed("y".into()).to_string().contains("optimization"));
+        assert!(CoreError::InvalidInput("z".into()).to_string().contains("input"));
+    }
+
+    #[test]
+    fn conversions_preserve_source() {
+        let e: CoreError = fg_sparse::SparseError::NotSquare { rows: 1, cols: 2 }.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let g: CoreError = fg_graph::GraphError::InvalidLabels("bad".into()).into();
+        assert!(g.to_string().contains("graph error"));
+    }
+}

@@ -1,0 +1,73 @@
+//! Gold-standard compatibilities (GS).
+//!
+//! The upper bound every estimator is compared against: if all labels are known, the
+//! compatibility matrix can simply be *measured* as the relative frequencies of classes
+//! between neighboring nodes (Section 5.3). The estimator ignores the seed set and uses
+//! the full ground-truth labeling it was constructed with.
+
+use super::CompatibilityEstimator;
+use crate::error::Result;
+use fg_graph::{measure_compatibilities, Graph, Labeling, SeedLabels};
+use fg_sparse::DenseMatrix;
+
+/// The gold-standard "estimator": measures `H` from the full labeling.
+#[derive(Debug, Clone)]
+pub struct GoldStandard {
+    labeling: Labeling,
+}
+
+impl GoldStandard {
+    /// Create a gold-standard estimator from the ground-truth labeling.
+    pub fn new(labeling: Labeling) -> Self {
+        GoldStandard { labeling }
+    }
+
+    /// The ground-truth labeling the measurement uses.
+    pub fn labeling(&self) -> &Labeling {
+        &self.labeling
+    }
+}
+
+impl CompatibilityEstimator for GoldStandard {
+    fn name(&self) -> &'static str {
+        "GS"
+    }
+
+    fn estimate(&self, graph: &Graph, _seeds: &SeedLabels) -> Result<DenseMatrix> {
+        Ok(measure_compatibilities(graph, &self.labeling)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_graph::{generate, GeneratorConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gold_standard_matches_planted_h_on_balanced_graph() {
+        let cfg = GeneratorConfig::balanced_uniform(2000, 20.0, 3, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let syn = generate(&cfg, &mut rng).unwrap();
+        let gs = GoldStandard::new(syn.labeling.clone());
+        let seeds = SeedLabels::new(vec![None; 2000], 3).unwrap();
+        let h = gs.estimate(&syn.graph, &seeds).unwrap();
+        assert!(syn.planted_h.l2_distance(&h).unwrap() < 0.1);
+        assert_eq!(gs.name(), "GS");
+        assert_eq!(gs.labeling().n(), 2000);
+    }
+
+    #[test]
+    fn gold_standard_is_independent_of_seed_set() {
+        let cfg = GeneratorConfig::balanced(300, 8.0, 3, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let syn = generate(&cfg, &mut rng).unwrap();
+        let gs = GoldStandard::new(syn.labeling.clone());
+        let empty = SeedLabels::new(vec![None; 300], 3).unwrap();
+        let full = SeedLabels::fully_labeled(&syn.labeling);
+        let a = gs.estimate(&syn.graph, &empty).unwrap();
+        let b = gs.estimate(&syn.graph, &full).unwrap();
+        assert!(a.approx_eq(&b, 1e-12));
+    }
+}

@@ -1,0 +1,156 @@
+//! The Holdout baseline (Section 4.1).
+//!
+//! The textbook approach: split the observed labels into seed and holdout sets, run
+//! label propagation from the seeds for a candidate `H`, and search for the `H` that
+//! maximizes accuracy on the holdout nodes (Eq. 7). Because every objective evaluation
+//! runs inference over the whole graph, estimation becomes *more* expensive than
+//! propagation — the exact inefficiency the paper's sketch-based estimators remove.
+
+use super::CompatibilityEstimator;
+use crate::error::{CoreError, Result};
+use crate::optimize::{nelder_mead, NelderMeadConfig};
+use crate::param::{free_to_matrix, uniform_start};
+use fg_graph::{Graph, SeedLabels};
+use fg_propagation::{holdout_accuracy, propagate, LinBpConfig};
+use fg_sparse::DenseMatrix;
+
+/// Configuration for the Holdout estimator.
+#[derive(Debug, Clone)]
+pub struct HoldoutConfig {
+    /// Number of seed/holdout splits `b` whose accuracies are summed (Eq. 7).
+    pub num_splits: usize,
+    /// Propagation settings used inside every objective evaluation.
+    pub propagation: LinBpConfig,
+    /// Derivative-free optimizer settings.
+    pub optimizer: NelderMeadConfig,
+}
+
+impl Default for HoldoutConfig {
+    fn default() -> Self {
+        HoldoutConfig {
+            num_splits: 1,
+            propagation: LinBpConfig::default(),
+            optimizer: NelderMeadConfig {
+                // Each evaluation is a full propagation; keep the budget moderate.
+                max_evaluations: 200,
+                ..NelderMeadConfig::default()
+            },
+        }
+    }
+}
+
+/// The Holdout estimator.
+#[derive(Debug, Clone, Default)]
+pub struct HoldoutEstimation {
+    /// Estimator configuration.
+    pub config: HoldoutConfig,
+}
+
+impl HoldoutEstimation {
+    /// Create a Holdout estimator with `b` splits.
+    pub fn with_splits(num_splits: usize) -> Self {
+        HoldoutEstimation {
+            config: HoldoutConfig {
+                num_splits,
+                ..HoldoutConfig::default()
+            },
+        }
+    }
+
+    /// The negative compound accuracy for a candidate free-parameter vector.
+    fn objective(
+        &self,
+        graph: &Graph,
+        partitions: &[(SeedLabels, SeedLabels)],
+        free: &[f64],
+        k: usize,
+    ) -> f64 {
+        let h = match free_to_matrix(free, k) {
+            Ok(h) => h,
+            Err(_) => return f64::INFINITY,
+        };
+        let mut total = 0.0;
+        for (seed, holdout) in partitions {
+            match propagate(graph, seed, &h, &self.config.propagation) {
+                Ok(result) => total += holdout_accuracy(&result.predictions, holdout),
+                Err(_) => return f64::INFINITY,
+            }
+        }
+        -total
+    }
+}
+
+impl CompatibilityEstimator for HoldoutEstimation {
+    fn name(&self) -> &'static str {
+        "Holdout"
+    }
+
+    fn estimate(&self, graph: &Graph, seeds: &SeedLabels) -> Result<DenseMatrix> {
+        if self.config.num_splits == 0 {
+            return Err(CoreError::InvalidConfig("num_splits must be at least 1".into()));
+        }
+        if seeds.num_labeled() < 2 {
+            return Err(CoreError::InvalidInput(
+                "the Holdout method needs at least two labeled nodes to form a split".into(),
+            ));
+        }
+        let k = seeds.k();
+        let partitions = seeds.holdout_partitions(self.config.num_splits);
+        let outcome = nelder_mead(
+            |free| self.objective(graph, &partitions, free, k),
+            &uniform_start(k),
+            &self.config.optimizer,
+        )?;
+        free_to_matrix(&outcome.x, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_graph::{generate, GeneratorConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn holdout_finds_heterophily_with_enough_labels() {
+        let cfg = GeneratorConfig::balanced_uniform(600, 16.0, 3, 8.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let syn = generate(&cfg, &mut rng).unwrap();
+        let seeds = syn.labeling.stratified_sample(0.2, &mut rng);
+        let est = HoldoutEstimation::default();
+        let h = est.estimate(&syn.graph, &seeds).unwrap();
+        // The estimate should capture that off-diagonal (0,1) dominates the diagonal.
+        assert!(h.get(0, 1) > h.get(0, 0), "H = {h:?}");
+        assert_eq!(est.name(), "Holdout");
+    }
+
+    #[test]
+    fn holdout_with_multiple_splits_runs() {
+        let cfg = GeneratorConfig::balanced(300, 10.0, 3, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let syn = generate(&cfg, &mut rng).unwrap();
+        let seeds = syn.labeling.stratified_sample(0.3, &mut rng);
+        let est = HoldoutEstimation::with_splits(2);
+        let h = est.estimate(&syn.graph, &seeds).unwrap();
+        assert!(h.is_symmetric(1e-9));
+        for s in h.row_sums() {
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn holdout_requires_enough_labels_and_valid_config() {
+        let graph = Graph::from_edges(4, &[(0, 1), (1, 2)]).unwrap();
+        let one_label = SeedLabels::new(vec![Some(0), None, None, None], 2).unwrap();
+        assert!(HoldoutEstimation::default().estimate(&graph, &one_label).is_err());
+        let seeds = SeedLabels::new(vec![Some(0), Some(1), None, None], 2).unwrap();
+        let bad = HoldoutEstimation {
+            config: HoldoutConfig {
+                num_splits: 0,
+                ..HoldoutConfig::default()
+            },
+        };
+        assert!(bad.estimate(&graph, &seeds).is_err());
+    }
+}

@@ -1,0 +1,76 @@
+//! Compatibility estimators.
+//!
+//! Every estimator consumes a partially labeled graph and produces a `k x k`
+//! compatibility matrix estimate. The paper's progression (Section 4) is mirrored by
+//! the module layout:
+//!
+//! * [`gold_standard`] — the GS upper bound measured from the fully labeled graph.
+//! * [`holdout`] — the textbook baseline that runs label propagation as a black-box
+//!   subroutine inside a derivative-free search (Eq. 7).
+//! * [`lce`] — linear compatibility estimation from the LinBP energy (Eq. 8).
+//! * [`mce`] — myopic compatibility estimation from neighbor statistics (Eq. 12).
+//! * [`dce`] — distant compatibility estimation from length-ℓ non-backtracking path
+//!   statistics (Eq. 13/14).
+//! * [`dcer`] — DCE with restarts, the paper's recommended method (Section 4.8).
+//! * [`heuristic`] — the two-value "domain knowledge" heuristic of Appendix E.1.
+
+pub mod dce;
+pub mod dcer;
+pub mod gold_standard;
+pub mod heuristic;
+pub mod holdout;
+pub mod lce;
+pub mod mce;
+
+use crate::error::Result;
+use fg_graph::{Graph, SeedLabels};
+use fg_sparse::DenseMatrix;
+
+pub use dce::{DceConfig, DistantCompatibilityEstimation};
+pub use dcer::DceWithRestarts;
+pub use gold_standard::GoldStandard;
+pub use heuristic::TwoValueHeuristic;
+pub use holdout::{HoldoutConfig, HoldoutEstimation};
+pub use lce::LinearCompatibilityEstimation;
+pub use mce::MyopicCompatibilityEstimation;
+
+/// A method that estimates the class-compatibility matrix `H` from a partially labeled
+/// graph.
+pub trait CompatibilityEstimator {
+    /// Short name used in experiment output (e.g. `"DCEr"`).
+    fn name(&self) -> &'static str;
+
+    /// Estimate the `k x k` compatibility matrix from the graph and the observed seed
+    /// labels.
+    fn estimate(&self, graph: &Graph, seeds: &SeedLabels) -> Result<DenseMatrix>;
+}
+
+/// Blanket implementation so `Box<dyn CompatibilityEstimator>` can be used wherever an
+/// estimator is expected.
+impl CompatibilityEstimator for Box<dyn CompatibilityEstimator + '_> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn estimate(&self, graph: &Graph, seeds: &SeedLabels) -> Result<DenseMatrix> {
+        (**self).estimate(graph, seeds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_graph::{CompatibilityMatrix, Labeling};
+
+    #[test]
+    fn boxed_estimator_delegates() {
+        let labeling = Labeling::new(vec![0, 1, 0, 1], 2).unwrap();
+        let gs: Box<dyn CompatibilityEstimator> = Box::new(GoldStandard::new(labeling));
+        assert_eq!(gs.name(), "GS");
+        let graph = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let seeds = SeedLabels::new(vec![Some(0), None, None, None], 2).unwrap();
+        let h = gs.estimate(&graph, &seeds).unwrap();
+        assert_eq!(h.rows(), 2);
+        let _ = CompatibilityMatrix::new(h); // may or may not validate strictly; just exercise
+    }
+}

@@ -1,0 +1,105 @@
+//! # fg-core — Factorized Graph Representations for SSL from Sparse Data
+//!
+//! Rust implementation of the compatibility-estimation methods from
+//! *"Factorized Graph Representations for Semi-Supervised Learning from Sparse Data"*
+//! (Krishna Kumar P., Paul Langton, Wolfgang Gatterbauer — SIGMOD 2020).
+//!
+//! Given an undirected graph in which only a tiny fraction of nodes carry class labels,
+//! and in which classes may attract or repel each other arbitrarily (homophily,
+//! heterophily, or any mix), this crate estimates the class-compatibility matrix `H`
+//! directly from the sparsely labeled graph and then labels the remaining nodes with
+//! linearized belief propagation — no domain expert or heuristic required.
+//!
+//! ## The two-step approach
+//!
+//! 1. **Factorized graph summarization** ([`paths`]): compute the observed class
+//!    statistics of length-ℓ non-backtracking paths between labeled nodes in
+//!    `O(m·k·ℓmax)` without ever materializing `Wℓ`.
+//! 2. **Graph-size-independent optimization** ([`energy`], [`optimize`],
+//!    [`estimators`]): fit a symmetric doubly-stochastic `H` to those `k x k` sketches
+//!    with an explicit gradient, restarting from multiple points (DCEr).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use fg_core::prelude::*;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! // A synthetic graph with planted heterophilous compatibilities.
+//! let config = GeneratorConfig::balanced(1000, 10.0, 3, 8.0).unwrap();
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let synthetic = generate(&config, &mut rng).unwrap();
+//!
+//! // Only 5% of the nodes are labeled.
+//! let seeds = synthetic.labeling.stratified_sample(0.05, &mut rng);
+//!
+//! // Estimate the compatibilities and label the remaining nodes.
+//! let estimator = DceWithRestarts::default();
+//! let result = estimate_and_propagate(
+//!     &estimator,
+//!     &synthetic.graph,
+//!     &seeds,
+//!     &LinBpConfig::default(),
+//! )
+//! .unwrap();
+//!
+//! let accuracy = result.accuracy(&synthetic.labeling, &seeds);
+//! assert!(accuracy > 1.0 / 3.0); // well above random
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod error;
+pub mod estimators;
+pub mod normalization;
+pub mod optimize;
+pub mod param;
+pub mod paths;
+pub mod pipeline;
+
+pub use energy::{distance_weights, DceEnergy, EnergyFunction, LceEnergy, MceEnergy};
+pub use error::{CoreError, Result};
+pub use estimators::{
+    CompatibilityEstimator, DceConfig, DceWithRestarts, DistantCompatibilityEstimation,
+    GoldStandard, HoldoutConfig, HoldoutEstimation, LinearCompatibilityEstimation,
+    MyopicCompatibilityEstimation, TwoValueHeuristic,
+};
+pub use normalization::NormalizationVariant;
+pub use optimize::{
+    minimize, nelder_mead, GradientDescentConfig, NelderMeadConfig, NelderMeadOutcome,
+    OptimizationOutcome,
+};
+pub use param::{
+    free_parameter_positions, free_to_matrix, matrix_to_free, num_free_parameters,
+    project_gradient, restart_points, uniform_start,
+};
+pub use paths::{
+    explicit_adjacency_power, explicit_nb_power, statistics_from_explicit, summarize,
+    GraphSummary, SummaryConfig,
+};
+pub use pipeline::{estimate_and_propagate, propagate_with, PipelineResult};
+
+/// Convenience re-exports covering the most common end-to-end usage: graph generation,
+/// estimation, propagation, and metrics.
+pub mod prelude {
+    pub use crate::estimators::{
+        CompatibilityEstimator, DceConfig, DceWithRestarts, DistantCompatibilityEstimation,
+        GoldStandard, HoldoutEstimation, LinearCompatibilityEstimation,
+        MyopicCompatibilityEstimation, TwoValueHeuristic,
+    };
+    pub use crate::normalization::NormalizationVariant;
+    pub use crate::paths::{summarize, SummaryConfig};
+    pub use crate::pipeline::{estimate_and_propagate, propagate_with, PipelineResult};
+    pub use fg_graph::{
+        generate, measure_compatibilities, CompatibilityMatrix, DegreeDistribution,
+        GeneratorConfig, Graph, Labeling, SeedLabels,
+    };
+    pub use fg_propagation::{
+        harmonic_functions, multi_rank_walk, propagate, HarmonicConfig, LinBpConfig,
+        RandomWalkConfig,
+    };
+    pub use fg_sparse::DenseMatrix;
+}

@@ -1,0 +1,117 @@
+//! The three normalization variants for observed statistics matrices (Section 4.3).
+//!
+//! The raw class-to-class count matrix `M = Xᵀ W X` (or its length-ℓ generalizations) is
+//! normalized into an observed statistics matrix `P̂` before the optimization step. The
+//! paper evaluates three variants (Eq. 9–11) and finds variant 1 (row-stochastic) to
+//! work best; it is the default everywhere in this crate.
+
+use fg_sparse::DenseMatrix;
+
+/// The normalization applied to a raw count matrix `M`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalizationVariant {
+    /// Variant 1 (Eq. 9, default): row-stochastic `diag(M1)^{-1} M`.
+    RowStochastic,
+    /// Variant 2 (Eq. 10): symmetric `diag(M1)^{-1/2} M diag(M1)^{-1/2}` (LGC-style).
+    Symmetric,
+    /// Variant 3 (Eq. 11): global scaling `k (1ᵀM1)^{-1} M` so the mean entry is `1/k`.
+    MeanScaled,
+}
+
+impl NormalizationVariant {
+    /// All three variants, in paper order.
+    pub fn all() -> [NormalizationVariant; 3] {
+        [
+            NormalizationVariant::RowStochastic,
+            NormalizationVariant::Symmetric,
+            NormalizationVariant::MeanScaled,
+        ]
+    }
+
+    /// Short human-readable name ("variant 1" … "variant 3").
+    pub fn name(&self) -> &'static str {
+        match self {
+            NormalizationVariant::RowStochastic => "variant 1 (row-stochastic)",
+            NormalizationVariant::Symmetric => "variant 2 (symmetric)",
+            NormalizationVariant::MeanScaled => "variant 3 (mean-scaled)",
+        }
+    }
+
+    /// Apply the normalization to a raw count matrix.
+    pub fn apply(&self, m: &DenseMatrix) -> DenseMatrix {
+        match self {
+            NormalizationVariant::RowStochastic => m.row_normalized(),
+            NormalizationVariant::Symmetric => m.symmetric_normalized(),
+            NormalizationVariant::MeanScaled => m.mean_scaled(),
+        }
+    }
+}
+
+impl Default for NormalizationVariant {
+    fn default() -> Self {
+        NormalizationVariant::RowStochastic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts() -> DenseMatrix {
+        DenseMatrix::from_rows(&[vec![10.0, 30.0], vec![30.0, 50.0]]).unwrap()
+    }
+
+    #[test]
+    fn default_is_row_stochastic() {
+        assert_eq!(NormalizationVariant::default(), NormalizationVariant::RowStochastic);
+    }
+
+    #[test]
+    fn all_lists_three_variants_with_names() {
+        let all = NormalizationVariant::all();
+        assert_eq!(all.len(), 3);
+        assert!(all[0].name().contains("variant 1"));
+        assert!(all[2].name().contains("variant 3"));
+    }
+
+    #[test]
+    fn variant1_rows_sum_to_one() {
+        let p = NormalizationVariant::RowStochastic.apply(&counts());
+        for s in p.row_sums() {
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+        assert!((p.get(0, 1) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variant2_is_symmetric_but_not_stochastic() {
+        let p = NormalizationVariant::Symmetric.apply(&counts());
+        assert!(p.is_symmetric(1e-12));
+        let row_sum: f64 = p.row(0).iter().sum();
+        assert!((row_sum - 1.0).abs() > 1e-6); // not stochastic in general
+    }
+
+    #[test]
+    fn variant3_mean_entry_is_one_over_k() {
+        let p = NormalizationVariant::MeanScaled.apply(&counts());
+        let mean = p.sum() / 4.0;
+        assert!((mean - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn on_a_perfect_count_matrix_variant1_recovers_h_exactly() {
+        // If M is exactly proportional to a doubly-stochastic H (balanced classes, fully
+        // labeled graph), every variant recovers H; variant 1 does so exactly.
+        let h = DenseMatrix::from_rows(&[
+            vec![0.2, 0.6, 0.2],
+            vec![0.6, 0.2, 0.2],
+            vec![0.2, 0.2, 0.6],
+        ])
+        .unwrap();
+        let m = h.scaled(1000.0);
+        let p1 = NormalizationVariant::RowStochastic.apply(&m);
+        assert!(p1.approx_eq(&h, 1e-12));
+        let p3 = NormalizationVariant::MeanScaled.apply(&m);
+        assert!(p3.approx_eq(&h, 1e-12));
+    }
+}

@@ -1,0 +1,17 @@
+//! Optimizers used by the estimation step.
+//!
+//! The paper uses off-the-shelf SciPy optimizers (SLSQP for the gradient-based energies,
+//! Nelder–Mead for the gradient-free Holdout baseline). We provide the two equivalents:
+//!
+//! * [`gradient_descent`] — gradient descent with Armijo backtracking line search over
+//!   the free-parameter vector; the doubly-stochastic constraints are enforced by the
+//!   parameterization itself (Eq. 6), so the problem is unconstrained.
+//! * [`nelder_mead`] — a derivative-free downhill-simplex search used when only
+//!   function evaluations are available (the Holdout baseline runs label propagation as
+//!   a black-box subroutine).
+
+pub mod gradient_descent;
+pub mod nelder_mead;
+
+pub use gradient_descent::{minimize, GradientDescentConfig, OptimizationOutcome};
+pub use nelder_mead::{nelder_mead, NelderMeadConfig, NelderMeadOutcome};

@@ -1,0 +1,267 @@
+//! Nelder–Mead downhill-simplex minimization.
+//!
+//! Used by the Holdout baseline (Section 4.1), whose objective — the negative labeling
+//! accuracy over holdout sets — is a step function of the parameters and therefore has
+//! no useful gradient. The paper uses SciPy's Nelder–Mead for exactly this reason.
+
+use crate::error::{CoreError, Result};
+
+/// Configuration for the Nelder–Mead optimizer.
+#[derive(Debug, Clone)]
+pub struct NelderMeadConfig {
+    /// Maximum number of objective evaluations.
+    pub max_evaluations: usize,
+    /// Convergence tolerance on the spread of simplex values.
+    pub value_tolerance: f64,
+    /// Convergence tolerance on the simplex diameter.
+    pub simplex_tolerance: f64,
+    /// Initial simplex edge length around the starting point.
+    pub initial_step: f64,
+}
+
+impl Default for NelderMeadConfig {
+    fn default() -> Self {
+        NelderMeadConfig {
+            max_evaluations: 2000,
+            value_tolerance: 1e-8,
+            simplex_tolerance: 1e-8,
+            initial_step: 0.1,
+        }
+    }
+}
+
+/// Result of a Nelder–Mead run.
+#[derive(Debug, Clone)]
+pub struct NelderMeadOutcome {
+    /// The best point found.
+    pub x: Vec<f64>,
+    /// The objective value at `x`.
+    pub value: f64,
+    /// Number of objective evaluations used.
+    pub evaluations: usize,
+    /// Whether the simplex collapsed below the tolerances before the budget ran out.
+    pub converged: bool,
+}
+
+/// Minimize a black-box function with the Nelder–Mead simplex algorithm
+/// (reflection / expansion / contraction / shrink with the standard coefficients).
+pub fn nelder_mead<F>(
+    mut objective: F,
+    x0: &[f64],
+    config: &NelderMeadConfig,
+) -> Result<NelderMeadOutcome>
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    let dim = x0.len();
+    if dim == 0 {
+        return Err(CoreError::InvalidConfig(
+            "cannot optimize a zero-dimensional function".into(),
+        ));
+    }
+    if config.max_evaluations < dim + 1 {
+        return Err(CoreError::InvalidConfig(
+            "max_evaluations must allow at least the initial simplex".into(),
+        ));
+    }
+    const ALPHA: f64 = 1.0; // reflection
+    const GAMMA: f64 = 2.0; // expansion
+    const RHO: f64 = 0.5; // contraction
+    const SIGMA: f64 = 0.5; // shrink
+
+    let mut evaluations = 0usize;
+    let mut eval = |point: &[f64], evaluations: &mut usize| -> f64 {
+        *evaluations += 1;
+        objective(point)
+    };
+
+    // Initial simplex: x0 plus a step along each coordinate.
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(dim + 1);
+    let v0 = eval(x0, &mut evaluations);
+    simplex.push((x0.to_vec(), v0));
+    for i in 0..dim {
+        let mut p = x0.to_vec();
+        p[i] += config.initial_step;
+        let v = eval(&p, &mut evaluations);
+        simplex.push((p, v));
+    }
+
+    let mut converged = false;
+    while evaluations < config.max_evaluations {
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let best_value = simplex[0].1;
+        let worst_value = simplex[dim].1;
+        // Convergence: value spread and simplex diameter both small.
+        let diameter = simplex
+            .iter()
+            .skip(1)
+            .map(|(p, _)| {
+                p.iter()
+                    .zip(simplex[0].0.iter())
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f64, f64::max)
+            })
+            .fold(0.0f64, f64::max);
+        if (worst_value - best_value).abs() <= config.value_tolerance
+            && diameter <= config.simplex_tolerance
+        {
+            converged = true;
+            break;
+        }
+
+        // Centroid of all but the worst point.
+        let mut centroid = vec![0.0; dim];
+        for (p, _) in simplex.iter().take(dim) {
+            for (c, &x) in centroid.iter_mut().zip(p.iter()) {
+                *c += x;
+            }
+        }
+        for c in centroid.iter_mut() {
+            *c /= dim as f64;
+        }
+        let worst = simplex[dim].clone();
+
+        // Reflection.
+        let reflected: Vec<f64> = centroid
+            .iter()
+            .zip(worst.0.iter())
+            .map(|(&c, &w)| c + ALPHA * (c - w))
+            .collect();
+        let reflected_value = eval(&reflected, &mut evaluations);
+
+        if reflected_value < simplex[0].1 {
+            // Expansion.
+            let expanded: Vec<f64> = centroid
+                .iter()
+                .zip(worst.0.iter())
+                .map(|(&c, &w)| c + GAMMA * (c - w))
+                .collect();
+            let expanded_value = eval(&expanded, &mut evaluations);
+            simplex[dim] = if expanded_value < reflected_value {
+                (expanded, expanded_value)
+            } else {
+                (reflected, reflected_value)
+            };
+        } else if reflected_value < simplex[dim - 1].1 {
+            simplex[dim] = (reflected, reflected_value);
+        } else {
+            // Contraction (toward the better of worst / reflected).
+            let (base, base_value) = if reflected_value < worst.1 {
+                (&reflected, reflected_value)
+            } else {
+                (&worst.0, worst.1)
+            };
+            let contracted: Vec<f64> = centroid
+                .iter()
+                .zip(base.iter())
+                .map(|(&c, &b)| c + RHO * (b - c))
+                .collect();
+            let contracted_value = eval(&contracted, &mut evaluations);
+            if contracted_value < base_value {
+                simplex[dim] = (contracted, contracted_value);
+            } else {
+                // Shrink toward the best point.
+                let best = simplex[0].0.clone();
+                for entry in simplex.iter_mut().skip(1) {
+                    let shrunk: Vec<f64> = best
+                        .iter()
+                        .zip(entry.0.iter())
+                        .map(|(&b, &p)| b + SIGMA * (p - b))
+                        .collect();
+                    let value = eval(&shrunk, &mut evaluations);
+                    *entry = (shrunk, value);
+                }
+            }
+        }
+    }
+
+    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    let (x, value) = simplex.swap_remove(0);
+    Ok(NelderMeadOutcome {
+        x,
+        value,
+        evaluations,
+        converged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_a_quadratic_bowl() {
+        let outcome = nelder_mead(
+            |x| (x[0] - 1.0).powi(2) + (x[1] + 2.0).powi(2),
+            &[0.0, 0.0],
+            &NelderMeadConfig::default(),
+        )
+        .unwrap();
+        assert!(outcome.converged);
+        assert!((outcome.x[0] - 1.0).abs() < 1e-3);
+        assert!((outcome.x[1] + 2.0).abs() < 1e-3);
+        assert!(outcome.value < 1e-5);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock_reasonably() {
+        let cfg = NelderMeadConfig {
+            max_evaluations: 5000,
+            ..NelderMeadConfig::default()
+        };
+        let outcome = nelder_mead(
+            |x| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2),
+            &[-1.2, 1.0],
+            &cfg,
+        )
+        .unwrap();
+        assert!(outcome.value < 1e-3, "value {}", outcome.value);
+    }
+
+    #[test]
+    fn handles_step_functions() {
+        // A staircase objective (like negative accuracy): the optimizer should still
+        // find a point in the lowest-valued region.
+        let outcome = nelder_mead(
+            |x| {
+                if x[0] > 0.4 && x[0] < 0.6 {
+                    0.0
+                } else {
+                    1.0
+                }
+            },
+            &[0.45],
+            &NelderMeadConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(outcome.value, 0.0);
+    }
+
+    #[test]
+    fn respects_evaluation_budget() {
+        let mut count = 0usize;
+        let _ = nelder_mead(
+            |x| {
+                count += 1;
+                x[0] * x[0]
+            },
+            &[10.0],
+            &NelderMeadConfig {
+                max_evaluations: 50,
+                ..NelderMeadConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(count <= 55); // small overshoot allowed for the final simplex operations
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(nelder_mead(|_| 0.0, &[], &NelderMeadConfig::default()).is_err());
+        let cfg = NelderMeadConfig {
+            max_evaluations: 1,
+            ..NelderMeadConfig::default()
+        };
+        assert!(nelder_mead(|x: &[f64]| x[0], &[0.0, 1.0, 2.0], &cfg).is_err());
+    }
+}

@@ -1,0 +1,475 @@
+//! Factorized path summation (Sections 4.4–4.6 of the paper).
+//!
+//! The estimators never touch the graph directly: they consume a handful of `k x k`
+//! "observed statistics" matrices `P̂(ℓ)` that summarize how often classes co-occur at
+//! the two ends of length-ℓ paths between labeled nodes. This module computes those
+//! sketches:
+//!
+//! * the raw count matrices `M(ℓ) = Xᵀ W(ℓ) X` for plain paths and
+//!   `M(ℓ)_NB = Xᵀ W(ℓ)_NB X` for **non-backtracking** paths, using the recurrence of
+//!   Proposition 4.3 — `W(ℓ)_NB = W·W(ℓ-1)_NB − (D−I)·W(ℓ-2)_NB` — pushed through the
+//!   thin `n x k` matrix `X` so no `n x n` intermediate is ever materialized
+//!   (Algorithm 4.4, cost `O(m·k·ℓmax)`, Proposition 4.5);
+//! * the normalized statistics `P̂(ℓ)` via any of the three normalization variants;
+//! * the *explicit* (unfactorized) powers `Wℓ` / `W(ℓ)_NB`, used only by the Fig. 5b
+//!   baseline that demonstrates why factorization matters.
+
+use crate::error::{CoreError, Result};
+use crate::normalization::NormalizationVariant;
+use fg_graph::{Graph, SeedLabels};
+use fg_sparse::{CsrMatrix, DenseMatrix};
+
+/// Configuration for graph summarization.
+#[derive(Debug, Clone)]
+pub struct SummaryConfig {
+    /// Maximum path length `ℓmax` to summarize (the paper uses 5).
+    pub max_length: usize,
+    /// Count only non-backtracking paths (the consistent estimator of Theorem 4.1).
+    pub non_backtracking: bool,
+    /// Normalization variant applied to the raw counts.
+    pub variant: NormalizationVariant,
+}
+
+impl Default for SummaryConfig {
+    fn default() -> Self {
+        SummaryConfig {
+            max_length: 5,
+            non_backtracking: true,
+            variant: NormalizationVariant::RowStochastic,
+        }
+    }
+}
+
+impl SummaryConfig {
+    /// Convenience constructor with the given maximum path length.
+    pub fn with_max_length(max_length: usize) -> Self {
+        SummaryConfig {
+            max_length,
+            ..SummaryConfig::default()
+        }
+    }
+}
+
+/// The factorized graph representation: per path length `ℓ = 1..ℓmax`, the raw count
+/// matrix `M(ℓ)` and its normalized form `P̂(ℓ)`.
+#[derive(Debug, Clone)]
+pub struct GraphSummary {
+    /// Raw class-to-class path-count matrices, index 0 holds `ℓ = 1`.
+    pub counts: Vec<DenseMatrix>,
+    /// Normalized observed statistics matrices, index 0 holds `ℓ = 1`.
+    pub statistics: Vec<DenseMatrix>,
+    /// Number of classes.
+    pub k: usize,
+    /// Whether non-backtracking counting was used.
+    pub non_backtracking: bool,
+}
+
+impl GraphSummary {
+    /// The observed statistics matrix for path length `length` (1-based).
+    pub fn statistic(&self, length: usize) -> Option<&DenseMatrix> {
+        if length == 0 {
+            None
+        } else {
+            self.statistics.get(length - 1)
+        }
+    }
+
+    /// The raw count matrix for path length `length` (1-based).
+    pub fn count(&self, length: usize) -> Option<&DenseMatrix> {
+        if length == 0 {
+            None
+        } else {
+            self.counts.get(length - 1)
+        }
+    }
+
+    /// Maximum summarized path length.
+    pub fn max_length(&self) -> usize {
+        self.statistics.len()
+    }
+}
+
+/// Scale each row `i` of a dense matrix by `factors[i]` (multiplication by a diagonal
+/// matrix from the left, without building the diagonal matrix).
+fn scale_rows(m: &DenseMatrix, factors: &[f64]) -> DenseMatrix {
+    let mut out = m.clone();
+    for i in 0..out.rows() {
+        let f = factors[i];
+        for v in out.row_mut(i) {
+            *v *= f;
+        }
+    }
+    out
+}
+
+/// Accumulate `M = Xᵀ N` where `X` is the one-hot seed matrix: row `i` of `N` is added
+/// to row `class(i)` of the result for every labeled node `i`.
+fn seed_transpose_product(seeds: &SeedLabels, n_matrix: &DenseMatrix) -> DenseMatrix {
+    let k = seeds.k();
+    let mut m = DenseMatrix::zeros(k, k);
+    for i in 0..seeds.n() {
+        if let Some(c) = seeds.get(i) {
+            let row = n_matrix.row(i);
+            for (j, &v) in row.iter().enumerate() {
+                m.add_at(c, j, v);
+            }
+        }
+    }
+    m
+}
+
+/// Compute the factorized graph summary (Algorithm 4.4).
+///
+/// Runs in `O(m · k · ℓmax)` time and `O(n · k)` memory.
+pub fn summarize(graph: &Graph, seeds: &SeedLabels, config: &SummaryConfig) -> Result<GraphSummary> {
+    if seeds.n() != graph.num_nodes() {
+        return Err(CoreError::InvalidInput(format!(
+            "seed labels cover {} nodes but graph has {}",
+            seeds.n(),
+            graph.num_nodes()
+        )));
+    }
+    if config.max_length == 0 {
+        return Err(CoreError::InvalidConfig(
+            "max_length must be at least 1".into(),
+        ));
+    }
+    let w = graph.adjacency();
+    let degrees = graph.degrees();
+    let degrees_minus_one: Vec<f64> = degrees.iter().map(|&d| d - 1.0).collect();
+    let x = seeds.to_matrix();
+    let k = seeds.k();
+
+    let mut counts = Vec::with_capacity(config.max_length);
+    let mut statistics = Vec::with_capacity(config.max_length);
+
+    // N(1) = W X for both counting modes.
+    let n1 = w.spmm_dense(&x)?;
+    counts.push(seed_transpose_product(seeds, &n1));
+
+    let mut prev2; // N(ℓ-2)
+    let mut prev1; // N(ℓ-1)
+    if config.max_length >= 2 {
+        let n2 = if config.non_backtracking {
+            // N(2) = W N(1) - D X
+            w.spmm_dense(&n1)?.sub(&scale_rows(&x, &degrees))?
+        } else {
+            w.spmm_dense(&n1)?
+        };
+        counts.push(seed_transpose_product(seeds, &n2));
+        prev2 = n1;
+        prev1 = n2;
+        for _ell in 3..=config.max_length {
+            let next = if config.non_backtracking {
+                // N(ℓ) = W N(ℓ-1) - (D - I) N(ℓ-2)
+                w.spmm_dense(&prev1)?
+                    .sub(&scale_rows(&prev2, &degrees_minus_one))?
+            } else {
+                w.spmm_dense(&prev1)?
+            };
+            counts.push(seed_transpose_product(seeds, &next));
+            prev2 = prev1;
+            prev1 = next;
+        }
+    }
+
+    for m in &counts {
+        statistics.push(config.variant.apply(m));
+    }
+
+    Ok(GraphSummary {
+        counts,
+        statistics,
+        k,
+        non_backtracking: config.non_backtracking,
+    })
+}
+
+/// Explicitly compute the (dense-growing) adjacency power `Wℓ` with sparse-sparse
+/// products. Only used by the Fig. 5b baseline and by tests — the cost grows roughly as
+/// `O(m · d^(ℓ-1))`.
+pub fn explicit_adjacency_power(graph: &Graph, length: usize) -> Result<CsrMatrix> {
+    if length == 0 {
+        return Ok(CsrMatrix::identity(graph.num_nodes()));
+    }
+    let w = graph.adjacency();
+    let mut result = w.clone();
+    for _ in 1..length {
+        result = result.spmm(w)?;
+    }
+    Ok(result)
+}
+
+/// Explicitly compute the non-backtracking path-count matrix `W(ℓ)_NB` with the
+/// recurrence of Proposition 4.3, materializing every `n x n` intermediate. Only used
+/// for validation and the unfactorized baseline.
+pub fn explicit_nb_power(graph: &Graph, length: usize) -> Result<CsrMatrix> {
+    let w = graph.adjacency();
+    let n = graph.num_nodes();
+    match length {
+        0 => return Ok(CsrMatrix::identity(n)),
+        1 => return Ok(w.clone()),
+        _ => {}
+    }
+    let d = graph.degree_matrix();
+    let d_minus_i = graph.degree_minus_identity();
+    let mut prev2 = w.clone(); // W(1)
+    let mut prev1 = w.spmm(w)?.sub(&d)?; // W(2) = W^2 - D
+    for _ in 3..=length {
+        let next = w.spmm(&prev1)?.sub(&d_minus_i.spmm(&prev2)?)?;
+        prev2 = prev1;
+        prev1 = next;
+    }
+    Ok(prev1)
+}
+
+/// Compute the observed statistics matrix from an explicitly materialized path-count
+/// matrix (the unfactorized evaluation order). Used to validate the factorized kernel
+/// and as the slow baseline in the Fig. 5b reproduction.
+pub fn statistics_from_explicit(
+    power: &CsrMatrix,
+    seeds: &SeedLabels,
+    variant: NormalizationVariant,
+) -> Result<DenseMatrix> {
+    if power.rows() != seeds.n() {
+        return Err(CoreError::InvalidInput(format!(
+            "path-count matrix has {} rows but seed labels cover {} nodes",
+            power.rows(),
+            seeds.n()
+        )));
+    }
+    let x = seeds.to_matrix();
+    let wx = power.spmm_dense(&x)?;
+    let m = seed_transpose_product(seeds, &wx);
+    Ok(variant.apply(&m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_graph::{generate, GeneratorConfig, Graph, Labeling};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Brute-force count of non-backtracking paths of a given length between every pair
+    /// of nodes, by depth-first enumeration. Exponential — tiny graphs only.
+    fn brute_force_nb_counts(graph: &Graph, length: usize) -> DenseMatrix {
+        let n = graph.num_nodes();
+        let mut counts = DenseMatrix::zeros(n, n);
+        // Enumerate walks (u0, u1, ..., u_length) with u_{j} != u_{j+2}.
+        fn extend(
+            graph: &Graph,
+            path: &mut Vec<usize>,
+            remaining: usize,
+            counts: &mut DenseMatrix,
+        ) {
+            if remaining == 0 {
+                let start = path[0];
+                let end = *path.last().unwrap();
+                counts.add_at(start, end, 1.0);
+                return;
+            }
+            let last = *path.last().unwrap();
+            let before = if path.len() >= 2 {
+                Some(path[path.len() - 2])
+            } else {
+                None
+            };
+            for &next in graph.neighbors(last) {
+                if Some(next) == before {
+                    continue; // backtracking step
+                }
+                path.push(next);
+                extend(graph, path, remaining - 1, counts);
+                path.pop();
+            }
+        }
+        for start in 0..n {
+            let mut path = vec![start];
+            extend(graph, &mut path, length, &mut counts);
+        }
+        counts
+    }
+
+    fn small_graph() -> Graph {
+        // A graph with cycles and a pendant: exercises both backtracking corrections.
+        Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn nb_power_2_equals_w2_minus_d() {
+        let g = small_graph();
+        let w2 = explicit_adjacency_power(&g, 2).unwrap();
+        let expected = w2.sub(&g.degree_matrix()).unwrap();
+        let got = explicit_nb_power(&g, 2).unwrap();
+        assert!(got.to_dense().approx_eq(&expected.to_dense(), 1e-12));
+    }
+
+    #[test]
+    fn nb_recurrence_matches_brute_force() {
+        let g = small_graph();
+        for length in 1..=5 {
+            let recurrence = explicit_nb_power(&g, length).unwrap().to_dense();
+            let brute = brute_force_nb_counts(&g, length);
+            assert!(
+                recurrence.approx_eq(&brute, 1e-9),
+                "length {length}: recurrence != brute force"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_powers_match_dense_powers() {
+        let g = small_graph();
+        let dense_w = g.adjacency().to_dense();
+        for length in 0..=4 {
+            let explicit = explicit_adjacency_power(&g, length).unwrap().to_dense();
+            let expected = dense_w.pow(length).unwrap();
+            assert!(explicit.approx_eq(&expected, 1e-9));
+        }
+    }
+
+    #[test]
+    fn factorized_summary_matches_explicit_computation() {
+        let g = small_graph();
+        let labeling = Labeling::new(vec![0, 1, 0, 1, 0, 1], 2).unwrap();
+        let seeds = SeedLabels::fully_labeled(&labeling);
+        let config = SummaryConfig {
+            max_length: 4,
+            non_backtracking: true,
+            variant: NormalizationVariant::RowStochastic,
+        };
+        let summary = summarize(&g, &seeds, &config).unwrap();
+        for length in 1..=4 {
+            let explicit_power = explicit_nb_power(&g, length).unwrap();
+            let expected =
+                statistics_from_explicit(&explicit_power, &seeds, config.variant).unwrap();
+            assert!(
+                summary.statistic(length).unwrap().approx_eq(&expected, 1e-9),
+                "mismatch at length {length}"
+            );
+        }
+    }
+
+    #[test]
+    fn factorized_full_paths_match_explicit_powers() {
+        let g = small_graph();
+        let labeling = Labeling::new(vec![0, 1, 0, 1, 0, 1], 2).unwrap();
+        let seeds = SeedLabels::fully_labeled(&labeling);
+        let config = SummaryConfig {
+            max_length: 4,
+            non_backtracking: false,
+            variant: NormalizationVariant::RowStochastic,
+        };
+        let summary = summarize(&g, &seeds, &config).unwrap();
+        for length in 1..=4 {
+            let explicit_power = explicit_adjacency_power(&g, length).unwrap();
+            let expected =
+                statistics_from_explicit(&explicit_power, &seeds, config.variant).unwrap();
+            assert!(summary.statistic(length).unwrap().approx_eq(&expected, 1e-9));
+        }
+    }
+
+    #[test]
+    fn partial_labels_only_count_labeled_endpoints() {
+        let g = small_graph();
+        let seeds = SeedLabels::new(
+            vec![Some(0), None, Some(1), None, None, Some(0)],
+            2,
+        )
+        .unwrap();
+        let summary = summarize(&g, &seeds, &SummaryConfig::with_max_length(2)).unwrap();
+        // Counts must equal the explicit computation restricted to labeled endpoints.
+        let explicit = explicit_nb_power(&g, 2).unwrap();
+        let expected = statistics_from_explicit(&explicit, &seeds, NormalizationVariant::RowStochastic).unwrap();
+        assert!(summary.statistic(2).unwrap().approx_eq(&expected, 1e-9));
+    }
+
+    #[test]
+    fn summary_accessors() {
+        let g = small_graph();
+        let labeling = Labeling::new(vec![0, 1, 0, 1, 0, 1], 2).unwrap();
+        let seeds = SeedLabels::fully_labeled(&labeling);
+        let summary = summarize(&g, &seeds, &SummaryConfig::with_max_length(3)).unwrap();
+        assert_eq!(summary.max_length(), 3);
+        assert_eq!(summary.k, 2);
+        assert!(summary.non_backtracking);
+        assert!(summary.statistic(0).is_none());
+        assert!(summary.statistic(4).is_none());
+        assert!(summary.count(1).is_some());
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let g = small_graph();
+        let wrong_seeds = SeedLabels::new(vec![Some(0), None], 2).unwrap();
+        assert!(summarize(&g, &wrong_seeds, &SummaryConfig::default()).is_err());
+        let labeling = Labeling::new(vec![0, 1, 0, 1, 0, 1], 2).unwrap();
+        let seeds = SeedLabels::fully_labeled(&labeling);
+        assert!(summarize(&g, &seeds, &SummaryConfig::with_max_length(0)).is_err());
+        let small_power = CsrMatrix::identity(3);
+        assert!(statistics_from_explicit(&small_power, &seeds, NormalizationVariant::RowStochastic).is_err());
+    }
+
+    #[test]
+    fn nb_statistics_are_consistent_for_hl_on_balanced_graph() {
+        // Theorem 4.1 / Example 4.2: on a fully labeled balanced graph, P̂(ℓ)_NB ≈ Hℓ
+        // while the plain P̂(ℓ) overestimates the diagonal.
+        let cfg = GeneratorConfig::balanced_uniform(3000, 20.0, 3, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let syn = generate(&cfg, &mut rng).unwrap();
+        let seeds = SeedLabels::fully_labeled(&syn.labeling);
+        let h2 = syn.planted_h.pow(2);
+
+        let nb = summarize(
+            &syn.graph,
+            &seeds,
+            &SummaryConfig {
+                max_length: 2,
+                non_backtracking: true,
+                variant: NormalizationVariant::RowStochastic,
+            },
+        )
+        .unwrap();
+        let full = summarize(
+            &syn.graph,
+            &seeds,
+            &SummaryConfig {
+                max_length: 2,
+                non_backtracking: false,
+                variant: NormalizationVariant::RowStochastic,
+            },
+        )
+        .unwrap();
+
+        let nb_err = h2.frobenius_distance(nb.statistic(2).unwrap()).unwrap();
+        let full_err = h2.frobenius_distance(full.statistic(2).unwrap()).unwrap();
+        assert!(
+            nb_err < full_err,
+            "NB error {nb_err} should be below full-path error {full_err}"
+        );
+        // The plain estimator overestimates the diagonal relative to H².
+        let full_stat = full.statistic(2).unwrap();
+        let diag_bias: f64 = (0..3).map(|c| full_stat.get(c, c) - h2.get(c, c)).sum();
+        assert!(diag_bias > 0.0, "expected positive diagonal bias, got {diag_bias}");
+    }
+
+    #[test]
+    fn length_one_statistics_approximate_h_on_fully_labeled_graph() {
+        let cfg = GeneratorConfig::balanced_uniform(2000, 20.0, 3, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let syn = generate(&cfg, &mut rng).unwrap();
+        let seeds = SeedLabels::fully_labeled(&syn.labeling);
+        let summary = summarize(&syn.graph, &seeds, &SummaryConfig::with_max_length(1)).unwrap();
+        let err = syn
+            .planted_h
+            .as_dense()
+            .frobenius_distance(summary.statistic(1).unwrap())
+            .unwrap();
+        assert!(err < 0.1, "length-1 statistics should match H, error {err}");
+    }
+}

@@ -1,0 +1,185 @@
+//! Plain-text graph and label IO.
+//!
+//! A minimal, dependency-free interchange format so users can run the estimators on
+//! their own graphs:
+//!
+//! * **Edge list** — one undirected edge per line, `u<TAB>v` or `u<TAB>v<TAB>weight`,
+//!   with `#`-prefixed comment lines (the SNAP convention used by Pokec et al.).
+//! * **Label file** — one `node<TAB>class` pair per line; nodes missing from the file
+//!   are unlabeled.
+
+use fg_graph::{Graph, GraphError, Labeling, Result, SeedLabels};
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// Parse an edge list from a string. Node ids must be zero-based integers smaller than
+/// `n`. Lines that are empty or start with `#` are ignored.
+pub fn parse_edge_list(n: usize, content: &str) -> Result<Graph> {
+    let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+    for (line_no, line) in content.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let u = parse_node(parts.next(), line_no)?;
+        let v = parse_node(parts.next(), line_no)?;
+        let w = match parts.next() {
+            Some(tok) => tok.parse::<f64>().map_err(|_| {
+                GraphError::InvalidGeneratorConfig(format!(
+                    "line {}: invalid edge weight '{tok}'",
+                    line_no + 1
+                ))
+            })?,
+            None => 1.0,
+        };
+        edges.push((u, v, w));
+    }
+    Graph::from_weighted_edges(n, &edges)
+}
+
+fn parse_node(token: Option<&str>, line_no: usize) -> Result<usize> {
+    let tok = token.ok_or_else(|| {
+        GraphError::InvalidGeneratorConfig(format!("line {}: missing node id", line_no + 1))
+    })?;
+    tok.parse::<usize>().map_err(|_| {
+        GraphError::InvalidGeneratorConfig(format!(
+            "line {}: invalid node id '{tok}'",
+            line_no + 1
+        ))
+    })
+}
+
+/// Serialize a graph as an edge list (each undirected edge once, `u<TAB>v<TAB>weight`).
+pub fn format_edge_list(graph: &Graph) -> String {
+    let mut out = String::new();
+    out.push_str("# undirected edge list: u\tv\tweight\n");
+    for (u, v, w) in graph.edges() {
+        out.push_str(&format!("{u}\t{v}\t{w}\n"));
+    }
+    out
+}
+
+/// Parse a label file into a seed set over `n` nodes with `k` classes.
+pub fn parse_labels(n: usize, k: usize, content: &str) -> Result<SeedLabels> {
+    let mut observed = vec![None; n];
+    for (line_no, line) in content.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let node = parse_node(parts.next(), line_no)?;
+        let class = parse_node(parts.next(), line_no)?;
+        if node >= n {
+            return Err(GraphError::NodeOutOfBounds { node, n });
+        }
+        if class >= k {
+            return Err(GraphError::InvalidLabels(format!(
+                "line {}: class {class} out of range for k = {k}",
+                line_no + 1
+            )));
+        }
+        observed[node] = Some(class);
+    }
+    SeedLabels::new(observed, k)
+}
+
+/// Serialize a full labeling as a label file.
+pub fn format_labels(labeling: &Labeling) -> String {
+    let mut out = String::new();
+    out.push_str("# node\tclass\n");
+    for (i, &c) in labeling.as_slice().iter().enumerate() {
+        out.push_str(&format!("{i}\t{c}\n"));
+    }
+    out
+}
+
+/// Read a graph from an edge-list file.
+pub fn read_edge_list(path: &Path, n: usize) -> Result<Graph> {
+    let content = fs::read_to_string(path)
+        .map_err(|e| GraphError::InvalidGeneratorConfig(format!("cannot read {path:?}: {e}")))?;
+    parse_edge_list(n, &content)
+}
+
+/// Write a graph to an edge-list file.
+pub fn write_edge_list(path: &Path, graph: &Graph) -> Result<()> {
+    let mut file = fs::File::create(path)
+        .map_err(|e| GraphError::InvalidGeneratorConfig(format!("cannot create {path:?}: {e}")))?;
+    file.write_all(format_edge_list(graph).as_bytes())
+        .map_err(|e| GraphError::InvalidGeneratorConfig(format!("cannot write {path:?}: {e}")))
+}
+
+/// Read a seed-label file.
+pub fn read_labels(path: &Path, n: usize, k: usize) -> Result<SeedLabels> {
+    let content = fs::read_to_string(path)
+        .map_err(|e| GraphError::InvalidGeneratorConfig(format!("cannot read {path:?}: {e}")))?;
+    parse_labels(n, k, &content)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let graph = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let text = format_edge_list(&graph);
+        let parsed = parse_edge_list(4, &text).unwrap();
+        assert_eq!(parsed.num_edges(), 3);
+        assert!(parsed.has_edge(1, 2));
+    }
+
+    #[test]
+    fn edge_list_with_weights_and_comments() {
+        let text = "# comment\n0\t1\t2.5\n\n1 2 0.5\n";
+        let g = parse_edge_list(3, text).unwrap();
+        assert_eq!(g.adjacency().get(0, 1), 2.5);
+        assert_eq!(g.adjacency().get(2, 1), 0.5);
+    }
+
+    #[test]
+    fn malformed_edge_lines_rejected() {
+        assert!(parse_edge_list(3, "0\n").is_err());
+        assert!(parse_edge_list(3, "0\tx\n").is_err());
+        assert!(parse_edge_list(3, "0\t1\tabc\n").is_err());
+        assert!(parse_edge_list(2, "0\t5\n").is_err());
+    }
+
+    #[test]
+    fn label_roundtrip() {
+        let labeling = Labeling::new(vec![0, 2, 1, 0], 3).unwrap();
+        let text = format_labels(&labeling);
+        let seeds = parse_labels(4, 3, &text).unwrap();
+        assert_eq!(seeds.num_labeled(), 4);
+        assert_eq!(seeds.get(1), Some(2));
+    }
+
+    #[test]
+    fn partial_labels_parse() {
+        let seeds = parse_labels(5, 2, "0\t1\n3\t0\n").unwrap();
+        assert_eq!(seeds.num_labeled(), 2);
+        assert_eq!(seeds.get(4), None);
+    }
+
+    #[test]
+    fn label_validation() {
+        assert!(parse_labels(2, 2, "5\t0\n").is_err());
+        assert!(parse_labels(2, 2, "0\t7\n").is_err());
+        assert!(parse_labels(2, 2, "0\n").is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("fg_datasets_io_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("graph.tsv");
+        let graph = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        write_edge_list(&path, &graph).unwrap();
+        let read = read_edge_list(&path, 3).unwrap();
+        assert_eq!(read.num_edges(), 2);
+        assert!(read_edge_list(Path::new("/nonexistent/file"), 3).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,376 @@
+//! Class-compatibility matrices.
+//!
+//! A compatibility matrix `H` is a symmetric, doubly-stochastic `k x k` matrix whose
+//! entry `H_ce` gives the relative frequency with which a node of class `c` links to a
+//! node of class `e` (Section 3.1 of the paper). Homophily corresponds to a dominant
+//! diagonal, heterophily to dominant off-diagonal entries.
+
+use crate::error::{GraphError, Result};
+use fg_sparse::DenseMatrix;
+
+/// Numerical tolerance used when validating symmetry / stochasticity.
+pub const VALIDATION_TOL: f64 = 1e-6;
+
+/// A validated symmetric, doubly-stochastic class-compatibility matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompatibilityMatrix {
+    matrix: DenseMatrix,
+}
+
+impl CompatibilityMatrix {
+    /// Wrap a dense matrix after validating that it is square, symmetric, non-negative,
+    /// and doubly stochastic (within [`VALIDATION_TOL`]).
+    pub fn new(matrix: DenseMatrix) -> Result<Self> {
+        if !matrix.is_square() {
+            return Err(GraphError::InvalidCompatibility(format!(
+                "matrix must be square, got {}x{}",
+                matrix.rows(),
+                matrix.cols()
+            )));
+        }
+        if matrix.rows() == 0 {
+            return Err(GraphError::InvalidCompatibility("matrix is empty".into()));
+        }
+        if !matrix.is_symmetric(VALIDATION_TOL) {
+            return Err(GraphError::InvalidCompatibility(
+                "matrix must be symmetric".into(),
+            ));
+        }
+        if matrix.data().iter().any(|&v| v < -VALIDATION_TOL) {
+            return Err(GraphError::InvalidCompatibility(
+                "matrix entries must be non-negative".into(),
+            ));
+        }
+        if !matrix.is_doubly_stochastic(VALIDATION_TOL) {
+            return Err(GraphError::InvalidCompatibility(
+                "matrix rows and columns must sum to 1".into(),
+            ));
+        }
+        Ok(CompatibilityMatrix { matrix })
+    }
+
+    /// Build from nested rows (convenience wrapper around [`CompatibilityMatrix::new`]).
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        let m = DenseMatrix::from_rows(rows).map_err(GraphError::Sparse)?;
+        Self::new(m)
+    }
+
+    /// The uninformative uniform matrix with every entry `1/k`.
+    pub fn uniform(k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(GraphError::InvalidCompatibility("k must be positive".into()));
+        }
+        Self::new(DenseMatrix::filled(k, k, 1.0 / k as f64))
+    }
+
+    /// The `h`-skew matrix family used by the paper's synthetic experiments (Section 5).
+    ///
+    /// For `k = 3` this is exactly the paper's `H = [[1,h,1],[h,1,1],[1,1,h]] / (2+h)`.
+    /// For general `k` we generalize the same structure: classes are paired
+    /// `(0,1), (2,3), ...` and each pair attracts with weight `h` while every other pair
+    /// of classes attracts with weight `1`; an unpaired last class (odd `k`) attracts
+    /// itself with weight `h`. The result is symmetric and doubly stochastic with skew
+    /// ratio `max/min = h`.
+    pub fn h_skew(k: usize, h: f64) -> Result<Self> {
+        if k == 0 {
+            return Err(GraphError::InvalidCompatibility("k must be positive".into()));
+        }
+        if h <= 0.0 {
+            return Err(GraphError::InvalidCompatibility(
+                "skew h must be positive".into(),
+            ));
+        }
+        let denom = (k as f64 - 1.0) + h;
+        let mut m = DenseMatrix::filled(k, k, 1.0 / denom);
+        // Pair classes (0,1), (2,3), ...; if k is odd the last class pairs with itself.
+        let mut c = 0;
+        while c < k {
+            if c + 1 < k {
+                m.set(c, c + 1, h / denom);
+                m.set(c + 1, c, h / denom);
+                m.set(c, c, 1.0 / denom);
+                m.set(c + 1, c + 1, 1.0 / denom);
+                c += 2;
+            } else {
+                m.set(c, c, h / denom);
+                c += 1;
+            }
+        }
+        Self::new(m)
+    }
+
+    /// A pure-homophily matrix: diagonal weight `h`, off-diagonal weight `1`,
+    /// normalized to be doubly stochastic. Used for the homophily sanity-check
+    /// experiments (Fig. 6i).
+    pub fn homophily(k: usize, h: f64) -> Result<Self> {
+        if k == 0 {
+            return Err(GraphError::InvalidCompatibility("k must be positive".into()));
+        }
+        if h <= 0.0 {
+            return Err(GraphError::InvalidCompatibility(
+                "skew h must be positive".into(),
+            ));
+        }
+        let denom = (k as f64 - 1.0) + h;
+        let mut m = DenseMatrix::filled(k, k, 1.0 / denom);
+        for i in 0..k {
+            m.set(i, i, h / denom);
+        }
+        Self::new(m)
+    }
+
+    /// Number of classes `k`.
+    pub fn k(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    /// Number of free parameters `k* = k(k-1)/2` (Section 4).
+    pub fn free_parameters(&self) -> usize {
+        let k = self.k();
+        k * (k - 1) / 2
+    }
+
+    /// Entry accessor.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.matrix.get(i, j)
+    }
+
+    /// Borrow the underlying dense matrix.
+    pub fn as_dense(&self) -> &DenseMatrix {
+        &self.matrix
+    }
+
+    /// Consume and return the underlying dense matrix.
+    pub fn into_dense(self) -> DenseMatrix {
+        self.matrix
+    }
+
+    /// The residual (centered) matrix `H̃ = H - 1/k` used by LinBP (Section 2.3).
+    pub fn centered(&self) -> DenseMatrix {
+        self.matrix.centered()
+    }
+
+    /// Matrix power `H^ℓ` (also doubly stochastic and symmetric).
+    pub fn pow(&self, p: usize) -> DenseMatrix {
+        // A validated square matrix cannot fail to be powered.
+        self.matrix.pow(p).expect("compatibility matrix is square")
+    }
+
+    /// Frobenius (L2) distance to another `k x k` matrix, the metric reported in the
+    /// paper's Figures 6a/6b/6e/14.
+    pub fn l2_distance(&self, other: &DenseMatrix) -> Result<f64> {
+        self.matrix
+            .frobenius_distance(other)
+            .map_err(GraphError::Sparse)
+    }
+
+    /// Ratio of the largest to the smallest entry (the paper's skew `h`).
+    pub fn skew(&self) -> f64 {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &v in self.matrix.data() {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if min <= 0.0 {
+            f64::INFINITY
+        } else {
+            max / min
+        }
+    }
+
+    /// Whether the diagonal dominates (homophily) rather than off-diagonal entries.
+    pub fn is_homophilous(&self) -> bool {
+        let k = self.k();
+        let diag_mean: f64 = (0..k).map(|i| self.get(i, i)).sum::<f64>() / k as f64;
+        diag_mean > 1.0 / k as f64
+    }
+}
+
+/// Construct the "two-value heuristic" matrix of Appendix E.1: every entry of the gold
+/// standard is replaced by either a high value `H` or a low value `L` depending on
+/// whether it is above or below the mean entry `1/k`, then the result is projected back
+/// to a doubly-stochastic matrix by scaling rows/columns (Sinkhorn iterations).
+pub fn two_value_heuristic(gold: &CompatibilityMatrix, spread: f64) -> Result<CompatibilityMatrix> {
+    let k = gold.k();
+    let mean = 1.0 / k as f64;
+    let high = mean * (1.0 + spread);
+    let low = (mean * (1.0 - spread)).max(1e-6);
+    let mut m = DenseMatrix::zeros(k, k);
+    for i in 0..k {
+        for j in 0..k {
+            m.set(i, j, if gold.get(i, j) >= mean { high } else { low });
+        }
+    }
+    // Sinkhorn-Knopp projection to the doubly-stochastic polytope. Symmetry is preserved
+    // because the input is symmetric and row/column scalings alternate.
+    for _ in 0..500 {
+        let row_sums = m.row_sums();
+        for i in 0..k {
+            for j in 0..k {
+                m.set(i, j, m.get(i, j) / row_sums[i]);
+            }
+        }
+        let col_sums = m.col_sums();
+        for i in 0..k {
+            for j in 0..k {
+                m.set(i, j, m.get(i, j) / col_sums[j]);
+            }
+        }
+    }
+    // Symmetrize against residual asymmetry from finite iterations.
+    let sym = m.add(&m.transpose()).map_err(GraphError::Sparse)?.scaled(0.5);
+    CompatibilityMatrix::new(sym)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_matrix_is_valid() {
+        let h = CompatibilityMatrix::from_rows(&[
+            vec![0.2, 0.6, 0.2],
+            vec![0.6, 0.2, 0.2],
+            vec![0.2, 0.2, 0.6],
+        ])
+        .unwrap();
+        assert_eq!(h.k(), 3);
+        assert_eq!(h.free_parameters(), 3);
+        assert!(!h.is_homophilous());
+        assert!((h.skew() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let m = DenseMatrix::zeros(2, 3);
+        assert!(CompatibilityMatrix::new(m).is_err());
+    }
+
+    #[test]
+    fn rejects_non_symmetric() {
+        let m = DenseMatrix::from_rows(&[vec![0.5, 0.5], vec![0.4, 0.6]]).unwrap();
+        assert!(CompatibilityMatrix::new(m).is_err());
+    }
+
+    #[test]
+    fn rejects_non_stochastic() {
+        let m = DenseMatrix::from_rows(&[vec![0.5, 0.4], vec![0.4, 0.5]]).unwrap();
+        assert!(CompatibilityMatrix::new(m).is_err());
+    }
+
+    #[test]
+    fn rejects_negative_entries() {
+        let m = DenseMatrix::from_rows(&[vec![1.2, -0.2], vec![-0.2, 1.2]]).unwrap();
+        assert!(CompatibilityMatrix::new(m).is_err());
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(CompatibilityMatrix::uniform(0).is_err());
+        assert!(CompatibilityMatrix::h_skew(0, 3.0).is_err());
+        assert!(CompatibilityMatrix::h_skew(3, 0.0).is_err());
+        assert!(CompatibilityMatrix::homophily(0, 2.0).is_err());
+        assert!(CompatibilityMatrix::homophily(3, -1.0).is_err());
+    }
+
+    #[test]
+    fn uniform_matrix_entries() {
+        let h = CompatibilityMatrix::uniform(4).unwrap();
+        assert!((h.get(0, 0) - 0.25).abs() < 1e-12);
+        assert!((h.get(3, 1) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn h_skew_k3_matches_paper() {
+        // h=3 gives the matrix from Example 4.2 up to row permutation:
+        // [[1,3,1],[3,1,1],[1,1,3]]/5 = [[0.2,0.6,0.2],[0.6,0.2,0.2],[0.2,0.2,0.6]].
+        let h = CompatibilityMatrix::h_skew(3, 3.0).unwrap();
+        assert!((h.get(0, 1) - 0.6).abs() < 1e-12);
+        assert!((h.get(0, 0) - 0.2).abs() < 1e-12);
+        assert!((h.get(2, 2) - 0.6).abs() < 1e-12);
+        // h=8 gives the matrix from Example C.1.
+        let h8 = CompatibilityMatrix::h_skew(3, 8.0).unwrap();
+        assert!((h8.get(0, 1) - 0.8).abs() < 1e-12);
+        assert!((h8.get(2, 2) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn h_skew_valid_for_many_k() {
+        for k in 2..=8 {
+            let h = CompatibilityMatrix::h_skew(k, 5.0).unwrap();
+            assert!(h.as_dense().is_doubly_stochastic(1e-9));
+            assert!(h.as_dense().is_symmetric(1e-9));
+            assert!((h.skew() - 5.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn homophily_matrix_is_homophilous() {
+        let h = CompatibilityMatrix::homophily(3, 8.0).unwrap();
+        assert!(h.is_homophilous());
+        assert!(h.as_dense().is_doubly_stochastic(1e-9));
+        let het = CompatibilityMatrix::h_skew(3, 8.0).unwrap();
+        assert!(!het.is_homophilous());
+    }
+
+    #[test]
+    fn centered_rows_sum_to_zero() {
+        let h = CompatibilityMatrix::h_skew(3, 3.0).unwrap();
+        for s in h.centered().row_sums() {
+            assert!(s.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn powers_match_paper_example_4_2() {
+        // H^2 of the h=3 matrix has diagonal 0.44 and off-diagonal 0.28.
+        let h = CompatibilityMatrix::from_rows(&[
+            vec![0.2, 0.6, 0.2],
+            vec![0.6, 0.2, 0.2],
+            vec![0.2, 0.2, 0.6],
+        ])
+        .unwrap();
+        let h2 = h.pow(2);
+        assert!((h2.get(0, 0) - 0.44).abs() < 1e-12);
+        assert!((h2.get(0, 1) - 0.28).abs() < 1e-12);
+        // The paper reports the max entry series 0.6, 0.44, 0.376, 0.3504 for l=1..4.
+        let h3 = h.pow(3);
+        assert!((h3.get(0, 1) - 0.376).abs() < 1e-12);
+        let h4 = h.pow(4);
+        assert!((h4.get(0, 0) - 0.3504).abs() < 1e-12);
+    }
+
+    #[test]
+    fn powers_stay_doubly_stochastic() {
+        let h = CompatibilityMatrix::h_skew(4, 6.0).unwrap();
+        for p in 1..6 {
+            let hp = h.pow(p);
+            assert!(hp.is_doubly_stochastic(1e-9));
+            assert!(hp.is_symmetric(1e-9));
+        }
+    }
+
+    #[test]
+    fn l2_distance_to_self_is_zero() {
+        let h = CompatibilityMatrix::h_skew(3, 3.0).unwrap();
+        assert!(h.l2_distance(h.as_dense()).unwrap() < 1e-12);
+        let u = CompatibilityMatrix::uniform(3).unwrap();
+        assert!(h.l2_distance(u.as_dense()).unwrap() > 0.1);
+    }
+
+    #[test]
+    fn two_value_heuristic_is_valid_and_matches_structure() {
+        let gold = CompatibilityMatrix::from_rows(&[
+            vec![0.2, 0.6, 0.2],
+            vec![0.6, 0.2, 0.2],
+            vec![0.2, 0.2, 0.6],
+        ])
+        .unwrap();
+        let heur = two_value_heuristic(&gold, 0.5).unwrap();
+        assert_eq!(heur.k(), 3);
+        // High positions of the gold standard stay high in the heuristic.
+        assert!(heur.get(0, 1) > heur.get(0, 0));
+        assert!(heur.get(2, 2) > heur.get(2, 0));
+    }
+}

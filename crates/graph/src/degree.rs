@@ -1,0 +1,114 @@
+//! Degree-distribution families for the synthetic graph generator.
+//!
+//! The paper's generator "actively controls the degree distributions in the resulting
+//! graph" and runs its synthetic experiments with uniform and power-law (coefficient 0.3)
+//! distributions. A [`DegreeDistribution`] produces *relative* degree weights per node;
+//! the generator scales them so the expected total degree equals `2m`.
+
+use crate::error::{GraphError, Result};
+
+/// A family of node-degree distributions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DegreeDistribution {
+    /// Every node has the same expected degree.
+    Uniform,
+    /// Node `i` (after an implicit rank ordering) has relative weight `(i+1)^(-exponent)`.
+    /// The paper uses `exponent = 0.3`.
+    PowerLaw {
+        /// The power-law exponent (must be non-negative).
+        exponent: f64,
+    },
+}
+
+impl DegreeDistribution {
+    /// The paper's default power-law distribution (coefficient 0.3).
+    pub fn paper_power_law() -> Self {
+        DegreeDistribution::PowerLaw { exponent: 0.3 }
+    }
+
+    /// Generate relative degree weights for `n` nodes, normalized to sum to 1.
+    ///
+    /// The weights are deterministic per node index; the generator shuffles node
+    /// identities independently, so no randomness is needed here.
+    pub fn relative_weights(&self, n: usize) -> Result<Vec<f64>> {
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let weights: Vec<f64> = match self {
+            DegreeDistribution::Uniform => vec![1.0; n],
+            DegreeDistribution::PowerLaw { exponent } => {
+                if *exponent < 0.0 {
+                    return Err(GraphError::InvalidGeneratorConfig(
+                        "power-law exponent must be non-negative".into(),
+                    ));
+                }
+                (0..n).map(|i| ((i + 1) as f64).powf(-exponent)).collect()
+            }
+        };
+        let total: f64 = weights.iter().sum();
+        Ok(weights.into_iter().map(|w| w / total).collect())
+    }
+
+    /// Expected degree of each node for a graph with `m` undirected edges.
+    pub fn expected_degrees(&self, n: usize, m: usize) -> Result<Vec<f64>> {
+        let weights = self.relative_weights(n)?;
+        Ok(weights.into_iter().map(|w| w * 2.0 * m as f64).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_weights_are_equal() {
+        let w = DegreeDistribution::Uniform.relative_weights(5).unwrap();
+        assert_eq!(w.len(), 5);
+        for x in &w {
+            assert!((x - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn power_law_weights_decay() {
+        let w = DegreeDistribution::paper_power_law()
+            .relative_weights(100)
+            .unwrap();
+        assert!(w[0] > w[50]);
+        assert!(w[50] > w[99]);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_law_zero_exponent_is_uniform() {
+        let w = DegreeDistribution::PowerLaw { exponent: 0.0 }
+            .relative_weights(4)
+            .unwrap();
+        for x in &w {
+            assert!((x - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn negative_exponent_rejected() {
+        assert!(DegreeDistribution::PowerLaw { exponent: -1.0 }
+            .relative_weights(3)
+            .is_err());
+    }
+
+    #[test]
+    fn expected_degrees_sum_to_2m() {
+        let d = DegreeDistribution::paper_power_law()
+            .expected_degrees(10, 25)
+            .unwrap();
+        assert!((d.iter().sum::<f64>() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph_weights() {
+        assert!(DegreeDistribution::Uniform
+            .relative_weights(0)
+            .unwrap()
+            .is_empty());
+    }
+}

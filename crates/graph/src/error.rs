@@ -1,0 +1,81 @@
+//! Error type for graph construction and generation.
+
+use std::fmt;
+
+/// Errors produced while building graphs, labels, or compatibility matrices.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A compatibility matrix failed validation (not square / symmetric / stochastic).
+    InvalidCompatibility(String),
+    /// The label vector or label matrix is inconsistent with the graph or class count.
+    InvalidLabels(String),
+    /// The generator was asked for an impossible configuration.
+    InvalidGeneratorConfig(String),
+    /// An edge references a node outside the graph.
+    NodeOutOfBounds {
+        /// The offending node id.
+        node: usize,
+        /// Number of nodes in the graph.
+        n: usize,
+    },
+    /// Error bubbled up from the linear-algebra layer.
+    Sparse(fg_sparse::SparseError),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::InvalidCompatibility(msg) => write!(f, "invalid compatibility matrix: {msg}"),
+            GraphError::InvalidLabels(msg) => write!(f, "invalid labels: {msg}"),
+            GraphError::InvalidGeneratorConfig(msg) => write!(f, "invalid generator config: {msg}"),
+            GraphError::NodeOutOfBounds { node, n } => {
+                write!(f, "node {node} out of bounds for graph with {n} nodes")
+            }
+            GraphError::Sparse(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Sparse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fg_sparse::SparseError> for GraphError {
+    fn from(e: fg_sparse::SparseError) -> Self {
+        GraphError::Sparse(e)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(GraphError::InvalidCompatibility("x".into())
+            .to_string()
+            .contains("compatibility"));
+        assert!(GraphError::InvalidLabels("y".into()).to_string().contains("labels"));
+        assert!(GraphError::InvalidGeneratorConfig("z".into())
+            .to_string()
+            .contains("generator"));
+        assert!(GraphError::NodeOutOfBounds { node: 5, n: 3 }
+            .to_string()
+            .contains('5'));
+    }
+
+    #[test]
+    fn from_sparse_error() {
+        let e: GraphError = fg_sparse::SparseError::NotSquare { rows: 1, cols: 2 }.into();
+        assert!(e.to_string().contains("linear algebra"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

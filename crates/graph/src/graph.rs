@@ -1,0 +1,252 @@
+//! The undirected graph type used throughout the workspace.
+//!
+//! A [`Graph`] owns the symmetric weighted adjacency matrix `W` (CSR), its diagonal
+//! degree matrix `D`, and basic structural statistics. Everything downstream — label
+//! propagation, path summarization, estimation — consumes graphs through this type.
+
+use crate::error::{GraphError, Result};
+use fg_sparse::{CooMatrix, CsrMatrix};
+
+/// An undirected, optionally weighted graph backed by a symmetric CSR adjacency matrix.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    adjacency: CsrMatrix,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Build a graph from an undirected edge list. Each `(u, v)` pair is inserted in
+    /// both directions with weight 1. Self-loops are rejected, parallel edges are merged.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Self> {
+        Self::from_weighted_edges(
+            n,
+            &edges.iter().map(|&(u, v)| (u, v, 1.0)).collect::<Vec<_>>(),
+        )
+    }
+
+    /// Build a graph from a weighted undirected edge list.
+    pub fn from_weighted_edges(n: usize, edges: &[(usize, usize, f64)]) -> Result<Self> {
+        let mut coo = CooMatrix::with_capacity(n, n, edges.len() * 2);
+        for &(u, v, w) in edges {
+            if u >= n {
+                return Err(GraphError::NodeOutOfBounds { node: u, n });
+            }
+            if v >= n {
+                return Err(GraphError::NodeOutOfBounds { node: v, n });
+            }
+            if u == v {
+                return Err(GraphError::InvalidGeneratorConfig(format!(
+                    "self-loop on node {u} is not allowed"
+                )));
+            }
+            coo.push_symmetric(u, v, w)?;
+        }
+        let adjacency = coo.to_csr();
+        let num_edges = adjacency.nnz() / 2;
+        Ok(Graph {
+            adjacency,
+            num_edges,
+        })
+    }
+
+    /// Wrap an existing symmetric adjacency matrix.
+    pub fn from_adjacency(adjacency: CsrMatrix) -> Result<Self> {
+        if !adjacency.is_square() {
+            return Err(GraphError::InvalidGeneratorConfig(format!(
+                "adjacency must be square, got {}x{}",
+                adjacency.rows(),
+                adjacency.cols()
+            )));
+        }
+        if !adjacency.is_symmetric(1e-9) {
+            return Err(GraphError::InvalidGeneratorConfig(
+                "adjacency must be symmetric".into(),
+            ));
+        }
+        if adjacency.diagonal().iter().any(|&d| d != 0.0) {
+            return Err(GraphError::InvalidGeneratorConfig(
+                "adjacency must have an empty diagonal (no self-loops)".into(),
+            ));
+        }
+        let num_edges = adjacency.nnz() / 2;
+        Ok(Graph {
+            adjacency,
+            num_edges,
+        })
+    }
+
+    /// Number of nodes `n`.
+    pub fn num_nodes(&self) -> usize {
+        self.adjacency.rows()
+    }
+
+    /// Number of undirected edges `m`.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Average degree `d = 2m / n`.
+    pub fn average_degree(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            0.0
+        } else {
+            2.0 * self.num_edges as f64 / self.num_nodes() as f64
+        }
+    }
+
+    /// The symmetric adjacency matrix `W`.
+    pub fn adjacency(&self) -> &CsrMatrix {
+        &self.adjacency
+    }
+
+    /// The weighted degree of node `i` (sum of incident edge weights).
+    pub fn degree(&self, i: usize) -> f64 {
+        self.adjacency.row(i).1.iter().sum()
+    }
+
+    /// Weighted degrees of all nodes (the diagonal of `D`).
+    pub fn degrees(&self) -> Vec<f64> {
+        self.adjacency.row_sums()
+    }
+
+    /// The diagonal degree matrix `D`.
+    pub fn degree_matrix(&self) -> CsrMatrix {
+        CsrMatrix::from_diagonal(&self.degrees())
+    }
+
+    /// The diagonal matrix `D - I` used by the non-backtracking recurrence (Prop. 4.3).
+    pub fn degree_minus_identity(&self) -> CsrMatrix {
+        let diag: Vec<f64> = self.degrees().iter().map(|&d| d - 1.0).collect();
+        CsrMatrix::from_diagonal(&diag)
+    }
+
+    /// Neighbors of node `i` (column indices of row `i`).
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        self.adjacency.row(i).0
+    }
+
+    /// Neighbors of node `i` together with edge weights.
+    pub fn neighbors_weighted(&self, i: usize) -> (&[usize], &[f64]) {
+        self.adjacency.row(i)
+    }
+
+    /// Whether an edge `(u, v)` exists.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adjacency.get(u, v) != 0.0
+    }
+
+    /// Iterate over each undirected edge once as `(u, v, weight)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.adjacency.iter().filter(|&(u, v, _)| u < v)
+    }
+
+    /// Estimated spectral radius of `W` (needed for LinBP's scaling factor, Eq. 2).
+    pub fn spectral_radius(&self) -> Result<f64> {
+        fg_sparse::spectral_radius(&self.adjacency).map_err(GraphError::Sparse)
+    }
+
+    /// Count of isolated (degree-zero) nodes.
+    pub fn num_isolated_nodes(&self) -> usize {
+        (0..self.num_nodes())
+            .filter(|&i| self.adjacency.row_nnz(i) == 0)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_pendant() -> Graph {
+        // Triangle 0-1-2 plus pendant node 3 attached to node 2.
+        Graph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn from_edges_basic_counts() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert!((g.average_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_edges_rejects_out_of_bounds() {
+        assert!(Graph::from_edges(2, &[(0, 5)]).is_err());
+        assert!(Graph::from_edges(2, &[(5, 0)]).is_err());
+    }
+
+    #[test]
+    fn from_edges_rejects_self_loops() {
+        assert!(Graph::from_edges(3, &[(1, 1)]).is_err());
+    }
+
+    #[test]
+    fn parallel_edges_are_merged() {
+        let g = Graph::from_edges(3, &[(0, 1), (0, 1)]).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.adjacency().get(0, 1), 2.0); // weights accumulate
+    }
+
+    #[test]
+    fn weighted_edges() {
+        let g = Graph::from_weighted_edges(3, &[(0, 1, 2.5), (1, 2, 0.5)]).unwrap();
+        assert_eq!(g.degree(1), 3.0);
+        assert_eq!(g.adjacency().get(2, 1), 0.5);
+    }
+
+    #[test]
+    fn from_adjacency_validation() {
+        let sym = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (1, 0, 1.0)]);
+        assert!(Graph::from_adjacency(sym).is_ok());
+        let asym = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0)]);
+        assert!(Graph::from_adjacency(asym).is_err());
+        let non_square = CsrMatrix::zeros(2, 3);
+        assert!(Graph::from_adjacency(non_square).is_err());
+        let self_loop = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0)]);
+        assert!(Graph::from_adjacency(self_loop).is_err());
+    }
+
+    #[test]
+    fn degrees_and_degree_matrix() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.degrees(), vec![2.0, 2.0, 3.0, 1.0]);
+        let d = g.degree_matrix();
+        assert_eq!(d.get(2, 2), 3.0);
+        assert_eq!(d.nnz(), 4);
+        let dmi = g.degree_minus_identity();
+        assert_eq!(dmi.get(2, 2), 2.0);
+        assert_eq!(dmi.get(3, 3), 0.0); // 1 - 1 = 0 is dropped
+    }
+
+    #[test]
+    fn neighbors_and_edges() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 3));
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 4);
+        assert!(edges.iter().all(|&(u, v, _)| u < v));
+    }
+
+    #[test]
+    fn spectral_radius_of_triangle() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        assert!((g.spectral_radius().unwrap() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn isolated_nodes_counted() {
+        let g = Graph::from_edges(5, &[(0, 1)]).unwrap();
+        assert_eq!(g.num_isolated_nodes(), 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, &[]).unwrap();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+    }
+}

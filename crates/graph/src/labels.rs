@@ -1,0 +1,411 @@
+//! Node labels, seed sets, and label matrices.
+//!
+//! The estimation pipeline sees labels in two forms: the (unknown) ground-truth labeling
+//! of every node, and the *observed* partial labeling of a small seed fraction `f`.
+//! The observed labels are encoded as the explicit-belief matrix `X` (`n x k`, one-hot
+//! rows for labeled nodes, zero rows otherwise) used by both LinBP and the estimators.
+
+use crate::error::{GraphError, Result};
+use fg_sparse::DenseMatrix;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A complete ground-truth labeling: every node has exactly one class in `0..k`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Labeling {
+    labels: Vec<usize>,
+    k: usize,
+}
+
+impl Labeling {
+    /// Create a labeling, validating that every label is `< k`.
+    pub fn new(labels: Vec<usize>, k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(GraphError::InvalidLabels("k must be positive".into()));
+        }
+        if let Some(&bad) = labels.iter().find(|&&c| c >= k) {
+            return Err(GraphError::InvalidLabels(format!(
+                "label {bad} out of range for k = {k}"
+            )));
+        }
+        Ok(Labeling { labels, k })
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of classes.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The class of node `i`.
+    pub fn class_of(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// Borrow the label vector.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Count of nodes per class.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.k];
+        for &c in &self.labels {
+            counts[c] += 1;
+        }
+        counts
+    }
+
+    /// Fraction of nodes per class (the paper's `α`).
+    pub fn class_distribution(&self) -> Vec<f64> {
+        let n = self.n().max(1) as f64;
+        self.class_counts().iter().map(|&c| c as f64 / n).collect()
+    }
+
+    /// Indices of all nodes of a given class.
+    pub fn nodes_of_class(&self, class: usize) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == class)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Build the fully-labeled one-hot matrix (every row one-hot). This is what the gold
+    /// standard measurement uses.
+    pub fn to_full_matrix(&self) -> DenseMatrix {
+        let mut x = DenseMatrix::zeros(self.n(), self.k);
+        for (i, &c) in self.labels.iter().enumerate() {
+            x.set(i, c, 1.0);
+        }
+        x
+    }
+
+    /// Draw a stratified random seed set with overall label fraction `f`: classes are
+    /// sampled in proportion to their frequencies (Section 5, "Quality assessment").
+    /// At least one node per class is kept whenever the class is non-empty and
+    /// `f > 0`, so the estimators always see every class at least once.
+    pub fn stratified_sample<R: Rng + ?Sized>(&self, f: f64, rng: &mut R) -> SeedLabels {
+        let mut observed = vec![None; self.n()];
+        if f <= 0.0 {
+            return SeedLabels::new(observed, self.k).expect("valid by construction");
+        }
+        for class in 0..self.k {
+            let mut members = self.nodes_of_class(class);
+            if members.is_empty() {
+                continue;
+            }
+            members.shuffle(rng);
+            let take = ((members.len() as f64 * f).round() as usize)
+                .max(1)
+                .min(members.len());
+            for &node in members.iter().take(take) {
+                observed[node] = Some(class);
+            }
+        }
+        SeedLabels::new(observed, self.k).expect("valid by construction")
+    }
+}
+
+/// A partial labeling: the seed labels visible to the estimation and propagation steps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeedLabels {
+    observed: Vec<Option<usize>>,
+    k: usize,
+}
+
+impl SeedLabels {
+    /// Create a seed set, validating that every present label is `< k`.
+    pub fn new(observed: Vec<Option<usize>>, k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(GraphError::InvalidLabels("k must be positive".into()));
+        }
+        if let Some(bad) = observed.iter().flatten().find(|&&c| c >= k) {
+            return Err(GraphError::InvalidLabels(format!(
+                "seed label {bad} out of range for k = {k}"
+            )));
+        }
+        Ok(SeedLabels { observed, k })
+    }
+
+    /// Create a seed set that reveals every label of a full labeling (f = 1).
+    pub fn fully_labeled(labeling: &Labeling) -> Self {
+        SeedLabels {
+            observed: labeling.as_slice().iter().map(|&c| Some(c)).collect(),
+            k: labeling.k(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.observed.len()
+    }
+
+    /// Number of classes.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The observed class of node `i`, if labeled.
+    pub fn get(&self, i: usize) -> Option<usize> {
+        self.observed[i]
+    }
+
+    /// Borrow the observation vector.
+    pub fn as_slice(&self) -> &[Option<usize>] {
+        &self.observed
+    }
+
+    /// Number of labeled nodes.
+    pub fn num_labeled(&self) -> usize {
+        self.observed.iter().filter(|o| o.is_some()).count()
+    }
+
+    /// The realized label fraction `f`.
+    pub fn label_fraction(&self) -> f64 {
+        if self.observed.is_empty() {
+            0.0
+        } else {
+            self.num_labeled() as f64 / self.observed.len() as f64
+        }
+    }
+
+    /// Indices of labeled nodes.
+    pub fn labeled_nodes(&self) -> Vec<usize> {
+        self.observed
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.is_some())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of unlabeled nodes.
+    pub fn unlabeled_nodes(&self) -> Vec<usize> {
+        self.observed
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.is_none())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Per-class counts over the labeled nodes only.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.k];
+        for c in self.observed.iter().flatten() {
+            counts[*c] += 1;
+        }
+        counts
+    }
+
+    /// Build the explicit-belief matrix `X` (`n x k`): one-hot rows for labeled nodes,
+    /// all-zero rows for unlabeled nodes.
+    pub fn to_matrix(&self) -> DenseMatrix {
+        let mut x = DenseMatrix::zeros(self.n(), self.k);
+        for (i, o) in self.observed.iter().enumerate() {
+            if let Some(c) = o {
+                x.set(i, *c, 1.0);
+            }
+        }
+        x
+    }
+
+    /// Split the labeled nodes into `b` (seed, holdout) partitions for the Holdout
+    /// baseline (Section 4.1). The labeled nodes are divided into `max(b, 2)` folds;
+    /// partition `q` holds out fold `q` and keeps the remaining folds as seeds, so even
+    /// `b = 1` produces a proper split rather than an empty seed set.
+    pub fn holdout_partitions(&self, b: usize) -> Vec<(SeedLabels, SeedLabels)> {
+        let b = b.max(1);
+        let folds = b.max(2);
+        let labeled = self.labeled_nodes();
+        let mut partitions = Vec::with_capacity(b);
+        for q in 0..b {
+            let mut seed = vec![None; self.n()];
+            let mut holdout = vec![None; self.n()];
+            for (pos, &node) in labeled.iter().enumerate() {
+                let class = self.observed[node];
+                if pos % folds == q {
+                    holdout[node] = class;
+                } else {
+                    seed[node] = class;
+                }
+            }
+            partitions.push((
+                SeedLabels::new(seed, self.k).expect("valid by construction"),
+                SeedLabels::new(holdout, self.k).expect("valid by construction"),
+            ));
+        }
+        partitions
+    }
+
+    /// Restrict this seed set to a subset of nodes (everything else becomes unlabeled).
+    pub fn restricted_to(&self, nodes: &[usize]) -> SeedLabels {
+        let mut observed = vec![None; self.n()];
+        for &i in nodes {
+            observed[i] = self.observed[i];
+        }
+        SeedLabels {
+            observed,
+            k: self.k,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_labeling() -> Labeling {
+        Labeling::new(vec![0, 0, 1, 1, 2, 2, 0, 1, 2, 0], 3).unwrap()
+    }
+
+    #[test]
+    fn labeling_validation() {
+        assert!(Labeling::new(vec![0, 1, 2], 3).is_ok());
+        assert!(Labeling::new(vec![0, 3], 3).is_err());
+        assert!(Labeling::new(vec![], 0).is_err());
+    }
+
+    #[test]
+    fn class_counts_and_distribution() {
+        let l = sample_labeling();
+        assert_eq!(l.class_counts(), vec![4, 3, 3]);
+        let dist = l.class_distribution();
+        assert!((dist[0] - 0.4).abs() < 1e-12);
+        assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nodes_of_class_returns_members() {
+        let l = sample_labeling();
+        assert_eq!(l.nodes_of_class(2), vec![4, 5, 8]);
+    }
+
+    #[test]
+    fn full_matrix_is_one_hot() {
+        let l = sample_labeling();
+        let x = l.to_full_matrix();
+        assert_eq!(x.shape(), (10, 3));
+        for i in 0..10 {
+            assert!((x.row(i).iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            assert_eq!(x.get(i, l.class_of(i)), 1.0);
+        }
+    }
+
+    #[test]
+    fn stratified_sample_respects_fraction_and_classes() {
+        let l = sample_labeling();
+        let mut rng = StdRng::seed_from_u64(42);
+        let seeds = l.stratified_sample(0.5, &mut rng);
+        // roughly half per class (rounded), and at least one per class
+        let counts = seeds.class_counts();
+        assert!(counts.iter().all(|&c| c >= 1));
+        assert_eq!(seeds.num_labeled(), counts.iter().sum::<usize>());
+        assert!(seeds.label_fraction() > 0.3 && seeds.label_fraction() < 0.7);
+        // all observed labels agree with the ground truth
+        for (i, o) in seeds.as_slice().iter().enumerate() {
+            if let Some(c) = o {
+                assert_eq!(*c, l.class_of(i));
+            }
+        }
+    }
+
+    #[test]
+    fn stratified_sample_zero_fraction_is_empty() {
+        let l = sample_labeling();
+        let mut rng = StdRng::seed_from_u64(1);
+        let seeds = l.stratified_sample(0.0, &mut rng);
+        assert_eq!(seeds.num_labeled(), 0);
+    }
+
+    #[test]
+    fn stratified_sample_keeps_at_least_one_per_class() {
+        let l = sample_labeling();
+        let mut rng = StdRng::seed_from_u64(7);
+        let seeds = l.stratified_sample(0.01, &mut rng);
+        assert_eq!(seeds.num_labeled(), 3); // one per class
+    }
+
+    #[test]
+    fn seed_labels_validation() {
+        assert!(SeedLabels::new(vec![Some(0), None], 1).is_ok());
+        assert!(SeedLabels::new(vec![Some(1)], 1).is_err());
+        assert!(SeedLabels::new(vec![], 0).is_err());
+    }
+
+    #[test]
+    fn fully_labeled_matches_ground_truth() {
+        let l = sample_labeling();
+        let seeds = SeedLabels::fully_labeled(&l);
+        assert_eq!(seeds.num_labeled(), l.n());
+        assert!((seeds.label_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn to_matrix_has_zero_rows_for_unlabeled() {
+        let seeds = SeedLabels::new(vec![Some(1), None, Some(0)], 2).unwrap();
+        let x = seeds.to_matrix();
+        assert_eq!(x.get(0, 1), 1.0);
+        assert_eq!(x.row(1), &[0.0, 0.0]);
+        assert_eq!(x.get(2, 0), 1.0);
+    }
+
+    #[test]
+    fn labeled_and_unlabeled_partition() {
+        let seeds = SeedLabels::new(vec![Some(1), None, Some(0), None], 2).unwrap();
+        assert_eq!(seeds.labeled_nodes(), vec![0, 2]);
+        assert_eq!(seeds.unlabeled_nodes(), vec![1, 3]);
+    }
+
+    #[test]
+    fn holdout_partitions_are_disjoint_and_cover() {
+        let l = sample_labeling();
+        let seeds = SeedLabels::fully_labeled(&l);
+        let parts = seeds.holdout_partitions(3);
+        assert_eq!(parts.len(), 3);
+        for (seed, holdout) in &parts {
+            // disjoint
+            for i in 0..seeds.n() {
+                assert!(!(seed.get(i).is_some() && holdout.get(i).is_some()));
+            }
+            // together they cover all labeled nodes
+            assert_eq!(
+                seed.num_labeled() + holdout.num_labeled(),
+                seeds.num_labeled()
+            );
+            assert!(holdout.num_labeled() > 0);
+        }
+    }
+
+    #[test]
+    fn holdout_partition_b1_is_a_proper_split() {
+        let l = sample_labeling();
+        let seeds = SeedLabels::fully_labeled(&l);
+        let parts = seeds.holdout_partitions(1);
+        assert_eq!(parts.len(), 1);
+        let (seed, holdout) = &parts[0];
+        assert!(seed.num_labeled() > 0);
+        assert!(holdout.num_labeled() > 0);
+        assert_eq!(
+            seed.num_labeled() + holdout.num_labeled(),
+            seeds.num_labeled()
+        );
+    }
+
+    #[test]
+    fn restricted_to_subset() {
+        let seeds = SeedLabels::new(vec![Some(1), Some(0), Some(1)], 2).unwrap();
+        let r = seeds.restricted_to(&[0, 2]);
+        assert_eq!(r.get(0), Some(1));
+        assert_eq!(r.get(1), None);
+        assert_eq!(r.get(2), Some(1));
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for graph construction, compatibility matrices, and the
+//! synthetic generator.
+
+use fg_graph::{
+    generate, measure_compatibilities, CompatibilityMatrix, DegreeDistribution, GeneratorConfig,
+    Graph, Labeling,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn graph_from_edges_is_symmetric(edges in proptest::collection::vec((0usize..20, 0usize..20), 0..60)) {
+        let filtered: Vec<(usize, usize)> = edges.into_iter().filter(|(u, v)| u != v).collect();
+        let g = Graph::from_edges(20, &filtered).unwrap();
+        prop_assert!(g.adjacency().is_symmetric(0.0));
+        // Handshake lemma: sum of degrees equals 2m (unit weights, duplicates merged add weight).
+        let total_weight: f64 = g.degrees().iter().sum();
+        let stored: f64 = g.adjacency().values().iter().sum();
+        prop_assert!((total_weight - stored).abs() < 1e-9);
+    }
+
+    #[test]
+    fn h_skew_always_valid(k in 2usize..8, h in 1.0f64..20.0) {
+        let m = CompatibilityMatrix::h_skew(k, h).unwrap();
+        prop_assert!(m.as_dense().is_doubly_stochastic(1e-9));
+        prop_assert!(m.as_dense().is_symmetric(1e-9));
+        prop_assert_eq!(m.k(), k);
+    }
+
+    #[test]
+    fn homophily_matrix_always_valid(k in 2usize..8, h in 1.1f64..20.0) {
+        let m = CompatibilityMatrix::homophily(k, h).unwrap();
+        prop_assert!(m.as_dense().is_doubly_stochastic(1e-9));
+        prop_assert!(m.is_homophilous());
+    }
+
+    #[test]
+    fn compatibility_powers_stay_doubly_stochastic(k in 2usize..6, h in 1.0f64..10.0, p in 1usize..6) {
+        let m = CompatibilityMatrix::h_skew(k, h).unwrap();
+        let mp = m.pow(p);
+        prop_assert!(mp.is_doubly_stochastic(1e-8));
+        prop_assert!(mp.is_symmetric(1e-8));
+    }
+
+    #[test]
+    fn stratified_sampling_fraction(f in 0.05f64..1.0, seed in 0u64..1000) {
+        let labels: Vec<usize> = (0..300).map(|i| i % 3).collect();
+        let labeling = Labeling::new(labels, 3).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let seeds = labeling.stratified_sample(f, &mut rng);
+        let realized = seeds.label_fraction();
+        prop_assert!((realized - f).abs() < 0.05 + 3.0 / 300.0);
+        // Every seed label matches ground truth.
+        for (i, o) in seeds.as_slice().iter().enumerate() {
+            if let Some(c) = o {
+                prop_assert_eq!(*c, labeling.class_of(i));
+            }
+        }
+    }
+
+    #[test]
+    fn degree_distribution_weights_normalized(n in 1usize..500, exp in 0.0f64..2.0) {
+        let w = DegreeDistribution::PowerLaw { exponent: exp }.relative_weights(n).unwrap();
+        prop_assert_eq!(w.len(), n);
+        prop_assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(w.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn generator_respects_node_and_class_counts(
+        n in 60usize..300,
+        k in 2usize..5,
+        h in 2.0f64..8.0,
+        seed in 0u64..100,
+    ) {
+        let cfg = GeneratorConfig::balanced(n, 6.0, k, h).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let syn = generate(&cfg, &mut rng).unwrap();
+        prop_assert_eq!(syn.graph.num_nodes(), n);
+        prop_assert_eq!(syn.labeling.n(), n);
+        let counts = syn.labeling.class_counts();
+        prop_assert_eq!(counts.len(), k);
+        prop_assert!(counts.iter().all(|&c| c > 0));
+        // No self loops by construction.
+        prop_assert!(syn.graph.adjacency().diagonal().iter().all(|&d| d == 0.0));
+    }
+
+    #[test]
+    fn measured_gs_is_row_stochastic(seed in 0u64..50) {
+        let cfg = GeneratorConfig::balanced(200, 8.0, 3, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let syn = generate(&cfg, &mut rng).unwrap();
+        let gs = measure_compatibilities(&syn.graph, &syn.labeling).unwrap();
+        for s in gs.row_sums() {
+            // A class with no incident edges would give a zero row; with d=8 that is
+            // practically impossible, but allow it formally.
+            prop_assert!(s.abs() < 1e-9 || (s - 1.0).abs() < 1e-9);
+        }
+    }
+}

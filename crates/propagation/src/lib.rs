@@ -1,0 +1,34 @@
+//! # fg-propagation
+//!
+//! Label-propagation algorithms for the `factorized-graphs` workspace:
+//!
+//! * [`linbp`] — Linearized Belief Propagation, the propagation method the paper's
+//!   compatibility estimation is designed for (Eq. 1/4, Theorem 3.1), including the
+//!   spectral-radius-based convergence scaling of Eq. 2.
+//! * [`bp`] — full loopy Belief Propagation, the reference method LinBP approximates.
+//! * [`random_walk`] — MultiRankWalk-style random walks with restarts (homophily
+//!   baseline, Section 2.4).
+//! * [`harmonic`] — harmonic-functions label propagation (the "Homophily" baseline of
+//!   Fig. 6i).
+//! * [`metrics`] — accuracy and macro-averaged accuracy as used in the evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bp;
+pub mod harmonic;
+pub mod linbp;
+pub mod metrics;
+pub mod random_walk;
+
+pub use bp::{propagate_bp, BpConfig, BpResult};
+pub use harmonic::{harmonic_functions, HarmonicConfig, HarmonicResult};
+pub use linbp::{
+    convergence_epsilon, label, propagate, LinBpConfig, PropagationResult,
+    DEFAULT_CONVERGENCE_FRACTION, DEFAULT_ITERATIONS,
+};
+pub use metrics::{
+    accuracy, confusion_matrix, holdout_accuracy, macro_accuracy, random_baseline,
+    unlabeled_accuracy,
+};
+pub use random_walk::{multi_rank_walk, RandomWalkConfig, RandomWalkResult};

@@ -1,0 +1,400 @@
+//! Linearized Belief Propagation (LinBP).
+//!
+//! LinBP (Gatterbauer et al., PVLDB 2015; Section 2.3 of the paper) replaces the
+//! multiplicative update equations of loopy belief propagation with the linear system
+//!
+//! ```text
+//! F ← X + W F Hε          (uncentered form, Eq. 4)
+//! ```
+//!
+//! where `Hε = ε·H` and the scaling factor `ε` is chosen from the spectral radii of `W`
+//! and the *centered* compatibility matrix `H̃` so that the iteration converges
+//! (`ρ(εH̃) < 1/ρ(W)`, Eq. 2). Theorem 3.1 shows the final labels are identical whether
+//! the centered residuals (`X̃`, `H̃`) or the raw matrices (`X`, `H`) are propagated, so
+//! both modes are provided; the echo-cancellation term is omitted exactly as the paper
+//! recommends.
+
+use crate::metrics;
+use fg_graph::{Graph, GraphError, Labeling, Result, SeedLabels};
+use fg_sparse::{spectral_radius_dense, DenseMatrix};
+
+/// How aggressively to scale the compatibility matrix relative to the convergence
+/// boundary (the paper's `s`; `s = 0.5` is the setting used in Section 5.3).
+pub const DEFAULT_CONVERGENCE_FRACTION: f64 = 0.5;
+
+/// Default number of propagation iterations (the paper labels with 10 iterations).
+pub const DEFAULT_ITERATIONS: usize = 10;
+
+/// Configuration for LinBP propagation.
+#[derive(Debug, Clone)]
+pub struct LinBpConfig {
+    /// Maximum number of iterations.
+    pub max_iterations: usize,
+    /// Fraction `s` of the convergence boundary used for the scaling factor `ε`.
+    pub convergence_fraction: f64,
+    /// Propagate centered residuals (`X̃`, `H̃`) instead of the raw matrices. The final
+    /// labels are identical (Theorem 3.1); the centered form also converges numerically.
+    pub centered: bool,
+    /// Optional early-stopping tolerance on the maximum absolute belief change.
+    pub tolerance: Option<f64>,
+    /// Optional explicit scaling factor `ε`; when set, the spectral-radius computation
+    /// is skipped entirely.
+    pub explicit_epsilon: Option<f64>,
+}
+
+impl Default for LinBpConfig {
+    fn default() -> Self {
+        LinBpConfig {
+            max_iterations: DEFAULT_ITERATIONS,
+            convergence_fraction: DEFAULT_CONVERGENCE_FRACTION,
+            centered: true,
+            tolerance: Some(1e-6),
+            explicit_epsilon: None,
+        }
+    }
+}
+
+/// The outcome of a propagation run.
+#[derive(Debug, Clone)]
+pub struct PropagationResult {
+    /// Final belief matrix `F` (`n x k`).
+    pub beliefs: DenseMatrix,
+    /// Predicted class per node (`argmax` of each belief row).
+    pub predictions: Vec<usize>,
+    /// Number of iterations actually executed.
+    pub iterations: usize,
+    /// Whether the early-stopping tolerance was reached before `max_iterations`.
+    pub converged: bool,
+    /// The scaling factor `ε` that was applied to `H`.
+    pub epsilon: f64,
+}
+
+impl PropagationResult {
+    /// End-to-end macro-averaged accuracy on the unlabeled nodes.
+    pub fn accuracy(&self, truth: &Labeling, seeds: &SeedLabels) -> f64 {
+        metrics::unlabeled_accuracy(&self.predictions, truth, seeds)
+    }
+}
+
+/// Compute the convergence scaling factor `ε = s / (ρ(W)·ρ(H̃))` (Eq. 2).
+///
+/// Returns `ε = s` when either spectral radius is (numerically) zero, which only happens
+/// for degenerate graphs with no edges or an exactly uniform compatibility matrix; in
+/// both cases propagation is a no-op so any finite scaling works.
+pub fn convergence_epsilon(graph: &Graph, h: &DenseMatrix, fraction: f64) -> Result<f64> {
+    let rho_w = graph.spectral_radius()?;
+    let h_centered = h.centered();
+    let rho_h = spectral_radius_dense(&h_centered, 1000, 1e-10).map_err(GraphError::Sparse)?;
+    if rho_w <= 1e-12 || rho_h <= 1e-12 {
+        return Ok(fraction);
+    }
+    Ok(fraction / (rho_w * rho_h))
+}
+
+/// Run LinBP label propagation.
+///
+/// * `graph` — the undirected graph (`W`).
+/// * `seeds` — the observed labels, encoded as explicit beliefs `X`.
+/// * `h` — a `k x k` compatibility matrix (need not be centered).
+/// * `config` — iteration and scaling parameters.
+pub fn propagate(
+    graph: &Graph,
+    seeds: &SeedLabels,
+    h: &DenseMatrix,
+    config: &LinBpConfig,
+) -> Result<PropagationResult> {
+    if seeds.n() != graph.num_nodes() {
+        return Err(GraphError::InvalidLabels(format!(
+            "seed labels cover {} nodes but graph has {}",
+            seeds.n(),
+            graph.num_nodes()
+        )));
+    }
+    if h.rows() != seeds.k() || h.cols() != seeds.k() {
+        return Err(GraphError::InvalidCompatibility(format!(
+            "H is {}x{} but k = {}",
+            h.rows(),
+            h.cols(),
+            seeds.k()
+        )));
+    }
+    let epsilon = match config.explicit_epsilon {
+        Some(e) => e,
+        None => convergence_epsilon(graph, h, config.convergence_fraction)?,
+    };
+
+    let x_raw = seeds.to_matrix();
+    let (x, h_used) = if config.centered {
+        (prior_residuals(seeds), h.centered())
+    } else {
+        (x_raw, h.clone())
+    };
+    let h_eff = h_used.scaled(epsilon);
+
+    let w = graph.adjacency();
+    let mut f = x.clone();
+    let mut iterations = 0;
+    let mut converged = false;
+    for _ in 0..config.max_iterations {
+        // F_next = X + W (F Hε): the inner product keeps everything n x k.
+        let fh = f.matmul(&h_eff).map_err(GraphError::Sparse)?;
+        let wfh = w.spmm_dense(&fh).map_err(GraphError::Sparse)?;
+        let f_next = x.add(&wfh).map_err(GraphError::Sparse)?;
+        iterations += 1;
+        if let Some(tol) = config.tolerance {
+            let delta = max_abs_diff(&f, &f_next);
+            if delta <= tol {
+                f = f_next;
+                converged = true;
+                break;
+            }
+        }
+        f = f_next;
+    }
+
+    let predictions = label(&f);
+    Ok(PropagationResult {
+        beliefs: f,
+        predictions,
+        iterations,
+        converged,
+        epsilon,
+    })
+}
+
+/// The residual prior-belief matrix `X̃`: labeled nodes get a centered one-hot row
+/// (`1 - 1/k` on their class, `-1/k` elsewhere), unlabeled nodes stay at zero.
+fn prior_residuals(seeds: &SeedLabels) -> DenseMatrix {
+    let k = seeds.k();
+    let mut x = DenseMatrix::zeros(seeds.n(), k);
+    for i in 0..seeds.n() {
+        if let Some(c) = seeds.get(i) {
+            for j in 0..k {
+                x.set(i, j, if j == c { 1.0 - 1.0 / k as f64 } else { -1.0 / k as f64 });
+            }
+        }
+    }
+    x
+}
+
+/// Assign each node the class with maximum belief (the paper's `label(F)` operation).
+pub fn label(beliefs: &DenseMatrix) -> Vec<usize> {
+    (0..beliefs.rows()).map(|i| beliefs.argmax_row(i)).collect()
+}
+
+fn max_abs_diff(a: &DenseMatrix, b: &DenseMatrix) -> f64 {
+    a.data()
+        .iter()
+        .zip(b.data().iter())
+        .fold(0.0, |acc, (&x, &y)| acc.max((x - y).abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_graph::CompatibilityMatrix;
+
+    /// A small heterophilous graph: two "classes" arranged as a bipartite-ish structure.
+    /// Nodes 0..3 are class 0, nodes 4..7 are class 1; edges mostly cross classes.
+    fn bipartite_graph() -> (Graph, Labeling) {
+        let edges = [
+            (0, 4),
+            (0, 5),
+            (1, 4),
+            (1, 6),
+            (2, 5),
+            (2, 7),
+            (3, 6),
+            (3, 7),
+        ];
+        let graph = Graph::from_edges(8, &edges).unwrap();
+        let labeling = Labeling::new(vec![0, 0, 0, 0, 1, 1, 1, 1], 2).unwrap();
+        (graph, labeling)
+    }
+
+    fn heterophily_h() -> DenseMatrix {
+        CompatibilityMatrix::from_rows(&[vec![0.1, 0.9], vec![0.9, 0.1]])
+            .unwrap()
+            .into_dense()
+    }
+
+    #[test]
+    fn propagation_recovers_bipartite_classes() {
+        let (graph, labeling) = bipartite_graph();
+        let seeds = SeedLabels::new(
+            vec![Some(0), None, None, None, Some(1), None, None, None],
+            2,
+        )
+        .unwrap();
+        let result = propagate(&graph, &seeds, &heterophily_h(), &LinBpConfig::default()).unwrap();
+        let acc = result.accuracy(&labeling, &seeds);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn homophily_matrix_on_heterophilous_graph_fails() {
+        // Using the wrong (homophilous) compatibilities on a heterophilous graph must
+        // hurt accuracy — this is the paper's core motivation.
+        let (graph, labeling) = bipartite_graph();
+        let seeds = SeedLabels::new(
+            vec![Some(0), None, None, None, Some(1), None, None, None],
+            2,
+        )
+        .unwrap();
+        let homophily = CompatibilityMatrix::from_rows(&[vec![0.9, 0.1], vec![0.1, 0.9]])
+            .unwrap()
+            .into_dense();
+        let good = propagate(&graph, &seeds, &heterophily_h(), &LinBpConfig::default()).unwrap();
+        let bad = propagate(&graph, &seeds, &homophily, &LinBpConfig::default()).unwrap();
+        assert!(good.accuracy(&labeling, &seeds) > bad.accuracy(&labeling, &seeds));
+    }
+
+    #[test]
+    fn centering_does_not_change_labels() {
+        // Theorem 3.1: labels are identical with centered and uncentered propagation.
+        let (graph, _labeling) = bipartite_graph();
+        let seeds = SeedLabels::new(
+            vec![Some(0), None, None, Some(0), Some(1), None, Some(1), None],
+            2,
+        )
+        .unwrap();
+        let h = heterophily_h();
+        let centered = propagate(
+            &graph,
+            &seeds,
+            &h,
+            &LinBpConfig {
+                centered: true,
+                tolerance: None,
+                max_iterations: 8,
+                ..LinBpConfig::default()
+            },
+        )
+        .unwrap();
+        let uncentered = propagate(
+            &graph,
+            &seeds,
+            &h,
+            &LinBpConfig {
+                centered: false,
+                tolerance: None,
+                max_iterations: 8,
+                ..LinBpConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(centered.predictions, uncentered.predictions);
+    }
+
+    #[test]
+    fn epsilon_respects_convergence_condition() {
+        let (graph, _) = bipartite_graph();
+        let h = heterophily_h();
+        let eps = convergence_epsilon(&graph, &h, 0.5).unwrap();
+        let rho_w = graph.spectral_radius().unwrap();
+        let rho_h = spectral_radius_dense(&h.centered(), 1000, 1e-10).unwrap();
+        // eps * rho_h must stay below 1 / rho_w with fraction 0.5.
+        assert!(eps * rho_h < 1.0 / rho_w);
+        assert!((eps * rho_h * rho_w - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn explicit_epsilon_is_used() {
+        let (graph, _) = bipartite_graph();
+        let seeds = SeedLabels::new(vec![Some(0); 8], 2).unwrap();
+        let cfg = LinBpConfig {
+            explicit_epsilon: Some(0.123),
+            ..LinBpConfig::default()
+        };
+        let result = propagate(&graph, &seeds, &heterophily_h(), &cfg).unwrap();
+        assert_eq!(result.epsilon, 0.123);
+    }
+
+    #[test]
+    fn centered_propagation_converges() {
+        let (graph, _) = bipartite_graph();
+        let seeds = SeedLabels::new(
+            vec![Some(0), None, None, None, Some(1), None, None, None],
+            2,
+        )
+        .unwrap();
+        let cfg = LinBpConfig {
+            max_iterations: 200,
+            tolerance: Some(1e-10),
+            ..LinBpConfig::default()
+        };
+        let result = propagate(&graph, &seeds, &heterophily_h(), &cfg).unwrap();
+        assert!(result.converged);
+        assert!(result.iterations < 200);
+    }
+
+    #[test]
+    fn dimension_validation() {
+        let (graph, _) = bipartite_graph();
+        let seeds_wrong_n = SeedLabels::new(vec![Some(0), None], 2).unwrap();
+        assert!(propagate(&graph, &seeds_wrong_n, &heterophily_h(), &LinBpConfig::default()).is_err());
+        let seeds = SeedLabels::new(vec![None; 8], 2).unwrap();
+        let wrong_h = DenseMatrix::zeros(3, 3);
+        assert!(propagate(&graph, &seeds, &wrong_h, &LinBpConfig::default()).is_err());
+    }
+
+    #[test]
+    fn no_seeds_gives_trivial_beliefs() {
+        let (graph, _) = bipartite_graph();
+        let seeds = SeedLabels::new(vec![None; 8], 2).unwrap();
+        let result = propagate(&graph, &seeds, &heterophily_h(), &LinBpConfig::default()).unwrap();
+        assert!(result.beliefs.max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn label_extracts_argmax() {
+        let f = DenseMatrix::from_rows(&[vec![0.1, 0.9], vec![0.8, 0.2]]).unwrap();
+        assert_eq!(label(&f), vec![1, 0]);
+    }
+
+    #[test]
+    fn example_c1_uncentered_labels_match_centered_even_when_diverging() {
+        // Example C.1: with the h=8 matrix the uncentered iteration can diverge in
+        // magnitude, but the per-iteration argmax labels still match the centered run.
+        let (graph, _) = bipartite_graph();
+        let seeds = SeedLabels::new(
+            vec![Some(0), None, Some(0), None, Some(1), None, None, None],
+            2,
+        )
+        .unwrap();
+        let h = CompatibilityMatrix::from_rows(&[vec![0.1, 0.9], vec![0.9, 0.1]])
+            .unwrap()
+            .into_dense();
+        // Scale slightly above the convergence threshold for the uncentered version.
+        let eps = convergence_epsilon(&graph, &h, 1.18).unwrap();
+        let centered = propagate(
+            &graph,
+            &seeds,
+            &h,
+            &LinBpConfig {
+                explicit_epsilon: Some(eps),
+                centered: true,
+                tolerance: None,
+                max_iterations: 15,
+                ..LinBpConfig::default()
+            },
+        )
+        .unwrap();
+        let uncentered = propagate(
+            &graph,
+            &seeds,
+            &h,
+            &LinBpConfig {
+                explicit_epsilon: Some(eps),
+                centered: false,
+                tolerance: None,
+                max_iterations: 15,
+                ..LinBpConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(centered.predictions, uncentered.predictions);
+        // The uncentered beliefs blow up in magnitude relative to the centered ones.
+        assert!(uncentered.beliefs.max_abs() >= centered.beliefs.max_abs());
+    }
+}

@@ -1,0 +1,208 @@
+//! Classification quality metrics.
+//!
+//! The paper evaluates end-to-end accuracy as the fraction of *unlabeled* nodes that
+//! receive correct labels and, to account for class imbalance, macro-averages the
+//! per-class accuracies (Section 5, "Quality assessment").
+
+use fg_graph::{Labeling, SeedLabels};
+
+/// Plain accuracy over a set of evaluation nodes: fraction of nodes whose predicted
+/// class equals the ground truth. Returns 0 for an empty evaluation set.
+pub fn accuracy(predictions: &[usize], truth: &Labeling, eval_nodes: &[usize]) -> f64 {
+    if eval_nodes.is_empty() {
+        return 0.0;
+    }
+    let correct = eval_nodes
+        .iter()
+        .filter(|&&i| predictions[i] == truth.class_of(i))
+        .count();
+    correct as f64 / eval_nodes.len() as f64
+}
+
+/// Macro-averaged accuracy over a set of evaluation nodes: the unweighted mean of the
+/// per-class recalls, which prevents a dominant class from hiding mistakes on rare
+/// classes. Classes with no evaluation nodes are skipped.
+pub fn macro_accuracy(predictions: &[usize], truth: &Labeling, eval_nodes: &[usize]) -> f64 {
+    let k = truth.k();
+    let mut per_class_total = vec![0usize; k];
+    let mut per_class_correct = vec![0usize; k];
+    for &i in eval_nodes {
+        let c = truth.class_of(i);
+        per_class_total[c] += 1;
+        if predictions[i] == c {
+            per_class_correct[c] += 1;
+        }
+    }
+    let mut sum = 0.0;
+    let mut classes = 0;
+    for c in 0..k {
+        if per_class_total[c] > 0 {
+            sum += per_class_correct[c] as f64 / per_class_total[c] as f64;
+            classes += 1;
+        }
+    }
+    if classes == 0 {
+        0.0
+    } else {
+        sum / classes as f64
+    }
+}
+
+/// Accuracy evaluated on the unlabeled nodes of a seed set (the paper's end-to-end
+/// metric: "the fraction of the remaining nodes that receive correct labels").
+///
+/// For a fully labeled seed set there are no remaining nodes to classify; the metric then
+/// falls back to evaluating over all nodes (a propagation that preserves the given labels
+/// scores 1.0), which keeps sparsity sweeps that include `f = 1` meaningful.
+pub fn unlabeled_accuracy(predictions: &[usize], truth: &Labeling, seeds: &SeedLabels) -> f64 {
+    let unlabeled = seeds.unlabeled_nodes();
+    if unlabeled.is_empty() {
+        let all: Vec<usize> = (0..truth.n()).collect();
+        return macro_accuracy(predictions, truth, &all);
+    }
+    macro_accuracy(predictions, truth, &unlabeled)
+}
+
+/// Accuracy evaluated on the labeled nodes of a holdout set (used by the Holdout
+/// estimator, Section 4.1).
+pub fn holdout_accuracy(predictions: &[usize], holdout: &SeedLabels) -> f64 {
+    let nodes = holdout.labeled_nodes();
+    if nodes.is_empty() {
+        return 0.0;
+    }
+    let correct = nodes
+        .iter()
+        .filter(|&&i| Some(predictions[i]) == holdout.get(i))
+        .count();
+    correct as f64 / nodes.len() as f64
+}
+
+/// The `k x k` confusion matrix over a set of evaluation nodes; entry `(c, e)` counts
+/// nodes of true class `c` predicted as class `e`.
+pub fn confusion_matrix(
+    predictions: &[usize],
+    truth: &Labeling,
+    eval_nodes: &[usize],
+) -> Vec<Vec<usize>> {
+    let k = truth.k();
+    let mut m = vec![vec![0usize; k]; k];
+    for &i in eval_nodes {
+        m[truth.class_of(i)][predictions[i]] += 1;
+    }
+    m
+}
+
+/// Expected accuracy of uniformly random label assignment: `1/k`.
+pub fn random_baseline(k: usize) -> f64 {
+    if k == 0 {
+        0.0
+    } else {
+        1.0 / k as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> Labeling {
+        Labeling::new(vec![0, 0, 1, 1, 2, 2], 3).unwrap()
+    }
+
+    #[test]
+    fn perfect_predictions() {
+        let t = truth();
+        let preds = vec![0, 0, 1, 1, 2, 2];
+        let all: Vec<usize> = (0..6).collect();
+        assert_eq!(accuracy(&preds, &t, &all), 1.0);
+        assert_eq!(macro_accuracy(&preds, &t, &all), 1.0);
+    }
+
+    #[test]
+    fn all_wrong_predictions() {
+        let t = truth();
+        let preds = vec![1, 1, 2, 2, 0, 0];
+        let all: Vec<usize> = (0..6).collect();
+        assert_eq!(accuracy(&preds, &t, &all), 0.0);
+        assert_eq!(macro_accuracy(&preds, &t, &all), 0.0);
+    }
+
+    #[test]
+    fn accuracy_on_subset() {
+        let t = truth();
+        let preds = vec![0, 1, 1, 0, 2, 2];
+        assert_eq!(accuracy(&preds, &t, &[0, 2, 4]), 1.0);
+        assert_eq!(accuracy(&preds, &t, &[1, 3]), 0.0);
+        assert_eq!(accuracy(&preds, &t, &[]), 0.0);
+    }
+
+    #[test]
+    fn macro_accuracy_weights_classes_equally() {
+        // Imbalanced truth: 4 of class 0, 1 of class 1.
+        let t = Labeling::new(vec![0, 0, 0, 0, 1], 2).unwrap();
+        // Predict class 0 everywhere: plain accuracy 0.8, macro accuracy 0.5.
+        let preds = vec![0, 0, 0, 0, 0];
+        let all: Vec<usize> = (0..5).collect();
+        assert_eq!(accuracy(&preds, &t, &all), 0.8);
+        assert_eq!(macro_accuracy(&preds, &t, &all), 0.5);
+    }
+
+    #[test]
+    fn macro_accuracy_skips_absent_classes() {
+        let t = truth();
+        // Only evaluate nodes of classes 0 and 1.
+        let preds = vec![0, 0, 1, 1, 0, 0];
+        assert_eq!(macro_accuracy(&preds, &t, &[0, 1, 2, 3]), 1.0);
+    }
+
+    #[test]
+    fn unlabeled_accuracy_uses_unlabeled_nodes_only() {
+        let t = truth();
+        let seeds = SeedLabels::new(
+            vec![Some(0), None, Some(1), None, Some(2), None],
+            3,
+        )
+        .unwrap();
+        // Wrong on the labeled nodes (ignored), right on unlabeled ones.
+        let preds = vec![1, 0, 2, 1, 0, 2];
+        assert_eq!(unlabeled_accuracy(&preds, &t, &seeds), 1.0);
+    }
+
+    #[test]
+    fn unlabeled_accuracy_falls_back_to_all_nodes_when_fully_labeled() {
+        let t = truth();
+        let seeds = SeedLabels::fully_labeled(&t);
+        let perfect = vec![0, 0, 1, 1, 2, 2];
+        assert_eq!(unlabeled_accuracy(&perfect, &t, &seeds), 1.0);
+        let wrong = vec![1, 1, 2, 2, 0, 0];
+        assert_eq!(unlabeled_accuracy(&wrong, &t, &seeds), 0.0);
+    }
+
+    #[test]
+    fn holdout_accuracy_counts_matches() {
+        let holdout = SeedLabels::new(vec![Some(0), None, Some(1), None], 2).unwrap();
+        let preds = vec![0, 1, 0, 1];
+        assert_eq!(holdout_accuracy(&preds, &holdout), 0.5);
+        let empty = SeedLabels::new(vec![None, None], 2).unwrap();
+        assert_eq!(holdout_accuracy(&preds[..2].to_vec().as_slice(), &empty), 0.0);
+    }
+
+    #[test]
+    fn confusion_matrix_entries() {
+        let t = truth();
+        let preds = vec![0, 1, 1, 1, 2, 0];
+        let all: Vec<usize> = (0..6).collect();
+        let m = confusion_matrix(&preds, &t, &all);
+        assert_eq!(m[0][0], 1);
+        assert_eq!(m[0][1], 1);
+        assert_eq!(m[1][1], 2);
+        assert_eq!(m[2][0], 1);
+        assert_eq!(m[2][2], 1);
+    }
+
+    #[test]
+    fn random_baseline_value() {
+        assert_eq!(random_baseline(4), 0.25);
+        assert_eq!(random_baseline(0), 0.0);
+    }
+}

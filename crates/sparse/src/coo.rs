@@ -1,0 +1,153 @@
+//! Coordinate-format (triplet) builder for sparse matrices.
+//!
+//! Graphs are assembled edge-by-edge as `(row, col, value)` triplets and then converted
+//! into the compressed sparse row (CSR) format used by all propagation and summarization
+//! kernels.
+
+use crate::csr::CsrMatrix;
+use crate::error::{Result, SparseError};
+
+/// A sparse matrix under construction, stored as unsorted `(row, col, value)` triplets.
+///
+/// Duplicate entries are summed when converting to CSR, which makes the builder
+/// convenient for accumulating multigraph edge weights.
+#[derive(Debug, Clone, Default)]
+pub struct CooMatrix {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl CooMatrix {
+    /// Create an empty builder for a `rows x cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        CooMatrix {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Create an empty builder with pre-allocated capacity for `nnz` entries.
+    pub fn with_capacity(rows: usize, cols: usize, nnz: usize) -> Self {
+        CooMatrix {
+            rows,
+            cols,
+            entries: Vec::with_capacity(nnz),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored triplets (before duplicate merging).
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Append a triplet. Returns an error if the indices are out of bounds.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) -> Result<()> {
+        if row >= self.rows {
+            return Err(SparseError::IndexOutOfBounds {
+                index: row,
+                bound: self.rows,
+            });
+        }
+        if col >= self.cols {
+            return Err(SparseError::IndexOutOfBounds {
+                index: col,
+                bound: self.cols,
+            });
+        }
+        self.entries.push((row, col, value));
+        Ok(())
+    }
+
+    /// Append both `(i, j, value)` and `(j, i, value)`; convenient for undirected edges.
+    pub fn push_symmetric(&mut self, i: usize, j: usize, value: f64) -> Result<()> {
+        self.push(i, j, value)?;
+        if i != j {
+            self.push(j, i, value)?;
+        }
+        Ok(())
+    }
+
+    /// Iterate over the stored triplets.
+    pub fn iter(&self) -> impl Iterator<Item = &(usize, usize, f64)> {
+        self.entries.iter()
+    }
+
+    /// Convert to CSR, summing duplicate entries and dropping explicit zeros.
+    pub fn to_csr(&self) -> CsrMatrix {
+        CsrMatrix::from_triplets(self.rows, self.cols, &self.entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_count() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 1, 1.0).unwrap();
+        coo.push(1, 2, 2.0).unwrap();
+        assert_eq!(coo.nnz(), 2);
+        assert_eq!(coo.rows(), 3);
+        assert_eq!(coo.cols(), 3);
+    }
+
+    #[test]
+    fn push_out_of_bounds_row() {
+        let mut coo = CooMatrix::new(2, 2);
+        assert!(coo.push(2, 0, 1.0).is_err());
+    }
+
+    #[test]
+    fn push_out_of_bounds_col() {
+        let mut coo = CooMatrix::new(2, 2);
+        assert!(coo.push(0, 2, 1.0).is_err());
+    }
+
+    #[test]
+    fn push_symmetric_adds_both_directions() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push_symmetric(0, 1, 1.0).unwrap();
+        assert_eq!(coo.nnz(), 2);
+        // self loop is stored only once
+        coo.push_symmetric(2, 2, 1.0).unwrap();
+        assert_eq!(coo.nnz(), 3);
+    }
+
+    #[test]
+    fn to_csr_sums_duplicates() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 1, 1.0).unwrap();
+        coo.push(0, 1, 2.0).unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.get(0, 1), 3.0);
+        assert_eq!(csr.nnz(), 1);
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut coo = CooMatrix::with_capacity(2, 2, 10);
+        coo.push(1, 1, 4.0).unwrap();
+        assert_eq!(coo.to_csr().get(1, 1), 4.0);
+    }
+
+    #[test]
+    fn iter_yields_triplets() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.5).unwrap();
+        let v: Vec<_> = coo.iter().cloned().collect();
+        assert_eq!(v, vec![(0, 0, 1.5)]);
+    }
+}

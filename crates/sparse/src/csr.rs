@@ -1,0 +1,704 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! The adjacency matrix `W` of the input graph is the only large object in the whole
+//! pipeline. Every kernel that touches it is written so intermediate results stay
+//! `n x k` dense (never `n x n`): this is the "factorized" evaluation order the paper
+//! relies on for scalability (Section 4.6, footnote 5).
+
+use crate::dense::DenseMatrix;
+use crate::error::{Result, SparseError};
+
+/// A sparse matrix in compressed sparse row format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row pointer array of length `rows + 1`.
+    indptr: Vec<usize>,
+    /// Column indices, sorted within each row.
+    indices: Vec<usize>,
+    /// Non-zero values aligned with `indices`.
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Create an empty (all-zero) matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CsrMatrix {
+            rows,
+            cols,
+            indptr: vec![0; rows + 1],
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Create the `n x n` identity.
+    pub fn identity(n: usize) -> Self {
+        CsrMatrix {
+            rows: n,
+            cols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Create a diagonal matrix from a vector of diagonal entries.
+    /// Zero diagonal entries are stored explicitly dropped.
+    pub fn from_diagonal(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut indptr = Vec::with_capacity(n + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0);
+        for (i, &d) in diag.iter().enumerate() {
+            if d != 0.0 {
+                indices.push(i);
+                values.push(d);
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix {
+            rows: n,
+            cols: n,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Build from (possibly duplicated, unsorted) triplets, summing duplicates and
+    /// dropping entries that sum to exactly zero.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        // Count entries per row.
+        let mut counts = vec![0usize; rows];
+        for &(r, _, _) in triplets {
+            counts[r] += 1;
+        }
+        let mut indptr = vec![0usize; rows + 1];
+        for i in 0..rows {
+            indptr[i + 1] = indptr[i] + counts[i];
+        }
+        // Scatter into row buckets.
+        let mut col_buf = vec![0usize; triplets.len()];
+        let mut val_buf = vec![0.0f64; triplets.len()];
+        let mut next = indptr.clone();
+        for &(r, c, v) in triplets {
+            let pos = next[r];
+            col_buf[pos] = c;
+            val_buf[pos] = v;
+            next[r] += 1;
+        }
+        // Sort each row by column and merge duplicates.
+        let mut out_indptr = Vec::with_capacity(rows + 1);
+        let mut out_indices = Vec::with_capacity(triplets.len());
+        let mut out_values = Vec::with_capacity(triplets.len());
+        out_indptr.push(0);
+        let mut row_entries: Vec<(usize, f64)> = Vec::new();
+        for r in 0..rows {
+            row_entries.clear();
+            for idx in indptr[r]..indptr[r + 1] {
+                row_entries.push((col_buf[idx], val_buf[idx]));
+            }
+            row_entries.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < row_entries.len() {
+                let col = row_entries[i].0;
+                let mut sum = 0.0;
+                while i < row_entries.len() && row_entries[i].0 == col {
+                    sum += row_entries[i].1;
+                    i += 1;
+                }
+                if sum != 0.0 {
+                    out_indices.push(col);
+                    out_values.push(sum);
+                }
+            }
+            out_indptr.push(out_indices.len());
+        }
+        CsrMatrix {
+            rows,
+            cols,
+            indptr: out_indptr,
+            indices: out_indices,
+            values: out_values,
+        }
+    }
+
+    /// Build from a dense matrix, keeping only non-zero entries.
+    pub fn from_dense(dense: &DenseMatrix) -> Self {
+        let mut triplets = Vec::new();
+        for i in 0..dense.rows() {
+            for j in 0..dense.cols() {
+                let v = dense.get(i, j);
+                if v != 0.0 {
+                    triplets.push((i, j, v));
+                }
+            }
+        }
+        Self::from_triplets(dense.rows(), dense.cols(), &triplets)
+    }
+
+    /// Construct directly from raw CSR arrays. Validates monotone `indptr`, in-bounds
+    /// column indices, and matching lengths.
+    pub fn from_raw(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        if indptr.len() != rows + 1 {
+            return Err(SparseError::InvalidInput(format!(
+                "indptr must have length rows+1 = {}, got {}",
+                rows + 1,
+                indptr.len()
+            )));
+        }
+        if indices.len() != values.len() {
+            return Err(SparseError::InvalidInput(
+                "indices and values must have the same length".into(),
+            ));
+        }
+        if *indptr.last().unwrap_or(&0) != indices.len() {
+            return Err(SparseError::InvalidInput(
+                "last indptr entry must equal the number of stored values".into(),
+            ));
+        }
+        if indptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err(SparseError::InvalidInput(
+                "indptr must be non-decreasing".into(),
+            ));
+        }
+        if indices.iter().any(|&c| c >= cols) {
+            return Err(SparseError::InvalidInput(
+                "column index out of bounds".into(),
+            ));
+        }
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of explicitly stored (non-zero) entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Row pointer array.
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// Column index array.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Value array.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The stored columns and values of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        let start = self.indptr[i];
+        let end = self.indptr[i + 1];
+        (&self.indices[start..end], &self.values[start..end])
+    }
+
+    /// Number of stored entries in row `i`.
+    #[inline]
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.indptr[i + 1] - self.indptr[i]
+    }
+
+    /// Read the entry at `(i, j)` (zero when not stored).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (cols, vals) = self.row(i);
+        match cols.binary_search(&j) {
+            Ok(pos) => vals[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterate over all stored entries as `(row, col, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.rows).flat_map(move |i| {
+            let (cols, vals) = self.row(i);
+            cols.iter().zip(vals.iter()).map(move |(&c, &v)| (i, c, v))
+        })
+    }
+
+    /// Sum of the entries in each row (weighted node degrees for an adjacency matrix).
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.rows)
+            .map(|i| self.row(i).1.iter().sum())
+            .collect()
+    }
+
+    /// Diagonal entries as a vector.
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.rows.min(self.cols))
+            .map(|i| self.get(i, i))
+            .collect()
+    }
+
+    /// Sparse-matrix x dense-matrix product: `self (rows x cols) * dense (cols x k)`.
+    ///
+    /// This is the workhorse of factorized path summation: cost `O(nnz * k)`.
+    pub fn spmm_dense(&self, dense: &DenseMatrix) -> Result<DenseMatrix> {
+        if self.cols != dense.rows() {
+            return Err(SparseError::DimensionMismatch {
+                op: "csr * dense",
+                left: self.shape(),
+                right: dense.shape(),
+            });
+        }
+        let k = dense.cols();
+        let mut out = DenseMatrix::zeros(self.rows, k);
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            let out_row = out.row_mut(i);
+            for (&c, &w) in cols.iter().zip(vals.iter()) {
+                let src = dense.row(c);
+                for (o, &s) in out_row.iter_mut().zip(src.iter()) {
+                    *o += w * s;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sparse matrix-vector product `self * v`.
+    pub fn spmv(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if v.len() != self.cols {
+            return Err(SparseError::DimensionMismatch {
+                op: "csr * vector",
+                left: self.shape(),
+                right: (v.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            out[i] = cols
+                .iter()
+                .zip(vals.iter())
+                .map(|(&c, &w)| w * v[c])
+                .sum();
+        }
+        Ok(out)
+    }
+
+    /// Sparse-sparse product `self * other`, returning a sparse result.
+    ///
+    /// Only used for the *unfactorized* baseline (explicit `W^ℓ`, Fig. 5b) and for small
+    /// matrices; the factorized kernels never call this on the full graph repeatedly.
+    pub fn spmm(&self, other: &CsrMatrix) -> Result<CsrMatrix> {
+        if self.cols != other.rows {
+            return Err(SparseError::DimensionMismatch {
+                op: "csr * csr",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        let mut indptr = Vec::with_capacity(self.rows + 1);
+        let mut indices: Vec<usize> = Vec::new();
+        let mut values: Vec<f64> = Vec::new();
+        indptr.push(0);
+        // Dense accumulator per row (classic Gustavson's algorithm).
+        let mut accumulator = vec![0.0f64; other.cols];
+        let mut touched: Vec<usize> = Vec::new();
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            for (&c, &w) in cols.iter().zip(vals.iter()) {
+                let (ocols, ovals) = other.row(c);
+                for (&oc, &ov) in ocols.iter().zip(ovals.iter()) {
+                    if accumulator[oc] == 0.0 {
+                        touched.push(oc);
+                    }
+                    accumulator[oc] += w * ov;
+                }
+            }
+            touched.sort_unstable();
+            for &c in &touched {
+                let v = accumulator[c];
+                if v != 0.0 {
+                    indices.push(c);
+                    values.push(v);
+                }
+                accumulator[c] = 0.0;
+            }
+            touched.clear();
+            indptr.push(indices.len());
+        }
+        Ok(CsrMatrix {
+            rows: self.rows,
+            cols: other.cols,
+            indptr,
+            indices,
+            values,
+        })
+    }
+
+    /// Element-wise sum `self + other` (sparse result).
+    pub fn add(&self, other: &CsrMatrix) -> Result<CsrMatrix> {
+        self.combine(other, "csr add", 1.0)
+    }
+
+    /// Element-wise difference `self - other` (sparse result).
+    pub fn sub(&self, other: &CsrMatrix) -> Result<CsrMatrix> {
+        self.combine(other, "csr sub", -1.0)
+    }
+
+    fn combine(&self, other: &CsrMatrix, op: &'static str, sign: f64) -> Result<CsrMatrix> {
+        if self.shape() != other.shape() {
+            return Err(SparseError::DimensionMismatch {
+                op,
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        let mut triplets = Vec::with_capacity(self.nnz() + other.nnz());
+        triplets.extend(self.iter());
+        triplets.extend(other.iter().map(|(r, c, v)| (r, c, sign * v)));
+        Ok(CsrMatrix::from_triplets(self.rows, self.cols, &triplets))
+    }
+
+    /// Multiply every stored value by `factor`.
+    pub fn scaled(&self, factor: f64) -> CsrMatrix {
+        let mut out = self.clone();
+        for v in &mut out.values {
+            *v *= factor;
+        }
+        out
+    }
+
+    /// Transpose into a new CSR matrix.
+    pub fn transpose(&self) -> CsrMatrix {
+        let triplets: Vec<(usize, usize, f64)> =
+            self.iter().map(|(r, c, v)| (c, r, v)).collect();
+        CsrMatrix::from_triplets(self.cols, self.rows, &triplets)
+    }
+
+    /// Whether the matrix is (numerically) symmetric.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        self.iter()
+            .all(|(r, c, v)| (self.get(c, r) - v).abs() <= tol)
+    }
+
+    /// Column-normalize: divide each entry by its column sum (used by random-walk
+    /// methods, Eq. 3). Columns with zero sum are left as zero.
+    pub fn column_normalized(&self) -> CsrMatrix {
+        let col_sums = self.transpose().row_sums();
+        let mut out = self.clone();
+        for i in 0..out.rows {
+            let start = out.indptr[i];
+            let end = out.indptr[i + 1];
+            for idx in start..end {
+                let c = out.indices[idx];
+                if col_sums[c] != 0.0 {
+                    out.values[idx] /= col_sums[c];
+                }
+            }
+        }
+        out
+    }
+
+    /// Row-normalize: divide each entry by its row sum. Rows with zero sum stay zero.
+    pub fn row_normalized(&self) -> CsrMatrix {
+        let sums = self.row_sums();
+        let mut out = self.clone();
+        for i in 0..out.rows {
+            let start = out.indptr[i];
+            let end = out.indptr[i + 1];
+            if sums[i] != 0.0 {
+                for idx in start..end {
+                    out.values[idx] /= sums[i];
+                }
+            }
+        }
+        out
+    }
+
+    /// Symmetric normalization `D^{-1/2} W D^{-1/2}` used by the harmonic/LGC family.
+    pub fn symmetric_normalized(&self) -> CsrMatrix {
+        let sums = self.row_sums();
+        let inv_sqrt: Vec<f64> = sums
+            .iter()
+            .map(|&s| if s > 0.0 { 1.0 / s.sqrt() } else { 0.0 })
+            .collect();
+        let mut out = self.clone();
+        for i in 0..out.rows {
+            let start = out.indptr[i];
+            let end = out.indptr[i + 1];
+            for idx in start..end {
+                let c = out.indices[idx];
+                out.values[idx] *= inv_sqrt[i] * inv_sqrt[c];
+            }
+        }
+        out
+    }
+
+    /// Convert to a dense matrix. Intended for tests and small matrices only.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for (r, c, v) in self.iter() {
+            out.add_at(r, c, v);
+        }
+        out
+    }
+
+    /// Frobenius norm of the stored entries.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 4-node path graph 0-1-2-3 adjacency.
+    fn path_graph() -> CsrMatrix {
+        CsrMatrix::from_triplets(
+            4,
+            4,
+            &[
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (1, 2, 1.0),
+                (2, 1, 1.0),
+                (2, 3, 1.0),
+                (3, 2, 1.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn zeros_has_no_entries() {
+        let m = CsrMatrix::zeros(3, 4);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.get(2, 3), 0.0);
+    }
+
+    #[test]
+    fn identity_diagonal() {
+        let m = CsrMatrix::identity(3);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(1, 1), 1.0);
+        assert_eq!(m.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn from_diagonal_drops_zeros() {
+        let m = CsrMatrix::from_diagonal(&[1.0, 0.0, 3.0]);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(2, 2), 3.0);
+        assert_eq!(m.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn from_triplets_sums_and_sorts() {
+        let m = CsrMatrix::from_triplets(2, 3, &[(0, 2, 1.0), (0, 0, 2.0), (0, 2, 3.0)]);
+        assert_eq!(m.row(0).0, &[0, 2]);
+        assert_eq!(m.get(0, 2), 4.0);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn from_triplets_drops_cancelled_entries() {
+        let m = CsrMatrix::from_triplets(1, 1, &[(0, 0, 1.0), (0, 0, -1.0)]);
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn from_dense_roundtrip() {
+        let d = DenseMatrix::from_rows(&[vec![0.0, 2.0], vec![3.0, 0.0]]).unwrap();
+        let s = CsrMatrix::from_dense(&d);
+        assert_eq!(s.nnz(), 2);
+        assert!(s.to_dense().approx_eq(&d, 0.0));
+    }
+
+    #[test]
+    fn from_raw_validation() {
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1, 1], vec![0], vec![1.0]).is_ok());
+        // wrong indptr length
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        // decreasing indptr
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1, 0], vec![0], vec![1.0]).is_err());
+        // column out of bounds
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1, 1], vec![5], vec![1.0]).is_err());
+        // mismatched value length
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1, 1], vec![0], vec![1.0, 2.0]).is_err());
+        // last indptr wrong
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1, 2], vec![0], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let w = path_graph();
+        let v = vec![1.0, 2.0, 3.0, 4.0];
+        let got = w.spmv(&v).unwrap();
+        let expected = w.to_dense().matvec(&v).unwrap();
+        assert_eq!(got, expected);
+        assert!(w.spmv(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn spmm_dense_matches_dense_matmul() {
+        let w = path_graph();
+        let x = DenseMatrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![2.0, 0.0],
+        ])
+        .unwrap();
+        let got = w.spmm_dense(&x).unwrap();
+        let expected = w.to_dense().matmul(&x).unwrap();
+        assert!(got.approx_eq(&expected, 1e-12));
+        assert!(w.spmm_dense(&DenseMatrix::zeros(3, 2)).is_err());
+    }
+
+    #[test]
+    fn spmm_sparse_matches_dense() {
+        let w = path_graph();
+        let w2 = w.spmm(&w).unwrap();
+        let expected = w.to_dense().matmul(&w.to_dense()).unwrap();
+        assert!(w2.to_dense().approx_eq(&expected, 1e-12));
+        // diagonal of W^2 is the degree
+        assert_eq!(w2.get(0, 0), 1.0);
+        assert_eq!(w2.get(1, 1), 2.0);
+    }
+
+    #[test]
+    fn spmm_dimension_mismatch() {
+        let a = CsrMatrix::zeros(2, 3);
+        let b = CsrMatrix::zeros(2, 3);
+        assert!(a.spmm(&b).is_err());
+    }
+
+    #[test]
+    fn add_and_sub() {
+        let w = path_graph();
+        let sum = w.add(&w).unwrap();
+        assert_eq!(sum.get(0, 1), 2.0);
+        let diff = w.sub(&w).unwrap();
+        assert_eq!(diff.nnz(), 0);
+        assert!(w.add(&CsrMatrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn scaled_multiplies_values() {
+        let w = path_graph().scaled(0.5);
+        assert_eq!(w.get(0, 1), 0.5);
+    }
+
+    #[test]
+    fn transpose_of_symmetric_is_equal() {
+        let w = path_graph();
+        assert_eq!(w.transpose().to_dense(), w.to_dense());
+        assert!(w.is_symmetric(0.0));
+        let asym = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0)]);
+        assert!(!asym.is_symmetric(0.0));
+        assert_eq!(asym.transpose().get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn row_sums_are_degrees() {
+        let w = path_graph();
+        assert_eq!(w.row_sums(), vec![1.0, 2.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        let m = CsrMatrix::from_triplets(3, 3, &[(0, 0, 2.0), (1, 2, 1.0), (2, 2, 5.0)]);
+        assert_eq!(m.diagonal(), vec![2.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn column_normalized_columns_sum_to_one() {
+        let w = path_graph();
+        let c = w.column_normalized();
+        let col_sums = c.transpose().row_sums();
+        for s in col_sums {
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn row_normalized_rows_sum_to_one() {
+        let w = path_graph();
+        let r = w.row_normalized();
+        for s in r.row_sums() {
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn symmetric_normalized_stays_symmetric() {
+        let w = path_graph();
+        let s = w.symmetric_normalized();
+        assert!(s.is_symmetric(1e-12));
+        // entry (0,1) should be 1/sqrt(d0*d1) = 1/sqrt(2)
+        assert!((s.get(0, 1) - 1.0 / 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_visits_all_entries() {
+        let w = path_graph();
+        assert_eq!(w.iter().count(), 6);
+        let total: f64 = w.iter().map(|(_, _, v)| v).sum();
+        assert_eq!(total, 6.0);
+    }
+
+    #[test]
+    fn frobenius_norm_counts_entries() {
+        let w = path_graph();
+        assert!((w.frobenius_norm() - 6.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_nnz_counts() {
+        let w = path_graph();
+        assert_eq!(w.row_nnz(0), 1);
+        assert_eq!(w.row_nnz(1), 2);
+    }
+}

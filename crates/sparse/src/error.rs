@@ -1,0 +1,134 @@
+//! Error types for the sparse linear-algebra kernels.
+
+use std::fmt;
+
+/// Errors produced by the sparse / dense linear-algebra kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// Two operands have incompatible shapes for the requested operation.
+    DimensionMismatch {
+        /// Description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left operand (rows, cols).
+        left: (usize, usize),
+        /// Shape of the right operand (rows, cols).
+        right: (usize, usize),
+    },
+    /// A row or column index is out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound the index must stay below.
+        bound: usize,
+    },
+    /// The operation requires a square matrix but the matrix is not square.
+    NotSquare {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// An iterative procedure failed to converge within its iteration budget.
+    DidNotConverge {
+        /// Description of the procedure.
+        what: &'static str,
+        /// Number of iterations performed.
+        iterations: usize,
+    },
+    /// The operation would divide by zero (e.g. normalizing an all-zero row).
+    SingularScaling {
+        /// Description of the operation.
+        op: &'static str,
+    },
+    /// The input data is malformed (e.g. unsorted or duplicate indices where forbidden).
+    InvalidInput(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::DimensionMismatch { op, left, right } => write!(
+                f,
+                "dimension mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            SparseError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds (must be < {bound})")
+            }
+            SparseError::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square but is {rows}x{cols}")
+            }
+            SparseError::DidNotConverge { what, iterations } => {
+                write!(f, "{what} did not converge after {iterations} iterations")
+            }
+            SparseError::SingularScaling { op } => {
+                write!(f, "{op} would divide by zero")
+            }
+            SparseError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, SparseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = SparseError::DimensionMismatch {
+            op: "matmul",
+            left: (2, 3),
+            right: (4, 5),
+        };
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("2x3"));
+        assert!(s.contains("4x5"));
+    }
+
+    #[test]
+    fn display_index_out_of_bounds() {
+        let e = SparseError::IndexOutOfBounds { index: 7, bound: 5 };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn display_not_square() {
+        let e = SparseError::NotSquare { rows: 3, cols: 4 };
+        assert!(e.to_string().contains("3x4"));
+    }
+
+    #[test]
+    fn display_did_not_converge() {
+        let e = SparseError::DidNotConverge {
+            what: "power iteration",
+            iterations: 100,
+        };
+        assert!(e.to_string().contains("power iteration"));
+        assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn display_singular_scaling() {
+        let e = SparseError::SingularScaling { op: "row normalize" };
+        assert!(e.to_string().contains("row normalize"));
+    }
+
+    #[test]
+    fn display_invalid_input() {
+        let e = SparseError::InvalidInput("bad".into());
+        assert!(e.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(SparseError::NotSquare { rows: 1, cols: 2 });
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests: the CSR kernels must agree with the dense reference
+//! implementation on arbitrary small matrices.
+
+use fg_sparse::{CooMatrix, CsrMatrix, DenseMatrix};
+use proptest::prelude::*;
+
+/// Strategy generating a small dense matrix with entries in [-5, 5].
+fn dense_matrix(rows: usize, cols: usize) -> impl Strategy<Value = DenseMatrix> {
+    proptest::collection::vec(-5.0f64..5.0, rows * cols)
+        .prop_map(move |data| DenseMatrix::from_vec(rows, cols, data).unwrap())
+}
+
+/// Strategy generating a small sparse matrix (as triplets) of a given shape.
+fn sparse_matrix(rows: usize, cols: usize) -> impl Strategy<Value = CsrMatrix> {
+    proptest::collection::vec(
+        (0..rows, 0..cols, -5.0f64..5.0),
+        0..(rows * cols).max(1),
+    )
+    .prop_map(move |trip| CsrMatrix::from_triplets(rows, cols, &trip))
+}
+
+proptest! {
+    #[test]
+    fn csr_to_dense_roundtrip(m in sparse_matrix(6, 5)) {
+        let dense = m.to_dense();
+        let back = CsrMatrix::from_dense(&dense);
+        prop_assert!(back.to_dense().approx_eq(&dense, 0.0));
+    }
+
+    #[test]
+    fn spmv_agrees_with_dense(m in sparse_matrix(5, 4), v in proptest::collection::vec(-3.0f64..3.0, 4)) {
+        let got = m.spmv(&v).unwrap();
+        let expected = m.to_dense().matvec(&v).unwrap();
+        for (g, e) in got.iter().zip(expected.iter()) {
+            prop_assert!((g - e).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn spmm_dense_agrees_with_dense(m in sparse_matrix(5, 4), x in dense_matrix(4, 3)) {
+        let got = m.spmm_dense(&x).unwrap();
+        let expected = m.to_dense().matmul(&x).unwrap();
+        prop_assert!(got.approx_eq(&expected, 1e-9));
+    }
+
+    #[test]
+    fn spmm_sparse_agrees_with_dense(a in sparse_matrix(4, 5), b in sparse_matrix(5, 3)) {
+        let got = a.spmm(&b).unwrap().to_dense();
+        let expected = a.to_dense().matmul(&b.to_dense()).unwrap();
+        prop_assert!(got.approx_eq(&expected, 1e-9));
+    }
+
+    #[test]
+    fn add_sub_agree_with_dense(a in sparse_matrix(4, 4), b in sparse_matrix(4, 4)) {
+        let sum = a.add(&b).unwrap().to_dense();
+        let expected_sum = a.to_dense().add(&b.to_dense()).unwrap();
+        prop_assert!(sum.approx_eq(&expected_sum, 1e-9));
+        let diff = a.sub(&b).unwrap().to_dense();
+        let expected_diff = a.to_dense().sub(&b.to_dense()).unwrap();
+        prop_assert!(diff.approx_eq(&expected_diff, 1e-9));
+    }
+
+    #[test]
+    fn transpose_involution(a in sparse_matrix(5, 3)) {
+        prop_assert!(a.transpose().transpose().to_dense().approx_eq(&a.to_dense(), 0.0));
+    }
+
+    #[test]
+    fn dense_matmul_associative(
+        a in dense_matrix(3, 3),
+        b in dense_matrix(3, 3),
+        c in dense_matrix(3, 3),
+    ) {
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        prop_assert!(left.approx_eq(&right, 1e-6));
+    }
+
+    #[test]
+    fn dense_transpose_of_product(a in dense_matrix(3, 4), b in dense_matrix(4, 2)) {
+        // (AB)^T == B^T A^T
+        let left = a.matmul(&b).unwrap().transpose();
+        let right = b.transpose().matmul(&a.transpose()).unwrap();
+        prop_assert!(left.approx_eq(&right, 1e-9));
+    }
+
+    #[test]
+    fn row_normalized_rows_sum_to_one_or_zero(m in sparse_matrix(5, 5)) {
+        // Row-normalization on |values| keeps each nonzero row summing to 1.
+        let abs = CsrMatrix::from_triplets(
+            5, 5,
+            &m.iter().map(|(r, c, v)| (r, c, v.abs())).collect::<Vec<_>>(),
+        );
+        let norm = abs.row_normalized();
+        for (i, s) in norm.row_sums().iter().enumerate() {
+            if abs.row_nnz(i) > 0 && abs.row(i).1.iter().sum::<f64>() > 0.0 {
+                prop_assert!((s - 1.0).abs() < 1e-9);
+            } else {
+                prop_assert!(s.abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn coo_duplicate_accumulation(entries in proptest::collection::vec((0usize..4, 0usize..4, -2.0f64..2.0), 0..20)) {
+        let mut coo = CooMatrix::new(4, 4);
+        let mut reference = DenseMatrix::zeros(4, 4);
+        for (r, c, v) in &entries {
+            coo.push(*r, *c, *v).unwrap();
+            reference.add_at(*r, *c, *v);
+        }
+        prop_assert!(coo.to_csr().to_dense().approx_eq(&reference, 1e-9));
+    }
+
+    #[test]
+    fn spectral_radius_scales_linearly(scale in 0.1f64..4.0) {
+        // rho(c * W) = c * rho(W) for a fixed small graph.
+        let w = CsrMatrix::from_triplets(
+            3, 3,
+            &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)],
+        );
+        let base = fg_sparse::spectral_radius(&w).unwrap();
+        let scaled = fg_sparse::spectral_radius(&w.scaled(scale)).unwrap();
+        prop_assert!((scaled - scale * base).abs() < 1e-5);
+    }
+
+    #[test]
+    fn frobenius_distance_is_a_metric(a in dense_matrix(3, 3), b in dense_matrix(3, 3)) {
+        let dab = a.frobenius_distance(&b).unwrap();
+        let dba = b.frobenius_distance(&a).unwrap();
+        prop_assert!((dab - dba).abs() < 1e-12);
+        prop_assert!(a.frobenius_distance(&a).unwrap() < 1e-12);
+        prop_assert!(dab >= 0.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! The corporate e-mail scenario from Example 1.1 of the paper.
+//!
+//! Three classes of users: marketing (class 0), engineering (class 1), and C-level
+//! executives (class 2). Marketing and engineering e-mail each other heavily, while
+//! executives mostly e-mail amongst themselves — a mix of heterophily and homophily
+//! that defeats standard homophily-based label propagation. Only a handful of users
+//! have known roles; we recover everyone else's role.
+//!
+//! Run with: `cargo run --release --example email_network`
+
+use fg_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // The compatibility structure of Example 1.1 / Fig. 1b: classes 0 and 1 attract
+    // each other, class 2 attracts itself.
+    let h = CompatibilityMatrix::from_rows(&[
+        vec![0.2, 0.6, 0.2],
+        vec![0.6, 0.2, 0.2],
+        vec![0.2, 0.2, 0.6],
+    ])
+    .expect("valid compatibility matrix");
+
+    let config = GeneratorConfig {
+        n: 5_000,
+        m: 50_000,
+        alpha: vec![0.4, 0.4, 0.2], // fewer executives than staff
+        h,
+        distribution: DegreeDistribution::paper_power_law(),
+    };
+    let mut rng = StdRng::seed_from_u64(2024);
+    let company = generate(&config, &mut rng).expect("generation succeeds");
+    println!(
+        "e-mail network: {} employees, {} e-mail relationships",
+        company.graph.num_nodes(),
+        company.graph.num_edges()
+    );
+
+    // HR only knows the roles of 1% of employees.
+    let seeds = company.labeling.stratified_sample(0.01, &mut rng);
+    println!("known roles: {}", seeds.num_labeled());
+
+    // A homophily-only baseline (harmonic functions) vs the full pipeline.
+    let harmonic = harmonic_functions(&company.graph, &seeds, &HarmonicConfig::default())
+        .expect("harmonic functions run");
+    let harmonic_acc = fg_propagation::unlabeled_accuracy(
+        &harmonic.predictions,
+        &company.labeling,
+        &seeds,
+    );
+
+    let dcer = DceWithRestarts::default();
+    let pipeline = estimate_and_propagate(&dcer, &company.graph, &seeds, &LinBpConfig::default())
+        .expect("estimation succeeds");
+    let dcer_acc = pipeline.accuracy(&company.labeling, &seeds);
+
+    let gold = measure_compatibilities(&company.graph, &company.labeling).expect("measure GS");
+    let gs = propagate_with("GS", &gold, &company.graph, &seeds, &LinBpConfig::default())
+        .expect("GS propagation");
+    let gs_acc = gs.accuracy(&company.labeling, &seeds);
+
+    println!("\nrole-recovery accuracy (macro-averaged over unlabeled employees):");
+    println!("  homophily baseline (harmonic functions): {harmonic_acc:.3}");
+    println!("  DCEr + LinBP (this paper)              : {dcer_acc:.3}");
+    println!("  gold-standard compatibilities + LinBP  : {gs_acc:.3}");
+
+    println!("\nestimated role compatibilities (rows/cols: marketing, engineering, executive):");
+    for i in 0..3 {
+        let row: Vec<String> = pipeline
+            .estimated_h
+            .row(i)
+            .iter()
+            .map(|v| format!("{v:5.2}"))
+            .collect();
+        println!("  [{}]", row.join(", "));
+    }
+}

@@ -1,0 +1,70 @@
+//! Gender prediction on a Pokec-like social network (Section 5.3, Fig. 7g).
+//!
+//! The Pokec social network is mildly *heterophilous*: users interact slightly more
+//! with the opposite gender than with their own (gold-standard compatibilities
+//! [[0.44, 0.56], [0.56, 0.44]]). This example uses the scaled dataset substitute from
+//! `fg-datasets` and shows that the weak heterophilous signal is still recoverable from
+//! very few labels — and that a homophily-based random walk cannot exploit it.
+//!
+//! Run with: `cargo run --release --example social_gender`
+
+use fg_core::prelude::*;
+use fg_datasets::{synthesize, DatasetId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // A 1% scale substitute of Pokec-Gender (~16k nodes) keeps the example fast; raise
+    // the scale to approach the published 1.6M-node graph.
+    let instance = synthesize(DatasetId::PokecGender, 0.01, 99).expect("synthesis succeeds");
+    println!(
+        "{}: {} users, {} friendships (substitute at {:.0}% scale)",
+        instance.spec.id.name(),
+        instance.graph.num_nodes(),
+        instance.graph.num_edges(),
+        instance.scale * 100.0
+    );
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let seeds = instance.labeling.stratified_sample(0.002, &mut rng);
+    println!(
+        "users who disclosed their gender: {} ({:.2}%)",
+        seeds.num_labeled(),
+        100.0 * seeds.label_fraction()
+    );
+
+    // DCEr end-to-end.
+    let dcer = DceWithRestarts::default();
+    let pipeline = estimate_and_propagate(&dcer, &instance.graph, &seeds, &LinBpConfig::default())
+        .expect("pipeline succeeds");
+    let dcer_acc = pipeline.accuracy(&instance.labeling, &seeds);
+
+    // Gold standard (measured on the fully labeled substitute).
+    let gold = instance.measured_gold_standard().expect("gold standard");
+    let gs = propagate_with("GS", &gold, &instance.graph, &seeds, &LinBpConfig::default())
+        .expect("GS propagation");
+    let gs_acc = gs.accuracy(&instance.labeling, &seeds);
+
+    // Homophily-based random walk baseline.
+    let walk = multi_rank_walk(&instance.graph, &seeds, &RandomWalkConfig::default())
+        .expect("random walk");
+    let walk_acc =
+        fg_propagation::unlabeled_accuracy(&walk.predictions, &instance.labeling, &seeds);
+
+    println!("\ngender-prediction accuracy (macro-averaged over undisclosed users):");
+    println!("  random-walk baseline (assumes homophily): {walk_acc:.3}");
+    println!("  DCEr + LinBP (estimated compatibilities) : {dcer_acc:.3}");
+    println!("  gold-standard compatibilities + LinBP    : {gs_acc:.3}");
+
+    println!("\nestimated gender compatibilities:");
+    for i in 0..2 {
+        let row: Vec<String> = pipeline
+            .estimated_h
+            .row(i)
+            .iter()
+            .map(|v| format!("{v:5.2}"))
+            .collect();
+        println!("  [{}]", row.join(", "));
+    }
+    println!("(the off-diagonal entries dominate: opposites attract, as in the real Pokec graph)");
+}

@@ -1,0 +1,179 @@
+//! Integration tests: end-to-end estimation + propagation across crates.
+//!
+//! These reproduce, at test scale, the headline claims of the paper: DCEr estimated from
+//! a sparsely labeled graph labels the remaining nodes about as well as the gold
+//! standard, clearly better than uninformed baselines, and the estimation step is cheap
+//! relative to propagation on large graphs.
+
+use fg_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn synthetic(n: usize, d: f64, k: usize, h: f64, seed: u64) -> fg_graph::SyntheticGraph {
+    let cfg = GeneratorConfig::balanced(n, d, k, h).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    generate(&cfg, &mut rng).unwrap()
+}
+
+#[test]
+fn dcer_is_close_to_gold_standard_at_one_percent_labels() {
+    let syn = synthetic(5000, 20.0, 3, 8.0, 11);
+    let mut rng = StdRng::seed_from_u64(12);
+    let seeds = syn.labeling.stratified_sample(0.01, &mut rng);
+
+    let gold = measure_compatibilities(&syn.graph, &syn.labeling).unwrap();
+    let gs = propagate_with("GS", &gold, &syn.graph, &seeds, &LinBpConfig::default()).unwrap();
+    let dcer = estimate_and_propagate(
+        &DceWithRestarts::default(),
+        &syn.graph,
+        &seeds,
+        &LinBpConfig::default(),
+    )
+    .unwrap();
+
+    let gs_acc = gs.accuracy(&syn.labeling, &seeds);
+    let dcer_acc = dcer.accuracy(&syn.labeling, &seeds);
+    assert!(gs_acc > 0.6, "GS accuracy {gs_acc} unexpectedly low");
+    assert!(
+        dcer_acc > gs_acc - 0.05,
+        "DCEr ({dcer_acc}) should be within 0.05 of GS ({gs_acc})"
+    );
+}
+
+#[test]
+fn estimated_compatibilities_beat_uniform_and_random() {
+    let syn = synthetic(3000, 15.0, 3, 8.0, 21);
+    let mut rng = StdRng::seed_from_u64(22);
+    let seeds = syn.labeling.stratified_sample(0.02, &mut rng);
+
+    let dcer = estimate_and_propagate(
+        &DceWithRestarts::default(),
+        &syn.graph,
+        &seeds,
+        &LinBpConfig::default(),
+    )
+    .unwrap();
+    let uniform = DenseMatrix::filled(3, 3, 1.0 / 3.0);
+    let blind = propagate_with("uniform", &uniform, &syn.graph, &seeds, &LinBpConfig::default())
+        .unwrap();
+
+    let dcer_acc = dcer.accuracy(&syn.labeling, &seeds);
+    let blind_acc = blind.accuracy(&syn.labeling, &seeds);
+    let random = fg_propagation::random_baseline(3);
+    assert!(dcer_acc > blind_acc + 0.1, "DCEr {dcer_acc} vs uniform {blind_acc}");
+    assert!(dcer_acc > random + 0.2);
+}
+
+#[test]
+fn heterophilous_graph_defeats_homophily_methods_but_not_dcer() {
+    // The Fig. 6i comparison: homophily-based propagation collapses on a heterophilous
+    // graph while estimation + LinBP stays accurate.
+    let syn = synthetic(3000, 15.0, 3, 8.0, 31);
+    let mut rng = StdRng::seed_from_u64(32);
+    let seeds = syn.labeling.stratified_sample(0.05, &mut rng);
+
+    let harmonic = harmonic_functions(&syn.graph, &seeds, &HarmonicConfig::default()).unwrap();
+    let harmonic_acc =
+        fg_propagation::unlabeled_accuracy(&harmonic.predictions, &syn.labeling, &seeds);
+
+    let dcer = estimate_and_propagate(
+        &DceWithRestarts::default(),
+        &syn.graph,
+        &seeds,
+        &LinBpConfig::default(),
+    )
+    .unwrap();
+    let dcer_acc = dcer.accuracy(&syn.labeling, &seeds);
+
+    assert!(
+        dcer_acc > harmonic_acc + 0.15,
+        "DCEr {dcer_acc} should clearly beat the homophily baseline {harmonic_acc}"
+    );
+}
+
+#[test]
+fn all_estimators_produce_valid_compatibility_matrices() {
+    let syn = synthetic(1500, 12.0, 3, 3.0, 41);
+    let mut rng = StdRng::seed_from_u64(42);
+    let seeds = syn.labeling.stratified_sample(0.1, &mut rng);
+
+    let estimators: Vec<Box<dyn CompatibilityEstimator>> = vec![
+        Box::new(MyopicCompatibilityEstimation::default()),
+        Box::new(LinearCompatibilityEstimation::default()),
+        Box::new(DistantCompatibilityEstimation::default()),
+        Box::new(DceWithRestarts::default()),
+        Box::new(GoldStandard::new(syn.labeling.clone())),
+    ];
+    for est in &estimators {
+        let h = est.estimate(&syn.graph, &seeds).unwrap();
+        assert_eq!(h.rows(), 3, "{}", est.name());
+        assert!(h.is_symmetric(1e-6), "{} output not symmetric", est.name());
+        for s in h.row_sums() {
+            assert!((s - 1.0).abs() < 1e-6, "{} rows not stochastic", est.name());
+        }
+    }
+}
+
+#[test]
+fn estimation_is_faster_than_propagation_on_larger_graphs() {
+    // The paper's scalability claim (Fig. 3b): DCEr's estimation time is below the
+    // LinBP propagation time once graphs get large, because both are O(mk) per pass but
+    // propagation runs 10 iterations while the summarization runs ℓmax passes and the
+    // optimization is graph-size independent.
+    let syn = synthetic(20_000, 10.0, 3, 8.0, 51);
+    let mut rng = StdRng::seed_from_u64(52);
+    let seeds = syn.labeling.stratified_sample(0.01, &mut rng);
+    let result = estimate_and_propagate(
+        &DceWithRestarts::default(),
+        &syn.graph,
+        &seeds,
+        &LinBpConfig {
+            max_iterations: 10,
+            tolerance: None,
+            ..LinBpConfig::default()
+        },
+    )
+    .unwrap();
+    // Allow generous slack: the point is the same order of magnitude, not 28x.
+    assert!(
+        result.estimation_time < result.propagation_time * 20,
+        "estimation {:?} should not dwarf propagation {:?}",
+        result.estimation_time,
+        result.propagation_time
+    );
+}
+
+#[test]
+fn class_imbalance_and_general_h_are_handled() {
+    // Fig. 6j: α = [1/6, 1/3, 1/2] with a general (non-h-parameterized) H.
+    let h = CompatibilityMatrix::from_rows(&[
+        vec![0.2, 0.6, 0.2],
+        vec![0.6, 0.1, 0.3],
+        vec![0.2, 0.3, 0.5],
+    ])
+    .unwrap();
+    let cfg = GeneratorConfig {
+        n: 4000,
+        m: 50_000,
+        alpha: vec![1.0 / 6.0, 1.0 / 3.0, 1.0 / 2.0],
+        h,
+        distribution: DegreeDistribution::paper_power_law(),
+    };
+    let mut rng = StdRng::seed_from_u64(61);
+    let syn = generate(&cfg, &mut rng).unwrap();
+    let seeds = syn.labeling.stratified_sample(0.02, &mut rng);
+
+    let gold = measure_compatibilities(&syn.graph, &syn.labeling).unwrap();
+    let gs = propagate_with("GS", &gold, &syn.graph, &seeds, &LinBpConfig::default()).unwrap();
+    let dcer = estimate_and_propagate(
+        &DceWithRestarts::default(),
+        &syn.graph,
+        &seeds,
+        &LinBpConfig::default(),
+    )
+    .unwrap();
+    let gs_acc = gs.accuracy(&syn.labeling, &seeds);
+    let dcer_acc = dcer.accuracy(&syn.labeling, &seeds);
+    assert!(dcer_acc > gs_acc - 0.1, "DCEr {dcer_acc} vs GS {gs_acc}");
+    assert!(dcer_acc > fg_propagation::random_baseline(3));
+}

@@ -1,0 +1,190 @@
+//! Integration tests for the statistical behaviour of the estimators: consistency of the
+//! non-backtracking statistics (Theorem 4.1), the L2-error ordering MCE ≥ DCE ≥ DCEr at
+//! small label fractions (Fig. 6e), hyperparameter behaviour, and normalization variants.
+
+use fg_core::prelude::*;
+use fg_core::{summarize, DceConfig, NormalizationVariant, SummaryConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn synthetic(n: usize, d: f64, h: f64, seed: u64) -> fg_graph::SyntheticGraph {
+    let cfg = GeneratorConfig::balanced(n, d, 3, h).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    generate(&cfg, &mut rng).unwrap()
+}
+
+#[test]
+fn nb_statistics_track_powers_of_h_example_4_2() {
+    // Example 4.2 / Fig. 5a: on a 10k-node graph with d = 20, h = 3 and f = 0.1, the
+    // NB statistics track Hℓ while the full-path statistics drift upward on the diagonal.
+    let cfg = GeneratorConfig::balanced_uniform(10_000, 20.0, 3, 3.0).unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let syn = generate(&cfg, &mut rng).unwrap();
+    let seeds = syn.labeling.stratified_sample(0.1, &mut rng);
+
+    let nb = summarize(
+        &syn.graph,
+        &seeds,
+        &SummaryConfig {
+            max_length: 4,
+            non_backtracking: true,
+            variant: NormalizationVariant::RowStochastic,
+        },
+    )
+    .unwrap();
+    let full = summarize(
+        &syn.graph,
+        &seeds,
+        &SummaryConfig {
+            max_length: 4,
+            non_backtracking: false,
+            variant: NormalizationVariant::RowStochastic,
+        },
+    )
+    .unwrap();
+
+    for ell in 2..=4 {
+        let h_pow = syn.planted_h.pow(ell);
+        let nb_err = h_pow.frobenius_distance(nb.statistic(ell).unwrap()).unwrap();
+        let full_err = h_pow.frobenius_distance(full.statistic(ell).unwrap()).unwrap();
+        assert!(
+            nb_err < full_err,
+            "length {ell}: NB error {nb_err} should beat full-path error {full_err}"
+        );
+        assert!(nb_err < 0.2, "length {ell}: NB error {nb_err} too large");
+    }
+}
+
+#[test]
+fn l2_error_ordering_mce_dce_dcer_at_sparse_labels() {
+    // Fig. 6e: at small f the MCE estimate is poor, DCE improves on it, DCEr is best
+    // (or ties DCE).
+    let syn = synthetic(5000, 25.0, 8.0, 17);
+    let mut rng = StdRng::seed_from_u64(18);
+    let seeds = syn.labeling.stratified_sample(0.01, &mut rng);
+    let gold = syn.planted_h.as_dense();
+
+    let mce_h = MyopicCompatibilityEstimation::default()
+        .estimate(&syn.graph, &seeds)
+        .unwrap();
+    let dce_h = DistantCompatibilityEstimation::default()
+        .estimate(&syn.graph, &seeds)
+        .unwrap();
+    let dcer_h = DceWithRestarts::default()
+        .estimate(&syn.graph, &seeds)
+        .unwrap();
+
+    let mce_err = gold.frobenius_distance(&mce_h).unwrap();
+    let dce_err = gold.frobenius_distance(&dce_h).unwrap();
+    let dcer_err = gold.frobenius_distance(&dcer_h).unwrap();
+
+    assert!(
+        dcer_err <= dce_err + 1e-6,
+        "DCEr error {dcer_err} should not exceed DCE error {dce_err}"
+    );
+    assert!(
+        dcer_err < mce_err,
+        "DCEr error {dcer_err} should beat MCE error {mce_err} at f = 1%"
+    );
+}
+
+#[test]
+fn with_plenty_of_labels_all_methods_converge_to_similar_estimates() {
+    // At f = 50% the neighbor statistics alone suffice, so MCE, DCE and DCEr agree.
+    let syn = synthetic(2000, 20.0, 3.0, 27);
+    let mut rng = StdRng::seed_from_u64(28);
+    let seeds = syn.labeling.stratified_sample(0.5, &mut rng);
+    let gold = syn.planted_h.as_dense();
+
+    for est in [
+        Box::new(MyopicCompatibilityEstimation::default()) as Box<dyn CompatibilityEstimator>,
+        Box::new(DistantCompatibilityEstimation::default()),
+        Box::new(DceWithRestarts::default()),
+    ] {
+        let h = est.estimate(&syn.graph, &seeds).unwrap();
+        let err = gold.frobenius_distance(&h).unwrap();
+        // The reference here is the *planted* H; the generator itself introduces a small
+        // gap between planted and realized compatibilities, so allow a modest margin.
+        assert!(err < 0.35, "{}: error {err} too large at f = 0.5", est.name());
+    }
+}
+
+#[test]
+fn longer_paths_help_at_sparse_labels() {
+    // Fig. 6b: ℓmax = 5 beats ℓmax = 1 when labels are very sparse.
+    let syn = synthetic(5000, 25.0, 8.0, 37);
+    let mut rng = StdRng::seed_from_u64(38);
+    let seeds = syn.labeling.stratified_sample(0.005, &mut rng);
+    let gold = syn.planted_h.as_dense();
+
+    let short = DceWithRestarts::new(DceConfig::new(1, 10.0), 10)
+        .estimate(&syn.graph, &seeds)
+        .unwrap();
+    let long = DceWithRestarts::new(DceConfig::new(5, 10.0), 10)
+        .estimate(&syn.graph, &seeds)
+        .unwrap();
+    let short_err = gold.frobenius_distance(&short).unwrap();
+    let long_err = gold.frobenius_distance(&long).unwrap();
+    assert!(
+        long_err < short_err,
+        "ℓmax=5 error {long_err} should beat ℓmax=1 error {short_err} at f = 0.5%"
+    );
+}
+
+#[test]
+fn normalization_variant_1_is_at_least_as_good_as_variant_3() {
+    // Fig. 6a: variant 3 generally performs worse.
+    let syn = synthetic(5000, 25.0, 8.0, 47);
+    let mut rng = StdRng::seed_from_u64(48);
+    let seeds = syn.labeling.stratified_sample(0.05, &mut rng);
+    let gold = syn.planted_h.as_dense();
+
+    let mut errors = Vec::new();
+    for variant in [NormalizationVariant::RowStochastic, NormalizationVariant::MeanScaled] {
+        let mut config = DceConfig::default();
+        config.variant = variant;
+        let h = DceWithRestarts::new(config, 10)
+            .estimate(&syn.graph, &seeds)
+            .unwrap();
+        errors.push(gold.frobenius_distance(&h).unwrap());
+    }
+    assert!(
+        errors[0] <= errors[1] + 0.05,
+        "variant 1 error {} should not be much worse than variant 3 error {}",
+        errors[0],
+        errors[1]
+    );
+}
+
+#[test]
+fn restarts_monotonically_improve_energy() {
+    // Section 4.8: more restarts can only lower the best energy found.
+    let syn = synthetic(3000, 15.0, 8.0, 57);
+    let mut rng = StdRng::seed_from_u64(58);
+    let seeds = syn.labeling.stratified_sample(0.005, &mut rng);
+    let summary = summarize(
+        &syn.graph,
+        &seeds,
+        &DceConfig::default().summary_config(),
+    )
+    .unwrap();
+
+    let mut previous_energy = f64::INFINITY;
+    for restarts in [1, 2, 5, 10] {
+        let est = DceWithRestarts::new(DceConfig::default(), restarts);
+        let (_, energy) = est.estimate_from_summary(&summary).unwrap();
+        assert!(
+            energy <= previous_energy + 1e-12,
+            "energy with {restarts} restarts ({energy}) should not exceed the previous best ({previous_energy})"
+        );
+        previous_energy = energy;
+    }
+}
+
+#[test]
+fn gold_standard_measurement_matches_planted_matrix() {
+    let syn = synthetic(4000, 20.0, 3.0, 67);
+    let gold = measure_compatibilities(&syn.graph, &syn.labeling).unwrap();
+    let dist = syn.planted_h.l2_distance(&gold).unwrap();
+    assert!(dist < 0.1, "measured GS differs from planted H by {dist}");
+}

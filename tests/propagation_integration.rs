@@ -1,0 +1,181 @@
+//! Integration tests for the propagation layer working against the generator and the
+//! estimation layer: LinBP vs loopy BP, centering invariance at scale, convergence
+//! behaviour, and the homophily sanity check of Fig. 6i.
+
+use fg_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn synthetic(n: usize, d: f64, k: usize, h: f64, seed: u64) -> fg_graph::SyntheticGraph {
+    let cfg = GeneratorConfig::balanced(n, d, k, h).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    generate(&cfg, &mut rng).unwrap()
+}
+
+#[test]
+fn linbp_and_loopy_bp_agree_on_moderate_graphs() {
+    let syn = synthetic(500, 8.0, 3, 8.0, 3);
+    let mut rng = StdRng::seed_from_u64(4);
+    let seeds = syn.labeling.stratified_sample(0.1, &mut rng);
+    let h = syn.planted_h.as_dense();
+
+    let lin = propagate(&syn.graph, &seeds, h, &LinBpConfig::default()).unwrap();
+    let bp = fg_propagation::propagate_bp(
+        &syn.graph,
+        &seeds,
+        h,
+        &fg_propagation::BpConfig::default(),
+    )
+    .unwrap();
+
+    let lin_acc = fg_propagation::unlabeled_accuracy(&lin.predictions, &syn.labeling, &seeds);
+    let bp_acc = fg_propagation::unlabeled_accuracy(&bp.predictions, &syn.labeling, &seeds);
+    // The linearization is an approximation; accuracies should be in the same ballpark.
+    assert!(
+        (lin_acc - bp_acc).abs() < 0.15,
+        "LinBP accuracy {lin_acc} vs BP accuracy {bp_acc}"
+    );
+    assert!(lin_acc > 0.5);
+}
+
+#[test]
+fn centering_invariance_holds_on_generated_graphs() {
+    // Theorem 3.1 at integration scale.
+    let syn = synthetic(2000, 12.0, 4, 5.0, 13);
+    let mut rng = StdRng::seed_from_u64(14);
+    let seeds = syn.labeling.stratified_sample(0.05, &mut rng);
+    let h = syn.planted_h.as_dense();
+    let base = LinBpConfig {
+        tolerance: None,
+        max_iterations: 8,
+        ..LinBpConfig::default()
+    };
+    let centered = propagate(
+        &syn.graph,
+        &seeds,
+        h,
+        &LinBpConfig {
+            centered: true,
+            ..base.clone()
+        },
+    )
+    .unwrap();
+    let uncentered = propagate(
+        &syn.graph,
+        &seeds,
+        h,
+        &LinBpConfig {
+            centered: false,
+            ..base
+        },
+    )
+    .unwrap();
+    assert_eq!(centered.predictions, uncentered.predictions);
+}
+
+#[test]
+fn convergent_scaling_reaches_fixed_point() {
+    let syn = synthetic(1000, 10.0, 3, 3.0, 23);
+    let mut rng = StdRng::seed_from_u64(24);
+    let seeds = syn.labeling.stratified_sample(0.05, &mut rng);
+    let result = propagate(
+        &syn.graph,
+        &seeds,
+        syn.planted_h.as_dense(),
+        &LinBpConfig {
+            max_iterations: 300,
+            tolerance: Some(1e-9),
+            ..LinBpConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(result.converged, "LinBP did not converge in 300 iterations");
+    // The fixed point satisfies F = X + εWFH up to tolerance: check the residual energy.
+    assert!(result.beliefs.max_abs().is_finite());
+}
+
+#[test]
+fn homophily_baselines_work_on_homophilous_graphs_only() {
+    // Fig. 6i in both directions: on a homophilous graph the harmonic-functions method
+    // is competitive; on a heterophilous graph it collapses while GS-LinBP does not.
+    let mut homophilous_cfg = GeneratorConfig::balanced(2000, 15.0, 3, 1.0).unwrap();
+    homophilous_cfg.h = CompatibilityMatrix::homophily(3, 8.0).unwrap();
+    let mut rng = StdRng::seed_from_u64(33);
+    let homophilous = generate(&homophilous_cfg, &mut rng).unwrap();
+    let seeds_h = homophilous.labeling.stratified_sample(0.05, &mut rng);
+
+    let harmonic_h = harmonic_functions(&homophilous.graph, &seeds_h, &HarmonicConfig::default())
+        .unwrap();
+    let harmonic_h_acc = fg_propagation::unlabeled_accuracy(
+        &harmonic_h.predictions,
+        &homophilous.labeling,
+        &seeds_h,
+    );
+    assert!(harmonic_h_acc > 0.6, "harmonic accuracy on homophily {harmonic_h_acc}");
+
+    let heterophilous = synthetic(2000, 15.0, 3, 8.0, 43);
+    let seeds_het = heterophilous.labeling.stratified_sample(0.05, &mut rng);
+    let harmonic_het = harmonic_functions(
+        &heterophilous.graph,
+        &seeds_het,
+        &HarmonicConfig::default(),
+    )
+    .unwrap();
+    let harmonic_het_acc = fg_propagation::unlabeled_accuracy(
+        &harmonic_het.predictions,
+        &heterophilous.labeling,
+        &seeds_het,
+    );
+    let gs = propagate_with(
+        "GS",
+        heterophilous.planted_h.as_dense(),
+        &heterophilous.graph,
+        &seeds_het,
+        &LinBpConfig::default(),
+    )
+    .unwrap();
+    let gs_acc = gs.accuracy(&heterophilous.labeling, &seeds_het);
+    assert!(
+        gs_acc > harmonic_het_acc + 0.2,
+        "GS-LinBP {gs_acc} should dominate harmonic functions {harmonic_het_acc} under heterophily"
+    );
+}
+
+#[test]
+fn propagation_accuracy_increases_with_label_fraction() {
+    let syn = synthetic(3000, 15.0, 3, 3.0, 53);
+    let mut rng = StdRng::seed_from_u64(54);
+    let mut last_acc = 0.0;
+    let mut increases = 0;
+    let fractions = [0.001, 0.01, 0.1, 0.5];
+    for &f in &fractions {
+        let seeds = syn.labeling.stratified_sample(f, &mut rng);
+        let result = propagate(
+            &syn.graph,
+            &seeds,
+            syn.planted_h.as_dense(),
+            &LinBpConfig::default(),
+        )
+        .unwrap();
+        let acc = fg_propagation::unlabeled_accuracy(&result.predictions, &syn.labeling, &seeds);
+        if acc >= last_acc - 0.02 {
+            increases += 1;
+        }
+        last_acc = acc;
+    }
+    // Accuracy should be (weakly) monotone in f for nearly every step.
+    assert!(increases >= 3, "accuracy did not grow with label fraction");
+    assert!(last_acc > 0.8, "accuracy at f = 0.5 is only {last_acc}");
+}
+
+#[test]
+fn multi_rank_walk_handles_generated_homophilous_graph() {
+    let mut cfg = GeneratorConfig::balanced(1500, 12.0, 3, 1.0).unwrap();
+    cfg.h = CompatibilityMatrix::homophily(3, 10.0).unwrap();
+    let mut rng = StdRng::seed_from_u64(63);
+    let syn = generate(&cfg, &mut rng).unwrap();
+    let seeds = syn.labeling.stratified_sample(0.05, &mut rng);
+    let walk = multi_rank_walk(&syn.graph, &seeds, &RandomWalkConfig::default()).unwrap();
+    let acc = fg_propagation::unlabeled_accuracy(&walk.predictions, &syn.labeling, &seeds);
+    assert!(acc > 0.6, "random walk accuracy {acc} on a homophilous graph");
+}
