@@ -1,7 +1,7 @@
-//! Criterion bench: compatibility estimators on a fixed sparsely labeled graph
+//! Bench: compatibility estimators on a fixed sparsely labeled graph
 //! (the per-method costs behind Fig. 6f and Fig. 6k).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fg_bench::run_bench;
 use fg_core::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -14,33 +14,25 @@ fn setup() -> (Graph, Labeling, SeedLabels) {
     (syn.graph, syn.labeling, seeds)
 }
 
-fn bench_estimators(c: &mut Criterion) {
+fn main() {
     let (graph, labeling, seeds) = setup();
-    let mut group = c.benchmark_group("estimators");
-    group.sample_size(10);
+    println!(
+        "== estimators (n = {}, m = {}, f = 0.01) ==",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
 
-    group.bench_function("MCE", |b| {
-        let est = MyopicCompatibilityEstimation::default();
-        b.iter(|| est.estimate(&graph, &seeds).expect("MCE"))
-    });
-    group.bench_function("LCE", |b| {
-        let est = LinearCompatibilityEstimation::default();
-        b.iter(|| est.estimate(&graph, &seeds).expect("LCE"))
-    });
-    group.bench_function("DCE", |b| {
-        let est = DistantCompatibilityEstimation::default();
-        b.iter(|| est.estimate(&graph, &seeds).expect("DCE"))
-    });
-    group.bench_function("DCEr_r10", |b| {
-        let est = DceWithRestarts::default();
-        b.iter(|| est.estimate(&graph, &seeds).expect("DCEr"))
-    });
-    group.bench_function("GS_measurement", |b| {
-        let est = GoldStandard::new(labeling.clone());
-        b.iter(|| est.estimate(&graph, &seeds).expect("GS"))
-    });
-    group.finish();
+    let estimators: Vec<(&str, Box<dyn CompatibilityEstimator>)> = vec![
+        ("MCE", Box::new(MyopicCompatibilityEstimation::default())),
+        ("LCE", Box::new(LinearCompatibilityEstimation::default())),
+        ("DCE", Box::new(DistantCompatibilityEstimation::default())),
+        ("DCEr_r10", Box::new(DceWithRestarts::default())),
+        (
+            "GS_measurement",
+            Box::new(GoldStandard::new(labeling.clone())),
+        ),
+    ];
+    for (label, est) in &estimators {
+        run_bench(label, || est.estimate(&graph, &seeds).expect("estimate"));
+    }
 }
-
-criterion_group!(benches, bench_estimators);
-criterion_main!(benches);

@@ -1,10 +1,10 @@
-//! Criterion bench: factorized path summation vs explicit adjacency powers (Fig. 5b).
+//! Bench: factorized path summation vs explicit adjacency powers (Fig. 5b).
 //!
 //! Measures (1) the factorized `P̂(ℓ)_NB` computation for increasing ℓmax — expected to
 //! grow linearly in ℓ — and (2) the explicit `Wℓ` computation for small ℓ — expected to
 //! grow geometrically with the average degree per extra hop.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fg_bench::run_bench;
 use fg_core::{explicit_adjacency_power, summarize, SummaryConfig};
 use fg_graph::{generate, GeneratorConfig, SeedLabels};
 use rand::rngs::StdRng;
@@ -18,32 +18,21 @@ fn setup(n: usize, d: f64) -> (fg_graph::Graph, SeedLabels) {
     (syn.graph, seeds)
 }
 
-fn bench_factorized_summary(c: &mut Criterion) {
+fn main() {
     let (graph, seeds) = setup(5_000, 20.0);
-    let mut group = c.benchmark_group("factorized_summary");
-    group.sample_size(10);
+    println!(
+        "== factorized summary vs explicit powers (n = {}, d = 20) ==",
+        graph.num_nodes()
+    );
+
     for lmax in [1usize, 2, 4, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(lmax), &lmax, |b, &lmax| {
-            b.iter(|| {
-                summarize(&graph, &seeds, &SummaryConfig::with_max_length(lmax))
-                    .expect("summary")
-            })
+        run_bench(&format!("factorized_summary/lmax={lmax}"), || {
+            summarize(&graph, &seeds, &SummaryConfig::with_max_length(lmax)).expect("summary")
         });
     }
-    group.finish();
-}
-
-fn bench_explicit_powers(c: &mut Criterion) {
-    let (graph, _) = setup(5_000, 20.0);
-    let mut group = c.benchmark_group("explicit_adjacency_power");
-    group.sample_size(10);
     for ell in [1usize, 2, 3] {
-        group.bench_with_input(BenchmarkId::from_parameter(ell), &ell, |b, &ell| {
-            b.iter(|| explicit_adjacency_power(&graph, ell).expect("power"))
+        run_bench(&format!("explicit_adjacency_power/l={ell}"), || {
+            explicit_adjacency_power(&graph, ell).expect("power")
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_factorized_summary, bench_explicit_powers);
-criterion_main!(benches);

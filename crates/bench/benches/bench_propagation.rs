@@ -1,10 +1,14 @@
-//! Criterion bench: label-propagation methods (LinBP, loopy BP, harmonic functions,
-//! random walks) on the same graph — the denominator of the paper's "estimation is
-//! cheaper than propagation" claim.
+//! Bench: label-propagation backends (LinBP, loopy BP, harmonic functions, random
+//! walks) on the same generated graph, all driven through the `Propagator` trait —
+//! the denominator of the paper's "estimation is cheaper than propagation" claim.
+//!
+//! LinBP is additionally measured through a direct (statically dispatched) call, so
+//! the overhead of the trait's dynamic dispatch stays visible in the perf trajectory
+//! (it should be noise: one virtual call per propagation run).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fg_bench::run_bench;
 use fg_core::prelude::*;
-use fg_propagation::BpConfig;
+use fg_propagation::{registry, BpConfig, PropagatorOptions};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -17,43 +21,45 @@ fn setup() -> (Graph, SeedLabels, fg_sparse::DenseMatrix) {
     (syn.graph, seeds, h)
 }
 
-fn bench_propagation(c: &mut Criterion) {
+fn main() {
     let (graph, seeds, h) = setup();
-    let mut group = c.benchmark_group("propagation");
-    group.sample_size(10);
+    println!(
+        "== propagation (n = {}, m = {}, 10 iterations) ==",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
 
-    group.bench_function("LinBP_10_iterations", |b| {
-        let cfg = LinBpConfig {
-            max_iterations: 10,
-            tolerance: None,
-            ..LinBpConfig::default()
-        };
-        b.iter(|| propagate(&graph, &seeds, &h, &cfg).expect("LinBP"))
+    // All four backends through the trait, built via the by-name registry exactly as
+    // the CLI and the sweeps build them.
+    let opts = PropagatorOptions {
+        max_iterations: Some(10),
+        tolerance: Some(0.0),
+        damping: None,
+    };
+    for name in registry::propagator_names() {
+        let backend = registry::by_name_with(name, &opts).expect("registered backend");
+        let label = format!("{}_10_iterations_dyn", backend.name());
+        run_bench(&label, || {
+            backend.propagate(&graph, &seeds, &h).expect("propagation")
+        });
+    }
+
+    // Static-dispatch baselines for the two compatibility-aware backends, to expose
+    // any overhead the `dyn Propagator` indirection adds.
+    let lin_cfg = LinBpConfig {
+        max_iterations: 10,
+        tolerance: Some(0.0),
+        ..LinBpConfig::default()
+    };
+    run_bench("LinBP_10_iterations_direct", || {
+        propagate(&graph, &seeds, &h, &lin_cfg).expect("LinBP")
     });
-    group.bench_function("LoopyBP_10_iterations", |b| {
-        let cfg = BpConfig {
-            max_iterations: 10,
-            tolerance: 0.0,
-            ..BpConfig::default()
-        };
-        b.iter(|| fg_propagation::propagate_bp(&graph, &seeds, &h, &cfg).expect("BP"))
+    let bp_cfg = BpConfig {
+        max_iterations: 10,
+        tolerance: 0.0,
+        ..BpConfig::default()
+    };
+    run_bench("LoopyBP_10_iterations_direct", || {
+        fg_propagation::propagate_bp(&graph, &seeds, &h, &bp_cfg).expect("BP")
     });
-    group.bench_function("HarmonicFunctions", |b| {
-        let cfg = HarmonicConfig {
-            max_iterations: 10,
-            ..HarmonicConfig::default()
-        };
-        b.iter(|| harmonic_functions(&graph, &seeds, &cfg).expect("harmonic"))
-    });
-    group.bench_function("MultiRankWalk", |b| {
-        let cfg = RandomWalkConfig {
-            max_iterations: 10,
-            ..RandomWalkConfig::default()
-        };
-        b.iter(|| multi_rank_walk(&graph, &seeds, &cfg).expect("walk"))
-    });
-    group.finish();
 }
-
-criterion_group!(benches, bench_propagation);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
-//! Criterion bench: DCEr estimation and LinBP propagation as the graph grows
-//! (the Fig. 3b / Fig. 6k scaling curves, measured with Criterion's statistics).
+//! Bench: DCEr estimation and LinBP propagation as the graph grows
+//! (the Fig. 3b / Fig. 6k scaling curves).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fg_bench::run_bench;
 use fg_core::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -15,29 +15,23 @@ fn make(n: usize) -> (Graph, SeedLabels, fg_sparse::DenseMatrix) {
     (syn.graph, seeds, h)
 }
 
-fn bench_scaling(c: &mut Criterion) {
+fn main() {
     let sizes = [2_000usize, 8_000, 32_000];
-    let mut group = c.benchmark_group("scaling_with_edges");
-    group.sample_size(10);
     for &n in &sizes {
         let (graph, seeds, h) = make(n);
-        let m = graph.num_edges() as u64;
-        group.throughput(Throughput::Elements(m));
-        group.bench_with_input(BenchmarkId::new("DCEr", m), &n, |b, _| {
-            let est = DceWithRestarts::default();
-            b.iter(|| est.estimate(&graph, &seeds).expect("DCEr"))
+        let m = graph.num_edges();
+        println!("== scaling (n = {n}, m = {m}) ==");
+        let est = DceWithRestarts::default();
+        run_bench(&format!("DCEr/m={m}"), || {
+            est.estimate(&graph, &seeds).expect("DCEr")
         });
-        group.bench_with_input(BenchmarkId::new("LinBP_propagation", m), &n, |b, _| {
-            let cfg = LinBpConfig {
-                max_iterations: 10,
-                tolerance: None,
-                ..LinBpConfig::default()
-            };
-            b.iter(|| propagate(&graph, &seeds, &h, &cfg).expect("propagation"))
+        let cfg = LinBpConfig {
+            max_iterations: 10,
+            tolerance: None,
+            ..LinBpConfig::default()
+        };
+        run_bench(&format!("LinBP_propagation/m={m}"), || {
+            propagate(&graph, &seeds, &h, &cfg).expect("propagation")
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_scaling);
-criterion_main!(benches);

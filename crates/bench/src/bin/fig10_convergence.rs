@@ -28,7 +28,12 @@ fn main() {
 
     let mut table = ExperimentTable::new(
         "fig10_convergence",
-        &["iteration", "max_abs_centered", "max_abs_uncentered", "label_agreement"],
+        &[
+            "iteration",
+            "max_abs_centered",
+            "max_abs_uncentered",
+            "label_agreement",
+        ],
     );
     for iterations in [1usize, 2, 4, 8, 12, 16, 20, 25, 30] {
         let base = LinBpConfig {

@@ -36,7 +36,10 @@ fn main() {
         )
         .expect("sweep succeeds");
         let table = outcomes_to_table(
-            &format!("fig12_heuristic_{}", id.name().to_lowercase().replace('-', "_")),
+            &format!(
+                "fig12_heuristic_{}",
+                id.name().to_lowercase().replace('-', "_")
+            ),
             &outcomes,
             &kinds,
             |o| o.accuracy,

@@ -40,7 +40,7 @@ fn main() {
             &format!("fig14_l2_{}", id.name().to_lowercase().replace('-', "_")),
             &outcomes,
             &kinds,
-            |o| o.l2_error,
+            |o| o.l2_error.unwrap_or(f64::NAN),
         );
         table.print_and_save();
     }

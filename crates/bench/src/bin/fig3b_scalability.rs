@@ -22,7 +22,16 @@ fn main() {
 
     let mut table = ExperimentTable::new(
         "fig3b_scalability",
-        &["n", "m", "MCE_s", "LCE_s", "DCE_s", "DCEr_s", "Propagation_s", "Holdout_s"],
+        &[
+            "n",
+            "m",
+            "MCE_s",
+            "LCE_s",
+            "DCE_s",
+            "DCEr_s",
+            "Propagation_s",
+            "Holdout_s",
+        ],
     );
 
     for &n in &sizes {

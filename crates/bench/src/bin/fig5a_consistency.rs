@@ -6,8 +6,8 @@
 //! 0.6, 0.44, 0.376, 0.3504, … for `Hℓ` and shows that only the NB statistics track it.
 
 use fg_bench::{scaled_n, ExperimentTable};
-use fg_core::{summarize, NormalizationVariant, SummaryConfig};
 use fg_core::prelude::*;
+use fg_core::{summarize, NormalizationVariant, SummaryConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -46,7 +46,14 @@ fn main() {
 
     let mut table = ExperimentTable::new(
         "fig5a_consistency",
-        &["l", "H^l[0][1]", "P_full[0][1]", "P_NB[0][1]", "L2(full)", "L2(NB)"],
+        &[
+            "l",
+            "H^l[0][1]",
+            "P_full[0][1]",
+            "P_NB[0][1]",
+            "L2(full)",
+            "L2(NB)",
+        ],
     );
     for ell in 1..=max_length {
         let h_pow = syn.planted_h.pow(ell);

@@ -5,8 +5,8 @@
 //! path summaries over > 10^14 paths take < 0.1 s on a 100k-edge graph.
 
 use fg_bench::{scaled_n, time_it, ExperimentTable};
-use fg_core::{explicit_adjacency_power, summarize, SummaryConfig};
 use fg_core::prelude::*;
+use fg_core::{explicit_adjacency_power, summarize, SummaryConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

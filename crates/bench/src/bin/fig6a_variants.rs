@@ -6,8 +6,8 @@
 //! and variant 2 has higher variance.
 
 use fg_bench::{scaled_n, ExperimentTable};
-use fg_core::{DceConfig, DceWithRestarts, NormalizationVariant};
 use fg_core::prelude::*;
+use fg_core::{DceConfig, DceWithRestarts, NormalizationVariant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -6,8 +6,8 @@
 //! longer paths can, and λ ≈ 10 is a robust choice.
 
 use fg_bench::{scaled_n, ExperimentTable};
-use fg_core::{DceConfig, DceWithRestarts};
 use fg_core::prelude::*;
+use fg_core::{DceConfig, DceWithRestarts};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -5,8 +5,8 @@
 //! large `f` (plenty of labels) do small λ (relying on immediate neighbors) win.
 
 use fg_bench::{scaled_n, ExperimentTable};
-use fg_core::{DceConfig, DceWithRestarts};
 use fg_core::prelude::*;
+use fg_core::{DceConfig, DceWithRestarts};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -5,8 +5,8 @@
 //! the optimal choice across a wide range of degrees.
 
 use fg_bench::{scaled_n, ExperimentTable};
-use fg_core::{DceConfig, DceWithRestarts};
 use fg_core::prelude::*;
+use fg_core::{DceConfig, DceWithRestarts};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

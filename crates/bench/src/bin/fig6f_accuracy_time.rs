@@ -3,7 +3,7 @@
 //! splits. The paper reports DCEr matching GS accuracy at ~0.1 s while Holdout needs
 //! hundreds of seconds (a ~2500x gap).
 
-use fg_bench::{scaled_n, time_it, ExperimentTable};
+use fg_bench::{scaled_n, ExperimentTable};
 use fg_core::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -15,7 +15,6 @@ fn main() {
     let syn = generate(&config, &mut rng).expect("generation succeeds");
     let seeds = syn.labeling.stratified_sample(0.003, &mut rng);
     let gold = measure_compatibilities(&syn.graph, &syn.labeling).expect("gold standard");
-    let linbp = LinBpConfig::default();
     println!(
         "fig6f: accuracy vs estimation time (n = {}, d = 25, h = 3, f = 0.003, {} seeds)",
         syn.graph.num_nodes(),
@@ -28,8 +27,11 @@ fn main() {
     );
 
     // Gold standard: zero estimation cost.
-    let gs_result =
-        propagate_with("GS", &gold, &syn.graph, &seeds, &linbp).expect("GS propagation");
+    let gs_result = Pipeline::on(&syn.graph)
+        .seeds(&seeds)
+        .compatibilities("GS", &gold)
+        .run()
+        .expect("GS propagation");
     table.push_row(vec![
         "GS".into(),
         "0.000".into(),
@@ -37,22 +39,43 @@ fn main() {
     ]);
 
     let estimators: Vec<(String, Box<dyn CompatibilityEstimator>)> = vec![
-        ("MCE".into(), Box::new(MyopicCompatibilityEstimation::default())),
-        ("LCE".into(), Box::new(LinearCompatibilityEstimation::default())),
-        ("DCE".into(), Box::new(DistantCompatibilityEstimation::default())),
+        (
+            "MCE".into(),
+            Box::new(MyopicCompatibilityEstimation::default()),
+        ),
+        (
+            "LCE".into(),
+            Box::new(LinearCompatibilityEstimation::default()),
+        ),
+        (
+            "DCE".into(),
+            Box::new(DistantCompatibilityEstimation::default()),
+        ),
         ("DCEr".into(), Box::new(DceWithRestarts::default())),
-        ("Holdout b=1".into(), Box::new(HoldoutEstimation::with_splits(1))),
-        ("Holdout b=2".into(), Box::new(HoldoutEstimation::with_splits(2))),
-        ("Holdout b=4".into(), Box::new(HoldoutEstimation::with_splits(4))),
+        (
+            "Holdout b=1".into(),
+            Box::new(HoldoutEstimation::with_splits(1)),
+        ),
+        (
+            "Holdout b=2".into(),
+            Box::new(HoldoutEstimation::with_splits(2)),
+        ),
+        (
+            "Holdout b=4".into(),
+            Box::new(HoldoutEstimation::with_splits(4)),
+        ),
     ];
     for (name, estimator) in &estimators {
-        let (h, elapsed) = time_it(|| estimator.estimate(&syn.graph, &seeds).expect("estimate"));
-        let result =
-            propagate_with("est", &h, &syn.graph, &seeds, &linbp).expect("propagation");
+        let report = Pipeline::on(&syn.graph)
+            .seeds(&seeds)
+            .estimator(estimator)
+            .estimator_label(name.clone())
+            .run()
+            .expect("pipeline");
         table.push_row(vec![
             name.clone(),
-            format!("{:.3}", elapsed.as_secs_f64()),
-            format!("{:.3}", result.accuracy(&syn.labeling, &seeds)),
+            format!("{:.3}", report.estimation_time.as_secs_f64()),
+            format!("{:.3}", report.accuracy(&syn.labeling, &seeds)),
         ]);
     }
     table.print_and_save();

@@ -41,7 +41,10 @@ fn main() {
                 .filter(|o| o.estimator == kind.name())
                 .map(|o| o.accuracy)
                 .collect();
-            row.push(format!("{:.3}", values.iter().sum::<f64>() / values.len() as f64));
+            row.push(format!(
+                "{:.3}",
+                values.iter().sum::<f64>() / values.len() as f64
+            ));
         }
         row.push(format!("{:.3}", 1.0 / k as f64));
         table.push_row(row);

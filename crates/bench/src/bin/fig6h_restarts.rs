@@ -5,8 +5,10 @@
 //! The paper's conclusion: r = 10 restarts reach the global-minimum accuracy.
 
 use fg_bench::{scaled_n, ExperimentTable};
-use fg_core::{matrix_to_free, summarize, DceConfig, DceWithRestarts, DistantCompatibilityEstimation};
 use fg_core::prelude::*;
+use fg_core::{
+    matrix_to_free, summarize, DceConfig, DceWithRestarts, DistantCompatibilityEstimation,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -28,7 +30,6 @@ fn main() {
         let syn = generate(&config, &mut rng).expect("generation succeeds");
         let seeds = syn.labeling.stratified_sample(0.09, &mut rng);
         let gold = measure_compatibilities(&syn.graph, &syn.labeling).expect("gold standard");
-        let linbp = LinBpConfig::default();
 
         // Global-minimum baseline: start the DCE optimization from the gold standard.
         let dce = DistantCompatibilityEstimation::default();
@@ -37,7 +38,10 @@ fn main() {
         let (global_h, _) = dce
             .estimate_from_summary_with_start(&summary, &gs_start)
             .expect("global-minimum run");
-        let global_acc = propagate_with("global", &global_h, &syn.graph, &seeds, &linbp)
+        let global_acc = Pipeline::on(&syn.graph)
+            .seeds(&seeds)
+            .compatibilities("global", &global_h)
+            .run()
             .expect("propagation")
             .accuracy(&syn.labeling, &seeds);
 
@@ -45,10 +49,17 @@ fn main() {
         for &r in &restart_counts {
             let est = DceWithRestarts::new(DceConfig::default(), r);
             let (h, _) = est.estimate_from_summary(&summary).expect("DCEr");
-            let acc = propagate_with("DCEr", &h, &syn.graph, &seeds, &linbp)
+            let acc = Pipeline::on(&syn.graph)
+                .seeds(&seeds)
+                .compatibilities(format!("DCEr(r={r})"), &h)
+                .run()
                 .expect("propagation")
                 .accuracy(&syn.labeling, &seeds);
-            let relative = if global_acc > 0.0 { acc / global_acc } else { f64::NAN };
+            let relative = if global_acc > 0.0 {
+                acc / global_acc
+            } else {
+                f64::NAN
+            };
             row.push(format!("{relative:.3}"));
         }
         table.push_row(row);

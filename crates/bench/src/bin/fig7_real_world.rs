@@ -26,10 +26,7 @@ fn dataset_scale(id: DatasetId) -> f64 {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let matrices_only = args.iter().any(|a| a == "--matrices");
-    let requested: Vec<DatasetId> = args
-        .iter()
-        .filter_map(|a| DatasetId::parse(a))
-        .collect();
+    let requested: Vec<DatasetId> = args.iter().filter_map(|a| DatasetId::parse(a)).collect();
     let datasets = if requested.is_empty() {
         DatasetId::all().to_vec()
     } else {

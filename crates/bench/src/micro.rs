@@ -1,0 +1,90 @@
+//! A tiny manual-timing micro-benchmark harness.
+//!
+//! The build environment has no access to crates.io, so the `benches/` targets use
+//! this module (with `harness = false`) instead of Criterion: warm up, run a fixed
+//! number of timed iterations, and report min/mean/max per-iteration wall-clock time.
+//! The output format is one aligned line per benchmark, so `cargo bench` logs diff
+//! cleanly across commits — that is what the perf trajectory tracks.
+
+use std::time::{Duration, Instant};
+
+/// Number of timed iterations used by [`run_bench`] (after one warm-up iteration).
+pub const DEFAULT_ITERS: usize = 10;
+
+/// Summary statistics of one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchMeasurement {
+    /// Benchmark label.
+    pub name: String,
+    /// Timed iterations.
+    pub iters: usize,
+    /// Fastest iteration.
+    pub min: Duration,
+    /// Arithmetic mean over iterations.
+    pub mean: Duration,
+    /// Slowest iteration.
+    pub max: Duration,
+}
+
+impl BenchMeasurement {
+    /// Render as a single aligned report line.
+    pub fn to_line(&self) -> String {
+        format!(
+            "{:<44} {:>5} iters  min {:>12?}  mean {:>12?}  max {:>12?}",
+            self.name, self.iters, self.min, self.mean, self.max
+        )
+    }
+}
+
+/// Time `f` for `iters` iterations (plus one untimed warm-up), returning the stats.
+/// The closure's return value is consumed with [`std::hint::black_box`] so the work
+/// is not optimized away.
+pub fn bench_iters<T>(name: &str, iters: usize, mut f: impl FnMut() -> T) -> BenchMeasurement {
+    std::hint::black_box(f());
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    let mut max = Duration::ZERO;
+    let iters = iters.max(1);
+    for _ in 0..iters {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let elapsed = start.elapsed();
+        total += elapsed;
+        min = min.min(elapsed);
+        max = max.max(elapsed);
+    }
+    BenchMeasurement {
+        name: name.to_string(),
+        iters,
+        min,
+        mean: total / iters as u32,
+        max,
+    }
+}
+
+/// [`bench_iters`] with [`DEFAULT_ITERS`] iterations, printing the report line.
+pub fn run_bench<T>(name: &str, f: impl FnMut() -> T) -> BenchMeasurement {
+    let m = bench_iters(name, DEFAULT_ITERS, f);
+    println!("{}", m.to_line());
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurements_are_ordered_and_positive() {
+        let m = bench_iters("sum", 5, || (0..10_000u64).sum::<u64>());
+        assert_eq!(m.iters, 5);
+        assert!(m.min <= m.mean && m.mean <= m.max);
+        assert!(m.max > Duration::ZERO);
+        assert!(m.to_line().contains("sum"));
+    }
+
+    #[test]
+    fn zero_iters_is_clamped() {
+        let m = bench_iters("noop", 0, || ());
+        assert_eq!(m.iters, 1);
+    }
+}

@@ -1,11 +1,16 @@
 //! Reusable experiment sweeps: accuracy-vs-sparsity and L2-error-vs-sparsity curves over
-//! a configurable set of estimators. These back most of the figure binaries (Fig. 3a,
-//! 6e, 6j, 7a–h, 12, 14).
+//! a configurable set of estimators, plus propagation-backend comparisons. These back
+//! most of the figure binaries (Fig. 3a, 6e, 6i, 6j, 7a–h, 12, 14).
+//!
+//! All sweeps drive the estimation + propagation stages through `fg_core::Pipeline`,
+//! so any estimator × propagator combination can be measured; the propagation backend
+//! defaults to LinBP (the paper's setting) and can be swapped per sweep.
 
 use crate::harness::ExperimentTable;
 use fg_core::prelude::*;
 use fg_core::Result;
 use fg_graph::CompatibilityMatrix;
+use fg_propagation::registry;
 use fg_sparse::DenseMatrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -81,8 +86,7 @@ pub fn estimator_set(
                     // heuristic sees the same high/low structure the paper assumes.
                     let gold_matrix = project_gold_for_heuristic(gold);
                     Box::new(
-                        TwoValueHeuristic::new(gold_matrix, 0.5)
-                            .expect("0.5 is a valid spread"),
+                        TwoValueHeuristic::new(gold_matrix, 0.5).expect("0.5 is a valid spread"),
                     )
                 }
             };
@@ -105,32 +109,32 @@ fn project_gold_for_heuristic(gold: &DenseMatrix) -> CompatibilityMatrix {
         m = m.row_normalized();
         m = m.transpose().row_normalized().transpose();
     }
-    let sym = m
-        .add(&m.transpose())
-        .expect("same shape")
-        .scaled(0.5);
+    let sym = m.add(&m.transpose()).expect("same shape").scaled(0.5);
     CompatibilityMatrix::new(sym)
         .unwrap_or_else(|_| CompatibilityMatrix::uniform(k).expect("k > 0"))
 }
 
-/// One measured point of a sweep.
+/// One measured point of an estimator sweep.
 #[derive(Debug, Clone)]
 pub struct SweepOutcome {
     /// Label fraction `f`.
     pub fraction: f64,
-    /// Estimator name.
-    pub estimator: &'static str,
+    /// Estimator name (owned, so sweeps can attach parameterized labels).
+    pub estimator: String,
+    /// Propagation backend used for the end-to-end accuracy.
+    pub propagator: String,
     /// End-to-end macro accuracy over the unlabeled nodes.
     pub accuracy: f64,
-    /// L2 distance of the estimate from the gold standard.
-    pub l2_error: f64,
+    /// L2 distance of the estimate from the gold standard; `None` when the
+    /// propagation backend ignores `H` and the estimation stage was skipped.
+    pub l2_error: Option<f64>,
     /// Wall-clock time of the estimation step.
     pub estimation_time: Duration,
 }
 
-/// Run an accuracy-vs-label-sparsity sweep: for every fraction and estimator, sample a
-/// stratified seed set, estimate `H`, propagate with LinBP, and record accuracy, L2
-/// error and estimation time.
+/// Run an accuracy-vs-label-sparsity sweep with LinBP (the paper's setting): for every
+/// fraction and estimator, sample a stratified seed set, estimate `H`, propagate, and
+/// record accuracy, L2 error and estimation time.
 pub fn accuracy_vs_sparsity(
     graph: &Graph,
     labeling: &Labeling,
@@ -139,22 +143,57 @@ pub fn accuracy_vs_sparsity(
     repetitions: usize,
     seed: u64,
 ) -> Result<Vec<SweepOutcome>> {
+    accuracy_vs_sparsity_with(
+        graph,
+        labeling,
+        fractions,
+        kinds,
+        &LinBp::default(),
+        repetitions,
+        seed,
+    )
+}
+
+/// [`accuracy_vs_sparsity`] with an explicit propagation backend, so figure binaries
+/// can sweep estimators under any `Propagator` implementation.
+pub fn accuracy_vs_sparsity_with(
+    graph: &Graph,
+    labeling: &Labeling,
+    fractions: &[f64],
+    kinds: &[EstimatorKind],
+    propagator: &dyn Propagator,
+    repetitions: usize,
+    seed: u64,
+) -> Result<Vec<SweepOutcome>> {
     let gold = measure_compatibilities(graph, labeling)?;
     let estimators = estimator_set(kinds, labeling, &gold);
-    let linbp = LinBpConfig::default();
     let mut outcomes = Vec::new();
     for (fi, &fraction) in fractions.iter().enumerate() {
         for rep in 0..repetitions.max(1) {
             let mut rng = StdRng::seed_from_u64(seed ^ ((fi as u64) << 32) ^ rep as u64);
             let seeds = labeling.stratified_sample(fraction, &mut rng);
             for (kind, estimator) in &estimators {
-                let result = estimate_and_propagate(estimator, graph, &seeds, &linbp)?;
+                let report = Pipeline::on(graph)
+                    .seeds(&seeds)
+                    .estimator(estimator)
+                    .estimator_label(kind.name())
+                    .propagator(propagator)
+                    .run()?;
+                // When the backend ignores H the pipeline skips estimation and the
+                // consumed matrix is a uniform placeholder — there is no estimator
+                // L2 error to report.
+                let l2_error = if propagator.uses_compatibilities() {
+                    Some(report.estimated_h.frobenius_distance(&gold)?)
+                } else {
+                    None
+                };
                 outcomes.push(SweepOutcome {
                     fraction,
-                    estimator: kind.name(),
-                    accuracy: result.accuracy(labeling, &seeds),
-                    l2_error: result.estimated_h.frobenius_distance(&gold)?,
-                    estimation_time: result.estimation_time,
+                    accuracy: report.accuracy(labeling, &seeds),
+                    l2_error,
+                    estimation_time: report.estimation_time,
+                    estimator: report.estimator,
+                    propagator: report.propagator,
                 });
             }
         }
@@ -172,6 +211,114 @@ pub fn l2_vs_sparsity(
     seed: u64,
 ) -> Result<Vec<SweepOutcome>> {
     accuracy_vs_sparsity(graph, labeling, fractions, kinds, repetitions, seed)
+}
+
+/// One measured point of a propagation-backend sweep.
+#[derive(Debug, Clone)]
+pub struct BackendOutcome {
+    /// Label fraction `f`.
+    pub fraction: f64,
+    /// Propagation backend name.
+    pub propagator: String,
+    /// Macro accuracy over the unlabeled nodes.
+    pub accuracy: f64,
+    /// Iterations the backend executed.
+    pub iterations: usize,
+    /// Whether the backend converged before its iteration budget.
+    pub converged: bool,
+    /// Wall-clock time of the propagation step.
+    pub propagation_time: Duration,
+}
+
+/// Compare propagation backends (looked up by registry name) at several label
+/// fractions, holding the compatibility input fixed at the measured gold standard —
+/// isolating propagation quality from estimation quality, as in Fig. 6i.
+pub fn accuracy_vs_backend(
+    graph: &Graph,
+    labeling: &Labeling,
+    fractions: &[f64],
+    backends: &[&str],
+    repetitions: usize,
+    seed: u64,
+) -> Result<Vec<BackendOutcome>> {
+    let gold = measure_compatibilities(graph, labeling)?;
+    // Resolve every backend up front so a typo'd name fails before any work runs.
+    let resolved: Vec<_> = backends
+        .iter()
+        .map(|name| {
+            registry::by_name(name).ok_or_else(|| {
+                fg_core::CoreError::InvalidConfig(format!("unknown propagation backend '{name}'"))
+            })
+        })
+        .collect::<Result<_>>()?;
+    let mut outcomes = Vec::new();
+    for (fi, &fraction) in fractions.iter().enumerate() {
+        for rep in 0..repetitions.max(1) {
+            let mut rng = StdRng::seed_from_u64(seed ^ ((fi as u64) << 32) ^ rep as u64);
+            let seeds = labeling.stratified_sample(fraction, &mut rng);
+            for propagator in &resolved {
+                let report = Pipeline::on(graph)
+                    .seeds(&seeds)
+                    .compatibilities("GS", &gold)
+                    .propagator(propagator)
+                    .run()?;
+                outcomes.push(BackendOutcome {
+                    fraction,
+                    accuracy: report.accuracy(labeling, &seeds),
+                    iterations: report.outcome.iterations,
+                    converged: report.outcome.converged,
+                    propagation_time: report.propagation_time,
+                    propagator: report.propagator,
+                });
+            }
+        }
+    }
+    Ok(outcomes)
+}
+
+/// Aggregate backend-sweep outcomes into a table: one row per fraction, one accuracy
+/// column per backend, averaging over repetitions.
+pub fn backends_to_table(
+    name: &str,
+    outcomes: &[BackendOutcome],
+    backends: &[&str],
+) -> ExperimentTable {
+    let mut fractions: Vec<f64> = outcomes.iter().map(|o| o.fraction).collect();
+    fractions.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    fractions.dedup();
+    let display_names: Vec<String> = backends
+        .iter()
+        .map(|b| {
+            registry::by_name(b)
+                .map(|p| p.name())
+                .unwrap_or_else(|| b.to_string())
+        })
+        .collect();
+    let mut headers = vec!["f".to_string()];
+    headers.extend(display_names.iter().cloned());
+    let mut table = ExperimentTable {
+        name: name.to_string(),
+        headers,
+        rows: Vec::new(),
+    };
+    for &f in &fractions {
+        let mut row = vec![format!("{f}")];
+        for display in &display_names {
+            let values: Vec<f64> = outcomes
+                .iter()
+                .filter(|o| o.fraction == f && &o.propagator == display)
+                .map(|o| o.accuracy)
+                .collect();
+            let mean = if values.is_empty() {
+                f64::NAN
+            } else {
+                values.iter().sum::<f64>() / values.len() as f64
+            };
+            row.push(format!("{mean:.3}"));
+        }
+        table.push_row(row);
+    }
+    table
 }
 
 /// Aggregate sweep outcomes into a table: one row per fraction, one column per
@@ -197,7 +344,16 @@ pub fn outcomes_to_table(
         for kind in kinds {
             let values: Vec<f64> = outcomes
                 .iter()
-                .filter(|o| o.fraction == f && o.estimator == kind.name())
+                // Sweeps with a compatibility-free backend record the estimator as
+                // e.g. "MCE (skipped)"; strip the notice so those rows still land
+                // in the right column.
+                .filter(|o| {
+                    let label = o
+                        .estimator
+                        .strip_suffix(" (skipped)")
+                        .unwrap_or(&o.estimator);
+                    o.fraction == f && label == kind.name()
+                })
                 .map(metric)
                 .collect();
             let mean = if values.is_empty() {
@@ -221,24 +377,68 @@ mod tests {
         let cfg = GeneratorConfig::balanced(400, 10.0, 3, 3.0).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         let syn = generate(&cfg, &mut rng).unwrap();
-        let kinds = [EstimatorKind::GoldStandard, EstimatorKind::Mce, EstimatorKind::Dcer];
-        let outcomes = accuracy_vs_sparsity(
-            &syn.graph,
-            &syn.labeling,
-            &[0.05, 0.2],
-            &kinds,
-            1,
-            7,
-        )
-        .unwrap();
+        let kinds = [
+            EstimatorKind::GoldStandard,
+            EstimatorKind::Mce,
+            EstimatorKind::Dcer,
+        ];
+        let outcomes =
+            accuracy_vs_sparsity(&syn.graph, &syn.labeling, &[0.05, 0.2], &kinds, 1, 7).unwrap();
         assert_eq!(outcomes.len(), 2 * kinds.len());
         for o in &outcomes {
             assert!(o.accuracy >= 0.0 && o.accuracy <= 1.0);
-            assert!(o.l2_error >= 0.0);
+            assert!(o.l2_error.unwrap() >= 0.0);
+            assert_eq!(o.propagator, "LinBP");
         }
         let table = outcomes_to_table("unit_sweep", &outcomes, &kinds, |o| o.accuracy);
         assert_eq!(table.rows.len(), 2);
         assert_eq!(table.headers.len(), 1 + kinds.len());
+    }
+
+    #[test]
+    fn sweep_accepts_any_propagation_backend() {
+        let cfg = GeneratorConfig::balanced(300, 8.0, 3, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let syn = generate(&cfg, &mut rng).unwrap();
+        let kinds = [EstimatorKind::Mce];
+        let outcomes = accuracy_vs_sparsity_with(
+            &syn.graph,
+            &syn.labeling,
+            &[0.2],
+            &kinds,
+            &RandomWalk::default(),
+            1,
+            5,
+        )
+        .unwrap();
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].propagator, "RandomWalk");
+        // The estimation stage is skipped for a compatibility-free backend: the
+        // label records it and there is no estimator L2 error.
+        assert_eq!(outcomes[0].estimator, "MCE (skipped)");
+        assert!(outcomes[0].l2_error.is_none());
+        // The "(skipped)" notice must not knock the row out of its table column.
+        let table = outcomes_to_table("unit_skip", &outcomes, &kinds, |o| o.accuracy);
+        assert_ne!(table.rows[0][1], "NaN");
+    }
+
+    #[test]
+    fn backend_sweep_covers_registry_backends() {
+        let cfg = GeneratorConfig::balanced(300, 8.0, 3, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let syn = generate(&cfg, &mut rng).unwrap();
+        let backends = ["linbp", "harmonic", "rw"];
+        let outcomes =
+            accuracy_vs_backend(&syn.graph, &syn.labeling, &[0.1, 0.3], &backends, 1, 11).unwrap();
+        assert_eq!(outcomes.len(), 2 * backends.len());
+        for o in &outcomes {
+            assert!(o.iterations >= 1);
+            assert!((0.0..=1.0).contains(&o.accuracy));
+        }
+        let table = backends_to_table("unit_backends", &outcomes, &backends);
+        assert_eq!(table.rows.len(), 2);
+        assert_eq!(table.headers, vec!["f", "LinBP", "Harmonic", "RandomWalk"]);
+        assert!(accuracy_vs_backend(&syn.graph, &syn.labeling, &[0.1], &["nope"], 1, 1).is_err());
     }
 
     #[test]

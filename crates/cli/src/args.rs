@@ -83,11 +83,27 @@ impl ArgMap {
     }
 
     /// Optional typed option with a default.
-    pub fn get_parsed_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+    pub fn get_parsed_or<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        default: T,
+    ) -> Result<T, ArgError> {
         match self.get(name) {
             None => Ok(default),
             Some(raw) => raw
                 .parse::<T>()
+                .map_err(|_| ArgError(format!("option --{name} has invalid value '{raw}'"))),
+        }
+    }
+
+    /// Optional typed option without a default: `Ok(None)` when absent, an error when
+    /// present but unparsable.
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, ArgError> {
+        match self.get(name) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse::<T>()
+                .map(Some)
                 .map_err(|_| ArgError(format!("option --{name} has invalid value '{raw}'"))),
         }
     }
@@ -104,8 +120,10 @@ impl ArgMap {
         match self.get(name) {
             None => Ok(None),
             Some(raw) => {
-                let parsed: Result<Vec<f64>, _> =
-                    raw.split(',').map(|tok| tok.trim().parse::<f64>()).collect();
+                let parsed: Result<Vec<f64>, _> = raw
+                    .split(',')
+                    .map(|tok| tok.trim().parse::<f64>())
+                    .collect();
                 parsed
                     .map(Some)
                     .map_err(|_| ArgError(format!("option --{name} has invalid list '{raw}'")))
@@ -153,6 +171,15 @@ mod tests {
         assert_eq!(args.get_float_list("absent").unwrap(), None);
         let bad = parse(&["--alpha", "0.2,x"]);
         assert!(bad.get_float_list("alpha").is_err());
+    }
+
+    #[test]
+    fn optional_typed_options() {
+        let args = parse(&["--iterations", "7"]);
+        assert_eq!(args.get_parsed::<usize>("iterations").unwrap(), Some(7));
+        assert_eq!(args.get_parsed::<usize>("absent").unwrap(), None);
+        let bad = parse(&["--iterations", "x"]);
+        assert!(bad.get_parsed::<usize>("iterations").is_err());
     }
 
     #[test]

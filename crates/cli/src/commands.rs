@@ -2,12 +2,18 @@
 //!
 //! Each command is a plain function over an [`ArgMap`] so the logic is unit-testable
 //! without spawning the binary. Errors are strings suitable for printing to stderr.
+//!
+//! Estimation (`--method`) and propagation (`--propagator` / `propagate --method`)
+//! backends are resolved by name: estimators locally, propagators through the
+//! `fg_propagation::registry`, so every `Propagator` in the workspace is reachable
+//! from the command line.
 
 use crate::args::ArgMap;
 use crate::matrix_io;
 use fg_core::prelude::*;
 use fg_core::DceConfig;
 use fg_datasets::{synthesize, DatasetId};
+use fg_propagation::{registry, PropagatorOptions};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::Path;
@@ -30,22 +36,62 @@ fn load_graph_and_labels(args: &ArgMap) -> Result<(Graph, SeedLabels, usize), St
     Ok((graph, seeds, k))
 }
 
-/// Build the estimator selected by `--method` (default `dcer`).
-fn build_estimator(args: &ArgMap) -> Result<Box<dyn CompatibilityEstimator>, String> {
+/// Build the estimator selected by `--method` (default `dcer`), together with a
+/// display label carrying the effective hyperparameters (e.g. `"DCEr(r=10)"`).
+fn build_estimator(args: &ArgMap) -> Result<(Box<dyn CompatibilityEstimator>, String), String> {
     let method = args.get("method").unwrap_or("dcer").to_ascii_lowercase();
     let lmax: usize = args.get_parsed_or("lmax", 5).map_err(err)?;
     let lambda: f64 = args.get_parsed_or("lambda", 10.0).map_err(err)?;
     let restarts: usize = args.get_parsed_or("restarts", 10).map_err(err)?;
     let splits: usize = args.get_parsed_or("splits", 1).map_err(err)?;
-    let estimator: Box<dyn CompatibilityEstimator> = match method.as_str() {
-        "mce" => Box::new(MyopicCompatibilityEstimation::default()),
-        "lce" => Box::new(LinearCompatibilityEstimation::default()),
-        "dce" => Box::new(DistantCompatibilityEstimation::new(DceConfig::new(lmax, lambda))),
-        "dcer" => Box::new(DceWithRestarts::new(DceConfig::new(lmax, lambda), restarts)),
-        "holdout" => Box::new(HoldoutEstimation::with_splits(splits)),
-        other => return Err(format!("unknown estimation method '{other}' (expected mce, lce, dce, dcer, or holdout)")),
+    let built: (Box<dyn CompatibilityEstimator>, String) = match method.as_str() {
+        "mce" => (
+            Box::new(MyopicCompatibilityEstimation::default()),
+            "MCE".to_string(),
+        ),
+        "lce" => (
+            Box::new(LinearCompatibilityEstimation::default()),
+            "LCE".to_string(),
+        ),
+        "dce" => (
+            Box::new(DistantCompatibilityEstimation::new(DceConfig::new(
+                lmax, lambda,
+            ))),
+            format!("DCE(lmax={lmax},lambda={lambda})"),
+        ),
+        "dcer" => (
+            Box::new(DceWithRestarts::new(DceConfig::new(lmax, lambda), restarts)),
+            format!("DCEr(r={restarts})"),
+        ),
+        "holdout" => (
+            Box::new(HoldoutEstimation::with_splits(splits)),
+            format!("Holdout(b={splits})"),
+        ),
+        other => {
+            return Err(format!(
+                "unknown estimation method '{other}' (expected mce, lce, dce, dcer, or holdout)"
+            ))
+        }
     };
-    Ok(estimator)
+    Ok(built)
+}
+
+/// Build the propagation backend selected by `option_name` (default `linbp`) through
+/// the propagation registry, applying the generic `--iterations` / `--tolerance` /
+/// `--damping` overrides.
+fn build_propagator(args: &ArgMap, option_name: &str) -> Result<Box<dyn Propagator>, String> {
+    let method = args.get(option_name).unwrap_or("linbp").to_string();
+    let opts = PropagatorOptions {
+        max_iterations: args.get_parsed("iterations").map_err(err)?,
+        tolerance: args.get_parsed("tolerance").map_err(err)?,
+        damping: args.get_parsed("damping").map_err(err)?,
+    };
+    registry::by_name_with(&method, &opts).ok_or_else(|| {
+        format!(
+            "unknown propagation method '{method}' (expected one of {})",
+            registry::propagator_names().join(", ")
+        )
+    })
 }
 
 /// `fg generate`: create a synthetic planted-compatibility graph and write it as an edge
@@ -83,11 +129,19 @@ pub fn cmd_generate(args: &ArgMap) -> CommandResult {
     ))
 }
 
-/// `fg dataset`: write one of the real-world dataset substitutes to disk.
+/// `fg dataset`: write one of the real-world dataset substitutes to disk. The dataset
+/// can be named positionally (`fg dataset Cora ...`) or with `--name`.
 pub fn cmd_dataset(args: &ArgMap) -> CommandResult {
-    let name: String = args.require("name").map_err(err)?.to_string();
-    let id = DatasetId::parse(&name)
-        .ok_or_else(|| format!("unknown dataset '{name}' (expected one of {:?})", DatasetId::all().map(|d| d.name())))?;
+    let name: String = match args.positional().first() {
+        Some(positional) => positional.clone(),
+        None => args.require("name").map_err(err)?.to_string(),
+    };
+    let id = DatasetId::parse(&name).ok_or_else(|| {
+        format!(
+            "unknown dataset '{name}' (expected one of {:?})",
+            DatasetId::all().map(|d| d.name())
+        )
+    })?;
     let scale: f64 = args.get_parsed_or("scale", 0.05).map_err(err)?;
     let seed: u64 = args.get_parsed_or("seed", 0).map_err(err)?;
     let out_edges: String = args.require("out-edges").map_err(err)?.to_string();
@@ -112,66 +166,88 @@ pub fn cmd_dataset(args: &ArgMap) -> CommandResult {
 /// `fg estimate`: estimate the compatibility matrix from a partially labeled graph.
 pub fn cmd_estimate(args: &ArgMap) -> CommandResult {
     let (graph, seeds, _) = load_graph_and_labels(args)?;
-    let estimator = build_estimator(args)?;
+    let (estimator, label) = build_estimator(args)?;
     let h = estimator.estimate(&graph, &seeds).map_err(err)?;
     let rendered = matrix_io::format_matrix(&h);
     if let Some(out) = args.get("out") {
         matrix_io::write_matrix(Path::new(out), &h).map_err(err)?;
     }
     Ok(format!(
-        "estimated compatibilities with {} from {} labeled nodes:\n{rendered}",
-        estimator.name(),
+        "estimated compatibilities with {label} from {} labeled nodes:\n{rendered}",
         seeds.num_labeled()
     ))
 }
 
-/// `fg propagate`: label the remaining nodes with LinBP given an explicit compatibility
-/// matrix file.
+/// `fg propagate`: label the remaining nodes with any propagation backend
+/// (`--method linbp|bp|harmonic|rw`). LinBP and loopy BP consume an explicit
+/// compatibility matrix file (`--compat`); the homophily baselines need none.
 pub fn cmd_propagate(args: &ArgMap) -> CommandResult {
     let (graph, seeds, k) = load_graph_and_labels(args)?;
-    let compat_path: String = args.require("compat").map_err(err)?.to_string();
-    let h = matrix_io::read_matrix(Path::new(&compat_path)).map_err(err)?;
-    if h.rows() != k {
-        return Err(format!(
-            "compatibility matrix is {}x{} but --classes is {k}",
-            h.rows(),
-            h.cols()
-        ));
+    let propagator = build_propagator(args, "method")?;
+
+    let explicit_h;
+    let mut pipeline = Pipeline::on(&graph).seeds(&seeds);
+    if propagator.uses_compatibilities() {
+        let compat_path: String = args
+            .require("compat")
+            .map_err(|_| {
+                format!(
+                    "propagation method '{}' requires --compat H_FILE",
+                    propagator.name()
+                )
+            })?
+            .to_string();
+        explicit_h = matrix_io::read_matrix(Path::new(&compat_path)).map_err(err)?;
+        if explicit_h.rows() != k {
+            return Err(format!(
+                "compatibility matrix is {}x{} but --classes is {k}",
+                explicit_h.rows(),
+                explicit_h.cols()
+            ));
+        }
+        pipeline = pipeline.compatibilities(compat_path, &explicit_h);
     }
-    let iterations: usize = args.get_parsed_or("iterations", 10).map_err(err)?;
-    let config = LinBpConfig {
-        max_iterations: iterations,
-        ..LinBpConfig::default()
-    };
-    let result = propagate(&graph, &seeds, &h, &config).map_err(err)?;
+    let report = pipeline.propagator(propagator).run().map_err(err)?;
+
     if let Some(out) = args.get("out") {
-        matrix_io::write_predictions(Path::new(out), &result.predictions).map_err(err)?;
+        matrix_io::write_predictions(Path::new(out), &report.outcome.predictions).map_err(err)?;
     }
+    let epsilon = match report.outcome.epsilon {
+        Some(e) => format!("epsilon = {e:.4}, "),
+        None => String::new(),
+    };
     Ok(format!(
-        "propagated labels to {} nodes in {} iterations (epsilon = {:.4})",
+        "propagated labels to {} nodes with {} in {} iterations ({epsilon}converged = {})",
         graph.num_nodes(),
-        result.iterations,
-        result.epsilon
+        report.propagator,
+        report.outcome.iterations,
+        report.outcome.converged
     ))
 }
 
-/// `fg classify`: end-to-end estimation + propagation; optionally evaluate against a
-/// ground-truth label file.
+/// `fg classify`: end-to-end estimation + propagation with any estimator × propagator
+/// combination; optionally evaluate against a ground-truth label file.
 pub fn cmd_classify(args: &ArgMap) -> CommandResult {
     let (graph, seeds, k) = load_graph_and_labels(args)?;
-    let estimator = build_estimator(args)?;
-    let result =
-        estimate_and_propagate(&estimator, &graph, &seeds, &LinBpConfig::default()).map_err(err)?;
+    let (estimator, label) = build_estimator(args)?;
+    let propagator = build_propagator(args, "propagator")?;
+    let mut report = Pipeline::on(&graph)
+        .seeds(&seeds)
+        .estimator(estimator)
+        .estimator_label(label)
+        .propagator(propagator)
+        .run()
+        .map_err(err)?;
     if let Some(out) = args.get("out") {
-        matrix_io::write_predictions(Path::new(out), &result.propagation.predictions)
-            .map_err(err)?;
+        matrix_io::write_predictions(Path::new(out), &report.outcome.predictions).map_err(err)?;
     }
-    let mut report = format!(
-        "classified {} nodes with {} (estimation {:?}, propagation {:?})",
+    let mut rendered = format!(
+        "classified {} nodes with {} + {} (estimation {:?}, propagation {:?})",
         graph.num_nodes(),
-        result.estimator,
-        result.estimation_time,
-        result.propagation_time
+        report.estimator,
+        report.propagator,
+        report.estimation_time,
+        report.propagation_time
     );
     if let Some(truth_path) = args.get("truth") {
         let truth_seeds =
@@ -180,13 +256,21 @@ pub fn cmd_classify(args: &ArgMap) -> CommandResult {
         match labels {
             Some(full) => {
                 let truth = Labeling::new(full, k).map_err(err)?;
-                let accuracy = result.accuracy(&truth, &seeds);
-                report.push_str(&format!("\nmacro accuracy on unlabeled nodes: {accuracy:.4}"));
+                let accuracy = report.evaluate(&truth, &seeds);
+                rendered.push_str(&format!(
+                    "\nmacro accuracy on unlabeled nodes: {accuracy:.4}"
+                ));
             }
-            None => report.push_str("\n(truth file does not label every node; skipping accuracy)"),
+            None => {
+                rendered.push_str("\n(truth file does not label every node; skipping accuracy)")
+            }
         }
     }
-    Ok(report)
+    if args.has_flag("json") {
+        rendered.push('\n');
+        rendered.push_str(&report.to_json());
+    }
+    Ok(rendered)
 }
 
 /// Top-level usage string.
@@ -199,15 +283,19 @@ pub fn usage() -> String {
         "COMMANDS:",
         "  generate   --nodes N [--degree D] [--classes K] [--skew H] [--alpha a,b,..]",
         "             [--uniform-degrees] [--seed S] --out-edges FILE --out-labels FILE",
-        "  dataset    --name Cora|Citeseer|Hep-Th|MovieLens|Enron|Prop-37|Pokec-Gender|Flickr",
+        "  dataset    [NAME | --name NAME]  (Cora|Citeseer|Hep-Th|MovieLens|Enron|",
+        "             Prop-37|Pokec-Gender|Flickr)",
         "             [--scale X] [--seed S] --out-edges FILE --out-labels FILE",
         "  estimate   --edges FILE --nodes N --classes K --labels FILE",
         "             [--method dcer|dce|mce|lce|holdout] [--lmax L] [--lambda X]",
         "             [--restarts R] [--splits B] [--out H_FILE]",
-        "  propagate  --edges FILE --nodes N --classes K --labels FILE --compat H_FILE",
-        "             [--iterations I] [--out PREDICTIONS]",
+        "  propagate  --edges FILE --nodes N --classes K --labels FILE",
+        "             [--method linbp|bp|harmonic|rw] [--compat H_FILE]",
+        "             [--iterations I] [--tolerance T] [--damping A] [--out PREDICTIONS]",
+        "             (--compat is required for linbp and bp, ignored by harmonic and rw)",
         "  classify   --edges FILE --nodes N --classes K --labels FILE",
-        "             [--method ...] [--truth FULL_LABELS] [--out PREDICTIONS]",
+        "             [--method ...] [--propagator linbp|bp|harmonic|rw]",
+        "             [--truth FULL_LABELS] [--out PREDICTIONS] [--json]",
     ]
     .join("\n")
 }
@@ -246,10 +334,20 @@ mod tests {
         let edges = dir.join("edges.tsv");
         let labels = dir.join("labels.tsv");
         let out = cmd_generate(&args(&[
-            "--nodes", "400", "--degree", "12", "--classes", "3", "--skew", "8",
-            "--seed", "1",
-            "--out-edges", edges.to_str().unwrap(),
-            "--out-labels", labels.to_str().unwrap(),
+            "--nodes",
+            "400",
+            "--degree",
+            "12",
+            "--classes",
+            "3",
+            "--skew",
+            "8",
+            "--seed",
+            "1",
+            "--out-edges",
+            edges.to_str().unwrap(),
+            "--out-labels",
+            labels.to_str().unwrap(),
         ]))
         .unwrap();
         assert!(out.contains("400 nodes"));
@@ -269,20 +367,34 @@ mod tests {
 
         let predictions = dir.join("pred.tsv");
         let report = cmd_classify(&args(&[
-            "--edges", edges.to_str().unwrap(),
-            "--nodes", "400", "--classes", "3",
-            "--labels", seed_path.to_str().unwrap(),
-            "--truth", labels.to_str().unwrap(),
-            "--method", "dcer",
-            "--out", predictions.to_str().unwrap(),
+            "--edges",
+            edges.to_str().unwrap(),
+            "--nodes",
+            "400",
+            "--classes",
+            "3",
+            "--labels",
+            seed_path.to_str().unwrap(),
+            "--truth",
+            labels.to_str().unwrap(),
+            "--method",
+            "dcer",
+            "--json",
+            "--out",
+            predictions.to_str().unwrap(),
         ]))
         .unwrap();
         assert!(report.contains("macro accuracy"));
+        assert!(report.contains("DCEr(r=10)"));
+        assert!(report.contains("\"propagator\":\"LinBP\""));
         assert!(predictions.exists());
         // Accuracy should be far above random on this strongly heterophilous graph.
         let accuracy: f64 = report
             .split("macro accuracy on unlabeled nodes: ")
             .nth(1)
+            .unwrap()
+            .lines()
+            .next()
             .unwrap()
             .trim()
             .parse()
@@ -297,18 +409,32 @@ mod tests {
         let edges = dir.join("edges.tsv");
         let labels = dir.join("labels.tsv");
         cmd_generate(&args(&[
-            "--nodes", "300", "--degree", "10", "--classes", "3",
-            "--out-edges", edges.to_str().unwrap(),
-            "--out-labels", labels.to_str().unwrap(),
+            "--nodes",
+            "300",
+            "--degree",
+            "10",
+            "--classes",
+            "3",
+            "--out-edges",
+            edges.to_str().unwrap(),
+            "--out-labels",
+            labels.to_str().unwrap(),
         ]))
         .unwrap();
         let h_path = dir.join("h.txt");
         let report = cmd_estimate(&args(&[
-            "--edges", edges.to_str().unwrap(),
-            "--nodes", "300", "--classes", "3",
-            "--labels", labels.to_str().unwrap(),
-            "--method", "mce",
-            "--out", h_path.to_str().unwrap(),
+            "--edges",
+            edges.to_str().unwrap(),
+            "--nodes",
+            "300",
+            "--classes",
+            "3",
+            "--labels",
+            labels.to_str().unwrap(),
+            "--method",
+            "mce",
+            "--out",
+            h_path.to_str().unwrap(),
         ]))
         .unwrap();
         assert!(report.contains("MCE"));
@@ -316,15 +442,119 @@ mod tests {
 
         let pred_path = dir.join("pred.tsv");
         let report = cmd_propagate(&args(&[
-            "--edges", edges.to_str().unwrap(),
-            "--nodes", "300", "--classes", "3",
-            "--labels", labels.to_str().unwrap(),
-            "--compat", h_path.to_str().unwrap(),
-            "--out", pred_path.to_str().unwrap(),
+            "--edges",
+            edges.to_str().unwrap(),
+            "--nodes",
+            "300",
+            "--classes",
+            "3",
+            "--labels",
+            labels.to_str().unwrap(),
+            "--compat",
+            h_path.to_str().unwrap(),
+            "--out",
+            pred_path.to_str().unwrap(),
         ]))
         .unwrap();
         assert!(report.contains("propagated labels"));
+        assert!(report.contains("LinBP"));
         assert!(pred_path.exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn every_propagation_backend_runs_from_the_cli() {
+        let dir = temp_dir("backends");
+        let edges = dir.join("edges.tsv");
+        let labels = dir.join("labels.tsv");
+        cmd_generate(&args(&[
+            "--nodes",
+            "200",
+            "--degree",
+            "8",
+            "--classes",
+            "2",
+            "--out-edges",
+            edges.to_str().unwrap(),
+            "--out-labels",
+            labels.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let h_path = dir.join("h.txt");
+        cmd_estimate(&args(&[
+            "--edges",
+            edges.to_str().unwrap(),
+            "--nodes",
+            "200",
+            "--classes",
+            "2",
+            "--labels",
+            labels.to_str().unwrap(),
+            "--method",
+            "mce",
+            "--out",
+            h_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        for (method, needs_compat, expect) in [
+            ("linbp", true, "LinBP"),
+            ("bp", true, "LoopyBP"),
+            ("harmonic", false, "Harmonic"),
+            ("rw", false, "RandomWalk"),
+        ] {
+            let mut argv = vec![
+                "--edges",
+                edges.to_str().unwrap(),
+                "--nodes",
+                "200",
+                "--classes",
+                "2",
+                "--labels",
+                labels.to_str().unwrap(),
+                "--method",
+                method,
+            ];
+            if needs_compat {
+                argv.extend(["--compat", h_path.to_str().unwrap()]);
+            }
+            let report = cmd_propagate(&args(&argv)).unwrap();
+            assert!(report.contains(expect), "{method}: {report}");
+
+            // The same backend is reachable end-to-end through classify.
+            let classify = cmd_classify(&args(&[
+                "--edges",
+                edges.to_str().unwrap(),
+                "--nodes",
+                "200",
+                "--classes",
+                "2",
+                "--labels",
+                labels.to_str().unwrap(),
+                "--method",
+                "mce",
+                "--propagator",
+                method,
+            ]))
+            .unwrap();
+            assert!(classify.contains(expect), "{method}: {classify}");
+        }
+
+        // linbp and bp refuse to run without a compatibility matrix.
+        let missing = cmd_propagate(&args(&[
+            "--edges",
+            edges.to_str().unwrap(),
+            "--nodes",
+            "200",
+            "--classes",
+            "2",
+            "--labels",
+            labels.to_str().unwrap(),
+            "--method",
+            "linbp",
+        ]));
+        assert!(missing.is_err());
+        assert!(missing.unwrap_err().contains("--compat"));
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -334,13 +564,31 @@ mod tests {
         let edges = dir.join("cora_edges.tsv");
         let labels = dir.join("cora_labels.tsv");
         let report = cmd_dataset(&args(&[
-            "--name", "Cora", "--scale", "0.2",
-            "--out-edges", edges.to_str().unwrap(),
-            "--out-labels", labels.to_str().unwrap(),
+            "--name",
+            "Cora",
+            "--scale",
+            "0.2",
+            "--out-edges",
+            edges.to_str().unwrap(),
+            "--out-labels",
+            labels.to_str().unwrap(),
         ]))
         .unwrap();
         assert!(report.contains("Cora"));
         assert!(edges.exists() && labels.exists());
+
+        // The dataset name also works positionally.
+        let report = cmd_dataset(&args(&[
+            "Citeseer",
+            "--scale",
+            "0.2",
+            "--out-edges",
+            edges.to_str().unwrap(),
+            "--out-labels",
+            labels.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(report.contains("Citeseer"));
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -348,16 +596,33 @@ mod tests {
     fn error_paths() {
         // Unknown command.
         assert!(run("bogus", &args(&[])).is_err());
-        // Help works.
-        assert!(run("help", &args(&[])).unwrap().contains("USAGE"));
-        // Unknown method.
+        // Help works and documents the propagation backends.
+        let help = run("help", &args(&[])).unwrap();
+        assert!(help.contains("USAGE"));
+        assert!(help.contains("linbp|bp|harmonic|rw"));
+        // Unknown estimation / propagation methods.
         assert!(build_estimator(&args(&["--method", "nope"])).is_err());
+        assert!(build_propagator(&args(&["--propagator", "nope"]), "propagator").is_err());
         // Missing required options.
         assert!(cmd_generate(&args(&["--nodes", "10"])).is_err());
-        assert!(cmd_dataset(&args(&["--name", "NotADataset", "--out-edges", "x", "--out-labels", "y"])).is_err());
-        // Known methods build.
+        assert!(cmd_dataset(&args(&[
+            "--name",
+            "NotADataset",
+            "--out-edges",
+            "x",
+            "--out-labels",
+            "y"
+        ]))
+        .is_err());
+        // Known estimator methods build, with dynamic labels.
         for method in ["mce", "lce", "dce", "dcer", "holdout"] {
             assert!(build_estimator(&args(&["--method", method])).is_ok());
+        }
+        let (_, label) = build_estimator(&args(&["--method", "dcer", "--restarts", "7"])).unwrap();
+        assert_eq!(label, "DCEr(r=7)");
+        // Known propagator methods build through the registry.
+        for method in ["linbp", "bp", "harmonic", "rw"] {
+            assert!(build_propagator(&args(&["--method", method]), "method").is_ok());
         }
     }
 }

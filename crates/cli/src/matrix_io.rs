@@ -30,9 +30,8 @@ pub fn parse_matrix(content: &str) -> Result<DenseMatrix, MatrixIoError> {
             .split_whitespace()
             .map(|tok| tok.parse::<f64>())
             .collect();
-        let row = row.map_err(|_| {
-            MatrixIoError(format!("line {}: invalid matrix entry", line_no + 1))
-        })?;
+        let row =
+            row.map_err(|_| MatrixIoError(format!("line {}: invalid matrix entry", line_no + 1)))?;
         rows.push(row);
     }
     if rows.is_empty() {
@@ -40,7 +39,9 @@ pub fn parse_matrix(content: &str) -> Result<DenseMatrix, MatrixIoError> {
     }
     let cols = rows[0].len();
     if rows.iter().any(|r| r.len() != cols) {
-        return Err(MatrixIoError("matrix rows have inconsistent lengths".into()));
+        return Err(MatrixIoError(
+            "matrix rows have inconsistent lengths".into(),
+        ));
     }
     DenseMatrix::from_rows(&rows).map_err(|e| MatrixIoError(e.to_string()))
 }

@@ -132,11 +132,15 @@ impl DceEnergy {
             }
         }
         if weights.iter().any(|&w| w < 0.0) {
-            return Err(CoreError::InvalidConfig("weights must be non-negative".into()));
+            return Err(CoreError::InvalidConfig(
+                "weights must be non-negative".into(),
+            ));
         }
         let total: f64 = weights.iter().sum();
         if total <= 0.0 {
-            return Err(CoreError::InvalidConfig("weights must not all be zero".into()));
+            return Err(CoreError::InvalidConfig(
+                "weights must not all be zero".into(),
+            ));
         }
         let weights = weights.into_iter().map(|w| w / total).collect();
         Ok(DceEnergy {

@@ -60,9 +60,15 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(CoreError::InvalidConfig("x".into()).to_string().contains("configuration"));
-        assert!(CoreError::OptimizationFailed("y".into()).to_string().contains("optimization"));
-        assert!(CoreError::InvalidInput("z".into()).to_string().contains("input"));
+        assert!(CoreError::InvalidConfig("x".into())
+            .to_string()
+            .contains("configuration"));
+        assert!(CoreError::OptimizationFailed("y".into())
+            .to_string()
+            .contains("optimization"));
+        assert!(CoreError::InvalidInput("z".into())
+            .to_string()
+            .contains("input"));
     }
 
     #[test]

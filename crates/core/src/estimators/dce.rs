@@ -125,8 +125,8 @@ impl DistantCompatibilityEstimation {
 }
 
 impl CompatibilityEstimator for DistantCompatibilityEstimation {
-    fn name(&self) -> &'static str {
-        "DCE"
+    fn name(&self) -> String {
+        "DCE".to_string()
     }
 
     fn estimate(&self, graph: &Graph, seeds: &SeedLabels) -> Result<DenseMatrix> {
@@ -166,7 +166,10 @@ mod tests {
             .unwrap();
         // Single-start DCE can land in a local minimum (that is what DCEr's restarts
         // fix); it must still clearly improve on the uninformative uniform matrix.
-        assert!(err < 0.7 * uniform_err, "DCE error {err} vs uniform {uniform_err}");
+        assert!(
+            err < 0.7 * uniform_err,
+            "DCE error {err} vs uniform {uniform_err}"
+        );
         assert_eq!(est.name(), "DCE");
     }
 
@@ -206,12 +209,8 @@ mod tests {
         let syn = generate(&cfg, &mut rng).unwrap();
         let seeds = syn.labeling.stratified_sample(0.2, &mut rng);
         let est = DistantCompatibilityEstimation::new(DceConfig::new(5, 10.0));
-        let short_summary = summarize(
-            &syn.graph,
-            &seeds,
-            &SummaryConfig::with_max_length(2),
-        )
-        .unwrap();
+        let short_summary =
+            summarize(&syn.graph, &seeds, &SummaryConfig::with_max_length(2)).unwrap();
         assert!(est.estimate_from_summary(&short_summary).is_err());
         let full_summary = summarize(&syn.graph, &seeds, &est.config.summary_config()).unwrap();
         let h = est.estimate_from_summary(&full_summary).unwrap();

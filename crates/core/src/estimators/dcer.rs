@@ -56,7 +56,9 @@ impl DceWithRestarts {
     /// energy.
     pub fn estimate_from_summary(&self, summary: &GraphSummary) -> Result<(DenseMatrix, f64)> {
         if self.restarts == 0 {
-            return Err(CoreError::InvalidConfig("restarts must be at least 1".into()));
+            return Err(CoreError::InvalidConfig(
+                "restarts must be at least 1".into(),
+            ));
         }
         let dce = DistantCompatibilityEstimation::new(self.config.clone());
         let mut rng = StdRng::seed_from_u64(self.seed);
@@ -77,8 +79,8 @@ impl DceWithRestarts {
 }
 
 impl CompatibilityEstimator for DceWithRestarts {
-    fn name(&self) -> &'static str {
-        "DCEr"
+    fn name(&self) -> String {
+        "DCEr".to_string()
     }
 
     fn estimate(&self, graph: &Graph, seeds: &SeedLabels) -> Result<DenseMatrix> {
@@ -148,7 +150,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let syn = generate(&cfg, &mut rng).unwrap();
         let seeds = syn.labeling.stratified_sample(0.2, &mut rng);
-        let summary = summarize(&syn.graph, &seeds, &DceConfig::default().summary_config()).unwrap();
+        let summary =
+            summarize(&syn.graph, &seeds, &DceConfig::default().summary_config()).unwrap();
         let est = DceWithRestarts {
             restarts: 0,
             ..DceWithRestarts::default()

@@ -29,8 +29,8 @@ impl GoldStandard {
 }
 
 impl CompatibilityEstimator for GoldStandard {
-    fn name(&self) -> &'static str {
-        "GS"
+    fn name(&self) -> String {
+        "GS".to_string()
     }
 
     fn estimate(&self, graph: &Graph, _seeds: &SeedLabels) -> Result<DenseMatrix> {

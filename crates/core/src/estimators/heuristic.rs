@@ -33,8 +33,8 @@ impl TwoValueHeuristic {
 }
 
 impl CompatibilityEstimator for TwoValueHeuristic {
-    fn name(&self) -> &'static str {
-        "Heuristic"
+    fn name(&self) -> String {
+        "Heuristic".to_string()
     }
 
     fn estimate(&self, _graph: &Graph, _seeds: &SeedLabels) -> Result<DenseMatrix> {

@@ -81,13 +81,15 @@ impl HoldoutEstimation {
 }
 
 impl CompatibilityEstimator for HoldoutEstimation {
-    fn name(&self) -> &'static str {
-        "Holdout"
+    fn name(&self) -> String {
+        "Holdout".to_string()
     }
 
     fn estimate(&self, graph: &Graph, seeds: &SeedLabels) -> Result<DenseMatrix> {
         if self.config.num_splits == 0 {
-            return Err(CoreError::InvalidConfig("num_splits must be at least 1".into()));
+            return Err(CoreError::InvalidConfig(
+                "num_splits must be at least 1".into(),
+            ));
         }
         if seeds.num_labeled() < 2 {
             return Err(CoreError::InvalidInput(
@@ -143,7 +145,9 @@ mod tests {
     fn holdout_requires_enough_labels_and_valid_config() {
         let graph = Graph::from_edges(4, &[(0, 1), (1, 2)]).unwrap();
         let one_label = SeedLabels::new(vec![Some(0), None, None, None], 2).unwrap();
-        assert!(HoldoutEstimation::default().estimate(&graph, &one_label).is_err());
+        assert!(HoldoutEstimation::default()
+            .estimate(&graph, &one_label)
+            .is_err());
         let seeds = SeedLabels::new(vec![Some(0), Some(1), None, None], 2).unwrap();
         let bad = HoldoutEstimation {
             config: HoldoutConfig {

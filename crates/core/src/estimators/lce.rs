@@ -14,23 +14,15 @@ use fg_graph::{Graph, SeedLabels};
 use fg_sparse::DenseMatrix;
 
 /// The LCE estimator.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct LinearCompatibilityEstimation {
     /// Optimizer settings for the convex minimization.
     pub optimizer: GradientDescentConfig,
 }
 
-impl Default for LinearCompatibilityEstimation {
-    fn default() -> Self {
-        LinearCompatibilityEstimation {
-            optimizer: GradientDescentConfig::default(),
-        }
-    }
-}
-
 impl CompatibilityEstimator for LinearCompatibilityEstimation {
-    fn name(&self) -> &'static str {
-        "LCE"
+    fn name(&self) -> String {
+        "LCE".to_string()
     }
 
     fn estimate(&self, graph: &Graph, seeds: &SeedLabels) -> Result<DenseMatrix> {

@@ -51,8 +51,8 @@ impl MyopicCompatibilityEstimation {
 }
 
 impl CompatibilityEstimator for MyopicCompatibilityEstimation {
-    fn name(&self) -> &'static str {
-        "MCE"
+    fn name(&self) -> String {
+        "MCE".to_string()
     }
 
     fn estimate(&self, graph: &Graph, seeds: &SeedLabels) -> Result<DenseMatrix> {
@@ -112,7 +112,10 @@ mod tests {
                 .planted_h
                 .l2_distance(&DenseMatrix::filled(3, 3, 1.0 / 3.0))
                 .unwrap();
-            assert!(err > 0.3 * uniform_err, "MCE should not recover H from 0.2% labels");
+            assert!(
+                err > 0.3 * uniform_err,
+                "MCE should not recover H from 0.2% labels"
+            );
         }
     }
 

@@ -37,18 +37,31 @@ pub use mce::MyopicCompatibilityEstimation;
 /// A method that estimates the class-compatibility matrix `H` from a partially labeled
 /// graph.
 pub trait CompatibilityEstimator {
-    /// Short name used in experiment output (e.g. `"DCEr"`).
-    fn name(&self) -> &'static str;
+    /// Short name used in experiment output (e.g. `"DCEr"`). Owned so parameterized
+    /// names like `"DCEr(r=10)"` can be built dynamically.
+    fn name(&self) -> String;
 
     /// Estimate the `k x k` compatibility matrix from the graph and the observed seed
     /// labels.
     fn estimate(&self, graph: &Graph, seeds: &SeedLabels) -> Result<DenseMatrix>;
 }
 
+/// Blanket implementation so shared references can be used wherever an estimator is
+/// expected (e.g. `Pipeline::estimator(&dcer)`).
+impl<E: CompatibilityEstimator + ?Sized> CompatibilityEstimator for &E {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn estimate(&self, graph: &Graph, seeds: &SeedLabels) -> Result<DenseMatrix> {
+        (**self).estimate(graph, seeds)
+    }
+}
+
 /// Blanket implementation so `Box<dyn CompatibilityEstimator>` can be used wherever an
 /// estimator is expected.
 impl CompatibilityEstimator for Box<dyn CompatibilityEstimator + '_> {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> String {
         (**self).name()
     }
 

@@ -21,6 +21,8 @@
 //!
 //! ## Quick example
 //!
+//! The [`Pipeline`] builder combines any estimator with any propagation backend:
+//!
 //! ```
 //! use fg_core::prelude::*;
 //! use rand::rngs::StdRng;
@@ -34,18 +36,20 @@
 //! // Only 5% of the nodes are labeled.
 //! let seeds = synthetic.labeling.stratified_sample(0.05, &mut rng);
 //!
-//! // Estimate the compatibilities and label the remaining nodes.
-//! let estimator = DceWithRestarts::default();
-//! let result = estimate_and_propagate(
-//!     &estimator,
-//!     &synthetic.graph,
-//!     &seeds,
-//!     &LinBpConfig::default(),
-//! )
-//! .unwrap();
+//! // Estimate the compatibilities with DCEr, then label the remaining nodes with
+//! // LinBP (the default backend; swap in LoopyBp, Harmonic, or RandomWalk freely).
+//! let report = Pipeline::on(&synthetic.graph)
+//!     .seeds(&seeds)
+//!     .estimator(DceWithRestarts::default())
+//!     .propagator(LinBp::default())
+//!     .run()
+//!     .unwrap();
 //!
-//! let accuracy = result.accuracy(&synthetic.labeling, &seeds);
+//! let accuracy = report.accuracy(&synthetic.labeling, &seeds);
 //! assert!(accuracy > 1.0 / 3.0); // well above random
+//! assert_eq!(report.estimator, "DCEr");
+//! assert_eq!(report.propagator, "LinBP");
+//! println!("{}", report.to_json()); // timings, iterations, convergence, ε
 //! ```
 
 #![forbid(unsafe_code)]
@@ -77,10 +81,10 @@ pub use param::{
     project_gradient, restart_points, uniform_start,
 };
 pub use paths::{
-    explicit_adjacency_power, explicit_nb_power, statistics_from_explicit, summarize,
-    GraphSummary, SummaryConfig,
+    explicit_adjacency_power, explicit_nb_power, statistics_from_explicit, summarize, GraphSummary,
+    SummaryConfig,
 };
-pub use pipeline::{estimate_and_propagate, propagate_with, PipelineResult};
+pub use pipeline::{Pipeline, PipelineReport};
 
 /// Convenience re-exports covering the most common end-to-end usage: graph generation,
 /// estimation, propagation, and metrics.
@@ -92,14 +96,14 @@ pub mod prelude {
     };
     pub use crate::normalization::NormalizationVariant;
     pub use crate::paths::{summarize, SummaryConfig};
-    pub use crate::pipeline::{estimate_and_propagate, propagate_with, PipelineResult};
+    pub use crate::pipeline::{Pipeline, PipelineReport};
     pub use fg_graph::{
         generate, measure_compatibilities, CompatibilityMatrix, DegreeDistribution,
         GeneratorConfig, Graph, Labeling, SeedLabels,
     };
     pub use fg_propagation::{
-        harmonic_functions, multi_rank_walk, propagate, HarmonicConfig, LinBpConfig,
-        RandomWalkConfig,
+        harmonic_functions, multi_rank_walk, propagate, Harmonic, HarmonicConfig, LinBp,
+        LinBpConfig, LoopyBp, PropagationOutcome, Propagator, RandomWalk, RandomWalkConfig,
     };
     pub use fg_sparse::DenseMatrix;
 }

@@ -8,9 +8,10 @@
 use fg_sparse::DenseMatrix;
 
 /// The normalization applied to a raw count matrix `M`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum NormalizationVariant {
     /// Variant 1 (Eq. 9, default): row-stochastic `diag(M1)^{-1} M`.
+    #[default]
     RowStochastic,
     /// Variant 2 (Eq. 10): symmetric `diag(M1)^{-1/2} M diag(M1)^{-1/2}` (LGC-style).
     Symmetric,
@@ -47,12 +48,6 @@ impl NormalizationVariant {
     }
 }
 
-impl Default for NormalizationVariant {
-    fn default() -> Self {
-        NormalizationVariant::RowStochastic
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -63,7 +58,10 @@ mod tests {
 
     #[test]
     fn default_is_row_stochastic() {
-        assert_eq!(NormalizationVariant::default(), NormalizationVariant::RowStochastic);
+        assert_eq!(
+            NormalizationVariant::default(),
+            NormalizationVariant::RowStochastic
+        );
     }
 
     #[test]

@@ -64,7 +64,9 @@ pub fn minimize<E: EnergyFunction + ?Sized>(
     config: &GradientDescentConfig,
 ) -> Result<OptimizationOutcome> {
     if config.max_iterations == 0 {
-        return Err(CoreError::InvalidConfig("max_iterations must be positive".into()));
+        return Err(CoreError::InvalidConfig(
+            "max_iterations must be positive".into(),
+        ));
     }
     if !(0.0..1.0).contains(&config.armijo_c) || !(0.0..1.0).contains(&config.backtrack) {
         return Err(CoreError::InvalidConfig(
@@ -198,7 +200,12 @@ mod tests {
         ])
         .unwrap();
         let energy = MceEnergy::new(target.clone()).unwrap();
-        let outcome = minimize(&energy, &uniform_start(3), &GradientDescentConfig::default()).unwrap();
+        let outcome = minimize(
+            &energy,
+            &uniform_start(3),
+            &GradientDescentConfig::default(),
+        )
+        .unwrap();
         let estimated = free_to_matrix(&outcome.x, 3).unwrap();
         assert!(estimated.approx_eq(&target, 1e-4));
     }

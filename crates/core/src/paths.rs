@@ -93,8 +93,7 @@ impl GraphSummary {
 /// matrix from the left, without building the diagonal matrix).
 fn scale_rows(m: &DenseMatrix, factors: &[f64]) -> DenseMatrix {
     let mut out = m.clone();
-    for i in 0..out.rows() {
-        let f = factors[i];
+    for (i, &f) in factors.iter().enumerate() {
         for v in out.row_mut(i) {
             *v *= f;
         }
@@ -121,7 +120,11 @@ fn seed_transpose_product(seeds: &SeedLabels, n_matrix: &DenseMatrix) -> DenseMa
 /// Compute the factorized graph summary (Algorithm 4.4).
 ///
 /// Runs in `O(m · k · ℓmax)` time and `O(n · k)` memory.
-pub fn summarize(graph: &Graph, seeds: &SeedLabels, config: &SummaryConfig) -> Result<GraphSummary> {
+pub fn summarize(
+    graph: &Graph,
+    seeds: &SeedLabels,
+    config: &SummaryConfig,
+) -> Result<GraphSummary> {
     if seeds.n() != graph.num_nodes() {
         return Err(CoreError::InvalidInput(format!(
             "seed labels cover {} nodes but graph has {}",
@@ -293,11 +296,7 @@ mod tests {
 
     fn small_graph() -> Graph {
         // A graph with cycles and a pendant: exercises both backtracking corrections.
-        Graph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)],
-        )
-        .unwrap()
+        Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)]).unwrap()
     }
 
     #[test]
@@ -349,7 +348,10 @@ mod tests {
             let expected =
                 statistics_from_explicit(&explicit_power, &seeds, config.variant).unwrap();
             assert!(
-                summary.statistic(length).unwrap().approx_eq(&expected, 1e-9),
+                summary
+                    .statistic(length)
+                    .unwrap()
+                    .approx_eq(&expected, 1e-9),
                 "mismatch at length {length}"
             );
         }
@@ -370,22 +372,23 @@ mod tests {
             let explicit_power = explicit_adjacency_power(&g, length).unwrap();
             let expected =
                 statistics_from_explicit(&explicit_power, &seeds, config.variant).unwrap();
-            assert!(summary.statistic(length).unwrap().approx_eq(&expected, 1e-9));
+            assert!(summary
+                .statistic(length)
+                .unwrap()
+                .approx_eq(&expected, 1e-9));
         }
     }
 
     #[test]
     fn partial_labels_only_count_labeled_endpoints() {
         let g = small_graph();
-        let seeds = SeedLabels::new(
-            vec![Some(0), None, Some(1), None, None, Some(0)],
-            2,
-        )
-        .unwrap();
+        let seeds = SeedLabels::new(vec![Some(0), None, Some(1), None, None, Some(0)], 2).unwrap();
         let summary = summarize(&g, &seeds, &SummaryConfig::with_max_length(2)).unwrap();
         // Counts must equal the explicit computation restricted to labeled endpoints.
         let explicit = explicit_nb_power(&g, 2).unwrap();
-        let expected = statistics_from_explicit(&explicit, &seeds, NormalizationVariant::RowStochastic).unwrap();
+        let expected =
+            statistics_from_explicit(&explicit, &seeds, NormalizationVariant::RowStochastic)
+                .unwrap();
         assert!(summary.statistic(2).unwrap().approx_eq(&expected, 1e-9));
     }
 
@@ -412,7 +415,12 @@ mod tests {
         let seeds = SeedLabels::fully_labeled(&labeling);
         assert!(summarize(&g, &seeds, &SummaryConfig::with_max_length(0)).is_err());
         let small_power = CsrMatrix::identity(3);
-        assert!(statistics_from_explicit(&small_power, &seeds, NormalizationVariant::RowStochastic).is_err());
+        assert!(statistics_from_explicit(
+            &small_power,
+            &seeds,
+            NormalizationVariant::RowStochastic
+        )
+        .is_err());
     }
 
     #[test]
@@ -455,7 +463,10 @@ mod tests {
         // The plain estimator overestimates the diagonal relative to H².
         let full_stat = full.statistic(2).unwrap();
         let diag_bias: f64 = (0..3).map(|c| full_stat.get(c, c) - h2.get(c, c)).sum();
-        assert!(diag_bias > 0.0, "expected positive diagonal bias, got {diag_bias}");
+        assert!(
+            diag_bias > 0.0,
+            "expected positive diagonal bias, got {diag_bias}"
+        );
     }
 
     #[test]

@@ -2,87 +2,270 @@
 //!
 //! The paper's headline workflow (Problem 1.2): given a sparsely labeled graph with
 //! unknown compatibilities, first *estimate* `H` (a cheap preprocessing step), then
-//! *propagate* the seed labels with LinBP using the estimate. This module wires the two
-//! stages together and records the timings reported in the scalability experiments.
+//! *propagate* the seed labels using the estimate. The [`Pipeline`] builder wires any
+//! [`CompatibilityEstimator`] to any [`Propagator`] backend:
+//!
+//! ```text
+//! Pipeline::on(&graph)
+//!     .seeds(&seeds)
+//!     .estimator(DceWithRestarts::default())
+//!     .propagator(LinBp::default())      // or LoopyBp / Harmonic / RandomWalk
+//!     .run()?
+//! ```
+//!
+//! The result is a [`PipelineReport`] with per-stage wall-clock timings, the
+//! propagation outcome (iterations, convergence, `ε`), and accuracy hooks — the
+//! numbers reported in the paper's scalability experiments.
 
-use crate::error::Result;
+use crate::error::{CoreError, Result};
 use crate::estimators::CompatibilityEstimator;
 use fg_graph::{Graph, Labeling, SeedLabels};
-use fg_propagation::{propagate, LinBpConfig, PropagationResult};
+use fg_propagation::{LinBp, PropagationOutcome, Propagator};
 use fg_sparse::DenseMatrix;
 use std::time::{Duration, Instant};
 
-/// Result of an end-to-end pipeline run.
+/// Result of an end-to-end [`Pipeline`] run: which stages ran, what they produced,
+/// and how long each took.
 #[derive(Debug, Clone)]
-pub struct PipelineResult {
-    /// Name of the estimator that produced `estimated_h`.
-    pub estimator: &'static str,
-    /// The estimated compatibility matrix.
+pub struct PipelineReport {
+    /// Name of the estimation stage (estimator name, the label given to explicit
+    /// compatibilities, or `"none"` when the backend ignores `H`).
+    pub estimator: String,
+    /// Name of the propagation backend that labeled the nodes.
+    pub propagator: String,
+    /// The compatibility matrix the propagation stage consumed.
     pub estimated_h: DenseMatrix,
-    /// The propagation result obtained with the estimate.
-    pub propagation: PropagationResult,
-    /// Wall-clock time of the estimation step.
+    /// The unified propagation outcome (beliefs, predictions, iterations,
+    /// convergence, `ε`).
+    pub outcome: PropagationOutcome,
+    /// Wall-clock time of the estimation stage (zero when `H` was supplied
+    /// explicitly or not needed).
     pub estimation_time: Duration,
-    /// Wall-clock time of the propagation step.
+    /// Wall-clock time of the propagation stage.
     pub propagation_time: Duration,
+    /// Macro-averaged accuracy on the unlabeled nodes, recorded by
+    /// [`PipelineReport::evaluate`] when ground truth is available.
+    pub accuracy: Option<f64>,
 }
 
-impl PipelineResult {
-    /// End-to-end macro-averaged accuracy on the unlabeled nodes.
+impl PipelineReport {
+    /// End-to-end macro-averaged accuracy on the unlabeled nodes (computed on the
+    /// fly; use [`PipelineReport::evaluate`] to also record it in the report).
     pub fn accuracy(&self, truth: &Labeling, seeds: &SeedLabels) -> f64 {
-        self.propagation.accuracy(truth, seeds)
+        self.outcome.accuracy(truth, seeds)
     }
 
-    /// L2 (Frobenius) distance between the estimate and a reference matrix
-    /// (typically the gold standard).
+    /// Compute the accuracy against ground truth and record it in the report (so it
+    /// appears in [`PipelineReport::to_json`]).
+    pub fn evaluate(&mut self, truth: &Labeling, seeds: &SeedLabels) -> f64 {
+        let acc = self.accuracy(truth, seeds);
+        self.accuracy = Some(acc);
+        acc
+    }
+
+    /// L2 (Frobenius) distance between the consumed compatibility matrix and a
+    /// reference matrix (typically the gold standard).
     pub fn l2_from(&self, reference: &DenseMatrix) -> Result<f64> {
         Ok(self.estimated_h.frobenius_distance(reference)?)
     }
+
+    /// Total wall-clock time across both stages.
+    pub fn total_time(&self) -> Duration {
+        self.estimation_time + self.propagation_time
+    }
+
+    /// Serialize the report (stage names, timings, iterations, convergence info, and
+    /// the recorded accuracy if any) as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut fields = vec![
+            format!("\"estimator\":{}", json_string(&self.estimator)),
+            format!("\"propagator\":{}", json_string(&self.propagator)),
+            format!(
+                "\"estimation_seconds\":{:.6}",
+                self.estimation_time.as_secs_f64()
+            ),
+            format!(
+                "\"propagation_seconds\":{:.6}",
+                self.propagation_time.as_secs_f64()
+            ),
+            format!("\"iterations\":{}", self.outcome.iterations),
+            format!("\"converged\":{}", self.outcome.converged),
+            format!(
+                "\"epsilon\":{}",
+                match self.outcome.epsilon {
+                    Some(e) => format!("{e}"),
+                    None => "null".to_string(),
+                }
+            ),
+            format!("\"nodes\":{}", self.outcome.predictions.len()),
+            format!("\"classes\":{}", self.estimated_h.rows()),
+        ];
+        if let Some(acc) = self.accuracy {
+            fields.push(format!("\"accuracy\":{acc}"));
+        }
+        format!("{{{}}}", fields.join(","))
+    }
 }
 
-/// Estimate `H` with the given estimator and then label the remaining nodes with LinBP.
-pub fn estimate_and_propagate<E: CompatibilityEstimator + ?Sized>(
-    estimator: &E,
-    graph: &Graph,
-    seeds: &SeedLabels,
-    propagation_config: &LinBpConfig,
-) -> Result<PipelineResult> {
-    let est_start = Instant::now();
-    let estimated_h = estimator.estimate(graph, seeds)?;
-    let estimation_time = est_start.elapsed();
-
-    let prop_start = Instant::now();
-    let propagation = propagate(graph, seeds, &estimated_h, propagation_config)?;
-    let propagation_time = prop_start.elapsed();
-
-    Ok(PipelineResult {
-        estimator: estimator.name(),
-        estimated_h,
-        propagation,
-        estimation_time,
-        propagation_time,
-    })
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
-/// Propagate with an explicitly supplied compatibility matrix (no estimation step).
-/// Used for the gold-standard and heuristic comparisons.
-pub fn propagate_with(
-    name: &'static str,
-    h: &DenseMatrix,
-    graph: &Graph,
-    seeds: &SeedLabels,
-    propagation_config: &LinBpConfig,
-) -> Result<PipelineResult> {
-    let prop_start = Instant::now();
-    let propagation = propagate(graph, seeds, h, propagation_config)?;
-    let propagation_time = prop_start.elapsed();
-    Ok(PipelineResult {
-        estimator: name,
-        estimated_h: h.clone(),
-        propagation,
-        estimation_time: Duration::ZERO,
-        propagation_time,
-    })
+/// How the propagation stage obtains its compatibility matrix.
+enum HSource<'a> {
+    /// Run a [`CompatibilityEstimator`] on the seeded graph.
+    Estimate(Box<dyn CompatibilityEstimator + 'a>),
+    /// Use an explicitly supplied matrix (the gold-standard / heuristic comparisons).
+    Explicit(String, &'a DenseMatrix),
+}
+
+/// Fluent builder for an estimation + propagation run.
+///
+/// Required: a graph ([`Pipeline::on`]) and seed labels ([`Pipeline::seeds`]).
+/// The `H` source is either an [`estimator`](Pipeline::estimator) or explicit
+/// [`compatibilities`](Pipeline::compatibilities); backends that ignore `H`
+/// (harmonic functions, random walks) need neither. The propagation backend
+/// defaults to [`LinBp`] with default configuration.
+pub struct Pipeline<'a> {
+    graph: &'a Graph,
+    seeds: Option<&'a SeedLabels>,
+    h_source: Option<HSource<'a>>,
+    estimator_label: Option<String>,
+    propagator: Option<Box<dyn Propagator + 'a>>,
+    propagator_label: Option<String>,
+}
+
+impl<'a> Pipeline<'a> {
+    /// Start a pipeline on the given graph.
+    pub fn on(graph: &'a Graph) -> Self {
+        Pipeline {
+            graph,
+            seeds: None,
+            h_source: None,
+            estimator_label: None,
+            propagator: None,
+            propagator_label: None,
+        }
+    }
+
+    /// The observed seed labels (required).
+    pub fn seeds(mut self, seeds: &'a SeedLabels) -> Self {
+        self.seeds = Some(seeds);
+        self
+    }
+
+    /// Estimate `H` with the given estimator. Accepts owned estimators, references,
+    /// and boxed trait objects alike. Replaces any previously set `H` source.
+    pub fn estimator(mut self, estimator: impl CompatibilityEstimator + 'a) -> Self {
+        self.h_source = Some(HSource::Estimate(Box::new(estimator)));
+        self
+    }
+
+    /// Skip estimation and propagate with an explicitly supplied compatibility
+    /// matrix, labeled `name` in the report (e.g. `"GS"`). Replaces any previously
+    /// set `H` source.
+    pub fn compatibilities(mut self, name: impl Into<String>, h: &'a DenseMatrix) -> Self {
+        self.h_source = Some(HSource::Explicit(name.into(), h));
+        self
+    }
+
+    /// Override the estimator name recorded in the report (e.g. `"DCEr(r=10)"`).
+    pub fn estimator_label(mut self, label: impl Into<String>) -> Self {
+        self.estimator_label = Some(label.into());
+        self
+    }
+
+    /// The propagation backend (defaults to [`LinBp`] with default configuration).
+    /// Accepts owned backends, references, and boxed trait objects alike.
+    pub fn propagator(mut self, propagator: impl Propagator + 'a) -> Self {
+        self.propagator = Some(Box::new(propagator));
+        self
+    }
+
+    /// Override the propagator name recorded in the report (e.g. `"LinBP(s=0.1)"`).
+    pub fn propagator_label(mut self, label: impl Into<String>) -> Self {
+        self.propagator_label = Some(label.into());
+        self
+    }
+
+    /// Execute both stages and collect the [`PipelineReport`].
+    pub fn run(self) -> Result<PipelineReport> {
+        let seeds = self.seeds.ok_or_else(|| {
+            CoreError::InvalidConfig("Pipeline requires seed labels: call .seeds(...)".into())
+        })?;
+        let propagator: Box<dyn Propagator + 'a> = match self.propagator {
+            Some(p) => p,
+            None => Box::new(LinBp::default()),
+        };
+
+        // An uninformative placeholder for backends that never read H.
+        let uniform_h = |seeds: &SeedLabels| {
+            let k = seeds.k();
+            DenseMatrix::filled(k, k, 1.0 / k as f64)
+        };
+        let (h, estimator_name, estimation_time) = match self.h_source {
+            Some(HSource::Estimate(estimator)) if !propagator.uses_compatibilities() => {
+                // The backend ignores H: skip the (potentially expensive) estimation
+                // stage entirely and record that it was skipped.
+                let base = self.estimator_label.unwrap_or_else(|| estimator.name());
+                (
+                    uniform_h(seeds),
+                    format!("{base} (skipped)"),
+                    Duration::ZERO,
+                )
+            }
+            Some(HSource::Estimate(estimator)) => {
+                let start = Instant::now();
+                let h = estimator.estimate(self.graph, seeds)?;
+                let name = self.estimator_label.unwrap_or_else(|| estimator.name());
+                (h, name, start.elapsed())
+            }
+            Some(HSource::Explicit(name, h)) => (
+                h.clone(),
+                self.estimator_label.unwrap_or(name),
+                Duration::ZERO,
+            ),
+            None if !propagator.uses_compatibilities() => {
+                (uniform_h(seeds), "none".to_string(), Duration::ZERO)
+            }
+            None => {
+                return Err(CoreError::InvalidConfig(format!(
+                    "propagation backend '{}' needs a compatibility matrix: call \
+                     .estimator(...) or .compatibilities(...)",
+                    propagator.name()
+                )));
+            }
+        };
+
+        let prop_start = Instant::now();
+        let outcome = propagator
+            .propagate(self.graph, seeds, &h)
+            .map_err(CoreError::Graph)?;
+        let propagation_time = prop_start.elapsed();
+
+        Ok(PipelineReport {
+            estimator: estimator_name,
+            propagator: self.propagator_label.unwrap_or_else(|| propagator.name()),
+            estimated_h: h,
+            outcome,
+            estimation_time,
+            propagation_time,
+            accuracy: None,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -90,6 +273,7 @@ mod tests {
     use super::*;
     use crate::estimators::{DceWithRestarts, GoldStandard};
     use fg_graph::{generate, GeneratorConfig};
+    use fg_propagation::{Harmonic, LinBpConfig, LoopyBp, RandomWalk};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -99,12 +283,17 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(99);
         let syn = generate(&cfg, &mut rng).unwrap();
         let seeds = syn.labeling.stratified_sample(0.03, &mut rng);
-        let linbp = LinBpConfig::default();
 
-        let gs = GoldStandard::new(syn.labeling.clone());
-        let gs_result = estimate_and_propagate(&gs, &syn.graph, &seeds, &linbp).unwrap();
-        let dcer = DceWithRestarts::default();
-        let dcer_result = estimate_and_propagate(&dcer, &syn.graph, &seeds, &linbp).unwrap();
+        let gs_result = Pipeline::on(&syn.graph)
+            .seeds(&seeds)
+            .estimator(GoldStandard::new(syn.labeling.clone()))
+            .run()
+            .unwrap();
+        let dcer_result = Pipeline::on(&syn.graph)
+            .seeds(&seeds)
+            .estimator(DceWithRestarts::default())
+            .run()
+            .unwrap();
 
         let gs_acc = gs_result.accuracy(&syn.labeling, &seeds);
         let dcer_acc = dcer_result.accuracy(&syn.labeling, &seeds);
@@ -114,26 +303,155 @@ mod tests {
         );
         assert!(gs_acc > 0.5, "GS accuracy {gs_acc} suspiciously low");
         assert_eq!(dcer_result.estimator, "DCEr");
+        assert_eq!(dcer_result.propagator, "LinBP");
         assert!(dcer_result.estimation_time > Duration::ZERO);
     }
 
     #[test]
-    fn propagate_with_explicit_matrix() {
+    fn explicit_compatibilities_skip_estimation() {
         let cfg = GeneratorConfig::balanced(300, 8.0, 3, 3.0).unwrap();
         let mut rng = StdRng::seed_from_u64(7);
         let syn = generate(&cfg, &mut rng).unwrap();
         let seeds = syn.labeling.stratified_sample(0.1, &mut rng);
-        let result = propagate_with(
-            "GS",
-            syn.planted_h.as_dense(),
-            &syn.graph,
-            &seeds,
-            &LinBpConfig::default(),
-        )
-        .unwrap();
+        let result = Pipeline::on(&syn.graph)
+            .seeds(&seeds)
+            .compatibilities("GS", syn.planted_h.as_dense())
+            .run()
+            .unwrap();
         assert_eq!(result.estimation_time, Duration::ZERO);
         assert_eq!(result.estimator, "GS");
         let l2 = result.l2_from(syn.planted_h.as_dense()).unwrap();
         assert!(l2 < 1e-12);
+    }
+
+    #[test]
+    fn any_estimator_propagator_combination_runs() {
+        let cfg = GeneratorConfig::balanced(300, 8.0, 3, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let syn = generate(&cfg, &mut rng).unwrap();
+        let seeds = syn.labeling.stratified_sample(0.1, &mut rng);
+        let backends: Vec<Box<dyn Propagator>> = vec![
+            Box::new(LinBp::default()),
+            Box::new(LoopyBp::default()),
+            Box::new(Harmonic::default()),
+            Box::new(RandomWalk::default()),
+        ];
+        for backend in backends {
+            let name = backend.name();
+            let report = Pipeline::on(&syn.graph)
+                .seeds(&seeds)
+                .estimator(DceWithRestarts::default())
+                .propagator(backend)
+                .run()
+                .unwrap();
+            assert_eq!(report.propagator, name);
+            assert_eq!(report.outcome.predictions.len(), syn.graph.num_nodes());
+        }
+    }
+
+    #[test]
+    fn compatibility_free_backends_need_no_estimator() {
+        let cfg = GeneratorConfig::balanced(200, 8.0, 3, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(27);
+        let syn = generate(&cfg, &mut rng).unwrap();
+        let seeds = syn.labeling.stratified_sample(0.2, &mut rng);
+        let report = Pipeline::on(&syn.graph)
+            .seeds(&seeds)
+            .propagator(Harmonic::default())
+            .run()
+            .unwrap();
+        assert_eq!(report.estimator, "none");
+        assert_eq!(report.estimation_time, Duration::ZERO);
+    }
+
+    #[test]
+    fn estimation_is_skipped_for_compatibility_free_backends() {
+        // An estimator combined with a backend that ignores H must not pay the
+        // estimation cost; the report says so explicitly.
+        let cfg = GeneratorConfig::balanced(200, 8.0, 3, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(47);
+        let syn = generate(&cfg, &mut rng).unwrap();
+        let seeds = syn.labeling.stratified_sample(0.2, &mut rng);
+        let report = Pipeline::on(&syn.graph)
+            .seeds(&seeds)
+            .estimator(DceWithRestarts::default())
+            .propagator(RandomWalk::default())
+            .run()
+            .unwrap();
+        assert_eq!(report.estimator, "DCEr (skipped)");
+        assert_eq!(report.estimation_time, Duration::ZERO);
+        // The label override is preserved in the skip notice.
+        let labeled = Pipeline::on(&syn.graph)
+            .seeds(&seeds)
+            .estimator(DceWithRestarts::default())
+            .estimator_label("DCEr(r=10)")
+            .propagator(Harmonic::default())
+            .run()
+            .unwrap();
+        assert_eq!(labeled.estimator, "DCEr(r=10) (skipped)");
+    }
+
+    #[test]
+    fn builder_validates_inputs() {
+        let graph = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let seeds = SeedLabels::new(vec![Some(0), None, None, Some(1)], 2).unwrap();
+        // Missing seeds.
+        assert!(matches!(
+            Pipeline::on(&graph).run(),
+            Err(CoreError::InvalidConfig(_))
+        ));
+        // LinBP without any H source.
+        assert!(matches!(
+            Pipeline::on(&graph).seeds(&seeds).run(),
+            Err(CoreError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn labels_override_stage_names_and_serialize() {
+        let graph = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let seeds = SeedLabels::new(vec![Some(0), None, None, Some(1)], 2).unwrap();
+        let truth = Labeling::new(vec![0, 0, 1, 1], 2).unwrap();
+        let h = DenseMatrix::from_rows(&[vec![0.8, 0.2], vec![0.2, 0.8]]).unwrap();
+        let mut report = Pipeline::on(&graph)
+            .seeds(&seeds)
+            .compatibilities("planted", &h)
+            .estimator_label("planted \"exact\"")
+            .propagator(LinBp::new(LinBpConfig::default()))
+            .propagator_label("LinBP(default)")
+            .run()
+            .unwrap();
+        assert_eq!(report.estimator, "planted \"exact\"");
+        assert_eq!(report.propagator, "LinBP(default)");
+        report.evaluate(&truth, &seeds);
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"estimator\":\"planted \\\"exact\\\"\""));
+        assert!(json.contains("\"propagator\":\"LinBP(default)\""));
+        assert!(json.contains("\"accuracy\":"));
+        assert!(json.contains("\"iterations\":"));
+        assert!(json.contains("\"converged\":"));
+        assert!(json.contains("\"epsilon\":"));
+    }
+
+    #[test]
+    fn boxed_and_borrowed_estimators_work() {
+        let cfg = GeneratorConfig::balanced(200, 8.0, 2, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(37);
+        let syn = generate(&cfg, &mut rng).unwrap();
+        let seeds = syn.labeling.stratified_sample(0.2, &mut rng);
+        let owned = DceWithRestarts::default();
+        let by_ref = Pipeline::on(&syn.graph)
+            .seeds(&seeds)
+            .estimator(&owned)
+            .run()
+            .unwrap();
+        let boxed: Box<dyn CompatibilityEstimator> = Box::new(DceWithRestarts::default());
+        let by_box = Pipeline::on(&syn.graph)
+            .seeds(&seeds)
+            .estimator(boxed)
+            .run()
+            .unwrap();
+        assert_eq!(by_ref.estimator, by_box.estimator);
     }
 }

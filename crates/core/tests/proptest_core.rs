@@ -1,6 +1,9 @@
-//! Property-based tests for the estimation core: parameterization invariants, gradient
+//! Property-style tests for the estimation core: parameterization invariants, gradient
 //! correctness against finite differences, and the factorized path summation against
 //! the explicit (unfactorized) evaluation order.
+//!
+//! The build environment has no access to crates.io, so instead of `proptest` these
+//! run each property over a deterministic sweep of seeded random inputs.
 
 use fg_core::{
     distance_weights, explicit_nb_power, free_to_matrix, matrix_to_free, num_free_parameters,
@@ -9,22 +12,26 @@ use fg_core::{
 };
 use fg_graph::{Graph, Labeling, SeedLabels};
 use fg_sparse::DenseMatrix;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// A strategy for free-parameter vectors of a symmetric doubly-stochastic k x k matrix,
+/// A random free-parameter vector of a symmetric doubly-stochastic k x k matrix,
 /// staying within a range where reconstructed entries remain reasonable.
-fn free_params(k: usize) -> impl Strategy<Value = Vec<f64>> {
+fn free_params(k: usize, rng: &mut StdRng) -> Vec<f64> {
     let k_star = num_free_parameters(k);
-    proptest::collection::vec(0.01f64..0.6, k_star)
+    (0..k_star)
+        .map(|_| 0.01 + rng.gen::<f64>() * 0.59)
+        .collect()
 }
 
-/// A strategy for small random graphs given as edge lists on `n` nodes.
-fn random_graph(n: usize) -> impl Strategy<Value = Graph> {
-    proptest::collection::vec((0..n, 0..n), n..(3 * n)).prop_map(move |edges| {
-        let filtered: Vec<(usize, usize)> =
-            edges.into_iter().filter(|(u, v)| u != v).collect();
-        Graph::from_edges(n, &filtered).expect("valid edges")
-    })
+/// A small random graph given as an edge list on `n` nodes.
+fn random_graph(n: usize, rng: &mut StdRng) -> Graph {
+    let num_edges = n + rng.gen_index(2 * n);
+    let edges: Vec<(usize, usize)> = (0..num_edges)
+        .map(|_| (rng.gen_index(n), rng.gen_index(n)))
+        .filter(|(u, v)| u != v)
+        .collect();
+    Graph::from_edges(n, &edges).expect("valid edges")
 }
 
 fn numeric_gradient<E: EnergyFunction>(energy: &E, free: &[f64]) -> Vec<f64> {
@@ -40,44 +47,57 @@ fn numeric_gradient<E: EnergyFunction>(energy: &E, free: &[f64]) -> Vec<f64> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn reconstruction_is_always_symmetric_doubly_stochastic(k in 2usize..7, seed in 0u64..500) {
-        // Use the seed to build arbitrary-ish free parameters deterministically.
+#[test]
+fn reconstruction_is_always_symmetric_doubly_stochastic() {
+    for seed in 0..48u64 {
+        let k = 2 + (seed as usize % 5);
+        // Arbitrary-ish free parameters, deterministic per seed.
         let k_star = num_free_parameters(k);
         let free: Vec<f64> = (0..k_star)
             .map(|i| 0.05 + 0.5 * (((seed as usize + i * 37) % 97) as f64 / 97.0))
             .collect();
         let h = free_to_matrix(&free, k).unwrap();
-        prop_assert!(h.is_symmetric(1e-10));
+        assert!(h.is_symmetric(1e-10), "seed {seed}");
         for s in h.row_sums() {
-            prop_assert!((s - 1.0).abs() < 1e-9);
+            assert!((s - 1.0).abs() < 1e-9, "seed {seed}");
         }
         for s in h.col_sums() {
-            prop_assert!((s - 1.0).abs() < 1e-9);
+            assert!((s - 1.0).abs() < 1e-9, "seed {seed}");
         }
         // Round trip.
         let back = matrix_to_free(&h).unwrap();
         for (a, b) in free.iter().zip(back.iter()) {
-            prop_assert!((a - b).abs() < 1e-10);
+            assert!((a - b).abs() < 1e-10, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn mce_gradient_is_exact(free in free_params(3), target in free_params(3)) {
+#[test]
+fn mce_gradient_is_exact() {
+    for seed in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let free = free_params(3, &mut rng);
+        let target = free_params(3, &mut rng);
         let target_matrix = free_to_matrix(&target, 3).unwrap();
         let energy = MceEnergy::new(target_matrix).unwrap();
         let analytic = energy.gradient(&free).unwrap();
         let numeric = numeric_gradient(&energy, &free);
         for (a, n) in analytic.iter().zip(numeric.iter()) {
-            prop_assert!((a - n).abs() < 1e-4, "analytic {} vs numeric {}", a, n);
+            assert!(
+                (a - n).abs() < 1e-4,
+                "seed {seed}: analytic {a} vs numeric {n}"
+            );
         }
     }
+}
 
-    #[test]
-    fn dce_gradient_is_exact(free in free_params(3), stats_seed in free_params(3), lambda in 0.5f64..20.0) {
+#[test]
+fn dce_gradient_is_exact() {
+    for seed in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let free = free_params(3, &mut rng);
+        let stats_seed = free_params(3, &mut rng);
+        let lambda = 0.5 + rng.gen::<f64>() * 19.5;
         // Build perturbed statistics from an arbitrary valid matrix.
         let base = free_to_matrix(&stats_seed, 3).unwrap();
         let stats = vec![
@@ -89,34 +109,52 @@ proptest! {
         let analytic = energy.gradient(&free).unwrap();
         let numeric = numeric_gradient(&energy, &free);
         for (a, n) in analytic.iter().zip(numeric.iter()) {
-            prop_assert!((a - n).abs() < 1e-3, "analytic {} vs numeric {}", a, n);
+            assert!(
+                (a - n).abs() < 1e-3,
+                "seed {seed}: analytic {a} vs numeric {n}"
+            );
         }
     }
+}
 
-    #[test]
-    fn dce_energy_is_nonnegative_and_zero_only_at_exact_fit(free in free_params(3)) {
+#[test]
+fn dce_energy_is_nonnegative_and_zero_only_at_exact_fit() {
+    for seed in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let free = free_params(3, &mut rng);
         let h = free_to_matrix(&free, 3).unwrap();
         let stats = vec![h.clone(), h.pow(2).unwrap()];
         let energy = DceEnergy::with_lambda(stats, 10.0).unwrap();
-        prop_assert!(energy.value(&free).unwrap() < 1e-10);
-        prop_assert!(energy.value(&uniform_start(3)).unwrap() >= 0.0);
+        assert!(energy.value(&free).unwrap() < 1e-10, "seed {seed}");
+        assert!(
+            energy.value(&uniform_start(3)).unwrap() >= 0.0,
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn factorized_summary_equals_explicit_on_random_graphs(
-        graph in random_graph(12),
-        label_seed in 0u64..1000,
-    ) {
+#[test]
+fn factorized_summary_equals_explicit_on_random_graphs() {
+    for seed in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = random_graph(12, &mut rng);
+        let label_seed = rng.gen::<u64>() % 1000;
         // Random labels over 3 classes, roughly half of the nodes labeled.
         let n = graph.num_nodes();
         let labels: Vec<usize> = (0..n).map(|i| (label_seed as usize + i * 7) % 3).collect();
         let labeling = Labeling::new(labels, 3).unwrap();
         let observed: Vec<Option<usize>> = (0..n)
-            .map(|i| if (label_seed as usize + i) % 2 == 0 { Some(labeling.class_of(i)) } else { None })
+            .map(|i| {
+                if (label_seed as usize + i).is_multiple_of(2) {
+                    Some(labeling.class_of(i))
+                } else {
+                    None
+                }
+            })
             .collect();
         let seeds = SeedLabels::new(observed, 3).unwrap();
         if seeds.num_labeled() == 0 {
-            return Ok(());
+            continue;
         }
         let config = SummaryConfig {
             max_length: 4,
@@ -127,15 +165,23 @@ proptest! {
         for length in 1..=4usize {
             let explicit = explicit_nb_power(&graph, length).unwrap();
             let expected = statistics_from_explicit(&explicit, &seeds, config.variant).unwrap();
-            prop_assert!(
-                summary.statistic(length).unwrap().approx_eq(&expected, 1e-7),
-                "mismatch at length {}", length
+            assert!(
+                summary
+                    .statistic(length)
+                    .unwrap()
+                    .approx_eq(&expected, 1e-7),
+                "seed {seed}: mismatch at length {length}"
             );
         }
     }
+}
 
-    #[test]
-    fn statistics_matrices_are_row_stochastic_or_zero(graph in random_graph(15), label_seed in 0u64..100) {
+#[test]
+fn statistics_matrices_are_row_stochastic_or_zero() {
+    for seed in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = random_graph(15, &mut rng);
+        let label_seed = rng.gen::<u64>() % 100;
         let n = graph.num_nodes();
         let labels: Vec<usize> = (0..n).map(|i| ((label_seed as usize) + i) % 2).collect();
         let labeling = Labeling::new(labels, 2).unwrap();
@@ -144,38 +190,58 @@ proptest! {
         for l in 1..=3usize {
             let stat = summary.statistic(l).unwrap();
             for s in stat.row_sums() {
-                prop_assert!(s.abs() < 1e-9 || (s - 1.0).abs() < 1e-9);
+                assert!(
+                    s.abs() < 1e-9 || (s - 1.0).abs() < 1e-9,
+                    "seed {seed} length {l}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn doubly_stochastic_powers_commute_with_parameterization(free in free_params(4)) {
+#[test]
+fn doubly_stochastic_powers_commute_with_parameterization() {
+    for seed in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let free = free_params(4, &mut rng);
         // (H(h))^2 is symmetric doubly stochastic; extracting and reconstructing its
         // free parameters reproduces it exactly.
         let h = free_to_matrix(&free, 4).unwrap();
         let h2 = h.pow(2).unwrap();
         let back = free_to_matrix(&matrix_to_free(&h2).unwrap(), 4).unwrap();
-        prop_assert!(back.approx_eq(&h2, 1e-9));
+        assert!(back.approx_eq(&h2, 1e-9), "seed {seed}");
     }
+}
 
-    #[test]
-    fn distance_weights_are_positive_and_geometric(lambda in 0.1f64..50.0, len in 1usize..8) {
+#[test]
+fn distance_weights_are_positive_and_geometric() {
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..48 {
+        let lambda = 0.1 + rng.gen::<f64>() * 49.9;
+        let len = 1 + rng.gen_index(7);
         let w = distance_weights(lambda, len);
-        prop_assert_eq!(w.len(), len);
-        prop_assert!(w.iter().all(|&x| x > 0.0));
+        assert_eq!(w.len(), len);
+        assert!(w.iter().all(|&x| x > 0.0), "lambda {lambda} len {len}");
         for i in 1..len {
-            prop_assert!((w[i] / w[i - 1] - lambda).abs() < 1e-9);
+            assert!(
+                (w[i] / w[i - 1] - lambda).abs() < 1e-9,
+                "lambda {lambda} len {len}"
+            );
         }
     }
+}
 
-    #[test]
-    fn dense_matrix_power_is_doubly_stochastic_closed(free in free_params(3), p in 1usize..6) {
+#[test]
+fn dense_matrix_power_is_doubly_stochastic_closed() {
+    for seed in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let free = free_params(3, &mut rng);
+        let p = 1 + rng.gen_index(5);
         let h = free_to_matrix(&free, 3).unwrap();
         let hp = h.pow(p).unwrap();
-        prop_assert!(hp.is_symmetric(1e-8));
+        assert!(hp.is_symmetric(1e-8), "seed {seed} p {p}");
         for s in hp.row_sums() {
-            prop_assert!((s - 1.0).abs() < 1e-7);
+            assert!((s - 1.0).abs() < 1e-7, "seed {seed} p {p}");
         }
     }
 }

@@ -44,10 +44,7 @@ fn parse_node(token: Option<&str>, line_no: usize) -> Result<usize> {
         GraphError::InvalidGeneratorConfig(format!("line {}: missing node id", line_no + 1))
     })?;
     tok.parse::<usize>().map_err(|_| {
-        GraphError::InvalidGeneratorConfig(format!(
-            "line {}: invalid node id '{tok}'",
-            line_no + 1
-        ))
+        GraphError::InvalidGeneratorConfig(format!("line {}: invalid node id '{tok}'", line_no + 1))
     })
 }
 

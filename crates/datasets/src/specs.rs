@@ -183,19 +183,43 @@ pub fn spec(id: DatasetId) -> DatasetSpec {
             n: 27_770,
             m: 352_807,
             k: 11,
-            alpha: normalize(vec![0.04, 0.06, 0.08, 0.09, 0.10, 0.11, 0.11, 0.11, 0.10, 0.10, 0.10]),
+            alpha: normalize(vec![
+                0.04, 0.06, 0.08, 0.09, 0.10, 0.11, 0.11, 0.11, 0.10, 0.10, 0.10,
+            ]),
             gold_h: project_to_compatibility(&[
-                vec![0.10, 0.11, 0.14, 0.11, 0.11, 0.08, 0.08, 0.08, 0.04, 0.08, 0.08],
-                vec![0.11, 0.09, 0.12, 0.12, 0.10, 0.08, 0.09, 0.09, 0.05, 0.06, 0.09],
-                vec![0.14, 0.12, 0.11, 0.13, 0.11, 0.10, 0.09, 0.06, 0.03, 0.03, 0.06],
-                vec![0.11, 0.12, 0.13, 0.15, 0.12, 0.10, 0.08, 0.06, 0.03, 0.04, 0.06],
-                vec![0.11, 0.10, 0.11, 0.12, 0.17, 0.13, 0.08, 0.07, 0.03, 0.02, 0.05],
-                vec![0.08, 0.08, 0.10, 0.10, 0.13, 0.18, 0.12, 0.08, 0.04, 0.03, 0.06],
-                vec![0.08, 0.09, 0.09, 0.08, 0.08, 0.12, 0.17, 0.13, 0.07, 0.03, 0.06],
-                vec![0.08, 0.09, 0.06, 0.06, 0.07, 0.08, 0.13, 0.16, 0.14, 0.08, 0.07],
-                vec![0.04, 0.05, 0.03, 0.03, 0.03, 0.04, 0.07, 0.14, 0.28, 0.17, 0.11],
-                vec![0.08, 0.06, 0.03, 0.04, 0.02, 0.03, 0.03, 0.08, 0.17, 0.26, 0.20],
-                vec![0.08, 0.09, 0.06, 0.06, 0.05, 0.06, 0.06, 0.07, 0.11, 0.20, 0.16],
+                vec![
+                    0.10, 0.11, 0.14, 0.11, 0.11, 0.08, 0.08, 0.08, 0.04, 0.08, 0.08,
+                ],
+                vec![
+                    0.11, 0.09, 0.12, 0.12, 0.10, 0.08, 0.09, 0.09, 0.05, 0.06, 0.09,
+                ],
+                vec![
+                    0.14, 0.12, 0.11, 0.13, 0.11, 0.10, 0.09, 0.06, 0.03, 0.03, 0.06,
+                ],
+                vec![
+                    0.11, 0.12, 0.13, 0.15, 0.12, 0.10, 0.08, 0.06, 0.03, 0.04, 0.06,
+                ],
+                vec![
+                    0.11, 0.10, 0.11, 0.12, 0.17, 0.13, 0.08, 0.07, 0.03, 0.02, 0.05,
+                ],
+                vec![
+                    0.08, 0.08, 0.10, 0.10, 0.13, 0.18, 0.12, 0.08, 0.04, 0.03, 0.06,
+                ],
+                vec![
+                    0.08, 0.09, 0.09, 0.08, 0.08, 0.12, 0.17, 0.13, 0.07, 0.03, 0.06,
+                ],
+                vec![
+                    0.08, 0.09, 0.06, 0.06, 0.07, 0.08, 0.13, 0.16, 0.14, 0.08, 0.07,
+                ],
+                vec![
+                    0.04, 0.05, 0.03, 0.03, 0.03, 0.04, 0.07, 0.14, 0.28, 0.17, 0.11,
+                ],
+                vec![
+                    0.08, 0.06, 0.03, 0.04, 0.02, 0.03, 0.03, 0.08, 0.17, 0.26, 0.20,
+                ],
+                vec![
+                    0.08, 0.09, 0.06, 0.06, 0.05, 0.06, 0.06, 0.07, 0.11, 0.20, 0.16,
+                ],
             ])
             .expect("Hep-Th matrix projects"),
         },

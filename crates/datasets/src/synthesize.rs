@@ -8,8 +8,7 @@
 
 use crate::specs::{spec, DatasetId, DatasetSpec};
 use fg_graph::{
-    generate, measure_compatibilities, DegreeDistribution, GeneratorConfig, Graph, Labeling,
-    Result,
+    generate, measure_compatibilities, DegreeDistribution, GeneratorConfig, Graph, Labeling, Result,
 };
 use fg_sparse::DenseMatrix;
 use rand::rngs::StdRng;

@@ -58,7 +58,9 @@ impl CompatibilityMatrix {
     /// The uninformative uniform matrix with every entry `1/k`.
     pub fn uniform(k: usize) -> Result<Self> {
         if k == 0 {
-            return Err(GraphError::InvalidCompatibility("k must be positive".into()));
+            return Err(GraphError::InvalidCompatibility(
+                "k must be positive".into(),
+            ));
         }
         Self::new(DenseMatrix::filled(k, k, 1.0 / k as f64))
     }
@@ -73,7 +75,9 @@ impl CompatibilityMatrix {
     /// ratio `max/min = h`.
     pub fn h_skew(k: usize, h: f64) -> Result<Self> {
         if k == 0 {
-            return Err(GraphError::InvalidCompatibility("k must be positive".into()));
+            return Err(GraphError::InvalidCompatibility(
+                "k must be positive".into(),
+            ));
         }
         if h <= 0.0 {
             return Err(GraphError::InvalidCompatibility(
@@ -104,7 +108,9 @@ impl CompatibilityMatrix {
     /// experiments (Fig. 6i).
     pub fn homophily(k: usize, h: f64) -> Result<Self> {
         if k == 0 {
-            return Err(GraphError::InvalidCompatibility("k must be positive".into()));
+            return Err(GraphError::InvalidCompatibility(
+                "k must be positive".into(),
+            ));
         }
         if h <= 0.0 {
             return Err(GraphError::InvalidCompatibility(
@@ -206,20 +212,23 @@ pub fn two_value_heuristic(gold: &CompatibilityMatrix, spread: f64) -> Result<Co
     // because the input is symmetric and row/column scalings alternate.
     for _ in 0..500 {
         let row_sums = m.row_sums();
-        for i in 0..k {
+        for (i, &rs) in row_sums.iter().enumerate() {
             for j in 0..k {
-                m.set(i, j, m.get(i, j) / row_sums[i]);
+                m.set(i, j, m.get(i, j) / rs);
             }
         }
         let col_sums = m.col_sums();
         for i in 0..k {
-            for j in 0..k {
-                m.set(i, j, m.get(i, j) / col_sums[j]);
+            for (j, &cs) in col_sums.iter().enumerate() {
+                m.set(i, j, m.get(i, j) / cs);
             }
         }
     }
     // Symmetrize against residual asymmetry from finite iterations.
-    let sym = m.add(&m.transpose()).map_err(GraphError::Sparse)?.scaled(0.5);
+    let sym = m
+        .add(&m.transpose())
+        .map_err(GraphError::Sparse)?
+        .scaled(0.5);
     CompatibilityMatrix::new(sym)
 }
 

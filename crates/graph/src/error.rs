@@ -25,7 +25,9 @@ pub enum GraphError {
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GraphError::InvalidCompatibility(msg) => write!(f, "invalid compatibility matrix: {msg}"),
+            GraphError::InvalidCompatibility(msg) => {
+                write!(f, "invalid compatibility matrix: {msg}")
+            }
             GraphError::InvalidLabels(msg) => write!(f, "invalid labels: {msg}"),
             GraphError::InvalidGeneratorConfig(msg) => write!(f, "invalid generator config: {msg}"),
             GraphError::NodeOutOfBounds { node, n } => {
@@ -63,7 +65,9 @@ mod tests {
         assert!(GraphError::InvalidCompatibility("x".into())
             .to_string()
             .contains("compatibility"));
-        assert!(GraphError::InvalidLabels("y".into()).to_string().contains("labels"));
+        assert!(GraphError::InvalidLabels("y".into())
+            .to_string()
+            .contains("labels"));
         assert!(GraphError::InvalidGeneratorConfig("z".into())
             .to_string()
             .contains("generator"));

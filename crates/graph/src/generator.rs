@@ -62,7 +62,9 @@ impl GeneratorConfig {
 
     fn validate(&self) -> Result<()> {
         if self.n == 0 {
-            return Err(GraphError::InvalidGeneratorConfig("n must be positive".into()));
+            return Err(GraphError::InvalidGeneratorConfig(
+                "n must be positive".into(),
+            ));
         }
         if self.alpha.len() != self.k() {
             return Err(GraphError::InvalidGeneratorConfig(format!(
@@ -249,8 +251,7 @@ pub fn generate<R: Rng + ?Sized>(config: &GeneratorConfig, rng: &mut R) -> Resul
             if c == e && samplers[c].len() < 2 {
                 continue;
             }
-            let target =
-                (config.m as f64 * pair_weight.get(c, e) / total_weight).round() as usize;
+            let target = (config.m as f64 * pair_weight.get(c, e) / total_weight).round() as usize;
             let mut placed = 0;
             let mut attempts = 0usize;
             let max_attempts = target.saturating_mul(30) + 100;
@@ -380,7 +381,10 @@ mod tests {
         let syn = generate(&cfg, &mut rng).unwrap();
         let measured = measure_compatibilities(&syn.graph, &syn.labeling).unwrap();
         let dist = syn.planted_h.l2_distance(&measured).unwrap();
-        assert!(dist < 0.1, "planted vs measured L2 distance too large: {dist}");
+        assert!(
+            dist < 0.1,
+            "planted vs measured L2 distance too large: {dist}"
+        );
     }
 
     #[test]

@@ -148,12 +148,12 @@ pub fn propagate_bp(
             }
             // Modulate through H: out_c = sum_e H[c][e] * prod[e].
             let mut out = vec![0.0; k];
-            for c in 0..k {
+            for (c, o) in out.iter_mut().enumerate() {
                 let mut acc = 0.0;
                 for (e2, &p) in prod.iter().enumerate() {
                     acc += h.get(e2, c) * p;
                 }
-                out[c] = acc;
+                *o = acc;
             }
             // Normalize and damp.
             let s: f64 = out.iter().sum();
@@ -183,9 +183,9 @@ pub fn propagate_bp(
 
     // Final beliefs.
     let mut beliefs = DenseMatrix::zeros(n, k);
-    for i in 0..n {
+    for (i, incoming_edges) in incoming.iter().enumerate() {
         let mut belief: Vec<f64> = priors.row(i).to_vec();
-        for &inc in &incoming[i] {
+        for &inc in incoming_edges {
             for (b, &m) in belief.iter_mut().zip(&messages[inc * k..(inc + 1) * k]) {
                 *b *= m;
             }
@@ -247,8 +247,7 @@ mod tests {
             .unwrap()
             .into_dense();
         let result = propagate_bp(&graph, &seeds, &h, &BpConfig::default()).unwrap();
-        let acc =
-            crate::metrics::unlabeled_accuracy(&result.predictions, &labeling, &seeds);
+        let acc = crate::metrics::unlabeled_accuracy(&result.predictions, &labeling, &seeds);
         assert!(acc > 0.9, "accuracy {acc}");
         assert!(result.converged);
     }
@@ -273,13 +272,9 @@ mod tests {
             .unwrap()
             .into_dense();
         let bp = propagate_bp(&graph, &seeds, &h, &BpConfig::default()).unwrap();
-        let lin = crate::linbp::propagate(
-            &graph,
-            &seeds,
-            &h,
-            &crate::linbp::LinBpConfig::default(),
-        )
-        .unwrap();
+        let lin =
+            crate::linbp::propagate(&graph, &seeds, &h, &crate::linbp::LinBpConfig::default())
+                .unwrap();
         let bp_acc = crate::metrics::unlabeled_accuracy(&bp.predictions, &labeling, &seeds);
         let lin_acc = crate::metrics::unlabeled_accuracy(&lin.predictions, &labeling, &seeds);
         assert!((bp_acc - lin_acc).abs() < 1e-9);

@@ -144,7 +144,16 @@ mod tests {
     #[test]
     fn heterophilous_graph_defeats_harmonic_functions() {
         // Bipartite heterophily: the smoothness assumption is exactly wrong.
-        let edges = [(0, 4), (0, 5), (1, 4), (1, 6), (2, 5), (2, 7), (3, 6), (3, 7)];
+        let edges = [
+            (0, 4),
+            (0, 5),
+            (1, 4),
+            (1, 6),
+            (2, 5),
+            (2, 7),
+            (3, 6),
+            (3, 7),
+        ];
         let graph = Graph::from_edges(8, &edges).unwrap();
         let labeling = Labeling::new(vec![0, 0, 0, 0, 1, 1, 1, 1], 2).unwrap();
         let seeds = SeedLabels::new(

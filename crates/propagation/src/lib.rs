@@ -1,6 +1,7 @@
 //! # fg-propagation
 //!
-//! Label-propagation algorithms for the `factorized-graphs` workspace:
+//! Label-propagation backends for the `factorized-graphs` workspace, unified behind
+//! the [`Propagator`] trait:
 //!
 //! * [`linbp`] — Linearized Belief Propagation, the propagation method the paper's
 //!   compatibility estimation is designed for (Eq. 1/4, Theorem 3.1), including the
@@ -11,6 +12,12 @@
 //! * [`harmonic`] — harmonic-functions label propagation (the "Homophily" baseline of
 //!   Fig. 6i).
 //! * [`metrics`] — accuracy and macro-averaged accuracy as used in the evaluation.
+//!
+//! Each algorithm keeps its specialized free function and config/result types, and
+//! additionally implements [`Propagator`] ([`LinBp`], [`LoopyBp`], [`Harmonic`],
+//! [`RandomWalk`]) returning the unified [`PropagationOutcome`]. Backends can be
+//! looked up by name through [`registry`] (`"linbp"`, `"bp"`, `"harmonic"`, `"rw"`),
+//! which is what the CLI's `--method` flag and the benchmark harness use.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,7 +26,9 @@ pub mod bp;
 pub mod harmonic;
 pub mod linbp;
 pub mod metrics;
+pub mod propagator;
 pub mod random_walk;
+pub mod registry;
 
 pub use bp::{propagate_bp, BpConfig, BpResult};
 pub use harmonic::{harmonic_functions, HarmonicConfig, HarmonicResult};
@@ -31,4 +40,9 @@ pub use metrics::{
     accuracy, confusion_matrix, holdout_accuracy, macro_accuracy, random_baseline,
     unlabeled_accuracy,
 };
+pub use propagator::{Harmonic, LinBp, LoopyBp, PropagationOutcome, Propagator, RandomWalk};
 pub use random_walk::{multi_rank_walk, RandomWalkConfig, RandomWalkResult};
+pub use registry::{
+    all_propagators, by_name, by_name_with, canonical_name, propagator_names, PropagatorOptions,
+    PropagatorSpec,
+};

@@ -170,7 +170,15 @@ fn prior_residuals(seeds: &SeedLabels) -> DenseMatrix {
     for i in 0..seeds.n() {
         if let Some(c) = seeds.get(i) {
             for j in 0..k {
-                x.set(i, j, if j == c { 1.0 - 1.0 / k as f64 } else { -1.0 / k as f64 });
+                x.set(
+                    i,
+                    j,
+                    if j == c {
+                        1.0 - 1.0 / k as f64
+                    } else {
+                        -1.0 / k as f64
+                    },
+                );
             }
         }
     }
@@ -332,7 +340,13 @@ mod tests {
     fn dimension_validation() {
         let (graph, _) = bipartite_graph();
         let seeds_wrong_n = SeedLabels::new(vec![Some(0), None], 2).unwrap();
-        assert!(propagate(&graph, &seeds_wrong_n, &heterophily_h(), &LinBpConfig::default()).is_err());
+        assert!(propagate(
+            &graph,
+            &seeds_wrong_n,
+            &heterophily_h(),
+            &LinBpConfig::default()
+        )
+        .is_err());
         let seeds = SeedLabels::new(vec![None; 8], 2).unwrap();
         let wrong_h = DenseMatrix::zeros(3, 3);
         assert!(propagate(&graph, &seeds, &wrong_h, &LinBpConfig::default()).is_err());

@@ -158,11 +158,7 @@ mod tests {
     #[test]
     fn unlabeled_accuracy_uses_unlabeled_nodes_only() {
         let t = truth();
-        let seeds = SeedLabels::new(
-            vec![Some(0), None, Some(1), None, Some(2), None],
-            3,
-        )
-        .unwrap();
+        let seeds = SeedLabels::new(vec![Some(0), None, Some(1), None, Some(2), None], 3).unwrap();
         // Wrong on the labeled nodes (ignored), right on unlabeled ones.
         let preds = vec![1, 0, 2, 1, 0, 2];
         assert_eq!(unlabeled_accuracy(&preds, &t, &seeds), 1.0);
@@ -184,7 +180,10 @@ mod tests {
         let preds = vec![0, 1, 0, 1];
         assert_eq!(holdout_accuracy(&preds, &holdout), 0.5);
         let empty = SeedLabels::new(vec![None, None], 2).unwrap();
-        assert_eq!(holdout_accuracy(&preds[..2].to_vec().as_slice(), &empty), 0.0);
+        assert_eq!(
+            holdout_accuracy(preds[..2].to_vec().as_slice(), &empty),
+            0.0
+        );
     }
 
     #[test]

@@ -1,0 +1,363 @@
+//! The unified propagation API: the [`Propagator`] trait, the [`PropagationOutcome`]
+//! result type shared by every backend, and a by-name [`registry`](crate::registry)
+//! for CLI and benchmark lookup.
+//!
+//! The paper's headline workflow (Problem 1.2) is a two-stage pipeline — estimate the
+//! compatibility matrix `H`, then propagate the seed labels. This module gives the
+//! second stage the same shape the first one already has (`CompatibilityEstimator`):
+//! every propagation algorithm — LinBP, loopy BP, harmonic functions, random walks —
+//! is a [`Propagator`], so pipelines, CLIs, and benchmarks can swap backends without
+//! caring which concrete algorithm runs underneath.
+
+use crate::bp::{propagate_bp, BpConfig};
+use crate::harmonic::{harmonic_functions, HarmonicConfig};
+use crate::linbp::{propagate, LinBpConfig};
+use crate::metrics;
+use crate::random_walk::{multi_rank_walk, RandomWalkConfig};
+use fg_graph::{Graph, Labeling, Result, SeedLabels};
+use fg_sparse::DenseMatrix;
+
+/// The unified result of any propagation backend.
+///
+/// Backend-specific result types ([`crate::linbp::PropagationResult`],
+/// [`crate::bp::BpResult`], …) remain available through the free functions; the trait
+/// surface always returns this type so callers can compare backends uniformly.
+#[derive(Debug, Clone)]
+pub struct PropagationOutcome {
+    /// Name of the backend that produced this outcome (e.g. `"LinBP"`).
+    pub method: String,
+    /// Final belief/score matrix (`n x k`). The scale is backend-specific (residual
+    /// beliefs for LinBP, normalized probabilities for BP, clamped averages for
+    /// harmonic functions, visit scores for random walks); the argmax is what is
+    /// comparable across backends.
+    pub beliefs: DenseMatrix,
+    /// Predicted class per node (`argmax` of each belief row).
+    pub predictions: Vec<usize>,
+    /// Number of iterations actually executed.
+    pub iterations: usize,
+    /// Whether the backend's early-stopping criterion was reached before the
+    /// iteration budget.
+    pub converged: bool,
+    /// The convergence scaling factor `ε` applied to `H`, for backends that have one
+    /// (LinBP); `None` for backends without a spectral scaling step.
+    pub epsilon: Option<f64>,
+}
+
+impl PropagationOutcome {
+    /// Macro-averaged accuracy on the unlabeled nodes.
+    pub fn accuracy(&self, truth: &Labeling, seeds: &SeedLabels) -> f64 {
+        metrics::unlabeled_accuracy(&self.predictions, truth, seeds)
+    }
+}
+
+/// A label-propagation backend: consumes a graph, seed labels, and a `k x k`
+/// compatibility matrix, and produces beliefs/predictions for every node.
+///
+/// Mirrors `CompatibilityEstimator` on the estimation side. Backends that do not use
+/// compatibilities (the homophily baselines) ignore `h` and advertise it through
+/// [`Propagator::uses_compatibilities`].
+pub trait Propagator {
+    /// Display name used in reports and tables (e.g. `"LinBP"`). Owned so
+    /// parameterized names like `"LinBP(iters=50)"` can be built dynamically.
+    fn name(&self) -> String;
+
+    /// Whether this backend reads the compatibility matrix at all. Pipelines can skip
+    /// the estimation stage (or warn) when it returns `false`.
+    fn uses_compatibilities(&self) -> bool {
+        true
+    }
+
+    /// Run propagation. `h` must be `k x k` for backends that use compatibilities;
+    /// backends with `uses_compatibilities() == false` accept any `h` and ignore it.
+    fn propagate(
+        &self,
+        graph: &Graph,
+        seeds: &SeedLabels,
+        h: &DenseMatrix,
+    ) -> Result<PropagationOutcome>;
+}
+
+impl<P: Propagator + ?Sized> Propagator for &P {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn uses_compatibilities(&self) -> bool {
+        (**self).uses_compatibilities()
+    }
+
+    fn propagate(
+        &self,
+        graph: &Graph,
+        seeds: &SeedLabels,
+        h: &DenseMatrix,
+    ) -> Result<PropagationOutcome> {
+        (**self).propagate(graph, seeds, h)
+    }
+}
+
+impl Propagator for Box<dyn Propagator + '_> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn uses_compatibilities(&self) -> bool {
+        (**self).uses_compatibilities()
+    }
+
+    fn propagate(
+        &self,
+        graph: &Graph,
+        seeds: &SeedLabels,
+        h: &DenseMatrix,
+    ) -> Result<PropagationOutcome> {
+        (**self).propagate(graph, seeds, h)
+    }
+}
+
+/// Linearized Belief Propagation — the paper's method of choice (Section 2.3).
+#[derive(Debug, Clone, Default)]
+pub struct LinBp {
+    /// Iteration and scaling parameters.
+    pub config: LinBpConfig,
+}
+
+impl LinBp {
+    /// Wrap an explicit configuration.
+    pub fn new(config: LinBpConfig) -> Self {
+        LinBp { config }
+    }
+}
+
+impl Propagator for LinBp {
+    fn name(&self) -> String {
+        "LinBP".to_string()
+    }
+
+    fn propagate(
+        &self,
+        graph: &Graph,
+        seeds: &SeedLabels,
+        h: &DenseMatrix,
+    ) -> Result<PropagationOutcome> {
+        let r = propagate(graph, seeds, h, &self.config)?;
+        Ok(PropagationOutcome {
+            method: self.name(),
+            beliefs: r.beliefs,
+            predictions: r.predictions,
+            iterations: r.iterations,
+            converged: r.converged,
+            epsilon: Some(r.epsilon),
+        })
+    }
+}
+
+/// Full loopy Belief Propagation — the reference algorithm LinBP linearizes.
+#[derive(Debug, Clone, Default)]
+pub struct LoopyBp {
+    /// Message-passing parameters.
+    pub config: BpConfig,
+}
+
+impl LoopyBp {
+    /// Wrap an explicit configuration.
+    pub fn new(config: BpConfig) -> Self {
+        LoopyBp { config }
+    }
+}
+
+impl Propagator for LoopyBp {
+    fn name(&self) -> String {
+        "LoopyBP".to_string()
+    }
+
+    fn propagate(
+        &self,
+        graph: &Graph,
+        seeds: &SeedLabels,
+        h: &DenseMatrix,
+    ) -> Result<PropagationOutcome> {
+        let r = propagate_bp(graph, seeds, h, &self.config)?;
+        Ok(PropagationOutcome {
+            method: self.name(),
+            beliefs: r.beliefs,
+            predictions: r.predictions,
+            iterations: r.iterations,
+            converged: r.converged,
+            epsilon: None,
+        })
+    }
+}
+
+/// Harmonic-functions label propagation — the "Homophily" baseline of Fig. 6i.
+/// Ignores the compatibility matrix entirely.
+#[derive(Debug, Clone, Default)]
+pub struct Harmonic {
+    /// Averaging-iteration parameters.
+    pub config: HarmonicConfig,
+}
+
+impl Harmonic {
+    /// Wrap an explicit configuration.
+    pub fn new(config: HarmonicConfig) -> Self {
+        Harmonic { config }
+    }
+}
+
+impl Propagator for Harmonic {
+    fn name(&self) -> String {
+        "Harmonic".to_string()
+    }
+
+    fn uses_compatibilities(&self) -> bool {
+        false
+    }
+
+    fn propagate(
+        &self,
+        graph: &Graph,
+        seeds: &SeedLabels,
+        _h: &DenseMatrix,
+    ) -> Result<PropagationOutcome> {
+        let r = harmonic_functions(graph, seeds, &self.config)?;
+        Ok(PropagationOutcome {
+            method: self.name(),
+            beliefs: r.beliefs,
+            predictions: r.predictions,
+            iterations: r.iterations,
+            converged: r.converged,
+            epsilon: None,
+        })
+    }
+}
+
+/// MultiRankWalk-style random walks with restarts — the homophily baseline of
+/// Section 2.4. Ignores the compatibility matrix entirely.
+#[derive(Debug, Clone, Default)]
+pub struct RandomWalk {
+    /// Walk parameters.
+    pub config: RandomWalkConfig,
+}
+
+impl RandomWalk {
+    /// Wrap an explicit configuration.
+    pub fn new(config: RandomWalkConfig) -> Self {
+        RandomWalk { config }
+    }
+}
+
+impl Propagator for RandomWalk {
+    fn name(&self) -> String {
+        "RandomWalk".to_string()
+    }
+
+    fn uses_compatibilities(&self) -> bool {
+        false
+    }
+
+    fn propagate(
+        &self,
+        graph: &Graph,
+        seeds: &SeedLabels,
+        _h: &DenseMatrix,
+    ) -> Result<PropagationOutcome> {
+        let r = multi_rank_walk(graph, seeds, &self.config)?;
+        Ok(PropagationOutcome {
+            method: self.name(),
+            beliefs: r.scores,
+            predictions: r.predictions,
+            iterations: r.iterations,
+            converged: r.converged,
+            epsilon: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_graph::CompatibilityMatrix;
+
+    fn bipartite() -> (Graph, Labeling, SeedLabels, DenseMatrix) {
+        let edges = [
+            (0, 4),
+            (0, 5),
+            (1, 4),
+            (1, 6),
+            (2, 5),
+            (2, 7),
+            (3, 6),
+            (3, 7),
+        ];
+        let graph = Graph::from_edges(8, &edges).unwrap();
+        let labeling = Labeling::new(vec![0, 0, 0, 0, 1, 1, 1, 1], 2).unwrap();
+        let seeds = SeedLabels::new(
+            vec![Some(0), None, None, None, Some(1), None, None, None],
+            2,
+        )
+        .unwrap();
+        let h = CompatibilityMatrix::from_rows(&[vec![0.1, 0.9], vec![0.9, 0.1]])
+            .unwrap()
+            .into_dense();
+        (graph, labeling, seeds, h)
+    }
+
+    #[test]
+    fn trait_outcomes_match_free_functions() {
+        let (graph, _, seeds, h) = bipartite();
+        let via_trait = LinBp::default().propagate(&graph, &seeds, &h).unwrap();
+        let direct = propagate(&graph, &seeds, &h, &LinBpConfig::default()).unwrap();
+        assert_eq!(via_trait.predictions, direct.predictions);
+        assert_eq!(via_trait.iterations, direct.iterations);
+        assert_eq!(via_trait.epsilon, Some(direct.epsilon));
+        assert_eq!(via_trait.method, "LinBP");
+    }
+
+    #[test]
+    fn all_backends_produce_consistent_metadata() {
+        let (graph, _, seeds, h) = bipartite();
+        let backends: Vec<Box<dyn Propagator>> = vec![
+            Box::new(LinBp::default()),
+            Box::new(LoopyBp::default()),
+            Box::new(Harmonic::default()),
+            Box::new(RandomWalk::default()),
+        ];
+        for backend in &backends {
+            let outcome = backend.propagate(&graph, &seeds, &h).unwrap();
+            assert_eq!(outcome.method, backend.name());
+            assert_eq!(outcome.predictions.len(), graph.num_nodes());
+            assert_eq!(outcome.beliefs.rows(), graph.num_nodes());
+            assert_eq!(outcome.beliefs.cols(), seeds.k());
+            assert!(outcome.iterations >= 1);
+            assert_eq!(outcome.epsilon.is_some(), backend.name() == "LinBP");
+        }
+    }
+
+    #[test]
+    fn compatibility_aware_backends_beat_homophily_baselines_under_heterophily() {
+        let (graph, labeling, seeds, h) = bipartite();
+        let linbp = LinBp::default().propagate(&graph, &seeds, &h).unwrap();
+        let harmonic = Harmonic::default().propagate(&graph, &seeds, &h).unwrap();
+        assert!(linbp.accuracy(&labeling, &seeds) > harmonic.accuracy(&labeling, &seeds));
+    }
+
+    #[test]
+    fn uses_compatibilities_flags() {
+        assert!(LinBp::default().uses_compatibilities());
+        assert!(LoopyBp::default().uses_compatibilities());
+        assert!(!Harmonic::default().uses_compatibilities());
+        assert!(!RandomWalk::default().uses_compatibilities());
+    }
+
+    #[test]
+    fn references_and_boxes_are_propagators() {
+        let (graph, _, seeds, h) = bipartite();
+        let concrete = LinBp::default();
+        let by_ref: &dyn Propagator = &concrete;
+        let boxed: Box<dyn Propagator> = Box::new(LinBp::default());
+        assert_eq!(by_ref.name(), boxed.name());
+        let a = concrete.propagate(&graph, &seeds, &h).unwrap();
+        let b = boxed.propagate(&graph, &seeds, &h).unwrap();
+        assert_eq!(a.predictions, b.predictions);
+    }
+}

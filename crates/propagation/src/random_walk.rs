@@ -167,7 +167,16 @@ mod tests {
     fn heterophilous_bipartite_graph_defeats_random_walks() {
         // On a bipartite (pure heterophily) graph the homophily assumption is wrong and
         // the walk mislabels roughly everything near the opposite seed.
-        let edges = [(0, 4), (0, 5), (1, 4), (1, 6), (2, 5), (2, 7), (3, 6), (3, 7)];
+        let edges = [
+            (0, 4),
+            (0, 5),
+            (1, 4),
+            (1, 6),
+            (2, 5),
+            (2, 7),
+            (3, 6),
+            (3, 7),
+        ];
         let graph = Graph::from_edges(8, &edges).unwrap();
         let labeling = Labeling::new(vec![0, 0, 0, 0, 1, 1, 1, 1], 2).unwrap();
         let seeds = SeedLabels::new(

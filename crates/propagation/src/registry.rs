@@ -1,0 +1,207 @@
+//! By-name lookup of propagation backends, for CLIs, benchmarks, and config files.
+//!
+//! Every [`Propagator`] implementation registers a canonical name plus aliases, and a
+//! constructor that accepts generic [`PropagatorOptions`] overrides, so callers can
+//! build `fg propagate --method bp --iterations 30` style invocations without knowing
+//! the concrete config types.
+
+use crate::bp::BpConfig;
+use crate::harmonic::HarmonicConfig;
+use crate::linbp::LinBpConfig;
+use crate::propagator::{Harmonic, LinBp, LoopyBp, Propagator, RandomWalk};
+use crate::random_walk::RandomWalkConfig;
+
+/// Backend-agnostic configuration overrides understood by every registered backend.
+/// `None` fields keep the backend's default.
+#[derive(Debug, Clone, Default)]
+pub struct PropagatorOptions {
+    /// Maximum number of iterations.
+    pub max_iterations: Option<usize>,
+    /// Early-stopping tolerance (interpreted per backend).
+    pub tolerance: Option<f64>,
+    /// Continuation probability for random walks / damping factor for loopy BP.
+    /// Ignored by backends without such a knob.
+    pub damping: Option<f64>,
+}
+
+/// A registry entry: canonical name, accepted aliases, a one-line description, and a
+/// constructor honoring [`PropagatorOptions`].
+pub struct PropagatorSpec {
+    /// Canonical lowercase name (what [`canonical_name`] returns).
+    pub name: &'static str,
+    /// Alternative names accepted by [`by_name`].
+    pub aliases: &'static [&'static str],
+    /// One-line human-readable description for help output.
+    pub description: &'static str,
+    /// Build the backend with the given option overrides.
+    pub build: fn(&PropagatorOptions) -> Box<dyn Propagator>,
+}
+
+fn build_linbp(opts: &PropagatorOptions) -> Box<dyn Propagator> {
+    let mut config = LinBpConfig::default();
+    if let Some(it) = opts.max_iterations {
+        config.max_iterations = it;
+    }
+    if let Some(tol) = opts.tolerance {
+        config.tolerance = Some(tol);
+    }
+    Box::new(LinBp::new(config))
+}
+
+fn build_bp(opts: &PropagatorOptions) -> Box<dyn Propagator> {
+    let mut config = BpConfig::default();
+    if let Some(it) = opts.max_iterations {
+        config.max_iterations = it;
+    }
+    if let Some(tol) = opts.tolerance {
+        config.tolerance = tol;
+    }
+    if let Some(d) = opts.damping {
+        config.damping = d;
+    }
+    Box::new(LoopyBp::new(config))
+}
+
+fn build_harmonic(opts: &PropagatorOptions) -> Box<dyn Propagator> {
+    let mut config = HarmonicConfig::default();
+    if let Some(it) = opts.max_iterations {
+        config.max_iterations = it;
+    }
+    if let Some(tol) = opts.tolerance {
+        config.tolerance = tol;
+    }
+    Box::new(Harmonic::new(config))
+}
+
+fn build_rw(opts: &PropagatorOptions) -> Box<dyn Propagator> {
+    let mut config = RandomWalkConfig::default();
+    if let Some(it) = opts.max_iterations {
+        config.max_iterations = it;
+    }
+    if let Some(tol) = opts.tolerance {
+        config.tolerance = tol;
+    }
+    if let Some(d) = opts.damping {
+        config.damping = d;
+    }
+    Box::new(RandomWalk::new(config))
+}
+
+const REGISTRY: &[PropagatorSpec] = &[
+    PropagatorSpec {
+        name: "linbp",
+        aliases: &["linearized-bp", "linearized_bp"],
+        description: "Linearized Belief Propagation (the paper's method; uses H)",
+        build: build_linbp,
+    },
+    PropagatorSpec {
+        name: "bp",
+        aliases: &["loopybp", "loopy-bp", "loopy_bp"],
+        description: "Full loopy Belief Propagation (reference method; uses H)",
+        build: build_bp,
+    },
+    PropagatorSpec {
+        name: "harmonic",
+        aliases: &["harmonic-functions", "homophily"],
+        description: "Harmonic-functions label propagation (homophily baseline; ignores H)",
+        build: build_harmonic,
+    },
+    PropagatorSpec {
+        name: "rw",
+        aliases: &["randomwalk", "random-walk", "random_walk", "mrw"],
+        description: "MultiRankWalk random walks with restarts (homophily baseline; ignores H)",
+        build: build_rw,
+    },
+];
+
+/// All registered backend specs, in registration order.
+pub fn registry() -> &'static [PropagatorSpec] {
+    REGISTRY
+}
+
+/// The canonical names of all registered backends (the values `fg propagate --method`
+/// accepts).
+pub fn propagator_names() -> Vec<&'static str> {
+    REGISTRY.iter().map(|s| s.name).collect()
+}
+
+/// Resolve a (case-insensitive) name or alias to its canonical backend name.
+pub fn canonical_name(name: &str) -> Option<&'static str> {
+    let lowered = name.to_ascii_lowercase();
+    REGISTRY
+        .iter()
+        .find(|s| s.name == lowered || s.aliases.contains(&lowered.as_str()))
+        .map(|s| s.name)
+}
+
+/// Build a backend by name or alias with default configuration.
+pub fn by_name(name: &str) -> Option<Box<dyn Propagator>> {
+    by_name_with(name, &PropagatorOptions::default())
+}
+
+/// Build a backend by name or alias, applying the given option overrides.
+pub fn by_name_with(name: &str, opts: &PropagatorOptions) -> Option<Box<dyn Propagator>> {
+    let canonical = canonical_name(name)?;
+    REGISTRY
+        .iter()
+        .find(|s| s.name == canonical)
+        .map(|s| (s.build)(opts))
+}
+
+/// Build every registered backend with default configuration, in registration order.
+pub fn all_propagators() -> Vec<Box<dyn Propagator>> {
+    let opts = PropagatorOptions::default();
+    REGISTRY.iter().map(|s| (s.build)(&opts)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_names_and_aliases_resolve() {
+        assert_eq!(canonical_name("linbp"), Some("linbp"));
+        assert_eq!(canonical_name("LinBP"), Some("linbp"));
+        assert_eq!(canonical_name("loopy-bp"), Some("bp"));
+        assert_eq!(canonical_name("RandomWalk"), Some("rw"));
+        assert_eq!(canonical_name("homophily"), Some("harmonic"));
+        assert_eq!(canonical_name("nope"), None);
+    }
+
+    #[test]
+    fn by_name_builds_every_backend() {
+        for name in propagator_names() {
+            let p = by_name(name).unwrap();
+            assert!(!p.name().is_empty());
+        }
+        assert!(by_name("unknown").is_none());
+        assert_eq!(propagator_names().len(), 4);
+    }
+
+    #[test]
+    fn options_are_applied() {
+        let opts = PropagatorOptions {
+            max_iterations: Some(3),
+            tolerance: None,
+            damping: None,
+        };
+        // Smoke test: a 3-iteration LinBP on a tiny graph reports <= 3 iterations.
+        let p = by_name_with("linbp", &opts).unwrap();
+        let graph = fg_graph::Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let seeds = fg_graph::SeedLabels::new(vec![Some(0), None, None, Some(1)], 2).unwrap();
+        let h = fg_sparse::DenseMatrix::from_rows(&[vec![0.3, 0.7], vec![0.7, 0.3]]).unwrap();
+        let outcome = p.propagate(&graph, &seeds, &h).unwrap();
+        assert!(outcome.iterations <= 3);
+    }
+
+    #[test]
+    fn all_propagators_covers_registry() {
+        let all = all_propagators();
+        assert_eq!(all.len(), registry().len());
+        let names: Vec<String> = all.iter().map(|p| p.name()).collect();
+        assert!(names.contains(&"LinBP".to_string()));
+        assert!(names.contains(&"LoopyBP".to_string()));
+        assert!(names.contains(&"Harmonic".to_string()));
+        assert!(names.contains(&"RandomWalk".to_string()));
+    }
+}

@@ -1,0 +1,253 @@
+//! Vendored stand-in for the small slice of the `rand` crate API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so instead of the real `rand`
+//! crate the workspace ships this dependency-free shim with the same import paths:
+//!
+//! * [`rngs::StdRng`] — a seedable, reproducible generator (xoshiro256** seeded via
+//!   SplitMix64; *not* the same stream as upstream `StdRng`, but every use in this
+//!   workspace only relies on determinism per seed, not on a specific stream).
+//! * [`SeedableRng::seed_from_u64`] — the only seeding entry point used here.
+//! * [`Rng::gen`] for `f64` / `bool` / integer samples.
+//! * [`seq::SliceRandom::shuffle`] — Fisher–Yates shuffling.
+//!
+//! Keeping the `rand` package name and module layout means call sites look and read
+//! like ordinary `rand` usage. The shim is *not* a perfect drop-in for the real
+//! crate, though: [`Rng::gen_index`] is shim-only (real `rand` spells it
+//! `gen_range(0..n)`), and several test suites use it. Migrating the workspace to
+//! crates.io `rand` would mean swapping the path dependency and replacing
+//! `gen_index(n)` with `gen_range(0..n)` at those call sites.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A source of random `u64`s. Mirror of `rand_core::RngCore`, reduced to what the
+/// workspace needs.
+pub trait RngCore {
+    /// Produce the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Produce the next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled uniformly from an RNG (the shim's equivalent of the
+/// `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draw one uniformly distributed value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+/// Convenience sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from the uniform ("standard") distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Sample a uniform index in `[0, bound)`. `bound` must be nonzero.
+    ///
+    /// Uses widening multiplication (Lemire) so small bounds carry no modulo bias
+    /// worth speaking of for simulation purposes.
+    fn gen_index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "gen_index bound must be positive");
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as usize
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generators, reduced to the `seed_from_u64` constructor.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Concrete generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256** with its four
+    /// words of state initialized by SplitMix64, as the xoshiro authors recommend.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related helpers, mirroring `rand::seq`.
+pub mod seq {
+    use super::Rng;
+
+    /// Shuffling for slices (the only `SliceRandom` method this workspace uses).
+    pub trait SliceRandom {
+        /// Shuffle the slice in place with the Fisher–Yates algorithm.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_index(i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    // `RngCore` is implemented for `&mut R`, matching the real crate.
+    fn takes_rng<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        rng.gen::<f64>()
+    }
+
+    #[test]
+    fn unsized_rng_usable_through_reference() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = takes_rng(&mut rng);
+        assert!((0.0..1.0).contains(&v));
+    }
+
+    #[test]
+    fn f64_samples_are_uniformish() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        for _ in 0..1000 {
+            let v = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bool_samples_are_balanced() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let trues = (0..10_000).filter(|_| rng.gen::<bool>()).count();
+        assert!(
+            (4_500..5_500).contains(&trues),
+            "{trues} trues out of 10000"
+        );
+    }
+
+    #[test]
+    fn gen_index_stays_in_bounds_and_covers() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let i = rng.gen_index(7);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            v, sorted,
+            "shuffle left the identity permutation (astronomically unlikely)"
+        );
+    }
+}

@@ -263,9 +263,7 @@ impl CsrMatrix {
 
     /// Sum of the entries in each row (weighted node degrees for an adjacency matrix).
     pub fn row_sums(&self) -> Vec<f64> {
-        (0..self.rows)
-            .map(|i| self.row(i).1.iter().sum())
-            .collect()
+        (0..self.rows).map(|i| self.row(i).1.iter().sum()).collect()
     }
 
     /// Diagonal entries as a vector.
@@ -311,13 +309,9 @@ impl CsrMatrix {
             });
         }
         let mut out = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, o) in out.iter_mut().enumerate() {
             let (cols, vals) = self.row(i);
-            out[i] = cols
-                .iter()
-                .zip(vals.iter())
-                .map(|(&c, &w)| w * v[c])
-                .sum();
+            *o = cols.iter().zip(vals.iter()).map(|(&c, &w)| w * v[c]).sum();
         }
         Ok(out)
     }
@@ -408,8 +402,7 @@ impl CsrMatrix {
 
     /// Transpose into a new CSR matrix.
     pub fn transpose(&self) -> CsrMatrix {
-        let triplets: Vec<(usize, usize, f64)> =
-            self.iter().map(|(r, c, v)| (c, r, v)).collect();
+        let triplets: Vec<(usize, usize, f64)> = self.iter().map(|(r, c, v)| (c, r, v)).collect();
         CsrMatrix::from_triplets(self.cols, self.rows, &triplets)
     }
 
@@ -444,12 +437,12 @@ impl CsrMatrix {
     pub fn row_normalized(&self) -> CsrMatrix {
         let sums = self.row_sums();
         let mut out = self.clone();
-        for i in 0..out.rows {
+        for (i, &s) in sums.iter().enumerate() {
             let start = out.indptr[i];
             let end = out.indptr[i + 1];
-            if sums[i] != 0.0 {
+            if s != 0.0 {
                 for idx in start..end {
-                    out.values[idx] /= sums[i];
+                    out.values[idx] /= s;
                 }
             }
         }

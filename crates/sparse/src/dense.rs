@@ -202,8 +202,8 @@ impl DenseMatrix {
             });
         }
         let mut out = vec![0.0; self.rows];
-        for i in 0..self.rows {
-            out[i] = self
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self
                 .row(i)
                 .iter()
                 .zip(v.iter())
@@ -519,7 +519,10 @@ mod tests {
         let a = sample();
         let b = DenseMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
         let c = a.matmul(&b).unwrap();
-        assert_eq!(c, DenseMatrix::from_rows(&[vec![2.0, 1.0], vec![4.0, 3.0]]).unwrap());
+        assert_eq!(
+            c,
+            DenseMatrix::from_rows(&[vec![2.0, 1.0], vec![4.0, 3.0]]).unwrap()
+        );
     }
 
     #[test]

@@ -116,7 +116,9 @@ mod tests {
 
     #[test]
     fn display_singular_scaling() {
-        let e = SparseError::SingularScaling { op: "row normalize" };
+        let e = SparseError::SingularScaling {
+            op: "row normalize",
+        };
         assert!(e.to_string().contains("row normalize"));
     }
 

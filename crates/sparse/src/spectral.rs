@@ -146,11 +146,8 @@ mod tests {
     #[test]
     fn spectral_radius_of_path_graph() {
         // Path on 3 nodes: eigenvalues are {-sqrt(2), 0, sqrt(2)}.
-        let w = CsrMatrix::from_triplets(
-            3,
-            3,
-            &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)],
-        );
+        let w =
+            CsrMatrix::from_triplets(3, 3, &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)]);
         let r = spectral_radius(&w).unwrap();
         assert!((r - 2.0f64.sqrt()).abs() < 1e-6);
     }

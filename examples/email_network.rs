@@ -41,22 +41,28 @@ fn main() {
     let seeds = company.labeling.stratified_sample(0.01, &mut rng);
     println!("known roles: {}", seeds.num_labeled());
 
-    // A homophily-only baseline (harmonic functions) vs the full pipeline.
-    let harmonic = harmonic_functions(&company.graph, &seeds, &HarmonicConfig::default())
-        .expect("harmonic functions run");
-    let harmonic_acc = fg_propagation::unlabeled_accuracy(
-        &harmonic.predictions,
-        &company.labeling,
-        &seeds,
-    );
+    // A homophily-only baseline (harmonic functions, no estimator needed) vs the full
+    // pipeline — both through the same builder.
+    let harmonic_acc = Pipeline::on(&company.graph)
+        .seeds(&seeds)
+        .propagator(Harmonic::default())
+        .run()
+        .expect("harmonic functions run")
+        .accuracy(&company.labeling, &seeds);
 
-    let dcer = DceWithRestarts::default();
-    let pipeline = estimate_and_propagate(&dcer, &company.graph, &seeds, &LinBpConfig::default())
+    let pipeline = Pipeline::on(&company.graph)
+        .seeds(&seeds)
+        .estimator(DceWithRestarts::default())
+        .propagator(LinBp::default())
+        .run()
         .expect("estimation succeeds");
     let dcer_acc = pipeline.accuracy(&company.labeling, &seeds);
 
     let gold = measure_compatibilities(&company.graph, &company.labeling).expect("measure GS");
-    let gs = propagate_with("GS", &gold, &company.graph, &seeds, &LinBpConfig::default())
+    let gs = Pipeline::on(&company.graph)
+        .seeds(&seeds)
+        .compatibilities("GS", &gold)
+        .run()
         .expect("GS propagation");
     let gs_acc = gs.accuracy(&company.labeling, &seeds);
 

@@ -43,14 +43,11 @@ fn main() {
     println!("confirmed accounts: {}", seeds.num_labeled());
 
     // Estimate compatibilities with DCEr and label all remaining accounts.
-    let estimator = DceWithRestarts::default();
-    let result = estimate_and_propagate(
-        &estimator,
-        &marketplace.graph,
-        &seeds,
-        &LinBpConfig::default(),
-    )
-    .expect("pipeline succeeds");
+    let result = Pipeline::on(&marketplace.graph)
+        .seeds(&seeds)
+        .estimator(DceWithRestarts::default())
+        .run()
+        .expect("pipeline succeeds");
 
     let accuracy = result.accuracy(&marketplace.labeling, &seeds);
     println!("\nmacro-averaged accuracy over unlabeled accounts: {accuracy:.3}");
@@ -59,7 +56,7 @@ fn main() {
     // small confusion matrix over the unlabeled nodes.
     let eval_nodes = seeds.unlabeled_nodes();
     let confusion = fg_propagation::confusion_matrix(
-        &result.propagation.predictions,
+        &result.outcome.predictions,
         &marketplace.labeling,
         &eval_nodes,
     );

@@ -1,5 +1,5 @@
 //! Quickstart: estimate compatibilities from a sparsely labeled graph, then label the
-//! remaining nodes.
+//! remaining nodes through the `Pipeline` builder.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -30,35 +30,41 @@ fn main() {
     );
 
     // 3. Estimate the compatibility matrix with DCEr and label the rest with LinBP.
-    let estimator = DceWithRestarts::default();
-    let result = estimate_and_propagate(
-        &estimator,
-        &synthetic.graph,
-        &seeds,
-        &LinBpConfig::default(),
-    )
-    .expect("estimation and propagation succeed");
+    //    Any estimator × propagator combination plugs into the same builder.
+    let report = Pipeline::on(&synthetic.graph)
+        .seeds(&seeds)
+        .estimator(DceWithRestarts::default())
+        .propagator(LinBp::default())
+        .run()
+        .expect("estimation and propagation succeed");
 
-    println!("\nestimated H (DCEr):");
-    print_matrix(&result.estimated_h);
+    println!("\nestimated H ({}):", report.estimator);
+    print_matrix(&report.estimated_h);
     println!("\nplanted H:");
     print_matrix(synthetic.planted_h.as_dense());
 
     // 4. Compare against the gold standard (propagating with the measured true H).
     let gold = measure_compatibilities(&synthetic.graph, &synthetic.labeling)
         .expect("gold standard measurement");
-    let gs_result = propagate_with("GS", &gold, &synthetic.graph, &seeds, &LinBpConfig::default())
+    let gs_report = Pipeline::on(&synthetic.graph)
+        .seeds(&seeds)
+        .compatibilities("GS", &gold)
+        .run()
         .expect("gold standard propagation");
 
-    let dcer_acc = result.accuracy(&synthetic.labeling, &seeds);
-    let gs_acc = gs_result.accuracy(&synthetic.labeling, &seeds);
+    let dcer_acc = report.accuracy(&synthetic.labeling, &seeds);
+    let gs_acc = gs_report.accuracy(&synthetic.labeling, &seeds);
     println!("\naccuracy on unlabeled nodes:");
     println!("  DCEr (estimated H): {dcer_acc:.3}");
     println!("  GS   (true H)     : {gs_acc:.3}");
     println!(
-        "\nestimation took {:?}, propagation took {:?}",
-        result.estimation_time, result.propagation_time
+        "\nestimation took {:?}, propagation took {:?} ({} iterations, converged = {})",
+        report.estimation_time,
+        report.propagation_time,
+        report.outcome.iterations,
+        report.outcome.converged
     );
+    println!("\nreport JSON: {}", report.to_json());
 }
 
 fn print_matrix(m: &DenseMatrix) {

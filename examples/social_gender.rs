@@ -34,22 +34,30 @@ fn main() {
     );
 
     // DCEr end-to-end.
-    let dcer = DceWithRestarts::default();
-    let pipeline = estimate_and_propagate(&dcer, &instance.graph, &seeds, &LinBpConfig::default())
+    let pipeline = Pipeline::on(&instance.graph)
+        .seeds(&seeds)
+        .estimator(DceWithRestarts::default())
+        .propagator(LinBp::default())
+        .run()
         .expect("pipeline succeeds");
     let dcer_acc = pipeline.accuracy(&instance.labeling, &seeds);
 
     // Gold standard (measured on the fully labeled substitute).
     let gold = instance.measured_gold_standard().expect("gold standard");
-    let gs = propagate_with("GS", &gold, &instance.graph, &seeds, &LinBpConfig::default())
+    let gs = Pipeline::on(&instance.graph)
+        .seeds(&seeds)
+        .compatibilities("GS", &gold)
+        .run()
         .expect("GS propagation");
     let gs_acc = gs.accuracy(&instance.labeling, &seeds);
 
-    // Homophily-based random walk baseline.
-    let walk = multi_rank_walk(&instance.graph, &seeds, &RandomWalkConfig::default())
-        .expect("random walk");
-    let walk_acc =
-        fg_propagation::unlabeled_accuracy(&walk.predictions, &instance.labeling, &seeds);
+    // Homophily-based random walk baseline — same builder, no estimator needed.
+    let walk_acc = Pipeline::on(&instance.graph)
+        .seeds(&seeds)
+        .propagator(RandomWalk::default())
+        .run()
+        .expect("random walk")
+        .accuracy(&instance.labeling, &seeds);
 
     println!("\ngender-prediction accuracy (macro-averaged over undisclosed users):");
     println!("  random-walk baseline (assumes homophily): {walk_acc:.3}");

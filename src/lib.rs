@@ -1,0 +1,21 @@
+//! # factorized-graphs
+//!
+//! Umbrella crate for the workspace reproducing *"Factorized Graph Representations for
+//! Semi-Supervised Learning from Sparse Data"* (SIGMOD 2020). It re-exports the member
+//! crates so downstream users can depend on a single package, and hosts the
+//! workspace-level examples (`examples/`) and integration tests (`tests/`).
+//!
+//! See the [`fg_core`] crate (re-exported as [`core`](mod@core)) for the main entry
+//! point: the [`fg_core::Pipeline`] builder combining any compatibility estimator with
+//! any propagation backend.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use fg_core as core;
+pub use fg_datasets as datasets;
+pub use fg_graph as graph;
+pub use fg_propagation as propagation;
+pub use fg_sparse as sparse;
+
+pub use fg_core::prelude;

@@ -36,14 +36,16 @@ fn movielens_substitute_end_to_end_dcer_close_to_gs() {
     let seeds = inst.labeling.stratified_sample(0.01, &mut rng);
 
     let gold = inst.measured_gold_standard().unwrap();
-    let gs = propagate_with("GS", &gold, &inst.graph, &seeds, &LinBpConfig::default()).unwrap();
-    let dcer = estimate_and_propagate(
-        &DceWithRestarts::default(),
-        &inst.graph,
-        &seeds,
-        &LinBpConfig::default(),
-    )
-    .unwrap();
+    let gs = Pipeline::on(&inst.graph)
+        .seeds(&seeds)
+        .compatibilities("GS", &gold)
+        .run()
+        .unwrap();
+    let dcer = Pipeline::on(&inst.graph)
+        .seeds(&seeds)
+        .estimator(DceWithRestarts::default())
+        .run()
+        .unwrap();
 
     let gs_acc = gs.accuracy(&inst.labeling, &seeds);
     let dcer_acc = dcer.accuracy(&inst.labeling, &seeds);
@@ -59,7 +61,9 @@ fn pokec_substitute_recovers_mild_heterophily() {
     let inst = synthesize(DatasetId::PokecGender, 0.005, 27).unwrap();
     let mut rng = StdRng::seed_from_u64(28);
     let seeds = inst.labeling.stratified_sample(0.05, &mut rng);
-    let h = DceWithRestarts::default().estimate(&inst.graph, &seeds).unwrap();
+    let h = DceWithRestarts::default()
+        .estimate(&inst.graph, &seeds)
+        .unwrap();
     // The published Pokec matrix has off-diagonal 0.56 > diagonal 0.44.
     assert!(
         h.get(0, 1) > h.get(0, 0),
@@ -78,9 +82,16 @@ fn cora_substitute_is_homophilous_and_labelable() {
 
     let mut rng = StdRng::seed_from_u64(38);
     let seeds = inst.labeling.stratified_sample(0.1, &mut rng);
-    let result = propagate_with("GS", &gs, &inst.graph, &seeds, &LinBpConfig::default()).unwrap();
+    let result = Pipeline::on(&inst.graph)
+        .seeds(&seeds)
+        .compatibilities("GS", &gs)
+        .run()
+        .unwrap();
     let acc = result.accuracy(&inst.labeling, &seeds);
-    assert!(acc > fg_propagation::random_baseline(k) + 0.1, "accuracy {acc}");
+    assert!(
+        acc > fg_propagation::random_baseline(k) + 0.1,
+        "accuracy {acc}"
+    );
 }
 
 #[test]

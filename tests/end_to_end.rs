@@ -22,14 +22,16 @@ fn dcer_is_close_to_gold_standard_at_one_percent_labels() {
     let seeds = syn.labeling.stratified_sample(0.01, &mut rng);
 
     let gold = measure_compatibilities(&syn.graph, &syn.labeling).unwrap();
-    let gs = propagate_with("GS", &gold, &syn.graph, &seeds, &LinBpConfig::default()).unwrap();
-    let dcer = estimate_and_propagate(
-        &DceWithRestarts::default(),
-        &syn.graph,
-        &seeds,
-        &LinBpConfig::default(),
-    )
-    .unwrap();
+    let gs = Pipeline::on(&syn.graph)
+        .seeds(&seeds)
+        .compatibilities("GS", &gold)
+        .run()
+        .unwrap();
+    let dcer = Pipeline::on(&syn.graph)
+        .seeds(&seeds)
+        .estimator(DceWithRestarts::default())
+        .run()
+        .unwrap();
 
     let gs_acc = gs.accuracy(&syn.labeling, &seeds);
     let dcer_acc = dcer.accuracy(&syn.labeling, &seeds);
@@ -46,21 +48,25 @@ fn estimated_compatibilities_beat_uniform_and_random() {
     let mut rng = StdRng::seed_from_u64(22);
     let seeds = syn.labeling.stratified_sample(0.02, &mut rng);
 
-    let dcer = estimate_and_propagate(
-        &DceWithRestarts::default(),
-        &syn.graph,
-        &seeds,
-        &LinBpConfig::default(),
-    )
-    .unwrap();
+    let dcer = Pipeline::on(&syn.graph)
+        .seeds(&seeds)
+        .estimator(DceWithRestarts::default())
+        .run()
+        .unwrap();
     let uniform = DenseMatrix::filled(3, 3, 1.0 / 3.0);
-    let blind = propagate_with("uniform", &uniform, &syn.graph, &seeds, &LinBpConfig::default())
+    let blind = Pipeline::on(&syn.graph)
+        .seeds(&seeds)
+        .compatibilities("uniform", &uniform)
+        .run()
         .unwrap();
 
     let dcer_acc = dcer.accuracy(&syn.labeling, &seeds);
     let blind_acc = blind.accuracy(&syn.labeling, &seeds);
     let random = fg_propagation::random_baseline(3);
-    assert!(dcer_acc > blind_acc + 0.1, "DCEr {dcer_acc} vs uniform {blind_acc}");
+    assert!(
+        dcer_acc > blind_acc + 0.1,
+        "DCEr {dcer_acc} vs uniform {blind_acc}"
+    );
     assert!(dcer_acc > random + 0.2);
 }
 
@@ -72,18 +78,19 @@ fn heterophilous_graph_defeats_homophily_methods_but_not_dcer() {
     let mut rng = StdRng::seed_from_u64(32);
     let seeds = syn.labeling.stratified_sample(0.05, &mut rng);
 
-    let harmonic = harmonic_functions(&syn.graph, &seeds, &HarmonicConfig::default()).unwrap();
-    let harmonic_acc =
-        fg_propagation::unlabeled_accuracy(&harmonic.predictions, &syn.labeling, &seeds);
+    let harmonic_acc = Pipeline::on(&syn.graph)
+        .seeds(&seeds)
+        .propagator(Harmonic::default())
+        .run()
+        .unwrap()
+        .accuracy(&syn.labeling, &seeds);
 
-    let dcer = estimate_and_propagate(
-        &DceWithRestarts::default(),
-        &syn.graph,
-        &seeds,
-        &LinBpConfig::default(),
-    )
-    .unwrap();
-    let dcer_acc = dcer.accuracy(&syn.labeling, &seeds);
+    let dcer_acc = Pipeline::on(&syn.graph)
+        .seeds(&seeds)
+        .estimator(DceWithRestarts::default())
+        .run()
+        .unwrap()
+        .accuracy(&syn.labeling, &seeds);
 
     assert!(
         dcer_acc > harmonic_acc + 0.15,
@@ -123,17 +130,16 @@ fn estimation_is_faster_than_propagation_on_larger_graphs() {
     let syn = synthetic(20_000, 10.0, 3, 8.0, 51);
     let mut rng = StdRng::seed_from_u64(52);
     let seeds = syn.labeling.stratified_sample(0.01, &mut rng);
-    let result = estimate_and_propagate(
-        &DceWithRestarts::default(),
-        &syn.graph,
-        &seeds,
-        &LinBpConfig {
+    let result = Pipeline::on(&syn.graph)
+        .seeds(&seeds)
+        .estimator(DceWithRestarts::default())
+        .propagator(LinBp::new(LinBpConfig {
             max_iterations: 10,
             tolerance: None,
             ..LinBpConfig::default()
-        },
-    )
-    .unwrap();
+        }))
+        .run()
+        .unwrap();
     // Allow generous slack: the point is the same order of magnitude, not 28x.
     assert!(
         result.estimation_time < result.propagation_time * 20,
@@ -164,14 +170,16 @@ fn class_imbalance_and_general_h_are_handled() {
     let seeds = syn.labeling.stratified_sample(0.02, &mut rng);
 
     let gold = measure_compatibilities(&syn.graph, &syn.labeling).unwrap();
-    let gs = propagate_with("GS", &gold, &syn.graph, &seeds, &LinBpConfig::default()).unwrap();
-    let dcer = estimate_and_propagate(
-        &DceWithRestarts::default(),
-        &syn.graph,
-        &seeds,
-        &LinBpConfig::default(),
-    )
-    .unwrap();
+    let gs = Pipeline::on(&syn.graph)
+        .seeds(&seeds)
+        .compatibilities("GS", &gold)
+        .run()
+        .unwrap();
+    let dcer = Pipeline::on(&syn.graph)
+        .seeds(&seeds)
+        .estimator(DceWithRestarts::default())
+        .run()
+        .unwrap();
     let gs_acc = gs.accuracy(&syn.labeling, &seeds);
     let dcer_acc = dcer.accuracy(&syn.labeling, &seeds);
     assert!(dcer_acc > gs_acc - 0.1, "DCEr {dcer_acc} vs GS {gs_acc}");

@@ -45,8 +45,12 @@ fn nb_statistics_track_powers_of_h_example_4_2() {
 
     for ell in 2..=4 {
         let h_pow = syn.planted_h.pow(ell);
-        let nb_err = h_pow.frobenius_distance(nb.statistic(ell).unwrap()).unwrap();
-        let full_err = h_pow.frobenius_distance(full.statistic(ell).unwrap()).unwrap();
+        let nb_err = h_pow
+            .frobenius_distance(nb.statistic(ell).unwrap())
+            .unwrap();
+        let full_err = h_pow
+            .frobenius_distance(full.statistic(ell).unwrap())
+            .unwrap();
         assert!(
             nb_err < full_err,
             "length {ell}: NB error {nb_err} should beat full-path error {full_err}"
@@ -105,7 +109,11 @@ fn with_plenty_of_labels_all_methods_converge_to_similar_estimates() {
         let err = gold.frobenius_distance(&h).unwrap();
         // The reference here is the *planted* H; the generator itself introduces a small
         // gap between planted and realized compatibilities, so allow a modest margin.
-        assert!(err < 0.35, "{}: error {err} too large at f = 0.5", est.name());
+        assert!(
+            err < 0.35,
+            "{}: error {err} too large at f = 0.5",
+            est.name()
+        );
     }
 }
 
@@ -140,9 +148,14 @@ fn normalization_variant_1_is_at_least_as_good_as_variant_3() {
     let gold = syn.planted_h.as_dense();
 
     let mut errors = Vec::new();
-    for variant in [NormalizationVariant::RowStochastic, NormalizationVariant::MeanScaled] {
-        let mut config = DceConfig::default();
-        config.variant = variant;
+    for variant in [
+        NormalizationVariant::RowStochastic,
+        NormalizationVariant::MeanScaled,
+    ] {
+        let config = DceConfig {
+            variant,
+            ..DceConfig::default()
+        };
         let h = DceWithRestarts::new(config, 10)
             .estimate(&syn.graph, &seeds)
             .unwrap();
@@ -162,12 +175,7 @@ fn restarts_monotonically_improve_energy() {
     let syn = synthetic(3000, 15.0, 8.0, 57);
     let mut rng = StdRng::seed_from_u64(58);
     let seeds = syn.labeling.stratified_sample(0.005, &mut rng);
-    let summary = summarize(
-        &syn.graph,
-        &seeds,
-        &DceConfig::default().summary_config(),
-    )
-    .unwrap();
+    let summary = summarize(&syn.graph, &seeds, &DceConfig::default().summary_config()).unwrap();
 
     let mut previous_energy = f64::INFINITY;
     for restarts in [1, 2, 5, 10] {
