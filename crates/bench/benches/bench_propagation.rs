@@ -34,7 +34,7 @@ fn main() {
     let opts = PropagatorOptions {
         max_iterations: Some(10),
         tolerance: Some(0.0),
-        damping: None,
+        ..PropagatorOptions::default()
     };
     for name in registry::propagator_names() {
         let backend = registry::by_name_with(name, &opts).expect("registered backend");

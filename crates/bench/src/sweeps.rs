@@ -14,6 +14,7 @@ use fg_propagation::registry;
 use fg_sparse::DenseMatrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 
 /// The estimator families compared throughout the paper's evaluation.
@@ -201,6 +202,120 @@ pub fn accuracy_vs_sparsity_with(
     Ok(outcomes)
 }
 
+/// Distribute independent sweep cells across `threads` scoped worker threads via a
+/// shared atomic work queue, reassembling the per-cell results in their original
+/// order. Each cell is re-derived from its index alone (seeded RNGs are rebuilt per
+/// cell), so the output is identical to the serial loop regardless of which worker
+/// picks up which cell.
+fn run_cells_parallel<T, F>(cell_count: usize, threads: Threads, run_cell: F) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T> + Sync,
+{
+    let workers = threads.count_for(cell_count);
+    let next = AtomicUsize::new(0);
+    let per_worker: Vec<Result<Vec<(usize, T)>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= cell_count {
+                            break;
+                        }
+                        local.push((i, run_cell(i)?));
+                    }
+                    Ok(local)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<T>> = (0..cell_count).map(|_| None).collect();
+    for worker in per_worker {
+        for (i, outcome) in worker? {
+            slots[i] = Some(outcome);
+        }
+    }
+    Ok(slots
+        .into_iter()
+        .map(|slot| slot.expect("every sweep cell is computed exactly once"))
+        .collect())
+}
+
+/// [`accuracy_vs_sparsity_with`] distributing the independent (fraction × repetition
+/// × estimator) sweep cells across worker threads. Every cell reseeds its RNG from
+/// its own indices — exactly as the serial loop does — so the returned outcomes are
+/// identical to the serial ones (in the same order); only the wall-clock timing
+/// fields can differ.
+#[allow(clippy::too_many_arguments)]
+pub fn accuracy_vs_sparsity_parallel(
+    graph: &Graph,
+    labeling: &Labeling,
+    fractions: &[f64],
+    kinds: &[EstimatorKind],
+    propagator: &(dyn Propagator + Sync),
+    repetitions: usize,
+    seed: u64,
+    threads: Threads,
+) -> Result<Vec<SweepOutcome>> {
+    if threads.count() <= 1 {
+        return accuracy_vs_sparsity_with(
+            graph,
+            labeling,
+            fractions,
+            kinds,
+            propagator,
+            repetitions,
+            seed,
+        );
+    }
+    let gold = measure_compatibilities(graph, labeling)?;
+    let reps = repetitions.max(1);
+    // Cell layout mirrors the serial loop nesting: fraction, then repetition, then
+    // estimator kind.
+    let mut cells = Vec::with_capacity(fractions.len() * reps * kinds.len());
+    for fi in 0..fractions.len() {
+        for rep in 0..reps {
+            for &kind in kinds {
+                cells.push((fi, rep, kind));
+            }
+        }
+    }
+    run_cells_parallel(cells.len(), threads, |cell| {
+        let (fi, rep, kind) = cells[cell];
+        let fraction = fractions[fi];
+        let mut rng = StdRng::seed_from_u64(seed ^ ((fi as u64) << 32) ^ rep as u64);
+        let seeds = labeling.stratified_sample(fraction, &mut rng);
+        let (kind, estimator) = estimator_set(&[kind], labeling, &gold)
+            .pop()
+            .expect("one estimator kind");
+        let report = Pipeline::on(graph)
+            .seeds(&seeds)
+            .estimator(estimator)
+            .estimator_label(kind.name())
+            .propagator(propagator)
+            .run()?;
+        let l2_error = if propagator.uses_compatibilities() {
+            Some(report.estimated_h.frobenius_distance(&gold)?)
+        } else {
+            None
+        };
+        Ok(SweepOutcome {
+            fraction,
+            accuracy: report.accuracy(labeling, &seeds),
+            l2_error,
+            estimation_time: report.estimation_time,
+            estimator: report.estimator,
+            propagator: report.propagator,
+        })
+    })
+}
+
 /// Convenience wrapper returning only L2 errors (the Fig. 6e / Fig. 14 metric).
 pub fn l2_vs_sparsity(
     graph: &Graph,
@@ -274,6 +389,61 @@ pub fn accuracy_vs_backend(
         }
     }
     Ok(outcomes)
+}
+
+/// [`accuracy_vs_backend`] distributing the independent (fraction × repetition ×
+/// backend) sweep cells across worker threads. Identical outcomes to the serial
+/// sweep, in the same order; only the wall-clock timing fields can differ.
+pub fn accuracy_vs_backend_parallel(
+    graph: &Graph,
+    labeling: &Labeling,
+    fractions: &[f64],
+    backends: &[&str],
+    repetitions: usize,
+    seed: u64,
+    threads: Threads,
+) -> Result<Vec<BackendOutcome>> {
+    if threads.count() <= 1 {
+        return accuracy_vs_backend(graph, labeling, fractions, backends, repetitions, seed);
+    }
+    // Resolve every backend name up front so a typo fails before any work runs.
+    for name in backends {
+        if registry::canonical_name(name).is_none() {
+            return Err(fg_core::CoreError::InvalidConfig(format!(
+                "unknown propagation backend '{name}'"
+            )));
+        }
+    }
+    let gold = measure_compatibilities(graph, labeling)?;
+    let reps = repetitions.max(1);
+    let mut cells = Vec::with_capacity(fractions.len() * reps * backends.len());
+    for fi in 0..fractions.len() {
+        for rep in 0..reps {
+            for &backend in backends {
+                cells.push((fi, rep, backend));
+            }
+        }
+    }
+    run_cells_parallel(cells.len(), threads, |cell| {
+        let (fi, rep, backend) = cells[cell];
+        let fraction = fractions[fi];
+        let mut rng = StdRng::seed_from_u64(seed ^ ((fi as u64) << 32) ^ rep as u64);
+        let seeds = labeling.stratified_sample(fraction, &mut rng);
+        let propagator = registry::by_name(backend).expect("backend names pre-validated");
+        let report = Pipeline::on(graph)
+            .seeds(&seeds)
+            .compatibilities("GS", &gold)
+            .propagator(propagator)
+            .run()?;
+        Ok(BackendOutcome {
+            fraction,
+            accuracy: report.accuracy(labeling, &seeds),
+            iterations: report.outcome.iterations,
+            converged: report.outcome.converged,
+            propagation_time: report.propagation_time,
+            propagator: report.propagator,
+        })
+    })
 }
 
 /// Aggregate backend-sweep outcomes into a table: one row per fraction, one accuracy
@@ -439,6 +609,77 @@ mod tests {
         assert_eq!(table.rows.len(), 2);
         assert_eq!(table.headers, vec!["f", "LinBP", "Harmonic", "RandomWalk"]);
         assert!(accuracy_vs_backend(&syn.graph, &syn.labeling, &[0.1], &["nope"], 1, 1).is_err());
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_exactly() {
+        let cfg = GeneratorConfig::balanced(300, 8.0, 3, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(23);
+        let syn = generate(&cfg, &mut rng).unwrap();
+        let kinds = [EstimatorKind::GoldStandard, EstimatorKind::Mce];
+        let fractions = [0.05, 0.2];
+        let serial =
+            accuracy_vs_sparsity(&syn.graph, &syn.labeling, &fractions, &kinds, 2, 13).unwrap();
+        for threads in [Threads::Serial, Threads::Fixed(2), Threads::Fixed(4)] {
+            let parallel = accuracy_vs_sparsity_parallel(
+                &syn.graph,
+                &syn.labeling,
+                &fractions,
+                &kinds,
+                &LinBp::default(),
+                2,
+                13,
+                threads,
+            )
+            .unwrap();
+            assert_eq!(serial.len(), parallel.len());
+            for (s, p) in serial.iter().zip(&parallel) {
+                assert_eq!(s.fraction, p.fraction, "{threads:?}");
+                assert_eq!(s.estimator, p.estimator, "{threads:?}");
+                assert_eq!(s.propagator, p.propagator, "{threads:?}");
+                assert_eq!(s.accuracy, p.accuracy, "{threads:?}");
+                assert_eq!(s.l2_error, p.l2_error, "{threads:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_backend_sweep_matches_serial_exactly() {
+        let cfg = GeneratorConfig::balanced(250, 8.0, 3, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(29);
+        let syn = generate(&cfg, &mut rng).unwrap();
+        let backends = ["linbp", "harmonic", "rw"];
+        let serial =
+            accuracy_vs_backend(&syn.graph, &syn.labeling, &[0.1, 0.3], &backends, 2, 31).unwrap();
+        let parallel = accuracy_vs_backend_parallel(
+            &syn.graph,
+            &syn.labeling,
+            &[0.1, 0.3],
+            &backends,
+            2,
+            31,
+            Threads::Fixed(4),
+        )
+        .unwrap();
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.fraction, p.fraction);
+            assert_eq!(s.propagator, p.propagator);
+            assert_eq!(s.accuracy, p.accuracy);
+            assert_eq!(s.iterations, p.iterations);
+            assert_eq!(s.converged, p.converged);
+        }
+        // Unknown backends fail up front, before any worker runs.
+        assert!(accuracy_vs_backend_parallel(
+            &syn.graph,
+            &syn.labeling,
+            &[0.1],
+            &["nope"],
+            1,
+            1,
+            Threads::Fixed(2)
+        )
+        .is_err());
     }
 
     #[test]

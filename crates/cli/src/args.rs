@@ -19,6 +19,14 @@ impl fmt::Display for ArgError {
 
 impl std::error::Error for ArgError {}
 
+/// Build the error for an unparsable option value, keeping the underlying parser's
+/// message (e.g. `Threads`' "expected serial, auto, or N") visible to the user.
+fn parse_error(name: &str, raw: &str, cause: impl fmt::Display) -> ArgError {
+    ArgError(format!(
+        "option --{name} has invalid value '{raw}': {cause}"
+    ))
+}
+
 /// Parsed `--key value` options and boolean `--flag`s.
 #[derive(Debug, Clone, Default)]
 pub struct ArgMap {
@@ -83,36 +91,41 @@ impl ArgMap {
     }
 
     /// Optional typed option with a default.
-    pub fn get_parsed_or<T: std::str::FromStr>(
-        &self,
-        name: &str,
-        default: T,
-    ) -> Result<T, ArgError> {
+    pub fn get_parsed_or<T>(&self, name: &str, default: T) -> Result<T, ArgError>
+    where
+        T: std::str::FromStr,
+        T::Err: fmt::Display,
+    {
         match self.get(name) {
             None => Ok(default),
-            Some(raw) => raw
-                .parse::<T>()
-                .map_err(|_| ArgError(format!("option --{name} has invalid value '{raw}'"))),
+            Some(raw) => raw.parse::<T>().map_err(|e| parse_error(name, raw, e)),
         }
     }
 
     /// Optional typed option without a default: `Ok(None)` when absent, an error when
     /// present but unparsable.
-    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, ArgError> {
+    pub fn get_parsed<T>(&self, name: &str) -> Result<Option<T>, ArgError>
+    where
+        T: std::str::FromStr,
+        T::Err: fmt::Display,
+    {
         match self.get(name) {
             None => Ok(None),
             Some(raw) => raw
                 .parse::<T>()
                 .map(Some)
-                .map_err(|_| ArgError(format!("option --{name} has invalid value '{raw}'"))),
+                .map_err(|e| parse_error(name, raw, e)),
         }
     }
 
     /// Required typed option.
-    pub fn require_parsed<T: std::str::FromStr>(&self, name: &str) -> Result<T, ArgError> {
+    pub fn require_parsed<T>(&self, name: &str) -> Result<T, ArgError>
+    where
+        T: std::str::FromStr,
+        T::Err: fmt::Display,
+    {
         let raw = self.require(name)?;
-        raw.parse::<T>()
-            .map_err(|_| ArgError(format!("option --{name} has invalid value '{raw}'")))
+        raw.parse::<T>().map_err(|e| parse_error(name, raw, e))
     }
 
     /// Comma-separated list of floats (e.g. `--alpha 0.2,0.3,0.5`).

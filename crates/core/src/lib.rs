@@ -105,5 +105,5 @@ pub mod prelude {
         harmonic_functions, multi_rank_walk, propagate, Harmonic, HarmonicConfig, LinBp,
         LinBpConfig, LoopyBp, PropagationOutcome, Propagator, RandomWalk, RandomWalkConfig,
     };
-    pub use fg_sparse::DenseMatrix;
+    pub use fg_sparse::{DenseMatrix, Threads};
 }

@@ -21,7 +21,7 @@ use crate::error::{CoreError, Result};
 use crate::estimators::CompatibilityEstimator;
 use fg_graph::{Graph, Labeling, SeedLabels};
 use fg_propagation::{LinBp, PropagationOutcome, Propagator};
-use fg_sparse::DenseMatrix;
+use fg_sparse::{DenseMatrix, Threads};
 use std::time::{Duration, Instant};
 
 /// Result of an end-to-end [`Pipeline`] run: which stages ran, what they produced,
@@ -43,9 +43,14 @@ pub struct PipelineReport {
     pub estimation_time: Duration,
     /// Wall-clock time of the propagation stage.
     pub propagation_time: Duration,
-    /// Macro-averaged accuracy on the unlabeled nodes, recorded by
-    /// [`PipelineReport::evaluate`] when ground truth is available.
+    /// Macro-averaged accuracy on the unlabeled nodes (unweighted mean of per-class
+    /// recalls), recorded by [`PipelineReport::evaluate`] when ground truth is
+    /// available.
     pub accuracy: Option<f64>,
+    /// Micro (plain) accuracy on the unlabeled nodes — the paper's "fraction of the
+    /// remaining nodes that receive correct labels" — recorded by
+    /// [`PipelineReport::evaluate`] alongside the macro value.
+    pub micro_accuracy: Option<f64>,
 }
 
 impl PipelineReport {
@@ -55,11 +60,19 @@ impl PipelineReport {
         self.outcome.accuracy(truth, seeds)
     }
 
-    /// Compute the accuracy against ground truth and record it in the report (so it
-    /// appears in [`PipelineReport::to_json`]).
+    /// End-to-end micro accuracy on the unlabeled nodes (computed on the fly; use
+    /// [`PipelineReport::evaluate`] to also record it in the report).
+    pub fn micro_accuracy(&self, truth: &Labeling, seeds: &SeedLabels) -> f64 {
+        self.outcome.micro_accuracy(truth, seeds)
+    }
+
+    /// Compute both accuracy variants against ground truth, record them in the
+    /// report (so they appear in [`PipelineReport::to_json`]), and return the
+    /// macro-averaged value.
     pub fn evaluate(&mut self, truth: &Labeling, seeds: &SeedLabels) -> f64 {
         let acc = self.accuracy(truth, seeds);
         self.accuracy = Some(acc);
+        self.micro_accuracy = Some(self.micro_accuracy(truth, seeds));
         acc
     }
 
@@ -102,6 +115,9 @@ impl PipelineReport {
         ];
         if let Some(acc) = self.accuracy {
             fields.push(format!("\"accuracy\":{acc}"));
+        }
+        if let Some(acc) = self.micro_accuracy {
+            fields.push(format!("\"micro_accuracy\":{acc}"));
         }
         format!("{{{}}}", fields.join(","))
     }
@@ -146,6 +162,7 @@ pub struct Pipeline<'a> {
     estimator_label: Option<String>,
     propagator: Option<Box<dyn Propagator + 'a>>,
     propagator_label: Option<String>,
+    threads: Option<Threads>,
 }
 
 impl<'a> Pipeline<'a> {
@@ -158,6 +175,7 @@ impl<'a> Pipeline<'a> {
             estimator_label: None,
             propagator: None,
             propagator_label: None,
+            threads: None,
         }
     }
 
@@ -201,15 +219,27 @@ impl<'a> Pipeline<'a> {
         self
     }
 
+    /// Run the propagation stage under the given [`Threads`] policy. The parallel
+    /// kernels are bit-identical to the serial ones, so this changes wall-clock time
+    /// only, never the reported beliefs or predictions. When not called, the backend
+    /// keeps whatever policy its own config carries.
+    pub fn threads(mut self, threads: Threads) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
     /// Execute both stages and collect the [`PipelineReport`].
     pub fn run(self) -> Result<PipelineReport> {
         let seeds = self.seeds.ok_or_else(|| {
             CoreError::InvalidConfig("Pipeline requires seed labels: call .seeds(...)".into())
         })?;
-        let propagator: Box<dyn Propagator + 'a> = match self.propagator {
+        let mut propagator: Box<dyn Propagator + 'a> = match self.propagator {
             Some(p) => p,
             None => Box::new(LinBp::default()),
         };
+        if let Some(threads) = self.threads {
+            propagator = propagator.with_threads(threads);
+        }
 
         // An uninformative placeholder for backends that never read H.
         let uniform_h = |seeds: &SeedLabels| {
@@ -264,6 +294,7 @@ impl<'a> Pipeline<'a> {
             estimation_time,
             propagation_time,
             accuracy: None,
+            micro_accuracy: None,
         })
     }
 }
@@ -389,6 +420,57 @@ mod tests {
             .run()
             .unwrap();
         assert_eq!(labeled.estimator, "DCEr(r=10) (skipped)");
+    }
+
+    #[test]
+    fn threads_policy_does_not_change_results() {
+        let cfg = GeneratorConfig::balanced(300, 8.0, 3, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let syn = generate(&cfg, &mut rng).unwrap();
+        let seeds = syn.labeling.stratified_sample(0.1, &mut rng);
+        for backend in fg_propagation::all_propagators() {
+            let name = backend.name();
+            let serial = Pipeline::on(&syn.graph)
+                .seeds(&seeds)
+                .estimator(DceWithRestarts::default())
+                .propagator(&backend)
+                .run()
+                .unwrap();
+            let threaded = Pipeline::on(&syn.graph)
+                .seeds(&seeds)
+                .estimator(DceWithRestarts::default())
+                .propagator(&backend)
+                .threads(Threads::Fixed(4))
+                .run()
+                .unwrap();
+            assert_eq!(
+                serial.outcome.beliefs.data(),
+                threaded.outcome.beliefs.data(),
+                "{name}"
+            );
+            assert_eq!(serial.outcome.predictions, threaded.outcome.predictions);
+            assert_eq!(serial.propagator, threaded.propagator, "{name}");
+        }
+    }
+
+    #[test]
+    fn evaluate_records_micro_and_macro() {
+        let graph = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let seeds = SeedLabels::new(vec![Some(0), None, None, Some(1)], 2).unwrap();
+        let truth = Labeling::new(vec![0, 0, 1, 1], 2).unwrap();
+        let h = DenseMatrix::from_rows(&[vec![0.8, 0.2], vec![0.2, 0.8]]).unwrap();
+        let mut report = Pipeline::on(&graph)
+            .seeds(&seeds)
+            .compatibilities("planted", &h)
+            .run()
+            .unwrap();
+        assert!(report.accuracy.is_none() && report.micro_accuracy.is_none());
+        report.evaluate(&truth, &seeds);
+        assert!(report.accuracy.is_some());
+        assert!(report.micro_accuracy.is_some());
+        let json = report.to_json();
+        assert!(json.contains("\"accuracy\":"));
+        assert!(json.contains("\"micro_accuracy\":"));
     }
 
     #[test]

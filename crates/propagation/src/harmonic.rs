@@ -7,7 +7,7 @@
 
 use crate::linbp::label;
 use fg_graph::{Graph, GraphError, Result, SeedLabels};
-use fg_sparse::DenseMatrix;
+use fg_sparse::{DenseMatrix, Threads};
 
 /// Configuration for harmonic-functions propagation.
 #[derive(Debug, Clone)]
@@ -16,6 +16,9 @@ pub struct HarmonicConfig {
     pub max_iterations: usize,
     /// Early-stopping tolerance on the maximum absolute belief change.
     pub tolerance: f64,
+    /// Thread policy for the sparse kernels. The parallel kernels are bit-identical
+    /// to the serial ones, so this only changes wall-clock time, never the result.
+    pub threads: Threads,
 }
 
 impl Default for HarmonicConfig {
@@ -23,6 +26,7 @@ impl Default for HarmonicConfig {
         HarmonicConfig {
             max_iterations: 200,
             tolerance: 1e-8,
+            threads: Threads::Serial,
         }
     }
 }
@@ -41,6 +45,13 @@ pub struct HarmonicResult {
 }
 
 /// Run harmonic-functions propagation (the homophily baseline).
+///
+/// Unlabeled nodes that never receive any mass — isolated nodes, and nodes in
+/// components containing no seed — would otherwise keep an all-zero belief row that
+/// [`label`] silently ties to class 0, inflating class-0 recall. Those rows fall back
+/// to the uniform belief `1/k`, which makes "no information" explicit in the beliefs
+/// (the argmax still resolves to class 0 through `label`'s documented deterministic
+/// tie-break).
 pub fn harmonic_functions(
     graph: &Graph,
     seeds: &SeedLabels,
@@ -62,7 +73,9 @@ pub fn harmonic_functions(
     let mut iterations = 0;
     let mut converged = false;
     for _ in 0..config.max_iterations {
-        let mut f_next = w_row.spmm_dense(&f).map_err(GraphError::Sparse)?;
+        let mut f_next = w_row
+            .spmm_dense_with(&f, config.threads)
+            .map_err(GraphError::Sparse)?;
         // Clamp labeled nodes back to their observed labels.
         for i in 0..n {
             if seeds.get(i).is_some() {
@@ -84,6 +97,7 @@ pub fn harmonic_functions(
         }
     }
 
+    uniform_fallback_for_zero_rows(&mut f, seeds);
     let predictions = label(&f);
     Ok(HarmonicResult {
         beliefs: f,
@@ -91,6 +105,25 @@ pub fn harmonic_functions(
         iterations,
         converged,
     })
+}
+
+/// Replace the all-zero belief rows of unlabeled nodes with the uniform distribution
+/// `1/k`. Zero rows arise exactly for nodes no seed mass can reach (isolated nodes,
+/// seedless components); leaving them at zero would present "no information" as a
+/// maximally confident all-zero row.
+pub(crate) fn uniform_fallback_for_zero_rows(f: &mut DenseMatrix, seeds: &SeedLabels) {
+    let k = f.cols();
+    if k == 0 {
+        return;
+    }
+    let uniform = 1.0 / k as f64;
+    for i in 0..f.rows() {
+        if seeds.get(i).is_none() && f.row(i).iter().all(|&v| v == 0.0) {
+            for v in f.row_mut(i) {
+                *v = uniform;
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -38,7 +38,7 @@ pub use linbp::{
 };
 pub use metrics::{
     accuracy, confusion_matrix, holdout_accuracy, macro_accuracy, random_baseline,
-    unlabeled_accuracy,
+    unlabeled_accuracy, unlabeled_micro_accuracy,
 };
 pub use propagator::{Harmonic, LinBp, LoopyBp, PropagationOutcome, Propagator, RandomWalk};
 pub use random_walk::{multi_rank_walk, RandomWalkConfig, RandomWalkResult};

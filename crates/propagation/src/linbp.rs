@@ -16,7 +16,7 @@
 
 use crate::metrics;
 use fg_graph::{Graph, GraphError, Labeling, Result, SeedLabels};
-use fg_sparse::{spectral_radius_dense, DenseMatrix};
+use fg_sparse::{spectral_radius_dense, DenseMatrix, Threads};
 
 /// How aggressively to scale the compatibility matrix relative to the convergence
 /// boundary (the paper's `s`; `s = 0.5` is the setting used in Section 5.3).
@@ -40,6 +40,9 @@ pub struct LinBpConfig {
     /// Optional explicit scaling factor `ε`; when set, the spectral-radius computation
     /// is skipped entirely.
     pub explicit_epsilon: Option<f64>,
+    /// Thread policy for the sparse kernels. The parallel kernels are bit-identical
+    /// to the serial ones, so this only changes wall-clock time, never the result.
+    pub threads: Threads,
 }
 
 impl Default for LinBpConfig {
@@ -50,6 +53,7 @@ impl Default for LinBpConfig {
             centered: true,
             tolerance: Some(1e-6),
             explicit_epsilon: None,
+            threads: Threads::Serial,
         }
     }
 }
@@ -138,7 +142,9 @@ pub fn propagate(
     for _ in 0..config.max_iterations {
         // F_next = X + W (F Hε): the inner product keeps everything n x k.
         let fh = f.matmul(&h_eff).map_err(GraphError::Sparse)?;
-        let wfh = w.spmm_dense(&fh).map_err(GraphError::Sparse)?;
+        let wfh = w
+            .spmm_dense_with(&fh, config.threads)
+            .map_err(GraphError::Sparse)?;
         let f_next = x.add(&wfh).map_err(GraphError::Sparse)?;
         iterations += 1;
         if let Some(tol) = config.tolerance {
@@ -186,6 +192,12 @@ fn prior_residuals(seeds: &SeedLabels) -> DenseMatrix {
 }
 
 /// Assign each node the class with maximum belief (the paper's `label(F)` operation).
+///
+/// Ties are broken deterministically toward the **lowest class index**: a node whose
+/// belief row is exactly uniform (e.g. an isolated node after the uniform fallback in
+/// [`crate::harmonic::harmonic_functions`] / [`crate::random_walk::multi_rank_walk`])
+/// is always assigned class 0. Callers that need to distinguish "confidently class 0"
+/// from "no information" should inspect the belief row, not the argmax.
 pub fn label(beliefs: &DenseMatrix) -> Vec<usize> {
     (0..beliefs.rows()).map(|i| beliefs.argmax_row(i)).collect()
 }

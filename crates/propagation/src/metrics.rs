@@ -48,8 +48,12 @@ pub fn macro_accuracy(predictions: &[usize], truth: &Labeling, eval_nodes: &[usi
     }
 }
 
-/// Accuracy evaluated on the unlabeled nodes of a seed set (the paper's end-to-end
-/// metric: "the fraction of the remaining nodes that receive correct labels").
+/// **Macro-averaged** accuracy evaluated on the unlabeled nodes of a seed set: the
+/// unweighted mean of the per-class recalls over the remaining (unlabeled) nodes, as
+/// computed by [`macro_accuracy`]. This is the class-imbalance-robust variant the
+/// paper reports alongside the micro metric (Section 5, "Quality assessment"); for
+/// the paper's literal "fraction of the remaining nodes that receive correct labels"
+/// use [`unlabeled_micro_accuracy`].
 ///
 /// For a fully labeled seed set there are no remaining nodes to classify; the metric then
 /// falls back to evaluating over all nodes (a propagation that preserves the given labels
@@ -61,6 +65,26 @@ pub fn unlabeled_accuracy(predictions: &[usize], truth: &Labeling, seeds: &SeedL
         return macro_accuracy(predictions, truth, &all);
     }
     macro_accuracy(predictions, truth, &unlabeled)
+}
+
+/// **Micro** (plain) accuracy evaluated on the unlabeled nodes of a seed set: the
+/// paper's end-to-end metric, "the fraction of the remaining nodes that receive
+/// correct labels". Unlike [`unlabeled_accuracy`] this weights every node equally, so
+/// a dominant class can mask mistakes on rare classes.
+///
+/// Falls back to evaluating over all nodes when the seed set is fully labeled,
+/// mirroring [`unlabeled_accuracy`].
+pub fn unlabeled_micro_accuracy(
+    predictions: &[usize],
+    truth: &Labeling,
+    seeds: &SeedLabels,
+) -> f64 {
+    let unlabeled = seeds.unlabeled_nodes();
+    if unlabeled.is_empty() {
+        let all: Vec<usize> = (0..truth.n()).collect();
+        return accuracy(predictions, truth, &all);
+    }
+    accuracy(predictions, truth, &unlabeled)
 }
 
 /// Accuracy evaluated on the labeled nodes of a holdout set (used by the Holdout
@@ -162,6 +186,33 @@ mod tests {
         // Wrong on the labeled nodes (ignored), right on unlabeled ones.
         let preds = vec![1, 0, 2, 1, 0, 2];
         assert_eq!(unlabeled_accuracy(&preds, &t, &seeds), 1.0);
+        assert_eq!(unlabeled_micro_accuracy(&preds, &t, &seeds), 1.0);
+    }
+
+    #[test]
+    fn micro_and_macro_diverge_under_class_imbalance() {
+        // 4 unlabeled nodes of class 0, 1 unlabeled node of class 1; predicting class
+        // 0 everywhere gives micro 0.8 but macro 0.5 — the mismatch the docstring of
+        // `unlabeled_accuracy` used to paper over.
+        let t = Labeling::new(vec![0, 0, 0, 0, 1, 0], 2).unwrap();
+        let seeds = SeedLabels::new(vec![None, None, None, None, None, Some(0)], 2).unwrap();
+        let preds = vec![0, 0, 0, 0, 0, 0];
+        assert_eq!(unlabeled_micro_accuracy(&preds, &t, &seeds), 0.8);
+        assert_eq!(unlabeled_accuracy(&preds, &t, &seeds), 0.5);
+    }
+
+    #[test]
+    fn unlabeled_micro_accuracy_falls_back_when_fully_labeled() {
+        let t = truth();
+        let seeds = SeedLabels::fully_labeled(&t);
+        assert_eq!(
+            unlabeled_micro_accuracy(&[0, 0, 1, 1, 2, 2], &t, &seeds),
+            1.0
+        );
+        assert_eq!(
+            unlabeled_micro_accuracy(&[1, 1, 2, 2, 0, 0], &t, &seeds),
+            0.0
+        );
     }
 
     #[test]

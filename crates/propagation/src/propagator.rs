@@ -15,7 +15,7 @@ use crate::linbp::{propagate, LinBpConfig};
 use crate::metrics;
 use crate::random_walk::{multi_rank_walk, RandomWalkConfig};
 use fg_graph::{Graph, Labeling, Result, SeedLabels};
-use fg_sparse::DenseMatrix;
+use fg_sparse::{DenseMatrix, Threads};
 
 /// The unified result of any propagation backend.
 ///
@@ -44,9 +44,16 @@ pub struct PropagationOutcome {
 }
 
 impl PropagationOutcome {
-    /// Macro-averaged accuracy on the unlabeled nodes.
+    /// Macro-averaged accuracy on the unlabeled nodes (the unweighted mean of the
+    /// per-class recalls; robust to class imbalance).
     pub fn accuracy(&self, truth: &Labeling, seeds: &SeedLabels) -> f64 {
         metrics::unlabeled_accuracy(&self.predictions, truth, seeds)
+    }
+
+    /// Micro (plain) accuracy on the unlabeled nodes: the paper's "fraction of the
+    /// remaining nodes that receive correct labels".
+    pub fn micro_accuracy(&self, truth: &Labeling, seeds: &SeedLabels) -> f64 {
+        metrics::unlabeled_micro_accuracy(&self.predictions, truth, seeds)
     }
 }
 
@@ -75,6 +82,13 @@ pub trait Propagator {
         seeds: &SeedLabels,
         h: &DenseMatrix,
     ) -> Result<PropagationOutcome>;
+
+    /// Return a copy of this backend with its [`Threads`] policy replaced. The
+    /// parallel kernels are bit-identical to the serial ones, so the returned backend
+    /// produces exactly the same outcome, only faster on multi-core hardware. This is
+    /// how `fg_core::Pipeline::threads` injects a thread policy through `dyn
+    /// Propagator` without knowing the concrete config type.
+    fn with_threads(&self, threads: Threads) -> Box<dyn Propagator>;
 }
 
 impl<P: Propagator + ?Sized> Propagator for &P {
@@ -94,6 +108,10 @@ impl<P: Propagator + ?Sized> Propagator for &P {
     ) -> Result<PropagationOutcome> {
         (**self).propagate(graph, seeds, h)
     }
+
+    fn with_threads(&self, threads: Threads) -> Box<dyn Propagator> {
+        (**self).with_threads(threads)
+    }
 }
 
 impl Propagator for Box<dyn Propagator + '_> {
@@ -112,6 +130,10 @@ impl Propagator for Box<dyn Propagator + '_> {
         h: &DenseMatrix,
     ) -> Result<PropagationOutcome> {
         (**self).propagate(graph, seeds, h)
+    }
+
+    fn with_threads(&self, threads: Threads) -> Box<dyn Propagator> {
+        (**self).with_threads(threads)
     }
 }
 
@@ -150,6 +172,13 @@ impl Propagator for LinBp {
             epsilon: Some(r.epsilon),
         })
     }
+
+    fn with_threads(&self, threads: Threads) -> Box<dyn Propagator> {
+        Box::new(LinBp::new(LinBpConfig {
+            threads,
+            ..self.config.clone()
+        }))
+    }
 }
 
 /// Full loopy Belief Propagation — the reference algorithm LinBP linearizes.
@@ -186,6 +215,13 @@ impl Propagator for LoopyBp {
             converged: r.converged,
             epsilon: None,
         })
+    }
+
+    fn with_threads(&self, threads: Threads) -> Box<dyn Propagator> {
+        Box::new(LoopyBp::new(BpConfig {
+            threads,
+            ..self.config.clone()
+        }))
     }
 }
 
@@ -229,6 +265,13 @@ impl Propagator for Harmonic {
             epsilon: None,
         })
     }
+
+    fn with_threads(&self, threads: Threads) -> Box<dyn Propagator> {
+        Box::new(Harmonic::new(HarmonicConfig {
+            threads,
+            ..self.config.clone()
+        }))
+    }
 }
 
 /// MultiRankWalk-style random walks with restarts — the homophily baseline of
@@ -270,6 +313,13 @@ impl Propagator for RandomWalk {
             converged: r.converged,
             epsilon: None,
         })
+    }
+
+    fn with_threads(&self, threads: Threads) -> Box<dyn Propagator> {
+        Box::new(RandomWalk::new(RandomWalkConfig {
+            threads,
+            ..self.config.clone()
+        }))
     }
 }
 

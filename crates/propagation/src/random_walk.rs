@@ -12,9 +12,10 @@
 //! with the maximum score. The method assumes homophily and therefore fails on
 //! heterophilous graphs — which is exactly the comparison the paper draws (Fig. 6i).
 
+use crate::harmonic::uniform_fallback_for_zero_rows;
 use crate::linbp::label;
 use fg_graph::{Graph, GraphError, Result, SeedLabels};
-use fg_sparse::DenseMatrix;
+use fg_sparse::{DenseMatrix, Threads};
 
 /// Configuration for random walks with restarts.
 #[derive(Debug, Clone)]
@@ -26,6 +27,9 @@ pub struct RandomWalkConfig {
     pub max_iterations: usize,
     /// Early-stopping tolerance on the maximum absolute score change.
     pub tolerance: f64,
+    /// Thread policy for the sparse kernels. The parallel kernels are bit-identical
+    /// to the serial ones, so this only changes wall-clock time, never the result.
+    pub threads: Threads,
 }
 
 impl Default for RandomWalkConfig {
@@ -34,6 +38,7 @@ impl Default for RandomWalkConfig {
             damping: 0.85,
             max_iterations: 100,
             tolerance: 1e-8,
+            threads: Threads::Serial,
         }
     }
 }
@@ -53,6 +58,12 @@ pub struct RandomWalkResult {
 
 /// Run MultiRankWalk: one random walk with restarts per class, teleporting to that
 /// class's seed nodes.
+///
+/// Unlabeled nodes the walks can never visit — isolated nodes, and nodes with no path
+/// from any seed — would otherwise keep an all-zero score row that [`label`] silently
+/// ties to class 0, inflating class-0 recall. Those rows fall back to the uniform
+/// score `1/k`, making "no information" explicit in the scores (the argmax still
+/// resolves to class 0 through `label`'s documented deterministic tie-break).
 pub fn multi_rank_walk(
     graph: &Graph,
     seeds: &SeedLabels,
@@ -93,7 +104,9 @@ pub fn multi_rank_walk(
     let mut iterations = 0;
     let mut converged = false;
     for _ in 0..config.max_iterations {
-        let walked = w_col.spmm_dense(&f).map_err(GraphError::Sparse)?;
+        let walked = w_col
+            .spmm_dense_with(&f, config.threads)
+            .map_err(GraphError::Sparse)?;
         let f_next = teleport
             .scaled(restart)
             .add(&walked.scaled(alpha))
@@ -111,6 +124,7 @@ pub fn multi_rank_walk(
         }
     }
 
+    uniform_fallback_for_zero_rows(&mut f, seeds);
     let predictions = label(&f);
     Ok(RandomWalkResult {
         scores: f,

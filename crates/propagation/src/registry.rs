@@ -10,6 +10,7 @@ use crate::harmonic::HarmonicConfig;
 use crate::linbp::LinBpConfig;
 use crate::propagator::{Harmonic, LinBp, LoopyBp, Propagator, RandomWalk};
 use crate::random_walk::RandomWalkConfig;
+use fg_sparse::Threads;
 
 /// Backend-agnostic configuration overrides understood by every registered backend.
 /// `None` fields keep the backend's default.
@@ -22,6 +23,9 @@ pub struct PropagatorOptions {
     /// Continuation probability for random walks / damping factor for loopy BP.
     /// Ignored by backends without such a knob.
     pub damping: Option<f64>,
+    /// Thread policy for the backend's parallel kernels (`fg --threads N`). All
+    /// backends honor it; results are bit-identical at any thread count.
+    pub threads: Option<Threads>,
 }
 
 /// A registry entry: canonical name, accepted aliases, a one-line description, and a
@@ -45,6 +49,9 @@ fn build_linbp(opts: &PropagatorOptions) -> Box<dyn Propagator> {
     if let Some(tol) = opts.tolerance {
         config.tolerance = Some(tol);
     }
+    if let Some(threads) = opts.threads {
+        config.threads = threads;
+    }
     Box::new(LinBp::new(config))
 }
 
@@ -59,6 +66,9 @@ fn build_bp(opts: &PropagatorOptions) -> Box<dyn Propagator> {
     if let Some(d) = opts.damping {
         config.damping = d;
     }
+    if let Some(threads) = opts.threads {
+        config.threads = threads;
+    }
     Box::new(LoopyBp::new(config))
 }
 
@@ -69,6 +79,9 @@ fn build_harmonic(opts: &PropagatorOptions) -> Box<dyn Propagator> {
     }
     if let Some(tol) = opts.tolerance {
         config.tolerance = tol;
+    }
+    if let Some(threads) = opts.threads {
+        config.threads = threads;
     }
     Box::new(Harmonic::new(config))
 }
@@ -83,6 +96,9 @@ fn build_rw(opts: &PropagatorOptions) -> Box<dyn Propagator> {
     }
     if let Some(d) = opts.damping {
         config.damping = d;
+    }
+    if let Some(threads) = opts.threads {
+        config.threads = threads;
     }
     Box::new(RandomWalk::new(config))
 }
@@ -182,8 +198,7 @@ mod tests {
     fn options_are_applied() {
         let opts = PropagatorOptions {
             max_iterations: Some(3),
-            tolerance: None,
-            damping: None,
+            ..PropagatorOptions::default()
         };
         // Smoke test: a 3-iteration LinBP on a tiny graph reports <= 3 iterations.
         let p = by_name_with("linbp", &opts).unwrap();
@@ -192,6 +207,34 @@ mod tests {
         let h = fg_sparse::DenseMatrix::from_rows(&[vec![0.3, 0.7], vec![0.7, 0.3]]).unwrap();
         let outcome = p.propagate(&graph, &seeds, &h).unwrap();
         assert!(outcome.iterations <= 3);
+    }
+
+    #[test]
+    fn threads_option_reaches_every_backend() {
+        // A 4-thread build must produce exactly the serial outcome on every backend
+        // (the parallel kernels are bit-identical).
+        let graph =
+            fg_graph::Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+        let seeds =
+            fg_graph::SeedLabels::new(vec![Some(0), None, None, None, None, Some(1)], 2).unwrap();
+        let h = fg_sparse::DenseMatrix::from_rows(&[vec![0.8, 0.2], vec![0.2, 0.8]]).unwrap();
+        let threaded = PropagatorOptions {
+            threads: Some(Threads::Fixed(4)),
+            ..PropagatorOptions::default()
+        };
+        for name in propagator_names() {
+            let serial = by_name(name)
+                .unwrap()
+                .propagate(&graph, &seeds, &h)
+                .unwrap();
+            let parallel = by_name_with(name, &threaded)
+                .unwrap()
+                .propagate(&graph, &seeds, &h)
+                .unwrap();
+            assert_eq!(serial.beliefs.data(), parallel.beliefs.data(), "{name}");
+            assert_eq!(serial.predictions, parallel.predictions, "{name}");
+            assert_eq!(serial.iterations, parallel.iterations, "{name}");
+        }
     }
 
     #[test]

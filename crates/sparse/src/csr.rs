@@ -7,6 +7,7 @@
 
 use crate::dense::DenseMatrix;
 use crate::error::{Result, SparseError};
+use std::ops::Range;
 
 /// A sparse matrix in compressed sparse row format.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,7 +46,8 @@ impl CsrMatrix {
     }
 
     /// Create a diagonal matrix from a vector of diagonal entries.
-    /// Zero diagonal entries are stored explicitly dropped.
+    /// Zero diagonal entries are not stored (they are dropped, not kept as explicit
+    /// zeros), so `nnz()` counts only the non-zero diagonal values.
     pub fn from_diagonal(diag: &[f64]) -> Self {
         let n = diag.len();
         let mut indptr = Vec::with_capacity(n + 1);
@@ -138,6 +140,28 @@ impl CsrMatrix {
             }
         }
         Self::from_triplets(dense.rows(), dense.cols(), &triplets)
+    }
+
+    /// Crate-internal constructor for kernels that assemble already-valid CSR arrays
+    /// (e.g. the thread-parallel product in [`crate::parallel`]). Callers guarantee the
+    /// invariants [`CsrMatrix::from_raw`] would check.
+    pub(crate) fn from_parts(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(indptr.len(), rows + 1);
+        debug_assert_eq!(indices.len(), values.len());
+        debug_assert_eq!(*indptr.last().unwrap_or(&0), indices.len());
+        CsrMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Construct directly from raw CSR arrays. Validates monotone `indptr`, in-bounds
@@ -286,9 +310,25 @@ impl CsrMatrix {
         }
         let k = dense.cols();
         let mut out = DenseMatrix::zeros(self.rows, k);
-        for i in 0..self.rows {
+        self.spmm_dense_rows_into(dense, 0..self.rows, out.data_mut());
+        Ok(out)
+    }
+
+    /// The row kernel behind [`CsrMatrix::spmm_dense`]: accumulate rows `rows` of
+    /// `self * dense` into `out`, a zeroed buffer holding exactly those output rows
+    /// (`rows.len() * dense.cols()` values). Shared by the serial entry point and the
+    /// thread-parallel one in [`crate::parallel`], so both produce bit-identical
+    /// results.
+    pub(crate) fn spmm_dense_rows_into(
+        &self,
+        dense: &DenseMatrix,
+        rows: Range<usize>,
+        out: &mut [f64],
+    ) {
+        let k = dense.cols();
+        for (local, i) in rows.enumerate() {
             let (cols, vals) = self.row(i);
-            let out_row = out.row_mut(i);
+            let out_row = &mut out[local * k..(local + 1) * k];
             for (&c, &w) in cols.iter().zip(vals.iter()) {
                 let src = dense.row(c);
                 for (o, &s) in out_row.iter_mut().zip(src.iter()) {
@@ -296,7 +336,6 @@ impl CsrMatrix {
                 }
             }
         }
-        Ok(out)
     }
 
     /// Sparse matrix-vector product `self * v`.
@@ -309,11 +348,18 @@ impl CsrMatrix {
             });
         }
         let mut out = vec![0.0; self.rows];
-        for (i, o) in out.iter_mut().enumerate() {
+        self.spmv_rows_into(v, 0..self.rows, &mut out);
+        Ok(out)
+    }
+
+    /// The row kernel behind [`CsrMatrix::spmv`]: write rows `rows` of `self * v` into
+    /// `out`, a buffer holding exactly those output entries. Shared by the serial and
+    /// thread-parallel entry points.
+    pub(crate) fn spmv_rows_into(&self, v: &[f64], rows: Range<usize>, out: &mut [f64]) {
+        for (o, i) in out.iter_mut().zip(rows) {
             let (cols, vals) = self.row(i);
             *o = cols.iter().zip(vals.iter()).map(|(&c, &w)| w * v[c]).sum();
         }
-        Ok(out)
     }
 
     /// Sparse-sparse product `self * other`, returning a sparse result.
@@ -328,14 +374,37 @@ impl CsrMatrix {
                 right: other.shape(),
             });
         }
+        let (row_lens, indices, values) = self.spmm_rows(other, 0..self.rows);
         let mut indptr = Vec::with_capacity(self.rows + 1);
+        indptr.push(0);
+        for len in row_lens {
+            indptr.push(indptr.last().unwrap() + len);
+        }
+        Ok(CsrMatrix {
+            rows: self.rows,
+            cols: other.cols,
+            indptr,
+            indices,
+            values,
+        })
+    }
+
+    /// The row kernel behind [`CsrMatrix::spmm`] (classic Gustavson's algorithm with a
+    /// dense per-row accumulator): compute rows `rows` of `self * other`, returning the
+    /// per-row entry counts plus the concatenated column indices and values. Shared by
+    /// the serial and thread-parallel entry points; each row is computed independently,
+    /// so per-range results concatenate into exactly the serial output.
+    pub(crate) fn spmm_rows(
+        &self,
+        other: &CsrMatrix,
+        rows: Range<usize>,
+    ) -> (Vec<usize>, Vec<usize>, Vec<f64>) {
+        let mut row_lens = Vec::with_capacity(rows.len());
         let mut indices: Vec<usize> = Vec::new();
         let mut values: Vec<f64> = Vec::new();
-        indptr.push(0);
-        // Dense accumulator per row (classic Gustavson's algorithm).
         let mut accumulator = vec![0.0f64; other.cols];
         let mut touched: Vec<usize> = Vec::new();
-        for i in 0..self.rows {
+        for i in rows {
             let (cols, vals) = self.row(i);
             for (&c, &w) in cols.iter().zip(vals.iter()) {
                 let (ocols, ovals) = other.row(c);
@@ -347,6 +416,7 @@ impl CsrMatrix {
                 }
             }
             touched.sort_unstable();
+            let before = indices.len();
             for &c in &touched {
                 let v = accumulator[c];
                 if v != 0.0 {
@@ -356,15 +426,9 @@ impl CsrMatrix {
                 accumulator[c] = 0.0;
             }
             touched.clear();
-            indptr.push(indices.len());
+            row_lens.push(indices.len() - before);
         }
-        Ok(CsrMatrix {
-            rows: self.rows,
-            cols: other.cols,
-            indptr,
-            indices,
-            values,
-        })
+        (row_lens, indices, values)
     }
 
     /// Element-wise sum `self + other` (sparse result).
@@ -415,10 +479,20 @@ impl CsrMatrix {
             .all(|(r, c, v)| (self.get(c, r) - v).abs() <= tol)
     }
 
+    /// Sum of the entries in each column, computed in one pass over the stored
+    /// entries (no transpose is materialized).
+    pub fn column_sums(&self) -> Vec<f64> {
+        let mut sums = vec![0.0; self.cols];
+        for (&c, &v) in self.indices.iter().zip(self.values.iter()) {
+            sums[c] += v;
+        }
+        sums
+    }
+
     /// Column-normalize: divide each entry by its column sum (used by random-walk
     /// methods, Eq. 3). Columns with zero sum are left as zero.
     pub fn column_normalized(&self) -> CsrMatrix {
-        let col_sums = self.transpose().row_sums();
+        let col_sums = self.column_sums();
         let mut out = self.clone();
         for i in 0..out.rows {
             let start = out.indptr[i];
@@ -644,6 +718,14 @@ mod tests {
     fn diagonal_extraction() {
         let m = CsrMatrix::from_triplets(3, 3, &[(0, 0, 2.0), (1, 2, 1.0), (2, 2, 5.0)]);
         assert_eq!(m.diagonal(), vec![2.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn column_sums_match_transpose_row_sums() {
+        let m =
+            CsrMatrix::from_triplets(3, 4, &[(0, 1, 2.0), (1, 1, 3.0), (2, 0, 1.0), (2, 3, -4.0)]);
+        assert_eq!(m.column_sums(), m.transpose().row_sums());
+        assert_eq!(m.column_sums(), vec![1.0, 5.0, 0.0, -4.0]);
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //! * [`CooMatrix`] — a triplet builder for assembling graphs edge by edge.
 //! * [`DenseMatrix`] — small row-major dense matrices for the `k x k` sketches and the
 //!   `n x k` belief matrices, with the three normalization variants from Section 4.3.
+//! * [`parallel`] — a thread-parallel execution layer for the hot kernels
+//!   (`spmm_dense`, `spmv`, Gustavson `spmm`), hand-rolled on [`std::thread::scope`]
+//!   with a [`Threads`] policy and bit-identical output to the serial paths.
 //! * [`spectral`] — power-iteration spectral-radius estimates used for LinBP's
 //!   convergence scaling (Eq. 2).
 //! * [`vector`] — plain-slice vector helpers.
@@ -25,6 +28,7 @@ pub mod coo;
 pub mod csr;
 pub mod dense;
 pub mod error;
+pub mod parallel;
 pub mod spectral;
 pub mod vector;
 
@@ -32,6 +36,7 @@ pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use error::{Result, SparseError};
+pub use parallel::{map_row_chunks, partition_rows, partition_rows_by_nnz, Threads};
 pub use spectral::{spectral_radius, spectral_radius_dense, spectral_radius_sparse};
 
 #[cfg(test)]
