@@ -1,7 +1,13 @@
 //! Bench: compatibility estimators on a fixed sparsely labeled graph
 //! (the per-method costs behind Fig. 6f and Fig. 6k).
+//!
+//! Each estimator is measured twice: standalone (summarizing the graph itself, the
+//! pre-context behavior) and against a shared, pre-warmed `EstimationContext` — the
+//! difference is the summarization cost the cache removes from every cell after the
+//! first. A final section records the serial-vs-parallel cost of the summarization
+//! itself (`summarize_with` at 1/2/4 threads; bit-identical output).
 
-use fg_bench::run_bench;
+use fg_bench::{run_bench, warm_context_for};
 use fg_core::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -33,6 +39,34 @@ fn main() {
         ),
     ];
     for (label, est) in &estimators {
-        run_bench(label, || est.estimate(&graph, &seeds).expect("estimate"));
+        run_bench(&format!("{label}/standalone"), || {
+            est.estimate(&graph, &seeds).expect("estimate")
+        });
+    }
+
+    // The same estimators against one shared, pre-warmed summary cache: what a sweep
+    // cell pays per estimator once the graph has been summarized. The context is
+    // warmed from the measured estimators themselves, so the cached prefix always
+    // covers exactly what runs below.
+    println!("\n== estimators sharing one EstimationContext ==");
+    let ctx = EstimationContext::new(&graph, &seeds);
+    warm_context_for(&ctx, estimators.iter().map(|(_, e)| e.as_ref())).expect("warm");
+    for (label, est) in &estimators {
+        run_bench(&format!("{label}/shared_summary"), || {
+            est.estimate_with_context(&ctx).expect("estimate")
+        });
+    }
+    println!(
+        "(shared context summarized the graph {} time(s) across all cells)",
+        ctx.summary_computations()
+    );
+
+    // Serial vs parallel summarization: the O(m·k·lmax) step the context caches.
+    println!("\n== summarize serial vs parallel (lmax = 5, bit-identical) ==");
+    let config = SummaryConfig::with_max_length(5);
+    for threads in [Threads::Serial, Threads::Fixed(2), Threads::Fixed(4)] {
+        run_bench(&format!("summarize/threads={threads}"), || {
+            summarize_with(&graph, &seeds, &config, threads).expect("summary")
+        });
     }
 }

@@ -5,6 +5,12 @@
 //! All sweeps drive the estimation + propagation stages through `fg_core::Pipeline`,
 //! so any estimator × propagator combination can be measured; the propagation backend
 //! defaults to LinBP (the paper's setting) and can be swapped per sweep.
+//!
+//! Estimator cells that share a seeded graph also share one `EstimationContext`: the
+//! context is warmed to the largest summary any estimator in the set needs, so the
+//! `O(m·k·ℓmax)` summarization runs exactly once per (fraction, repetition) cell group
+//! no matter how many estimators are compared (the paper's "estimation is cheap
+//! preprocessing" claim, applied to the whole sweep).
 
 use crate::harness::ExperimentTable;
 use fg_core::prelude::*;
@@ -115,6 +121,35 @@ fn project_gold_for_heuristic(gold: &DenseMatrix) -> CompatibilityMatrix {
         .unwrap_or_else(|_| CompatibilityMatrix::uniform(k).expect("k > 0"))
 }
 
+/// Warm a shared estimation context to the largest summary any estimator in the set
+/// requires (per counting mode), so the whole comparison summarizes the graph exactly
+/// once per mode — shorter-prefix and other-variant requests then hit the cache.
+/// Takes the estimators that will actually run, so the warmed prefix can never drift
+/// from the measured set.
+pub fn warm_context_for<'e, I>(ctx: &EstimationContext<'_>, estimators: I) -> Result<()>
+where
+    I: IntoIterator<Item = &'e (dyn CompatibilityEstimator + 'e)>,
+{
+    // Index 0: plain paths, index 1: non-backtracking.
+    let mut max_length = [0usize; 2];
+    for estimator in estimators {
+        if let Some(config) = estimator.summary_requirements() {
+            let mode = usize::from(config.non_backtracking);
+            max_length[mode] = max_length[mode].max(config.max_length);
+        }
+    }
+    for (mode, &length) in max_length.iter().enumerate() {
+        if length > 0 {
+            ctx.warm(&SummaryConfig {
+                max_length: length,
+                non_backtracking: mode == 1,
+                variant: NormalizationVariant::default(),
+            })?;
+        }
+    }
+    Ok(())
+}
+
 /// One measured point of an estimator sweep.
 #[derive(Debug, Clone)]
 pub struct SweepOutcome {
@@ -173,9 +208,17 @@ pub fn accuracy_vs_sparsity_with(
         for rep in 0..repetitions.max(1) {
             let mut rng = StdRng::seed_from_u64(seed ^ ((fi as u64) << 32) ^ rep as u64);
             let seeds = labeling.stratified_sample(fraction, &mut rng);
+            // All estimators in this cell group share one cached graph summary
+            // (unless the backend ignores H, in which case estimation is skipped
+            // entirely and warming would be wasted work).
+            let ctx = EstimationContext::new(graph, &seeds);
+            if propagator.uses_compatibilities() {
+                warm_context_for(&ctx, estimators.iter().map(|(_, e)| e.as_ref()))?;
+            }
             for (kind, estimator) in &estimators {
                 let report = Pipeline::on(graph)
                     .seeds(&seeds)
+                    .context(&ctx)
                     .estimator(estimator)
                     .estimator_label(kind.name())
                     .propagator(propagator)
@@ -247,11 +290,12 @@ where
         .collect())
 }
 
-/// [`accuracy_vs_sparsity_with`] distributing the independent (fraction × repetition
-/// × estimator) sweep cells across worker threads. Every cell reseeds its RNG from
-/// its own indices — exactly as the serial loop does — so the returned outcomes are
-/// identical to the serial ones (in the same order); only the wall-clock timing
-/// fields can differ.
+/// [`accuracy_vs_sparsity_with`] distributing the independent (fraction × repetition)
+/// cell groups across worker threads. Each group runs its whole estimator comparison
+/// against one shared [`EstimationContext`] — the same summary-sharing the serial
+/// sweep does — and every group reseeds its RNG from its own indices, exactly as the
+/// serial loop does, so the returned outcomes are identical to the serial ones (in
+/// the same order); only the wall-clock timing fields can differ.
 #[allow(clippy::too_many_arguments)]
 pub fn accuracy_vs_sparsity_parallel(
     graph: &Graph,
@@ -276,44 +320,50 @@ pub fn accuracy_vs_sparsity_parallel(
     }
     let gold = measure_compatibilities(graph, labeling)?;
     let reps = repetitions.max(1);
-    // Cell layout mirrors the serial loop nesting: fraction, then repetition, then
-    // estimator kind.
-    let mut cells = Vec::with_capacity(fractions.len() * reps * kinds.len());
+    // Group layout mirrors the serial loop nesting: fraction, then repetition; the
+    // estimators of one group run together so they can share a summary.
+    let mut groups = Vec::with_capacity(fractions.len() * reps);
     for fi in 0..fractions.len() {
         for rep in 0..reps {
-            for &kind in kinds {
-                cells.push((fi, rep, kind));
-            }
+            groups.push((fi, rep));
         }
     }
-    run_cells_parallel(cells.len(), threads, |cell| {
-        let (fi, rep, kind) = cells[cell];
+    let per_group: Vec<Vec<SweepOutcome>> = run_cells_parallel(groups.len(), threads, |cell| {
+        let (fi, rep) = groups[cell];
         let fraction = fractions[fi];
         let mut rng = StdRng::seed_from_u64(seed ^ ((fi as u64) << 32) ^ rep as u64);
         let seeds = labeling.stratified_sample(fraction, &mut rng);
-        let (kind, estimator) = estimator_set(&[kind], labeling, &gold)
-            .pop()
-            .expect("one estimator kind");
-        let report = Pipeline::on(graph)
-            .seeds(&seeds)
-            .estimator(estimator)
-            .estimator_label(kind.name())
-            .propagator(propagator)
-            .run()?;
-        let l2_error = if propagator.uses_compatibilities() {
-            Some(report.estimated_h.frobenius_distance(&gold)?)
-        } else {
-            None
-        };
-        Ok(SweepOutcome {
-            fraction,
-            accuracy: report.accuracy(labeling, &seeds),
-            l2_error,
-            estimation_time: report.estimation_time,
-            estimator: report.estimator,
-            propagator: report.propagator,
-        })
-    })
+        let estimators = estimator_set(kinds, labeling, &gold);
+        let ctx = EstimationContext::new(graph, &seeds);
+        if propagator.uses_compatibilities() {
+            warm_context_for(&ctx, estimators.iter().map(|(_, e)| e.as_ref()))?;
+        }
+        let mut outcomes = Vec::with_capacity(estimators.len());
+        for (kind, estimator) in &estimators {
+            let report = Pipeline::on(graph)
+                .seeds(&seeds)
+                .context(&ctx)
+                .estimator(estimator)
+                .estimator_label(kind.name())
+                .propagator(propagator)
+                .run()?;
+            let l2_error = if propagator.uses_compatibilities() {
+                Some(report.estimated_h.frobenius_distance(&gold)?)
+            } else {
+                None
+            };
+            outcomes.push(SweepOutcome {
+                fraction,
+                accuracy: report.accuracy(labeling, &seeds),
+                l2_error,
+                estimation_time: report.estimation_time,
+                estimator: report.estimator,
+                propagator: report.propagator,
+            });
+        }
+        Ok(outcomes)
+    })?;
+    Ok(per_group.into_iter().flatten().collect())
 }
 
 /// Convenience wrapper returning only L2 errors (the Fig. 6e / Fig. 14 metric).
@@ -680,6 +730,29 @@ mod tests {
             Threads::Fixed(2)
         )
         .is_err());
+    }
+
+    #[test]
+    fn cell_group_with_mce_dce_dcer_summarizes_exactly_once() {
+        // Acceptance criterion: a sweep cell that evaluates MCE + DCE + DCEr on one
+        // seeded graph calls summarize exactly once (counter on the shared cache).
+        let cfg = GeneratorConfig::balanced(400, 10.0, 3, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(41);
+        let syn = generate(&cfg, &mut rng).unwrap();
+        let seeds = syn.labeling.stratified_sample(0.05, &mut rng);
+        let gold = measure_compatibilities(&syn.graph, &syn.labeling).unwrap();
+        let kinds = [EstimatorKind::Mce, EstimatorKind::Dce, EstimatorKind::Dcer];
+        let estimators = estimator_set(&kinds, &syn.labeling, &gold);
+
+        let ctx = EstimationContext::new(&syn.graph, &seeds);
+        warm_context_for(&ctx, estimators.iter().map(|(_, e)| e.as_ref())).unwrap();
+        for (_, estimator) in &estimators {
+            // Context-served estimates must equal the standalone ones bit-for-bit.
+            let cached = estimator.estimate_with_context(&ctx).unwrap();
+            let fresh = estimator.estimate(&syn.graph, &seeds).unwrap();
+            assert_eq!(cached.data(), fresh.data(), "{}", estimator.name());
+        }
+        assert_eq!(ctx.summary_computations(), 1);
     }
 
     #[test]

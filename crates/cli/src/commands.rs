@@ -4,14 +4,15 @@
 //! without spawning the binary. Errors are strings suitable for printing to stderr.
 //!
 //! Estimation (`--method`) and propagation (`--propagator` / `propagate --method`)
-//! backends are resolved by name: estimators locally, propagators through the
-//! `fg_propagation::registry`, so every `Propagator` in the workspace is reachable
-//! from the command line.
+//! backends are resolved by name through their registries (`fg_core`'s estimator
+//! registry and `fg_propagation::registry`), so every estimator and `Propagator` in
+//! the workspace is reachable from the command line — including fully parameterized
+//! estimator specs like `--method "DCEr(r=10,l=5,lambda=0.1)"`.
 
 use crate::args::ArgMap;
 use crate::matrix_io;
+use fg_core::estimator_by_name_with;
 use fg_core::prelude::*;
-use fg_core::DceConfig;
 use fg_datasets::{synthesize, DatasetId};
 use fg_propagation::{registry, PropagatorOptions};
 use rand::rngs::StdRng;
@@ -36,44 +37,35 @@ fn load_graph_and_labels(args: &ArgMap) -> Result<(Graph, SeedLabels, usize), St
     Ok((graph, seeds, k))
 }
 
-/// Build the estimator selected by `--method` (default `dcer`), together with a
-/// display label carrying the effective hyperparameters (e.g. `"DCEr(r=10)"`).
+/// Build the estimator selected by `--method` (default `dcer`) through the fg-core
+/// estimator registry, together with its display label (the estimator's own
+/// parameterized name, e.g. `"DCEr(r=10,l=5,lambda=10)"`).
+///
+/// `--method` accepts a plain registry name (`dcer`) or a fully parameterized spec
+/// (`"DCEr(r=10,l=5,lambda=0.1)"`); the `--lmax` / `--lambda` / `--restarts` /
+/// `--splits` / `--variant` / `--threads` options supply defaults that spec
+/// parameters override. `--threads` covers the estimation stage: the summarization
+/// kernels run in parallel with bit-identical output.
 fn build_estimator(args: &ArgMap) -> Result<(Box<dyn CompatibilityEstimator>, String), String> {
-    let method = args.get("method").unwrap_or("dcer").to_ascii_lowercase();
-    let lmax: usize = args.get_parsed_or("lmax", 5).map_err(err)?;
-    let lambda: f64 = args.get_parsed_or("lambda", 10.0).map_err(err)?;
-    let restarts: usize = args.get_parsed_or("restarts", 10).map_err(err)?;
-    let splits: usize = args.get_parsed_or("splits", 1).map_err(err)?;
-    let built: (Box<dyn CompatibilityEstimator>, String) = match method.as_str() {
-        "mce" => (
-            Box::new(MyopicCompatibilityEstimation::default()),
-            "MCE".to_string(),
-        ),
-        "lce" => (
-            Box::new(LinearCompatibilityEstimation::default()),
-            "LCE".to_string(),
-        ),
-        "dce" => (
-            Box::new(DistantCompatibilityEstimation::new(DceConfig::new(
-                lmax, lambda,
-            ))),
-            format!("DCE(lmax={lmax},lambda={lambda})"),
-        ),
-        "dcer" => (
-            Box::new(DceWithRestarts::new(DceConfig::new(lmax, lambda), restarts)),
-            format!("DCEr(r={restarts})"),
-        ),
-        "holdout" => (
-            Box::new(HoldoutEstimation::with_splits(splits)),
-            format!("Holdout(b={splits})"),
-        ),
-        other => {
-            return Err(format!(
-                "unknown estimation method '{other}' (expected mce, lce, dce, dcer, or holdout)"
-            ))
-        }
+    let method = args.get("method").unwrap_or("dcer");
+    let variant = match args.get_parsed::<usize>("variant").map_err(err)? {
+        Some(index) => Some(NormalizationVariant::from_index(index).ok_or_else(|| {
+            format!("option --variant has invalid value '{index}' (expected 1, 2, or 3)")
+        })?),
+        None => None,
     };
-    Ok(built)
+    let defaults = EstimatorOptions {
+        max_length: args.get_parsed("lmax").map_err(err)?,
+        lambda: args.get_parsed("lambda").map_err(err)?,
+        restarts: args.get_parsed("restarts").map_err(err)?,
+        splits: args.get_parsed("splits").map_err(err)?,
+        variant,
+        non_backtracking: None,
+        threads: args.get_parsed("threads").map_err(err)?,
+    };
+    let estimator = estimator_by_name_with(method, &defaults)?;
+    let label = estimator.name();
+    Ok((estimator, label))
 }
 
 /// Build the propagation backend selected by `option_name` (default `linbp`) through
@@ -234,13 +226,18 @@ pub fn cmd_classify(args: &ArgMap) -> CommandResult {
     let (graph, seeds, k) = load_graph_and_labels(args)?;
     let (estimator, label) = build_estimator(args)?;
     let propagator = build_propagator(args, "propagator")?;
-    let mut report = Pipeline::on(&graph)
+    let mut pipeline = Pipeline::on(&graph)
         .seeds(&seeds)
         .estimator(estimator)
         .estimator_label(label)
-        .propagator(propagator)
-        .run()
-        .map_err(err)?;
+        .propagator(propagator);
+    // --threads covers both stages: the propagator got it via build_propagator, and
+    // the estimation stage (summarize + optimize) takes it here. Bit-identical output
+    // at any thread count.
+    if let Some(threads) = args.get_parsed::<Threads>("threads").map_err(err)? {
+        pipeline = pipeline.estimation_threads(threads);
+    }
+    let mut report = pipeline.run().map_err(err)?;
     if let Some(out) = args.get("out") {
         matrix_io::write_predictions(Path::new(out), &report.outcome.predictions).map_err(err)?;
     }
@@ -292,8 +289,9 @@ pub fn usage() -> String {
         "             Prop-37|Pokec-Gender|Flickr)",
         "             [--scale X] [--seed S] --out-edges FILE --out-labels FILE",
         "  estimate   --edges FILE --nodes N --classes K --labels FILE",
-        "             [--method dcer|dce|mce|lce|holdout] [--lmax L] [--lambda X]",
-        "             [--restarts R] [--splits B] [--out H_FILE]",
+        "             [--method dcer|dce|mce|lce|holdout | 'DCEr(r=10,l=5,lambda=10)']",
+        "             [--lmax L] [--lambda X] [--restarts R] [--splits B]",
+        "             [--variant 1|2|3] [--threads N|auto] [--out H_FILE]",
         "  propagate  --edges FILE --nodes N --classes K --labels FILE",
         "             [--method linbp|bp|harmonic|rw] [--compat H_FILE]",
         "             [--iterations I] [--tolerance T] [--damping A] [--threads N|auto]",
@@ -302,6 +300,8 @@ pub fn usage() -> String {
         "  classify   --edges FILE --nodes N --classes K --labels FILE",
         "             [--method ...] [--propagator linbp|bp|harmonic|rw] [--threads N|auto]",
         "             [--truth FULL_LABELS] [--out PREDICTIONS] [--json]",
+        "             (--threads parallelizes estimation and propagation alike;",
+        "              output is bit-identical at any thread count)",
     ]
     .join("\n")
 }
@@ -391,8 +391,10 @@ mod tests {
         ]))
         .unwrap();
         assert!(report.contains("macro accuracy"));
-        assert!(report.contains("DCEr(r=10)"));
+        assert!(report.contains("DCEr(r=10,l=5,lambda=10)"));
         assert!(report.contains("\"propagator\":\"LinBP\""));
+        assert!(report.contains("\"summarize_seconds\":"));
+        assert!(report.contains("\"optimize_seconds\":"));
         assert!(predictions.exists());
         // Accuracy should be far above random on this strongly heterophilous graph.
         let accuracy: f64 = report
@@ -606,6 +608,30 @@ mod tests {
         }
         assert_eq!(predictions[0], predictions[1]);
         assert_eq!(predictions[0], predictions[2]);
+        // fg estimate honors --threads too, and writes the exact serial H file.
+        let mut estimates = Vec::new();
+        for threads in ["1", "4"] {
+            let out = dir.join(format!("h_{threads}.txt"));
+            cmd_estimate(&args(&[
+                "--edges",
+                edges.to_str().unwrap(),
+                "--nodes",
+                "300",
+                "--classes",
+                "3",
+                "--labels",
+                labels.to_str().unwrap(),
+                "--method",
+                "dcer",
+                "--threads",
+                threads,
+                "--out",
+                out.to_str().unwrap(),
+            ]))
+            .unwrap();
+            estimates.push(std::fs::read_to_string(&out).unwrap());
+        }
+        assert_eq!(estimates[0], estimates[1]);
         // Bogus thread specs are rejected with a helpful message.
         let bad = build_propagator(&args(&["--threads", "lots"]), "propagator")
             .map(|_| ())
@@ -675,7 +701,20 @@ mod tests {
             assert!(build_estimator(&args(&["--method", method])).is_ok());
         }
         let (_, label) = build_estimator(&args(&["--method", "dcer", "--restarts", "7"])).unwrap();
-        assert_eq!(label, "DCEr(r=7)");
+        assert_eq!(label, "DCEr(r=7,l=5,lambda=10)");
+        // Fully parameterized specs parse; spec keys beat the flag defaults.
+        let (_, label) = build_estimator(&args(&[
+            "--method",
+            "DCEr(r=3,l=2,lambda=0.5)",
+            "--restarts",
+            "7",
+        ]))
+        .unwrap();
+        assert_eq!(label, "DCEr(r=3,l=2,lambda=0.5)");
+        assert!(build_estimator(&args(&["--method", "dcer(r=oops)"])).is_err());
+        assert!(build_estimator(&args(&["--variant", "9"])).is_err());
+        let (_, label) = build_estimator(&args(&["--method", "mce", "--variant", "2"])).unwrap();
+        assert_eq!(label, "MCE(variant=2)");
         // Known propagator methods build through the registry.
         for method in ["linbp", "bp", "harmonic", "rw"] {
             assert!(build_propagator(&args(&["--method", method]), "method").is_ok());

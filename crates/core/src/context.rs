@@ -1,0 +1,284 @@
+//! Shared estimation state: the [`EstimationContext`] and its [`SummaryCache`].
+//!
+//! The paper's efficiency argument (Propositions 4.3–4.5) is that *every* estimator
+//! consumes the same factorized length-ℓ path statistics `P̂(ℓ)`, so compatibility
+//! estimation is a cheap preprocessing step on top of one `O(m·k·ℓmax)` graph
+//! summarization. This module makes that sharing explicit: an [`EstimationContext`]
+//! owns a `(graph, seeds)` pair plus a [`SummaryCache`] that computes the raw path
+//! counts **once** per counting mode and answers every subsequent request from the
+//! cached prefix:
+//!
+//! * counts are normalization-independent, so a cached summary serves *any*
+//!   [`NormalizationVariant`](crate::normalization::NormalizationVariant);
+//! * the recurrence of Algorithm 4.4 is prefix-stable, so a cached `ℓmax = 5` summary
+//!   answers any request with `max_length ≤ 5` bit-identically to a fresh
+//!   [`summarize`](crate::paths::summarize) call;
+//! * the `W·N(ℓ-1)` products run under the context's [`Threads`] policy through the
+//!   bit-identical parallel kernels of `fg_sparse`.
+//!
+//! Sweeps that evaluate several estimators (MCE, DCE, DCEr, …) on one seeded graph
+//! build a single context, optionally [`warm`](EstimationContext::warm) it to the
+//! largest required length, and hand it to every
+//! [`estimate_with_context`](crate::estimators::CompatibilityEstimator::estimate_with_context)
+//! call — the graph is then summarized exactly once, which
+//! [`summary_computations`](EstimationContext::summary_computations) lets tests
+//! assert.
+
+use crate::error::Result;
+use crate::paths::{
+    compute_path_counts, summary_from_counts, validate_summary_inputs, GraphSummary, SummaryConfig,
+};
+use fg_graph::{Graph, SeedLabels};
+use fg_sparse::{DenseMatrix, Threads};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Interior state guarded by the cache mutex: one cached count-prefix per counting
+/// mode plus the cached `W·X` product used by LCE.
+#[derive(Debug, Default)]
+struct CacheState {
+    /// Cached raw count matrices per counting mode, index 0 = plain paths,
+    /// index 1 = non-backtracking. Entry `i` of a vector holds `M(i+1)`.
+    counts: [Option<Vec<DenseMatrix>>; 2],
+    /// Cached `W · X` product (`n x k`), shared by both counting modes. Behind an
+    /// `Arc` so callers copy it *outside* the cache mutex — the `n x k` copy must not
+    /// serialize parallel sweep workers.
+    wx: Option<Arc<DenseMatrix>>,
+}
+
+/// Memoized factorized path statistics for one `(graph, seeds)` pair.
+///
+/// Thread-safe: requests are synchronized with a mutex, so a context can be shared
+/// across sweep workers. The cache stores only the variant-independent raw counts
+/// (`k x k` matrices, one per length) — normalization is applied per request, which is
+/// `O(k²·ℓmax)` and negligible.
+#[derive(Debug, Default)]
+pub struct SummaryCache {
+    state: Mutex<CacheState>,
+    computations: AtomicUsize,
+}
+
+impl SummaryCache {
+    fn mode_index(non_backtracking: bool) -> usize {
+        usize::from(non_backtracking)
+    }
+}
+
+/// A `(graph, seeds)` pair bundled with a [`SummaryCache`] and a [`Threads`] policy —
+/// the single source of path statistics for every estimator in a comparison run.
+///
+/// See the [module docs](self) for the caching contract. All cached artifacts are
+/// bit-identical to their uncached serial counterparts regardless of the thread
+/// policy.
+#[derive(Debug)]
+pub struct EstimationContext<'a> {
+    graph: &'a Graph,
+    seeds: &'a SeedLabels,
+    threads: Threads,
+    cache: SummaryCache,
+}
+
+impl<'a> EstimationContext<'a> {
+    /// Create a context over the given graph and seed labels (serial summarization).
+    pub fn new(graph: &'a Graph, seeds: &'a SeedLabels) -> Self {
+        EstimationContext {
+            graph,
+            seeds,
+            threads: Threads::Serial,
+            cache: SummaryCache::default(),
+        }
+    }
+
+    /// Set the [`Threads`] policy used for the summarization kernels. The parallel
+    /// kernels are bit-identical to the serial ones, so this only changes wall-clock
+    /// time, never a cached value.
+    pub fn threads(mut self, threads: Threads) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The graph this context summarizes.
+    pub fn graph(&self) -> &'a Graph {
+        self.graph
+    }
+
+    /// The observed seed labels.
+    pub fn seeds(&self) -> &'a SeedLabels {
+        self.seeds
+    }
+
+    /// The thread policy used for summarization kernels.
+    pub fn thread_policy(&self) -> Threads {
+        self.threads
+    }
+
+    /// How many times the underlying path counts were actually computed (cache
+    /// misses). A comparison run that shares one context across MCE + DCE + DCEr
+    /// should see exactly one computation per counting mode — tests assert this.
+    pub fn summary_computations(&self) -> usize {
+        self.cache.computations.load(Ordering::Relaxed)
+    }
+
+    /// The graph summary for `config`, served from the cache when a long-enough
+    /// prefix for the counting mode is already stored, computed (and cached)
+    /// otherwise.
+    ///
+    /// Bit-identical to a fresh [`summarize`](crate::paths::summarize) call with the
+    /// same configuration: counts are prefix-stable in `max_length` and independent of
+    /// the normalization variant.
+    pub fn summary(&self, config: &SummaryConfig) -> Result<GraphSummary> {
+        validate_summary_inputs(self.graph, self.seeds, config.max_length)?;
+        let mode = SummaryCache::mode_index(config.non_backtracking);
+        let mut state = self.cache.state.lock().expect("summary cache poisoned");
+        let cached_len = state.counts[mode].as_ref().map_or(0, |c| c.len());
+        if cached_len < config.max_length {
+            let counts = compute_path_counts(
+                self.graph,
+                self.seeds,
+                config.max_length,
+                config.non_backtracking,
+                self.threads,
+            )?;
+            self.cache.computations.fetch_add(1, Ordering::Relaxed);
+            state.counts[mode] = Some(counts);
+        }
+        let counts = state.counts[mode]
+            .as_ref()
+            .expect("counts cached above")
+            .iter()
+            .take(config.max_length)
+            .cloned()
+            .collect();
+        Ok(summary_from_counts(
+            counts,
+            self.seeds.k(),
+            config.non_backtracking,
+            config.variant,
+        ))
+    }
+
+    /// Precompute (and cache) the counts for `config` without building a summary.
+    /// Useful to front-load the expensive summarization before a timed or shared
+    /// section; subsequent [`summary`](Self::summary) calls with `max_length` up to
+    /// `config.max_length` are then cache hits.
+    pub fn warm(&self, config: &SummaryConfig) -> Result<()> {
+        self.summary(config).map(|_| ())
+    }
+
+    /// The cached `W · X` product (`n x k`, `X` the one-hot seed matrix) — the
+    /// statistic LCE's energy is built from. Computed once under the context's thread
+    /// policy (bit-identical to the serial product). Returned behind an `Arc` so
+    /// cache hits share the stored matrix instead of copying it; callers that need
+    /// ownership clone the matrix outside the cache lock.
+    pub fn wx(&self) -> Result<Arc<DenseMatrix>> {
+        let mut state = self.cache.state.lock().expect("summary cache poisoned");
+        if state.wx.is_none() {
+            let x = self.seeds.to_matrix();
+            state.wx = Some(Arc::new(
+                self.graph.adjacency().spmm_dense_with(&x, self.threads)?,
+            ));
+        }
+        Ok(Arc::clone(state.wx.as_ref().expect("wx cached above")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalization::NormalizationVariant;
+    use crate::paths::summarize;
+    use fg_graph::{generate, GeneratorConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn seeded_graph() -> (Graph, SeedLabels) {
+        let cfg = GeneratorConfig::balanced(400, 10.0, 3, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let syn = generate(&cfg, &mut rng).unwrap();
+        let seeds = syn.labeling.stratified_sample(0.1, &mut rng);
+        (syn.graph, seeds)
+    }
+
+    #[test]
+    fn cache_hits_share_one_computation() {
+        let (graph, seeds) = seeded_graph();
+        let ctx = EstimationContext::new(&graph, &seeds);
+        assert_eq!(ctx.summary_computations(), 0);
+        let five = ctx.summary(&SummaryConfig::with_max_length(5)).unwrap();
+        assert_eq!(ctx.summary_computations(), 1);
+        // Shorter prefixes and other variants are cache hits.
+        let three = ctx.summary(&SummaryConfig::with_max_length(3)).unwrap();
+        let mean_scaled = ctx
+            .summary(&SummaryConfig {
+                max_length: 5,
+                non_backtracking: true,
+                variant: NormalizationVariant::MeanScaled,
+            })
+            .unwrap();
+        assert_eq!(ctx.summary_computations(), 1);
+        assert_eq!(three.max_length(), 3);
+        assert_eq!(five.max_length(), 5);
+        assert_eq!(mean_scaled.max_length(), 5);
+        // The other counting mode is a separate computation.
+        ctx.warm(&SummaryConfig {
+            max_length: 5,
+            non_backtracking: false,
+            variant: NormalizationVariant::RowStochastic,
+        })
+        .unwrap();
+        assert_eq!(ctx.summary_computations(), 2);
+    }
+
+    #[test]
+    fn cached_prefix_is_bit_identical_to_fresh_summarize() {
+        let (graph, seeds) = seeded_graph();
+        let ctx = EstimationContext::new(&graph, &seeds);
+        ctx.warm(&SummaryConfig::with_max_length(5)).unwrap();
+        for len in 1..=5 {
+            let config = SummaryConfig::with_max_length(len);
+            let cached = ctx.summary(&config).unwrap();
+            let fresh = summarize(&graph, &seeds, &config).unwrap();
+            for l in 1..=len {
+                assert_eq!(
+                    cached.count(l).unwrap().data(),
+                    fresh.count(l).unwrap().data(),
+                    "counts diverge at length {l} (request {len})"
+                );
+                assert_eq!(
+                    cached.statistic(l).unwrap().data(),
+                    fresh.statistic(l).unwrap().data(),
+                    "statistics diverge at length {l} (request {len})"
+                );
+            }
+        }
+        assert_eq!(ctx.summary_computations(), 1);
+    }
+
+    #[test]
+    fn wx_is_cached_and_matches_serial_product() {
+        let (graph, seeds) = seeded_graph();
+        let ctx = EstimationContext::new(&graph, &seeds).threads(Threads::Fixed(4));
+        let expected = graph.adjacency().spmm_dense(&seeds.to_matrix()).unwrap();
+        assert_eq!(ctx.wx().unwrap().data(), expected.data());
+        assert_eq!(ctx.wx().unwrap().data(), expected.data());
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected() {
+        let (graph, seeds) = seeded_graph();
+        let ctx = EstimationContext::new(&graph, &seeds);
+        assert!(ctx.summary(&SummaryConfig::with_max_length(0)).is_err());
+        let wrong = SeedLabels::new(vec![Some(0), None], 2).unwrap();
+        let bad = EstimationContext::new(&graph, &wrong);
+        assert!(bad.summary(&SummaryConfig::default()).is_err());
+    }
+
+    #[test]
+    fn accessors_expose_configuration() {
+        let (graph, seeds) = seeded_graph();
+        let ctx = EstimationContext::new(&graph, &seeds).threads(Threads::Auto);
+        assert!(std::ptr::eq(ctx.graph(), &graph));
+        assert!(std::ptr::eq(ctx.seeds(), &seeds));
+        assert_eq!(ctx.thread_policy(), Threads::Auto);
+    }
+}

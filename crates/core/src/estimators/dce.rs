@@ -14,14 +14,15 @@
 //! of Proposition 4.7 — independent of the graph size.
 
 use super::CompatibilityEstimator;
+use crate::context::EstimationContext;
 use crate::energy::DceEnergy;
 use crate::error::{CoreError, Result};
 use crate::normalization::NormalizationVariant;
 use crate::optimize::{minimize, GradientDescentConfig};
 use crate::param::{free_to_matrix, uniform_start};
-use crate::paths::{summarize, GraphSummary, SummaryConfig};
+use crate::paths::{summarize_with, GraphSummary, SummaryConfig};
 use fg_graph::{Graph, SeedLabels};
-use fg_sparse::DenseMatrix;
+use fg_sparse::{DenseMatrix, Threads};
 
 /// Configuration shared by DCE and DCEr.
 #[derive(Debug, Clone)]
@@ -37,6 +38,8 @@ pub struct DceConfig {
     pub variant: NormalizationVariant,
     /// Optimizer settings.
     pub optimizer: GradientDescentConfig,
+    /// Thread policy for the summarization kernels (bit-identical at any count).
+    pub threads: Threads,
 }
 
 impl Default for DceConfig {
@@ -47,6 +50,7 @@ impl Default for DceConfig {
             non_backtracking: true,
             variant: NormalizationVariant::RowStochastic,
             optimizer: GradientDescentConfig::default(),
+            threads: Threads::Serial,
         }
     }
 }
@@ -68,6 +72,20 @@ impl DceConfig {
             non_backtracking: self.non_backtracking,
             variant: self.variant,
         }
+    }
+
+    /// The key-parameter fragment rendered into DCE/DCEr display names (e.g.
+    /// `l=5,lambda=10`); non-default counting mode and normalization variant are
+    /// appended so the registry can reconstruct the estimator from its name.
+    pub(crate) fn name_params(&self) -> String {
+        let mut params = format!("l={},lambda={}", self.max_length, self.lambda);
+        if !self.non_backtracking {
+            params.push_str(",nb=false");
+        }
+        if self.variant != NormalizationVariant::RowStochastic {
+            params.push_str(&format!(",variant={}", self.variant.index()));
+        }
+        params
     }
 }
 
@@ -126,23 +144,42 @@ impl DistantCompatibilityEstimation {
 
 impl CompatibilityEstimator for DistantCompatibilityEstimation {
     fn name(&self) -> String {
-        "DCE".to_string()
+        format!("DCE({})", self.config.name_params())
     }
 
     fn estimate(&self, graph: &Graph, seeds: &SeedLabels) -> Result<DenseMatrix> {
-        if seeds.num_labeled() == 0 {
-            return Err(CoreError::InvalidInput(
-                "DCE requires at least one labeled node".into(),
-            ));
-        }
-        let summary = summarize(graph, seeds, &self.config.summary_config())?;
+        super::require_labeled(seeds, "DCE")?;
+        let summary = summarize_with(
+            graph,
+            seeds,
+            &self.config.summary_config(),
+            self.config.threads,
+        )?;
         self.estimate_from_summary(&summary)
+    }
+
+    fn estimate_with_context(&self, ctx: &EstimationContext<'_>) -> Result<DenseMatrix> {
+        super::require_labeled(ctx.seeds(), "DCE")?;
+        let summary = ctx.summary(&self.config.summary_config())?;
+        self.estimate_from_summary(&summary)
+    }
+
+    fn summary_requirements(&self) -> Option<SummaryConfig> {
+        Some(self.config.summary_config())
+    }
+
+    fn with_threads(&self, threads: Threads) -> Box<dyn CompatibilityEstimator> {
+        Box::new(DistantCompatibilityEstimation::new(DceConfig {
+            threads,
+            ..self.config.clone()
+        }))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::paths::summarize;
     use fg_graph::{generate, GeneratorConfig};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -170,7 +207,17 @@ mod tests {
             err < 0.7 * uniform_err,
             "DCE error {err} vs uniform {uniform_err}"
         );
-        assert_eq!(est.name(), "DCE");
+        assert_eq!(est.name(), "DCE(l=5,lambda=10)");
+    }
+
+    #[test]
+    fn name_reflects_non_default_parameters() {
+        let est = DistantCompatibilityEstimation::new(DceConfig {
+            non_backtracking: false,
+            variant: NormalizationVariant::MeanScaled,
+            ..DceConfig::new(3, 0.5)
+        });
+        assert_eq!(est.name(), "DCE(l=3,lambda=0.5,nb=false,variant=3)");
     }
 
     #[test]

@@ -9,11 +9,12 @@
 
 use super::dce::{DceConfig, DistantCompatibilityEstimation};
 use super::CompatibilityEstimator;
+use crate::context::EstimationContext;
 use crate::error::{CoreError, Result};
 use crate::param::restart_points;
-use crate::paths::{summarize, GraphSummary};
+use crate::paths::{summarize_with, GraphSummary, SummaryConfig};
 use fg_graph::{Graph, SeedLabels};
-use fg_sparse::DenseMatrix;
+use fg_sparse::{DenseMatrix, Threads};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -80,23 +81,46 @@ impl DceWithRestarts {
 
 impl CompatibilityEstimator for DceWithRestarts {
     fn name(&self) -> String {
-        "DCEr".to_string()
+        format!("DCEr(r={},{})", self.restarts, self.config.name_params())
     }
 
     fn estimate(&self, graph: &Graph, seeds: &SeedLabels) -> Result<DenseMatrix> {
-        if seeds.num_labeled() == 0 {
-            return Err(CoreError::InvalidInput(
-                "DCEr requires at least one labeled node".into(),
-            ));
-        }
-        let summary = summarize(graph, seeds, &self.config.summary_config())?;
+        super::require_labeled(seeds, "DCEr")?;
+        let summary = summarize_with(
+            graph,
+            seeds,
+            &self.config.summary_config(),
+            self.config.threads,
+        )?;
         Ok(self.estimate_from_summary(&summary)?.0)
+    }
+
+    fn estimate_with_context(&self, ctx: &EstimationContext<'_>) -> Result<DenseMatrix> {
+        super::require_labeled(ctx.seeds(), "DCEr")?;
+        let summary = ctx.summary(&self.config.summary_config())?;
+        Ok(self.estimate_from_summary(&summary)?.0)
+    }
+
+    fn summary_requirements(&self) -> Option<SummaryConfig> {
+        Some(self.config.summary_config())
+    }
+
+    fn with_threads(&self, threads: Threads) -> Box<dyn CompatibilityEstimator> {
+        Box::new(DceWithRestarts {
+            config: DceConfig {
+                threads,
+                ..self.config.clone()
+            },
+            restarts: self.restarts,
+            seed: self.seed,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::paths::summarize;
     use fg_graph::{generate, GeneratorConfig};
 
     #[test]
@@ -141,7 +165,7 @@ mod tests {
             err < 0.5 * uniform_err,
             "DCEr error {err} vs uniform baseline {uniform_err}"
         );
-        assert_eq!(est.name(), "DCEr");
+        assert_eq!(est.name(), "DCEr(r=10,l=5,lambda=10)");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use super::CompatibilityEstimator;
 use crate::error::Result;
 use fg_graph::{measure_compatibilities, Graph, Labeling, SeedLabels};
-use fg_sparse::DenseMatrix;
+use fg_sparse::{DenseMatrix, Threads};
 
 /// The gold-standard "estimator": measures `H` from the full labeling.
 #[derive(Debug, Clone)]
@@ -35,6 +35,11 @@ impl CompatibilityEstimator for GoldStandard {
 
     fn estimate(&self, graph: &Graph, _seeds: &SeedLabels) -> Result<DenseMatrix> {
         Ok(measure_compatibilities(graph, &self.labeling)?)
+    }
+
+    fn with_threads(&self, _threads: Threads) -> Box<dyn CompatibilityEstimator> {
+        // The measurement is a single pass over the edge list; no parallel stage.
+        Box::new(self.clone())
     }
 }
 

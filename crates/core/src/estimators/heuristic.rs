@@ -9,7 +9,7 @@
 use super::CompatibilityEstimator;
 use crate::error::{CoreError, Result};
 use fg_graph::{two_value_heuristic, CompatibilityMatrix, Graph, SeedLabels};
-use fg_sparse::DenseMatrix;
+use fg_sparse::{DenseMatrix, Threads};
 
 /// The two-value (high / low) heuristic estimator.
 #[derive(Debug, Clone)]
@@ -40,6 +40,11 @@ impl CompatibilityEstimator for TwoValueHeuristic {
     fn estimate(&self, _graph: &Graph, _seeds: &SeedLabels) -> Result<DenseMatrix> {
         let h = two_value_heuristic(&self.gold, self.spread)?;
         Ok(h.into_dense())
+    }
+
+    fn with_threads(&self, _threads: Threads) -> Box<dyn CompatibilityEstimator> {
+        // Pure k x k arithmetic; no parallel stage.
+        Box::new(self.clone())
     }
 }
 

@@ -12,7 +12,7 @@ use crate::optimize::{nelder_mead, NelderMeadConfig};
 use crate::param::{free_to_matrix, uniform_start};
 use fg_graph::{Graph, SeedLabels};
 use fg_propagation::{holdout_accuracy, propagate, LinBpConfig};
-use fg_sparse::DenseMatrix;
+use fg_sparse::{DenseMatrix, Threads};
 
 /// Configuration for the Holdout estimator.
 #[derive(Debug, Clone)]
@@ -82,7 +82,7 @@ impl HoldoutEstimation {
 
 impl CompatibilityEstimator for HoldoutEstimation {
     fn name(&self) -> String {
-        "Holdout".to_string()
+        format!("Holdout(b={})", self.config.num_splits)
     }
 
     fn estimate(&self, graph: &Graph, seeds: &SeedLabels) -> Result<DenseMatrix> {
@@ -105,6 +105,20 @@ impl CompatibilityEstimator for HoldoutEstimation {
         )?;
         free_to_matrix(&outcome.x, k)
     }
+
+    fn with_threads(&self, threads: Threads) -> Box<dyn CompatibilityEstimator> {
+        // Every objective evaluation is a full propagation: route the policy into the
+        // inner LinBP config so those propagations use the parallel kernels.
+        Box::new(HoldoutEstimation {
+            config: HoldoutConfig {
+                propagation: LinBpConfig {
+                    threads,
+                    ..self.config.propagation.clone()
+                },
+                ..self.config.clone()
+            },
+        })
+    }
 }
 
 #[cfg(test)]
@@ -124,7 +138,8 @@ mod tests {
         let h = est.estimate(&syn.graph, &seeds).unwrap();
         // The estimate should capture that off-diagonal (0,1) dominates the diagonal.
         assert!(h.get(0, 1) > h.get(0, 0), "H = {h:?}");
-        assert_eq!(est.name(), "Holdout");
+        assert_eq!(est.name(), "Holdout(b=1)");
+        assert_eq!(HoldoutEstimation::with_splits(3).name(), "Holdout(b=3)");
     }
 
     #[test]

@@ -6,26 +6,25 @@
 //! graph out of the optimization, so each gradient evaluation costs `O(n k²)`.
 
 use super::CompatibilityEstimator;
+use crate::context::EstimationContext;
 use crate::energy::LceEnergy;
 use crate::error::{CoreError, Result};
 use crate::optimize::{minimize, GradientDescentConfig};
 use crate::param::{free_to_matrix, uniform_start};
 use fg_graph::{Graph, SeedLabels};
-use fg_sparse::DenseMatrix;
+use fg_sparse::{DenseMatrix, Threads};
 
 /// The LCE estimator.
 #[derive(Debug, Clone, Default)]
 pub struct LinearCompatibilityEstimation {
     /// Optimizer settings for the convex minimization.
     pub optimizer: GradientDescentConfig,
+    /// Thread policy for the `W·X` product (bit-identical at any count).
+    pub threads: Threads,
 }
 
-impl CompatibilityEstimator for LinearCompatibilityEstimation {
-    fn name(&self) -> String {
-        "LCE".to_string()
-    }
-
-    fn estimate(&self, graph: &Graph, seeds: &SeedLabels) -> Result<DenseMatrix> {
+impl LinearCompatibilityEstimation {
+    fn validate(&self, graph: &Graph, seeds: &SeedLabels) -> Result<()> {
         if seeds.n() != graph.num_nodes() {
             return Err(CoreError::InvalidInput(format!(
                 "seed labels cover {} nodes but graph has {}",
@@ -38,12 +37,44 @@ impl CompatibilityEstimator for LinearCompatibilityEstimation {
                 "LCE requires at least one labeled node".into(),
             ));
         }
-        let k = seeds.k();
-        let x = seeds.to_matrix();
-        let wx = graph.adjacency().spmm_dense(&x)?;
+        Ok(())
+    }
+
+    /// Run the convex minimization given the one-hot seed matrix `X` and the
+    /// precomputed product `W·X`.
+    fn estimate_from_wx(&self, x: DenseMatrix, wx: DenseMatrix, k: usize) -> Result<DenseMatrix> {
         let energy = LceEnergy::new(x, wx)?;
         let outcome = minimize(&energy, &uniform_start(k), &self.optimizer)?;
         free_to_matrix(&outcome.x, k)
+    }
+}
+
+impl CompatibilityEstimator for LinearCompatibilityEstimation {
+    fn name(&self) -> String {
+        "LCE".to_string()
+    }
+
+    fn estimate(&self, graph: &Graph, seeds: &SeedLabels) -> Result<DenseMatrix> {
+        self.validate(graph, seeds)?;
+        let x = seeds.to_matrix();
+        let wx = graph.adjacency().spmm_dense_with(&x, self.threads)?;
+        self.estimate_from_wx(x, wx, seeds.k())
+    }
+
+    fn estimate_with_context(&self, ctx: &EstimationContext<'_>) -> Result<DenseMatrix> {
+        self.validate(ctx.graph(), ctx.seeds())?;
+        let x = ctx.seeds().to_matrix();
+        // The copy out of the shared Arc happens here, outside the cache lock, only
+        // because the energy takes ownership of its statistics.
+        let wx = (*ctx.wx()?).clone();
+        self.estimate_from_wx(x, wx, ctx.seeds().k())
+    }
+
+    fn with_threads(&self, threads: Threads) -> Box<dyn CompatibilityEstimator> {
+        Box::new(LinearCompatibilityEstimation {
+            threads,
+            ..self.clone()
+        })
     }
 }
 

@@ -5,14 +5,15 @@
 //! minimizing the convex energy `||H − P̂||²` (Eq. 12) over the free parameters.
 
 use super::CompatibilityEstimator;
+use crate::context::EstimationContext;
 use crate::energy::MceEnergy;
-use crate::error::{CoreError, Result};
+use crate::error::Result;
 use crate::normalization::NormalizationVariant;
 use crate::optimize::{minimize, GradientDescentConfig};
 use crate::param::{free_to_matrix, uniform_start};
-use crate::paths::{summarize, SummaryConfig};
+use crate::paths::{summarize_with, SummaryConfig};
 use fg_graph::{Graph, SeedLabels};
-use fg_sparse::DenseMatrix;
+use fg_sparse::{DenseMatrix, Threads};
 
 /// The MCE estimator.
 #[derive(Debug, Clone)]
@@ -21,6 +22,8 @@ pub struct MyopicCompatibilityEstimation {
     pub variant: NormalizationVariant,
     /// Optimizer settings for the (convex) projection step.
     pub optimizer: GradientDescentConfig,
+    /// Thread policy for the summarization kernel (bit-identical at any count).
+    pub threads: Threads,
 }
 
 impl Default for MyopicCompatibilityEstimation {
@@ -28,6 +31,7 @@ impl Default for MyopicCompatibilityEstimation {
         MyopicCompatibilityEstimation {
             variant: NormalizationVariant::RowStochastic,
             optimizer: GradientDescentConfig::default(),
+            threads: Threads::Serial,
         }
     }
 }
@@ -48,29 +52,47 @@ impl MyopicCompatibilityEstimation {
         let outcome = minimize(&energy, &uniform_start(k), &self.optimizer)?;
         free_to_matrix(&outcome.x, k)
     }
+
+    /// The (length-1) summarization MCE consumes.
+    fn summary_config(&self) -> SummaryConfig {
+        SummaryConfig {
+            max_length: 1,
+            non_backtracking: true,
+            variant: self.variant,
+        }
+    }
 }
 
 impl CompatibilityEstimator for MyopicCompatibilityEstimation {
     fn name(&self) -> String {
-        "MCE".to_string()
+        if self.variant == NormalizationVariant::RowStochastic {
+            "MCE".to_string()
+        } else {
+            format!("MCE(variant={})", self.variant.index())
+        }
     }
 
     fn estimate(&self, graph: &Graph, seeds: &SeedLabels) -> Result<DenseMatrix> {
-        if seeds.num_labeled() == 0 {
-            return Err(CoreError::InvalidInput(
-                "MCE requires at least one labeled node".into(),
-            ));
-        }
-        let summary = summarize(
-            graph,
-            seeds,
-            &SummaryConfig {
-                max_length: 1,
-                non_backtracking: true,
-                variant: self.variant,
-            },
-        )?;
+        super::require_labeled(seeds, "MCE")?;
+        let summary = summarize_with(graph, seeds, &self.summary_config(), self.threads)?;
         self.estimate_from_statistics(summary.statistic(1).expect("length 1 requested"))
+    }
+
+    fn estimate_with_context(&self, ctx: &EstimationContext<'_>) -> Result<DenseMatrix> {
+        super::require_labeled(ctx.seeds(), "MCE")?;
+        let summary = ctx.summary(&self.summary_config())?;
+        self.estimate_from_statistics(summary.statistic(1).expect("length 1 requested"))
+    }
+
+    fn summary_requirements(&self) -> Option<SummaryConfig> {
+        Some(self.summary_config())
+    }
+
+    fn with_threads(&self, threads: Threads) -> Box<dyn CompatibilityEstimator> {
+        Box::new(MyopicCompatibilityEstimation {
+            threads,
+            ..self.clone()
+        })
     }
 }
 

@@ -21,10 +21,24 @@ pub mod heuristic;
 pub mod holdout;
 pub mod lce;
 pub mod mce;
+pub mod registry;
 
-use crate::error::Result;
+use crate::context::EstimationContext;
+use crate::error::{CoreError, Result};
+use crate::paths::SummaryConfig;
 use fg_graph::{Graph, SeedLabels};
-use fg_sparse::DenseMatrix;
+use fg_sparse::{DenseMatrix, Threads};
+
+/// Shared guard for the statistics-based estimators: with zero labeled nodes there
+/// are no path endpoints to count, so estimation cannot start.
+pub(crate) fn require_labeled(seeds: &SeedLabels, estimator: &str) -> Result<()> {
+    if seeds.num_labeled() == 0 {
+        return Err(CoreError::InvalidInput(format!(
+            "{estimator} requires at least one labeled node"
+        )));
+    }
+    Ok(())
+}
 
 pub use dce::{DceConfig, DistantCompatibilityEstimation};
 pub use dcer::DceWithRestarts;
@@ -37,13 +51,38 @@ pub use mce::MyopicCompatibilityEstimation;
 /// A method that estimates the class-compatibility matrix `H` from a partially labeled
 /// graph.
 pub trait CompatibilityEstimator {
-    /// Short name used in experiment output (e.g. `"DCEr"`). Owned so parameterized
-    /// names like `"DCEr(r=10)"` can be built dynamically.
+    /// Display name used in experiment output, carrying the estimator's key
+    /// parameters (e.g. `"DCEr(r=10,l=5,lambda=10)"`). Owned so the parameters can be
+    /// rendered dynamically; the estimator registry
+    /// ([`registry::estimator_by_name`]) parses these names back into estimators.
     fn name(&self) -> String;
 
     /// Estimate the `k x k` compatibility matrix from the graph and the observed seed
     /// labels.
     fn estimate(&self, graph: &Graph, seeds: &SeedLabels) -> Result<DenseMatrix>;
+
+    /// Estimate from a shared [`EstimationContext`], pulling any path statistics from
+    /// its cache instead of re-summarizing the graph. Bit-identical to
+    /// [`estimate`](Self::estimate) on the context's `(graph, seeds)` pair. The
+    /// default delegates to `estimate`; estimators that consume factorized statistics
+    /// (MCE, DCE, DCEr, LCE) override it.
+    fn estimate_with_context(&self, ctx: &EstimationContext<'_>) -> Result<DenseMatrix> {
+        self.estimate(ctx.graph(), ctx.seeds())
+    }
+
+    /// The graph summarization this estimator needs, if any. Pipelines use it to warm
+    /// a shared context up front and to time the summarize stage separately from the
+    /// optimization stage; `None` means the estimator consumes no factorized summary.
+    fn summary_requirements(&self) -> Option<SummaryConfig> {
+        None
+    }
+
+    /// Return a copy of this estimator with its [`Threads`] policy replaced (trait
+    /// parity with `Propagator::with_threads`). The parallel kernels are bit-identical
+    /// to the serial ones, so the returned estimator produces exactly the same `H`,
+    /// only faster on multi-core hardware. Estimators without a parallel stage return
+    /// an unchanged copy.
+    fn with_threads(&self, threads: Threads) -> Box<dyn CompatibilityEstimator>;
 }
 
 /// Blanket implementation so shared references can be used wherever an estimator is
@@ -56,6 +95,18 @@ impl<E: CompatibilityEstimator + ?Sized> CompatibilityEstimator for &E {
     fn estimate(&self, graph: &Graph, seeds: &SeedLabels) -> Result<DenseMatrix> {
         (**self).estimate(graph, seeds)
     }
+
+    fn estimate_with_context(&self, ctx: &EstimationContext<'_>) -> Result<DenseMatrix> {
+        (**self).estimate_with_context(ctx)
+    }
+
+    fn summary_requirements(&self) -> Option<SummaryConfig> {
+        (**self).summary_requirements()
+    }
+
+    fn with_threads(&self, threads: Threads) -> Box<dyn CompatibilityEstimator> {
+        (**self).with_threads(threads)
+    }
 }
 
 /// Blanket implementation so `Box<dyn CompatibilityEstimator>` can be used wherever an
@@ -67,6 +118,18 @@ impl CompatibilityEstimator for Box<dyn CompatibilityEstimator + '_> {
 
     fn estimate(&self, graph: &Graph, seeds: &SeedLabels) -> Result<DenseMatrix> {
         (**self).estimate(graph, seeds)
+    }
+
+    fn estimate_with_context(&self, ctx: &EstimationContext<'_>) -> Result<DenseMatrix> {
+        (**self).estimate_with_context(ctx)
+    }
+
+    fn summary_requirements(&self) -> Option<SummaryConfig> {
+        (**self).summary_requirements()
+    }
+
+    fn with_threads(&self, threads: Threads) -> Box<dyn CompatibilityEstimator> {
+        (**self).with_threads(threads)
     }
 }
 

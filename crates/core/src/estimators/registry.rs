@@ -1,0 +1,368 @@
+//! By-name lookup of compatibility estimators, for CLIs, benchmarks, and config
+//! files — the estimation-side mirror of `fg_propagation::registry`.
+//!
+//! Estimators are addressed by a canonical lowercase name (`"dcer"`) or by a
+//! parameterized spec string in exactly the format [`CompatibilityEstimator::name`]
+//! renders, e.g. `"DCEr(r=10,l=5,lambda=0.1)"` — so every name an estimator prints
+//! can be parsed back into an equivalent estimator (the round-trip property the
+//! registry tests assert). Generic defaults are supplied through
+//! [`EstimatorOptions`]; keys in the spec string override them.
+
+use super::{
+    CompatibilityEstimator, DceConfig, DceWithRestarts, DistantCompatibilityEstimation,
+    HoldoutEstimation, LinearCompatibilityEstimation, MyopicCompatibilityEstimation,
+};
+use crate::normalization::NormalizationVariant;
+use fg_sparse::Threads;
+
+/// Estimator-agnostic configuration overrides understood by every registered
+/// estimator. `None` fields keep the estimator's default; keys an estimator has no
+/// use for are ignored (mirroring how `PropagatorOptions.damping` is ignored by
+/// backends without such a knob).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EstimatorOptions {
+    /// Maximum path length `ℓmax` (key `l` / `lmax`; DCE and DCEr).
+    pub max_length: Option<usize>,
+    /// Distance scaling factor `λ` (key `lambda`; DCE and DCEr).
+    pub lambda: Option<f64>,
+    /// Number of optimization restarts (key `r` / `restarts`; DCEr).
+    pub restarts: Option<usize>,
+    /// Number of seed/holdout splits (key `b` / `splits`; Holdout).
+    pub splits: Option<usize>,
+    /// Normalization variant, by paper number 1–3 (key `variant`; MCE, DCE, DCEr).
+    pub variant: Option<NormalizationVariant>,
+    /// Counting mode: non-backtracking paths when `true` (key `nb`; DCE, DCEr).
+    pub non_backtracking: Option<bool>,
+    /// Thread policy for the estimator's parallel kernels. All estimators honor it;
+    /// results are bit-identical at any thread count.
+    pub threads: Option<Threads>,
+}
+
+/// A registry entry: canonical name, accepted aliases, a one-line description, and a
+/// constructor honoring [`EstimatorOptions`].
+pub struct EstimatorSpec {
+    /// Canonical lowercase name (what [`canonical_estimator_name`] returns).
+    pub name: &'static str,
+    /// Alternative names accepted by [`estimator_by_name`].
+    pub aliases: &'static [&'static str],
+    /// One-line human-readable description for help output.
+    pub description: &'static str,
+    /// Build the estimator with the given option overrides.
+    pub build: fn(&EstimatorOptions) -> Box<dyn CompatibilityEstimator>,
+}
+
+fn dce_config(opts: &EstimatorOptions) -> DceConfig {
+    let mut config = DceConfig::default();
+    if let Some(l) = opts.max_length {
+        config.max_length = l;
+    }
+    if let Some(lambda) = opts.lambda {
+        config.lambda = lambda;
+    }
+    if let Some(variant) = opts.variant {
+        config.variant = variant;
+    }
+    if let Some(nb) = opts.non_backtracking {
+        config.non_backtracking = nb;
+    }
+    if let Some(threads) = opts.threads {
+        config.threads = threads;
+    }
+    config
+}
+
+fn build_mce(opts: &EstimatorOptions) -> Box<dyn CompatibilityEstimator> {
+    let mut est = MyopicCompatibilityEstimation::default();
+    if let Some(variant) = opts.variant {
+        est.variant = variant;
+    }
+    if let Some(threads) = opts.threads {
+        est.threads = threads;
+    }
+    Box::new(est)
+}
+
+fn build_lce(opts: &EstimatorOptions) -> Box<dyn CompatibilityEstimator> {
+    let mut est = LinearCompatibilityEstimation::default();
+    if let Some(threads) = opts.threads {
+        est.threads = threads;
+    }
+    Box::new(est)
+}
+
+fn build_dce(opts: &EstimatorOptions) -> Box<dyn CompatibilityEstimator> {
+    Box::new(DistantCompatibilityEstimation::new(dce_config(opts)))
+}
+
+fn build_dcer(opts: &EstimatorOptions) -> Box<dyn CompatibilityEstimator> {
+    let mut est = DceWithRestarts::new(dce_config(opts), DceWithRestarts::default().restarts);
+    if let Some(r) = opts.restarts {
+        est.restarts = r;
+    }
+    Box::new(est)
+}
+
+fn build_holdout(opts: &EstimatorOptions) -> Box<dyn CompatibilityEstimator> {
+    let est = HoldoutEstimation::with_splits(opts.splits.unwrap_or(1));
+    match opts.threads {
+        Some(threads) => est.with_threads(threads),
+        None => Box::new(est),
+    }
+}
+
+const REGISTRY: &[EstimatorSpec] = &[
+    EstimatorSpec {
+        name: "mce",
+        aliases: &["myopic"],
+        description: "Myopic Compatibility Estimation from neighbor statistics (Eq. 12)",
+        build: build_mce,
+    },
+    EstimatorSpec {
+        name: "lce",
+        aliases: &["linear"],
+        description: "Linear Compatibility Estimation from the LinBP energy (Eq. 8)",
+        build: build_lce,
+    },
+    EstimatorSpec {
+        name: "dce",
+        aliases: &["distant"],
+        description: "Distant Compatibility Estimation from length-l path statistics (Eq. 13/14)",
+        build: build_dce,
+    },
+    EstimatorSpec {
+        name: "dcer",
+        aliases: &["dce-r", "dce_r"],
+        description: "DCE with restarts — the paper's recommended method (Section 4.8)",
+        build: build_dcer,
+    },
+    EstimatorSpec {
+        name: "holdout",
+        aliases: &["hold-out"],
+        description: "Holdout baseline: black-box propagation inside a search (Eq. 7)",
+        build: build_holdout,
+    },
+];
+
+/// All registered estimator specs, in registration order.
+pub fn estimator_registry() -> &'static [EstimatorSpec] {
+    REGISTRY
+}
+
+/// The canonical names of all registered estimators (the values `fg --method`
+/// accepts, with or without a parameter list).
+pub fn estimator_names() -> Vec<&'static str> {
+    REGISTRY.iter().map(|s| s.name).collect()
+}
+
+/// Resolve a (case-insensitive) base name or alias — without any parameter list — to
+/// its canonical estimator name.
+pub fn canonical_estimator_name(name: &str) -> Option<&'static str> {
+    let lowered = name.trim().to_ascii_lowercase();
+    REGISTRY
+        .iter()
+        .find(|s| s.name == lowered || s.aliases.contains(&lowered.as_str()))
+        .map(|s| s.name)
+}
+
+/// Split a spec string into its base name and the overrides encoded in its
+/// parenthesized key/value list.
+fn parse_spec(spec: &str) -> Result<(String, EstimatorOptions), String> {
+    let spec = spec.trim();
+    let (base, args) = match spec.split_once('(') {
+        None => (spec, None),
+        Some((base, rest)) => {
+            let inner = rest.strip_suffix(')').ok_or_else(|| {
+                format!("estimator spec '{spec}' has an unterminated parameter list")
+            })?;
+            (base, Some(inner))
+        }
+    };
+    let mut opts = EstimatorOptions::default();
+    if let Some(args) = args {
+        for pair in args.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = pair.split_once('=').ok_or_else(|| {
+                format!("estimator parameter '{pair}' is not of the form key=value")
+            })?;
+            let key = key.trim().to_ascii_lowercase();
+            let value = value.trim();
+            let bad =
+                |what: &str| format!("estimator parameter '{key}' has invalid {what} '{value}'");
+            match key.as_str() {
+                "r" | "restarts" => opts.restarts = Some(value.parse().map_err(|_| bad("count"))?),
+                "l" | "lmax" => opts.max_length = Some(value.parse().map_err(|_| bad("length"))?),
+                "lambda" => opts.lambda = Some(value.parse().map_err(|_| bad("number"))?),
+                "b" | "splits" => opts.splits = Some(value.parse().map_err(|_| bad("count"))?),
+                "variant" => {
+                    let index: usize = value.parse().map_err(|_| bad("variant number"))?;
+                    opts.variant = Some(
+                        NormalizationVariant::from_index(index)
+                            .ok_or_else(|| bad("variant number (expected 1-3)"))?,
+                    );
+                }
+                "nb" => {
+                    opts.non_backtracking = Some(match value.to_ascii_lowercase().as_str() {
+                        "true" | "1" => true,
+                        "false" | "0" => false,
+                        _ => return Err(bad("flag (expected true or false)")),
+                    });
+                }
+                other => {
+                    return Err(format!(
+                        "unknown estimator parameter '{other}' \
+                         (expected r, l, lambda, b, variant, or nb)"
+                    ))
+                }
+            }
+        }
+    }
+    Ok((base.to_string(), opts))
+}
+
+/// Merge spec-string overrides (`overlay`) on top of caller defaults (`base`).
+fn merge(base: &EstimatorOptions, overlay: &EstimatorOptions) -> EstimatorOptions {
+    EstimatorOptions {
+        max_length: overlay.max_length.or(base.max_length),
+        lambda: overlay.lambda.or(base.lambda),
+        restarts: overlay.restarts.or(base.restarts),
+        splits: overlay.splits.or(base.splits),
+        variant: overlay.variant.or(base.variant),
+        non_backtracking: overlay.non_backtracking.or(base.non_backtracking),
+        threads: overlay.threads.or(base.threads),
+    }
+}
+
+/// Build an estimator from a name or parameterized spec string (e.g. `"mce"`,
+/// `"DCEr(r=10,l=5,lambda=0.1)"`) with default options.
+pub fn estimator_by_name(spec: &str) -> Result<Box<dyn CompatibilityEstimator>, String> {
+    estimator_by_name_with(spec, &EstimatorOptions::default())
+}
+
+/// Build an estimator from a name or parameterized spec string, applying the given
+/// option defaults; keys in the spec string take precedence.
+pub fn estimator_by_name_with(
+    spec: &str,
+    defaults: &EstimatorOptions,
+) -> Result<Box<dyn CompatibilityEstimator>, String> {
+    let (base, overrides) = parse_spec(spec)?;
+    let canonical = canonical_estimator_name(&base).ok_or_else(|| {
+        format!(
+            "unknown estimation method '{base}' (expected one of {})",
+            estimator_names().join(", ")
+        )
+    })?;
+    let spec = REGISTRY
+        .iter()
+        .find(|s| s.name == canonical)
+        .expect("canonical name is registered");
+    Ok((spec.build)(&merge(defaults, &overrides)))
+}
+
+/// Build every registered estimator with default configuration, in registration
+/// order.
+pub fn all_estimators() -> Vec<Box<dyn CompatibilityEstimator>> {
+    let opts = EstimatorOptions::default();
+    REGISTRY.iter().map(|s| (s.build)(&opts)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_names_and_aliases_resolve() {
+        assert_eq!(canonical_estimator_name("dcer"), Some("dcer"));
+        assert_eq!(canonical_estimator_name("DCEr"), Some("dcer"));
+        assert_eq!(canonical_estimator_name("dce-r"), Some("dcer"));
+        assert_eq!(canonical_estimator_name("Myopic"), Some("mce"));
+        assert_eq!(canonical_estimator_name("hold-out"), Some("holdout"));
+        assert_eq!(canonical_estimator_name("nope"), None);
+    }
+
+    #[test]
+    fn every_built_in_name_round_trips() {
+        // The acceptance property: parse every built-in estimator's rendered name and
+        // get an estimator with the identical name back.
+        for est in all_estimators() {
+            let name = est.name();
+            let rebuilt = estimator_by_name(&name)
+                .unwrap_or_else(|e| panic!("name '{name}' failed to parse: {e}"));
+            assert_eq!(rebuilt.name(), name, "round trip changed the estimator");
+        }
+    }
+
+    #[test]
+    fn parameterized_specs_apply_overrides() {
+        let est = estimator_by_name("DCEr(r=7,l=3,lambda=0.1)").unwrap();
+        assert_eq!(est.name(), "DCEr(r=7,l=3,lambda=0.1)");
+        let est = estimator_by_name("dce(l=2,lambda=5,nb=false,variant=3)").unwrap();
+        assert_eq!(est.name(), "DCE(l=2,lambda=5,nb=false,variant=3)");
+        let est = estimator_by_name("holdout(b=4)").unwrap();
+        assert_eq!(est.name(), "Holdout(b=4)");
+        let est = estimator_by_name("MCE(variant=2)").unwrap();
+        assert_eq!(est.name(), "MCE(variant=2)");
+    }
+
+    #[test]
+    fn defaults_fill_unspecified_keys() {
+        let defaults = EstimatorOptions {
+            restarts: Some(5),
+            lambda: Some(2.0),
+            ..EstimatorOptions::default()
+        };
+        // Spec keys win over defaults; unset keys fall back to the defaults.
+        let est = estimator_by_name_with("dcer(r=9)", &defaults).unwrap();
+        assert_eq!(est.name(), "DCEr(r=9,l=5,lambda=2)");
+    }
+
+    #[test]
+    fn threads_option_reaches_estimators() {
+        // A threaded build must produce exactly the serial estimate (the parallel
+        // kernels are bit-identical).
+        use fg_graph::{generate, GeneratorConfig};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let cfg = GeneratorConfig::balanced(300, 8.0, 3, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let syn = generate(&cfg, &mut rng).unwrap();
+        let seeds = syn.labeling.stratified_sample(0.1, &mut rng);
+        let threaded_opts = EstimatorOptions {
+            threads: Some(Threads::Fixed(4)),
+            ..EstimatorOptions::default()
+        };
+        for name in estimator_names() {
+            let serial = estimator_by_name(name)
+                .unwrap()
+                .estimate(&syn.graph, &seeds)
+                .unwrap();
+            let threaded = estimator_by_name_with(name, &threaded_opts)
+                .unwrap()
+                .estimate(&syn.graph, &seeds)
+                .unwrap();
+            assert_eq!(serial.data(), threaded.data(), "{name}");
+        }
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_with_messages() {
+        let err_of = |spec: &str| estimator_by_name(spec).map(|_| ()).unwrap_err();
+        assert!(err_of("nope").contains("unknown"));
+        assert!(err_of("dcer(r=10").contains("unterminated"));
+        assert!(err_of("dcer(r)").contains("key=value"));
+        assert!(err_of("dcer(r=many)").contains("invalid"));
+        assert!(err_of("dcer(frobs=1)").contains("unknown estimator parameter"));
+        assert!(err_of("mce(variant=9)").contains("variant"));
+        assert!(err_of("dce(nb=perhaps)").contains("flag"));
+    }
+
+    #[test]
+    fn registry_lists_all_estimators() {
+        assert_eq!(
+            estimator_names(),
+            vec!["mce", "lce", "dce", "dcer", "holdout"]
+        );
+        assert_eq!(all_estimators().len(), estimator_registry().len());
+        for spec in estimator_registry() {
+            assert!(!spec.description.is_empty());
+        }
+    }
+}

@@ -47,14 +47,36 @@
 //!
 //! let accuracy = report.accuracy(&synthetic.labeling, &seeds);
 //! assert!(accuracy > 1.0 / 3.0); // well above random
-//! assert_eq!(report.estimator, "DCEr");
+//! assert_eq!(report.estimator, "DCEr(r=10,l=5,lambda=10)");
 //! assert_eq!(report.propagator, "LinBP");
 //! println!("{}", report.to_json()); // timings, iterations, convergence, ε
+//! ```
+//!
+//! Comparison runs that evaluate several estimators on one seeded graph share a
+//! cached [`EstimationContext`], so the `O(m·k·ℓmax)` summarization runs once:
+//!
+//! ```no_run
+//! # use fg_core::prelude::*;
+//! # fn demo(graph: &Graph, seeds: &SeedLabels) -> fg_core::Result<()> {
+//! let ctx = EstimationContext::new(graph, seeds).threads(Threads::Auto);
+//! ctx.warm(&SummaryConfig::with_max_length(5))?; // one O(m·k·lmax) summarization
+//! for estimator in [estimator_by_name("mce").unwrap(), estimator_by_name("dcer").unwrap()] {
+//!     let report = Pipeline::on(graph)
+//!         .seeds(seeds)
+//!         .context(&ctx)
+//!         .estimator(estimator)
+//!         .run()?;
+//!     println!("{}", report.to_json()); // summarize vs optimize timings split out
+//! }
+//! assert_eq!(ctx.summary_computations(), 1); // every request came from the cache
+//! # Ok(())
+//! # }
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod context;
 pub mod energy;
 pub mod error;
 pub mod estimators;
@@ -64,8 +86,13 @@ pub mod param;
 pub mod paths;
 pub mod pipeline;
 
+pub use context::{EstimationContext, SummaryCache};
 pub use energy::{distance_weights, DceEnergy, EnergyFunction, LceEnergy, MceEnergy};
 pub use error::{CoreError, Result};
+pub use estimators::registry::{
+    estimator_by_name, estimator_by_name_with, estimator_names, estimator_registry,
+    EstimatorOptions, EstimatorSpec,
+};
 pub use estimators::{
     CompatibilityEstimator, DceConfig, DceWithRestarts, DistantCompatibilityEstimation,
     GoldStandard, HoldoutConfig, HoldoutEstimation, LinearCompatibilityEstimation,
@@ -81,21 +108,23 @@ pub use param::{
     project_gradient, restart_points, uniform_start,
 };
 pub use paths::{
-    explicit_adjacency_power, explicit_nb_power, statistics_from_explicit, summarize, GraphSummary,
-    SummaryConfig,
+    explicit_adjacency_power, explicit_nb_power, statistics_from_explicit, summarize,
+    summarize_with, GraphSummary, SummaryConfig,
 };
 pub use pipeline::{Pipeline, PipelineReport};
 
 /// Convenience re-exports covering the most common end-to-end usage: graph generation,
 /// estimation, propagation, and metrics.
 pub mod prelude {
+    pub use crate::context::EstimationContext;
+    pub use crate::estimators::registry::{estimator_by_name, EstimatorOptions};
     pub use crate::estimators::{
         CompatibilityEstimator, DceConfig, DceWithRestarts, DistantCompatibilityEstimation,
         GoldStandard, HoldoutEstimation, LinearCompatibilityEstimation,
         MyopicCompatibilityEstimation, TwoValueHeuristic,
     };
     pub use crate::normalization::NormalizationVariant;
-    pub use crate::paths::{summarize, SummaryConfig};
+    pub use crate::paths::{summarize, summarize_with, SummaryConfig};
     pub use crate::pipeline::{Pipeline, PipelineReport};
     pub use fg_graph::{
         generate, measure_compatibilities, CompatibilityMatrix, DegreeDistribution,

@@ -29,6 +29,26 @@ impl NormalizationVariant {
         ]
     }
 
+    /// The paper's 1-based variant number (1 = row-stochastic, 2 = symmetric,
+    /// 3 = mean-scaled) — the value estimator names and the registry use.
+    pub fn index(&self) -> usize {
+        match self {
+            NormalizationVariant::RowStochastic => 1,
+            NormalizationVariant::Symmetric => 2,
+            NormalizationVariant::MeanScaled => 3,
+        }
+    }
+
+    /// Resolve a 1-based paper variant number back to a variant.
+    pub fn from_index(index: usize) -> Option<NormalizationVariant> {
+        match index {
+            1 => Some(NormalizationVariant::RowStochastic),
+            2 => Some(NormalizationVariant::Symmetric),
+            3 => Some(NormalizationVariant::MeanScaled),
+            _ => None,
+        }
+    }
+
     /// Short human-readable name ("variant 1" … "variant 3").
     pub fn name(&self) -> &'static str {
         match self {
@@ -62,6 +82,18 @@ mod tests {
             NormalizationVariant::default(),
             NormalizationVariant::RowStochastic
         );
+    }
+
+    #[test]
+    fn indices_round_trip() {
+        for variant in NormalizationVariant::all() {
+            assert_eq!(
+                NormalizationVariant::from_index(variant.index()),
+                Some(variant)
+            );
+        }
+        assert_eq!(NormalizationVariant::from_index(0), None);
+        assert_eq!(NormalizationVariant::from_index(4), None);
     }
 
     #[test]

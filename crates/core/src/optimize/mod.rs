@@ -6,7 +6,7 @@
 //! * [`gradient_descent`] — gradient descent with Armijo backtracking line search over
 //!   the free-parameter vector; the doubly-stochastic constraints are enforced by the
 //!   parameterization itself (Eq. 6), so the problem is unconstrained.
-//! * [`nelder_mead`] — a derivative-free downhill-simplex search used when only
+//! * [`mod@nelder_mead`] — a derivative-free downhill-simplex search used when only
 //!   function evaluations are available (the Holdout baseline runs label propagation as
 //!   a black-box subroutine).
 

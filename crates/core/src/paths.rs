@@ -17,7 +17,7 @@
 use crate::error::{CoreError, Result};
 use crate::normalization::NormalizationVariant;
 use fg_graph::{Graph, SeedLabels};
-use fg_sparse::{CsrMatrix, DenseMatrix};
+use fg_sparse::{CsrMatrix, DenseMatrix, Threads};
 
 /// Configuration for graph summarization.
 #[derive(Debug, Clone)]
@@ -117,14 +117,13 @@ fn seed_transpose_product(seeds: &SeedLabels, n_matrix: &DenseMatrix) -> DenseMa
     m
 }
 
-/// Compute the factorized graph summary (Algorithm 4.4).
-///
-/// Runs in `O(m · k · ℓmax)` time and `O(n · k)` memory.
-pub fn summarize(
+/// Validate the `(graph, seeds, max_length)` triple shared by every summarization
+/// entry point (factorized, cached, explicit).
+pub(crate) fn validate_summary_inputs(
     graph: &Graph,
     seeds: &SeedLabels,
-    config: &SummaryConfig,
-) -> Result<GraphSummary> {
+    max_length: usize,
+) -> Result<()> {
     if seeds.n() != graph.num_nodes() {
         return Err(CoreError::InvalidInput(format!(
             "seed labels cover {} nodes but graph has {}",
@@ -132,60 +131,122 @@ pub fn summarize(
             graph.num_nodes()
         )));
     }
-    if config.max_length == 0 {
+    if max_length == 0 {
         return Err(CoreError::InvalidConfig(
             "max_length must be at least 1".into(),
         ));
     }
+    Ok(())
+}
+
+/// Compute the raw class-to-class path-count matrices `M(1)..M(ℓmax)` (the
+/// normalization-independent half of Algorithm 4.4) under a [`Threads`] policy.
+///
+/// The `W · N(ℓ-1)` products run through the parallel sparse kernels, which are
+/// bit-identical to the serial ones at any thread count; everything else
+/// (`seed_transpose_product`, the degree corrections) is element-wise and stays on the
+/// calling thread, so the returned counts never depend on `threads`.
+pub(crate) fn compute_path_counts(
+    graph: &Graph,
+    seeds: &SeedLabels,
+    max_length: usize,
+    non_backtracking: bool,
+    threads: Threads,
+) -> Result<Vec<DenseMatrix>> {
+    validate_summary_inputs(graph, seeds, max_length)?;
     let w = graph.adjacency();
     let degrees = graph.degrees();
     let degrees_minus_one: Vec<f64> = degrees.iter().map(|&d| d - 1.0).collect();
     let x = seeds.to_matrix();
-    let k = seeds.k();
 
-    let mut counts = Vec::with_capacity(config.max_length);
-    let mut statistics = Vec::with_capacity(config.max_length);
+    let mut counts = Vec::with_capacity(max_length);
 
     // N(1) = W X for both counting modes.
-    let n1 = w.spmm_dense(&x)?;
+    let n1 = w.spmm_dense_with(&x, threads)?;
     counts.push(seed_transpose_product(seeds, &n1));
 
     let mut prev2; // N(ℓ-2)
     let mut prev1; // N(ℓ-1)
-    if config.max_length >= 2 {
-        let n2 = if config.non_backtracking {
+    if max_length >= 2 {
+        let n2 = if non_backtracking {
             // N(2) = W N(1) - D X
-            w.spmm_dense(&n1)?.sub(&scale_rows(&x, &degrees))?
+            w.spmm_dense_with(&n1, threads)?
+                .sub(&scale_rows(&x, &degrees))?
         } else {
-            w.spmm_dense(&n1)?
+            w.spmm_dense_with(&n1, threads)?
         };
         counts.push(seed_transpose_product(seeds, &n2));
         prev2 = n1;
         prev1 = n2;
-        for _ell in 3..=config.max_length {
-            let next = if config.non_backtracking {
+        for _ell in 3..=max_length {
+            let next = if non_backtracking {
                 // N(ℓ) = W N(ℓ-1) - (D - I) N(ℓ-2)
-                w.spmm_dense(&prev1)?
+                w.spmm_dense_with(&prev1, threads)?
                     .sub(&scale_rows(&prev2, &degrees_minus_one))?
             } else {
-                w.spmm_dense(&prev1)?
+                w.spmm_dense_with(&prev1, threads)?
             };
             counts.push(seed_transpose_product(seeds, &next));
             prev2 = prev1;
             prev1 = next;
         }
     }
+    Ok(counts)
+}
 
-    for m in &counts {
-        statistics.push(config.variant.apply(m));
-    }
-
-    Ok(GraphSummary {
+/// Assemble a [`GraphSummary`] from precomputed raw counts by applying a
+/// normalization variant (counts are variant-independent, so the same counts can back
+/// any variant).
+pub(crate) fn summary_from_counts(
+    counts: Vec<DenseMatrix>,
+    k: usize,
+    non_backtracking: bool,
+    variant: NormalizationVariant,
+) -> GraphSummary {
+    let statistics = counts.iter().map(|m| variant.apply(m)).collect();
+    GraphSummary {
         counts,
         statistics,
         k,
-        non_backtracking: config.non_backtracking,
-    })
+        non_backtracking,
+    }
+}
+
+/// Compute the factorized graph summary (Algorithm 4.4).
+///
+/// Runs in `O(m · k · ℓmax)` time and `O(n · k)` memory. Serial; see
+/// [`summarize_with`] for the thread-parallel variant (bit-identical output).
+pub fn summarize(
+    graph: &Graph,
+    seeds: &SeedLabels,
+    config: &SummaryConfig,
+) -> Result<GraphSummary> {
+    summarize_with(graph, seeds, config, Threads::Serial)
+}
+
+/// [`summarize`] under a [`Threads`] policy: the `W · N(ℓ-1)` products run through the
+/// parallel sparse kernels of `fg_sparse`. The parallel kernels are bit-identical to
+/// the serial ones, so the returned summary never depends on the thread count — only
+/// the wall-clock time does.
+pub fn summarize_with(
+    graph: &Graph,
+    seeds: &SeedLabels,
+    config: &SummaryConfig,
+    threads: Threads,
+) -> Result<GraphSummary> {
+    let counts = compute_path_counts(
+        graph,
+        seeds,
+        config.max_length,
+        config.non_backtracking,
+        threads,
+    )?;
+    Ok(summary_from_counts(
+        counts,
+        seeds.k(),
+        config.non_backtracking,
+        config.variant,
+    ))
 }
 
 /// Explicitly compute the (dense-growing) adjacency power `Wℓ` with sparse-sparse

@@ -17,6 +17,7 @@
 //! propagation outcome (iterations, convergence, `ε`), and accuracy hooks — the
 //! numbers reported in the paper's scalability experiments.
 
+use crate::context::EstimationContext;
 use crate::error::{CoreError, Result};
 use crate::estimators::CompatibilityEstimator;
 use fg_graph::{Graph, Labeling, SeedLabels};
@@ -39,8 +40,15 @@ pub struct PipelineReport {
     /// convergence, `ε`).
     pub outcome: PropagationOutcome,
     /// Wall-clock time of the estimation stage (zero when `H` was supplied
-    /// explicitly or not needed).
+    /// explicitly or not needed). Always `summarize_time + optimize_time`.
     pub estimation_time: Duration,
+    /// Wall-clock time of the graph-summarization half of the estimation stage (the
+    /// `O(m·k·ℓmax)` part; zero for estimators that consume no factorized summary and
+    /// near-zero when a shared [`EstimationContext`] already holds the summary).
+    pub summarize_time: Duration,
+    /// Wall-clock time of the optimization half of the estimation stage (the
+    /// graph-size-independent `k x k` fit).
+    pub optimize_time: Duration,
     /// Wall-clock time of the propagation stage.
     pub propagation_time: Duration,
     /// Macro-averaged accuracy on the unlabeled nodes (unweighted mean of per-class
@@ -96,6 +104,14 @@ impl PipelineReport {
             format!(
                 "\"estimation_seconds\":{:.6}",
                 self.estimation_time.as_secs_f64()
+            ),
+            format!(
+                "\"summarize_seconds\":{:.6}",
+                self.summarize_time.as_secs_f64()
+            ),
+            format!(
+                "\"optimize_seconds\":{:.6}",
+                self.optimize_time.as_secs_f64()
             ),
             format!(
                 "\"propagation_seconds\":{:.6}",
@@ -163,6 +179,8 @@ pub struct Pipeline<'a> {
     propagator: Option<Box<dyn Propagator + 'a>>,
     propagator_label: Option<String>,
     threads: Option<Threads>,
+    estimation_threads: Option<Threads>,
+    context: Option<&'a EstimationContext<'a>>,
 }
 
 impl<'a> Pipeline<'a> {
@@ -176,6 +194,8 @@ impl<'a> Pipeline<'a> {
             propagator: None,
             propagator_label: None,
             threads: None,
+            estimation_threads: None,
+            context: None,
         }
     }
 
@@ -228,6 +248,27 @@ impl<'a> Pipeline<'a> {
         self
     }
 
+    /// Run the estimation stage under the given [`Threads`] policy (summarization and
+    /// any other parallel estimator kernels). Like [`Pipeline::threads`] this changes
+    /// wall-clock time only — the parallel kernels are bit-identical to the serial
+    /// ones. When a shared [`context`](Pipeline::context) is supplied, the context's
+    /// own policy governs the cached summarization and this setting only reaches the
+    /// estimator's non-context kernels.
+    pub fn estimation_threads(mut self, threads: Threads) -> Self {
+        self.estimation_threads = Some(threads);
+        self
+    }
+
+    /// Run the estimation stage against a shared [`EstimationContext`], so several
+    /// pipelines (e.g. one per estimator in a comparison run) reuse one cached graph
+    /// summary instead of each re-summarizing the graph. The context must have been
+    /// built on exactly the graph and seed labels this pipeline runs on;
+    /// [`run`](Pipeline::run) rejects a mismatched context.
+    pub fn context(mut self, context: &'a EstimationContext<'a>) -> Self {
+        self.context = Some(context);
+        self
+    }
+
     /// Execute both stages and collect the [`PipelineReport`].
     pub fn run(self) -> Result<PipelineReport> {
         let seeds = self.seeds.ok_or_else(|| {
@@ -241,12 +282,24 @@ impl<'a> Pipeline<'a> {
             propagator = propagator.with_threads(threads);
         }
 
+        if let Some(ctx) = self.context {
+            // A shared context must describe exactly this pipeline's inputs, or its
+            // cached statistics would silently belong to a different problem.
+            if !std::ptr::eq(ctx.graph(), self.graph) || !std::ptr::eq(ctx.seeds(), seeds) {
+                return Err(CoreError::InvalidConfig(
+                    "the shared EstimationContext was built on a different graph or \
+                     seed set than this pipeline runs on"
+                        .into(),
+                ));
+            }
+        }
+
         // An uninformative placeholder for backends that never read H.
         let uniform_h = |seeds: &SeedLabels| {
             let k = seeds.k();
             DenseMatrix::filled(k, k, 1.0 / k as f64)
         };
-        let (h, estimator_name, estimation_time) = match self.h_source {
+        let (h, estimator_name, summarize_time, optimize_time) = match self.h_source {
             Some(HSource::Estimate(estimator)) if !propagator.uses_compatibilities() => {
                 // The backend ignores H: skip the (potentially expensive) estimation
                 // stage entirely and record that it was skipped.
@@ -255,22 +308,50 @@ impl<'a> Pipeline<'a> {
                     uniform_h(seeds),
                     format!("{base} (skipped)"),
                     Duration::ZERO,
+                    Duration::ZERO,
                 )
             }
             Some(HSource::Estimate(estimator)) => {
-                let start = Instant::now();
-                let h = estimator.estimate(self.graph, seeds)?;
+                let estimator: Box<dyn CompatibilityEstimator + 'a> = match self.estimation_threads
+                {
+                    Some(threads) => estimator.with_threads(threads),
+                    None => estimator,
+                };
                 let name = self.estimator_label.unwrap_or_else(|| estimator.name());
-                (h, name, start.elapsed())
+                // Every estimation run goes through a context (a private one when no
+                // shared context was supplied) so the summarize and optimize halves
+                // can be timed separately: warming the summary first makes the
+                // subsequent estimate call a pure optimization.
+                let owned_ctx;
+                let ctx: &EstimationContext<'_> = match self.context {
+                    Some(shared) => shared,
+                    None => {
+                        let threads = self.estimation_threads.unwrap_or(Threads::Serial);
+                        owned_ctx = EstimationContext::new(self.graph, seeds).threads(threads);
+                        &owned_ctx
+                    }
+                };
+                let summarize_start = Instant::now();
+                if let Some(summary_config) = estimator.summary_requirements() {
+                    ctx.warm(&summary_config)?;
+                }
+                let summarize_time = summarize_start.elapsed();
+                let optimize_start = Instant::now();
+                let h = estimator.estimate_with_context(ctx)?;
+                (h, name, summarize_time, optimize_start.elapsed())
             }
             Some(HSource::Explicit(name, h)) => (
                 h.clone(),
                 self.estimator_label.unwrap_or(name),
                 Duration::ZERO,
+                Duration::ZERO,
             ),
-            None if !propagator.uses_compatibilities() => {
-                (uniform_h(seeds), "none".to_string(), Duration::ZERO)
-            }
+            None if !propagator.uses_compatibilities() => (
+                uniform_h(seeds),
+                "none".to_string(),
+                Duration::ZERO,
+                Duration::ZERO,
+            ),
             None => {
                 return Err(CoreError::InvalidConfig(format!(
                     "propagation backend '{}' needs a compatibility matrix: call \
@@ -291,7 +372,9 @@ impl<'a> Pipeline<'a> {
             propagator: self.propagator_label.unwrap_or_else(|| propagator.name()),
             estimated_h: h,
             outcome,
-            estimation_time,
+            estimation_time: summarize_time + optimize_time,
+            summarize_time,
+            optimize_time,
             propagation_time,
             accuracy: None,
             micro_accuracy: None,
@@ -333,9 +416,16 @@ mod tests {
             "DCEr accuracy {dcer_acc} should be close to GS accuracy {gs_acc}"
         );
         assert!(gs_acc > 0.5, "GS accuracy {gs_acc} suspiciously low");
-        assert_eq!(dcer_result.estimator, "DCEr");
+        assert_eq!(dcer_result.estimator, "DCEr(r=10,l=5,lambda=10)");
         assert_eq!(dcer_result.propagator, "LinBP");
         assert!(dcer_result.estimation_time > Duration::ZERO);
+        // The estimation stage is split into its summarize and optimize halves.
+        assert!(dcer_result.summarize_time > Duration::ZERO);
+        assert!(dcer_result.optimize_time > Duration::ZERO);
+        assert_eq!(
+            dcer_result.estimation_time,
+            dcer_result.summarize_time + dcer_result.optimize_time
+        );
     }
 
     #[test]
@@ -409,7 +499,7 @@ mod tests {
             .propagator(RandomWalk::default())
             .run()
             .unwrap();
-        assert_eq!(report.estimator, "DCEr (skipped)");
+        assert_eq!(report.estimator, "DCEr(r=10,l=5,lambda=10) (skipped)");
         assert_eq!(report.estimation_time, Duration::ZERO);
         // The label override is preserved in the skip notice.
         let labeled = Pipeline::on(&syn.graph)
@@ -514,6 +604,100 @@ mod tests {
         assert!(json.contains("\"iterations\":"));
         assert!(json.contains("\"converged\":"));
         assert!(json.contains("\"epsilon\":"));
+    }
+
+    #[test]
+    fn shared_context_summarizes_once_across_estimators() {
+        use crate::estimators::{DistantCompatibilityEstimation, MyopicCompatibilityEstimation};
+
+        let cfg = GeneratorConfig::balanced(400, 10.0, 3, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(61);
+        let syn = generate(&cfg, &mut rng).unwrap();
+        let seeds = syn.labeling.stratified_sample(0.1, &mut rng);
+
+        let ctx = EstimationContext::new(&syn.graph, &seeds);
+        // Warm to the largest requirement so the MCE / DCE / DCEr comparison run
+        // shares exactly one summarization.
+        ctx.warm(&DceWithRestarts::default().config.summary_config())
+            .unwrap();
+
+        let estimators: Vec<Box<dyn CompatibilityEstimator>> = vec![
+            Box::new(MyopicCompatibilityEstimation::default()),
+            Box::new(DistantCompatibilityEstimation::default()),
+            Box::new(DceWithRestarts::default()),
+        ];
+        for estimator in estimators {
+            let fresh = estimator.estimate(&syn.graph, &seeds).unwrap();
+            let report = Pipeline::on(&syn.graph)
+                .seeds(&seeds)
+                .context(&ctx)
+                .estimator(estimator)
+                .run()
+                .unwrap();
+            // Context-served estimates are bit-identical to fresh ones.
+            assert_eq!(
+                report.estimated_h.data(),
+                fresh.data(),
+                "{}",
+                report.estimator
+            );
+        }
+        assert_eq!(ctx.summary_computations(), 1);
+    }
+
+    #[test]
+    fn mismatched_context_is_rejected() {
+        let cfg = GeneratorConfig::balanced(200, 8.0, 3, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(63);
+        let syn = generate(&cfg, &mut rng).unwrap();
+        let seeds = syn.labeling.stratified_sample(0.2, &mut rng);
+        let other_seeds = syn.labeling.stratified_sample(0.2, &mut rng);
+        let ctx = EstimationContext::new(&syn.graph, &other_seeds);
+        let result = Pipeline::on(&syn.graph)
+            .seeds(&seeds)
+            .context(&ctx)
+            .estimator(DceWithRestarts::default())
+            .run();
+        assert!(matches!(result, Err(CoreError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn estimation_threads_do_not_change_results() {
+        let cfg = GeneratorConfig::balanced(300, 8.0, 3, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(65);
+        let syn = generate(&cfg, &mut rng).unwrap();
+        let seeds = syn.labeling.stratified_sample(0.1, &mut rng);
+        let serial = Pipeline::on(&syn.graph)
+            .seeds(&seeds)
+            .estimator(DceWithRestarts::default())
+            .run()
+            .unwrap();
+        let threaded = Pipeline::on(&syn.graph)
+            .seeds(&seeds)
+            .estimator(DceWithRestarts::default())
+            .estimation_threads(Threads::Fixed(4))
+            .run()
+            .unwrap();
+        assert_eq!(serial.estimated_h.data(), threaded.estimated_h.data());
+        assert_eq!(serial.outcome.predictions, threaded.outcome.predictions);
+        assert_eq!(serial.estimator, threaded.estimator);
+    }
+
+    #[test]
+    fn json_reports_summarize_and_optimize_timings() {
+        let cfg = GeneratorConfig::balanced(200, 8.0, 3, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(67);
+        let syn = generate(&cfg, &mut rng).unwrap();
+        let seeds = syn.labeling.stratified_sample(0.2, &mut rng);
+        let report = Pipeline::on(&syn.graph)
+            .seeds(&seeds)
+            .estimator(DceWithRestarts::default())
+            .run()
+            .unwrap();
+        let json = report.to_json();
+        assert!(json.contains("\"summarize_seconds\":"));
+        assert!(json.contains("\"optimize_seconds\":"));
+        assert!(json.contains("\"estimation_seconds\":"));
     }
 
     #[test]

@@ -13,8 +13,17 @@ use std::fs;
 use std::io::Write;
 use std::path::Path;
 
+/// Build a [`GraphError::Parse`] for the given zero-based line index.
+fn parse_err(line_no: usize, message: impl Into<String>) -> GraphError {
+    GraphError::Parse {
+        line: line_no + 1,
+        message: message.into(),
+    }
+}
+
 /// Parse an edge list from a string. Node ids must be zero-based integers smaller than
-/// `n`. Lines that are empty or start with `#` are ignored.
+/// `n`. Lines that are empty or start with `#` are ignored. Malformed lines are
+/// reported as [`GraphError::Parse`] with their 1-based line number.
 pub fn parse_edge_list(n: usize, content: &str) -> Result<Graph> {
     let mut edges: Vec<(usize, usize, f64)> = Vec::new();
     for (line_no, line) in content.lines().enumerate() {
@@ -26,12 +35,9 @@ pub fn parse_edge_list(n: usize, content: &str) -> Result<Graph> {
         let u = parse_node(parts.next(), line_no)?;
         let v = parse_node(parts.next(), line_no)?;
         let w = match parts.next() {
-            Some(tok) => tok.parse::<f64>().map_err(|_| {
-                GraphError::InvalidGeneratorConfig(format!(
-                    "line {}: invalid edge weight '{tok}'",
-                    line_no + 1
-                ))
-            })?,
+            Some(tok) => tok
+                .parse::<f64>()
+                .map_err(|_| parse_err(line_no, format!("invalid edge weight '{tok}'")))?,
             None => 1.0,
         };
         edges.push((u, v, w));
@@ -40,12 +46,9 @@ pub fn parse_edge_list(n: usize, content: &str) -> Result<Graph> {
 }
 
 fn parse_node(token: Option<&str>, line_no: usize) -> Result<usize> {
-    let tok = token.ok_or_else(|| {
-        GraphError::InvalidGeneratorConfig(format!("line {}: missing node id", line_no + 1))
-    })?;
-    tok.parse::<usize>().map_err(|_| {
-        GraphError::InvalidGeneratorConfig(format!("line {}: invalid node id '{tok}'", line_no + 1))
-    })
+    let tok = token.ok_or_else(|| parse_err(line_no, "missing node id"))?;
+    tok.parse::<usize>()
+        .map_err(|_| parse_err(line_no, format!("invalid node id '{tok}'")))
 }
 
 /// Serialize a graph as an edge list (each undirected edge once, `u<TAB>v<TAB>weight`).
@@ -58,7 +61,9 @@ pub fn format_edge_list(graph: &Graph) -> String {
     out
 }
 
-/// Parse a label file into a seed set over `n` nodes with `k` classes.
+/// Parse a label file into a seed set over `n` nodes with `k` classes. Malformed or
+/// out-of-range lines are reported as [`GraphError::Parse`] with their 1-based line
+/// number.
 pub fn parse_labels(n: usize, k: usize, content: &str) -> Result<SeedLabels> {
     let mut observed = vec![None; n];
     for (line_no, line) in content.lines().enumerate() {
@@ -70,13 +75,16 @@ pub fn parse_labels(n: usize, k: usize, content: &str) -> Result<SeedLabels> {
         let node = parse_node(parts.next(), line_no)?;
         let class = parse_node(parts.next(), line_no)?;
         if node >= n {
-            return Err(GraphError::NodeOutOfBounds { node, n });
+            return Err(parse_err(
+                line_no,
+                format!("node {node} out of bounds for graph with {n} nodes"),
+            ));
         }
         if class >= k {
-            return Err(GraphError::InvalidLabels(format!(
-                "line {}: class {class} out of range for k = {k}",
-                line_no + 1
-            )));
+            return Err(parse_err(
+                line_no,
+                format!("class {class} out of range for k = {k}"),
+            ));
         }
         observed[node] = Some(class);
     }
@@ -96,22 +104,22 @@ pub fn format_labels(labeling: &Labeling) -> String {
 /// Read a graph from an edge-list file.
 pub fn read_edge_list(path: &Path, n: usize) -> Result<Graph> {
     let content = fs::read_to_string(path)
-        .map_err(|e| GraphError::InvalidGeneratorConfig(format!("cannot read {path:?}: {e}")))?;
+        .map_err(|e| GraphError::Io(format!("cannot read {path:?}: {e}")))?;
     parse_edge_list(n, &content)
 }
 
 /// Write a graph to an edge-list file.
 pub fn write_edge_list(path: &Path, graph: &Graph) -> Result<()> {
     let mut file = fs::File::create(path)
-        .map_err(|e| GraphError::InvalidGeneratorConfig(format!("cannot create {path:?}: {e}")))?;
+        .map_err(|e| GraphError::Io(format!("cannot create {path:?}: {e}")))?;
     file.write_all(format_edge_list(graph).as_bytes())
-        .map_err(|e| GraphError::InvalidGeneratorConfig(format!("cannot write {path:?}: {e}")))
+        .map_err(|e| GraphError::Io(format!("cannot write {path:?}: {e}")))
 }
 
 /// Read a seed-label file.
 pub fn read_labels(path: &Path, n: usize, k: usize) -> Result<SeedLabels> {
     let content = fs::read_to_string(path)
-        .map_err(|e| GraphError::InvalidGeneratorConfig(format!("cannot read {path:?}: {e}")))?;
+        .map_err(|e| GraphError::Io(format!("cannot read {path:?}: {e}")))?;
     parse_labels(n, k, &content)
 }
 
@@ -142,6 +150,25 @@ mod tests {
         assert!(parse_edge_list(3, "0\tx\n").is_err());
         assert!(parse_edge_list(3, "0\t1\tabc\n").is_err());
         assert!(parse_edge_list(2, "0\t5\n").is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_the_line_number() {
+        // The comment and blank lines still count toward the reported line number.
+        let err = parse_edge_list(3, "# header\n0\t1\n\n0\tx\n").unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::Parse {
+                line: 4,
+                message: "invalid node id 'x'".into()
+            }
+        );
+        let err = parse_edge_list(3, "0\t1\t2.5\n1\t2\theavy\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }), "{err}");
+        let err = parse_labels(5, 2, "0\t1\n3\t9\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }), "{err}");
+        let err = parse_labels(2, 2, "5\t0\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }), "{err}");
     }
 
     #[test]
@@ -176,7 +203,11 @@ mod tests {
         write_edge_list(&path, &graph).unwrap();
         let read = read_edge_list(&path, 3).unwrap();
         assert_eq!(read.num_edges(), 2);
-        assert!(read_edge_list(Path::new("/nonexistent/file"), 3).is_err());
+        // Unreadable files surface as the dedicated Io variant.
+        let missing = read_edge_list(Path::new("/nonexistent/file"), 3).unwrap_err();
+        assert!(matches!(missing, GraphError::Io(_)), "{missing}");
+        let missing = read_labels(Path::new("/nonexistent/file"), 3, 2).unwrap_err();
+        assert!(matches!(missing, GraphError::Io(_)), "{missing}");
         fs::remove_dir_all(&dir).ok();
     }
 }

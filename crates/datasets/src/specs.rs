@@ -3,7 +3,7 @@
 //! We do not redistribute the original graphs. Instead, each dataset is described by its
 //! *published* statistics — node count, edge count, number of classes, class imbalance,
 //! and the full gold-standard compatibility matrix printed in Fig. 13 of the paper — and
-//! the substitute generator in [`crate::synthesize`] plants exactly those properties.
+//! the substitute generator in [`crate::synthesize()`] plants exactly those properties.
 //! This preserves everything the estimators can observe about a graph: `(W, X)` with the
 //! same size, degree profile, class priors, and compatibility structure.
 

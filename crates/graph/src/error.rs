@@ -18,6 +18,15 @@ pub enum GraphError {
         /// Number of nodes in the graph.
         n: usize,
     },
+    /// A text input (edge list / label file) failed to parse.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with the line.
+        message: String,
+    },
+    /// A file could not be read or written.
+    Io(String),
     /// Error bubbled up from the linear-algebra layer.
     Sparse(fg_sparse::SparseError),
 }
@@ -33,6 +42,10 @@ impl fmt::Display for GraphError {
             GraphError::NodeOutOfBounds { node, n } => {
                 write!(f, "node {node} out of bounds for graph with {n} nodes")
             }
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            GraphError::Io(msg) => write!(f, "io error: {msg}"),
             GraphError::Sparse(e) => write!(f, "linear algebra error: {e}"),
         }
     }
@@ -74,6 +87,17 @@ mod tests {
         assert!(GraphError::NodeOutOfBounds { node: 5, n: 3 }
             .to_string()
             .contains('5'));
+        let parse = GraphError::Parse {
+            line: 7,
+            message: "invalid node id 'x'".into(),
+        };
+        assert_eq!(
+            parse.to_string(),
+            "parse error at line 7: invalid node id 'x'"
+        );
+        assert!(GraphError::Io("cannot read file".into())
+            .to_string()
+            .starts_with("io error"));
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! Integration tests for the summary-centric estimation layer: the thread-parallel
+//! `summarize_with` must be **bit-identical** to the serial `summarize` at any thread
+//! count (`assert_eq!` on raw `f64` data, no tolerance), the `EstimationContext`
+//! cache must answer prefix requests exactly as a fresh summarization would, and the
+//! factorized path must agree with the explicit (unfactorized) evaluation order for
+//! both counting modes (the Fig. 5b consistency check), run through the context.
+
+use fg_core::prelude::*;
+use fg_core::{
+    explicit_adjacency_power, explicit_nb_power, statistics_from_explicit, summarize_with,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The seeded graph family the sweeps run on (`GeneratorConfig::balanced`, varying
+/// size / degree / classes / skew / seed), with a stratified 10% seed set each.
+fn sweep_graphs() -> Vec<(Graph, SeedLabels)> {
+    [
+        (400usize, 10.0f64, 3usize, 3.0f64, 1u64),
+        (300, 8.0, 3, 3.0, 3),
+        (250, 6.0, 2, 8.0, 5),
+    ]
+    .iter()
+    .map(|&(n, d, k, h, seed)| {
+        let cfg = GeneratorConfig::balanced(n, d, k, h).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let syn = generate(&cfg, &mut rng).unwrap();
+        let seeds = syn.labeling.stratified_sample(0.1, &mut rng);
+        (syn.graph, seeds)
+    })
+    .collect()
+}
+
+fn summary_configs() -> Vec<SummaryConfig> {
+    let mut configs = Vec::new();
+    for non_backtracking in [true, false] {
+        for variant in NormalizationVariant::all() {
+            configs.push(SummaryConfig {
+                max_length: 5,
+                non_backtracking,
+                variant,
+            });
+        }
+    }
+    configs
+}
+
+#[test]
+fn parallel_summarize_is_bit_identical_at_every_thread_count() {
+    for (graph, seeds) in sweep_graphs() {
+        for config in summary_configs() {
+            let serial = summarize(&graph, &seeds, &config).unwrap();
+            for threads in [
+                Threads::Serial,
+                Threads::Fixed(2),
+                Threads::Fixed(4),
+                Threads::Auto,
+            ] {
+                let parallel = summarize_with(&graph, &seeds, &config, threads).unwrap();
+                for l in 1..=config.max_length {
+                    assert_eq!(
+                        serial.count(l).unwrap().data(),
+                        parallel.count(l).unwrap().data(),
+                        "counts diverge at length {l} with {threads:?} ({config:?})"
+                    );
+                    assert_eq!(
+                        serial.statistic(l).unwrap().data(),
+                        parallel.statistic(l).unwrap().data(),
+                        "statistics diverge at length {l} with {threads:?} ({config:?})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cached_lmax5_context_answers_lmax3_requests_identically() {
+    for (graph, seeds) in sweep_graphs() {
+        let ctx = EstimationContext::new(&graph, &seeds);
+        ctx.warm(&SummaryConfig::with_max_length(5)).unwrap();
+        assert_eq!(ctx.summary_computations(), 1);
+        // A shorter request — and any normalization variant — is a pure cache hit
+        // and must be bit-identical to a fresh summarize call.
+        for variant in NormalizationVariant::all() {
+            let config = SummaryConfig {
+                max_length: 3,
+                non_backtracking: true,
+                variant,
+            };
+            let cached = ctx.summary(&config).unwrap();
+            let fresh = summarize(&graph, &seeds, &config).unwrap();
+            assert_eq!(cached.max_length(), 3);
+            for l in 1..=3 {
+                assert_eq!(
+                    cached.count(l).unwrap().data(),
+                    fresh.count(l).unwrap().data(),
+                    "cached counts diverge at length {l}"
+                );
+                assert_eq!(
+                    cached.statistic(l).unwrap().data(),
+                    fresh.statistic(l).unwrap().data(),
+                    "cached statistics diverge at length {l} ({variant:?})"
+                );
+            }
+        }
+        assert_eq!(ctx.summary_computations(), 1);
+    }
+}
+
+#[test]
+fn context_summaries_match_explicit_computation_for_both_modes() {
+    // Fig. 5b consistency: the factorized summaries served by the context agree with
+    // the explicit (materialized W^l / W^l_NB) evaluation order at every l <= 5.
+    let (graph, seeds) = sweep_graphs().remove(0);
+    let ctx = EstimationContext::new(&graph, &seeds).threads(Threads::Fixed(4));
+    for non_backtracking in [true, false] {
+        let config = SummaryConfig {
+            max_length: 5,
+            non_backtracking,
+            variant: NormalizationVariant::RowStochastic,
+        };
+        let summary = ctx.summary(&config).unwrap();
+        for l in 1..=5 {
+            let power = if non_backtracking {
+                explicit_nb_power(&graph, l).unwrap()
+            } else {
+                explicit_adjacency_power(&graph, l).unwrap()
+            };
+            let expected = statistics_from_explicit(&power, &seeds, config.variant).unwrap();
+            assert!(
+                summary.statistic(l).unwrap().approx_eq(&expected, 1e-9),
+                "factorized vs explicit mismatch at length {l} (nb = {non_backtracking})"
+            );
+        }
+    }
+    // One computation per counting mode, regardless of how many lengths were read.
+    assert_eq!(ctx.summary_computations(), 2);
+}
+
+#[test]
+fn estimators_are_bit_identical_through_the_context() {
+    // The refactor's core guarantee: every estimator produces the same H whether it
+    // summarizes the graph itself or pulls statistics from a shared cached context —
+    // serial or parallel.
+    let (graph, seeds) = sweep_graphs().remove(1);
+    let estimators: Vec<Box<dyn CompatibilityEstimator>> = vec![
+        Box::new(MyopicCompatibilityEstimation::default()),
+        Box::new(LinearCompatibilityEstimation::default()),
+        Box::new(DistantCompatibilityEstimation::default()),
+        Box::new(DceWithRestarts::default()),
+    ];
+    for threads in [Threads::Serial, Threads::Fixed(4)] {
+        let ctx = EstimationContext::new(&graph, &seeds).threads(threads);
+        for estimator in &estimators {
+            let direct = estimator.estimate(&graph, &seeds).unwrap();
+            let via_context = estimator.estimate_with_context(&ctx).unwrap();
+            assert_eq!(
+                direct.data(),
+                via_context.data(),
+                "{} diverges through the context at {threads:?}",
+                estimator.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn with_threads_preserves_every_estimator_output() {
+    let (graph, seeds) = sweep_graphs().remove(2);
+    let estimators: Vec<Box<dyn CompatibilityEstimator>> = vec![
+        Box::new(MyopicCompatibilityEstimation::default()),
+        Box::new(LinearCompatibilityEstimation::default()),
+        Box::new(DistantCompatibilityEstimation::default()),
+        Box::new(DceWithRestarts::default()),
+        Box::new(HoldoutEstimation::default()),
+    ];
+    for estimator in &estimators {
+        let serial = estimator.estimate(&graph, &seeds).unwrap();
+        let threaded = estimator
+            .with_threads(Threads::Fixed(4))
+            .estimate(&graph, &seeds)
+            .unwrap();
+        assert_eq!(
+            serial.data(),
+            threaded.data(),
+            "{} changes under with_threads",
+            estimator.name()
+        );
+        assert_eq!(
+            estimator.name(),
+            estimator.with_threads(Threads::Auto).name()
+        );
+    }
+}
