@@ -21,6 +21,7 @@ use fg_sparse::DenseMatrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The estimator families compared throughout the paper's evaluation.
@@ -201,6 +202,35 @@ pub fn accuracy_vs_sparsity_with(
     repetitions: usize,
     seed: u64,
 ) -> Result<Vec<SweepOutcome>> {
+    accuracy_vs_sparsity_stored(
+        graph,
+        labeling,
+        fractions,
+        kinds,
+        propagator,
+        repetitions,
+        seed,
+        None,
+    )
+}
+
+/// [`accuracy_vs_sparsity_with`] backed by a persistent [`SummaryStore`]: every
+/// `(fraction, repetition)` cell group's context uses the store as a
+/// read-through / write-back tier, so a re-run of the same sweep (same graph, same
+/// `seed` — the per-cell seed sets are derived deterministically from it) answers
+/// every summarization from disk. Outcomes are bit-identical with or without a
+/// store.
+#[allow(clippy::too_many_arguments)]
+pub fn accuracy_vs_sparsity_stored(
+    graph: &Graph,
+    labeling: &Labeling,
+    fractions: &[f64],
+    kinds: &[EstimatorKind],
+    propagator: &dyn Propagator,
+    repetitions: usize,
+    seed: u64,
+    store: Option<&Arc<SummaryStore>>,
+) -> Result<Vec<SweepOutcome>> {
     let gold = measure_compatibilities(graph, labeling)?;
     let estimators = estimator_set(kinds, labeling, &gold);
     let mut outcomes = Vec::new();
@@ -211,7 +241,10 @@ pub fn accuracy_vs_sparsity_with(
             // All estimators in this cell group share one cached graph summary
             // (unless the backend ignores H, in which case estimation is skipped
             // entirely and warming would be wasted work).
-            let ctx = EstimationContext::new(graph, &seeds);
+            let mut ctx = EstimationContext::new(graph, &seeds);
+            if let Some(store) = store {
+                ctx = ctx.store(Arc::clone(store));
+            }
             if propagator.uses_compatibilities() {
                 warm_context_for(&ctx, estimators.iter().map(|(_, e)| e.as_ref()))?;
             }
@@ -307,8 +340,38 @@ pub fn accuracy_vs_sparsity_parallel(
     seed: u64,
     threads: Threads,
 ) -> Result<Vec<SweepOutcome>> {
+    accuracy_vs_sparsity_parallel_stored(
+        graph,
+        labeling,
+        fractions,
+        kinds,
+        propagator,
+        repetitions,
+        seed,
+        threads,
+        None,
+    )
+}
+
+/// [`accuracy_vs_sparsity_parallel`] backed by a persistent [`SummaryStore`]
+/// (the parallel counterpart of [`accuracy_vs_sparsity_stored`]): each worker's cell
+/// group reads and writes the shared store, so a repeated sweep over the same
+/// `(graph, seeds)` cells is served from disk no matter which worker owned the cell
+/// on the previous run. Outcomes stay identical to the serial, store-less sweep.
+#[allow(clippy::too_many_arguments)]
+pub fn accuracy_vs_sparsity_parallel_stored(
+    graph: &Graph,
+    labeling: &Labeling,
+    fractions: &[f64],
+    kinds: &[EstimatorKind],
+    propagator: &(dyn Propagator + Sync),
+    repetitions: usize,
+    seed: u64,
+    threads: Threads,
+    store: Option<&Arc<SummaryStore>>,
+) -> Result<Vec<SweepOutcome>> {
     if threads.count() <= 1 {
-        return accuracy_vs_sparsity_with(
+        return accuracy_vs_sparsity_stored(
             graph,
             labeling,
             fractions,
@@ -316,6 +379,7 @@ pub fn accuracy_vs_sparsity_parallel(
             propagator,
             repetitions,
             seed,
+            store,
         );
     }
     let gold = measure_compatibilities(graph, labeling)?;
@@ -334,7 +398,10 @@ pub fn accuracy_vs_sparsity_parallel(
         let mut rng = StdRng::seed_from_u64(seed ^ ((fi as u64) << 32) ^ rep as u64);
         let seeds = labeling.stratified_sample(fraction, &mut rng);
         let estimators = estimator_set(kinds, labeling, &gold);
-        let ctx = EstimationContext::new(graph, &seeds);
+        let mut ctx = EstimationContext::new(graph, &seeds);
+        if let Some(store) = store {
+            ctx = ctx.store(Arc::clone(store));
+        }
         if propagator.uses_compatibilities() {
             warm_context_for(&ctx, estimators.iter().map(|(_, e)| e.as_ref()))?;
         }
@@ -730,6 +797,54 @@ mod tests {
             Threads::Fixed(2)
         )
         .is_err());
+    }
+
+    #[test]
+    fn stored_sweep_is_identical_and_second_run_hits_disk() {
+        let cfg = GeneratorConfig::balanced(300, 8.0, 3, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(51);
+        let syn = generate(&cfg, &mut rng).unwrap();
+        let kinds = [EstimatorKind::Mce, EstimatorKind::Dcer];
+        let fractions = [0.05, 0.2];
+        let dir = std::env::temp_dir().join("fg_sweep_store");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = Arc::new(SummaryStore::open(&dir).unwrap());
+
+        let plain =
+            accuracy_vs_sparsity(&syn.graph, &syn.labeling, &fractions, &kinds, 1, 17).unwrap();
+        for threads in [Threads::Serial, Threads::Fixed(2)] {
+            let stored = accuracy_vs_sparsity_parallel_stored(
+                &syn.graph,
+                &syn.labeling,
+                &fractions,
+                &kinds,
+                &LinBp::default(),
+                1,
+                17,
+                threads,
+                Some(&store),
+            )
+            .unwrap();
+            // Persisting summaries never changes a sweep outcome.
+            assert_eq!(plain.len(), stored.len());
+            for (p, s) in plain.iter().zip(&stored) {
+                assert_eq!(p.estimator, s.estimator, "{threads:?}");
+                assert_eq!(p.accuracy, s.accuracy, "{threads:?}");
+                assert_eq!(p.l2_error, s.l2_error, "{threads:?}");
+            }
+        }
+        // One file per (fraction, repetition) cell group.
+        assert_eq!(store.entries().unwrap().len(), fractions.len());
+        // A repeated sweep cell is served from disk: rebuilding one cell's context
+        // against the store answers its warm-up without any computation.
+        // The first cell's RNG seed: sweep seed 17, fraction index 0, repetition 0.
+        let mut rng = StdRng::seed_from_u64(17);
+        let seeds = syn.labeling.stratified_sample(fractions[0], &mut rng);
+        let ctx = EstimationContext::new(&syn.graph, &seeds).store(Arc::clone(&store));
+        ctx.warm(&SummaryConfig::with_max_length(5)).unwrap();
+        assert_eq!(ctx.summary_computations(), 0);
+        assert_eq!(ctx.store_hits(), 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -12,12 +12,14 @@
 use crate::args::ArgMap;
 use crate::matrix_io;
 use fg_core::estimator_by_name_with;
+use fg_core::estimators::registry as estimator_registry;
 use fg_core::prelude::*;
 use fg_datasets::{synthesize, DatasetId};
 use fg_propagation::{registry, PropagatorOptions};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::Path;
+use std::sync::Arc;
 
 type CommandResult = Result<String, String>;
 
@@ -158,19 +160,95 @@ pub fn cmd_dataset(args: &ArgMap) -> CommandResult {
     ))
 }
 
+/// Open the persistent summary store selected by `--summary-cache DIR` (absent =
+/// caching disabled; the flag form `--summary-cache` uses the default directory
+/// `target/experiments/summaries`).
+fn open_summary_store(args: &ArgMap) -> Result<Option<Arc<SummaryStore>>, String> {
+    let dir = match args.get("summary-cache") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None if args.has_flag("summary-cache") => SummaryStore::default_dir(),
+        None => return Ok(None),
+    };
+    Ok(Some(Arc::new(SummaryStore::open(dir).map_err(err)?)))
+}
+
+/// Render both registries for `fg estimate --list-methods`: estimators with their
+/// aliases and fully parameterized default names, then propagation backends.
+fn list_methods() -> String {
+    let mut out = vec!["ESTIMATORS (fg estimate/classify --method):".to_string()];
+    let defaults = EstimatorOptions::default();
+    for spec in estimator_registry::estimator_registry() {
+        let built = (spec.build)(&defaults);
+        let aliases = if spec.aliases.is_empty() {
+            String::new()
+        } else {
+            format!(" (aliases: {})", spec.aliases.join(", "))
+        };
+        out.push(format!("  {:<8} {}{aliases}", spec.name, spec.description));
+        out.push(format!("           defaults: {}", built.name()));
+    }
+    out.push(String::new());
+    out.push("PROPAGATORS (fg propagate --method / classify --propagator):".to_string());
+    for spec in registry::registry() {
+        let aliases = if spec.aliases.is_empty() {
+            String::new()
+        } else {
+            format!(" (aliases: {})", spec.aliases.join(", "))
+        };
+        out.push(format!("  {:<8} {}{aliases}", spec.name, spec.description));
+    }
+    out.push(String::new());
+    out.push(
+        "Parameterized estimator specs are accepted anywhere a name is, e.g. \
+         --method 'DCEr(r=10,l=5,lambda=10)'."
+            .to_string(),
+    );
+    out.join("\n")
+}
+
 /// `fg estimate`: estimate the compatibility matrix from a partially labeled graph.
+/// With `--summary-cache DIR` the factorized path counts are persisted and reused
+/// across invocations (bit-identical results, zero summarizations when warm); with
+/// `--list-methods` the estimator and propagator registries are printed instead.
 pub fn cmd_estimate(args: &ArgMap) -> CommandResult {
+    if args.has_flag("list-methods") {
+        return Ok(list_methods());
+    }
     let (graph, seeds, _) = load_graph_and_labels(args)?;
     let (estimator, label) = build_estimator(args)?;
-    let h = estimator.estimate(&graph, &seeds).map_err(err)?;
+    let store = open_summary_store(args)?;
+    let (h, cache_note) = match &store {
+        None => (estimator.estimate(&graph, &seeds).map_err(err)?, None),
+        Some(store) => {
+            let threads = args
+                .get_parsed::<Threads>("threads")
+                .map_err(err)?
+                .unwrap_or(Threads::Serial);
+            let ctx = EstimationContext::new(&graph, &seeds)
+                .threads(threads)
+                .store(Arc::clone(store));
+            let h = estimator.estimate_with_context(&ctx).map_err(err)?;
+            let note = format!(
+                "summary computations: {} (store hits: {}, cache dir {})",
+                ctx.summary_computations(),
+                ctx.store_hits(),
+                store.dir().display()
+            );
+            (h, Some(note))
+        }
+    };
     let rendered = matrix_io::format_matrix(&h);
     if let Some(out) = args.get("out") {
         matrix_io::write_matrix(Path::new(out), &h).map_err(err)?;
     }
-    Ok(format!(
+    let mut report = format!(
         "estimated compatibilities with {label} from {} labeled nodes:\n{rendered}",
         seeds.num_labeled()
-    ))
+    );
+    if let Some(note) = cache_note {
+        report.push_str(&note);
+    }
+    Ok(report)
 }
 
 /// `fg propagate`: label the remaining nodes with any propagation backend
@@ -237,6 +315,12 @@ pub fn cmd_classify(args: &ArgMap) -> CommandResult {
     if let Some(threads) = args.get_parsed::<Threads>("threads").map_err(err)? {
         pipeline = pipeline.estimation_threads(threads);
     }
+    // --summary-cache persists the factorized path counts; repeated invocations on
+    // the same dataset then skip summarization with bit-identical predictions.
+    let store = open_summary_store(args)?;
+    if let Some(store) = &store {
+        pipeline = pipeline.summary_store(Arc::clone(store));
+    }
     let mut report = pipeline.run().map_err(err)?;
     if let Some(out) = args.get("out") {
         matrix_io::write_predictions(Path::new(out), &report.outcome.predictions).map_err(err)?;
@@ -249,6 +333,14 @@ pub fn cmd_classify(args: &ArgMap) -> CommandResult {
         report.estimation_time,
         report.propagation_time
     );
+    if let Some(store) = &store {
+        rendered.push_str(&format!(
+            "\nsummary computations: {} (store hits: {}, cache dir {})",
+            report.summary_computations,
+            report.summary_store_hits,
+            store.dir().display()
+        ));
+    }
     if let Some(truth_path) = args.get("truth") {
         let truth_seeds =
             fg_datasets::read_labels(Path::new(truth_path), graph.num_nodes(), k).map_err(err)?;
@@ -275,6 +367,78 @@ pub fn cmd_classify(args: &ArgMap) -> CommandResult {
     Ok(rendered)
 }
 
+/// `fg cache`: inspect (`ls`) or empty (`clear`) a persistent summary-cache
+/// directory (`--dir DIR`, default `target/experiments/summaries`).
+pub fn cmd_cache(args: &ArgMap) -> CommandResult {
+    let action = args
+        .positional()
+        .first()
+        .map(|s| s.as_str())
+        .ok_or("usage: fg cache <ls|clear> [--dir DIR]")?;
+    let dir = args
+        .get("dir")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(SummaryStore::default_dir);
+    let store = SummaryStore::open(&dir).map_err(err)?;
+    match action {
+        "ls" => {
+            let entries = store.entries().map_err(err)?;
+            if entries.is_empty() {
+                return Ok(format!("summary cache {} is empty", dir.display()));
+            }
+            let mut out = vec![format!(
+                "summary cache {} ({} file{}):",
+                dir.display(),
+                entries.len(),
+                if entries.len() == 1 { "" } else { "s" }
+            )];
+            for entry in entries {
+                match entry.meta {
+                    Some(meta) => out.push(format!(
+                        "  {}  k={} lmax={} mode={} graph={}.. seeds={}.. ({} bytes)",
+                        entry.file,
+                        meta.k,
+                        meta.max_length,
+                        if meta.non_backtracking { "nb" } else { "all" },
+                        &meta.graph_fp.to_hex()[..12],
+                        &meta.seed_fp.to_hex()[..12],
+                        entry.bytes
+                    )),
+                    None => out.push(format!(
+                        "  {}  CORRUPT or unreadable ({} bytes)",
+                        entry.file, entry.bytes
+                    )),
+                }
+            }
+            Ok(out.join("\n"))
+        }
+        "clear" => {
+            let removed = store.clear().map_err(err)?;
+            Ok(format!(
+                "removed {removed} summary file{} from {}",
+                if removed == 1 { "" } else { "s" },
+                dir.display()
+            ))
+        }
+        other => Err(format!(
+            "unknown cache action '{other}' (expected ls or clear)"
+        )),
+    }
+}
+
+/// `fg run`: execute every experiment declared in a manifest file (see
+/// `crate::manifest` for the format), printing one report JSON per entry.
+pub fn cmd_run(args: &ArgMap) -> CommandResult {
+    let path = match args.positional().first() {
+        Some(positional) => positional.clone(),
+        None => args
+            .require("manifest")
+            .map_err(|_| "usage: fg run MANIFEST.toml".to_string())?
+            .to_string(),
+    };
+    crate::manifest::run_manifest(Path::new(&path))
+}
+
 /// Top-level usage string.
 pub fn usage() -> String {
     [
@@ -291,7 +455,8 @@ pub fn usage() -> String {
         "  estimate   --edges FILE --nodes N --classes K --labels FILE",
         "             [--method dcer|dce|mce|lce|holdout | 'DCEr(r=10,l=5,lambda=10)']",
         "             [--lmax L] [--lambda X] [--restarts R] [--splits B]",
-        "             [--variant 1|2|3] [--threads N|auto] [--out H_FILE]",
+        "             [--variant 1|2|3] [--threads N|auto] [--summary-cache [DIR]]",
+        "             [--out H_FILE] [--list-methods]",
         "  propagate  --edges FILE --nodes N --classes K --labels FILE",
         "             [--method linbp|bp|harmonic|rw] [--compat H_FILE]",
         "             [--iterations I] [--tolerance T] [--damping A] [--threads N|auto]",
@@ -299,9 +464,19 @@ pub fn usage() -> String {
         "             (--compat is required for linbp and bp, ignored by harmonic and rw)",
         "  classify   --edges FILE --nodes N --classes K --labels FILE",
         "             [--method ...] [--propagator linbp|bp|harmonic|rw] [--threads N|auto]",
-        "             [--truth FULL_LABELS] [--out PREDICTIONS] [--json]",
+        "             [--summary-cache [DIR]] [--truth FULL_LABELS] [--out PREDICTIONS]",
+        "             [--json]",
         "             (--threads parallelizes estimation and propagation alike;",
         "              output is bit-identical at any thread count)",
+        "  run        MANIFEST.toml   execute a config-file experiment manifest",
+        "             (datasets, estimators, propagators, threads, cache dir; one",
+        "              report JSON per [[run]] entry)",
+        "  cache      ls|clear [--dir DIR]   inspect or empty a summary cache",
+        "             (default dir: target/experiments/summaries)",
+        "",
+        "  --summary-cache persists factorized path counts keyed by content",
+        "  fingerprints: repeated invocations on the same dataset skip graph",
+        "  summarization entirely, with bit-identical results.",
     ]
     .join("\n")
 }
@@ -314,6 +489,8 @@ pub fn run(command: &str, args: &ArgMap) -> CommandResult {
         "estimate" => cmd_estimate(args),
         "propagate" => cmd_propagate(args),
         "classify" => cmd_classify(args),
+        "run" => cmd_run(args),
+        "cache" => cmd_cache(args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command '{other}'\n\n{}", usage())),
     }
@@ -637,6 +814,179 @@ mod tests {
             .map(|_| ())
             .unwrap_err();
         assert!(bad.contains("threads"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn summary_cache_warm_path_is_computation_free_and_bit_identical() {
+        let dir = temp_dir("summary_cache");
+        let edges = dir.join("edges.tsv");
+        let labels = dir.join("labels.tsv");
+        cmd_generate(&args(&[
+            "--nodes",
+            "300",
+            "--degree",
+            "8",
+            "--classes",
+            "3",
+            "--out-edges",
+            edges.to_str().unwrap(),
+            "--out-labels",
+            labels.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let cache_dir = dir.join("summaries");
+        let base = [
+            "--edges",
+            edges.to_str().unwrap(),
+            "--nodes",
+            "300",
+            "--classes",
+            "3",
+            "--labels",
+            labels.to_str().unwrap(),
+            "--method",
+            "dcer",
+            "--summary-cache",
+            cache_dir.to_str().unwrap(),
+        ];
+
+        // fg estimate: cold run computes once, warm run not at all; H files match.
+        let h_cold = dir.join("h_cold.txt");
+        let h_warm = dir.join("h_warm.txt");
+        let mut argv = base.to_vec();
+        argv.extend(["--out", h_cold.to_str().unwrap()]);
+        let cold = cmd_estimate(&args(&argv)).unwrap();
+        assert!(cold.contains("summary computations: 1"), "{cold}");
+        let mut argv = base.to_vec();
+        argv.extend(["--out", h_warm.to_str().unwrap()]);
+        let warm = cmd_estimate(&args(&argv)).unwrap();
+        assert!(warm.contains("summary computations: 0"), "{warm}");
+        assert!(warm.contains("store hits: 1"), "{warm}");
+        assert_eq!(
+            std::fs::read(&h_cold).unwrap(),
+            std::fs::read(&h_warm).unwrap()
+        );
+
+        // fg classify rides the same cache: zero computations, identical predictions
+        // to a cache-less run.
+        let pred_cached = dir.join("pred_cached.tsv");
+        let mut argv = base.to_vec();
+        argv.extend(["--out", pred_cached.to_str().unwrap()]);
+        let classify = cmd_classify(&args(&argv)).unwrap();
+        assert!(classify.contains("summary computations: 0"), "{classify}");
+        let pred_plain = dir.join("pred_plain.tsv");
+        let plain = cmd_classify(&args(&[
+            "--edges",
+            edges.to_str().unwrap(),
+            "--nodes",
+            "300",
+            "--classes",
+            "3",
+            "--labels",
+            labels.to_str().unwrap(),
+            "--method",
+            "dcer",
+            "--out",
+            pred_plain.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(!plain.contains("summary computations"));
+        assert_eq!(
+            std::fs::read(&pred_cached).unwrap(),
+            std::fs::read(&pred_plain).unwrap()
+        );
+
+        // fg cache ls lists the file; clear removes it.
+        let ls = cmd_cache(&args(&["ls", "--dir", cache_dir.to_str().unwrap()])).unwrap();
+        assert!(ls.contains("k=3 lmax=5 mode=nb"), "{ls}");
+        let cleared = cmd_cache(&args(&["clear", "--dir", cache_dir.to_str().unwrap()])).unwrap();
+        assert!(cleared.contains("removed 1"), "{cleared}");
+        let empty = cmd_cache(&args(&["ls", "--dir", cache_dir.to_str().unwrap()])).unwrap();
+        assert!(empty.contains("empty"), "{empty}");
+        // Bad action errors.
+        assert!(cmd_cache(&args(&["frob"])).is_err());
+        assert!(cmd_cache(&args(&[])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn list_methods_covers_both_registries() {
+        let out = cmd_estimate(&args(&["--list-methods"])).unwrap();
+        for name in ["mce", "lce", "dce", "dcer", "holdout"] {
+            assert!(out.contains(name), "estimator '{name}' missing:\n{out}");
+        }
+        for name in ["linbp", "bp", "harmonic", "rw"] {
+            assert!(out.contains(name), "propagator '{name}' missing:\n{out}");
+        }
+        // Aliases and parameterized defaults are shown.
+        assert!(out.contains("dce-r"), "{out}");
+        assert!(out.contains("loopy-bp"), "{out}");
+        assert!(out.contains("DCEr(r=10,l=5,lambda=10)"), "{out}");
+    }
+
+    #[test]
+    fn manifest_run_reproduces_a_classify_invocation() {
+        let dir = temp_dir("manifest_equiv");
+        let edges = dir.join("edges.tsv");
+        let labels = dir.join("labels.tsv");
+        cmd_generate(&args(&[
+            "--nodes",
+            "300",
+            "--degree",
+            "8",
+            "--classes",
+            "3",
+            "--seed",
+            "4",
+            "--out-edges",
+            edges.to_str().unwrap(),
+            "--out-labels",
+            labels.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // Direct CLI invocation.
+        let pred_cli = dir.join("pred_cli.tsv");
+        cmd_classify(&args(&[
+            "--edges",
+            edges.to_str().unwrap(),
+            "--nodes",
+            "300",
+            "--classes",
+            "3",
+            "--labels",
+            labels.to_str().unwrap(),
+            "--method",
+            "mce",
+            "--out",
+            pred_cli.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // Equivalent manifest entry (file mode, same estimator and backend).
+        let manifest = dir.join("exp.toml");
+        std::fs::write(
+            &manifest,
+            "[[run]]\n\
+             name = \"same-as-cli\"\n\
+             edges = \"edges.tsv\"\n\
+             labels = \"labels.tsv\"\n\
+             nodes = 300\n\
+             classes = 3\n\
+             estimator = \"mce\"\n\
+             propagator = \"linbp\"\n\
+             out = \"pred_manifest.tsv\"\n",
+        )
+        .unwrap();
+        let report = cmd_run(&args(&[manifest.to_str().unwrap()])).unwrap();
+        assert!(report.contains("\"name\":\"same-as-cli\""), "{report}");
+        assert!(report.contains("\"estimator\":\"MCE\""), "{report}");
+        // The manifest run reproduces the CLI predictions byte for byte.
+        assert_eq!(
+            std::fs::read(&pred_cli).unwrap(),
+            std::fs::read(dir.join("pred_manifest.tsv")).unwrap()
+        );
+        // Missing manifest path errors helpfully.
+        assert!(cmd_run(&args(&[])).unwrap_err().contains("usage"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

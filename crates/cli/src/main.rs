@@ -6,6 +6,7 @@
 
 mod args;
 mod commands;
+mod manifest;
 mod matrix_io;
 
 use args::ArgMap;

@@ -1,0 +1,712 @@
+//! Experiment manifests: `fg run manifest.toml`.
+//!
+//! A manifest declares a list of end-to-end classification experiments — dataset,
+//! estimator spec, propagation backend, thread policy, summary-cache directory — in a
+//! config file, and `fg run` drives each entry through the same
+//! [`Pipeline`] the `classify` command uses, emitting one
+//! [`PipelineReport`] JSON object per entry. Sweeping
+//! parameters by editing a file (and re-running reproducibly, with warm summary
+//! caches) replaces ad-hoc shell loops around the CLI.
+//!
+//! # Format
+//!
+//! A small TOML subset, parsed without external dependencies: top-level `key = value`
+//! pairs are defaults applied to every entry (every key except the per-run-only
+//! `name` / `out` / `report`; entry keys always win, and an entry's own dataset keys
+//! pick its dataset mode before defaults-level ones do), each `[[run]]` table is one
+//! experiment, and values may be strings, integers, floats, or booleans (`#` starts
+//! a comment). Relative paths are resolved against the manifest's directory.
+//!
+//! ```toml
+//! # defaults for every run
+//! summary-cache = "target/experiments/summaries"
+//! threads = "auto"
+//! estimator = "DCEr(r=10,l=5,lambda=10)"
+//! propagator = "linbp"
+//!
+//! [[run]]                       # file-based dataset
+//! name = "cora"
+//! edges = "cora_edges.tsv"
+//! labels = "cora_seeds.tsv"
+//! nodes = 2708
+//! classes = 7
+//! truth = "cora_labels.tsv"     # optional: evaluate accuracy
+//! out = "cora_pred.tsv"         # optional: write predictions
+//! report = "cora_report.json"   # optional: write the report JSON
+//!
+//! [[run]]                       # synthetic planted-compatibility graph
+//! name = "synthetic-h8"
+//! nodes = 2000
+//! degree = 12.0
+//! classes = 3
+//! skew = 8.0
+//! seed = 1
+//! fraction = 0.05               # stratified seed-label fraction
+//! estimator = "mce"
+//!
+//! [[run]]                       # real-world dataset substitute
+//! name = "pokec"
+//! dataset = "Pokec-Gender"
+//! scale = 0.02
+//! fraction = 0.1
+//! ```
+//!
+//! Entry keys: `name`, dataset selection (`edges`+`labels`+`nodes`+`classes`, or
+//! `dataset` plus `scale`, or `nodes` plus `degree`/`classes`/`skew` for the generator;
+//! `seed` and `fraction` apply to the synthetic modes), `estimator`, `propagator`,
+//! `iterations`, `tolerance`, `damping`, `threads`, `summary-cache`, `truth`, `out`,
+//! `report`. Unknown keys, unknown sections, and malformed values are rejected with
+//! the offending line number.
+
+use fg_core::prelude::*;
+use fg_core::{estimator_by_name_with, EstimatorOptions};
+use fg_datasets::{synthesize, DatasetId};
+use fg_propagation::{registry, PropagatorOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// A parsed manifest value.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+}
+
+impl Value {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "boolean",
+        }
+    }
+}
+
+/// One `key = value` table with source line numbers for error messages.
+#[derive(Debug, Clone, Default)]
+struct Table {
+    values: HashMap<String, (Value, usize)>,
+}
+
+impl Table {
+    fn insert(&mut self, key: String, value: Value, line: usize) -> Result<(), String> {
+        if self.values.contains_key(&key) {
+            return Err(format!("line {line}: duplicate key '{key}'"));
+        }
+        self.values.insert(key, (value, line));
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Option<&(Value, usize)> {
+        self.values.get(key)
+    }
+
+    fn string(&self, key: &str) -> Result<Option<String>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some((Value::Str(s), _)) => Ok(Some(s.clone())),
+            Some((other, line)) => Err(format!(
+                "line {line}: key '{key}' must be a string, got {}",
+                other.type_name()
+            )),
+        }
+    }
+
+    fn usize_value(&self, key: &str) -> Result<Option<usize>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some((Value::Int(i), line)) => usize::try_from(*i)
+                .map(Some)
+                .map_err(|_| format!("line {line}: key '{key}' must be non-negative")),
+            Some((other, line)) => Err(format!(
+                "line {line}: key '{key}' must be an integer, got {}",
+                other.type_name()
+            )),
+        }
+    }
+
+    fn u64_value(&self, key: &str) -> Result<Option<u64>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some((Value::Int(i), line)) => u64::try_from(*i)
+                .map(Some)
+                .map_err(|_| format!("line {line}: key '{key}' must be non-negative")),
+            Some((other, line)) => Err(format!(
+                "line {line}: key '{key}' must be an integer, got {}",
+                other.type_name()
+            )),
+        }
+    }
+
+    fn f64_value(&self, key: &str) -> Result<Option<f64>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some((Value::Float(v), _)) => Ok(Some(*v)),
+            Some((Value::Int(i), _)) => Ok(Some(*i as f64)),
+            Some((other, line)) => Err(format!(
+                "line {line}: key '{key}' must be a number, got {}",
+                other.type_name()
+            )),
+        }
+    }
+}
+
+/// A manifest: global defaults plus one table per `[[run]]` entry.
+#[derive(Debug, Default)]
+struct Manifest {
+    defaults: Table,
+    runs: Vec<Table>,
+}
+
+/// Strip a trailing `#` comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(raw: &str, line: usize) -> Result<Value, String> {
+    let raw = raw.trim();
+    if let Some(rest) = raw.strip_prefix('"') {
+        let inner = rest
+            .strip_suffix('"')
+            .ok_or_else(|| format!("line {line}: unterminated string"))?;
+        if inner.contains('"') {
+            return Err(format!(
+                "line {line}: embedded quotes are not supported in strings"
+            ));
+        }
+        return Ok(Value::Str(inner.to_string()));
+    }
+    match raw {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        "" => return Err(format!("line {line}: missing value")),
+        _ => {}
+    }
+    if let Ok(i) = raw.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    if let Ok(f) = raw.parse::<f64>() {
+        return Ok(Value::Float(f));
+    }
+    Err(format!(
+        "line {line}: cannot parse value '{raw}' (expected a quoted string, number, or boolean)"
+    ))
+}
+
+/// Parse manifest text into defaults + run tables.
+fn parse_manifest(content: &str) -> Result<Manifest, String> {
+    let mut manifest = Manifest::default();
+    let mut current: Option<usize> = None; // index into runs; None = defaults
+    for (idx, raw_line) in content.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[run]]" {
+            manifest.runs.push(Table::default());
+            current = Some(manifest.runs.len() - 1);
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!(
+                "line {line_no}: unknown section '{line}' (only [[run]] tables are supported)"
+            ));
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {line_no}: expected 'key = value', got '{line}'"))?;
+        // Normalize `summary-cache` / `summary_cache` style spellings.
+        let key = key.trim().to_ascii_lowercase().replace('-', "_");
+        let value = parse_value(value, line_no)?;
+        let table = match current {
+            None => &mut manifest.defaults,
+            Some(i) => &mut manifest.runs[i],
+        };
+        table.insert(key, value, line_no)?;
+    }
+    if manifest.runs.is_empty() {
+        return Err("manifest declares no [[run]] entries".into());
+    }
+    Ok(manifest)
+}
+
+/// Keys understood in a `[[run]]` table (defaults accept the same set minus the
+/// per-dataset ones, but validating against one list keeps the error friendly).
+const KNOWN_KEYS: &[&str] = &[
+    "name",
+    "edges",
+    "labels",
+    "nodes",
+    "classes",
+    "degree",
+    "skew",
+    "dataset",
+    "scale",
+    "seed",
+    "fraction",
+    "estimator",
+    "propagator",
+    "iterations",
+    "tolerance",
+    "damping",
+    "threads",
+    "summary_cache",
+    "truth",
+    "out",
+    "report",
+];
+
+/// Keys that only make sense on an individual run: applying them as defaults would
+/// make every entry write the same output file (or share one name), so they are
+/// rejected at the top level instead of silently misbehaving.
+const RUN_ONLY_KEYS: &[&str] = &["name", "out", "report"];
+
+fn validate_keys(table: &Table, what: &str) -> Result<(), String> {
+    for (key, (_, line)) in &table.values {
+        if !KNOWN_KEYS.contains(&key.as_str()) {
+            return Err(format!(
+                "line {line}: unknown {what} key '{key}' (expected one of {})",
+                KNOWN_KEYS.join(", ")
+            ));
+        }
+        if what == "default" && RUN_ONLY_KEYS.contains(&key.as_str()) {
+            return Err(format!(
+                "line {line}: key '{key}' is per-run only and cannot be a top-level default"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Look a key up in the run table first, then the defaults.
+macro_rules! entry_or_default {
+    ($run:expr, $defaults:expr, $method:ident, $key:expr) => {
+        match $run.$method($key)? {
+            Some(v) => Some(v),
+            None => $defaults.$method($key)?,
+        }
+    };
+}
+
+/// The materialized inputs of one run: graph, observed seed labels, and (when the
+/// dataset mode implies it) the full ground truth.
+struct RunData {
+    graph: Graph,
+    seeds: SeedLabels,
+    truth: Option<Labeling>,
+    classes: usize,
+    dataset_label: String,
+}
+
+fn resolve_path(base: &Path, raw: &str) -> PathBuf {
+    let p = Path::new(raw);
+    if p.is_absolute() {
+        p.to_path_buf()
+    } else {
+        base.join(p)
+    }
+}
+
+fn load_run_data(run: &Table, defaults: &Table, base: &Path) -> Result<RunData, String> {
+    let seed = entry_or_default!(run, defaults, u64_value, "seed").unwrap_or(0);
+    let fraction = entry_or_default!(run, defaults, f64_value, "fraction").unwrap_or(0.05);
+    // Dataset-mode selection: keys set on the run itself pick the mode first (so one
+    // run can override, say, a defaults-level edge file with its own generator spec);
+    // only then do defaults-level keys select a mode shared by every run. Within a
+    // mode, every parameter falls back to the defaults table as documented.
+    let mode_of = |table: &Table| -> Result<Option<&'static str>, String> {
+        Ok(if table.string("edges")?.is_some() {
+            Some("edges")
+        } else if table.string("dataset")?.is_some() {
+            Some("dataset")
+        } else if table.usize_value("nodes")?.is_some() {
+            Some("nodes")
+        } else {
+            None
+        })
+    };
+    let mode = match mode_of(run)? {
+        Some(mode) => Some(mode),
+        None => mode_of(defaults)?,
+    };
+    if mode == Some("edges") {
+        // File mode: explicit edge list + observed labels.
+        let edges = entry_or_default!(run, defaults, string, "edges").expect("mode key present");
+        let nodes = entry_or_default!(run, defaults, usize_value, "nodes")
+            .ok_or("file-based runs need 'nodes'")?;
+        let classes = entry_or_default!(run, defaults, usize_value, "classes")
+            .ok_or("file-based runs need 'classes'")?;
+        let labels = entry_or_default!(run, defaults, string, "labels")
+            .ok_or("file-based runs need 'labels'")?;
+        let graph = fg_datasets::read_edge_list(&resolve_path(base, &edges), nodes).map_err(err)?;
+        let seeds =
+            fg_datasets::read_labels(&resolve_path(base, &labels), nodes, classes).map_err(err)?;
+        let truth = match entry_or_default!(run, defaults, string, "truth") {
+            Some(path) => {
+                let full = fg_datasets::read_labels(&resolve_path(base, &path), nodes, classes)
+                    .map_err(err)?;
+                let labels: Option<Vec<usize>> = full.as_slice().iter().copied().collect();
+                match labels {
+                    Some(all) => Some(Labeling::new(all, classes).map_err(err)?),
+                    None => return Err(format!("truth file '{path}' does not label every node")),
+                }
+            }
+            None => None,
+        };
+        Ok(RunData {
+            graph,
+            seeds,
+            truth,
+            classes,
+            dataset_label: edges,
+        })
+    } else if mode == Some("dataset") {
+        // Real-world dataset substitute.
+        let dataset =
+            entry_or_default!(run, defaults, string, "dataset").expect("mode key present");
+        let id =
+            DatasetId::parse(&dataset).ok_or_else(|| format!("unknown dataset '{dataset}'"))?;
+        let scale = entry_or_default!(run, defaults, f64_value, "scale").unwrap_or(0.05);
+        let instance = synthesize(id, scale, seed).map_err(err)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let seeds = instance.labeling.stratified_sample(fraction, &mut rng);
+        Ok(RunData {
+            graph: instance.graph,
+            classes: instance.spec.k,
+            seeds,
+            truth: Some(instance.labeling),
+            dataset_label: id.name().to_string(),
+        })
+    } else if mode == Some("nodes") {
+        // Synthetic planted-compatibility generator.
+        let nodes = entry_or_default!(run, defaults, usize_value, "nodes").expect("mode key");
+        let degree = entry_or_default!(run, defaults, f64_value, "degree").unwrap_or(10.0);
+        let classes = entry_or_default!(run, defaults, usize_value, "classes").unwrap_or(3);
+        let skew = entry_or_default!(run, defaults, f64_value, "skew").unwrap_or(3.0);
+        let config = GeneratorConfig::balanced(nodes, degree, classes, skew).map_err(err)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let synthetic = generate(&config, &mut rng).map_err(err)?;
+        let seeds = synthetic.labeling.stratified_sample(fraction, &mut rng);
+        Ok(RunData {
+            graph: synthetic.graph,
+            seeds,
+            truth: Some(synthetic.labeling),
+            classes,
+            dataset_label: format!("synthetic(n={nodes},k={classes},h={skew},seed={seed})"),
+        })
+    } else {
+        Err(
+            "each [[run]] needs a dataset: 'edges' + 'labels' files, a 'dataset' \
+             substitute name, or 'nodes' for the synthetic generator"
+                .into(),
+        )
+    }
+}
+
+fn err<E: std::fmt::Display>(e: E) -> String {
+    e.to_string()
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Execute every `[[run]]` entry of a manifest file. Returns one JSON object per
+/// line: `{"name":...,"dataset":...,"report":{<PipelineReport>}}`.
+pub fn run_manifest(path: &Path) -> Result<String, String> {
+    let content = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read manifest {}: {e}", path.display()))?;
+    let manifest = parse_manifest(&content)?;
+    validate_keys(&manifest.defaults, "default")?;
+    let base = path.parent().unwrap_or(Path::new(".")).to_path_buf();
+
+    let mut lines = Vec::with_capacity(manifest.runs.len());
+    for (index, run) in manifest.runs.iter().enumerate() {
+        validate_keys(run, "run")?;
+        let name = run
+            .string("name")?
+            .unwrap_or_else(|| format!("run{}", index + 1));
+        let context = |e: String| format!("run '{name}': {e}");
+
+        let data = load_run_data(run, &manifest.defaults, &base).map_err(context)?;
+        let defaults = &manifest.defaults;
+
+        // Estimator through the PR 3 registry (parameterized specs supported).
+        let estimator_spec =
+            entry_or_default!(run, defaults, string, "estimator").unwrap_or_else(|| "dcer".into());
+        let threads = match entry_or_default!(run, defaults, string, "threads") {
+            Some(spec) => Some(spec.parse::<Threads>().map_err(err).map_err(context)?),
+            None => None,
+        };
+        let estimator = estimator_by_name_with(
+            &estimator_spec,
+            &EstimatorOptions {
+                threads,
+                ..EstimatorOptions::default()
+            },
+        )
+        .map_err(context)?;
+        let estimator_label = estimator.name();
+
+        // Propagator through the propagation registry.
+        let propagator_name = entry_or_default!(run, defaults, string, "propagator")
+            .unwrap_or_else(|| "linbp".into());
+        let opts = PropagatorOptions {
+            max_iterations: entry_or_default!(run, defaults, usize_value, "iterations"),
+            tolerance: entry_or_default!(run, defaults, f64_value, "tolerance"),
+            damping: entry_or_default!(run, defaults, f64_value, "damping"),
+            threads,
+        };
+        let propagator = registry::by_name_with(&propagator_name, &opts).ok_or_else(|| {
+            context(format!(
+                "unknown propagation method '{propagator_name}' (expected one of {})",
+                registry::propagator_names().join(", ")
+            ))
+        })?;
+
+        let mut pipeline = Pipeline::on(&data.graph)
+            .seeds(&data.seeds)
+            .estimator(estimator)
+            .estimator_label(estimator_label)
+            .propagator(propagator);
+        if let Some(threads) = threads {
+            pipeline = pipeline.estimation_threads(threads);
+        }
+        if let Some(cache_dir) = entry_or_default!(run, defaults, string, "summary_cache") {
+            let store = SummaryStore::open(resolve_path(&base, &cache_dir))
+                .map_err(err)
+                .map_err(context)?;
+            pipeline = pipeline.summary_store(Arc::new(store));
+        }
+        let mut report = pipeline.run().map_err(err).map_err(context)?;
+        if let Some(truth) = &data.truth {
+            if truth.k() == data.classes {
+                report.evaluate(truth, &data.seeds);
+            }
+        }
+        if let Some(out) = run.string("out")? {
+            crate::matrix_io::write_predictions(
+                &resolve_path(&base, &out),
+                &report.outcome.predictions,
+            )
+            .map_err(err)
+            .map_err(context)?;
+        }
+        let line = format!(
+            "{{\"name\":\"{}\",\"dataset\":\"{}\",\"report\":{}}}",
+            json_escape(&name),
+            json_escape(&data.dataset_label),
+            report.to_json()
+        );
+        if let Some(report_path) = run.string("report")? {
+            std::fs::write(resolve_path(&base, &report_path), format!("{line}\n"))
+                .map_err(err)
+                .map_err(context)?;
+        }
+        lines.push(line);
+    }
+    Ok(lines.join("\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fg_manifest_{name}"));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn parser_handles_defaults_runs_comments_and_types() {
+        let manifest = parse_manifest(
+            "# header comment\n\
+             threads = \"auto\"   # inline comment\n\
+             fraction = 0.1\n\
+             \n\
+             [[run]]\n\
+             name = \"a\"\n\
+             nodes = 500\n\
+             skew = 8.0\n\
+             [[run]]\n\
+             name = \"b # not a comment\"\n\
+             dataset = \"Cora\"\n",
+        )
+        .unwrap();
+        assert_eq!(manifest.runs.len(), 2);
+        assert_eq!(
+            manifest.defaults.string("threads").unwrap(),
+            Some("auto".to_string())
+        );
+        assert_eq!(manifest.defaults.f64_value("fraction").unwrap(), Some(0.1));
+        assert_eq!(manifest.runs[0].usize_value("nodes").unwrap(), Some(500));
+        assert_eq!(manifest.runs[0].f64_value("skew").unwrap(), Some(8.0));
+        assert_eq!(
+            manifest.runs[1].string("name").unwrap(),
+            Some("b # not a comment".to_string())
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input_with_line_numbers() {
+        let assert_err = |content: &str, needle: &str| {
+            let e = parse_manifest(content).unwrap_err();
+            assert!(e.contains(needle), "'{e}' should mention '{needle}'");
+        };
+        assert_err("[[run]]\nkey value\n", "line 2");
+        assert_err("[[run]]\nx = \"unterminated\n", "unterminated");
+        assert_err("[[run]]\nx = maybe\n", "cannot parse");
+        assert_err("[section]\n[[run]]\n", "unknown section");
+        assert_err("[[run]]\na = 1\na = 2\n", "duplicate");
+        assert_err("threads = \"auto\"\n", "no [[run]]");
+        // Unknown keys are rejected during execution-side validation.
+        let manifest = parse_manifest("[[run]]\nbogus = 1\n").unwrap();
+        assert!(validate_keys(&manifest.runs[0], "run")
+            .unwrap_err()
+            .contains("bogus"));
+    }
+
+    #[test]
+    fn type_mismatches_are_reported() {
+        let manifest = parse_manifest("[[run]]\nnodes = \"many\"\nname = 7\n").unwrap();
+        assert!(manifest.runs[0].usize_value("nodes").is_err());
+        assert!(manifest.runs[0].string("name").is_err());
+        let negative = parse_manifest("[[run]]\nnodes = -4\n").unwrap();
+        assert!(negative.runs[0].usize_value("nodes").is_err());
+    }
+
+    #[test]
+    fn synthetic_manifest_runs_end_to_end() {
+        let dir = temp_dir("synthetic");
+        let manifest_path = dir.join("exp.toml");
+        std::fs::write(
+            &manifest_path,
+            "estimator = \"mce\"\n\
+             fraction = 0.1\n\
+             [[run]]\n\
+             name = \"small\"\n\
+             nodes = 300\n\
+             degree = 8.0\n\
+             classes = 3\n\
+             skew = 8.0\n\
+             seed = 3\n\
+             out = \"pred.tsv\"\n\
+             report = \"report.json\"\n\
+             [[run]]\n\
+             name = \"rw-baseline\"\n\
+             nodes = 200\n\
+             propagator = \"rw\"\n",
+        )
+        .unwrap();
+        let output = run_manifest(&manifest_path).unwrap();
+        let lines: Vec<&str> = output.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"name\":\"small\""));
+        assert!(lines[0].contains("\"estimator\":\"MCE\""));
+        assert!(lines[0].contains("\"accuracy\":"));
+        assert!(lines[1].contains("\"propagator\":\"RandomWalk\""));
+        assert!(dir.join("pred.tsv").exists());
+        let report = std::fs::read_to_string(dir.join("report.json")).unwrap();
+        assert!(report.contains("\"name\":\"small\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_summary_cache_is_warm_on_second_execution() {
+        let dir = temp_dir("cache");
+        let manifest_path = dir.join("exp.toml");
+        std::fs::write(
+            &manifest_path,
+            "summary-cache = \"summaries\"\n\
+             [[run]]\n\
+             name = \"cached\"\n\
+             nodes = 300\n\
+             seed = 5\n\
+             fraction = 0.1\n",
+        )
+        .unwrap();
+        let cold = run_manifest(&manifest_path).unwrap();
+        assert!(cold.contains("\"summary_computations\":1"), "{cold}");
+        let warm = run_manifest(&manifest_path).unwrap();
+        assert!(warm.contains("\"summary_computations\":0"), "{warm}");
+        assert!(warm.contains("\"summary_store_hits\":1"), "{warm}");
+        assert!(dir.join("summaries").is_dir());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn defaults_supply_dataset_keys_and_reject_per_run_only_ones() {
+        let dir = temp_dir("defaults");
+        let manifest_path = dir.join("exp.toml");
+        // The dataset (generator mode) lives entirely in the defaults; entries only
+        // override what differs.
+        std::fs::write(
+            &manifest_path,
+            "nodes = 300\n\
+             classes = 3\n\
+             skew = 8.0\n\
+             seed = 9\n\
+             fraction = 0.1\n\
+             estimator = \"mce\"\n\
+             [[run]]\n\
+             name = \"default-dataset\"\n\
+             [[run]]\n\
+             name = \"smaller\"\n\
+             nodes = 200\n",
+        )
+        .unwrap();
+        let output = run_manifest(&manifest_path).unwrap();
+        let lines: Vec<&str> = output.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(
+            lines[0].contains("synthetic(n=300,k=3,h=8,seed=9)"),
+            "{output}"
+        );
+        assert!(
+            lines[1].contains("synthetic(n=200,k=3,h=8,seed=9)"),
+            "{output}"
+        );
+        // Per-run-only keys cannot be defaults.
+        std::fs::write(&manifest_path, "out = \"pred.tsv\"\n[[run]]\nnodes = 100\n").unwrap();
+        let e = run_manifest(&manifest_path).unwrap_err();
+        assert!(e.contains("per-run only"), "{e}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_dataset_and_bad_specs_error_with_run_name() {
+        let dir = temp_dir("errors");
+        let path = dir.join("bad.toml");
+        std::fs::write(&path, "[[run]]\nname = \"x\"\nestimator = \"mce\"\n").unwrap();
+        let e = run_manifest(&path).unwrap_err();
+        assert!(e.contains("run 'x'"), "{e}");
+        assert!(e.contains("needs a dataset"), "{e}");
+        std::fs::write(&path, "[[run]]\nnodes = 100\nestimator = \"nope\"\n").unwrap();
+        assert!(run_manifest(&path).unwrap_err().contains("unknown"));
+        std::fs::write(&path, "[[run]]\nnodes = 100\npropagator = \"nope\"\n").unwrap();
+        assert!(run_manifest(&path)
+            .unwrap_err()
+            .contains("unknown propagation method"));
+        assert!(run_manifest(&dir.join("absent.toml"))
+            .unwrap_err()
+            .contains("cannot read"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

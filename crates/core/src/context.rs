@@ -3,10 +3,13 @@
 //! The paper's efficiency argument (Propositions 4.3–4.5) is that *every* estimator
 //! consumes the same factorized length-ℓ path statistics `P̂(ℓ)`, so compatibility
 //! estimation is a cheap preprocessing step on top of one `O(m·k·ℓmax)` graph
-//! summarization. This module makes that sharing explicit: an [`EstimationContext`]
-//! owns a `(graph, seeds)` pair plus a [`SummaryCache`] that computes the raw path
-//! counts **once** per counting mode and answers every subsequent request from the
-//! cached prefix:
+//! summarization. This module makes that sharing explicit — and **content-addressed**:
+//! cache entries are keyed by the [`Fingerprint`]s of the graph and seed set (plus the
+//! counting mode), never by pointer identity, so two independently loaded copies of
+//! the same dataset share one cached summary. An [`EstimationContext`] bundles a
+//! `(graph, seeds)` pair, their fingerprints, and a (possibly shared) [`SummaryCache`]
+//! that computes the raw path counts **once** per `(graph_fp, seed_fp, mode)` key and
+//! answers every subsequent request from the cached prefix:
 //!
 //! * counts are normalization-independent, so a cached summary serves *any*
 //!   [`NormalizationVariant`](crate::normalization::NormalizationVariant);
@@ -15,6 +18,14 @@
 //!   [`summarize`](crate::paths::summarize) call;
 //! * the `W·N(ℓ-1)` products run under the context's [`Threads`] policy through the
 //!   bit-identical parallel kernels of `fg_sparse`.
+//!
+//! Below the in-memory cache sits an optional persistent tier: attach a
+//! [`SummaryStore`] with [`EstimationContext::store`] and cache misses first try the
+//! store (read-through; a hit counts in [`store_hits`](EstimationContext::store_hits),
+//! not in [`summary_computations`](EstimationContext::summary_computations)), and
+//! freshly computed counts are written back so the *next process* on the same dataset
+//! skips summarization entirely. Corrupt or mismatched store files are rejected with a
+//! warning on stderr and recomputed — they can cost time, never correctness.
 //!
 //! Sweeps that evaluate several estimators (MCE, DCE, DCEr, …) on one seeded graph
 //! build a single context, optionally [`warm`](EstimationContext::warm) it to the
@@ -28,15 +39,16 @@ use crate::error::Result;
 use crate::paths::{
     compute_path_counts, summary_from_counts, validate_summary_inputs, GraphSummary, SummaryConfig,
 };
-use fg_graph::{Graph, SeedLabels};
+use crate::store::SummaryStore;
+use fg_graph::{Fingerprint, Graph, SeedLabels};
 use fg_sparse::{DenseMatrix, Threads};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// Interior state guarded by the cache mutex: one cached count-prefix per counting
-/// mode plus the cached `W·X` product used by LCE.
+/// Cached artifacts for one `(graph_fp, seed_fp)` pair.
 #[derive(Debug, Default)]
-struct CacheState {
+struct PairState {
     /// Cached raw count matrices per counting mode, index 0 = plain paths,
     /// index 1 = non-backtracking. Entry `i` of a vector holds `M(i+1)`.
     counts: [Option<Vec<DenseMatrix>>; 2],
@@ -46,46 +58,103 @@ struct CacheState {
     wx: Option<Arc<DenseMatrix>>,
 }
 
-/// Memoized factorized path statistics for one `(graph, seeds)` pair.
+/// Memoized factorized path statistics, keyed by content: one entry per
+/// `(graph fingerprint, seed fingerprint)` pair, with the raw counts per counting
+/// mode inside.
 ///
-/// Thread-safe: requests are synchronized with a mutex, so a context can be shared
-/// across sweep workers. The cache stores only the variant-independent raw counts
-/// (`k x k` matrices, one per length) — normalization is applied per request, which is
-/// `O(k²·ℓmax)` and negligible.
+/// Thread-safe, and designed to be shared behind an [`Arc`] across any number of
+/// [`EstimationContext`]s — including contexts built on *different allocations* of
+/// the same data: because the key is the content fingerprint, separately loaded
+/// copies of one dataset hit the same entry. The cache stores only the
+/// variant-independent raw counts (`k x k` matrices, one per length) — normalization
+/// is applied per request, which is `O(k²·ℓmax)` and negligible.
+///
+/// Locking granularity: one mutex guards the whole cache, and it is held across a
+/// miss's `O(m·k·ℓmax)` computation (and store I/O). That is deliberate — it is what
+/// guarantees a key is computed **exactly once** no matter how many threads race on
+/// it, which the `computations()` counter (and the paper's "summarize once" claim)
+/// relies on — but it means concurrent misses on *different* keys serialize too.
+/// Workloads that want independent summarizations to overlap should use one cache
+/// per work item, as the parallel sweeps in `fg-bench` do; share a cache when the
+/// point is deduplication, not overlap.
 #[derive(Debug, Default)]
 pub struct SummaryCache {
-    state: Mutex<CacheState>,
+    state: Mutex<HashMap<(Fingerprint, Fingerprint), PairState>>,
     computations: AtomicUsize,
+    store_hits: AtomicUsize,
 }
 
 impl SummaryCache {
+    /// Create an empty cache behind an [`Arc`], ready to share across contexts.
+    pub fn shared() -> Arc<SummaryCache> {
+        Arc::new(SummaryCache::default())
+    }
+
+    /// How many times path counts were actually computed through this cache (cache
+    /// and store misses). See [`EstimationContext::summary_computations`].
+    pub fn computations(&self) -> usize {
+        self.computations.load(Ordering::Relaxed)
+    }
+
+    /// How many summary requests were answered from a persistent [`SummaryStore`]
+    /// instead of being recomputed.
+    pub fn store_hits(&self) -> usize {
+        self.store_hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct `(graph, seeds)` pairs currently cached.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("summary cache poisoned").len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     fn mode_index(non_backtracking: bool) -> usize {
         usize::from(non_backtracking)
     }
 }
 
-/// A `(graph, seeds)` pair bundled with a [`SummaryCache`] and a [`Threads`] policy —
-/// the single source of path statistics for every estimator in a comparison run.
+/// A `(graph, seeds)` pair bundled with its content [`Fingerprint`]s, a (possibly
+/// shared) [`SummaryCache`], an optional persistent [`SummaryStore`] tier, and a
+/// [`Threads`] policy — the single source of path statistics for every estimator in a
+/// comparison run.
 ///
-/// See the [module docs](self) for the caching contract. All cached artifacts are
-/// bit-identical to their uncached serial counterparts regardless of the thread
-/// policy.
+/// See the [module docs](self) for the caching contract. All cached, shared, and
+/// persisted artifacts are bit-identical to their uncached serial counterparts
+/// regardless of the thread policy or which process computed them.
 #[derive(Debug)]
 pub struct EstimationContext<'a> {
     graph: &'a Graph,
     seeds: &'a SeedLabels,
+    graph_fp: Fingerprint,
+    seed_fp: Fingerprint,
     threads: Threads,
-    cache: SummaryCache,
+    cache: Arc<SummaryCache>,
+    store: Option<Arc<SummaryStore>>,
 }
 
 impl<'a> EstimationContext<'a> {
-    /// Create a context over the given graph and seed labels (serial summarization).
+    /// Create a context over the given graph and seed labels with a private cache
+    /// (serial summarization).
     pub fn new(graph: &'a Graph, seeds: &'a SeedLabels) -> Self {
+        Self::with_cache(graph, seeds, SummaryCache::shared())
+    }
+
+    /// Create a context that answers requests from (and contributes to) a shared
+    /// [`SummaryCache`]. Because entries are keyed by fingerprint, contexts built on
+    /// independently loaded copies of the same dataset share one summary.
+    pub fn with_cache(graph: &'a Graph, seeds: &'a SeedLabels, cache: Arc<SummaryCache>) -> Self {
         EstimationContext {
             graph,
             seeds,
+            graph_fp: graph.fingerprint(),
+            seed_fp: seeds.fingerprint(),
             threads: Threads::Serial,
-            cache: SummaryCache::default(),
+            cache,
+            store: None,
         }
     }
 
@@ -94,6 +163,16 @@ impl<'a> EstimationContext<'a> {
     /// time, never a cached value.
     pub fn threads(mut self, threads: Threads) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Attach a persistent [`SummaryStore`] as a read-through / write-back tier below
+    /// the in-memory cache: misses first try the store, and freshly computed counts
+    /// are persisted for future processes. Stored counts are bit-identical to fresh
+    /// computation; corrupt or mismatched files are rejected with a warning on stderr
+    /// and recomputed (then overwritten).
+    pub fn store(mut self, store: Arc<SummaryStore>) -> Self {
+        self.store = Some(store);
         self
     }
 
@@ -107,42 +186,80 @@ impl<'a> EstimationContext<'a> {
         self.seeds
     }
 
+    /// The content fingerprint of the graph (the first half of the cache key).
+    pub fn graph_fingerprint(&self) -> Fingerprint {
+        self.graph_fp
+    }
+
+    /// The content fingerprint of the seed set (the second half of the cache key).
+    pub fn seed_fingerprint(&self) -> Fingerprint {
+        self.seed_fp
+    }
+
     /// The thread policy used for summarization kernels.
     pub fn thread_policy(&self) -> Threads {
         self.threads
     }
 
-    /// How many times the underlying path counts were actually computed (cache
-    /// misses). A comparison run that shares one context across MCE + DCE + DCEr
-    /// should see exactly one computation per counting mode — tests assert this.
-    pub fn summary_computations(&self) -> usize {
-        self.cache.computations.load(Ordering::Relaxed)
+    /// The cache this context reads from and writes to (shareable across contexts).
+    pub fn cache(&self) -> &Arc<SummaryCache> {
+        &self.cache
     }
 
-    /// The graph summary for `config`, served from the cache when a long-enough
-    /// prefix for the counting mode is already stored, computed (and cached)
+    /// The attached persistent store, if any.
+    pub fn summary_store(&self) -> Option<&Arc<SummaryStore>> {
+        self.store.as_ref()
+    }
+
+    /// How many times the underlying path counts were actually computed through this
+    /// context's cache (cache *and* store misses). A comparison run that shares one
+    /// context across MCE + DCE + DCEr sees exactly one computation per counting
+    /// mode, and a warm persistent store drives this to **zero** — tests and the CI
+    /// warm-path job assert both. Note: for a shared cache the counter is cumulative
+    /// across every context using it.
+    pub fn summary_computations(&self) -> usize {
+        self.cache.computations()
+    }
+
+    /// How many summary requests were served from the persistent store instead of
+    /// being recomputed (cumulative across contexts sharing the cache).
+    pub fn store_hits(&self) -> usize {
+        self.cache.store_hits()
+    }
+
+    /// The graph summary for `config`, served from the in-memory cache when a
+    /// long-enough prefix for the counting mode is already stored, then from the
+    /// persistent store (if attached), and computed — and cached / persisted —
     /// otherwise.
     ///
     /// Bit-identical to a fresh [`summarize`](crate::paths::summarize) call with the
-    /// same configuration: counts are prefix-stable in `max_length` and independent of
-    /// the normalization variant.
+    /// same configuration: counts are prefix-stable in `max_length`, independent of
+    /// the normalization variant, and round-trip the store exactly.
     pub fn summary(&self, config: &SummaryConfig) -> Result<GraphSummary> {
         validate_summary_inputs(self.graph, self.seeds, config.max_length)?;
         let mode = SummaryCache::mode_index(config.non_backtracking);
         let mut state = self.cache.state.lock().expect("summary cache poisoned");
-        let cached_len = state.counts[mode].as_ref().map_or(0, |c| c.len());
+        let entry = state.entry((self.graph_fp, self.seed_fp)).or_default();
+        let cached_len = entry.counts[mode].as_ref().map_or(0, |c| c.len());
         if cached_len < config.max_length {
-            let counts = compute_path_counts(
-                self.graph,
-                self.seeds,
-                config.max_length,
-                config.non_backtracking,
-                self.threads,
-            )?;
-            self.cache.computations.fetch_add(1, Ordering::Relaxed);
-            state.counts[mode] = Some(counts);
+            let counts = match self.load_from_store(config) {
+                Some(stored) => stored,
+                None => {
+                    let counts = compute_path_counts(
+                        self.graph,
+                        self.seeds,
+                        config.max_length,
+                        config.non_backtracking,
+                        self.threads,
+                    )?;
+                    self.cache.computations.fetch_add(1, Ordering::Relaxed);
+                    self.write_back(config, &counts);
+                    counts
+                }
+            };
+            entry.counts[mode] = Some(counts);
         }
-        let counts = state.counts[mode]
+        let counts = entry.counts[mode]
             .as_ref()
             .expect("counts cached above")
             .iter()
@@ -157,6 +274,44 @@ impl<'a> EstimationContext<'a> {
         ))
     }
 
+    /// Try the persistent tier for a long-enough stored prefix. Returns `None` on a
+    /// miss; corrupt / mismatched files warn on stderr and count as misses.
+    fn load_from_store(&self, config: &SummaryConfig) -> Option<Vec<DenseMatrix>> {
+        let store = self.store.as_ref()?;
+        match store.load(self.graph_fp, self.seed_fp, config.non_backtracking) {
+            Ok(Some(stored))
+                if stored.k == self.seeds.k() && stored.counts.len() >= config.max_length =>
+            {
+                self.cache.store_hits.fetch_add(1, Ordering::Relaxed);
+                Some(stored.counts)
+            }
+            // Present but too short (or absent): recompute; a k mismatch with equal
+            // fingerprints cannot happen for intact files, so it falls out as corrupt
+            // via the checksum long before this point.
+            Ok(_) => None,
+            Err(e) => {
+                eprintln!("warning: {e}; recomputing summary");
+                None
+            }
+        }
+    }
+
+    /// Persist freshly computed counts (best-effort: persistence failures warn and
+    /// are otherwise ignored — the result is already in memory).
+    fn write_back(&self, config: &SummaryConfig, counts: &[DenseMatrix]) {
+        if let Some(store) = &self.store {
+            if let Err(e) = store.save(
+                self.graph_fp,
+                self.seed_fp,
+                config.non_backtracking,
+                self.seeds.k(),
+                counts,
+            ) {
+                eprintln!("warning: could not persist summary: {e}");
+            }
+        }
+    }
+
     /// Precompute (and cache) the counts for `config` without building a summary.
     /// Useful to front-load the expensive summarization before a timed or shared
     /// section; subsequent [`summary`](Self::summary) calls with `max_length` up to
@@ -167,18 +322,20 @@ impl<'a> EstimationContext<'a> {
 
     /// The cached `W · X` product (`n x k`, `X` the one-hot seed matrix) — the
     /// statistic LCE's energy is built from. Computed once under the context's thread
-    /// policy (bit-identical to the serial product). Returned behind an `Arc` so
-    /// cache hits share the stored matrix instead of copying it; callers that need
-    /// ownership clone the matrix outside the cache lock.
+    /// policy (bit-identical to the serial product) and shared by fingerprint like the
+    /// path counts; not persisted to the store (it is `n x k`, not `k x k`). Returned
+    /// behind an `Arc` so cache hits share the stored matrix instead of copying it;
+    /// callers that need ownership clone the matrix outside the cache lock.
     pub fn wx(&self) -> Result<Arc<DenseMatrix>> {
         let mut state = self.cache.state.lock().expect("summary cache poisoned");
-        if state.wx.is_none() {
+        let entry = state.entry((self.graph_fp, self.seed_fp)).or_default();
+        if entry.wx.is_none() {
             let x = self.seeds.to_matrix();
-            state.wx = Some(Arc::new(
+            entry.wx = Some(Arc::new(
                 self.graph.adjacency().spmm_dense_with(&x, self.threads)?,
             ));
         }
-        Ok(Arc::clone(state.wx.as_ref().expect("wx cached above")))
+        Ok(Arc::clone(entry.wx.as_ref().expect("wx cached above")))
     }
 }
 
@@ -255,6 +412,40 @@ mod tests {
     }
 
     #[test]
+    fn shared_cache_serves_equal_content_across_contexts() {
+        // The content-addressing contract: a clone is a different allocation but the
+        // same content, so a shared cache answers it without recomputing.
+        let (graph, seeds) = seeded_graph();
+        let graph_copy = graph.clone();
+        let seeds_copy = seeds.clone();
+        let cache = SummaryCache::shared();
+        let ctx = EstimationContext::with_cache(&graph, &seeds, Arc::clone(&cache));
+        let ctx_copy = EstimationContext::with_cache(&graph_copy, &seeds_copy, Arc::clone(&cache));
+        assert!(!std::ptr::eq(ctx.graph(), ctx_copy.graph()));
+
+        let config = SummaryConfig::with_max_length(4);
+        let first = ctx.summary(&config).unwrap();
+        let second = ctx_copy.summary(&config).unwrap();
+        assert_eq!(cache.computations(), 1);
+        assert_eq!(cache.len(), 1);
+        for l in 1..=4 {
+            assert_eq!(
+                first.count(l).unwrap().data(),
+                second.count(l).unwrap().data()
+            );
+        }
+        // A different seed set is a different key in the same cache.
+        let mut rng = StdRng::seed_from_u64(99);
+        let cfg = GeneratorConfig::balanced(400, 10.0, 3, 3.0).unwrap();
+        let other = generate(&cfg, &mut rng).unwrap();
+        let other_seeds = other.labeling.stratified_sample(0.1, &mut rng);
+        let ctx_other = EstimationContext::with_cache(&other.graph, &other_seeds, cache.clone());
+        ctx_other.warm(&config).unwrap();
+        assert_eq!(cache.computations(), 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
     fn wx_is_cached_and_matches_serial_product() {
         let (graph, seeds) = seeded_graph();
         let ctx = EstimationContext::new(&graph, &seeds).threads(Threads::Fixed(4));
@@ -280,5 +471,105 @@ mod tests {
         assert!(std::ptr::eq(ctx.graph(), &graph));
         assert!(std::ptr::eq(ctx.seeds(), &seeds));
         assert_eq!(ctx.thread_policy(), Threads::Auto);
+        assert_eq!(ctx.graph_fingerprint(), graph.fingerprint());
+        assert_eq!(ctx.seed_fingerprint(), seeds.fingerprint());
+        assert!(ctx.summary_store().is_none());
+        assert!(ctx.cache().is_empty());
+        assert_eq!(ctx.store_hits(), 0);
+    }
+
+    #[test]
+    fn store_round_trip_serves_new_cache_without_computation() {
+        let (graph, seeds) = seeded_graph();
+        let dir = std::env::temp_dir().join("fg_ctx_store_round_trip");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = Arc::new(SummaryStore::open(&dir).unwrap());
+        let config = SummaryConfig::with_max_length(5);
+
+        // Cold: computes and writes back.
+        let warm_ctx = EstimationContext::new(&graph, &seeds).store(Arc::clone(&store));
+        let fresh = warm_ctx.summary(&config).unwrap();
+        assert_eq!(warm_ctx.summary_computations(), 1);
+        assert_eq!(warm_ctx.store_hits(), 0);
+
+        // Warm path: a brand-new cache (simulating a new process) is served from disk
+        // with zero computations and bit-identical results.
+        let cold_ctx = EstimationContext::new(&graph, &seeds).store(Arc::clone(&store));
+        let served = cold_ctx.summary(&config).unwrap();
+        assert_eq!(cold_ctx.summary_computations(), 0);
+        assert_eq!(cold_ctx.store_hits(), 1);
+        for l in 1..=5 {
+            assert_eq!(
+                served.count(l).unwrap().data(),
+                fresh.count(l).unwrap().data()
+            );
+            assert_eq!(
+                served.statistic(l).unwrap().data(),
+                fresh.statistic(l).unwrap().data()
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn short_stored_prefix_is_recomputed_and_extended() {
+        let (graph, seeds) = seeded_graph();
+        let dir = std::env::temp_dir().join("fg_ctx_store_extend");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = Arc::new(SummaryStore::open(&dir).unwrap());
+
+        let short_ctx = EstimationContext::new(&graph, &seeds).store(Arc::clone(&store));
+        short_ctx.warm(&SummaryConfig::with_max_length(2)).unwrap();
+
+        // A longer request cannot be served by the stored lmax = 2 prefix: it is
+        // recomputed and the store upgraded to lmax = 5.
+        let long_ctx = EstimationContext::new(&graph, &seeds).store(Arc::clone(&store));
+        long_ctx.warm(&SummaryConfig::with_max_length(5)).unwrap();
+        assert_eq!(long_ctx.summary_computations(), 1);
+        assert_eq!(long_ctx.store_hits(), 0);
+
+        // Now lmax <= 5 requests are store hits for fresh caches.
+        let reread = EstimationContext::new(&graph, &seeds).store(Arc::clone(&store));
+        reread.warm(&SummaryConfig::with_max_length(4)).unwrap();
+        assert_eq!(reread.summary_computations(), 0);
+        assert_eq!(reread.store_hits(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_store_file_is_recomputed_and_repaired() {
+        let (graph, seeds) = seeded_graph();
+        let dir = std::env::temp_dir().join("fg_ctx_store_corrupt");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = Arc::new(SummaryStore::open(&dir).unwrap());
+        let config = SummaryConfig::with_max_length(3);
+
+        let writer = EstimationContext::new(&graph, &seeds).store(Arc::clone(&store));
+        let expected = writer.summary(&config).unwrap();
+
+        // Damage the persisted file.
+        let path = store.path_for(graph.fingerprint(), seeds.fingerprint(), true);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+
+        // The damaged file is rejected (not served), the summary recomputed
+        // correctly, and the file repaired by the write-back.
+        let reader = EstimationContext::new(&graph, &seeds).store(Arc::clone(&store));
+        let recovered = reader.summary(&config).unwrap();
+        assert_eq!(reader.summary_computations(), 1);
+        assert_eq!(reader.store_hits(), 0);
+        for l in 1..=3 {
+            assert_eq!(
+                recovered.count(l).unwrap().data(),
+                expected.count(l).unwrap().data()
+            );
+        }
+        let healed = EstimationContext::new(&graph, &seeds).store(Arc::clone(&store));
+        healed.warm(&config).unwrap();
+        assert_eq!(healed.summary_computations(), 0);
+        assert_eq!(healed.store_hits(), 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -11,6 +11,10 @@ pub enum CoreError {
     OptimizationFailed(String),
     /// The input (graph / seed labels) is unusable for estimation.
     InvalidInput(String),
+    /// A persistent summary-store file is unusable: missing directory, I/O failure,
+    /// or a corrupt / mismatched cache file (bad magic, failed checksum, or embedded
+    /// fingerprints that disagree with the request).
+    Store(String),
     /// Error bubbled up from the graph layer.
     Graph(fg_graph::GraphError),
     /// Error bubbled up from the linear-algebra layer.
@@ -23,6 +27,7 @@ impl fmt::Display for CoreError {
             CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             CoreError::OptimizationFailed(msg) => write!(f, "optimization failed: {msg}"),
             CoreError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            CoreError::Store(msg) => write!(f, "summary store error: {msg}"),
             CoreError::Graph(e) => write!(f, "graph error: {e}"),
             CoreError::Sparse(e) => write!(f, "linear algebra error: {e}"),
         }

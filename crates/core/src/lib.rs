@@ -85,6 +85,7 @@ pub mod optimize;
 pub mod param;
 pub mod paths;
 pub mod pipeline;
+pub mod store;
 
 pub use context::{EstimationContext, SummaryCache};
 pub use energy::{distance_weights, DceEnergy, EnergyFunction, LceEnergy, MceEnergy};
@@ -112,11 +113,12 @@ pub use paths::{
     summarize_with, GraphSummary, SummaryConfig,
 };
 pub use pipeline::{Pipeline, PipelineReport};
+pub use store::{StoreEntry, StoreMeta, StoredCounts, SummaryStore};
 
 /// Convenience re-exports covering the most common end-to-end usage: graph generation,
 /// estimation, propagation, and metrics.
 pub mod prelude {
-    pub use crate::context::EstimationContext;
+    pub use crate::context::{EstimationContext, SummaryCache};
     pub use crate::estimators::registry::{estimator_by_name, EstimatorOptions};
     pub use crate::estimators::{
         CompatibilityEstimator, DceConfig, DceWithRestarts, DistantCompatibilityEstimation,
@@ -126,8 +128,9 @@ pub mod prelude {
     pub use crate::normalization::NormalizationVariant;
     pub use crate::paths::{summarize, summarize_with, SummaryConfig};
     pub use crate::pipeline::{Pipeline, PipelineReport};
+    pub use crate::store::SummaryStore;
     pub use fg_graph::{
-        generate, measure_compatibilities, CompatibilityMatrix, DegreeDistribution,
+        generate, measure_compatibilities, CompatibilityMatrix, DegreeDistribution, Fingerprint,
         GeneratorConfig, Graph, Labeling, SeedLabels,
     };
     pub use fg_propagation::{

@@ -101,17 +101,107 @@ fn scale_rows(m: &DenseMatrix, factors: &[f64]) -> DenseMatrix {
     out
 }
 
-/// Accumulate `M = Xᵀ N` where `X` is the one-hot seed matrix: row `i` of `N` is added
-/// to row `class(i)` of the result for every labeled node `i`.
-fn seed_transpose_product(seeds: &SeedLabels, n_matrix: &DenseMatrix) -> DenseMatrix {
+/// Fixed row-block size for the chunked `Xᵀ N` reduction. The chunk boundaries are a
+/// property of the *data* (node count), never of the thread policy, which is what
+/// makes the reduction bit-identical at any thread count: every run accumulates the
+/// same per-chunk partials and merges them in the same order.
+const SEED_TRANSPOSE_CHUNK_ROWS: usize = 4096;
+
+/// Accumulate rows `range` of `M = Xᵀ N` into a fresh `k x k` partial: row `i` of `N`
+/// is added to row `class(i)` for every labeled node `i` in the range, in node order.
+fn seed_transpose_partial(
+    seeds: &SeedLabels,
+    n_matrix: &DenseMatrix,
+    range: std::ops::Range<usize>,
+) -> DenseMatrix {
     let k = seeds.k();
     let mut m = DenseMatrix::zeros(k, k);
-    for i in 0..seeds.n() {
+    for i in range {
         if let Some(c) = seeds.get(i) {
             let row = n_matrix.row(i);
             for (j, &v) in row.iter().enumerate() {
                 m.add_at(c, j, v);
             }
+        }
+    }
+    m
+}
+
+/// Accumulate `M = Xᵀ N` where `X` is the one-hot seed matrix (serial entry point;
+/// see [`seed_transpose_product_with`] for the reduction contract).
+fn seed_transpose_product(seeds: &SeedLabels, n_matrix: &DenseMatrix) -> DenseMatrix {
+    seed_transpose_product_with(seeds, n_matrix, Threads::Serial)
+}
+
+/// `M = Xᵀ N` under a [`Threads`] policy, the last reduction of Algorithm 4.4.
+///
+/// The node range is split into fixed [`SEED_TRANSPOSE_CHUNK_ROWS`]-row chunks
+/// (independent of the thread count); workers accumulate disjoint chunks into private
+/// `k x k` partials and the partials are merged **in chunk order** on the calling
+/// thread. Because both the per-chunk accumulation order and the merge order are
+/// fixed by the data alone, the result is bit-identical at 1/2/4/auto threads — the
+/// same guarantee the `W·N(ℓ-1)` kernels give. A single-chunk input (n ≤ 4096) takes
+/// the exact serial path with no merge step at all.
+fn seed_transpose_product_with(
+    seeds: &SeedLabels,
+    n_matrix: &DenseMatrix,
+    threads: Threads,
+) -> DenseMatrix {
+    let n = seeds.n();
+    let num_chunks = n.div_ceil(SEED_TRANSPOSE_CHUNK_ROWS).max(1);
+    if num_chunks == 1 {
+        return seed_transpose_partial(seeds, n_matrix, 0..n);
+    }
+    let chunk_range = |c: usize| {
+        let start = c * SEED_TRANSPOSE_CHUNK_ROWS;
+        start..(start + SEED_TRANSPOSE_CHUNK_ROWS).min(n)
+    };
+    let workers = threads.count_for(num_chunks);
+    let partials: Vec<DenseMatrix> = if workers <= 1 {
+        (0..num_chunks)
+            .map(|c| seed_transpose_partial(seeds, n_matrix, chunk_range(c)))
+            .collect()
+    } else {
+        // Workers pull chunk indices from a shared queue and tag each partial with
+        // its index, so the merge below can replay chunk order regardless of which
+        // worker computed which chunk.
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let tagged: Vec<Vec<(usize, DenseMatrix)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let c = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if c >= num_chunks {
+                                break;
+                            }
+                            local
+                                .push((c, seed_transpose_partial(seeds, n_matrix, chunk_range(c))));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("seed-transpose worker panicked"))
+                .collect()
+        });
+        let mut slots: Vec<Option<DenseMatrix>> = (0..num_chunks).map(|_| None).collect();
+        for (c, partial) in tagged.into_iter().flatten() {
+            slots[c] = Some(partial);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every chunk is computed exactly once"))
+            .collect()
+    };
+    let mut iter = partials.into_iter();
+    let mut m = iter.next().expect("at least one chunk");
+    for partial in iter {
+        for (acc, v) in m.data_mut().iter_mut().zip(partial.data()) {
+            *acc += v;
         }
     }
     m
@@ -142,10 +232,11 @@ pub(crate) fn validate_summary_inputs(
 /// Compute the raw class-to-class path-count matrices `M(1)..M(ℓmax)` (the
 /// normalization-independent half of Algorithm 4.4) under a [`Threads`] policy.
 ///
-/// The `W · N(ℓ-1)` products run through the parallel sparse kernels, which are
-/// bit-identical to the serial ones at any thread count; everything else
-/// (`seed_transpose_product`, the degree corrections) is element-wise and stays on the
-/// calling thread, so the returned counts never depend on `threads`.
+/// Both halves of the per-length work run in parallel: the `W · N(ℓ-1)` products go
+/// through the parallel sparse kernels and the `Xᵀ·N(ℓ)` reduction through the
+/// chunked [`seed_transpose_product_with`] — each bit-identical to its serial
+/// counterpart at any thread count, so the returned counts never depend on
+/// `threads`. Only the element-wise degree corrections stay on the calling thread.
 pub(crate) fn compute_path_counts(
     graph: &Graph,
     seeds: &SeedLabels,
@@ -163,7 +254,7 @@ pub(crate) fn compute_path_counts(
 
     // N(1) = W X for both counting modes.
     let n1 = w.spmm_dense_with(&x, threads)?;
-    counts.push(seed_transpose_product(seeds, &n1));
+    counts.push(seed_transpose_product_with(seeds, &n1, threads));
 
     let mut prev2; // N(ℓ-2)
     let mut prev1; // N(ℓ-1)
@@ -175,7 +266,7 @@ pub(crate) fn compute_path_counts(
         } else {
             w.spmm_dense_with(&n1, threads)?
         };
-        counts.push(seed_transpose_product(seeds, &n2));
+        counts.push(seed_transpose_product_with(seeds, &n2, threads));
         prev2 = n1;
         prev1 = n2;
         for _ell in 3..=max_length {
@@ -186,7 +277,7 @@ pub(crate) fn compute_path_counts(
             } else {
                 w.spmm_dense_with(&prev1, threads)?
             };
-            counts.push(seed_transpose_product(seeds, &next));
+            counts.push(seed_transpose_product_with(seeds, &next, threads));
             prev2 = prev1;
             prev1 = next;
         }

@@ -20,9 +20,11 @@
 use crate::context::EstimationContext;
 use crate::error::{CoreError, Result};
 use crate::estimators::CompatibilityEstimator;
+use crate::store::SummaryStore;
 use fg_graph::{Graph, Labeling, SeedLabels};
 use fg_propagation::{LinBp, PropagationOutcome, Propagator};
 use fg_sparse::{DenseMatrix, Threads};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Result of an end-to-end [`Pipeline`] run: which stages ran, what they produced,
@@ -51,6 +53,14 @@ pub struct PipelineReport {
     pub optimize_time: Duration,
     /// Wall-clock time of the propagation stage.
     pub propagation_time: Duration,
+    /// How many `O(m·k·ℓmax)` summarizations this run actually performed (cache and
+    /// store misses during the estimation stage). Zero when the summary came from a
+    /// pre-warmed shared context or the persistent store — the warm-path proof the
+    /// CI cache job asserts.
+    pub summary_computations: usize,
+    /// How many summary requests this run answered from a persistent
+    /// [`SummaryStore`] instead of recomputing.
+    pub summary_store_hits: usize,
     /// Macro-averaged accuracy on the unlabeled nodes (unweighted mean of per-class
     /// recalls), recorded by [`PipelineReport::evaluate`] when ground truth is
     /// available.
@@ -117,6 +127,8 @@ impl PipelineReport {
                 "\"propagation_seconds\":{:.6}",
                 self.propagation_time.as_secs_f64()
             ),
+            format!("\"summary_computations\":{}", self.summary_computations),
+            format!("\"summary_store_hits\":{}", self.summary_store_hits),
             format!("\"iterations\":{}", self.outcome.iterations),
             format!("\"converged\":{}", self.outcome.converged),
             format!(
@@ -181,6 +193,7 @@ pub struct Pipeline<'a> {
     threads: Option<Threads>,
     estimation_threads: Option<Threads>,
     context: Option<&'a EstimationContext<'a>>,
+    summary_store: Option<Arc<SummaryStore>>,
 }
 
 impl<'a> Pipeline<'a> {
@@ -196,6 +209,7 @@ impl<'a> Pipeline<'a> {
             threads: None,
             estimation_threads: None,
             context: None,
+            summary_store: None,
         }
     }
 
@@ -261,11 +275,24 @@ impl<'a> Pipeline<'a> {
 
     /// Run the estimation stage against a shared [`EstimationContext`], so several
     /// pipelines (e.g. one per estimator in a comparison run) reuse one cached graph
-    /// summary instead of each re-summarizing the graph. The context must have been
-    /// built on exactly the graph and seed labels this pipeline runs on;
-    /// [`run`](Pipeline::run) rejects a mismatched context.
+    /// summary instead of each re-summarizing the graph. The context must describe
+    /// the same graph and seed labels this pipeline runs on **by content**: matching
+    /// is by [`Fingerprint`](fg_graph::Fingerprint), so a context built on an
+    /// independently loaded copy of the same data is accepted;
+    /// [`run`](Pipeline::run) rejects a context whose fingerprints differ.
     pub fn context(mut self, context: &'a EstimationContext<'a>) -> Self {
         self.context = Some(context);
+        self
+    }
+
+    /// Attach a persistent [`SummaryStore`] to the estimation stage: when no shared
+    /// [`context`](Pipeline::context) is supplied, the pipeline's private
+    /// [`EstimationContext`] uses it as a read-through / write-back tier, so repeated
+    /// invocations on the same dataset (even across processes) skip summarization
+    /// entirely with bit-identical results. Ignored when a shared context is
+    /// supplied — the context's own store configuration governs.
+    pub fn summary_store(mut self, store: Arc<SummaryStore>) -> Self {
+        self.summary_store = Some(store);
         self
     }
 
@@ -283,12 +310,19 @@ impl<'a> Pipeline<'a> {
         }
 
         if let Some(ctx) = self.context {
-            // A shared context must describe exactly this pipeline's inputs, or its
-            // cached statistics would silently belong to a different problem.
-            if !std::ptr::eq(ctx.graph(), self.graph) || !std::ptr::eq(ctx.seeds(), seeds) {
+            // A shared context must describe this pipeline's inputs, or its cached
+            // statistics would silently belong to a different problem. Matching is by
+            // content fingerprint — pointer equality is only a fast path that skips
+            // hashing — so separately loaded copies of the same data are accepted.
+            let graph_matches = std::ptr::eq(ctx.graph(), self.graph)
+                || ctx.graph_fingerprint() == self.graph.fingerprint();
+            let seeds_matches =
+                std::ptr::eq(ctx.seeds(), seeds) || ctx.seed_fingerprint() == seeds.fingerprint();
+            if !graph_matches || !seeds_matches {
                 return Err(CoreError::InvalidConfig(
                     "the shared EstimationContext was built on a different graph or \
-                     seed set than this pipeline runs on"
+                     seed set (content fingerprints do not match) than this pipeline \
+                     runs on"
                         .into(),
                 ));
             }
@@ -299,67 +333,90 @@ impl<'a> Pipeline<'a> {
             let k = seeds.k();
             DenseMatrix::filled(k, k, 1.0 / k as f64)
         };
-        let (h, estimator_name, summarize_time, optimize_time) = match self.h_source {
-            Some(HSource::Estimate(estimator)) if !propagator.uses_compatibilities() => {
-                // The backend ignores H: skip the (potentially expensive) estimation
-                // stage entirely and record that it was skipped.
-                let base = self.estimator_label.unwrap_or_else(|| estimator.name());
-                (
-                    uniform_h(seeds),
-                    format!("{base} (skipped)"),
-                    Duration::ZERO,
-                    Duration::ZERO,
-                )
-            }
-            Some(HSource::Estimate(estimator)) => {
-                let estimator: Box<dyn CompatibilityEstimator + 'a> = match self.estimation_threads
-                {
-                    Some(threads) => estimator.with_threads(threads),
-                    None => estimator,
-                };
-                let name = self.estimator_label.unwrap_or_else(|| estimator.name());
-                // Every estimation run goes through a context (a private one when no
-                // shared context was supplied) so the summarize and optimize halves
-                // can be timed separately: warming the summary first makes the
-                // subsequent estimate call a pure optimization.
-                let owned_ctx;
-                let ctx: &EstimationContext<'_> = match self.context {
-                    Some(shared) => shared,
-                    None => {
-                        let threads = self.estimation_threads.unwrap_or(Threads::Serial);
-                        owned_ctx = EstimationContext::new(self.graph, seeds).threads(threads);
-                        &owned_ctx
-                    }
-                };
-                let summarize_start = Instant::now();
-                if let Some(summary_config) = estimator.summary_requirements() {
-                    ctx.warm(&summary_config)?;
+        let (h, estimator_name, summarize_time, optimize_time, computations, store_hits) =
+            match self.h_source {
+                Some(HSource::Estimate(estimator)) if !propagator.uses_compatibilities() => {
+                    // The backend ignores H: skip the (potentially expensive)
+                    // estimation stage entirely and record that it was skipped.
+                    let base = self.estimator_label.unwrap_or_else(|| estimator.name());
+                    (
+                        uniform_h(seeds),
+                        format!("{base} (skipped)"),
+                        Duration::ZERO,
+                        Duration::ZERO,
+                        0,
+                        0,
+                    )
                 }
-                let summarize_time = summarize_start.elapsed();
-                let optimize_start = Instant::now();
-                let h = estimator.estimate_with_context(ctx)?;
-                (h, name, summarize_time, optimize_start.elapsed())
-            }
-            Some(HSource::Explicit(name, h)) => (
-                h.clone(),
-                self.estimator_label.unwrap_or(name),
-                Duration::ZERO,
-                Duration::ZERO,
-            ),
-            None if !propagator.uses_compatibilities() => (
-                uniform_h(seeds),
-                "none".to_string(),
-                Duration::ZERO,
-                Duration::ZERO,
-            ),
-            None => {
-                return Err(CoreError::InvalidConfig(format!(
-                    "propagation backend '{}' needs a compatibility matrix: call \
-                     .estimator(...) or .compatibilities(...)",
-                    propagator.name()
-                )));
-            }
-        };
+                Some(HSource::Estimate(estimator)) => {
+                    let estimator: Box<dyn CompatibilityEstimator + 'a> =
+                        match self.estimation_threads {
+                            Some(threads) => estimator.with_threads(threads),
+                            None => estimator,
+                        };
+                    let name = self.estimator_label.unwrap_or_else(|| estimator.name());
+                    // Every estimation run goes through a context (a private one when
+                    // no shared context was supplied) so the summarize and optimize
+                    // halves can be timed separately: warming the summary first makes
+                    // the subsequent estimate call a pure optimization.
+                    let owned_ctx;
+                    let ctx: &EstimationContext<'_> = match self.context {
+                        Some(shared) => shared,
+                        None => {
+                            let threads = self.estimation_threads.unwrap_or(Threads::Serial);
+                            let mut built =
+                                EstimationContext::new(self.graph, seeds).threads(threads);
+                            if let Some(store) = &self.summary_store {
+                                built = built.store(Arc::clone(store));
+                            }
+                            owned_ctx = built;
+                            &owned_ctx
+                        }
+                    };
+                    // Counter deltas around this run, so the report stays meaningful
+                    // for shared contexts with cumulative counters.
+                    let computations_before = ctx.summary_computations();
+                    let store_hits_before = ctx.store_hits();
+                    let summarize_start = Instant::now();
+                    if let Some(summary_config) = estimator.summary_requirements() {
+                        ctx.warm(&summary_config)?;
+                    }
+                    let summarize_time = summarize_start.elapsed();
+                    let optimize_start = Instant::now();
+                    let h = estimator.estimate_with_context(ctx)?;
+                    (
+                        h,
+                        name,
+                        summarize_time,
+                        optimize_start.elapsed(),
+                        ctx.summary_computations() - computations_before,
+                        ctx.store_hits() - store_hits_before,
+                    )
+                }
+                Some(HSource::Explicit(name, h)) => (
+                    h.clone(),
+                    self.estimator_label.unwrap_or(name),
+                    Duration::ZERO,
+                    Duration::ZERO,
+                    0,
+                    0,
+                ),
+                None if !propagator.uses_compatibilities() => (
+                    uniform_h(seeds),
+                    "none".to_string(),
+                    Duration::ZERO,
+                    Duration::ZERO,
+                    0,
+                    0,
+                ),
+                None => {
+                    return Err(CoreError::InvalidConfig(format!(
+                        "propagation backend '{}' needs a compatibility matrix: call \
+                         .estimator(...) or .compatibilities(...)",
+                        propagator.name()
+                    )));
+                }
+            };
 
         let prop_start = Instant::now();
         let outcome = propagator
@@ -376,6 +433,8 @@ impl<'a> Pipeline<'a> {
             summarize_time,
             optimize_time,
             propagation_time,
+            summary_computations: computations,
+            summary_store_hits: store_hits,
             accuracy: None,
             micro_accuracy: None,
         })
@@ -643,6 +702,74 @@ mod tests {
             );
         }
         assert_eq!(ctx.summary_computations(), 1);
+    }
+
+    #[test]
+    fn context_on_equal_content_is_accepted_across_allocations() {
+        // Fingerprint matching: a context built on *clones* of the pipeline's graph
+        // and seeds (different pointers, same content) is accepted and its cache is
+        // reused — the old pointer-identity rejection is gone.
+        let cfg = GeneratorConfig::balanced(300, 8.0, 3, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(71);
+        let syn = generate(&cfg, &mut rng).unwrap();
+        let seeds = syn.labeling.stratified_sample(0.1, &mut rng);
+        let graph_copy = syn.graph.clone();
+        let seeds_copy = seeds.clone();
+        let ctx = EstimationContext::new(&graph_copy, &seeds_copy);
+        ctx.warm(&DceWithRestarts::default().config.summary_config())
+            .unwrap();
+
+        let report = Pipeline::on(&syn.graph)
+            .seeds(&seeds)
+            .context(&ctx)
+            .estimator(DceWithRestarts::default())
+            .run()
+            .unwrap();
+        // Served entirely from the pre-warmed shared cache: zero computations in
+        // this run, and the estimate equals a fresh standalone one bit-for-bit.
+        assert_eq!(report.summary_computations, 0);
+        assert_eq!(ctx.summary_computations(), 1);
+        let fresh = DceWithRestarts::default()
+            .estimate(&syn.graph, &seeds)
+            .unwrap();
+        assert_eq!(report.estimated_h.data(), fresh.data());
+    }
+
+    #[test]
+    fn summary_store_makes_second_run_computation_free() {
+        let cfg = GeneratorConfig::balanced(300, 8.0, 3, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(73);
+        let syn = generate(&cfg, &mut rng).unwrap();
+        let seeds = syn.labeling.stratified_sample(0.1, &mut rng);
+        let dir = std::env::temp_dir().join("fg_pipeline_store");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = Arc::new(crate::store::SummaryStore::open(&dir).unwrap());
+
+        let cold = Pipeline::on(&syn.graph)
+            .seeds(&seeds)
+            .estimator(DceWithRestarts::default())
+            .summary_store(Arc::clone(&store))
+            .run()
+            .unwrap();
+        assert_eq!(cold.summary_computations, 1);
+        assert_eq!(cold.summary_store_hits, 0);
+
+        let warm = Pipeline::on(&syn.graph)
+            .seeds(&seeds)
+            .estimator(DceWithRestarts::default())
+            .summary_store(Arc::clone(&store))
+            .run()
+            .unwrap();
+        assert_eq!(warm.summary_computations, 0);
+        assert_eq!(warm.summary_store_hits, 1);
+        // The warm path is bit-identical: same estimate, same predictions.
+        assert_eq!(warm.estimated_h.data(), cold.estimated_h.data());
+        assert_eq!(warm.outcome.predictions, cold.outcome.predictions);
+        assert_eq!(warm.outcome.beliefs.data(), cold.outcome.beliefs.data());
+        let json = warm.to_json();
+        assert!(json.contains("\"summary_computations\":0"));
+        assert!(json.contains("\"summary_store_hits\":1"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,491 @@
+//! Persistent, content-addressed storage for factorized graph summaries.
+//!
+//! The raw path-count matrices (`k x k` per length, ℓmax of them) are tiny compared
+//! to the `O(m·k·ℓmax)` work of computing them, so the [`SummaryStore`] persists them
+//! to disk keyed by the *content* of their inputs — the
+//! [`Fingerprint`]s of the graph and seed set plus the counting mode. A second
+//! process (or a later `fg` invocation) that loads the same dataset recomputes the
+//! fingerprints, finds the file, and skips summarization entirely; the
+//! [`EstimationContext`](crate::EstimationContext) uses the store as a
+//! read-through / write-back tier below its in-memory cache.
+//!
+//! # File format (version 1)
+//!
+//! One file per `(graph, seeds, counting mode)` triple, named
+//! `<graph_fp>-<seed_fp>-<nb|all>.fgsum`, all integers and floats little-endian:
+//!
+//! | field      | size          | content                                          |
+//! |------------|---------------|--------------------------------------------------|
+//! | magic      | 6 bytes       | `FGSUMM`                                         |
+//! | version    | `u16`         | `1`                                              |
+//! | graph_fp   | `u128`        | [`Graph::fingerprint`](fg_graph::Graph::fingerprint) |
+//! | seed_fp    | `u128`        | [`SeedLabels::fingerprint`](fg_graph::SeedLabels::fingerprint) |
+//! | mode       | `u8`          | `1` = non-backtracking counts, `0` = plain paths |
+//! | k          | `u32`         | number of classes                                |
+//! | lmax       | `u32`         | number of stored lengths                         |
+//! | counts     | `lmax·k²` f64 | `M(1)..M(lmax)`, row-major, exact bit patterns   |
+//! | checksum   | `u128`        | fingerprint hash of every preceding byte         |
+//!
+//! Because `f64` bit patterns round-trip exactly through the encoding, a loaded
+//! summary is **bit-identical** to the freshly computed one — the store never changes
+//! a result, only whether it is recomputed.
+//!
+//! # Failure policy
+//!
+//! Corrupt or mismatched files (wrong magic or version, truncated payload, failed
+//! checksum, embedded fingerprints that disagree with the request) are *rejected
+//! loudly*: [`SummaryStore::load`] returns [`CoreError::Store`] instead of silently
+//! serving bad data. The [`EstimationContext`](crate::EstimationContext) reacts by
+//! warning on stderr, recomputing from scratch, and overwriting the bad file — a
+//! damaged cache can cost time, never correctness.
+
+use crate::error::{CoreError, Result};
+use fg_graph::{Fingerprint, FingerprintBuilder};
+use fg_sparse::DenseMatrix;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// File-format magic bytes.
+const MAGIC: &[u8; 6] = b"FGSUMM";
+/// Current file-format version.
+pub const STORE_FORMAT_VERSION: u16 = 1;
+/// File extension used by the store.
+pub const STORE_EXTENSION: &str = "fgsum";
+/// Fixed header size: magic + version + two fingerprints + mode + k + lmax.
+const HEADER_LEN: usize = 6 + 2 + 16 + 16 + 1 + 4 + 4;
+/// Trailing checksum size.
+const CHECKSUM_LEN: usize = 16;
+
+/// A directory of persisted graph summaries (see the [module docs](self) for the
+/// format and failure policy).
+#[derive(Debug, Clone)]
+pub struct SummaryStore {
+    dir: PathBuf,
+}
+
+/// Raw counts loaded from the store: the variant-independent `M(1)..M(lmax)`
+/// matrices plus the class count they were computed with.
+#[derive(Debug, Clone)]
+pub struct StoredCounts {
+    /// The raw count matrices, index 0 holding `ℓ = 1`.
+    pub counts: Vec<DenseMatrix>,
+    /// Number of classes `k` (each matrix is `k x k`).
+    pub k: usize,
+}
+
+/// Parsed header of a stored summary, for `fg cache ls`-style listings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreMeta {
+    /// Fingerprint of the summarized graph.
+    pub graph_fp: Fingerprint,
+    /// Fingerprint of the seed set.
+    pub seed_fp: Fingerprint,
+    /// Whether the counts are non-backtracking.
+    pub non_backtracking: bool,
+    /// Number of classes.
+    pub k: usize,
+    /// Number of stored path lengths.
+    pub max_length: usize,
+}
+
+/// One file in the store directory, with its header if it parses.
+#[derive(Debug, Clone)]
+pub struct StoreEntry {
+    /// File name (not the full path).
+    pub file: String,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Parsed header, or `None` when the file is unreadable / corrupt.
+    pub meta: Option<StoreMeta>,
+}
+
+fn io_err(action: &str, path: &Path, e: std::io::Error) -> CoreError {
+    CoreError::Store(format!("cannot {action} {}: {e}", path.display()))
+}
+
+fn corrupt(path: &Path, reason: &str) -> CoreError {
+    CoreError::Store(format!(
+        "rejecting corrupt summary file {}: {reason}",
+        path.display()
+    ))
+}
+
+impl SummaryStore {
+    /// Open (creating if necessary) a store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<SummaryStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| io_err("create store directory", &dir, e))?;
+        Ok(SummaryStore { dir })
+    }
+
+    /// The default store location used by the CLI when `--summary-cache` is given
+    /// without a directory: `target/experiments/summaries`.
+    pub fn default_dir() -> PathBuf {
+        PathBuf::from("target/experiments/summaries")
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file path a `(graph, seeds, mode)` triple is stored under.
+    pub fn path_for(
+        &self,
+        graph_fp: Fingerprint,
+        seed_fp: Fingerprint,
+        non_backtracking: bool,
+    ) -> PathBuf {
+        let mode = if non_backtracking { "nb" } else { "all" };
+        self.dir.join(format!(
+            "{}-{}-{mode}.{STORE_EXTENSION}",
+            graph_fp.to_hex(),
+            seed_fp.to_hex()
+        ))
+    }
+
+    /// Persist raw count matrices for a `(graph, seeds, mode)` triple, overwriting any
+    /// existing file (written via a temporary file + rename so readers never observe a
+    /// partial write). Every matrix must be `k x k`.
+    pub fn save(
+        &self,
+        graph_fp: Fingerprint,
+        seed_fp: Fingerprint,
+        non_backtracking: bool,
+        k: usize,
+        counts: &[DenseMatrix],
+    ) -> Result<PathBuf> {
+        if counts.is_empty() {
+            return Err(CoreError::Store(
+                "refusing to persist an empty summary".into(),
+            ));
+        }
+        for (i, m) in counts.iter().enumerate() {
+            if m.rows() != k || m.cols() != k {
+                return Err(CoreError::Store(format!(
+                    "count matrix for length {} is {}x{} but k = {k}",
+                    i + 1,
+                    m.rows(),
+                    m.cols()
+                )));
+            }
+        }
+        let mut bytes = Vec::with_capacity(HEADER_LEN + counts.len() * k * k * 8 + CHECKSUM_LEN);
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&STORE_FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&graph_fp.as_u128().to_le_bytes());
+        bytes.extend_from_slice(&seed_fp.as_u128().to_le_bytes());
+        bytes.push(u8::from(non_backtracking));
+        bytes.extend_from_slice(&(k as u32).to_le_bytes());
+        bytes.extend_from_slice(&(counts.len() as u32).to_le_bytes());
+        for m in counts {
+            for &v in m.data() {
+                bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+        let checksum = checksum_of(&bytes);
+        bytes.extend_from_slice(&checksum.as_u128().to_le_bytes());
+
+        let path = self.path_for(graph_fp, seed_fp, non_backtracking);
+        let tmp = path.with_extension(format!("{STORE_EXTENSION}.tmp"));
+        fs::write(&tmp, &bytes).map_err(|e| io_err("write", &tmp, e))?;
+        fs::rename(&tmp, &path).map_err(|e| io_err("rename", &tmp, e))?;
+        Ok(path)
+    }
+
+    /// Load the persisted counts for a `(graph, seeds, mode)` triple.
+    ///
+    /// Returns `Ok(None)` when no file exists, `Ok(Some(..))` with the bit-exact
+    /// stored counts, and [`CoreError::Store`] when the file exists but is corrupt or
+    /// describes different inputs than requested (the loud-rejection policy).
+    pub fn load(
+        &self,
+        graph_fp: Fingerprint,
+        seed_fp: Fingerprint,
+        non_backtracking: bool,
+    ) -> Result<Option<StoredCounts>> {
+        let path = self.path_for(graph_fp, seed_fp, non_backtracking);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(io_err("read", &path, e)),
+        };
+        let (meta, payload_start) = parse_header(&bytes).map_err(|r| corrupt(&path, r))?;
+        if bytes.len() < payload_start + CHECKSUM_LEN {
+            return Err(corrupt(&path, "truncated payload"));
+        }
+        let (body, checksum_bytes) = bytes.split_at(bytes.len() - CHECKSUM_LEN);
+        let stored_checksum = Fingerprint::from_u128(u128::from_le_bytes(
+            checksum_bytes.try_into().expect("checksum is 16 bytes"),
+        ));
+        if checksum_of(body) != stored_checksum {
+            return Err(corrupt(&path, "checksum mismatch"));
+        }
+        if meta.graph_fp != graph_fp || meta.seed_fp != seed_fp {
+            return Err(corrupt(
+                &path,
+                "embedded fingerprints do not match the requested graph/seeds",
+            ));
+        }
+        if meta.non_backtracking != non_backtracking {
+            return Err(corrupt(&path, "embedded counting mode does not match"));
+        }
+        let k = meta.k;
+        let expected_payload = meta.max_length * k * k * 8;
+        let payload = &body[HEADER_LEN..];
+        if payload.len() != expected_payload {
+            return Err(corrupt(&path, "payload length disagrees with header"));
+        }
+        let mut counts = Vec::with_capacity(meta.max_length);
+        for l in 0..meta.max_length {
+            let mut data = Vec::with_capacity(k * k);
+            for e in 0..k * k {
+                let offset = (l * k * k + e) * 8;
+                let raw = u64::from_le_bytes(
+                    payload[offset..offset + 8]
+                        .try_into()
+                        .expect("8-byte slice"),
+                );
+                data.push(f64::from_bits(raw));
+            }
+            counts.push(
+                DenseMatrix::from_vec(k, k, data)
+                    .map_err(|e| corrupt(&path, &format!("invalid matrix: {e}")))?,
+            );
+        }
+        Ok(Some(StoredCounts { counts, k }))
+    }
+
+    /// List every store file — `.fgsum` plus any `.fgsum.tmp` left behind by an
+    /// interrupted write — with its parsed header (`meta: None` marks unreadable /
+    /// corrupt / stale-temporary files). Sorted by file name for stable output.
+    pub fn entries(&self) -> Result<Vec<StoreEntry>> {
+        let mut entries = Vec::new();
+        let dir_iter = match fs::read_dir(&self.dir) {
+            Ok(iter) => iter,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(entries),
+            Err(e) => return Err(io_err("read store directory", &self.dir, e)),
+        };
+        let store_suffix = format!(".{STORE_EXTENSION}");
+        let tmp_suffix = format!(".{STORE_EXTENSION}.tmp");
+        for item in dir_iter {
+            let item = item.map_err(|e| io_err("read store directory", &self.dir, e))?;
+            let path = item.path();
+            let file = item.file_name().to_string_lossy().into_owned();
+            let is_store_file = file.ends_with(&store_suffix);
+            // A crash between `fs::write` and `fs::rename` strands a temp file;
+            // listing it (always as corrupt) keeps it visible and clearable.
+            if !is_store_file && !file.ends_with(&tmp_suffix) {
+                continue;
+            }
+            let bytes = item.metadata().map(|m| m.len()).unwrap_or(0);
+            let meta = if is_store_file {
+                fs::read(&path)
+                    .ok()
+                    .and_then(|bytes| parse_header(&bytes).ok().map(|(meta, _)| meta))
+            } else {
+                None
+            };
+            entries.push(StoreEntry { file, bytes, meta });
+        }
+        entries.sort_by(|a, b| a.file.cmp(&b.file));
+        Ok(entries)
+    }
+
+    /// Delete every store file (including stale `.fgsum.tmp` leftovers), returning
+    /// how many were removed.
+    pub fn clear(&self) -> Result<usize> {
+        let mut removed = 0;
+        for entry in self.entries()? {
+            let path = self.dir.join(&entry.file);
+            fs::remove_file(&path).map_err(|e| io_err("remove", &path, e))?;
+            removed += 1;
+        }
+        Ok(removed)
+    }
+}
+
+/// Checksum over the encoded bytes, using the same FNV-1a 128 core as the
+/// fingerprints (domain-tagged so a checksum can never alias a fingerprint).
+fn checksum_of(bytes: &[u8]) -> Fingerprint {
+    let mut h = FingerprintBuilder::new(b"fg-summary-store-v1");
+    h.write_bytes(bytes);
+    h.finish()
+}
+
+/// Parse and validate the fixed-size header; returns the metadata and the payload
+/// offset. Errors are static descriptions suitable for [`corrupt`].
+fn parse_header(bytes: &[u8]) -> std::result::Result<(StoreMeta, usize), &'static str> {
+    if bytes.len() < HEADER_LEN + CHECKSUM_LEN {
+        return Err("file too short for a summary header");
+    }
+    if &bytes[0..6] != MAGIC {
+        return Err("bad magic bytes");
+    }
+    let version = u16::from_le_bytes(bytes[6..8].try_into().expect("2 bytes"));
+    if version != STORE_FORMAT_VERSION {
+        return Err("unsupported format version");
+    }
+    let graph_fp = Fingerprint::from_u128(u128::from_le_bytes(
+        bytes[8..24].try_into().expect("16 bytes"),
+    ));
+    let seed_fp = Fingerprint::from_u128(u128::from_le_bytes(
+        bytes[24..40].try_into().expect("16 bytes"),
+    ));
+    let non_backtracking = match bytes[40] {
+        0 => false,
+        1 => true,
+        _ => return Err("invalid counting-mode byte"),
+    };
+    let k = u32::from_le_bytes(bytes[41..45].try_into().expect("4 bytes")) as usize;
+    let max_length = u32::from_le_bytes(bytes[45..49].try_into().expect("4 bytes")) as usize;
+    if k == 0 || max_length == 0 {
+        return Err("header declares an empty summary");
+    }
+    Ok((
+        StoreMeta {
+            graph_fp,
+            seed_fp,
+            non_backtracking,
+            k,
+            max_length,
+        },
+        HEADER_LEN,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(name: &str) -> SummaryStore {
+        let dir = std::env::temp_dir().join(format!("fg_summary_store_{name}"));
+        std::fs::remove_dir_all(&dir).ok();
+        SummaryStore::open(dir).unwrap()
+    }
+
+    fn sample_counts() -> Vec<DenseMatrix> {
+        vec![
+            DenseMatrix::from_rows(&[vec![1.0, 2.5], vec![2.5, 0.125]]).unwrap(),
+            DenseMatrix::from_rows(&[vec![-0.0, 1e-300], vec![3.0, f64::MAX]]).unwrap(),
+        ]
+    }
+
+    fn fps() -> (Fingerprint, Fingerprint) {
+        (
+            Fingerprint::from_u128(0xabcd_1234),
+            Fingerprint::from_u128(0x5678_def0),
+        )
+    }
+
+    #[test]
+    fn save_load_round_trip_is_bit_exact() {
+        let store = temp_store("round_trip");
+        let (g, s) = fps();
+        let counts = sample_counts();
+        store.save(g, s, true, 2, &counts).unwrap();
+        let loaded = store.load(g, s, true).unwrap().unwrap();
+        assert_eq!(loaded.k, 2);
+        assert_eq!(loaded.counts.len(), 2);
+        for (a, b) in counts.iter().zip(&loaded.counts) {
+            // Bit-exact: compare raw bit patterns, not approximate values.
+            let bits = |m: &DenseMatrix| m.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(a), bits(b));
+        }
+        // The other counting mode is a separate (absent) file.
+        assert!(store.load(g, s, false).unwrap().is_none());
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn missing_file_is_none_not_error() {
+        let store = temp_store("missing");
+        let (g, s) = fps();
+        assert!(store.load(g, s, true).unwrap().is_none());
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn corrupt_files_are_rejected_loudly() {
+        let store = temp_store("corrupt");
+        let (g, s) = fps();
+        let path = store.save(g, s, true, 2, &sample_counts()).unwrap();
+
+        // Flip one payload byte: checksum must catch it.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = store.load(g, s, true).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+
+        // Truncation is caught.
+        let good = {
+            store.save(g, s, true, 2, &sample_counts()).unwrap();
+            std::fs::read(&path).unwrap()
+        };
+        std::fs::write(&path, &good[..good.len() - 7]).unwrap();
+        assert!(store.load(g, s, true).is_err());
+
+        // Wrong magic is caught.
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        std::fs::write(&path, &bad_magic).unwrap();
+        let err = store.load(g, s, true).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+
+        // A file copied under the wrong name (mismatched fingerprints) is caught.
+        std::fs::write(&path, &good).unwrap();
+        let other = Fingerprint::from_u128(0x9999);
+        let wrong_name = store.path_for(g, other, true);
+        std::fs::copy(&path, &wrong_name).unwrap();
+        let err = store.load(g, other, true).unwrap_err();
+        assert!(err.to_string().contains("fingerprints"), "{err}");
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn save_validates_shapes() {
+        let store = temp_store("shapes");
+        let (g, s) = fps();
+        assert!(store.save(g, s, true, 2, &[]).is_err());
+        let wrong = vec![DenseMatrix::zeros(2, 3)];
+        assert!(store.save(g, s, true, 2, &wrong).is_err());
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn entries_and_clear() {
+        let store = temp_store("entries");
+        let (g, s) = fps();
+        store.save(g, s, true, 2, &sample_counts()).unwrap();
+        store.save(g, s, false, 2, &sample_counts()).unwrap();
+        // A stray corrupt file is listed with meta = None and still cleared.
+        std::fs::write(store.dir().join(format!("junk.{STORE_EXTENSION}")), b"nope").unwrap();
+        // So is a temp file stranded by an interrupted save.
+        std::fs::write(
+            store.dir().join(format!("stale.{STORE_EXTENSION}.tmp")),
+            b"half a write",
+        )
+        .unwrap();
+        // Non-store files are ignored.
+        std::fs::write(store.dir().join("README.txt"), b"not a summary").unwrap();
+
+        let entries = store.entries().unwrap();
+        assert_eq!(entries.len(), 4);
+        let parsed: Vec<_> = entries.iter().filter(|e| e.meta.is_some()).collect();
+        assert_eq!(parsed.len(), 2);
+        for entry in &parsed {
+            let meta = entry.meta.as_ref().unwrap();
+            assert_eq!(meta.graph_fp, g);
+            assert_eq!(meta.seed_fp, s);
+            assert_eq!(meta.k, 2);
+            assert_eq!(meta.max_length, 2);
+        }
+        assert_eq!(store.clear().unwrap(), 4);
+        assert!(store.entries().unwrap().is_empty());
+        // The non-store file survives a clear.
+        assert!(store.dir().join("README.txt").exists());
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+}

@@ -1,0 +1,203 @@
+//! Content-addressed structural fingerprints.
+//!
+//! A [`Fingerprint`] is a deterministic 128-bit hash of a value's *content* — the CSR
+//! arrays of a [`Graph`](crate::Graph), the `(node, label)` pairs of a
+//! [`SeedLabels`](crate::SeedLabels) — computed with the FNV-1a 128 function over a
+//! domain-tagged, little-endian byte encoding. Two independently loaded copies of the
+//! same data therefore share one fingerprint, which is what lets the estimation layer
+//! cache expensive graph summaries by *value* instead of by pointer identity and
+//! persist them across processes (`fg_core`'s `SummaryCache` / `SummaryStore`).
+//!
+//! Guarantees relied upon by the cache layers:
+//!
+//! * **Deterministic**: the hash depends only on the encoded content, never on memory
+//!   addresses, hash-map iteration order, or the process. The same bytes always
+//!   produce the same fingerprint, across runs and across machines (the encoding is
+//!   explicitly little-endian).
+//! * **Version-tagged**: every hashed object starts with a domain tag (e.g.
+//!   `fg-graph-csr-v1`), so fingerprints of different types never collide by
+//!   construction and any future encoding change invalidates old fingerprints instead
+//!   of silently matching them.
+//! * **Content-complete**: graphs hash shape, `indptr`, `indices`, and the exact
+//!   `f64` bit patterns of the edge weights; seed sets hash `n`, `k`, and every
+//!   `(node id, label)` pair. Any structural difference — an extra edge, a changed
+//!   weight, a relabeled seed — yields a different fingerprint (up to 128-bit hash
+//!   collisions).
+
+use std::fmt;
+
+/// FNV-1a 128-bit offset basis.
+const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// FNV-1a 128-bit prime.
+const FNV128_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// A 128-bit content fingerprint (see the [module docs](self) for the guarantees).
+///
+/// Renders as 32 lowercase hex characters; [`Fingerprint::parse_hex`] inverts
+/// [`Fingerprint::to_hex`], which is how the persistent summary store embeds
+/// fingerprints in file names.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(u128);
+
+impl Fingerprint {
+    /// Wrap a raw 128-bit value (used when decoding persisted fingerprints).
+    pub const fn from_u128(raw: u128) -> Self {
+        Fingerprint(raw)
+    }
+
+    /// The raw 128-bit value (used when encoding fingerprints for persistence).
+    pub const fn as_u128(self) -> u128 {
+        self.0
+    }
+
+    /// Render as 32 lowercase hex characters.
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parse the output of [`Fingerprint::to_hex`] (exactly 32 hex characters; no
+    /// sign prefix or other decoration — only canonical `to_hex` strings round-trip).
+    pub fn parse_hex(s: &str) -> Option<Fingerprint> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(Fingerprint)
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl fmt::Debug for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fingerprint({:032x})", self.0)
+    }
+}
+
+/// Incremental FNV-1a 128 hasher with typed, fixed-width write methods.
+///
+/// All multi-byte values are folded in as little-endian bytes, so the stream — and
+/// therefore the fingerprint — is identical on every platform. `f64` values hash
+/// their IEEE-754 bit pattern, making the fingerprint exactly as strict as the
+/// bit-identity guarantee of the cached summaries themselves.
+#[derive(Debug, Clone)]
+pub struct FingerprintBuilder {
+    state: u128,
+}
+
+impl FingerprintBuilder {
+    /// Start a hash stream for the given domain tag (e.g. `b"fg-graph-csr-v1"`).
+    pub fn new(domain_tag: &[u8]) -> Self {
+        let mut builder = FingerprintBuilder {
+            state: FNV128_OFFSET,
+        };
+        builder.write_bytes(domain_tag);
+        builder
+    }
+
+    /// Fold raw bytes into the hash.
+    pub fn write_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= b as u128;
+            self.state = self.state.wrapping_mul(FNV128_PRIME);
+        }
+        self
+    }
+
+    /// Fold a `u64` (little-endian) into the hash.
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write_bytes(&v.to_le_bytes())
+    }
+
+    /// Fold a `usize` into the hash, widened to `u64` so 32- and 64-bit platforms
+    /// produce the same stream.
+    pub fn write_usize(&mut self, v: usize) -> &mut Self {
+        self.write_u64(v as u64)
+    }
+
+    /// Fold an `f64` into the hash via its IEEE-754 bit pattern (`-0.0` and `0.0`
+    /// therefore hash differently, matching bit-identity semantics).
+    pub fn write_f64(&mut self, v: f64) -> &mut Self {
+        self.write_u64(v.to_bits())
+    }
+
+    /// Finish the stream.
+    pub fn finish(&self) -> Fingerprint {
+        Fingerprint(self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_domain_stream_is_the_offset_basis() {
+        assert_eq!(
+            FingerprintBuilder::new(b"").finish(),
+            Fingerprint(FNV128_OFFSET)
+        );
+    }
+
+    #[test]
+    fn known_fnv1a_128_vector() {
+        // FNV-1a 128 of "a" (reference value from the FNV specification test suite).
+        let mut b = FingerprintBuilder::new(b"");
+        b.write_bytes(b"a");
+        assert_eq!(b.finish().to_hex(), "d228cb696f1a8caf78912b704e4a8964");
+    }
+
+    #[test]
+    fn domain_tags_separate_identical_payloads() {
+        let mut a = FingerprintBuilder::new(b"domain-a");
+        let mut b = FingerprintBuilder::new(b"domain-b");
+        a.write_u64(42);
+        b.write_u64(42);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn typed_writes_are_order_and_value_sensitive() {
+        let fp = |vals: &[u64]| {
+            let mut b = FingerprintBuilder::new(b"t");
+            for &v in vals {
+                b.write_u64(v);
+            }
+            b.finish()
+        };
+        assert_eq!(fp(&[1, 2]), fp(&[1, 2]));
+        assert_ne!(fp(&[1, 2]), fp(&[2, 1]));
+        assert_ne!(fp(&[1]), fp(&[1, 0]));
+    }
+
+    #[test]
+    fn f64_hashes_bit_patterns() {
+        let fp = |v: f64| {
+            let mut b = FingerprintBuilder::new(b"f");
+            b.write_f64(v);
+            b.finish()
+        };
+        assert_eq!(fp(1.5), fp(1.5));
+        assert_ne!(fp(0.0), fp(-0.0));
+        assert_ne!(fp(1.0), fp(1.0 + f64::EPSILON));
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let mut b = FingerprintBuilder::new(b"hex");
+        b.write_u64(7).write_f64(0.25).write_usize(9);
+        let fp = b.finish();
+        let hex = fp.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(Fingerprint::parse_hex(&hex), Some(fp));
+        assert_eq!(format!("{fp}"), hex);
+        assert!(Fingerprint::parse_hex("short").is_none());
+        assert!(Fingerprint::parse_hex(&"g".repeat(32)).is_none());
+        // Only canonical hex round-trips: a sign prefix is rejected even though the
+        // underlying integer parser would accept it.
+        assert!(Fingerprint::parse_hex(&format!("+{}", &"0".repeat(31))).is_none());
+    }
+}

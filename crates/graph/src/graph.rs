@@ -5,13 +5,19 @@
 //! propagation, path summarization, estimation — consumes graphs through this type.
 
 use crate::error::{GraphError, Result};
+use crate::fingerprint::{Fingerprint, FingerprintBuilder};
 use fg_sparse::{CooMatrix, CsrMatrix};
+use std::sync::OnceLock;
 
 /// An undirected, optionally weighted graph backed by a symmetric CSR adjacency matrix.
 #[derive(Debug, Clone)]
 pub struct Graph {
     adjacency: CsrMatrix,
     num_edges: usize,
+    /// Lazily computed structural fingerprint. Content-derived, so cloning the cached
+    /// value along with the graph is always valid; the graph is immutable after
+    /// construction.
+    fingerprint: OnceLock<Fingerprint>,
 }
 
 impl Graph {
@@ -46,6 +52,7 @@ impl Graph {
         Ok(Graph {
             adjacency,
             num_edges,
+            fingerprint: OnceLock::new(),
         })
     }
 
@@ -72,6 +79,7 @@ impl Graph {
         Ok(Graph {
             adjacency,
             num_edges,
+            fingerprint: OnceLock::new(),
         })
     }
 
@@ -150,6 +158,33 @@ impl Graph {
         (0..self.num_nodes())
             .filter(|&i| self.adjacency.row_nnz(i) == 0)
             .count()
+    }
+
+    /// Deterministic structural [`Fingerprint`] of this graph: a 128-bit content hash
+    /// over the CSR shape, `indptr`, `indices`, and the exact `f64` bit patterns of
+    /// the edge weights (domain tag `fg-graph-csr-v1`).
+    ///
+    /// Two independently loaded copies of the same graph share one fingerprint, and
+    /// any structural difference — an extra edge, a changed weight, a different node
+    /// count — produces a different one (up to 128-bit hash collisions). Computed in
+    /// `O(n + m)` on first use and memoized; the graph is immutable after
+    /// construction, so the cached value can never go stale.
+    pub fn fingerprint(&self) -> Fingerprint {
+        *self.fingerprint.get_or_init(|| {
+            let mut h = FingerprintBuilder::new(b"fg-graph-csr-v1");
+            h.write_usize(self.adjacency.rows());
+            h.write_usize(self.adjacency.cols());
+            for &p in self.adjacency.indptr() {
+                h.write_usize(p);
+            }
+            for &i in self.adjacency.indices() {
+                h.write_usize(i);
+            }
+            for &v in self.adjacency.values() {
+                h.write_f64(v);
+            }
+            h.finish()
+        })
     }
 }
 
@@ -240,6 +275,29 @@ mod tests {
     fn isolated_nodes_counted() {
         let g = Graph::from_edges(5, &[(0, 1)]).unwrap();
         assert_eq!(g.num_isolated_nodes(), 3);
+    }
+
+    #[test]
+    fn fingerprints_follow_content_not_identity() {
+        let g1 = triangle_plus_pendant();
+        let g2 = triangle_plus_pendant();
+        // Independently constructed copies of the same structure share a fingerprint,
+        // and the memoized value is stable across calls and clones.
+        assert_eq!(g1.fingerprint(), g2.fingerprint());
+        assert_eq!(g1.fingerprint(), g1.fingerprint());
+        assert_eq!(g1.clone().fingerprint(), g1.fingerprint());
+        // Edge order in the input list does not matter (CSR canonicalizes).
+        let reordered = Graph::from_edges(4, &[(2, 3), (0, 2), (1, 2), (0, 1)]).unwrap();
+        assert_eq!(reordered.fingerprint(), g1.fingerprint());
+        // Any structural change produces a different fingerprint.
+        let extra_edge = Graph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3), (1, 3)]).unwrap();
+        assert_ne!(extra_edge.fingerprint(), g1.fingerprint());
+        let reweighted =
+            Graph::from_weighted_edges(4, &[(0, 1, 2.0), (1, 2, 1.0), (0, 2, 1.0), (2, 3, 1.0)])
+                .unwrap();
+        assert_ne!(reweighted.fingerprint(), g1.fingerprint());
+        let extra_node = Graph::from_edges(5, &[(0, 1), (1, 2), (0, 2), (2, 3)]).unwrap();
+        assert_ne!(extra_node.fingerprint(), g1.fingerprint());
     }
 
     #[test]

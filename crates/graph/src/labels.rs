@@ -6,6 +6,7 @@
 //! rows for labeled nodes, zero rows otherwise) used by both LinBP and the estimators.
 
 use crate::error::{GraphError, Result};
+use crate::fingerprint::{Fingerprint, FingerprintBuilder};
 use fg_sparse::DenseMatrix;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -244,6 +245,26 @@ impl SeedLabels {
         partitions
     }
 
+    /// Deterministic [`Fingerprint`] of this seed set: a 128-bit content hash over
+    /// `n`, `k`, and every `(node id, observed label)` pair in node order (domain tag
+    /// `fg-seed-labels-v1`).
+    ///
+    /// Two independently loaded copies of the same seed file share one fingerprint;
+    /// adding, removing, moving, or relabeling any seed changes it (up to 128-bit
+    /// hash collisions). Computed in `O(n)` — cheap enough to recompute on demand.
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut h = FingerprintBuilder::new(b"fg-seed-labels-v1");
+        h.write_usize(self.n());
+        h.write_usize(self.k);
+        for (i, observed) in self.observed.iter().enumerate() {
+            if let Some(c) = observed {
+                h.write_usize(i);
+                h.write_usize(*c);
+            }
+        }
+        h.finish()
+    }
+
     /// Restrict this seed set to a subset of nodes (everything else becomes unlabeled).
     pub fn restricted_to(&self, nodes: &[usize]) -> SeedLabels {
         let mut observed = vec![None; self.n()];
@@ -398,6 +419,26 @@ mod tests {
             seed.num_labeled() + holdout.num_labeled(),
             seeds.num_labeled()
         );
+    }
+
+    #[test]
+    fn seed_fingerprints_follow_content_not_identity() {
+        let a = SeedLabels::new(vec![Some(1), None, Some(0)], 2).unwrap();
+        let b = SeedLabels::new(vec![Some(1), None, Some(0)], 2).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Relabeling, moving, or dropping a seed changes the fingerprint.
+        let relabeled = SeedLabels::new(vec![Some(0), None, Some(0)], 2).unwrap();
+        assert_ne!(relabeled.fingerprint(), a.fingerprint());
+        let moved = SeedLabels::new(vec![None, Some(1), Some(0)], 2).unwrap();
+        assert_ne!(moved.fingerprint(), a.fingerprint());
+        let dropped = SeedLabels::new(vec![Some(1), None, None], 2).unwrap();
+        assert_ne!(dropped.fingerprint(), a.fingerprint());
+        // Same observations under a different k are a different seed set.
+        let wider = SeedLabels::new(vec![Some(1), None, Some(0)], 3).unwrap();
+        assert_ne!(wider.fingerprint(), a.fingerprint());
+        // n matters even when the extra nodes are unlabeled.
+        let longer = SeedLabels::new(vec![Some(1), None, Some(0), None], 2).unwrap();
+        assert_ne!(longer.fingerprint(), a.fingerprint());
     }
 
     #[test]

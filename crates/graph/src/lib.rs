@@ -22,6 +22,7 @@
 pub mod compatibility;
 pub mod degree;
 pub mod error;
+pub mod fingerprint;
 pub mod generator;
 pub mod graph;
 pub mod labels;
@@ -29,6 +30,7 @@ pub mod labels;
 pub use compatibility::{two_value_heuristic, CompatibilityMatrix};
 pub use degree::DegreeDistribution;
 pub use error::{GraphError, Result};
+pub use fingerprint::{Fingerprint, FingerprintBuilder};
 pub use generator::{generate, measure_compatibilities, GeneratorConfig, SyntheticGraph};
 pub use graph::Graph;
 pub use labels::{Labeling, SeedLabels};

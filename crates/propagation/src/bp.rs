@@ -14,7 +14,7 @@
 
 use crate::linbp::label;
 use fg_graph::{Graph, GraphError, Result, SeedLabels};
-use fg_sparse::{map_row_chunks, partition_rows, DenseMatrix, Threads};
+use fg_sparse::{map_row_chunks, partition_rows_by_nnz, DenseMatrix, Threads};
 
 /// Configuration for loopy belief propagation.
 #[derive(Debug, Clone)]
@@ -136,7 +136,21 @@ pub fn propagate_bp(
 
     let mut iterations = 0;
     let mut converged = false;
-    let ranges = partition_rows(num_messages, config.threads.count_for(num_messages));
+    // Updating message e costs O(deg(source) · k + k²): the product over all
+    // incoming messages of the source node dominates. Count-balanced message ranges
+    // therefore serialize on one worker for power-law graphs (a hub's messages are
+    // both numerous and individually expensive); instead, build a prefix sum of
+    // per-message costs and split it evenly — the same nnz-balancing scheme
+    // `partition_rows_by_nnz` applies to CSR rows. The partition only decides which
+    // worker computes which disjoint message slot, so the result stays bit-identical
+    // to the serial loop for any split.
+    let mut cost_prefix = Vec::with_capacity(num_messages + 1);
+    cost_prefix.push(0usize);
+    for &from in &edge_from {
+        let per_message = incoming[from].len() + 1;
+        cost_prefix.push(cost_prefix.last().unwrap() + per_message);
+    }
+    let ranges = partition_rows_by_nnz(&cost_prefix, config.threads.count_for(num_messages));
     for _ in 0..config.max_iterations {
         // Every message update reads only the previous iteration's `messages` and
         // writes one disjoint k-wide slot of `next_messages`, so the loop distributes
@@ -303,6 +317,43 @@ mod tests {
         let seeds = SeedLabels::new(vec![None; 8], 2).unwrap();
         let bad_h = DenseMatrix::zeros(3, 3);
         assert!(propagate_bp(&graph, &seeds, &bad_h, &BpConfig::default()).is_err());
+    }
+
+    #[test]
+    fn cost_balanced_partition_is_bit_identical_on_hub_graphs() {
+        // A star with a pendant chain: the hub's messages each cost O(deg(hub)·k)
+        // while the chain messages are near-free — the worst case for the old
+        // count-balanced split. Results must stay bit-identical at any thread count.
+        let mut edges: Vec<(usize, usize)> = (1..=20).map(|leaf| (0usize, leaf)).collect();
+        edges.extend([(20, 21), (21, 22), (22, 23)]);
+        let graph = Graph::from_edges(24, &edges).unwrap();
+        let mut observed = vec![None; 24];
+        observed[1] = Some(0);
+        observed[23] = Some(1);
+        let seeds = SeedLabels::new(observed, 2).unwrap();
+        let h = CompatibilityMatrix::from_rows(&[vec![0.3, 0.7], vec![0.7, 0.3]])
+            .unwrap()
+            .into_dense();
+        let serial = propagate_bp(&graph, &seeds, &h, &BpConfig::default()).unwrap();
+        for threads in [Threads::Fixed(2), Threads::Fixed(4), Threads::Auto] {
+            let parallel = propagate_bp(
+                &graph,
+                &seeds,
+                &h,
+                &BpConfig {
+                    threads,
+                    ..BpConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                serial.beliefs.data(),
+                parallel.beliefs.data(),
+                "{threads:?}"
+            );
+            assert_eq!(serial.predictions, parallel.predictions, "{threads:?}");
+            assert_eq!(serial.iterations, parallel.iterations, "{threads:?}");
+        }
     }
 
     #[test]

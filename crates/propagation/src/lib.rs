@@ -33,12 +33,13 @@ pub mod registry;
 pub use bp::{propagate_bp, BpConfig, BpResult};
 pub use harmonic::{harmonic_functions, HarmonicConfig, HarmonicResult};
 pub use linbp::{
-    convergence_epsilon, label, propagate, LinBpConfig, PropagationResult,
+    convergence_epsilon, label, label_or_abstain, propagate, LinBpConfig, PropagationResult,
     DEFAULT_CONVERGENCE_FRACTION, DEFAULT_ITERATIONS,
 };
 pub use metrics::{
-    accuracy, confusion_matrix, holdout_accuracy, macro_accuracy, random_baseline,
-    unlabeled_accuracy, unlabeled_micro_accuracy,
+    abstaining_macro_accuracy, abstaining_unlabeled_accuracy, abstention_rate, accuracy,
+    confusion_matrix, holdout_accuracy, macro_accuracy, random_baseline, unlabeled_accuracy,
+    unlabeled_micro_accuracy,
 };
 pub use propagator::{Harmonic, LinBp, LoopyBp, PropagationOutcome, Propagator, RandomWalk};
 pub use random_walk::{multi_rank_walk, RandomWalkConfig, RandomWalkResult};

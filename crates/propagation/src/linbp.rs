@@ -193,13 +193,42 @@ fn prior_residuals(seeds: &SeedLabels) -> DenseMatrix {
 
 /// Assign each node the class with maximum belief (the paper's `label(F)` operation).
 ///
-/// Ties are broken deterministically toward the **lowest class index**: a node whose
-/// belief row is exactly uniform (e.g. an isolated node after the uniform fallback in
-/// [`crate::harmonic::harmonic_functions`] / [`crate::random_walk::multi_rank_walk`])
-/// is always assigned class 0. Callers that need to distinguish "confidently class 0"
-/// from "no information" should inspect the belief row, not the argmax.
+/// **Tie policy** (explicit and deterministic): ties are broken toward the **lowest
+/// class index**. In particular a node whose belief row carries *no information* —
+/// every entry exactly equal, e.g. an isolated node after the uniform fallback in
+/// [`crate::harmonic::harmonic_functions`] / [`crate::random_walk::multi_rank_walk`],
+/// or any node untouched by propagation — is always assigned class 0. That default
+/// keeps `label` total (every node gets a class, required by the paper's accuracy
+/// protocol) but systematically inflates class-0 recall when many nodes are
+/// seed-unreachable. Callers that must not count such rows as confident class-0
+/// predictions should use [`label_or_abstain`] together with the abstain-aware
+/// metrics ([`crate::metrics::abstaining_unlabeled_accuracy`]), which treat them as
+/// abstentions instead.
 pub fn label(beliefs: &DenseMatrix) -> Vec<usize> {
     (0..beliefs.rows()).map(|i| beliefs.argmax_row(i)).collect()
+}
+
+/// [`label`] with an explicit no-information case: nodes whose belief row has every
+/// entry exactly equal (uniform fallback rows, all-zero rows — any row where the
+/// argmax would be decided purely by the tie policy across *all* classes) return
+/// `None` instead of class 0.
+///
+/// Deterministic by construction: the outcome depends only on the belief values.
+/// Rows with a partial tie (two of three classes tied at the top) still resolve to
+/// the lowest tied index, exactly like [`label`] — only the total tie, which carries
+/// no class signal at all, abstains.
+pub fn label_or_abstain(beliefs: &DenseMatrix) -> Vec<Option<usize>> {
+    (0..beliefs.rows())
+        .map(|i| {
+            let row = beliefs.row(i);
+            let first = row.first().copied();
+            if row.iter().all(|&v| Some(v) == first) {
+                None
+            } else {
+                Some(beliefs.argmax_row(i))
+            }
+        })
+        .collect()
 }
 
 fn max_abs_diff(a: &DenseMatrix, b: &DenseMatrix) -> f64 {
@@ -376,6 +405,25 @@ mod tests {
     fn label_extracts_argmax() {
         let f = DenseMatrix::from_rows(&[vec![0.1, 0.9], vec![0.8, 0.2]]).unwrap();
         assert_eq!(label(&f), vec![1, 0]);
+    }
+
+    #[test]
+    fn label_tie_policy_and_abstain_variant() {
+        let f = DenseMatrix::from_rows(&[
+            vec![0.1, 0.9, 0.0],    // informed: class 1
+            vec![0.5, 0.5, 0.5],    // exactly uniform: tie policy says 0, abstain says None
+            vec![0.0, 0.0, 0.0],    // all-zero (untouched by propagation): same treatment
+            vec![0.4, 0.4, 0.2],    // partial tie: lowest tied index, no abstention
+            vec![-0.2, -0.2, -0.2], // uniform negative residuals: no information
+        ])
+        .unwrap();
+        // The documented deterministic tie policy: lowest class index.
+        assert_eq!(label(&f), vec![1, 0, 0, 0, 0]);
+        // The abstain-aware variant only differs on total ties.
+        assert_eq!(
+            label_or_abstain(&f),
+            vec![Some(1), None, None, Some(0), None]
+        );
     }
 
     #[test]

@@ -87,6 +87,76 @@ pub fn unlabeled_micro_accuracy(
     accuracy(predictions, truth, &unlabeled)
 }
 
+/// Macro-averaged accuracy over abstain-aware predictions: the unweighted mean of the
+/// per-class recalls where an abstention (`None`) counts as **incorrect** for its
+/// true class. This is the deterministic fix for the class-0 recall inflation of the
+/// total-label metrics: a no-information belief row labeled via the
+/// [`label`](crate::linbp::label) tie policy counts as a correct class-0 prediction,
+/// while the same row run through
+/// [`label_or_abstain`](crate::linbp::label_or_abstain) abstains and is charged as a
+/// miss — recall then reflects only informed predictions. Classes with no evaluation
+/// nodes are skipped, exactly as in [`macro_accuracy`].
+pub fn abstaining_macro_accuracy(
+    predictions: &[Option<usize>],
+    truth: &Labeling,
+    eval_nodes: &[usize],
+) -> f64 {
+    let k = truth.k();
+    let mut per_class_total = vec![0usize; k];
+    let mut per_class_correct = vec![0usize; k];
+    for &i in eval_nodes {
+        let c = truth.class_of(i);
+        per_class_total[c] += 1;
+        if predictions[i] == Some(c) {
+            per_class_correct[c] += 1;
+        }
+    }
+    let mut sum = 0.0;
+    let mut classes = 0;
+    for c in 0..k {
+        if per_class_total[c] > 0 {
+            sum += per_class_correct[c] as f64 / per_class_total[c] as f64;
+            classes += 1;
+        }
+    }
+    if classes == 0 {
+        0.0
+    } else {
+        sum / classes as f64
+    }
+}
+
+/// [`abstaining_macro_accuracy`] evaluated on the unlabeled nodes of a seed set, with
+/// the same fully-labeled fallback as [`unlabeled_accuracy`]. The abstain-aware
+/// counterpart of the paper's end-to-end metric: abstentions (no-information belief
+/// rows) count against their true class instead of silently landing on class 0.
+pub fn abstaining_unlabeled_accuracy(
+    predictions: &[Option<usize>],
+    truth: &Labeling,
+    seeds: &SeedLabels,
+) -> f64 {
+    let unlabeled = seeds.unlabeled_nodes();
+    if unlabeled.is_empty() {
+        let all: Vec<usize> = (0..truth.n()).collect();
+        return abstaining_macro_accuracy(predictions, truth, &all);
+    }
+    abstaining_macro_accuracy(predictions, truth, &unlabeled)
+}
+
+/// Fraction of evaluation nodes whose prediction is an abstention. Together with
+/// [`abstaining_macro_accuracy`] this separates "wrong" from "didn't know" — useful
+/// when reporting results on graphs with seed-unreachable regions.
+pub fn abstention_rate(predictions: &[Option<usize>], eval_nodes: &[usize]) -> f64 {
+    if eval_nodes.is_empty() {
+        return 0.0;
+    }
+    let abstained = eval_nodes
+        .iter()
+        .filter(|&&i| predictions[i].is_none())
+        .count();
+    abstained as f64 / eval_nodes.len() as f64
+}
+
 /// Accuracy evaluated on the labeled nodes of a holdout set (used by the Holdout
 /// estimator, Section 4.1).
 pub fn holdout_accuracy(predictions: &[usize], holdout: &SeedLabels) -> f64 {
@@ -223,6 +293,39 @@ mod tests {
         assert_eq!(unlabeled_accuracy(&perfect, &t, &seeds), 1.0);
         let wrong = vec![1, 1, 2, 2, 0, 0];
         assert_eq!(unlabeled_accuracy(&wrong, &t, &seeds), 0.0);
+    }
+
+    #[test]
+    fn abstentions_do_not_inflate_class_zero_recall() {
+        // Three unlabeled nodes of class 0 — one genuinely predicted, two with
+        // no-information rows — plus one of class 1. Under the total-label tie
+        // policy the uninformed nodes land on class 0 and recall(0) reads 1.0;
+        // abstain-aware, they are charged as misses and recall(0) is 1/3.
+        let t = Labeling::new(vec![0, 0, 0, 1, 0], 2).unwrap();
+        let seeds = SeedLabels::new(vec![None, None, None, None, Some(0)], 2).unwrap();
+        let tie_policy = vec![0, 0, 0, 1, 0];
+        let abstaining = vec![Some(0), None, None, Some(1), Some(0)];
+        assert_eq!(unlabeled_accuracy(&tie_policy, &t, &seeds), 1.0);
+        let informed = abstaining_unlabeled_accuracy(&abstaining, &t, &seeds);
+        assert!((informed - (1.0 / 3.0 + 1.0) / 2.0).abs() < 1e-12);
+        assert_eq!(abstention_rate(&abstaining, &[0, 1, 2, 3]), 0.5);
+        assert_eq!(abstention_rate(&abstaining, &[]), 0.0);
+    }
+
+    #[test]
+    fn abstaining_macro_accuracy_matches_plain_when_nothing_abstains() {
+        let t = truth();
+        let preds = vec![0, 1, 1, 1, 2, 0];
+        let wrapped: Vec<Option<usize>> = preds.iter().map(|&p| Some(p)).collect();
+        let all: Vec<usize> = (0..6).collect();
+        assert_eq!(
+            abstaining_macro_accuracy(&wrapped, &t, &all),
+            macro_accuracy(&preds, &t, &all)
+        );
+        let seeds = SeedLabels::fully_labeled(&t);
+        let perfect: Vec<Option<usize>> =
+            vec![Some(0), Some(0), Some(1), Some(1), Some(2), Some(2)];
+        assert_eq!(abstaining_unlabeled_accuracy(&perfect, &t, &seeds), 1.0);
     }
 
     #[test]

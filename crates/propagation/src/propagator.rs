@@ -55,6 +55,22 @@ impl PropagationOutcome {
     pub fn micro_accuracy(&self, truth: &Labeling, seeds: &SeedLabels) -> f64 {
         metrics::unlabeled_micro_accuracy(&self.predictions, truth, seeds)
     }
+
+    /// Abstain-aware predictions: like [`PropagationOutcome::predictions`] but
+    /// no-information belief rows (every entry exactly equal — e.g. seed-unreachable
+    /// nodes after the uniform fallback) return `None` instead of the tie-policy
+    /// default of class 0. See [`crate::linbp::label_or_abstain`].
+    pub fn predictions_or_abstain(&self) -> Vec<Option<usize>> {
+        crate::linbp::label_or_abstain(&self.beliefs)
+    }
+
+    /// Macro-averaged accuracy on the unlabeled nodes with abstentions counted as
+    /// incorrect — the recall-inflation-free variant of
+    /// [`accuracy`](PropagationOutcome::accuracy): uniform belief rows no longer
+    /// masquerade as correct class-0 predictions.
+    pub fn abstaining_accuracy(&self, truth: &Labeling, seeds: &SeedLabels) -> f64 {
+        metrics::abstaining_unlabeled_accuracy(&self.predictions_or_abstain(), truth, seeds)
+    }
 }
 
 /// A label-propagation backend: consumes a graph, seed labels, and a `k x k`
@@ -389,6 +405,48 @@ mod tests {
         let linbp = LinBp::default().propagate(&graph, &seeds, &h).unwrap();
         let harmonic = Harmonic::default().propagate(&graph, &seeds, &h).unwrap();
         assert!(linbp.accuracy(&labeling, &seeds) > harmonic.accuracy(&labeling, &seeds));
+    }
+
+    #[test]
+    fn outcome_abstains_on_no_information_rows() {
+        // Node 8 is isolated: the uniform fallback gives it an all-equal belief row,
+        // which the tie policy labels class 0 but the abstain-aware view rejects.
+        let mut edges = vec![
+            (0usize, 4usize),
+            (0, 5),
+            (1, 4),
+            (1, 6),
+            (2, 5),
+            (2, 7),
+            (3, 6),
+            (3, 7),
+        ];
+        edges.push((4, 5)); // keep the component connected enough to converge
+        let graph = Graph::from_edges(9, &edges).unwrap();
+        // The isolated node's true class is 0: the tie policy "predicts" it
+        // correctly by accident, which is exactly the recall inflation under test.
+        let truth = Labeling::new(vec![0, 0, 0, 0, 1, 1, 1, 1, 0], 2).unwrap();
+        let seeds = SeedLabels::new(
+            vec![Some(0), None, None, None, Some(1), None, None, None, None],
+            2,
+        )
+        .unwrap();
+        let outcome = Harmonic::default()
+            .propagate(&graph, &seeds, &DenseMatrix::zeros(2, 2))
+            .unwrap();
+        let abstaining = outcome.predictions_or_abstain();
+        assert_eq!(abstaining[8], None, "isolated node must abstain");
+        assert_eq!(outcome.predictions[8], 0, "tie policy defaults to class 0");
+        assert!(abstaining[..8].iter().all(|p| p.is_some()));
+        // The tie policy counts node 8 as a correct class-0 prediction (recall
+        // inflation); the abstain-aware metric charges it as a miss, so it is
+        // strictly lower.
+        let plain = outcome.accuracy(&truth, &seeds);
+        let informed = outcome.abstaining_accuracy(&truth, &seeds);
+        assert!(
+            informed < plain,
+            "abstention must deflate class-0 recall: {informed} vs {plain}"
+        );
     }
 
     #[test]

@@ -11,6 +11,7 @@ use fg_core::{
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// The seeded graph family the sweeps run on (`GeneratorConfig::balanced`, varying
 /// size / degree / classes / skew / seed), with a stratified 10% seed set each.
@@ -163,6 +164,117 @@ fn estimators_are_bit_identical_through_the_context() {
             );
         }
     }
+}
+
+/// Write a seeded graph + stratified seed labels to disk and load them back twice,
+/// producing two fully independent allocations of identical content.
+fn write_and_load_twice(dir: &std::path::Path) -> ((Graph, SeedLabels), (Graph, SeedLabels)) {
+    std::fs::create_dir_all(dir).unwrap();
+    let cfg = GeneratorConfig::balanced(400, 10.0, 3, 3.0).unwrap();
+    let mut rng = StdRng::seed_from_u64(29);
+    let syn = generate(&cfg, &mut rng).unwrap();
+    let seeds = syn.labeling.stratified_sample(0.1, &mut rng);
+    let edges_path = dir.join("edges.tsv");
+    let labels_path = dir.join("seeds.tsv");
+    fg_datasets::write_edge_list(&edges_path, &syn.graph).unwrap();
+    let mut label_lines = String::new();
+    for (node, observed) in seeds.as_slice().iter().enumerate() {
+        if let Some(class) = observed {
+            label_lines.push_str(&format!("{node}\t{class}\n"));
+        }
+    }
+    std::fs::write(&labels_path, label_lines).unwrap();
+    let n = syn.graph.num_nodes();
+    let load = || {
+        (
+            fg_datasets::read_edge_list(&edges_path, n).unwrap(),
+            fg_datasets::read_labels(&labels_path, n, 3).unwrap(),
+        )
+    };
+    (load(), load())
+}
+
+#[test]
+fn independently_loaded_copies_share_one_summary_via_fingerprints() {
+    // The PR's acceptance criterion: two copies of the same dataset loaded from disk
+    // into different allocations share one cached summary because the cache is keyed
+    // by content fingerprint, not pointer identity.
+    let dir = std::env::temp_dir().join("fg_fp_share_test");
+    let ((g1, s1), (g2, s2)) = write_and_load_twice(&dir);
+    assert!(!std::ptr::eq(&g1, &g2));
+    assert_eq!(g1.fingerprint(), g2.fingerprint());
+    assert_eq!(s1.fingerprint(), s2.fingerprint());
+
+    let cache = SummaryCache::shared();
+    let ctx1 = EstimationContext::with_cache(&g1, &s1, Arc::clone(&cache));
+    let ctx2 = EstimationContext::with_cache(&g2, &s2, Arc::clone(&cache));
+    let config = SummaryConfig::with_max_length(5);
+    let first = ctx1.summary(&config).unwrap();
+    let second = ctx2.summary(&config).unwrap();
+    // One computation serves both copies, bit-identically.
+    assert_eq!(cache.computations(), 1);
+    for l in 1..=5 {
+        assert_eq!(
+            first.count(l).unwrap().data(),
+            second.count(l).unwrap().data(),
+            "copies diverge at length {l}"
+        );
+    }
+
+    // A Pipeline on copy 2 accepts the context built on copy 1 (no pointer-identity
+    // rejection) and is served from the shared cache without recomputing.
+    let report = Pipeline::on(&g2)
+        .seeds(&s2)
+        .context(&ctx1)
+        .estimator(DceWithRestarts::default())
+        .run()
+        .unwrap();
+    assert_eq!(report.summary_computations, 0);
+    assert_eq!(cache.computations(), 1);
+    let fresh = DceWithRestarts::default().estimate(&g2, &s2).unwrap();
+    assert_eq!(report.estimated_h.data(), fresh.data());
+
+    // Content addressing is strict: a context over a *different* seed set is still
+    // rejected even though the graph matches.
+    let mut rng = StdRng::seed_from_u64(31);
+    let cfg = GeneratorConfig::balanced(400, 10.0, 3, 3.0).unwrap();
+    let other = generate(&cfg, &mut rng).unwrap();
+    let other_seeds = other.labeling.stratified_sample(0.1, &mut rng);
+    let mismatched = EstimationContext::new(&g1, &other_seeds);
+    assert!(Pipeline::on(&g1)
+        .seeds(&s1)
+        .context(&mismatched)
+        .estimator(DceWithRestarts::default())
+        .run()
+        .is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fingerprints_are_stable_across_reloads_and_sensitive_to_content() {
+    let dir = std::env::temp_dir().join("fg_fp_stability_test");
+    let ((g1, s1), (g2, s2)) = write_and_load_twice(&dir);
+    // Stability: re-loading produces the same fingerprints every time.
+    assert_eq!(g1.fingerprint(), g2.fingerprint());
+    assert_eq!(s1.fingerprint(), s2.fingerprint());
+    assert_eq!(g1.fingerprint(), g1.clone().fingerprint());
+
+    // Sensitivity: perturbing the content changes the fingerprint.
+    let mut perturbed_edges: Vec<(usize, usize, f64)> =
+        g1.adjacency().iter().filter(|&(u, v, _)| u < v).collect();
+    perturbed_edges.pop().unwrap();
+    let smaller = Graph::from_weighted_edges(g1.num_nodes(), &perturbed_edges).unwrap();
+    assert_ne!(smaller.fingerprint(), g1.fingerprint());
+
+    let mut relabeled = s1.as_slice().to_vec();
+    let flip = relabeled
+        .iter()
+        .position(|o| o.is_some())
+        .expect("has seeds");
+    relabeled[flip] = Some((relabeled[flip].unwrap() + 1) % 3);
+    let relabeled = SeedLabels::new(relabeled, 3).unwrap();
+    assert_ne!(relabeled.fingerprint(), s1.fingerprint());
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
