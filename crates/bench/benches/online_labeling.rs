@@ -1,0 +1,168 @@
+//! Online labeling: amortized cost of incremental summary maintenance vs full
+//! recomputation on the fig3b scalability graphs (d = 5, k = 3, h = 8, f = 0.01).
+//!
+//! A `DeltaSummary` engine is warmed once, then a stream of single-seed additions
+//! is folded in. The amortization claim is proven by **counters, not wall-clock**:
+//! per mutation the engine touches `Σℓ |supp(aℓ)|` node-rows (the mutated node's
+//! ℓmax-hop ball) while a full recomputation touches `n · ℓmax` rows — the ratio is
+//! asserted ≤ 5% on every measured graph, and the engine performs **zero** full
+//! summarizations during the stream. Wall-clock times are recorded alongside for
+//! the perf trajectory: `target/experiments/online_labeling.csv` holds one row per
+//! (graph size, counting mode) with per-mutation delta time, full-recompute time,
+//! row counts, and the amortized speedup.
+//!
+//! Env knobs: `FG_SCALE` scales the graph sizes (default 1.0); `FG_BENCH_SMOKE=1`
+//! runs one small size with a short stream so CI can execute the harness in
+//! seconds.
+
+use fg_bench::{bench_iters, scale_factor, ExperimentTable};
+use fg_core::incremental::{DeltaSummary, SeedMutation};
+use fg_core::prelude::*;
+use fg_core::{summarize_with, SummaryConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let smoke = std::env::var("FG_BENCH_SMOKE").as_deref() == Ok("1");
+    let scale = scale_factor();
+    // The ℓmax-hop ball of a mutation is a property of the degree (≈ d + d² + … +
+    // d⁵ ≈ 5k rows at d = 5), not of the graph size, so the ≤ 5% row-ratio bound
+    // needs n·ℓmax ≥ 20× that: n ≥ 50k. Smaller graphs simply have less to
+    // amortize — the delta path is still never *worse* than recomputing.
+    let (sizes, stream_len, full_iters): (Vec<usize>, usize, usize) = if smoke {
+        (vec![50_000], 20, 2)
+    } else {
+        (
+            [50_000usize, 100_000, 200_000]
+                .iter()
+                .map(|&n| ((n as f64 * scale) as usize).max(50_000))
+                .collect(),
+            200,
+            5,
+        )
+    };
+    let lmax = 5;
+
+    let mut table = ExperimentTable::new(
+        "online_labeling",
+        &[
+            "n",
+            "m",
+            "mode",
+            "mutations",
+            "delta_rows_per_mutation",
+            "full_rows",
+            "row_ratio",
+            "delta_s_per_mutation",
+            "full_recompute_s",
+            "amortized_speedup",
+        ],
+    );
+
+    for &n in &sizes {
+        // The fig3b generator setup: d = 5, k = 3, h = 8, f = 0.01.
+        let config = GeneratorConfig::balanced(n, 5.0, 3, 8.0).expect("valid config");
+        let mut rng = StdRng::seed_from_u64(3);
+        let syn = generate(&config, &mut rng).expect("generation succeeds");
+        let graph = Arc::new(syn.graph);
+        let seeds = syn.labeling.stratified_sample(0.01, &mut rng);
+        let m = graph.num_edges();
+
+        for non_backtracking in [true, false] {
+            let mode = if non_backtracking { "nb" } else { "all" };
+            let mut engine = DeltaSummary::new(
+                Arc::clone(&graph),
+                seeds.clone(),
+                lmax,
+                non_backtracking,
+                Threads::Serial,
+            )
+            .expect("engine builds");
+            let warmup_summarizations = engine.stats().full_summarizations;
+
+            // Stream single-seed additions at random unlabeled nodes.
+            let mut stream_rng = StdRng::seed_from_u64(17);
+            let mut unlabeled = engine.seeds().unlabeled_nodes();
+            let mut delta_rows = 0usize;
+            let start = Instant::now();
+            let mut applied = 0usize;
+            for _ in 0..stream_len {
+                if unlabeled.is_empty() {
+                    break;
+                }
+                let pick = stream_rng.gen_index(unlabeled.len());
+                let node = unlabeled.swap_remove(pick);
+                let outcome = engine
+                    .apply(&[SeedMutation::Add {
+                        node,
+                        label: syn.labeling.class_of(node),
+                    }])
+                    .expect("mutation applies");
+                assert_eq!(
+                    outcome.full_recomputes, 0,
+                    "streamed mutation fell back to a full recompute"
+                );
+                delta_rows += outcome.rows_touched;
+                applied += 1;
+            }
+            let delta_time = start.elapsed();
+            assert_eq!(
+                engine.stats().full_summarizations,
+                warmup_summarizations,
+                "the stream must not trigger any full summarization"
+            );
+
+            // Reference: one full recomputation on the final seed set (also the
+            // bit-identity gate — the maintained counts must match exactly).
+            let summary_config = SummaryConfig {
+                max_length: lmax,
+                non_backtracking,
+                variant: NormalizationVariant::RowStochastic,
+            };
+            let final_seeds = engine.seeds().clone();
+            let cold = summarize_with(&graph, &final_seeds, &summary_config, Threads::Serial)
+                .expect("cold summarize");
+            for l in 1..=lmax {
+                let bits = |mat: &fg_sparse::DenseMatrix| {
+                    mat.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+                };
+                assert_eq!(
+                    bits(&engine.counts()[l - 1]),
+                    bits(cold.count(l).unwrap()),
+                    "delta counts diverged from cold summarize at length {l}"
+                );
+            }
+            let full = bench_iters(&format!("full_recompute/{mode}/n={n}"), full_iters, || {
+                summarize_with(&graph, &final_seeds, &summary_config, Threads::Serial)
+                    .expect("cold summarize")
+            });
+
+            let full_rows = engine.stats().full_rows_per_summarization;
+            let rows_per_mutation = delta_rows as f64 / applied.max(1) as f64;
+            let row_ratio = rows_per_mutation / full_rows as f64;
+            let delta_s = delta_time.as_secs_f64() / applied.max(1) as f64;
+            let full_s = full.mean.as_secs_f64();
+            // The acceptance bound: per-mutation delta work ≤ 5% of a recompute.
+            assert!(
+                row_ratio <= 0.05,
+                "delta rows per mutation ({rows_per_mutation:.0}) exceed 5% of a full \
+                 recompute ({full_rows}) on n = {n} ({mode})"
+            );
+            table.push_row(vec![
+                n.to_string(),
+                m.to_string(),
+                mode.to_string(),
+                applied.to_string(),
+                format!("{rows_per_mutation:.1}"),
+                full_rows.to_string(),
+                format!("{row_ratio:.5}"),
+                format!("{delta_s:.6}"),
+                format!("{full_s:.6}"),
+                format!("{:.1}", full_s / delta_s.max(1e-12)),
+            ]);
+        }
+    }
+    table.print_and_save();
+}

@@ -20,7 +20,6 @@ use fg_propagation::registry;
 use fg_sparse::DenseMatrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -278,49 +277,18 @@ pub fn accuracy_vs_sparsity_stored(
     Ok(outcomes)
 }
 
-/// Distribute independent sweep cells across `threads` scoped worker threads via a
-/// shared atomic work queue, reassembling the per-cell results in their original
-/// order. Each cell is re-derived from its index alone (seeded RNGs are rebuilt per
-/// cell), so the output is identical to the serial loop regardless of which worker
-/// picks up which cell.
-fn run_cells_parallel<T, F>(cell_count: usize, threads: Threads, run_cell: F) -> Result<Vec<T>>
+/// Distribute independent sweep cells across `threads` scoped worker threads via
+/// the shared atomic work queue of
+/// [`fg_sparse::run_ordered_cells`], reassembling the
+/// per-cell results in their original order. Each cell is re-derived from its index
+/// alone (seeded RNGs are rebuilt per cell), so the output is identical to the
+/// serial loop regardless of which worker picks up which cell.
+pub fn run_cells_parallel<T, F>(cell_count: usize, threads: Threads, run_cell: F) -> Result<Vec<T>>
 where
     T: Send,
     F: Fn(usize) -> Result<T> + Sync,
 {
-    let workers = threads.count_for(cell_count);
-    let next = AtomicUsize::new(0);
-    let per_worker: Vec<Result<Vec<(usize, T)>>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= cell_count {
-                            break;
-                        }
-                        local.push((i, run_cell(i)?));
-                    }
-                    Ok(local)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep worker panicked"))
-            .collect()
-    });
-    let mut slots: Vec<Option<T>> = (0..cell_count).map(|_| None).collect();
-    for worker in per_worker {
-        for (i, outcome) in worker? {
-            slots[i] = Some(outcome);
-        }
-    }
-    Ok(slots
-        .into_iter()
-        .map(|slot| slot.expect("every sweep cell is computed exactly once"))
-        .collect())
+    fg_sparse::run_ordered_cells(cell_count, threads, run_cell)
 }
 
 /// [`accuracy_vs_sparsity_with`] distributing the independent (fraction × repetition)

@@ -341,6 +341,7 @@ pub fn cmd_classify(args: &ArgMap) -> CommandResult {
             store.dir().display()
         ));
     }
+    let mut truth_labeling = None;
     if let Some(truth_path) = args.get("truth") {
         let truth_seeds =
             fg_datasets::read_labels(Path::new(truth_path), graph.num_nodes(), k).map_err(err)?;
@@ -354,10 +355,20 @@ pub fn cmd_classify(args: &ArgMap) -> CommandResult {
                     "\nmacro accuracy on unlabeled nodes: {accuracy:.4}\
                      \nmicro accuracy on unlabeled nodes: {micro:.4}"
                 ));
+                truth_labeling = Some(truth);
             }
             None => {
                 rendered.push_str("\n(truth file does not label every node; skipping accuracy)")
             }
+        }
+    }
+    // --abstain surfaces the PR 4 abstain-aware metrics: the abstention rate is
+    // always computable, the abstaining macro accuracy needs ground truth.
+    if args.has_flag("abstain") {
+        let rate = report.evaluate_abstain(&seeds, truth_labeling.as_ref());
+        rendered.push_str(&format!("\nabstention rate on unlabeled nodes: {rate:.4}"));
+        if let Some(acc) = report.abstaining_macro_accuracy {
+            rendered.push_str(&format!("\nabstaining macro accuracy: {acc:.4}"));
         }
     }
     if args.has_flag("json") {
@@ -420,23 +431,160 @@ pub fn cmd_cache(args: &ArgMap) -> CommandResult {
                 dir.display()
             ))
         }
+        "gc" => {
+            let max_bytes = match args.get("max-bytes") {
+                Some(raw) => Some(parse_bytes(raw)?),
+                None => None,
+            };
+            let max_age = match args.get("max-age") {
+                Some(raw) => Some(parse_age(raw)?),
+                None => None,
+            };
+            if max_bytes.is_none() && max_age.is_none() {
+                return Err(
+                    "fg cache gc needs at least one bound: --max-bytes N[K|M|G] and/or \
+                     --max-age SECS[m|h|d]"
+                        .into(),
+                );
+            }
+            let outcome = store.gc(max_bytes, max_age).map_err(err)?;
+            Ok(format!(
+                "gc {}: removed {} file{} ({} bytes), kept {} ({} bytes)",
+                dir.display(),
+                outcome.removed,
+                if outcome.removed == 1 { "" } else { "s" },
+                outcome.bytes_removed,
+                outcome.kept,
+                outcome.bytes_kept
+            ))
+        }
         other => Err(format!(
-            "unknown cache action '{other}' (expected ls or clear)"
+            "unknown cache action '{other}' (expected ls, clear, or gc)"
         )),
     }
 }
 
+/// Parse a byte count with an optional `K`/`M`/`G` suffix (powers of 1024).
+fn parse_bytes(raw: &str) -> Result<u64, String> {
+    let trimmed = raw.trim();
+    let (digits, factor) = match trimmed.chars().last() {
+        Some('k') | Some('K') => (&trimmed[..trimmed.len() - 1], 1024u64),
+        Some('m') | Some('M') => (&trimmed[..trimmed.len() - 1], 1024 * 1024),
+        Some('g') | Some('G') => (&trimmed[..trimmed.len() - 1], 1024 * 1024 * 1024),
+        _ => (trimmed, 1),
+    };
+    let value: u64 = digits
+        .trim()
+        .parse()
+        .map_err(|_| format!("invalid byte count '{raw}' (expected N, NK, NM, or NG)"))?;
+    value
+        .checked_mul(factor)
+        .ok_or_else(|| format!("byte count '{raw}' overflows"))
+}
+
+/// Parse an age with an optional `s`/`m`/`h`/`d` suffix (seconds by default).
+fn parse_age(raw: &str) -> Result<std::time::Duration, String> {
+    let trimmed = raw.trim();
+    let (digits, factor) = match trimmed.chars().last() {
+        Some('s') => (&trimmed[..trimmed.len() - 1], 1u64),
+        Some('m') => (&trimmed[..trimmed.len() - 1], 60),
+        Some('h') => (&trimmed[..trimmed.len() - 1], 3600),
+        Some('d') => (&trimmed[..trimmed.len() - 1], 86_400),
+        _ => (trimmed, 1),
+    };
+    let value: u64 = digits
+        .trim()
+        .parse()
+        .map_err(|_| format!("invalid age '{raw}' (expected SECS, Nm, Nh, or Nd)"))?;
+    Ok(std::time::Duration::from_secs(value.saturating_mul(factor)))
+}
+
 /// `fg run`: execute every experiment declared in a manifest file (see
 /// `crate::manifest` for the format), printing one report JSON per entry.
+/// `--threads N|auto` distributes independent entries across workers through the
+/// `fg_bench` work queue with one shared summary cache — output is byte-identical
+/// to the serial order.
 pub fn cmd_run(args: &ArgMap) -> CommandResult {
     let path = match args.positional().first() {
         Some(positional) => positional.clone(),
         None => args
             .require("manifest")
-            .map_err(|_| "usage: fg run MANIFEST.toml".to_string())?
+            .map_err(|_| "usage: fg run MANIFEST.toml [--threads N|auto]".to_string())?
             .to_string(),
     };
-    crate::manifest::run_manifest(Path::new(&path))
+    let threads = args
+        .get_parsed_or("threads", Threads::Serial)
+        .map_err(err)?;
+    crate::manifest::run_manifest_with(Path::new(&path), threads)
+}
+
+/// `fg serve`: host a long-lived serving session over stdin/stdout (default) or a
+/// TCP listener (`--port P`, port 0 picks an ephemeral port). `--summary-cache
+/// [DIR]` attaches the persistent store; `--threads` sets the kernel thread policy.
+/// The TCP banner (`fg serve listening on ADDR`) goes to stdout; in stdio mode the
+/// protocol owns stdout, so diagnostics go to stderr.
+pub fn cmd_serve(args: &ArgMap) -> CommandResult {
+    let threads = args
+        .get_parsed_or("threads", Threads::Serial)
+        .map_err(err)?;
+    let store = open_summary_store(args)?;
+    let session = std::sync::Arc::new(fg_serve::Session::new(threads, store));
+    match args.get_parsed::<u16>("port").map_err(err)? {
+        Some(port) => {
+            let host = args.get("host").unwrap_or("127.0.0.1");
+            let server = fg_serve::TcpServer::bind(session, (host, port))
+                .map_err(|e| format!("cannot bind {host}:{port}: {e}"))?;
+            let addr = server.local_addr().map_err(err)?;
+            println!("fg serve listening on {addr}");
+            use std::io::Write as _;
+            std::io::stdout().flush().ok();
+            server.run().map_err(err)?;
+            Ok(String::new())
+        }
+        None => {
+            eprintln!("fg serve: reading JSON-lines requests from stdin");
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            fg_serve::serve_lines(&session, stdin.lock(), stdout.lock()).map_err(err)?;
+            Ok("fg serve: session closed".to_string())
+        }
+    }
+}
+
+/// `fg client`: one-shot JSON-lines request sender for a running `fg serve` TCP
+/// session. Requests come from positional arguments (one JSON object each) or, when
+/// none are given, stdin. Responses are printed one per line;
+/// `--predictions-out FILE` additionally writes the last response that carries
+/// predictions in the same `node<TAB>class` format as `fg classify --out`.
+pub fn cmd_client(args: &ArgMap) -> CommandResult {
+    let port: u16 = args.require_parsed("port").map_err(err)?;
+    let host = args.get("host").unwrap_or("127.0.0.1");
+    let requests: Vec<String> = if args.positional().is_empty() {
+        use std::io::Read as _;
+        let mut buffer = String::new();
+        std::io::stdin().read_to_string(&mut buffer).map_err(err)?;
+        buffer
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(str::to_string)
+            .collect()
+    } else {
+        args.positional().to_vec()
+    };
+    if requests.is_empty() {
+        return Err("no requests: pass JSON objects as arguments or on stdin".into());
+    }
+    let responses = fg_serve::send_requests((host, port), &requests)
+        .map_err(|e| format!("cannot reach fg serve at {host}:{port}: {e}"))?;
+    if let Some(out) = args.get("predictions-out") {
+        let rendered = responses
+            .iter()
+            .rev()
+            .find_map(|r| fg_serve::predictions_to_file_format(r))
+            .ok_or("no response carried predictions; nothing to write")?;
+        std::fs::write(Path::new(out), rendered).map_err(err)?;
+    }
+    Ok(responses.join("\n"))
 }
 
 /// Top-level usage string.
@@ -468,15 +616,26 @@ pub fn usage() -> String {
         "             [--json]",
         "             (--threads parallelizes estimation and propagation alike;",
         "              output is bit-identical at any thread count)",
-        "  run        MANIFEST.toml   execute a config-file experiment manifest",
-        "             (datasets, estimators, propagators, threads, cache dir; one",
-        "              report JSON per [[run]] entry)",
-        "  cache      ls|clear [--dir DIR]   inspect or empty a summary cache",
-        "             (default dir: target/experiments/summaries)",
+        "  run        MANIFEST.toml [--threads N|auto]   execute a config-file",
+        "             experiment manifest (datasets, estimators, propagators, threads,",
+        "             cache dir; one report JSON per [[run]] entry; --threads runs",
+        "             independent entries in parallel, byte-identical to serial)",
+        "  serve      [--port P [--host H]] [--summary-cache [DIR]] [--threads N|auto]",
+        "             long-lived serving session over stdin/stdout (default) or TCP;",
+        "             JSON-lines commands: load, seed, estimate, classify, stats.",
+        "             Seed mutations update the factorized summaries incrementally —",
+        "             after warm-up, requests report zero full summarizations.",
+        "  client     --port P [--host H] [--predictions-out FILE] [REQUEST...]",
+        "             one-shot sender for fg serve (requests as args or on stdin)",
+        "  cache      ls|clear|gc [--dir DIR] [--max-bytes N[K|M|G]] [--max-age AGE]",
+        "             inspect, empty, or garbage-collect (LRU by mtime) a summary",
+        "             cache (default dir: target/experiments/summaries)",
         "",
         "  --summary-cache persists factorized path counts keyed by content",
         "  fingerprints: repeated invocations on the same dataset skip graph",
         "  summarization entirely, with bit-identical results.",
+        "  classify --abstain adds the abstention rate and abstaining macro accuracy",
+        "  to the text and --json reports.",
     ]
     .join("\n")
 }
@@ -490,6 +649,8 @@ pub fn run(command: &str, args: &ArgMap) -> CommandResult {
         "propagate" => cmd_propagate(args),
         "classify" => cmd_classify(args),
         "run" => cmd_run(args),
+        "serve" => cmd_serve(args),
+        "client" => cmd_client(args),
         "cache" => cmd_cache(args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command '{other}'\n\n{}", usage())),
@@ -907,6 +1068,274 @@ mod tests {
         // Bad action errors.
         assert!(cmd_cache(&args(&["frob"])).is_err());
         assert!(cmd_cache(&args(&[])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cache_gc_enforces_bounds_from_the_cli() {
+        let dir = temp_dir("cache_gc");
+        let edges = dir.join("edges.tsv");
+        let labels = dir.join("labels.tsv");
+        cmd_generate(&args(&[
+            "--nodes",
+            "200",
+            "--degree",
+            "8",
+            "--classes",
+            "3",
+            "--out-edges",
+            edges.to_str().unwrap(),
+            "--out-labels",
+            labels.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let cache_dir = dir.join("summaries");
+        cmd_estimate(&args(&[
+            "--edges",
+            edges.to_str().unwrap(),
+            "--nodes",
+            "200",
+            "--classes",
+            "3",
+            "--labels",
+            labels.to_str().unwrap(),
+            "--method",
+            "mce",
+            "--summary-cache",
+            cache_dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // A generous size bound keeps the file; --max-bytes 0 collects it.
+        let kept = cmd_cache(&args(&[
+            "gc",
+            "--dir",
+            cache_dir.to_str().unwrap(),
+            "--max-bytes",
+            "1G",
+            "--max-age",
+            "7d",
+        ]))
+        .unwrap();
+        assert!(kept.contains("removed 0 files"), "{kept}");
+        assert!(kept.contains("kept 1"), "{kept}");
+        let collected = cmd_cache(&args(&[
+            "gc",
+            "--dir",
+            cache_dir.to_str().unwrap(),
+            "--max-bytes",
+            "0",
+        ]))
+        .unwrap();
+        assert!(collected.contains("removed 1 file"), "{collected}");
+        let empty = cmd_cache(&args(&["ls", "--dir", cache_dir.to_str().unwrap()])).unwrap();
+        assert!(empty.contains("empty"), "{empty}");
+        // Bounds are required and validated.
+        assert!(
+            cmd_cache(&args(&["gc", "--dir", cache_dir.to_str().unwrap()]))
+                .unwrap_err()
+                .contains("at least one bound")
+        );
+        assert!(cmd_cache(&args(&[
+            "gc",
+            "--dir",
+            cache_dir.to_str().unwrap(),
+            "--max-bytes",
+            "lots"
+        ]))
+        .is_err());
+        assert_eq!(parse_bytes("2K").unwrap(), 2048);
+        assert_eq!(parse_bytes("3M").unwrap(), 3 * 1024 * 1024);
+        assert_eq!(parse_bytes("1g").unwrap(), 1 << 30);
+        assert_eq!(parse_age("90").unwrap().as_secs(), 90);
+        assert_eq!(parse_age("5m").unwrap().as_secs(), 300);
+        assert_eq!(parse_age("2h").unwrap().as_secs(), 7200);
+        assert_eq!(parse_age("1d").unwrap().as_secs(), 86_400);
+        assert!(parse_age("soon").is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn classify_abstain_flag_reports_abstain_metrics() {
+        let dir = temp_dir("abstain");
+        let edges = dir.join("edges.tsv");
+        let labels = dir.join("labels.tsv");
+        cmd_generate(&args(&[
+            "--nodes",
+            "300",
+            "--degree",
+            "8",
+            "--classes",
+            "3",
+            "--seed",
+            "2",
+            "--out-edges",
+            edges.to_str().unwrap(),
+            "--out-labels",
+            labels.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let full = std::fs::read_to_string(&labels).unwrap();
+        let sparse: String = full
+            .lines()
+            .filter(|l| !l.starts_with('#'))
+            .enumerate()
+            .filter(|(i, _)| i % 10 == 0)
+            .map(|(_, l)| format!("{l}\n"))
+            .collect();
+        let seed_path = dir.join("seeds.tsv");
+        std::fs::write(&seed_path, sparse).unwrap();
+
+        // With truth: both abstain metrics, in text and JSON.
+        let report = cmd_classify(&args(&[
+            "--edges",
+            edges.to_str().unwrap(),
+            "--nodes",
+            "300",
+            "--classes",
+            "3",
+            "--labels",
+            seed_path.to_str().unwrap(),
+            "--truth",
+            labels.to_str().unwrap(),
+            "--method",
+            "mce",
+            "--abstain",
+            "--json",
+        ]))
+        .unwrap();
+        assert!(
+            report.contains("abstention rate on unlabeled nodes:"),
+            "{report}"
+        );
+        assert!(report.contains("abstaining macro accuracy:"), "{report}");
+        assert!(report.contains("\"abstention_rate\":"), "{report}");
+        assert!(
+            report.contains("\"abstaining_macro_accuracy\":"),
+            "{report}"
+        );
+
+        // Without truth: the rate still appears, the accuracy cannot.
+        let no_truth = cmd_classify(&args(&[
+            "--edges",
+            edges.to_str().unwrap(),
+            "--nodes",
+            "300",
+            "--classes",
+            "3",
+            "--labels",
+            seed_path.to_str().unwrap(),
+            "--method",
+            "mce",
+            "--abstain",
+            "--json",
+        ]))
+        .unwrap();
+        assert!(no_truth.contains("abstention rate on unlabeled nodes:"));
+        assert!(!no_truth.contains("abstaining macro accuracy:"));
+        // Without the flag neither metric is reported.
+        let plain = cmd_classify(&args(&[
+            "--edges",
+            edges.to_str().unwrap(),
+            "--nodes",
+            "300",
+            "--classes",
+            "3",
+            "--labels",
+            seed_path.to_str().unwrap(),
+            "--method",
+            "mce",
+            "--json",
+        ]))
+        .unwrap();
+        assert!(!plain.contains("abstention"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn client_drives_a_served_session_and_matches_batch_classify() {
+        let dir = temp_dir("serve_client");
+        let edges = dir.join("edges.tsv");
+        let labels = dir.join("labels.tsv");
+        cmd_generate(&args(&[
+            "--nodes",
+            "300",
+            "--degree",
+            "8",
+            "--classes",
+            "3",
+            "--seed",
+            "9",
+            "--out-edges",
+            edges.to_str().unwrap(),
+            "--out-labels",
+            labels.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let full = std::fs::read_to_string(&labels).unwrap();
+        let sparse: String = full
+            .lines()
+            .filter(|l| !l.starts_with('#'))
+            .enumerate()
+            .filter(|(i, _)| i % 10 == 0)
+            .map(|(_, l)| format!("{l}\n"))
+            .collect();
+        let seed_path = dir.join("seeds.tsv");
+        std::fs::write(&seed_path, sparse).unwrap();
+
+        // In-process TCP server on an ephemeral port (what `fg serve --port 0`
+        // spawns); cmd_client is the exact production client path.
+        let session = std::sync::Arc::new(fg_serve::Session::new(Threads::Serial, None));
+        let addr = fg_serve::TcpServer::spawn(session, "127.0.0.1:0").unwrap();
+        let port = addr.port().to_string();
+
+        let pred_served = dir.join("pred_served.tsv");
+        let load = format!(
+            "{{\"cmd\":\"load\",\"edges\":\"{}\",\"labels\":\"{}\",\"nodes\":300,\"classes\":3}}",
+            edges.display(),
+            seed_path.display()
+        );
+        let output = cmd_client(&args(&[
+            &load,
+            "{\"cmd\":\"classify\",\"method\":\"mce\"}",
+            "{\"cmd\":\"stats\"}",
+            "--port",
+            &port,
+            "--predictions-out",
+            pred_served.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(output.lines().count(), 3, "{output}");
+        assert!(output.contains("\"summary_computations\":1"), "{output}");
+
+        // The served predictions match the batch CLI byte for byte.
+        let pred_batch = dir.join("pred_batch.tsv");
+        cmd_classify(&args(&[
+            "--edges",
+            edges.to_str().unwrap(),
+            "--nodes",
+            "300",
+            "--classes",
+            "3",
+            "--labels",
+            seed_path.to_str().unwrap(),
+            "--method",
+            "mce",
+            "--out",
+            pred_batch.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&pred_served).unwrap(),
+            std::fs::read(&pred_batch).unwrap()
+        );
+
+        // Client-side validation errors.
+        assert!(cmd_client(&args(&["--port", &port]))
+            .unwrap_err()
+            .contains("no requests"));
+        assert!(cmd_client(&args(&["{\"cmd\":\"ping\"}", "--port", "1"]))
+            .unwrap_err()
+            .contains("cannot reach"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

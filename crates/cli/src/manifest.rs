@@ -426,101 +426,245 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-/// Execute every `[[run]]` entry of a manifest file. Returns one JSON object per
-/// line: `{"name":...,"dataset":...,"report":{<PipelineReport>}}`.
+/// Execute every `[[run]]` entry of a manifest file serially. Returns one JSON
+/// object per line: `{"name":...,"dataset":...,"report":{<PipelineReport>}}`.
+#[cfg(test)]
 pub fn run_manifest(path: &Path) -> Result<String, String> {
+    run_manifest_with(path, Threads::Serial)
+}
+
+/// Execute every `[[run]]` entry of a manifest file, distributing independent
+/// entries across worker threads through the shared-atomic work queue
+/// (`fg_sparse::run_ordered_cells`, the same queue `fg_bench`'s parallel sweeps
+/// use) when `--threads N|auto` resolves to more than one worker;
+/// `Threads::Serial` streams entries one at a time (load → run → drop, so peak
+/// memory stays one dataset). Returns one JSON object per line:
+/// `{"name":...,"dataset":...,"report":{<PipelineReport>}}`.
+///
+/// All entries share one in-memory [`SummaryCache`] (plus whatever persistent
+/// stores they configure), so entries on the same dataset summarize once no matter
+/// which worker runs them. Output is **byte-identical to the serial order**: result
+/// lines are reassembled in manifest order, per-run counters are key-scoped, and
+/// entries whose datasets collide on the same `(graph, seeds)` fingerprints are
+/// serialized in manifest order (a condvar turnstile per duplicated key), so the
+/// first entry always does the computing exactly as it would serially. Entries on
+/// distinct datasets run fully in parallel — the per-key cache locking means even
+/// their summarizations overlap. The parallel path pre-loads every dataset to
+/// derive the collision keys (peak memory is the sum of datasets, each dropped as
+/// its entry finishes) — the price of `--threads`; the serial default keeps the
+/// old one-at-a-time footprint.
+pub fn run_manifest_with(path: &Path, threads: Threads) -> Result<String, String> {
     let content = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read manifest {}: {e}", path.display()))?;
     let manifest = parse_manifest(&content)?;
     validate_keys(&manifest.defaults, "default")?;
-    let base = path.parent().unwrap_or(Path::new(".")).to_path_buf();
-
-    let mut lines = Vec::with_capacity(manifest.runs.len());
-    for (index, run) in manifest.runs.iter().enumerate() {
+    for run in &manifest.runs {
         validate_keys(run, "run")?;
-        let name = run
-            .string("name")?
-            .unwrap_or_else(|| format!("run{}", index + 1));
-        let context = |e: String| format!("run '{name}': {e}");
+    }
+    let base = path.parent().unwrap_or(Path::new(".")).to_path_buf();
+    let mut names = Vec::with_capacity(manifest.runs.len());
+    for (index, run) in manifest.runs.iter().enumerate() {
+        // A non-string `name` is a manifest error, not an anonymous run.
+        names.push(
+            run.string("name")?
+                .unwrap_or_else(|| format!("run{}", index + 1)),
+        );
+    }
+    let cache = SummaryCache::shared();
 
-        let data = load_run_data(run, &manifest.defaults, &base).map_err(context)?;
-        let defaults = &manifest.defaults;
+    if threads.count_for(manifest.runs.len()) <= 1 {
+        // Serial: stream entries so only one dataset is resident at a time. The
+        // shared cache still deduplicates repeated datasets across entries.
+        let mut lines = Vec::with_capacity(manifest.runs.len());
+        for (index, run) in manifest.runs.iter().enumerate() {
+            let data = load_run_data(run, &manifest.defaults, &base)
+                .map_err(|e| format!("run '{}': {e}", names[index]))?;
+            lines.push(execute_run(
+                run,
+                &manifest.defaults,
+                &base,
+                &names[index],
+                &data,
+                &cache,
+            )?);
+        }
+        return Ok(lines.join("\n"));
+    }
 
-        // Estimator through the PR 3 registry (parameterized specs supported).
-        let estimator_spec =
-            entry_or_default!(run, defaults, string, "estimator").unwrap_or_else(|| "dcer".into());
-        let threads = match entry_or_default!(run, defaults, string, "threads") {
-            Some(spec) => Some(spec.parse::<Threads>().map_err(err).map_err(context)?),
-            None => None,
-        };
-        let estimator = estimator_by_name_with(
-            &estimator_spec,
-            &EstimatorOptions {
-                threads,
-                ..EstimatorOptions::default()
-            },
-        )
-        .map_err(context)?;
-        let estimator_label = estimator.name();
+    // Phase 1: materialize every entry's dataset (parallel across entries; each
+    // cell is independent, so the loaded data is identical to serial loading).
+    // Datasets sit in per-entry slots so each can be dropped when its run ends.
+    let loaded: Vec<Result<RunData, String>> =
+        fg_sparse::run_ordered_cells(manifest.runs.len(), threads, |index| {
+            Ok::<_, String>(
+                load_run_data(&manifest.runs[index], &manifest.defaults, &base)
+                    .map_err(|e| format!("run '{}': {e}", names[index])),
+            )
+        })?;
+    let mut data: Vec<std::sync::Mutex<Option<RunData>>> = Vec::with_capacity(loaded.len());
+    for entry in loaded {
+        data.push(std::sync::Mutex::new(Some(entry?)));
+    }
 
-        // Propagator through the propagation registry.
-        let propagator_name = entry_or_default!(run, defaults, string, "propagator")
-            .unwrap_or_else(|| "linbp".into());
-        let opts = PropagatorOptions {
-            max_iterations: entry_or_default!(run, defaults, usize_value, "iterations"),
-            tolerance: entry_or_default!(run, defaults, f64_value, "tolerance"),
-            damping: entry_or_default!(run, defaults, f64_value, "damping"),
-            threads,
-        };
-        let propagator = registry::by_name_with(&propagator_name, &opts).ok_or_else(|| {
-            context(format!(
-                "unknown propagation method '{propagator_name}' (expected one of {})",
-                registry::propagator_names().join(", ")
-            ))
+    // Phase 2: for datasets that recur (same graph & seed fingerprints), build a
+    // turnstile so colliding entries execute in manifest order — that pins the
+    // "who computes, who hits the cache" counters to the serial outcome.
+    let keys: Vec<(fg_graph::Fingerprint, fg_graph::Fingerprint)> = data
+        .iter()
+        .map(|slot| {
+            let guard = slot.lock().expect("dataset slot poisoned");
+            let d = guard.as_ref().expect("loaded above");
+            (d.graph.fingerprint(), d.seeds.fingerprint())
+        })
+        .collect();
+    let mut key_count: HashMap<_, usize> = HashMap::new();
+    for key in &keys {
+        *key_count.entry(*key).or_insert(0) += 1;
+    }
+    type Turnstile = Arc<(std::sync::Mutex<usize>, std::sync::Condvar)>;
+    let mut turnstiles: HashMap<_, Turnstile> = HashMap::new();
+    let mut positions: HashMap<_, usize> = HashMap::new();
+    let gates: Vec<Option<(Turnstile, usize)>> = keys
+        .iter()
+        .map(|key| {
+            if key_count[key] < 2 {
+                return None;
+            }
+            let gate = Arc::clone(turnstiles.entry(*key).or_default());
+            let pos = positions.entry(*key).or_insert(0);
+            let this = *pos;
+            *pos += 1;
+            Some((gate, this))
+        })
+        .collect();
+
+    // Phase 3: run the pipelines. One shared cache deduplicates summaries across
+    // entries; report counters are per-key, so concurrent other-key work never
+    // leaks into a run's own numbers.
+    let outcomes: Vec<Result<String, String>> =
+        fg_sparse::run_ordered_cells(manifest.runs.len(), threads, |index| {
+            let gate = gates[index].clone();
+            if let Some((gate, pos)) = &gate {
+                let (lock, cvar) = &**gate;
+                let mut turn = lock.lock().expect("manifest turnstile poisoned");
+                while *turn < *pos {
+                    turn = cvar.wait(turn).expect("manifest turnstile poisoned");
+                }
+            }
+            // Take the dataset out of its slot so it is freed when this cell ends.
+            let run_data = data[index]
+                .lock()
+                .expect("dataset slot poisoned")
+                .take()
+                .expect("each cell runs exactly once");
+            let outcome = execute_run(
+                &manifest.runs[index],
+                &manifest.defaults,
+                &base,
+                &names[index],
+                &run_data,
+                &cache,
+            );
+            drop(run_data);
+            if let Some((gate, _)) = &gate {
+                // Advance the turnstile even on error, or waiters would hang.
+                let (lock, cvar) = &**gate;
+                *lock.lock().expect("manifest turnstile poisoned") += 1;
+                cvar.notify_all();
+            }
+            Ok::<_, String>(outcome)
         })?;
 
-        let mut pipeline = Pipeline::on(&data.graph)
-            .seeds(&data.seeds)
-            .estimator(estimator)
-            .estimator_label(estimator_label)
-            .propagator(propagator);
-        if let Some(threads) = threads {
-            pipeline = pipeline.estimation_threads(threads);
-        }
-        if let Some(cache_dir) = entry_or_default!(run, defaults, string, "summary_cache") {
-            let store = SummaryStore::open(resolve_path(&base, &cache_dir))
-                .map_err(err)
-                .map_err(context)?;
-            pipeline = pipeline.summary_store(Arc::new(store));
-        }
-        let mut report = pipeline.run().map_err(err).map_err(context)?;
-        if let Some(truth) = &data.truth {
-            if truth.k() == data.classes {
-                report.evaluate(truth, &data.seeds);
-            }
-        }
-        if let Some(out) = run.string("out")? {
-            crate::matrix_io::write_predictions(
-                &resolve_path(&base, &out),
-                &report.outcome.predictions,
-            )
-            .map_err(err)
-            .map_err(context)?;
-        }
-        let line = format!(
-            "{{\"name\":\"{}\",\"dataset\":\"{}\",\"report\":{}}}",
-            json_escape(&name),
-            json_escape(&data.dataset_label),
-            report.to_json()
-        );
-        if let Some(report_path) = run.string("report")? {
-            std::fs::write(resolve_path(&base, &report_path), format!("{line}\n"))
-                .map_err(err)
-                .map_err(context)?;
-        }
-        lines.push(line);
+    let mut lines = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        lines.push(outcome?);
     }
     Ok(lines.join("\n"))
+}
+
+/// Execute one prepared `[[run]]` entry against the shared summary cache,
+/// returning its output line.
+fn execute_run(
+    run: &Table,
+    defaults: &Table,
+    base: &Path,
+    name: &str,
+    data: &RunData,
+    cache: &Arc<SummaryCache>,
+) -> Result<String, String> {
+    let context = |e: String| format!("run '{name}': {e}");
+
+    // Estimator through the PR 3 registry (parameterized specs supported).
+    let estimator_spec =
+        entry_or_default!(run, defaults, string, "estimator").unwrap_or_else(|| "dcer".into());
+    let threads = match entry_or_default!(run, defaults, string, "threads") {
+        Some(spec) => Some(spec.parse::<Threads>().map_err(err).map_err(context)?),
+        None => None,
+    };
+    let estimator = estimator_by_name_with(
+        &estimator_spec,
+        &EstimatorOptions {
+            threads,
+            ..EstimatorOptions::default()
+        },
+    )
+    .map_err(context)?;
+    let estimator_label = estimator.name();
+
+    // Propagator through the propagation registry.
+    let propagator_name =
+        entry_or_default!(run, defaults, string, "propagator").unwrap_or_else(|| "linbp".into());
+    let opts = PropagatorOptions {
+        max_iterations: entry_or_default!(run, defaults, usize_value, "iterations"),
+        tolerance: entry_or_default!(run, defaults, f64_value, "tolerance"),
+        damping: entry_or_default!(run, defaults, f64_value, "damping"),
+        threads,
+    };
+    let propagator = registry::by_name_with(&propagator_name, &opts).ok_or_else(|| {
+        context(format!(
+            "unknown propagation method '{propagator_name}' (expected one of {})",
+            registry::propagator_names().join(", ")
+        ))
+    })?;
+
+    let mut pipeline = Pipeline::on(&data.graph)
+        .seeds(&data.seeds)
+        .estimator(estimator)
+        .estimator_label(estimator_label)
+        .propagator(propagator)
+        .summary_cache(Arc::clone(cache));
+    if let Some(threads) = threads {
+        pipeline = pipeline.estimation_threads(threads);
+    }
+    if let Some(cache_dir) = entry_or_default!(run, defaults, string, "summary_cache") {
+        let store = SummaryStore::open(resolve_path(base, &cache_dir))
+            .map_err(err)
+            .map_err(context)?;
+        pipeline = pipeline.summary_store(Arc::new(store));
+    }
+    let mut report = pipeline.run().map_err(err).map_err(context)?;
+    if let Some(truth) = &data.truth {
+        if truth.k() == data.classes {
+            report.evaluate(truth, &data.seeds);
+        }
+    }
+    if let Some(out) = run.string("out")? {
+        crate::matrix_io::write_predictions(&resolve_path(base, &out), &report.outcome.predictions)
+            .map_err(err)
+            .map_err(context)?;
+    }
+    let line = format!(
+        "{{\"name\":\"{}\",\"dataset\":\"{}\",\"report\":{}}}",
+        json_escape(name),
+        json_escape(&data.dataset_label),
+        report.to_json()
+    );
+    if let Some(report_path) = run.string("report")? {
+        std::fs::write(resolve_path(base, &report_path), format!("{line}\n"))
+            .map_err(err)
+            .map_err(context)?;
+    }
+    Ok(line)
 }
 
 #[cfg(test)]
@@ -687,6 +831,92 @@ mod tests {
         std::fs::write(&manifest_path, "out = \"pred.tsv\"\n[[run]]\nnodes = 100\n").unwrap();
         let e = run_manifest(&manifest_path).unwrap_err();
         assert!(e.contains("per-run only"), "{e}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Strip the wall-clock fields (the only run-to-run nondeterminism a report
+    /// carries) so two executions can be compared byte for byte on everything else:
+    /// names, datasets, counters, accuracies, iterations, epsilons.
+    fn normalize_timings(output: &str) -> String {
+        output
+            .lines()
+            .map(|line| {
+                line.split(',')
+                    .filter(|field| !field.contains("_seconds\":"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn parallel_manifest_output_is_byte_identical_to_serial() {
+        let dir = temp_dir("parallel");
+        let manifest_path = dir.join("exp.toml");
+        // Four entries: two share one dataset+seed set (cache collision — the
+        // first computes, the second hits, in manifest order even under threads),
+        // two are distinct; one writes predictions. A summary store is in play too.
+        std::fs::write(
+            &manifest_path,
+            "summary-cache = \"summaries\"\n\
+             estimator = \"mce\"\n\
+             fraction = 0.1\n\
+             [[run]]\n\
+             name = \"a\"\n\
+             nodes = 300\n\
+             seed = 5\n\
+             out = \"pred_a.tsv\"\n\
+             [[run]]\n\
+             name = \"a-again\"\n\
+             nodes = 300\n\
+             seed = 5\n\
+             out = \"pred_a_again.tsv\"\n\
+             [[run]]\n\
+             name = \"b\"\n\
+             nodes = 250\n\
+             seed = 6\n\
+             [[run]]\n\
+             name = \"c\"\n\
+             nodes = 200\n\
+             seed = 7\n\
+             propagator = \"rw\"\n",
+        )
+        .unwrap();
+        let run_with = |threads: Threads, fresh_store: bool| {
+            if fresh_store {
+                std::fs::remove_dir_all(dir.join("summaries")).ok();
+            }
+            run_manifest_with(&manifest_path, threads).unwrap()
+        };
+        let serial = run_with(Threads::Serial, true);
+        let serial_preds = std::fs::read(dir.join("pred_a.tsv")).unwrap();
+        // The collision entries report computing exactly once, in manifest order.
+        let lines: Vec<&str> = serial.lines().collect();
+        assert!(lines[0].contains("\"summary_computations\":1"), "{serial}");
+        assert!(lines[1].contains("\"summary_computations\":0"), "{serial}");
+        assert_eq!(
+            serial_preds,
+            std::fs::read(dir.join("pred_a_again.tsv")).unwrap()
+        );
+
+        // Cold parallel run: identical output (modulo wall-clock), identical files.
+        let parallel = run_with(Threads::Fixed(4), true);
+        assert_eq!(normalize_timings(&serial), normalize_timings(&parallel));
+        assert_eq!(serial_preds, std::fs::read(dir.join("pred_a.tsv")).unwrap());
+
+        // Warm-store runs agree too (counters shift to store hits, deterministically).
+        let serial_warm = run_with(Threads::Serial, false);
+        let parallel_warm = run_with(Threads::Fixed(4), false);
+        assert!(serial_warm
+            .lines()
+            .next()
+            .unwrap()
+            .contains("\"summary_store_hits\":1"));
+        assert_eq!(
+            normalize_timings(&serial_warm),
+            normalize_timings(&parallel_warm)
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

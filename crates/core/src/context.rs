@@ -46,6 +46,9 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+/// The cache's key map: per-key state behind per-key locks.
+type PairMap = HashMap<(Fingerprint, Fingerprint), Arc<Mutex<PairState>>>;
+
 /// Cached artifacts for one `(graph_fp, seed_fp)` pair.
 #[derive(Debug, Default)]
 struct PairState {
@@ -56,6 +59,12 @@ struct PairState {
     /// `Arc` so callers copy it *outside* the cache mutex — the `n x k` copy must not
     /// serialize parallel sweep workers.
     wx: Option<Arc<DenseMatrix>>,
+    /// How many times counts were actually computed for this key (per-key share of
+    /// the cache-wide counter; what [`EstimationContext::summary_computations`]
+    /// reports).
+    computations: usize,
+    /// How many of this key's requests were answered from a persistent store.
+    store_hits: usize,
 }
 
 /// Memoized factorized path statistics, keyed by content: one entry per
@@ -69,17 +78,16 @@ struct PairState {
 /// variant-independent raw counts (`k x k` matrices, one per length) — normalization
 /// is applied per request, which is `O(k²·ℓmax)` and negligible.
 ///
-/// Locking granularity: one mutex guards the whole cache, and it is held across a
-/// miss's `O(m·k·ℓmax)` computation (and store I/O). That is deliberate — it is what
-/// guarantees a key is computed **exactly once** no matter how many threads race on
-/// it, which the `computations()` counter (and the paper's "summarize once" claim)
-/// relies on — but it means concurrent misses on *different* keys serialize too.
-/// Workloads that want independent summarizations to overlap should use one cache
-/// per work item, as the parallel sweeps in `fg-bench` do; share a cache when the
-/// point is deduplication, not overlap.
+/// Locking granularity: a short-lived outer mutex guards the key map, and each key
+/// owns its own mutex that **is** held across a miss's `O(m·k·ℓmax)` computation (and
+/// store I/O). That per-key lock is what guarantees a key is computed **exactly
+/// once** no matter how many threads race on it — which the `computations()` counter
+/// (and the paper's "summarize once" claim) relies on — while misses on *different*
+/// keys proceed concurrently, so one shared cache serves both deduplication and
+/// overlap (the parallel manifest runner and `fg serve` sessions lean on this).
 #[derive(Debug, Default)]
 pub struct SummaryCache {
-    state: Mutex<HashMap<(Fingerprint, Fingerprint), PairState>>,
+    state: Mutex<PairMap>,
     computations: AtomicUsize,
     store_hits: AtomicUsize,
 }
@@ -114,6 +122,72 @@ impl SummaryCache {
 
     fn mode_index(non_backtracking: bool) -> usize {
         usize::from(non_backtracking)
+    }
+
+    /// Get-or-insert the per-key state behind its own lock. The outer map lock is
+    /// released before the caller locks the pair, so work on distinct keys overlaps.
+    fn pair(&self, key: (Fingerprint, Fingerprint)) -> Arc<Mutex<PairState>> {
+        let mut state = self.state.lock().expect("summary cache poisoned");
+        Arc::clone(state.entry(key).or_default())
+    }
+
+    /// Read the per-key state without inserting an entry for absent keys.
+    fn existing_pair(&self, key: (Fingerprint, Fingerprint)) -> Option<Arc<Mutex<PairState>>> {
+        let state = self.state.lock().expect("summary cache poisoned");
+        state.get(&key).map(Arc::clone)
+    }
+
+    /// How many computations this cache has recorded for one key (both counting
+    /// modes together). The per-key view of [`computations`](Self::computations).
+    pub fn key_computations(&self, graph_fp: Fingerprint, seed_fp: Fingerprint) -> usize {
+        self.existing_pair((graph_fp, seed_fp)).map_or(0, |pair| {
+            pair.lock().expect("summary pair poisoned").computations
+        })
+    }
+
+    /// How many of one key's requests were answered from a persistent store (the
+    /// per-key view of [`store_hits`](Self::store_hits)).
+    pub fn key_store_hits(&self, graph_fp: Fingerprint, seed_fp: Fingerprint) -> usize {
+        self.existing_pair((graph_fp, seed_fp)).map_or(0, |pair| {
+            pair.lock().expect("summary pair poisoned").store_hits
+        })
+    }
+
+    /// Insert externally maintained raw counts for a key **without** counting a
+    /// computation — the write-back path of the incremental
+    /// [`DeltaSummary`](crate::incremental::DeltaSummary) engine, whose delta-updated
+    /// counts are bit-identical to a fresh summarization of the same seed set. An
+    /// existing entry is kept when it already holds an equal-or-longer prefix
+    /// (counts are prefix-stable, so the longer vector answers strictly more
+    /// requests).
+    pub fn publish(
+        &self,
+        graph_fp: Fingerprint,
+        seed_fp: Fingerprint,
+        non_backtracking: bool,
+        counts: Vec<DenseMatrix>,
+    ) {
+        if counts.is_empty() {
+            return;
+        }
+        let pair = self.pair((graph_fp, seed_fp));
+        let mut state = pair.lock().expect("summary pair poisoned");
+        let mode = Self::mode_index(non_backtracking);
+        let cached_len = state.counts[mode].as_ref().map_or(0, |c| c.len());
+        if cached_len < counts.len() {
+            state.counts[mode] = Some(counts);
+        }
+    }
+
+    /// Drop one key's cached artifacts (counts for both modes and `W · X`). Used by
+    /// long-lived sessions to evict summaries of superseded seed sets so the cache
+    /// does not grow with every mutation. The cache-wide counters are unaffected;
+    /// the evicted key's per-key counters are dropped with its entry, so
+    /// [`key_computations`](Self::key_computations) restarts from zero if the key
+    /// ever reappears.
+    pub fn remove(&self, graph_fp: Fingerprint, seed_fp: Fingerprint) {
+        let mut state = self.state.lock().expect("summary cache poisoned");
+        state.remove(&(graph_fp, seed_fp));
     }
 }
 
@@ -212,19 +286,25 @@ impl<'a> EstimationContext<'a> {
     }
 
     /// How many times the underlying path counts were actually computed through this
-    /// context's cache (cache *and* store misses). A comparison run that shares one
-    /// context across MCE + DCE + DCEr sees exactly one computation per counting
-    /// mode, and a warm persistent store drives this to **zero** — tests and the CI
-    /// warm-path job assert both. Note: for a shared cache the counter is cumulative
-    /// across every context using it.
+    /// context's cache (cache *and* store misses) **for this context's key** — the
+    /// `(graph, seeds)` pair, both counting modes together. A comparison run that
+    /// shares one context across MCE + DCE + DCEr sees exactly one computation per
+    /// counting mode, and a warm persistent store drives this to **zero** — tests and
+    /// the CI warm-path job assert both. The counter is cumulative across every
+    /// context sharing the cache *and* key; work on other keys in a shared cache is
+    /// not counted here (see [`SummaryCache::computations`] for the cache-wide
+    /// total), which keeps per-run reports deterministic when independent runs share
+    /// one cache concurrently.
     pub fn summary_computations(&self) -> usize {
-        self.cache.computations()
+        self.cache.key_computations(self.graph_fp, self.seed_fp)
     }
 
-    /// How many summary requests were served from the persistent store instead of
-    /// being recomputed (cumulative across contexts sharing the cache).
+    /// How many summary requests for this context's key were served from the
+    /// persistent store instead of being recomputed (cumulative across contexts
+    /// sharing the cache and key; see [`SummaryCache::store_hits`] for the cache-wide
+    /// total).
     pub fn store_hits(&self) -> usize {
-        self.cache.store_hits()
+        self.cache.key_store_hits(self.graph_fp, self.seed_fp)
     }
 
     /// The graph summary for `config`, served from the in-memory cache when a
@@ -238,12 +318,16 @@ impl<'a> EstimationContext<'a> {
     pub fn summary(&self, config: &SummaryConfig) -> Result<GraphSummary> {
         validate_summary_inputs(self.graph, self.seeds, config.max_length)?;
         let mode = SummaryCache::mode_index(config.non_backtracking);
-        let mut state = self.cache.state.lock().expect("summary cache poisoned");
-        let entry = state.entry((self.graph_fp, self.seed_fp)).or_default();
+        let pair = self.cache.pair((self.graph_fp, self.seed_fp));
+        let mut entry = pair.lock().expect("summary pair poisoned");
         let cached_len = entry.counts[mode].as_ref().map_or(0, |c| c.len());
         if cached_len < config.max_length {
             let counts = match self.load_from_store(config) {
-                Some(stored) => stored,
+                Some(stored) => {
+                    entry.store_hits += 1;
+                    self.cache.store_hits.fetch_add(1, Ordering::Relaxed);
+                    stored
+                }
                 None => {
                     let counts = compute_path_counts(
                         self.graph,
@@ -252,6 +336,7 @@ impl<'a> EstimationContext<'a> {
                         config.non_backtracking,
                         self.threads,
                     )?;
+                    entry.computations += 1;
                     self.cache.computations.fetch_add(1, Ordering::Relaxed);
                     self.write_back(config, &counts);
                     counts
@@ -275,14 +360,14 @@ impl<'a> EstimationContext<'a> {
     }
 
     /// Try the persistent tier for a long-enough stored prefix. Returns `None` on a
-    /// miss; corrupt / mismatched files warn on stderr and count as misses.
+    /// miss; corrupt / mismatched files warn on stderr and count as misses. The
+    /// caller records the hit in the per-key and cache-wide counters.
     fn load_from_store(&self, config: &SummaryConfig) -> Option<Vec<DenseMatrix>> {
         let store = self.store.as_ref()?;
         match store.load(self.graph_fp, self.seed_fp, config.non_backtracking) {
             Ok(Some(stored))
                 if stored.k == self.seeds.k() && stored.counts.len() >= config.max_length =>
             {
-                self.cache.store_hits.fetch_add(1, Ordering::Relaxed);
                 Some(stored.counts)
             }
             // Present but too short (or absent): recompute; a k mismatch with equal
@@ -327,8 +412,8 @@ impl<'a> EstimationContext<'a> {
     /// behind an `Arc` so cache hits share the stored matrix instead of copying it;
     /// callers that need ownership clone the matrix outside the cache lock.
     pub fn wx(&self) -> Result<Arc<DenseMatrix>> {
-        let mut state = self.cache.state.lock().expect("summary cache poisoned");
-        let entry = state.entry((self.graph_fp, self.seed_fp)).or_default();
+        let pair = self.cache.pair((self.graph_fp, self.seed_fp));
+        let mut entry = pair.lock().expect("summary pair poisoned");
         if entry.wx.is_none() {
             let x = self.seeds.to_matrix();
             entry.wx = Some(Arc::new(
@@ -409,6 +494,76 @@ mod tests {
             }
         }
         assert_eq!(ctx.summary_computations(), 1);
+    }
+
+    #[test]
+    fn published_counts_are_served_without_computation_and_removable() {
+        let (graph, seeds) = seeded_graph();
+        let cache = SummaryCache::shared();
+        let config = SummaryConfig::with_max_length(3);
+        let fresh = crate::paths::summarize(&graph, &seeds, &config).unwrap();
+        cache.publish(
+            graph.fingerprint(),
+            seeds.fingerprint(),
+            true,
+            fresh.counts.clone(),
+        );
+        // Served entirely from the published entry: zero computations anywhere.
+        let ctx = EstimationContext::with_cache(&graph, &seeds, Arc::clone(&cache));
+        let served = ctx.summary(&config).unwrap();
+        assert_eq!(cache.computations(), 0);
+        assert_eq!(ctx.summary_computations(), 0);
+        for l in 1..=3 {
+            assert_eq!(
+                served.count(l).unwrap().data(),
+                fresh.count(l).unwrap().data()
+            );
+        }
+        // Publishing a shorter prefix never downgrades the entry.
+        cache.publish(
+            graph.fingerprint(),
+            seeds.fingerprint(),
+            true,
+            fresh.counts[..1].to_vec(),
+        );
+        assert_eq!(ctx.summary(&config).unwrap().max_length(), 3);
+        assert_eq!(cache.computations(), 0);
+        // Empty publishes are ignored entirely.
+        cache.publish(graph.fingerprint(), seeds.fingerprint(), true, Vec::new());
+        assert_eq!(cache.len(), 1);
+        // After eviction the next request recomputes (counters are cumulative).
+        cache.remove(graph.fingerprint(), seeds.fingerprint());
+        assert!(cache.is_empty());
+        ctx.warm(&config).unwrap();
+        assert_eq!(cache.computations(), 1);
+    }
+
+    #[test]
+    fn per_key_counters_do_not_see_other_keys() {
+        let (graph, seeds) = seeded_graph();
+        let mut rng = StdRng::seed_from_u64(123);
+        let cfg = GeneratorConfig::balanced(400, 10.0, 3, 3.0).unwrap();
+        let other = generate(&cfg, &mut rng).unwrap();
+        let other_seeds = other.labeling.stratified_sample(0.1, &mut rng);
+        let cache = SummaryCache::shared();
+        let ctx = EstimationContext::with_cache(&graph, &seeds, Arc::clone(&cache));
+        let ctx_other =
+            EstimationContext::with_cache(&other.graph, &other_seeds, Arc::clone(&cache));
+        ctx.warm(&SummaryConfig::with_max_length(3)).unwrap();
+        ctx_other.warm(&SummaryConfig::with_max_length(3)).unwrap();
+        // The cache-wide counter sums both keys; each context only reports its own.
+        assert_eq!(cache.computations(), 2);
+        assert_eq!(ctx.summary_computations(), 1);
+        assert_eq!(ctx_other.summary_computations(), 1);
+        assert_eq!(
+            cache.key_computations(graph.fingerprint(), seeds.fingerprint()),
+            1
+        );
+        // Unknown keys read as zero without creating entries.
+        let absent = Fingerprint::from_u128(0xdead);
+        assert_eq!(cache.key_computations(absent, absent), 0);
+        assert_eq!(cache.key_store_hits(absent, absent), 0);
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

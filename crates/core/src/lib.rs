@@ -80,6 +80,7 @@ pub mod context;
 pub mod energy;
 pub mod error;
 pub mod estimators;
+pub mod incremental;
 pub mod normalization;
 pub mod optimize;
 pub mod param;
@@ -99,6 +100,7 @@ pub use estimators::{
     GoldStandard, HoldoutConfig, HoldoutEstimation, LinearCompatibilityEstimation,
     MyopicCompatibilityEstimation, TwoValueHeuristic,
 };
+pub use incremental::{validate_mutations, ApplyOutcome, DeltaStats, DeltaSummary, SeedMutation};
 pub use normalization::NormalizationVariant;
 pub use optimize::{
     minimize, nelder_mead, GradientDescentConfig, NelderMeadConfig, NelderMeadOutcome,
@@ -113,7 +115,7 @@ pub use paths::{
     summarize_with, GraphSummary, SummaryConfig,
 };
 pub use pipeline::{Pipeline, PipelineReport};
-pub use store::{StoreEntry, StoreMeta, StoredCounts, SummaryStore};
+pub use store::{GcOutcome, StoreEntry, StoreMeta, StoredCounts, SummaryStore};
 
 /// Convenience re-exports covering the most common end-to-end usage: graph generation,
 /// estimation, propagation, and metrics.
@@ -125,6 +127,7 @@ pub mod prelude {
         GoldStandard, HoldoutEstimation, LinearCompatibilityEstimation,
         MyopicCompatibilityEstimation, TwoValueHeuristic,
     };
+    pub use crate::incremental::{DeltaSummary, SeedMutation};
     pub use crate::normalization::NormalizationVariant;
     pub use crate::paths::{summarize, summarize_with, SummaryConfig};
     pub use crate::pipeline::{Pipeline, PipelineReport};

@@ -244,6 +244,38 @@ pub(crate) fn compute_path_counts(
     non_backtracking: bool,
     threads: Threads,
 ) -> Result<Vec<DenseMatrix>> {
+    // Rolling two-matrix window: batch callers keep `O(n·k)` peak memory, only
+    // the incremental engine pays for retaining every intermediate (below).
+    run_recurrence(graph, seeds, max_length, non_backtracking, threads, false)
+        .map(|(counts, _)| counts)
+}
+
+/// [`compute_path_counts`] that also returns the per-length intermediates
+/// `N(1)..N(ℓmax)` (each `n x k`, `N(ℓ) = W(ℓ) X`) — `O(ℓmax·n·k)` memory. The
+/// incremental engine keeps these matrices alive so a seed mutation can be folded
+/// in as a low-rank update instead of replaying the whole recurrence.
+pub(crate) fn compute_path_counts_and_intermediates(
+    graph: &Graph,
+    seeds: &SeedLabels,
+    max_length: usize,
+    non_backtracking: bool,
+    threads: Threads,
+) -> Result<(Vec<DenseMatrix>, Vec<DenseMatrix>)> {
+    run_recurrence(graph, seeds, max_length, non_backtracking, threads, true)
+}
+
+/// The shared recurrence driver. With `keep_intermediates` every `N(ℓ)` is
+/// retained and returned; without it only the rolling `N(ℓ-1)` / `N(ℓ-2)` pair is
+/// alive at any time (the original batch memory profile). Identical arithmetic —
+/// and therefore bit-identical counts — either way.
+fn run_recurrence(
+    graph: &Graph,
+    seeds: &SeedLabels,
+    max_length: usize,
+    non_backtracking: bool,
+    threads: Threads,
+    keep_intermediates: bool,
+) -> Result<(Vec<DenseMatrix>, Vec<DenseMatrix>)> {
     validate_summary_inputs(graph, seeds, max_length)?;
     let w = graph.adjacency();
     let degrees = graph.degrees();
@@ -251,38 +283,58 @@ pub(crate) fn compute_path_counts(
     let x = seeds.to_matrix();
 
     let mut counts = Vec::with_capacity(max_length);
+    let mut intermediates = Vec::new();
+    // The rolling window: in non-retaining mode only these two matrices (plus the
+    // one under construction) are ever alive.
+    let mut prev2: Option<DenseMatrix>; // N(ℓ-2)
+    let mut prev1: Option<DenseMatrix>; // N(ℓ-1)
 
     // N(1) = W X for both counting modes.
     let n1 = w.spmm_dense_with(&x, threads)?;
     counts.push(seed_transpose_product_with(seeds, &n1, threads));
+    if keep_intermediates {
+        intermediates.push(n1.clone());
+    }
+    prev1 = Some(n1);
 
-    let mut prev2; // N(ℓ-2)
-    let mut prev1; // N(ℓ-1)
     if max_length >= 2 {
-        let n2 = if non_backtracking {
-            // N(2) = W N(1) - D X
-            w.spmm_dense_with(&n1, threads)?
-                .sub(&scale_rows(&x, &degrees))?
-        } else {
-            w.spmm_dense_with(&n1, threads)?
+        let n2 = {
+            let n1 = prev1.as_ref().expect("set above");
+            if non_backtracking {
+                // N(2) = W N(1) - D X
+                w.spmm_dense_with(n1, threads)?
+                    .sub(&scale_rows(&x, &degrees))?
+            } else {
+                w.spmm_dense_with(n1, threads)?
+            }
         };
         counts.push(seed_transpose_product_with(seeds, &n2, threads));
-        prev2 = n1;
-        prev1 = n2;
+        if keep_intermediates {
+            intermediates.push(n2.clone());
+        }
+        prev2 = prev1;
+        prev1 = Some(n2);
         for _ell in 3..=max_length {
-            let next = if non_backtracking {
-                // N(ℓ) = W N(ℓ-1) - (D - I) N(ℓ-2)
-                w.spmm_dense_with(&prev1, threads)?
-                    .sub(&scale_rows(&prev2, &degrees_minus_one))?
-            } else {
-                w.spmm_dense_with(&prev1, threads)?
+            let next = {
+                let p1 = prev1.as_ref().expect("set above");
+                let p2 = prev2.as_ref().expect("set above");
+                if non_backtracking {
+                    // N(ℓ) = W N(ℓ-1) - (D - I) N(ℓ-2)
+                    w.spmm_dense_with(p1, threads)?
+                        .sub(&scale_rows(p2, &degrees_minus_one))?
+                } else {
+                    w.spmm_dense_with(p1, threads)?
+                }
             };
             counts.push(seed_transpose_product_with(seeds, &next, threads));
-            prev2 = prev1;
-            prev1 = next;
+            if keep_intermediates {
+                intermediates.push(next.clone());
+            }
+            prev2 = prev1; // the old N(ℓ-2) is dropped here in rolling mode
+            prev1 = Some(next);
         }
     }
-    Ok(counts)
+    Ok((counts, intermediates))
 }
 
 /// Assemble a [`GraphSummary`] from precomputed raw counts by applying a

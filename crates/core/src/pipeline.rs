@@ -69,6 +69,15 @@ pub struct PipelineReport {
     /// remaining nodes that receive correct labels" — recorded by
     /// [`PipelineReport::evaluate`] alongside the macro value.
     pub micro_accuracy: Option<f64>,
+    /// Fraction of unlabeled nodes whose belief row carries no information, so the
+    /// abstain-aware labeling declines to predict. Recorded by
+    /// [`PipelineReport::evaluate_abstain`].
+    pub abstention_rate: Option<f64>,
+    /// Macro-averaged accuracy on the unlabeled nodes with abstentions charged as
+    /// misses (the abstain-aware counterpart of [`accuracy`](PipelineReport::accuracy)
+    /// that does not inflate class-0 recall). Recorded by
+    /// [`PipelineReport::evaluate_abstain`] when ground truth is available.
+    pub abstaining_macro_accuracy: Option<f64>,
 }
 
 impl PipelineReport {
@@ -92,6 +101,20 @@ impl PipelineReport {
         self.accuracy = Some(acc);
         self.micro_accuracy = Some(self.micro_accuracy(truth, seeds));
         acc
+    }
+
+    /// Record the abstain-aware metrics: the abstention rate over the unlabeled
+    /// nodes (always computable) and, when ground truth is supplied, the
+    /// macro-averaged accuracy with abstentions charged as misses. Both appear in
+    /// [`PipelineReport::to_json`] once recorded; returns the abstention rate.
+    pub fn evaluate_abstain(&mut self, seeds: &SeedLabels, truth: Option<&Labeling>) -> f64 {
+        let abstaining = self.outcome.predictions_or_abstain();
+        let rate = fg_propagation::abstention_rate(&abstaining, &seeds.unlabeled_nodes());
+        self.abstention_rate = Some(rate);
+        if let Some(truth) = truth {
+            self.abstaining_macro_accuracy = Some(self.outcome.abstaining_accuracy(truth, seeds));
+        }
+        rate
     }
 
     /// L2 (Frobenius) distance between the consumed compatibility matrix and a
@@ -147,6 +170,12 @@ impl PipelineReport {
         if let Some(acc) = self.micro_accuracy {
             fields.push(format!("\"micro_accuracy\":{acc}"));
         }
+        if let Some(rate) = self.abstention_rate {
+            fields.push(format!("\"abstention_rate\":{rate}"));
+        }
+        if let Some(acc) = self.abstaining_macro_accuracy {
+            fields.push(format!("\"abstaining_macro_accuracy\":{acc}"));
+        }
         format!("{{{}}}", fields.join(","))
     }
 }
@@ -193,6 +222,7 @@ pub struct Pipeline<'a> {
     threads: Option<Threads>,
     estimation_threads: Option<Threads>,
     context: Option<&'a EstimationContext<'a>>,
+    summary_cache: Option<Arc<crate::context::SummaryCache>>,
     summary_store: Option<Arc<SummaryStore>>,
 }
 
@@ -209,6 +239,7 @@ impl<'a> Pipeline<'a> {
             threads: None,
             estimation_threads: None,
             context: None,
+            summary_cache: None,
             summary_store: None,
         }
     }
@@ -296,6 +327,20 @@ impl<'a> Pipeline<'a> {
         self
     }
 
+    /// Share an in-memory [`SummaryCache`](crate::context::SummaryCache) across
+    /// pipelines on *different* `(graph, seeds)` pairs: the pipeline's private
+    /// [`EstimationContext`] is built on this cache instead of a fresh one, so runs
+    /// that happen to load the same dataset deduplicate their summarization (keyed by
+    /// content fingerprint) while runs on distinct datasets overlap. This is the
+    /// manifest-runner / serving-session variant of [`context`](Pipeline::context),
+    /// which shares a *fully built* context for one fixed pair. Ignored when a
+    /// shared context is supplied. The report's counters stay per-key, so sharing a
+    /// cache never changes the numbers a run reports for itself.
+    pub fn summary_cache(mut self, cache: Arc<crate::context::SummaryCache>) -> Self {
+        self.summary_cache = Some(cache);
+        self
+    }
+
     /// Execute both stages and collect the [`PipelineReport`].
     pub fn run(self) -> Result<PipelineReport> {
         let seeds = self.seeds.ok_or_else(|| {
@@ -364,8 +409,15 @@ impl<'a> Pipeline<'a> {
                         Some(shared) => shared,
                         None => {
                             let threads = self.estimation_threads.unwrap_or(Threads::Serial);
-                            let mut built =
-                                EstimationContext::new(self.graph, seeds).threads(threads);
+                            let mut built = match &self.summary_cache {
+                                Some(cache) => EstimationContext::with_cache(
+                                    self.graph,
+                                    seeds,
+                                    Arc::clone(cache),
+                                ),
+                                None => EstimationContext::new(self.graph, seeds),
+                            }
+                            .threads(threads);
                             if let Some(store) = &self.summary_store {
                                 built = built.store(Arc::clone(store));
                             }
@@ -437,6 +489,8 @@ impl<'a> Pipeline<'a> {
             summary_store_hits: store_hits,
             accuracy: None,
             micro_accuracy: None,
+            abstention_rate: None,
+            abstaining_macro_accuracy: None,
         })
     }
 }

@@ -55,6 +55,9 @@ pub const STORE_EXTENSION: &str = "fgsum";
 const HEADER_LEN: usize = 6 + 2 + 16 + 16 + 1 + 4 + 4;
 /// Trailing checksum size.
 const CHECKSUM_LEN: usize = 16;
+/// Per-process counter disambiguating concurrent temp-file writes (see
+/// [`SummaryStore::save`]).
+static TMP_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 /// A directory of persisted graph summaries (see the [module docs](self) for the
 /// format and failure policy).
@@ -86,6 +89,19 @@ pub struct StoreMeta {
     pub k: usize,
     /// Number of stored path lengths.
     pub max_length: usize,
+}
+
+/// What a [`SummaryStore::gc`] pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcOutcome {
+    /// Files deleted.
+    pub removed: usize,
+    /// Files kept.
+    pub kept: usize,
+    /// Bytes freed by the deletions.
+    pub bytes_removed: u64,
+    /// Bytes still in the store after the pass.
+    pub bytes_kept: u64,
 }
 
 /// One file in the store directory, with its header if it parses.
@@ -187,7 +203,16 @@ impl SummaryStore {
         bytes.extend_from_slice(&checksum.as_u128().to_le_bytes());
 
         let path = self.path_for(graph_fp, seed_fp, non_backtracking);
-        let tmp = path.with_extension(format!("{STORE_EXTENSION}.tmp"));
+        // The temporary name is unique per (process, save call): two writers racing
+        // to upgrade the same key — e.g. sessions extending a stored prefix to
+        // different lmax — each write their own temp file and the atomic renames
+        // land whole files in either order, so readers only ever observe a valid
+        // summary (one of the two, never an interleaving).
+        let tmp = path.with_extension(format!(
+            "{STORE_EXTENSION}.{}-{}.tmp",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
         fs::write(&tmp, &bytes).map_err(|e| io_err("write", &tmp, e))?;
         fs::rename(&tmp, &path).map_err(|e| io_err("rename", &tmp, e))?;
         Ok(path)
@@ -267,15 +292,18 @@ impl SummaryStore {
             Err(e) => return Err(io_err("read store directory", &self.dir, e)),
         };
         let store_suffix = format!(".{STORE_EXTENSION}");
-        let tmp_suffix = format!(".{STORE_EXTENSION}.tmp");
+        let tmp_marker = format!(".{STORE_EXTENSION}.");
         for item in dir_iter {
             let item = item.map_err(|e| io_err("read store directory", &self.dir, e))?;
             let path = item.path();
             let file = item.file_name().to_string_lossy().into_owned();
             let is_store_file = file.ends_with(&store_suffix);
-            // A crash between `fs::write` and `fs::rename` strands a temp file;
+            // A crash between `fs::write` and `fs::rename` strands a temp file
+            // (`*.fgsum.<pid>-<seq>.tmp`, or the pre-unique `*.fgsum.tmp` spelling);
             // listing it (always as corrupt) keeps it visible and clearable.
-            if !is_store_file && !file.ends_with(&tmp_suffix) {
+            let is_tmp_file =
+                !is_store_file && file.ends_with(".tmp") && file.contains(&tmp_marker);
+            if !is_store_file && !is_tmp_file {
                 continue;
             }
             let bytes = item.metadata().map(|m| m.len()).unwrap_or(0);
@@ -292,6 +320,24 @@ impl SummaryStore {
         Ok(entries)
     }
 
+    /// Delete the stored summary for one `(graph, seeds, mode)` triple, returning
+    /// whether a file was removed. Long-lived sessions use this to prune the entry
+    /// of a superseded seed set (whose fingerprint will never be requested again)
+    /// when they persist its replacement.
+    pub fn remove(
+        &self,
+        graph_fp: Fingerprint,
+        seed_fp: Fingerprint,
+        non_backtracking: bool,
+    ) -> Result<bool> {
+        let path = self.path_for(graph_fp, seed_fp, non_backtracking);
+        match fs::remove_file(&path) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(io_err("remove", &path, e)),
+        }
+    }
+
     /// Delete every store file (including stale `.fgsum.tmp` leftovers), returning
     /// how many were removed.
     pub fn clear(&self) -> Result<usize> {
@@ -302,6 +348,85 @@ impl SummaryStore {
             removed += 1;
         }
         Ok(removed)
+    }
+
+    /// Garbage-collect the store: drop every file older than `max_age` (by
+    /// modification time), then — least-recently-modified first — drop files until
+    /// the directory total is at or below `max_bytes`. Recently used summaries
+    /// survive because every load refreshes nothing but every *save* refreshes the
+    /// mtime; the eviction order is therefore LRU-by-write, with stale temp files
+    /// aging out like any other file. At least one bound must be given. Files that
+    /// vanish mid-collection (a concurrent `clear` or gc) are counted as removed.
+    pub fn gc(
+        &self,
+        max_bytes: Option<u64>,
+        max_age: Option<std::time::Duration>,
+    ) -> Result<GcOutcome> {
+        if max_bytes.is_none() && max_age.is_none() {
+            return Err(CoreError::Store(
+                "gc needs at least one bound (max_bytes or max_age)".into(),
+            ));
+        }
+        let now = std::time::SystemTime::now();
+        // Collect (mtime, name, bytes); unreadable metadata sorts oldest so broken
+        // files are evicted first. Ties break on the file name for determinism.
+        let mut files: Vec<(std::time::SystemTime, String, u64)> = self
+            .entries()?
+            .into_iter()
+            .map(|entry| {
+                let mtime = fs::metadata(self.dir.join(&entry.file))
+                    .and_then(|m| m.modified())
+                    .unwrap_or(std::time::UNIX_EPOCH);
+                (mtime, entry.file, entry.bytes)
+            })
+            .collect();
+        files.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+
+        let mut outcome = GcOutcome::default();
+        let mut survivors: Vec<(String, u64)> = Vec::new();
+        for (mtime, file, bytes) in files {
+            let expired = match max_age {
+                Some(age) => now.duration_since(mtime).is_ok_and(|d| d > age),
+                None => false,
+            };
+            if expired {
+                self.remove_for_gc(&file, bytes, &mut outcome)?;
+            } else {
+                survivors.push((file, bytes));
+            }
+        }
+        if let Some(cap) = max_bytes {
+            let mut total: u64 = survivors.iter().map(|(_, b)| b).sum();
+            let mut survivors = survivors.into_iter();
+            for (file, bytes) in survivors.by_ref() {
+                if total <= cap {
+                    outcome.kept += 1;
+                    outcome.bytes_kept += bytes;
+                    continue;
+                }
+                self.remove_for_gc(&file, bytes, &mut outcome)?;
+                total -= bytes;
+            }
+        } else {
+            for (_, bytes) in &survivors {
+                outcome.kept += 1;
+                outcome.bytes_kept += bytes;
+            }
+        }
+        Ok(outcome)
+    }
+
+    fn remove_for_gc(&self, file: &str, bytes: u64, outcome: &mut GcOutcome) -> Result<()> {
+        let path = self.dir.join(file);
+        match fs::remove_file(&path) {
+            // A file deleted by a concurrent clear/gc still counts as removed.
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(io_err("remove", &path, e)),
+        }
+        outcome.removed += 1;
+        outcome.bytes_removed += bytes;
+        Ok(())
     }
 }
 
@@ -451,6 +576,113 @@ mod tests {
         assert!(store.save(g, s, true, 2, &[]).is_err());
         let wrong = vec![DenseMatrix::zeros(2, 3)];
         assert!(store.save(g, s, true, 2, &wrong).is_err());
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn gc_enforces_age_then_lru_size_cap() {
+        let store = temp_store("gc");
+        let (g, s) = fps();
+        // Three files with distinct mtimes (oldest first).
+        let p1 = store.save(g, s, false, 2, &sample_counts()).unwrap();
+        let p2 = store.save(g, s, true, 2, &sample_counts()).unwrap();
+        let other = Fingerprint::from_u128(0x77);
+        let p3 = store.save(g, other, true, 2, &sample_counts()).unwrap();
+        let hour = std::time::Duration::from_secs(3600);
+        let old = std::time::SystemTime::now() - 10 * hour;
+        set_mtime(&p1, old);
+        set_mtime(&p2, old + hour);
+        let bytes = std::fs::metadata(&p3).unwrap().len();
+
+        // Age bound alone: the two back-dated files expire, the fresh one stays.
+        let outcome = store.gc(None, Some(2 * hour)).unwrap();
+        assert_eq!(outcome.removed, 2);
+        assert_eq!(outcome.kept, 1);
+        assert_eq!(outcome.bytes_kept, bytes);
+        assert!(store.load(g, other, true).unwrap().is_some());
+
+        // Size cap alone: rebuild two files, cap to one file's size — the older
+        // (least recently written) one goes.
+        let p1 = store.save(g, s, true, 2, &sample_counts()).unwrap();
+        set_mtime(&p1, old);
+        let outcome = store.gc(Some(bytes), None).unwrap();
+        assert_eq!(outcome.removed, 1);
+        assert_eq!(outcome.kept, 1);
+        assert!(!p1.exists());
+        assert!(p3.exists());
+
+        // max-bytes 0 empties the store; no bounds at all is an error.
+        let outcome = store.gc(Some(0), None).unwrap();
+        assert_eq!(outcome.kept, 0);
+        assert!(store.entries().unwrap().is_empty());
+        assert!(store.gc(None, None).is_err());
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    /// Backdate a file's mtime (best-effort via filetime-free std APIs: rewrite the
+    /// file then set the time with `File::set_modified`).
+    fn set_mtime(path: &std::path::Path, to: std::time::SystemTime) {
+        let f = std::fs::OpenOptions::new().write(true).open(path).unwrap();
+        f.set_modified(to).unwrap();
+    }
+
+    #[test]
+    fn concurrent_prefix_upgrades_leave_a_valid_file() {
+        // Two writers repeatedly persist the same key with different lmax (the
+        // "two sessions extend the same stored summary" race). Unique temp names +
+        // atomic renames mean a reader must always see one of the two valid files,
+        // never an interleaving.
+        let store = std::sync::Arc::new(temp_store("race"));
+        let (g, s) = fps();
+        let short = sample_counts();
+        let long: Vec<DenseMatrix> = short
+            .iter()
+            .cloned()
+            .chain(std::iter::once(
+                DenseMatrix::from_rows(&[vec![9.0, 8.0], vec![7.0, 6.0]]).unwrap(),
+            ))
+            .collect();
+        let rounds = 60;
+        std::thread::scope(|scope| {
+            let writer = |counts: Vec<DenseMatrix>| {
+                let store = std::sync::Arc::clone(&store);
+                scope.spawn(move || {
+                    for _ in 0..rounds {
+                        store.save(g, s, true, 2, &counts).unwrap();
+                    }
+                })
+            };
+            let a = writer(short.clone());
+            let b = writer(long.clone());
+            // A concurrent reader must never observe corruption (absent is fine
+            // in the first instants).
+            for _ in 0..rounds {
+                if let Some(loaded) = store.load(g, s, true).unwrap() {
+                    assert!(loaded.counts.len() == 2 || loaded.counts.len() == 3);
+                }
+            }
+            a.join().unwrap();
+            b.join().unwrap();
+        });
+        let final_counts = store.load(g, s, true).unwrap().unwrap();
+        assert!(final_counts.counts.len() == 2 || final_counts.counts.len() == 3);
+        let reference = if final_counts.counts.len() == 2 {
+            &short
+        } else {
+            &long
+        };
+        for (a, b) in reference.iter().zip(&final_counts.counts) {
+            assert_eq!(
+                a.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+        // No temp files were stranded by the race.
+        assert!(store
+            .entries()
+            .unwrap()
+            .iter()
+            .all(|e| !e.file.ends_with(".tmp")));
         std::fs::remove_dir_all(store.dir()).ok();
     }
 

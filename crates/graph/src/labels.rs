@@ -265,6 +265,31 @@ impl SeedLabels {
         h.finish()
     }
 
+    /// Set (or clear) the observed label of one node, returning the previous value.
+    ///
+    /// This is the mutation primitive behind the online-serving layer: streaming
+    /// workloads adjust a handful of seeds between queries instead of rebuilding the
+    /// whole seed set. The [`fingerprint`](Self::fingerprint) is recomputed on demand,
+    /// so after any sequence of `set_label` calls it equals the fingerprint of a seed
+    /// set freshly constructed with the same observations.
+    pub fn set_label(&mut self, node: usize, label: Option<usize>) -> Result<Option<usize>> {
+        if node >= self.observed.len() {
+            return Err(GraphError::InvalidLabels(format!(
+                "node {node} out of range for n = {}",
+                self.observed.len()
+            )));
+        }
+        if let Some(c) = label {
+            if c >= self.k {
+                return Err(GraphError::InvalidLabels(format!(
+                    "seed label {c} out of range for k = {}",
+                    self.k
+                )));
+            }
+        }
+        Ok(std::mem::replace(&mut self.observed[node], label))
+    }
+
     /// Restrict this seed set to a subset of nodes (everything else becomes unlabeled).
     pub fn restricted_to(&self, nodes: &[usize]) -> SeedLabels {
         let mut observed = vec![None; self.n()];
@@ -439,6 +464,22 @@ mod tests {
         // n matters even when the extra nodes are unlabeled.
         let longer = SeedLabels::new(vec![Some(1), None, Some(0), None], 2).unwrap();
         assert_ne!(longer.fingerprint(), a.fingerprint());
+    }
+
+    #[test]
+    fn set_label_mutates_and_tracks_fingerprint() {
+        let mut seeds = SeedLabels::new(vec![Some(1), None, Some(0)], 2).unwrap();
+        assert_eq!(seeds.set_label(1, Some(0)).unwrap(), None);
+        assert_eq!(seeds.get(1), Some(0));
+        assert_eq!(seeds.set_label(0, None).unwrap(), Some(1));
+        assert_eq!(seeds.num_labeled(), 2);
+        // The mutated set fingerprints exactly like a freshly built equal set.
+        let rebuilt = SeedLabels::new(vec![None, Some(0), Some(0)], 2).unwrap();
+        assert_eq!(seeds.fingerprint(), rebuilt.fingerprint());
+        // Bounds and label ranges are validated; errors leave the set unchanged.
+        assert!(seeds.set_label(9, Some(0)).is_err());
+        assert!(seeds.set_label(0, Some(5)).is_err());
+        assert_eq!(seeds.fingerprint(), rebuilt.fingerprint());
     }
 
     #[test]

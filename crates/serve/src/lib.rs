@@ -1,0 +1,24 @@
+//! # fg-serve — the online serving subsystem
+//!
+//! A long-lived session engine that turns the batch reproduction into a service:
+//! load a graph once, stream seed mutations, and answer estimation / classification
+//! queries whose summaries are maintained **incrementally** by
+//! [`fg_core::incremental::DeltaSummary`] — after warm-up, a seed change costs work
+//! proportional to the mutated node's neighborhood and subsequent requests perform
+//! zero full summarizations, with results bit-identical to a cold batch run.
+//!
+//! The protocol is dependency-free JSON-lines (see [`session`] for the command
+//! reference), served over stdin/stdout ([`serve_lines`]) and TCP ([`TcpServer`]);
+//! [`send_requests`] is the matching one-shot client. The `fg serve` and
+//! `fg client` CLI commands are thin wrappers over these entry points.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod server;
+pub mod session;
+
+pub use json::Json;
+pub use server::{send_requests, serve_lines, TcpServer};
+pub use session::{predictions_to_file_format, Flow, Session};

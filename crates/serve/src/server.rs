@@ -1,0 +1,145 @@
+//! Transports for a [`Session`]: a line loop over arbitrary reader/writer pairs
+//! (stdin/stdout for `fg serve`, a socket per TCP connection) and a `std::net` TCP
+//! listener that shares one session across concurrent connections.
+
+use crate::session::{Flow, Session};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+
+/// Serve JSON-lines requests from `reader`, writing one response line per request
+/// to `writer`, until EOF or a `shutdown` request. Line numbers (1-based, counting
+/// every received line) are echoed in error responses.
+pub fn serve_lines<R: BufRead, W: Write>(
+    session: &Session,
+    reader: R,
+    mut writer: W,
+) -> io::Result<()> {
+    for (index, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            // Blank lines are tolerated between requests (they still count for
+            // line numbering so errors point at the right request).
+            continue;
+        }
+        let (response, flow) = session.handle_line(&line, index + 1);
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if flow == Flow::Close {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// A TCP front-end sharing one [`Session`] across connections.
+pub struct TcpServer {
+    listener: TcpListener,
+    session: Arc<Session>,
+}
+
+impl TcpServer {
+    /// Bind the listener (use port 0 for an ephemeral port; the bound address is
+    /// reported by [`local_addr`](Self::local_addr)).
+    pub fn bind(session: Arc<Session>, addr: impl ToSocketAddrs) -> io::Result<TcpServer> {
+        Ok(TcpServer {
+            listener: TcpListener::bind(addr)?,
+            session,
+        })
+    }
+
+    /// The address the server accepts connections on.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accept connections forever, one thread per connection; each connection runs
+    /// its own [`serve_lines`] loop against the shared session (request handling is
+    /// serialized inside the session, so concurrent clients see deterministic
+    /// responses). Connection-level I/O errors are logged to stderr and never take
+    /// the server down.
+    pub fn run(&self) -> io::Result<()> {
+        for stream in self.listener.incoming() {
+            match stream {
+                Ok(stream) => {
+                    let session = Arc::clone(&self.session);
+                    std::thread::spawn(move || {
+                        let peer = stream
+                            .peer_addr()
+                            .map(|a| a.to_string())
+                            .unwrap_or_else(|_| "<unknown>".to_string());
+                        let reader = BufReader::new(match stream.try_clone() {
+                            Ok(clone) => clone,
+                            Err(e) => {
+                                eprintln!("fg serve: cannot clone stream for {peer}: {e}");
+                                return;
+                            }
+                        });
+                        if let Err(e) = serve_lines(&session, reader, stream) {
+                            eprintln!("fg serve: connection {peer} failed: {e}");
+                        }
+                    });
+                }
+                Err(e) => eprintln!("fg serve: accept failed: {e}"),
+            }
+        }
+        Ok(())
+    }
+
+    /// Spawn the accept loop on a background thread (used by tests and the one-shot
+    /// client helpers); the thread runs until the process exits.
+    pub fn spawn(session: Arc<Session>, addr: impl ToSocketAddrs) -> io::Result<SocketAddr> {
+        let server = TcpServer::bind(session, addr)?;
+        let local = server.local_addr()?;
+        std::thread::spawn(move || {
+            let _ = server.run();
+        });
+        Ok(local)
+    }
+}
+
+/// One-shot client: connect, send each request line, half-close the write side,
+/// and collect every response line until the server finishes. This is what
+/// `fg client` uses; tests drive servers with it too.
+///
+/// Writing happens on its own thread while this thread drains responses, so a
+/// batch whose early responses are large (a full-graph classify) followed by
+/// large request lines cannot deadlock on full socket buffers. A broken-pipe
+/// write error is tolerated (the server may legitimately close mid-batch after a
+/// `shutdown` request); other write errors are surfaced.
+pub fn send_requests(addr: impl ToSocketAddrs, lines: &[String]) -> io::Result<Vec<String>> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    let outgoing: Vec<String> = lines.to_vec();
+    let writer_thread = std::thread::spawn(move || -> io::Result<()> {
+        for line in &outgoing {
+            writer.write_all(line.as_bytes())?;
+            writer.write_all(b"\n")?;
+        }
+        writer.flush()?;
+        writer.shutdown(std::net::Shutdown::Write)?;
+        Ok(())
+    });
+    let mut responses = Vec::new();
+    let mut read_error = None;
+    for line in reader.lines() {
+        match line {
+            Ok(line) => responses.push(line),
+            Err(e) => {
+                read_error = Some(e);
+                break;
+            }
+        }
+    }
+    match writer_thread.join().expect("writer thread panicked") {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::BrokenPipe => {}
+        Err(e) => return Err(e),
+    }
+    if let Some(e) = read_error {
+        return Err(e);
+    }
+    Ok(responses)
+}

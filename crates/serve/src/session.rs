@@ -1,0 +1,751 @@
+//! The long-lived serving [`Session`]: graph + seed state + incremental summary
+//! engines + shared caches behind a JSON-lines command protocol.
+//!
+//! One session is shared by every connection of an `fg serve` process (that is the
+//! point: the expensive state — graph, `DeltaSummary` engines, summary cache — is
+//! paid once and amortized across requests). Request handling is serialized by one
+//! mutex, so every response is a deterministic function of the session history; all
+//! floating-point work runs through the bit-identical kernels, so responses carry no
+//! timing-dependent payloads (timings are only reported in aggregate by `stats`).
+//!
+//! # Protocol
+//!
+//! One JSON object per line in, one per line out. Requests name a command in `cmd`
+//! and may carry an `id` of any JSON type, echoed verbatim in the response.
+//! Responses are `{"ok":true,"id":...,"result":{...}}` or
+//! `{"ok":false,"id":...,"line":N,"error":"..."}` — malformed requests (bad JSON,
+//! unknown commands, invalid parameters) produce an error response with the
+//! connection's line number and never terminate the session.
+//!
+//! | command    | parameters                                                        |
+//! |------------|-------------------------------------------------------------------|
+//! | `ping`     | —                                                                 |
+//! | `load`     | `edges`, `labels`, `nodes`, `classes`                             |
+//! | `seed`     | `add` `[[node,label],..]`, `remove` `[node,..]`, `relabel` `[[node,label],..]` |
+//! | `estimate` | `method`, `lmax`, `lambda`, `restarts`, `splits`, `variant`       |
+//! | `classify` | estimate's parameters + `propagator`, `iterations`, `tolerance`, `damping`, `nodes` (subset), `abstain` |
+//! | `stats`    | —                                                                 |
+//! | `shutdown` | — (closes this connection; the process keeps serving others)      |
+//!
+//! `seed` mutations are folded into the maintained summaries by the
+//! [`DeltaSummary`] engines — after the first `estimate`/`classify` warm-up, a seed
+//! change costs work proportional to the mutated node's neighborhood and subsequent
+//! requests report `summary_computations: 0`, bit-identical to a cold batch run on
+//! the same seed set.
+
+use crate::json::Json;
+use fg_core::incremental::{validate_mutations, DeltaSummary, SeedMutation};
+use fg_core::prelude::*;
+use fg_core::{estimator_by_name_with, EstimatorOptions, SummaryStore};
+use fg_graph::Fingerprint;
+use fg_propagation::registry as propagation_registry;
+use fg_propagation::PropagatorOptions;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Whether the serving loop should keep reading after a response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flow {
+    /// Keep the connection open.
+    Continue,
+    /// Close this connection after writing the response.
+    Close,
+}
+
+/// The loaded dataset plus its incremental machinery.
+struct Dataset {
+    graph: Arc<Graph>,
+    seeds: SeedLabels,
+    classes: usize,
+    label: String,
+    /// One engine per counting mode (index 0 = plain paths, 1 = non-backtracking),
+    /// created lazily by the first estimator that needs the mode.
+    engines: [Option<DeltaSummary>; 2],
+    /// Whether the corresponding engine's current counts are already in the
+    /// shared cache (and store, when attached). Cleared by seed mutations and
+    /// engine (re)builds, so a warm session answering mutation-free requests does
+    /// zero publish clones and zero store writes.
+    published: [bool; 2],
+    /// Fingerprint of the seed set as loaded from disk. Store entries for this
+    /// fingerprint are shared with batch runs and future sessions on the same
+    /// files, so mutation-time pruning must never touch it — only the session's
+    /// own intermediate (mutated) fingerprints are transient.
+    initial_seed_fp: Fingerprint,
+}
+
+impl Dataset {
+    fn graph_fingerprint(&self) -> Fingerprint {
+        self.graph.fingerprint()
+    }
+}
+
+/// Aggregate per-command counters for `stats`.
+#[derive(Debug, Default, Clone)]
+struct CommandStat {
+    count: usize,
+    errors: usize,
+    total: Duration,
+}
+
+struct State {
+    threads: Threads,
+    cache: Arc<SummaryCache>,
+    store: Option<Arc<SummaryStore>>,
+    dataset: Option<Dataset>,
+    requests: usize,
+    /// Full summarizations performed by engines that were since dropped (dataset
+    /// reloads, lmax upgrades) — keeps the session-wide total monotone.
+    retired_full_summarizations: usize,
+    commands: BTreeMap<String, CommandStat>,
+}
+
+impl State {
+    /// Session-wide count of full `O(n·paths)` summarizations: context/cache misses
+    /// plus every engine construction or fallback, including retired engines.
+    fn total_summary_computations(&self) -> usize {
+        let engine_total: usize = self
+            .dataset
+            .iter()
+            .flat_map(|d| d.engines.iter().flatten())
+            .map(|e| e.stats().full_summarizations)
+            .sum();
+        self.cache.computations() + engine_total + self.retired_full_summarizations
+    }
+}
+
+/// A long-lived serving session (see the [module docs](self) for the protocol).
+/// Shared across connections behind an `Arc`; all request handling is serialized.
+pub struct Session {
+    state: Mutex<State>,
+}
+
+impl Session {
+    /// Create a session with the given thread policy and optional persistent
+    /// summary store.
+    pub fn new(threads: Threads, store: Option<Arc<SummaryStore>>) -> Session {
+        Session {
+            state: Mutex::new(State {
+                threads,
+                cache: SummaryCache::shared(),
+                store,
+                dataset: None,
+                requests: 0,
+                retired_full_summarizations: 0,
+                commands: BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// Handle one raw request line, producing the response line and the connection
+    /// disposition. `line_no` is the 1-based line number within the connection,
+    /// echoed in error responses so clients can pinpoint the offending request.
+    pub fn handle_line(&self, line: &str, line_no: usize) -> (String, Flow) {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            return (
+                error_response(&Json::Null, line_no, "empty request line").to_string(),
+                Flow::Continue,
+            );
+        }
+        let request = match Json::parse(trimmed) {
+            Ok(v) => v,
+            Err(e) => {
+                return (
+                    error_response(&Json::Null, line_no, &format!("invalid JSON: {e}")).to_string(),
+                    Flow::Continue,
+                );
+            }
+        };
+        let id = request.get("id").cloned().unwrap_or(Json::Null);
+        let cmd = match request.get("cmd").and_then(Json::as_str) {
+            Some(c) => c.to_string(),
+            None => {
+                return (
+                    error_response(&id, line_no, "request object needs a string 'cmd' field")
+                        .to_string(),
+                    Flow::Continue,
+                );
+            }
+        };
+
+        let start = Instant::now();
+        let mut state = self.state.lock().expect("session state poisoned");
+        state.requests += 1;
+        let (outcome, flow) = match cmd.as_str() {
+            "ping" => (Ok(Json::str("pong")), Flow::Continue),
+            "load" => (cmd_load(&mut state, &request), Flow::Continue),
+            "seed" => (cmd_seed(&mut state, &request), Flow::Continue),
+            "estimate" => (cmd_estimate(&mut state, &request), Flow::Continue),
+            "classify" => (cmd_classify(&mut state, &request), Flow::Continue),
+            "stats" => (Ok(cmd_stats(&state)), Flow::Continue),
+            "shutdown" => (Ok(Json::str("closing connection")), Flow::Close),
+            other => (
+                Err(format!(
+                    "unknown command '{other}' (expected ping, load, seed, estimate, \
+                     classify, stats, or shutdown)"
+                )),
+                Flow::Continue,
+            ),
+        };
+        let stat = state.commands.entry(cmd).or_default();
+        stat.count += 1;
+        stat.total += start.elapsed();
+        if outcome.is_err() {
+            stat.errors += 1;
+        }
+        let response = match outcome {
+            Ok(result) => Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("id", id),
+                ("result", result),
+            ]),
+            Err(message) => error_response(&id, line_no, &message),
+        };
+        (response.to_string(), flow)
+    }
+}
+
+fn error_response(id: &Json, line_no: usize, message: &str) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("id", id.clone()),
+        ("line", Json::num(line_no)),
+        ("error", Json::str(format!("line {line_no}: {message}"))),
+    ])
+}
+
+fn required_str(request: &Json, key: &str) -> Result<String, String> {
+    request
+        .get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing required string field '{key}'"))
+}
+
+fn required_usize(request: &Json, key: &str) -> Result<usize, String> {
+    request
+        .get(key)
+        .ok_or_else(|| format!("missing required field '{key}'"))?
+        .as_usize()
+        .ok_or_else(|| format!("field '{key}' must be a non-negative integer"))
+}
+
+fn optional_usize(request: &Json, key: &str) -> Result<Option<usize>, String> {
+    match request.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_usize()
+            .map(Some)
+            .ok_or_else(|| format!("field '{key}' must be a non-negative integer")),
+    }
+}
+
+fn optional_f64(request: &Json, key: &str) -> Result<Option<f64>, String> {
+    match request.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("field '{key}' must be a number")),
+    }
+}
+
+fn dataset_of(state: &mut State) -> Result<&mut Dataset, String> {
+    state
+        .dataset
+        .as_mut()
+        .ok_or_else(|| "no dataset loaded: send a 'load' request first".to_string())
+}
+
+/// `load`: read an edge list + seed label file, replacing any previous dataset
+/// (whose cache entries and engines are retired).
+fn cmd_load(state: &mut State, request: &Json) -> Result<Json, String> {
+    let edges = required_str(request, "edges")?;
+    let labels = required_str(request, "labels")?;
+    let nodes = required_usize(request, "nodes")?;
+    let classes = required_usize(request, "classes")?;
+    let graph = fg_datasets::read_edge_list(Path::new(&edges), nodes).map_err(|e| e.to_string())?;
+    let seeds =
+        fg_datasets::read_labels(Path::new(&labels), nodes, classes).map_err(|e| e.to_string())?;
+
+    // Retire the previous dataset: evict its cache entry so the session cache does
+    // not grow across reloads, and keep its engines' work counters in the totals.
+    if let Some(old) = state.dataset.take() {
+        state
+            .cache
+            .remove(old.graph_fingerprint(), old.seeds.fingerprint());
+        state.retired_full_summarizations += old
+            .engines
+            .iter()
+            .flatten()
+            .map(|e| e.stats().full_summarizations)
+            .sum::<usize>();
+    }
+    let initial_seed_fp = seeds.fingerprint();
+    let dataset = Dataset {
+        graph: Arc::new(graph),
+        seeds,
+        classes,
+        label: edges.clone(),
+        engines: [None, None],
+        published: [false, false],
+        initial_seed_fp,
+    };
+    let result = Json::obj(vec![
+        ("nodes", Json::num(dataset.graph.num_nodes())),
+        ("edges", Json::num(dataset.graph.num_edges())),
+        ("classes", Json::num(classes)),
+        ("labeled", Json::num(dataset.seeds.num_labeled())),
+        (
+            "graph_fingerprint",
+            Json::str(dataset.graph_fingerprint().to_hex()),
+        ),
+        (
+            "seed_fingerprint",
+            Json::str(dataset.seeds.fingerprint().to_hex()),
+        ),
+    ]);
+    state.dataset = Some(dataset);
+    Ok(result)
+}
+
+/// Parse the `seed` request's three mutation arrays into one ordered batch
+/// (adds, then removes, then relabels — within each array, request order).
+fn parse_mutations(request: &Json) -> Result<Vec<SeedMutation>, String> {
+    let mut mutations = Vec::new();
+    let pairs = |key: &str| -> Result<Vec<(usize, usize)>, String> {
+        match request.get(key) {
+            None | Some(Json::Null) => Ok(Vec::new()),
+            Some(v) => {
+                let items = v
+                    .as_array()
+                    .ok_or_else(|| format!("field '{key}' must be an array"))?;
+                items
+                    .iter()
+                    .map(|item| {
+                        let pair = item.as_array().filter(|p| p.len() == 2).ok_or_else(|| {
+                            format!("field '{key}' must hold [node, label] pairs")
+                        })?;
+                        let node = pair[0]
+                            .as_usize()
+                            .ok_or_else(|| format!("'{key}' node ids must be integers"))?;
+                        let label = pair[1]
+                            .as_usize()
+                            .ok_or_else(|| format!("'{key}' labels must be integers"))?;
+                        Ok((node, label))
+                    })
+                    .collect()
+            }
+        }
+    };
+    for (node, label) in pairs("add")? {
+        mutations.push(SeedMutation::Add { node, label });
+    }
+    match request.get("remove") {
+        None | Some(Json::Null) => {}
+        Some(v) => {
+            let items = v
+                .as_array()
+                .ok_or_else(|| "field 'remove' must be an array of node ids".to_string())?;
+            for item in items {
+                let node = item
+                    .as_usize()
+                    .ok_or_else(|| "'remove' node ids must be integers".to_string())?;
+                mutations.push(SeedMutation::Remove { node });
+            }
+        }
+    }
+    for (node, label) in pairs("relabel")? {
+        mutations.push(SeedMutation::Relabel { node, label });
+    }
+    if mutations.is_empty() {
+        return Err("seed request carries no mutations (use add / remove / relabel)".into());
+    }
+    Ok(mutations)
+}
+
+/// `seed`: apply a mutation batch to the authoritative seed set and every live
+/// engine, evicting the superseded cache entry.
+fn cmd_seed(state: &mut State, request: &Json) -> Result<Json, String> {
+    let mutations = parse_mutations(request)?;
+    let cache = Arc::clone(&state.cache);
+    let store = state.store.clone();
+    let dataset = dataset_of(state)?;
+    validate_mutations(&dataset.seeds, &mutations).map_err(|e| e.to_string())?;
+
+    let old_fp = dataset.seeds.fingerprint();
+    let mut delta_applied = 0usize;
+    let mut full_recomputes = 0usize;
+    let mut rows_touched = 0usize;
+    for engine in dataset.engines.iter_mut().flatten() {
+        let outcome = engine.apply(&mutations).map_err(|e| e.to_string())?;
+        delta_applied += outcome.delta_applied;
+        full_recomputes += outcome.full_recomputes;
+        rows_touched += outcome.rows_touched;
+    }
+    for m in &mutations {
+        let (node, label) = match *m {
+            SeedMutation::Add { node, label } | SeedMutation::Relabel { node, label } => {
+                (node, Some(label))
+            }
+            SeedMutation::Remove { node } => (node, None),
+        };
+        dataset
+            .seeds
+            .set_label(node, label)
+            .expect("validated above");
+    }
+    // The old seed set's summaries are superseded; keep the cache at one live key
+    // per dataset and flag the engines' fresh counts for (re)publication. Persisted
+    // files are pruned only for the session's own intermediate fingerprints —
+    // a mutated state no other process can ever re-derive. The *loaded* seed
+    // file's entry is shared with batch runs and future sessions on the same
+    // files and must survive.
+    cache.remove(dataset.graph_fingerprint(), old_fp);
+    if old_fp != dataset.initial_seed_fp {
+        if let Some(store) = &store {
+            for non_backtracking in [false, true] {
+                if let Err(e) = store.remove(dataset.graph_fingerprint(), old_fp, non_backtracking)
+                {
+                    eprintln!("warning: could not prune superseded summary: {e}");
+                }
+            }
+        }
+    }
+    dataset.published = [false, false];
+    Ok(Json::obj(vec![
+        ("mutations", Json::num(mutations.len())),
+        ("labeled", Json::num(dataset.seeds.num_labeled())),
+        (
+            "seed_fingerprint",
+            Json::str(dataset.seeds.fingerprint().to_hex()),
+        ),
+        ("delta_applied", Json::num(delta_applied)),
+        ("full_recomputes", Json::num(full_recomputes)),
+        ("rows_touched", Json::num(rows_touched)),
+    ]))
+}
+
+/// Build the estimator described by a request through the fg-core registry.
+fn build_estimator(
+    request: &Json,
+    threads: Threads,
+) -> Result<Box<dyn CompatibilityEstimator>, String> {
+    let method = request
+        .get("method")
+        .and_then(Json::as_str)
+        .unwrap_or("dcer");
+    let variant = match optional_usize(request, "variant")? {
+        Some(index) => Some(
+            NormalizationVariant::from_index(index)
+                .ok_or_else(|| format!("variant {index} is not one of 1, 2, 3"))?,
+        ),
+        None => None,
+    };
+    let defaults = EstimatorOptions {
+        max_length: optional_usize(request, "lmax")?,
+        lambda: optional_f64(request, "lambda")?,
+        restarts: optional_usize(request, "restarts")?,
+        splits: optional_usize(request, "splits")?,
+        variant,
+        non_backtracking: None,
+        threads: Some(threads),
+    };
+    estimator_by_name_with(method, &defaults)
+}
+
+/// Ensure the engine for a counting mode maintains at least `max_length` paths,
+/// building (or rebuilding longer) via one full summarization when needed, then
+/// publish its counts so context requests are cache hits.
+fn ensure_engine(
+    state: &mut State,
+    non_backtracking: bool,
+    max_length: usize,
+) -> Result<(), String> {
+    let threads = state.threads;
+    let cache = Arc::clone(&state.cache);
+    let store = state.store.clone();
+    let mut retired = 0usize;
+    let dataset = dataset_of(state)?;
+    let slot = usize::from(non_backtracking);
+    let needs_build = match &dataset.engines[slot] {
+        Some(engine) => engine.max_length() < max_length,
+        None => true,
+    };
+    if needs_build {
+        // Maintain at least the paper's ℓmax = 5 so later default requests reuse
+        // the same engine instead of forcing a rebuild.
+        let target = max_length.max(5);
+        if let Some(old) = dataset.engines[slot].take() {
+            retired = old.stats().full_summarizations;
+        }
+        let engine = DeltaSummary::new(
+            Arc::clone(&dataset.graph),
+            dataset.seeds.clone(),
+            target,
+            non_backtracking,
+            threads,
+        )
+        .map_err(|e| e.to_string())?;
+        dataset.engines[slot] = Some(engine);
+        dataset.published[slot] = false;
+    }
+    // Publish (and persist) only when the engine's counts changed since the last
+    // publication — a warm session answering mutation-free requests re-does no
+    // cache clones and no store I/O.
+    if !dataset.published[slot] {
+        let engine = dataset.engines[slot].as_ref().expect("built above");
+        engine.publish_to(&cache);
+        if let Some(store) = &store {
+            if let Err(e) = engine.persist_to(store) {
+                eprintln!("warning: could not persist summary: {e}");
+            }
+        }
+        dataset.published[slot] = true;
+    }
+    state.retired_full_summarizations += retired;
+    Ok(())
+}
+
+/// Shared estimation path of `estimate` and `classify`: warm the right engine,
+/// publish its counts, and estimate through a cache-backed context. Returns the
+/// estimate plus the per-request work counters.
+fn estimate_h(
+    state: &mut State,
+    request: &Json,
+) -> Result<(DenseMatrix, String, usize, usize), String> {
+    let estimator = build_estimator(request, state.threads)?;
+    let computations_before = state.total_summary_computations();
+    if let Some(requirements) = estimator.summary_requirements() {
+        ensure_engine(
+            state,
+            requirements.non_backtracking,
+            requirements.max_length,
+        )?;
+    }
+    let threads = state.threads;
+    let cache = Arc::clone(&state.cache);
+    let store = state.store.clone();
+    let store_hits_before = cache.store_hits();
+    let dataset = dataset_of(state)?;
+    let mut ctx = EstimationContext::with_cache(&dataset.graph, &dataset.seeds, Arc::clone(&cache))
+        .threads(threads);
+    if let Some(store) = store {
+        ctx = ctx.store(store);
+    }
+    let h = estimator
+        .estimate_with_context(&ctx)
+        .map_err(|e| e.to_string())?;
+    let name = estimator.name();
+    drop(ctx);
+    let computations = state.total_summary_computations() - computations_before;
+    let store_hits = state.cache.store_hits() - store_hits_before;
+    Ok((h, name, computations, store_hits))
+}
+
+fn matrix_to_json(h: &DenseMatrix) -> Json {
+    Json::Arr(
+        (0..h.rows())
+            .map(|i| Json::Arr(h.row(i).iter().map(|&v| Json::Num(v)).collect()))
+            .collect(),
+    )
+}
+
+/// `estimate`: compatibility estimation on the current seed set.
+fn cmd_estimate(state: &mut State, request: &Json) -> Result<Json, String> {
+    let (h, name, computations, store_hits) = estimate_h(state, request)?;
+    Ok(Json::obj(vec![
+        ("estimator", Json::str(name)),
+        ("h", matrix_to_json(&h)),
+        ("summary_computations", Json::num(computations)),
+        ("store_hits", Json::num(store_hits)),
+    ]))
+}
+
+/// `classify`: end-to-end estimation + propagation, optionally restricted to a node
+/// subset and optionally abstain-aware.
+fn cmd_classify(state: &mut State, request: &Json) -> Result<Json, String> {
+    let propagator_name = request
+        .get("propagator")
+        .and_then(Json::as_str)
+        .unwrap_or("linbp");
+    let opts = PropagatorOptions {
+        max_iterations: optional_usize(request, "iterations")?,
+        tolerance: optional_f64(request, "tolerance")?,
+        damping: optional_f64(request, "damping")?,
+        threads: Some(state.threads),
+    };
+    let propagator =
+        propagation_registry::by_name_with(propagator_name, &opts).ok_or_else(|| {
+            format!(
+                "unknown propagation method '{propagator_name}' (expected one of {})",
+                propagation_registry::propagator_names().join(", ")
+            )
+        })?;
+
+    let (h, estimator_name, computations, store_hits) = if propagator.uses_compatibilities() {
+        estimate_h(state, request)?
+    } else {
+        let k = dataset_of(state)?.classes;
+        (
+            DenseMatrix::filled(k, k, 1.0 / k as f64),
+            "none".to_string(),
+            0,
+            0,
+        )
+    };
+
+    let subset: Option<Vec<usize>> = match request.get("nodes") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(
+            v.as_array()
+                .ok_or_else(|| "field 'nodes' must be an array of node ids".to_string())?
+                .iter()
+                .map(|item| {
+                    item.as_usize()
+                        .ok_or_else(|| "'nodes' ids must be integers".to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+    };
+    let abstain = request
+        .get("abstain")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+
+    let dataset = dataset_of(state)?;
+    if let Some(nodes) = &subset {
+        if let Some(&bad) = nodes.iter().find(|&&n| n >= dataset.graph.num_nodes()) {
+            return Err(format!(
+                "'nodes' id {bad} out of range (graph has {} nodes)",
+                dataset.graph.num_nodes()
+            ));
+        }
+    }
+    let outcome = propagator
+        .propagate(&dataset.graph, &dataset.seeds, &h)
+        .map_err(|e| e.to_string())?;
+
+    let abstaining = abstain.then(|| outcome.predictions_or_abstain());
+    let label_json = |node: usize| -> Json {
+        match &abstaining {
+            Some(preds) => match preds[node] {
+                Some(label) => Json::num(label),
+                None => Json::Null,
+            },
+            None => Json::num(outcome.predictions[node]),
+        }
+    };
+    let predictions = match &subset {
+        Some(nodes) => Json::Arr(
+            nodes
+                .iter()
+                .map(|&n| Json::Arr(vec![Json::num(n), label_json(n)]))
+                .collect(),
+        ),
+        None => Json::Arr((0..outcome.predictions.len()).map(label_json).collect()),
+    };
+    let mut fields = vec![
+        ("estimator", Json::str(estimator_name)),
+        ("propagator", Json::str(propagator.name())),
+        ("iterations", Json::num(outcome.iterations)),
+        ("converged", Json::Bool(outcome.converged)),
+        ("predictions", predictions),
+        ("summary_computations", Json::num(computations)),
+        ("store_hits", Json::num(store_hits)),
+    ];
+    if let Some(abstaining) = &abstaining {
+        let rate = fg_propagation::abstention_rate(abstaining, &dataset.seeds.unlabeled_nodes());
+        fields.push(("abstention_rate", Json::Num(rate)));
+    }
+    Ok(Json::obj(fields))
+}
+
+/// `stats`: session-wide counters (monotone across requests, engines, and reloads).
+fn cmd_stats(state: &State) -> Json {
+    let dataset = match &state.dataset {
+        Some(d) => {
+            let engines = Json::Arr(
+                d.engines
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(mode, engine)| engine.as_ref().map(|e| (mode, e)))
+                    .map(|(mode, engine)| {
+                        let stats = engine.stats();
+                        Json::obj(vec![
+                            ("mode", Json::str(if mode == 1 { "nb" } else { "all" })),
+                            ("lmax", Json::num(engine.max_length())),
+                            ("full_summarizations", Json::num(stats.full_summarizations)),
+                            ("delta_mutations", Json::num(stats.delta_mutations)),
+                            ("delta_rows_touched", Json::num(stats.delta_rows_touched)),
+                            (
+                                "full_rows_per_summarization",
+                                Json::num(stats.full_rows_per_summarization),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            );
+            Json::obj(vec![
+                ("dataset", Json::str(d.label.clone())),
+                ("nodes", Json::num(d.graph.num_nodes())),
+                ("edges", Json::num(d.graph.num_edges())),
+                ("classes", Json::num(d.classes)),
+                ("labeled", Json::num(d.seeds.num_labeled())),
+                ("engines", engines),
+            ])
+        }
+        None => Json::Null,
+    };
+    let commands = Json::Obj(
+        state
+            .commands
+            .iter()
+            .map(|(name, stat)| {
+                (
+                    name.clone(),
+                    Json::obj(vec![
+                        ("count", Json::num(stat.count)),
+                        ("errors", Json::num(stat.errors)),
+                        ("seconds", Json::Num(stat.total.as_secs_f64())),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    Json::obj(vec![
+        ("requests", Json::num(state.requests)),
+        (
+            "summary_computations",
+            Json::num(state.total_summary_computations()),
+        ),
+        ("store_hits", Json::num(state.cache.store_hits())),
+        ("dataset", dataset),
+        ("commands", commands),
+    ])
+}
+
+/// Convenience for tests and the CLI client: extract a full-graph prediction vector
+/// from a `classify` response line, rendered in the same `node<TAB>class` format the
+/// batch CLI writes (abstentions render as `abstain`).
+pub fn predictions_to_file_format(response: &str) -> Option<String> {
+    let parsed = Json::parse(response).ok()?;
+    let predictions = parsed.get("result")?.get("predictions")?.as_array()?;
+    let mut out = String::from("# node\tpredicted_class\n");
+    for (node, item) in predictions.iter().enumerate() {
+        match item {
+            Json::Arr(pair) if pair.len() == 2 => {
+                let id = pair[0].as_usize()?;
+                match &pair[1] {
+                    Json::Null => out.push_str(&format!("{id}\tabstain\n")),
+                    v => out.push_str(&format!("{id}\t{}\n", v.as_usize()?)),
+                }
+            }
+            Json::Null => out.push_str(&format!("{node}\tabstain\n")),
+            v => out.push_str(&format!("{node}\t{}\n", v.as_usize()?)),
+        }
+    }
+    Some(out)
+}

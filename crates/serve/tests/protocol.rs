@@ -1,0 +1,353 @@
+//! End-to-end protocol tests: session semantics, error handling, warm-up /
+//! incremental counters, stdio loop, and concurrent TCP clients.
+
+use fg_core::prelude::*;
+use fg_serve::{send_requests, serve_lines, Json, Session, TcpServer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Write a synthetic dataset (edge list + sparse seed labels + full truth labels)
+/// into a temp dir; returns (dir, edges, seeds, truth, labeling).
+fn dataset(name: &str) -> (PathBuf, PathBuf, PathBuf, Labeling) {
+    let dir = std::env::temp_dir().join(format!("fg_serve_test_{name}"));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let cfg = GeneratorConfig::balanced(400, 8.0, 3, 8.0).unwrap();
+    let mut rng = StdRng::seed_from_u64(42);
+    let syn = generate(&cfg, &mut rng).unwrap();
+    let seeds = syn.labeling.stratified_sample(0.08, &mut rng);
+    let edges = dir.join("edges.tsv");
+    let seeds_path = dir.join("seeds.tsv");
+    fg_datasets::write_edge_list(&edges, &syn.graph).unwrap();
+    let mut seed_lines = String::new();
+    for (node, label) in seeds.as_slice().iter().enumerate() {
+        if let Some(c) = label {
+            seed_lines.push_str(&format!("{node}\t{c}\n"));
+        }
+    }
+    std::fs::write(&seeds_path, seed_lines).unwrap();
+    (dir, edges, seeds_path, syn.labeling)
+}
+
+fn parse(response: &str) -> Json {
+    Json::parse(response).unwrap_or_else(|e| panic!("unparsable response {response}: {e}"))
+}
+
+fn assert_ok(response: &str) -> Json {
+    let parsed = parse(response);
+    assert_eq!(
+        parsed.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "expected success: {response}"
+    );
+    parsed.get("result").cloned().unwrap()
+}
+
+fn load_line(edges: &std::path::Path, seeds: &std::path::Path) -> String {
+    format!(
+        "{{\"cmd\":\"load\",\"edges\":\"{}\",\"labels\":\"{}\",\"nodes\":400,\"classes\":3}}",
+        edges.display(),
+        seeds.display()
+    )
+}
+
+#[test]
+fn session_serves_load_seed_estimate_classify_with_incremental_counters() {
+    let (dir, edges, seeds_path, truth) = dataset("flow");
+    let session = Session::new(Threads::Serial, None);
+
+    let (resp, _) = session.handle_line(&load_line(&edges, &seeds_path), 1);
+    let loaded = assert_ok(&resp);
+    assert_eq!(loaded.get("nodes").and_then(Json::as_usize), Some(400));
+    let labeled_before = loaded.get("labeled").and_then(Json::as_usize).unwrap();
+
+    // Warm-up estimate: exactly one full summarization (the engine build).
+    let (resp, _) = session.handle_line("{\"cmd\":\"estimate\",\"method\":\"dcer\"}", 2);
+    let estimate = assert_ok(&resp);
+    assert_eq!(
+        estimate
+            .get("summary_computations")
+            .and_then(Json::as_usize),
+        Some(1),
+        "{resp}"
+    );
+    let h = estimate.get("h").and_then(Json::as_array).unwrap();
+    assert_eq!(h.len(), 3);
+
+    // Mutate a seed: the engine absorbs it as a delta.
+    let seeds = fg_datasets::read_labels(&seeds_path, 400, 3).unwrap();
+    let node = seeds.unlabeled_nodes()[0];
+    let (resp, _) = session.handle_line(
+        &format!(
+            "{{\"cmd\":\"seed\",\"add\":[[{node},{}]]}}",
+            truth.class_of(node)
+        ),
+        3,
+    );
+    let seeded = assert_ok(&resp);
+    assert_eq!(
+        seeded.get("labeled").and_then(Json::as_usize),
+        Some(labeled_before + 1)
+    );
+    assert_eq!(
+        seeded.get("delta_applied").and_then(Json::as_usize),
+        Some(1)
+    );
+    assert_eq!(
+        seeded.get("full_recomputes").and_then(Json::as_usize),
+        Some(0)
+    );
+    assert!(seeded.get("rows_touched").and_then(Json::as_usize).unwrap() > 0);
+
+    // Classify after the mutation: zero full summarizations — the incremental
+    // engine published the updated counts.
+    let (resp, _) = session.handle_line("{\"cmd\":\"classify\",\"method\":\"dcer\"}", 4);
+    let classify = assert_ok(&resp);
+    assert_eq!(
+        classify
+            .get("summary_computations")
+            .and_then(Json::as_usize),
+        Some(0),
+        "{resp}"
+    );
+    let predictions = classify
+        .get("predictions")
+        .and_then(Json::as_array)
+        .unwrap();
+    assert_eq!(predictions.len(), 400);
+
+    // The streamed predictions are bit-identical to a cold batch pipeline on the
+    // mutated seed set.
+    let graph = fg_datasets::read_edge_list(&edges, 400).unwrap();
+    let mut batch_seeds = seeds.clone();
+    batch_seeds
+        .set_label(node, Some(truth.class_of(node)))
+        .unwrap();
+    let estimator = fg_core::estimator_by_name("dcer").unwrap();
+    let report = Pipeline::on(&graph)
+        .seeds(&batch_seeds)
+        .estimator(estimator)
+        .run()
+        .unwrap();
+    let served: Vec<usize> = predictions.iter().map(|p| p.as_usize().unwrap()).collect();
+    assert_eq!(served, report.outcome.predictions);
+
+    // Node-subset and abstain-aware classification.
+    let (resp, _) = session.handle_line(
+        "{\"cmd\":\"classify\",\"method\":\"dcer\",\"nodes\":[0,5,9],\"abstain\":true}",
+        5,
+    );
+    let subset = assert_ok(&resp);
+    let pairs = subset.get("predictions").and_then(Json::as_array).unwrap();
+    assert_eq!(pairs.len(), 3);
+    assert_eq!(pairs[1].as_array().unwrap()[0].as_usize(), Some(5));
+    assert!(subset
+        .get("abstention_rate")
+        .and_then(Json::as_f64)
+        .is_some());
+
+    // Stats reflect the session history.
+    let (resp, _) = session.handle_line("{\"cmd\":\"stats\"}", 6);
+    let stats = assert_ok(&resp);
+    assert_eq!(
+        stats.get("summary_computations").and_then(Json::as_usize),
+        Some(1)
+    );
+    let engines = stats
+        .get("dataset")
+        .unwrap()
+        .get("engines")
+        .and_then(Json::as_array)
+        .unwrap();
+    assert_eq!(engines.len(), 1);
+    assert_eq!(
+        engines[0].get("delta_mutations").and_then(Json::as_usize),
+        Some(1)
+    );
+    assert!(stats.get("commands").unwrap().get("classify").is_some());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn session_store_keeps_one_live_file_per_mode_across_mutations() {
+    let (dir, edges, seeds_path, truth) = dataset("store_prune");
+    let store_dir = dir.join("summaries");
+    let store = std::sync::Arc::new(fg_core::SummaryStore::open(&store_dir).unwrap());
+    let session = Session::new(Threads::Serial, Some(std::sync::Arc::clone(&store)));
+    let (resp, _) = session.handle_line(&load_line(&edges, &seeds_path), 1);
+    assert_ok(&resp);
+    let (resp, _) = session.handle_line("{\"cmd\":\"estimate\",\"method\":\"dcer\"}", 2);
+    assert_ok(&resp);
+    assert_eq!(store.entries().unwrap().len(), 1);
+
+    // Each mutation supersedes the previous *session-derived* fingerprint, whose
+    // file is pruned when the replacement is persisted — but the loaded seed
+    // file's entry survives (batch runs and future sessions re-derive it), so the
+    // store holds at most two live files: the initial state and the current one.
+    let seeds = fg_datasets::read_labels(&seeds_path, 400, 3).unwrap();
+    let initial_file = store.entries().unwrap()[0].file.clone();
+    for (step, &node) in seeds.unlabeled_nodes().iter().take(3).enumerate() {
+        let (resp, _) = session.handle_line(
+            &format!(
+                "{{\"cmd\":\"seed\",\"add\":[[{node},{}]]}}",
+                truth.class_of(node)
+            ),
+            3 + 2 * step,
+        );
+        assert_ok(&resp);
+        let (resp, _) =
+            session.handle_line("{\"cmd\":\"estimate\",\"method\":\"dcer\"}", 4 + 2 * step);
+        let estimate = assert_ok(&resp);
+        assert_eq!(
+            estimate
+                .get("summary_computations")
+                .and_then(Json::as_usize),
+            Some(0),
+            "{resp}"
+        );
+        let entries = store.entries().unwrap();
+        assert_eq!(
+            entries.len(),
+            2,
+            "store accumulated dead files: {entries:?}"
+        );
+        assert!(
+            entries.iter().any(|e| e.file == initial_file),
+            "the loaded seed file's shared store entry must survive mutations"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn malformed_requests_get_line_numbered_errors_and_never_kill_the_session() {
+    let (dir, edges, seeds_path, _) = dataset("errors");
+    let session = Session::new(Threads::Serial, None);
+    for (line_no, (request, fragment)) in [
+        ("{not json", "invalid JSON"),
+        ("[1,2,3]", "'cmd'"),
+        ("{\"cmd\":\"frobnicate\"}", "unknown command"),
+        ("{\"cmd\":\"estimate\"}", "no dataset loaded"),
+        ("{\"cmd\":\"seed\",\"add\":[[1,0]]}", "no dataset loaded"),
+        (
+            "{\"cmd\":\"load\",\"edges\":\"/nonexistent\",\"labels\":\"/nope\",\"nodes\":4,\"classes\":2}",
+            "",
+        ),
+        ("{\"cmd\":\"load\",\"edges\":\"x\"}", "labels"),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let (resp, flow) = session.handle_line(request, line_no + 1);
+        assert_eq!(flow, fg_serve::Flow::Continue);
+        let parsed = parse(&resp);
+        assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(false), "{resp}");
+        assert_eq!(
+            parsed.get("line").and_then(Json::as_usize),
+            Some(line_no + 1),
+            "{resp}"
+        );
+        let error = parsed.get("error").and_then(Json::as_str).unwrap();
+        assert!(error.contains(&format!("line {}", line_no + 1)), "{resp}");
+        assert!(error.contains(fragment), "{resp} missing {fragment}");
+    }
+
+    // The session still works after all those failures.
+    let (resp, _) = session.handle_line(&load_line(&edges, &seeds_path), 8);
+    assert_ok(&resp);
+    // Invalid mutations are rejected without corrupting state.
+    let (resp, _) = session.handle_line("{\"cmd\":\"seed\",\"add\":[[999999,0]]}", 9);
+    assert!(resp.contains("\"ok\":false"));
+    let (resp, _) = session.handle_line("{\"cmd\":\"seed\",\"remove\":[0],\"id\":7}", 10);
+    // node 0 may or may not be labeled; either a success or a clean error is fine,
+    // but the id must be echoed.
+    assert!(parse(&resp).get("id").is_some());
+    let (resp, _) = session.handle_line("{\"cmd\":\"estimate\",\"method\":\"mce\"}", 11);
+    assert_ok(&resp);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stdio_loop_and_shutdown() {
+    let (dir, edges, seeds_path, _) = dataset("stdio");
+    let session = Session::new(Threads::Serial, None);
+    let input = format!(
+        "{}\n\n{{\"cmd\":\"ping\",\"id\":1}}\n{{\"cmd\":\"shutdown\"}}\n{{\"cmd\":\"ping\",\"id\":2}}\n",
+        load_line(&edges, &seeds_path)
+    );
+    let mut output = Vec::new();
+    serve_lines(&session, input.as_bytes(), &mut output).unwrap();
+    let text = String::from_utf8(output).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    // Load + ping + shutdown were answered; the post-shutdown ping was not.
+    assert_eq!(lines.len(), 3, "{text}");
+    assert!(lines[1].contains("\"pong\""));
+    assert!(lines[1].contains("\"id\":1"));
+    assert!(lines[2].contains("closing"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn concurrent_tcp_clients_share_state_and_get_deterministic_responses() {
+    let (dir, edges, seeds_path, _) = dataset("tcp");
+    let session = Arc::new(Session::new(Threads::Serial, None));
+    let addr = TcpServer::spawn(Arc::clone(&session), "127.0.0.1:0").unwrap();
+
+    // One client loads and warms the session.
+    let responses = send_requests(
+        addr,
+        &[
+            load_line(&edges, &seeds_path),
+            "{\"cmd\":\"estimate\",\"method\":\"mce\"}".to_string(),
+        ],
+    )
+    .unwrap();
+    assert_eq!(responses.len(), 2);
+    assert_ok(&responses[0]);
+    assert_ok(&responses[1]);
+
+    // Four concurrent read-only clients all get byte-identical classify responses.
+    let request = "{\"cmd\":\"classify\",\"method\":\"mce\"}".to_string();
+    let mut all: Vec<Vec<String>> = std::thread::scope(|scope| {
+        (0..4)
+            .map(|_| {
+                let request = request.clone();
+                scope.spawn(move || send_requests(addr, &[request]).unwrap())
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    let reference = all.pop().unwrap();
+    assert_eq!(reference.len(), 1);
+    assert_ok(&reference[0]);
+    for other in &all {
+        assert_eq!(other, &reference, "concurrent responses diverged");
+    }
+
+    // A malformed request over TCP errors without killing the server.
+    let responses = send_requests(
+        addr,
+        &["oops".to_string(), "{\"cmd\":\"ping\"}".to_string()],
+    )
+    .unwrap();
+    assert_eq!(responses.len(), 2);
+    assert!(responses[0].contains("\"ok\":false"));
+    assert!(responses[1].contains("pong"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn predictions_round_trip_to_cli_file_format() {
+    let full = "{\"ok\":true,\"id\":null,\"result\":{\"predictions\":[2,0,1]}}";
+    let rendered = fg_serve::predictions_to_file_format(full).unwrap();
+    assert_eq!(rendered, "# node\tpredicted_class\n0\t2\n1\t0\n2\t1\n");
+    let subset = "{\"ok\":true,\"id\":null,\"result\":{\"predictions\":[[5,1],[9,null]]}}";
+    let rendered = fg_serve::predictions_to_file_format(subset).unwrap();
+    assert!(rendered.contains("5\t1\n"));
+    assert!(rendered.contains("9\tabstain\n"));
+    assert!(fg_serve::predictions_to_file_format("{\"ok\":false}").is_none());
+}

@@ -19,6 +19,7 @@ use crate::csr::CsrMatrix;
 use crate::dense::DenseMatrix;
 use crate::error::{Result, SparseError};
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Thread policy for the parallel kernels.
 ///
@@ -195,6 +196,63 @@ where
         results.push(last_result);
         results
     })
+}
+
+/// Distribute `cell_count` independent cells across scoped worker threads via a
+/// shared atomic work queue, reassembling the per-cell results in their original
+/// order. Each cell must be derivable from its index alone, so the output is
+/// identical to a serial `(0..cell_count).map(run_cell)` loop regardless of which
+/// worker picks up which cell; the first error (in worker-join order) aborts the
+/// whole call. Cells are *started* in index order — the queue is a single atomic
+/// counter — which callers with cross-cell ordering constraints (e.g. the manifest
+/// runner's first-entry-computes rule) build on. With one worker the loop runs
+/// inline on the calling thread.
+pub fn run_ordered_cells<T, E, F>(
+    cell_count: usize,
+    threads: Threads,
+    run_cell: F,
+) -> std::result::Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> std::result::Result<T, E> + Sync,
+{
+    let workers = threads.count_for(cell_count);
+    if workers <= 1 {
+        return (0..cell_count).map(run_cell).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let per_worker: Vec<std::result::Result<Vec<(usize, T)>, E>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= cell_count {
+                            break;
+                        }
+                        local.push((i, run_cell(i)?));
+                    }
+                    Ok(local)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("cell worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<T>> = (0..cell_count).map(|_| None).collect();
+    for worker in per_worker {
+        for (i, outcome) in worker? {
+            slots[i] = Some(outcome);
+        }
+    }
+    Ok(slots
+        .into_iter()
+        .map(|slot| slot.expect("every cell is computed exactly once"))
+        .collect())
 }
 
 impl CsrMatrix {

@@ -1,0 +1,105 @@
+//! Online serving walkthrough: drive a long-lived `fg-serve` [`Session`] with the
+//! JSON-lines protocol — load a graph once, stream seed mutations, and watch the
+//! incremental engine answer classification requests with zero full
+//! summarizations after warm-up.
+//!
+//! Run with `cargo run --release --example online_serving`.
+
+use factorized_graphs::prelude::*;
+use fg_serve::{Json, Session};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn send(session: &Session, line_no: usize, request: &str) -> Json {
+    println!(">> {request}");
+    let (response, _) = session.handle_line(request, line_no);
+    let rendered = if response.len() > 120 {
+        format!("{}…", &response[..120])
+    } else {
+        response.clone()
+    };
+    println!("<< {rendered}");
+    Json::parse(&response).expect("responses are valid JSON")
+}
+
+fn main() {
+    // A synthetic heterophilous graph, written to disk the way a deployment would
+    // hand files to `fg serve`.
+    let dir = std::env::temp_dir().join("fg_online_serving_example");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let config = GeneratorConfig::balanced(2000, 10.0, 3, 8.0).expect("config");
+    let mut rng = StdRng::seed_from_u64(7);
+    let synthetic = generate(&config, &mut rng).expect("generate");
+    let seeds = synthetic.labeling.stratified_sample(0.03, &mut rng);
+    let edges = dir.join("edges.tsv");
+    let seeds_path = dir.join("seeds.tsv");
+    fg_datasets::write_edge_list(&edges, &synthetic.graph).expect("write edges");
+    let mut lines = String::new();
+    for (node, label) in seeds.as_slice().iter().enumerate() {
+        if let Some(c) = label {
+            lines.push_str(&format!("{node}\t{c}\n"));
+        }
+    }
+    std::fs::write(&seeds_path, lines).expect("write seeds");
+
+    let session = Session::new(Threads::Serial, None);
+
+    // 1. Load once — this is the state every later request amortizes.
+    send(
+        &session,
+        1,
+        &format!(
+            "{{\"cmd\":\"load\",\"edges\":\"{}\",\"labels\":\"{}\",\"nodes\":2000,\"classes\":3}}",
+            edges.display(),
+            seeds_path.display()
+        ),
+    );
+
+    // 2. Warm-up estimate: the one-and-only full summarization.
+    let warm = send(&session, 2, "{\"cmd\":\"estimate\",\"method\":\"dcer\"}");
+    let computations = warm
+        .get("result")
+        .and_then(|r| r.get("summary_computations"))
+        .and_then(Json::as_usize)
+        .unwrap();
+    println!("   warm-up summarizations: {computations}");
+
+    // 3. Stream seed mutations: each is folded in as a neighborhood-sized delta.
+    let unlabeled = seeds.unlabeled_nodes();
+    for (step, &node) in unlabeled.iter().take(3).enumerate() {
+        let label = synthetic.labeling.class_of(node);
+        let response = send(
+            &session,
+            3 + step,
+            &format!("{{\"cmd\":\"seed\",\"add\":[[{node},{label}]]}}"),
+        );
+        let rows = response
+            .get("result")
+            .and_then(|r| r.get("rows_touched"))
+            .and_then(Json::as_usize)
+            .unwrap();
+        println!(
+            "   delta update touched {rows} rows (full recompute: {})",
+            2000 * 5
+        );
+    }
+
+    // 4. Classify after the mutations: zero full summarizations, bit-identical to
+    //    a cold batch run on the final seed set.
+    let classify = send(
+        &session,
+        6,
+        "{\"cmd\":\"classify\",\"method\":\"dcer\",\"nodes\":[0,1,2,3,4],\"abstain\":true}",
+    );
+    let computations = classify
+        .get("result")
+        .and_then(|r| r.get("summary_computations"))
+        .and_then(Json::as_usize)
+        .unwrap();
+    assert_eq!(computations, 0, "warm path must not summarize");
+    println!("   post-mutation classify summarizations: {computations}");
+
+    // 5. Aggregate stats for the whole session.
+    send(&session, 7, "{\"cmd\":\"stats\"}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -4,6 +4,7 @@
 //! files loudly — recomputing instead of returning damaged statistics.
 
 use fg_core::prelude::*;
+use fg_core::GraphSummary;
 use std::sync::Arc;
 
 fn seeded_instance(seed: u64) -> (Graph, Labeling, SeedLabels) {
@@ -18,6 +19,69 @@ fn temp_store(name: &str) -> Arc<SummaryStore> {
     let dir = std::env::temp_dir().join(format!("fg_root_store_{name}"));
     std::fs::remove_dir_all(&dir).ok();
     Arc::new(SummaryStore::open(dir).unwrap())
+}
+
+#[test]
+fn concurrent_prefix_upgrades_by_two_sessions_leave_a_valid_store() {
+    // Two "sessions" (independent contexts over independent caches, one shared
+    // store directory) repeatedly extend the same stored summary to *different*
+    // lmax. The unique-temp-file + atomic-rename write path must keep the store
+    // file valid at every instant, and each session must keep producing summaries
+    // bit-identical to a cold computation.
+    let (graph, _, seeds) = seeded_instance(21);
+    let store = temp_store("concurrent_upgrade");
+    let reference_short = summarize(&graph, &seeds, &SummaryConfig::with_max_length(2)).unwrap();
+    let reference_long = summarize(&graph, &seeds, &SummaryConfig::with_max_length(6)).unwrap();
+
+    std::thread::scope(|scope| {
+        let session = |max_length: usize, reference: &GraphSummary| {
+            let store = Arc::clone(&store);
+            let graph = &graph;
+            let seeds = &seeds;
+            let reference = reference.clone();
+            scope.spawn(move || {
+                for _ in 0..12 {
+                    // A fresh cache each round simulates a new session that reads
+                    // whatever prefix is on disk and writes back its own length.
+                    let ctx = EstimationContext::new(graph, seeds).store(Arc::clone(&store));
+                    let summary = ctx
+                        .summary(&SummaryConfig::with_max_length(max_length))
+                        .unwrap();
+                    for l in 1..=max_length {
+                        assert_eq!(
+                            summary.count(l).unwrap().data(),
+                            reference.count(l).unwrap().data(),
+                            "session lmax={max_length} diverged at length {l}"
+                        );
+                    }
+                }
+            })
+        };
+        let a = session(2, &reference_short);
+        let b = session(6, &reference_long);
+        a.join().unwrap();
+        b.join().unwrap();
+    });
+
+    // Whatever rename landed last, the surviving file parses and serves one of
+    // the two lengths bit-identically, and no temp files are stranded.
+    let entries = store.entries().unwrap();
+    assert_eq!(entries.len(), 1, "{entries:?}");
+    let meta = entries[0].meta.as_ref().expect("file is valid");
+    assert!(meta.max_length == 2 || meta.max_length == 6, "{meta:?}");
+    let loaded = store
+        .load(graph.fingerprint(), seeds.fingerprint(), true)
+        .unwrap()
+        .unwrap();
+    let reference = if loaded.counts.len() == 2 {
+        &reference_short
+    } else {
+        &reference_long
+    };
+    for (l, counts) in loaded.counts.iter().enumerate() {
+        assert_eq!(counts.data(), reference.count(l + 1).unwrap().data());
+    }
+    std::fs::remove_dir_all(store.dir()).ok();
 }
 
 #[test]
