@@ -19,8 +19,9 @@ pub mod sweeps;
 pub use harness::{scale_factor, scaled_n, time_it, ExperimentTable};
 pub use micro::{bench_iters, run_bench, BenchMeasurement};
 pub use sweeps::{
-    accuracy_vs_backend, accuracy_vs_backend_parallel, accuracy_vs_sparsity,
-    accuracy_vs_sparsity_parallel, accuracy_vs_sparsity_with, backends_to_table, estimator_set,
-    l2_vs_sparsity, outcomes_to_table, run_cells_parallel, warm_context_for, BackendOutcome,
-    EstimatorKind, SweepOutcome,
+    accuracy_vs_backend, accuracy_vs_backend_parallel, accuracy_vs_construction,
+    accuracy_vs_sparsity, accuracy_vs_sparsity_parallel, accuracy_vs_sparsity_with,
+    backends_to_table, construction_to_table, estimator_set, l2_vs_sparsity, outcomes_to_table,
+    run_cells_parallel, warm_context_for, BackendOutcome, ConstructionOutcome, EstimatorKind,
+    SweepOutcome,
 };

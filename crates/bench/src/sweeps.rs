@@ -413,6 +413,100 @@ pub fn l2_vs_sparsity(
     accuracy_vs_sparsity(graph, labeling, fractions, kinds, repetitions, seed)
 }
 
+/// One measured point of a graph-construction sweep.
+#[derive(Debug, Clone)]
+pub struct ConstructionOutcome {
+    /// Rendered builder name (round-trips through the construction registry).
+    pub builder: String,
+    /// Nodes of the constructed graph.
+    pub nodes: usize,
+    /// Undirected edges of the constructed graph.
+    pub edges: usize,
+    /// End-to-end macro accuracy over the unlabeled nodes.
+    pub accuracy: f64,
+    /// Wall-clock time of the graph construction (shared by every repetition of
+    /// one builder — the graph is built once and reused).
+    pub construction_time: Duration,
+}
+
+/// Compare graph-construction backends on one labeled feature matrix: every spec is
+/// resolved through the `fg_datasets` construction registry, builds a graph from
+/// `features` once, and the constructed graph is classified end-to-end (stratified
+/// seed sample → estimator → LinBP) `repetitions` times. The seed draws are derived
+/// from the repetition index alone, so every builder is scored against the *same*
+/// seed sets — the comparison is paired, and accuracy differences come from the
+/// graph alone.
+pub fn accuracy_vs_construction(
+    features: &DenseMatrix,
+    labeling: &Labeling,
+    specs: &[&str],
+    kind: EstimatorKind,
+    fraction: f64,
+    repetitions: usize,
+    seed: u64,
+) -> Result<Vec<ConstructionOutcome>> {
+    let mut outcomes = Vec::new();
+    for spec in specs {
+        let builder =
+            fg_datasets::construction_by_name(spec).map_err(fg_core::CoreError::InvalidConfig)?;
+        let (graph, construction_time) = {
+            let start = std::time::Instant::now();
+            let graph = builder.build(features)?;
+            (graph, start.elapsed())
+        };
+        let gold = measure_compatibilities(&graph, labeling)?;
+        let estimators = estimator_set(&[kind], labeling, &gold);
+        let (kind, estimator) = &estimators[0];
+        for rep in 0..repetitions.max(1) {
+            let mut rng = StdRng::seed_from_u64(seed ^ rep as u64);
+            let seeds = labeling.stratified_sample(fraction, &mut rng);
+            let report = Pipeline::on(&graph)
+                .seeds(&seeds)
+                .estimator(estimator)
+                .estimator_label(kind.name())
+                .propagator(LinBp::default())
+                .run()?;
+            outcomes.push(ConstructionOutcome {
+                builder: builder.name(),
+                nodes: graph.num_nodes(),
+                edges: graph.num_edges(),
+                accuracy: report.accuracy(labeling, &seeds),
+                construction_time,
+            });
+        }
+    }
+    Ok(outcomes)
+}
+
+/// Aggregate construction-sweep outcomes into a table: one row per builder (in
+/// first-appearance order), averaging accuracy over repetitions.
+pub fn construction_to_table(name: &str, outcomes: &[ConstructionOutcome]) -> ExperimentTable {
+    let mut builders: Vec<&str> = Vec::new();
+    for o in outcomes {
+        if !builders.contains(&o.builder.as_str()) {
+            builders.push(&o.builder);
+        }
+    }
+    let mut table = ExperimentTable::new(
+        name,
+        &["builder", "nodes", "edges", "accuracy", "construct_s"],
+    );
+    for builder in builders {
+        let matching: Vec<&ConstructionOutcome> =
+            outcomes.iter().filter(|o| o.builder == builder).collect();
+        let mean = matching.iter().map(|o| o.accuracy).sum::<f64>() / matching.len() as f64;
+        let first = matching[0];
+        table.push_row(vec![
+            builder.to_string(),
+            first.nodes.to_string(),
+            first.edges.to_string(),
+            format!("{mean:.3}"),
+            format!("{:.4}", first.construction_time.as_secs_f64()),
+        ]);
+    }
+    table
+}
+
 /// One measured point of a propagation-backend sweep.
 #[derive(Debug, Clone)]
 pub struct BackendOutcome {
@@ -836,6 +930,43 @@ mod tests {
             assert_eq!(cached.data(), fresh.data(), "{}", estimator.name());
         }
         assert_eq!(ctx.summary_computations(), 1);
+    }
+
+    #[test]
+    fn construction_sweep_scores_builders_on_shared_seed_draws() {
+        let config = fg_datasets::BlobConfig {
+            nodes: 120,
+            classes: 3,
+            dims: 4,
+            spread: 1.2,
+            spread_skew: 1.0,
+            seed: 5,
+        };
+        let (features, labeling) = fg_datasets::synthesize_blobs(&config).unwrap();
+        let specs = ["Knn(k=6)", "Knn(k=6,weighting=heat)"];
+        let outcomes =
+            accuracy_vs_construction(&features, &labeling, &specs, EstimatorKind::Mce, 0.1, 2, 9)
+                .unwrap();
+        assert_eq!(outcomes.len(), specs.len() * 2);
+        for o in &outcomes {
+            assert!((0.0..=1.0).contains(&o.accuracy));
+            assert!(o.edges > 0);
+            assert_eq!(o.nodes, 120);
+        }
+        let table = construction_to_table("unit_construction", &outcomes);
+        assert_eq!(table.rows.len(), specs.len());
+        assert!(table.rows[0][0].starts_with("Knn(k=6,"));
+        // Unknown builders fail before any work runs.
+        assert!(accuracy_vs_construction(
+            &features,
+            &labeling,
+            &["nope"],
+            EstimatorKind::Mce,
+            0.1,
+            1,
+            1
+        )
+        .is_err());
     }
 
     #[test]

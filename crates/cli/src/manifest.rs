@@ -49,14 +49,24 @@
 //! dataset = "Pokec-Gender"
 //! scale = 0.02
 //! fraction = 0.1
+//!
+//! [construct]                   # graph construction defaults (feature mode)
+//! features = "digits.csv"
+//! builder = "Knn(k=10,weighting=heat)"
+//!
+//! [[run]]                       # built from the raw feature matrix above
+//! name = "digits-knn"
 //! ```
 //!
 //! Entry keys: `name`, dataset selection (`edges`+`labels`+`nodes`+`classes`, or
-//! `dataset` plus `scale`, or `nodes` plus `degree`/`classes`/`skew` for the generator;
-//! `seed` and `fraction` apply to the synthetic modes), `estimator`, `propagator`,
-//! `iterations`, `tolerance`, `damping`, `threads`, `summary-cache`, `truth`, `out`,
-//! `report`. Unknown keys, unknown sections, and malformed values are rejected with
-//! the offending line number.
+//! `dataset` plus `scale`, or `nodes` plus `degree`/`classes`/`skew` for the generator,
+//! or `features` plus `builder` to construct a graph from a raw feature matrix;
+//! `seed` and `fraction` apply to the synthetic and feature modes), `estimator`,
+//! `propagator`, `iterations`, `tolerance`, `damping`, `threads`, `summary-cache`,
+//! `truth`, `out`, `report`. A `[construct]` section supplies feature-mode defaults
+//! (`features`, `builder`, `classes`) that apply when neither the entry nor the
+//! top-level defaults pick another dataset mode. Unknown keys, unknown sections, and
+//! malformed values are rejected with the offending line number.
 
 use fg_core::prelude::*;
 use fg_core::{estimator_by_name_with, EstimatorOptions};
@@ -157,10 +167,12 @@ impl Table {
     }
 }
 
-/// A manifest: global defaults plus one table per `[[run]]` entry.
+/// A manifest: global defaults, optional `[construct]` feature-mode defaults, and
+/// one table per `[[run]]` entry.
 #[derive(Debug, Default)]
 struct Manifest {
     defaults: Table,
+    construct: Table,
     runs: Vec<Table>,
 }
 
@@ -207,10 +219,17 @@ fn parse_value(raw: &str, line: usize) -> Result<Value, String> {
     ))
 }
 
-/// Parse manifest text into defaults + run tables.
+/// Which table subsequent `key = value` lines land in while parsing.
+enum Section {
+    Defaults,
+    Construct,
+    Run(usize),
+}
+
+/// Parse manifest text into defaults + `[construct]` defaults + run tables.
 fn parse_manifest(content: &str) -> Result<Manifest, String> {
     let mut manifest = Manifest::default();
-    let mut current: Option<usize> = None; // index into runs; None = defaults
+    let mut current = Section::Defaults;
     for (idx, raw_line) in content.lines().enumerate() {
         let line_no = idx + 1;
         let line = strip_comment(raw_line).trim();
@@ -219,12 +238,17 @@ fn parse_manifest(content: &str) -> Result<Manifest, String> {
         }
         if line == "[[run]]" {
             manifest.runs.push(Table::default());
-            current = Some(manifest.runs.len() - 1);
+            current = Section::Run(manifest.runs.len() - 1);
+            continue;
+        }
+        if line == "[construct]" {
+            current = Section::Construct;
             continue;
         }
         if line.starts_with('[') {
             return Err(format!(
-                "line {line_no}: unknown section '{line}' (only [[run]] tables are supported)"
+                "line {line_no}: unknown section '{line}' (only [[run]] tables and one \
+                 [construct] section are supported)"
             ));
         }
         let (key, value) = line
@@ -234,8 +258,9 @@ fn parse_manifest(content: &str) -> Result<Manifest, String> {
         let key = key.trim().to_ascii_lowercase().replace('-', "_");
         let value = parse_value(value, line_no)?;
         let table = match current {
-            None => &mut manifest.defaults,
-            Some(i) => &mut manifest.runs[i],
+            Section::Defaults => &mut manifest.defaults,
+            Section::Construct => &mut manifest.construct,
+            Section::Run(i) => &mut manifest.runs[i],
         };
         table.insert(key, value, line_no)?;
     }
@@ -257,6 +282,8 @@ const KNOWN_KEYS: &[&str] = &[
     "skew",
     "dataset",
     "scale",
+    "features",
+    "builder",
     "seed",
     "fraction",
     "estimator",
@@ -276,8 +303,21 @@ const KNOWN_KEYS: &[&str] = &[
 /// rejected at the top level instead of silently misbehaving.
 const RUN_ONLY_KEYS: &[&str] = &["name", "out", "report"];
 
+/// Keys a `[construct]` section may set: the feature-mode dataset selection only.
+/// Pipeline-level knobs (estimator, threads, ...) belong in the top-level defaults.
+const CONSTRUCT_KEYS: &[&str] = &["features", "builder", "classes"];
+
 fn validate_keys(table: &Table, what: &str) -> Result<(), String> {
     for (key, (_, line)) in &table.values {
+        if what == "[construct]" {
+            if !CONSTRUCT_KEYS.contains(&key.as_str()) {
+                return Err(format!(
+                    "line {line}: unknown {what} key '{key}' (expected one of {})",
+                    CONSTRUCT_KEYS.join(", ")
+                ));
+            }
+            continue;
+        }
         if !KNOWN_KEYS.contains(&key.as_str()) {
             return Err(format!(
                 "line {line}: unknown {what} key '{key}' (expected one of {})",
@@ -322,15 +362,24 @@ fn resolve_path(base: &Path, raw: &str) -> PathBuf {
     }
 }
 
-fn load_run_data(run: &Table, defaults: &Table, base: &Path) -> Result<RunData, String> {
+fn load_run_data(
+    run: &Table,
+    defaults: &Table,
+    construct: &Table,
+    base: &Path,
+) -> Result<RunData, String> {
     let seed = entry_or_default!(run, defaults, u64_value, "seed").unwrap_or(0);
     let fraction = entry_or_default!(run, defaults, f64_value, "fraction").unwrap_or(0.05);
     // Dataset-mode selection: keys set on the run itself pick the mode first (so one
     // run can override, say, a defaults-level edge file with its own generator spec);
-    // only then do defaults-level keys select a mode shared by every run. Within a
-    // mode, every parameter falls back to the defaults table as documented.
+    // only then do defaults-level keys select a mode shared by every run, and finally
+    // a `[construct]` section's feature file catches entries that named no dataset at
+    // all. Within a mode, every parameter falls back to the defaults table (and, for
+    // feature-mode keys, the `[construct]` section) as documented.
     let mode_of = |table: &Table| -> Result<Option<&'static str>, String> {
-        Ok(if table.string("edges")?.is_some() {
+        Ok(if table.string("features")?.is_some() {
+            Some("features")
+        } else if table.string("edges")?.is_some() {
             Some("edges")
         } else if table.string("dataset")?.is_some() {
             Some("dataset")
@@ -342,8 +391,15 @@ fn load_run_data(run: &Table, defaults: &Table, base: &Path) -> Result<RunData, 
     };
     let mode = match mode_of(run)? {
         Some(mode) => Some(mode),
-        None => mode_of(defaults)?,
+        None => match mode_of(defaults)? {
+            Some(mode) => Some(mode),
+            None if construct.string("features")?.is_some() => Some("features"),
+            None => None,
+        },
     };
+    if mode == Some("features") {
+        return load_feature_run(run, defaults, construct, base, seed, fraction);
+    }
     if mode == Some("edges") {
         // File mode: explicit edge list + observed labels.
         let edges = entry_or_default!(run, defaults, string, "edges").expect("mode key present");
@@ -412,10 +468,83 @@ fn load_run_data(run: &Table, defaults: &Table, base: &Path) -> Result<RunData, 
     } else {
         Err(
             "each [[run]] needs a dataset: 'edges' + 'labels' files, a 'dataset' \
-             substitute name, or 'nodes' for the synthetic generator"
+             substitute name, 'nodes' for the synthetic generator, or 'features' \
+             (directly or via a [construct] section) to build a graph from a \
+             feature matrix"
                 .into(),
         )
     }
+}
+
+/// Materialize a feature-mode run: load the raw feature matrix, build a graph with
+/// the configured construction backend, and derive seeds/truth from the label column.
+///
+/// Feature-mode keys (`features`, `builder`, `classes`) resolve run → defaults →
+/// `[construct]` section, so a single `[construct]` block can feed every entry while
+/// individual runs swap in a different builder or feature file.
+fn load_feature_run(
+    run: &Table,
+    defaults: &Table,
+    construct: &Table,
+    base: &Path,
+    seed: u64,
+    fraction: f64,
+) -> Result<RunData, String> {
+    let lookup = |key: &str| -> Result<Option<String>, String> {
+        Ok(match entry_or_default!(run, defaults, string, key) {
+            Some(v) => Some(v),
+            None => construct.string(key)?,
+        })
+    };
+    let features_path = lookup("features")?.expect("mode key present");
+    let builder_spec = lookup("builder")?.unwrap_or_else(|| "knn".into());
+    let threads = match entry_or_default!(run, defaults, string, "threads") {
+        Some(spec) => Some(spec.parse::<Threads>().map_err(err)?),
+        None => None,
+    };
+    let data = fg_datasets::read_features(&resolve_path(base, &features_path)).map_err(err)?;
+    let builder = fg_datasets::construction_by_name_with(
+        &builder_spec,
+        &fg_datasets::ConstructionOptions {
+            threads,
+            ..Default::default()
+        },
+    )?;
+    let graph = builder.build(&data.features).map_err(err)?;
+    let classes = match entry_or_default!(run, defaults, usize_value, "classes") {
+        Some(k) => Some(k),
+        None => construct.usize_value("classes")?,
+    }
+    .unwrap_or(data.num_classes);
+    if classes == 0 {
+        return Err(format!(
+            "feature file '{features_path}' has no labeled rows; feature-mode runs \
+             need at least one label or an explicit 'classes'"
+        ));
+    }
+    // A fully labeled feature file is ground truth: sample a stratified seed set
+    // from it (like the synthetic modes) and evaluate accuracy against the rest.
+    // Partially labeled files contribute their labeled rows as the seed set.
+    let truth: Option<Labeling> = if data.labels.iter().all(Option::is_some) {
+        let all: Vec<usize> = data.labels.iter().map(|l| l.expect("checked")).collect();
+        Some(Labeling::new(all, classes).map_err(err)?)
+    } else {
+        None
+    };
+    let seeds = match &truth {
+        Some(truth) => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            truth.stratified_sample(fraction, &mut rng)
+        }
+        None => data.seed_labels(Some(classes)).map_err(err)?,
+    };
+    Ok(RunData {
+        graph,
+        seeds,
+        truth,
+        classes,
+        dataset_label: format!("construct({features_path},{})", builder.name()),
+    })
 }
 
 fn err<E: std::fmt::Display>(e: E) -> String {
@@ -458,6 +587,7 @@ pub fn run_manifest_with(path: &Path, threads: Threads) -> Result<String, String
         .map_err(|e| format!("cannot read manifest {}: {e}", path.display()))?;
     let manifest = parse_manifest(&content)?;
     validate_keys(&manifest.defaults, "default")?;
+    validate_keys(&manifest.construct, "[construct]")?;
     for run in &manifest.runs {
         validate_keys(run, "run")?;
     }
@@ -477,7 +607,7 @@ pub fn run_manifest_with(path: &Path, threads: Threads) -> Result<String, String
         // shared cache still deduplicates repeated datasets across entries.
         let mut lines = Vec::with_capacity(manifest.runs.len());
         for (index, run) in manifest.runs.iter().enumerate() {
-            let data = load_run_data(run, &manifest.defaults, &base)
+            let data = load_run_data(run, &manifest.defaults, &manifest.construct, &base)
                 .map_err(|e| format!("run '{}': {e}", names[index]))?;
             lines.push(execute_run(
                 run,
@@ -497,8 +627,13 @@ pub fn run_manifest_with(path: &Path, threads: Threads) -> Result<String, String
     let loaded: Vec<Result<RunData, String>> =
         fg_sparse::run_ordered_cells(manifest.runs.len(), threads, |index| {
             Ok::<_, String>(
-                load_run_data(&manifest.runs[index], &manifest.defaults, &base)
-                    .map_err(|e| format!("run '{}': {e}", names[index])),
+                load_run_data(
+                    &manifest.runs[index],
+                    &manifest.defaults,
+                    &manifest.construct,
+                    &base,
+                )
+                .map_err(|e| format!("run '{}': {e}", names[index])),
             )
         })?;
     let mut data: Vec<std::sync::Mutex<Option<RunData>>> = Vec::with_capacity(loaded.len());
@@ -917,6 +1052,121 @@ mod tests {
             normalize_timings(&serial_warm),
             normalize_timings(&parallel_warm)
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn construct_section_parses_and_rejects_unknown_keys() {
+        let manifest = parse_manifest(
+            "[construct]\n\
+             features = \"blobs.csv\"\n\
+             builder = \"knn\"\n\
+             [[run]]\n\
+             name = \"a\"\n",
+        )
+        .unwrap();
+        assert_eq!(
+            manifest.construct.string("features").unwrap(),
+            Some("blobs.csv".to_string())
+        );
+        let bad =
+            parse_manifest("[construct]\nestimator = \"mce\"\n[[run]]\nnodes = 10\n").unwrap();
+        let e = validate_keys(&bad.construct, "[construct]").unwrap_err();
+        assert!(e.contains("unknown [construct] key 'estimator'"), "{e}");
+    }
+
+    #[test]
+    fn construct_manifest_classifies_features_end_to_end_with_warm_cache() {
+        let dir = temp_dir("construct");
+        let config = fg_datasets::BlobConfig {
+            nodes: 120,
+            classes: 3,
+            dims: 4,
+            spread: 0.8,
+            spread_skew: 1.0,
+            seed: 11,
+        };
+        let (features, truth) = fg_datasets::synthesize_blobs(&config).unwrap();
+        let labels: Vec<Option<usize>> = truth.as_slice().iter().map(|&c| Some(c)).collect();
+        fg_datasets::write_features(&dir.join("blobs.csv"), &features, &labels).unwrap();
+        let manifest_path = dir.join("exp.toml");
+        std::fs::write(
+            &manifest_path,
+            "summary-cache = \"summaries\"\n\
+             estimator = \"mce\"\n\
+             fraction = 0.1\n\
+             seed = 4\n\
+             [construct]\n\
+             features = \"blobs.csv\"\n\
+             builder = \"Knn(k=8,weighting=heat)\"\n\
+             [[run]]\n\
+             name = \"blobs-heat\"\n\
+             [[run]]\n\
+             name = \"blobs-sparse\"\n\
+             builder = \"SparseReg(k=8,alpha=0.05)\"\n",
+        )
+        .unwrap();
+        // Cold run: the feature matrix is the only input on disk — no edge list
+        // anywhere — and both entries classify it through the standard pipeline.
+        let cold = run_manifest(&manifest_path).unwrap();
+        let lines: Vec<&str> = cold.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(
+            lines[0].contains("construct(blobs.csv,Knn(k=8,metric=euclidean,weighting=heat,"),
+            "{cold}"
+        );
+        assert!(
+            lines[1].contains("construct(blobs.csv,SparseReg(k=8,alpha=0.05,"),
+            "{cold}"
+        );
+        for line in &lines {
+            assert!(line.contains("\"summary_computations\":1"), "{cold}");
+            assert!(line.contains("\"accuracy\":"), "{cold}");
+        }
+        // Warm run: constructed graphs fingerprint deterministically, so the
+        // persistent summary store answers both entries without recomputing.
+        let warm = run_manifest(&manifest_path).unwrap();
+        for line in warm.lines() {
+            assert!(line.contains("\"summary_computations\":0"), "{warm}");
+            assert!(line.contains("\"summary_store_hits\":1"), "{warm}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn partially_labeled_feature_runs_seed_from_the_labeled_rows() {
+        let dir = temp_dir("construct_partial");
+        let config = fg_datasets::BlobConfig {
+            nodes: 90,
+            classes: 3,
+            dims: 4,
+            spread: 0.6,
+            spread_skew: 1.0,
+            seed: 2,
+        };
+        let (features, truth) = fg_datasets::synthesize_blobs(&config).unwrap();
+        // Keep one row in five labeled; the rest become '?' rows.
+        let labels: Vec<Option<usize>> = truth
+            .as_slice()
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i % 5 == 0).then_some(c))
+            .collect();
+        fg_datasets::write_features(&dir.join("part.csv"), &features, &labels).unwrap();
+        let manifest_path = dir.join("exp.toml");
+        std::fs::write(
+            &manifest_path,
+            "estimator = \"mce\"\n\
+             [[run]]\n\
+             name = \"partial\"\n\
+             features = \"part.csv\"\n\
+             builder = \"knn\"\n",
+        )
+        .unwrap();
+        let output = run_manifest(&manifest_path).unwrap();
+        // No ground truth => no accuracy field, but the run still classifies.
+        assert!(!output.contains("\"accuracy\":"), "{output}");
+        assert!(output.contains("\"summary_computations\":1"), "{output}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

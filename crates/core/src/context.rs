@@ -179,6 +179,20 @@ impl SummaryCache {
         }
     }
 
+    /// Insert an externally maintained `W · X` product for a key **without**
+    /// counting a computation — the companion of [`publish`](Self::publish) for the
+    /// `n x k` statistic LCE's energy consumes, fed by the incremental
+    /// [`DeltaSummary`](crate::incremental::DeltaSummary) engine whose maintained
+    /// `N(1)` is bit-identical to a cold product. An existing entry is kept: the key
+    /// is content-addressed, so any correctly published value holds the same bits.
+    pub fn publish_wx(&self, graph_fp: Fingerprint, seed_fp: Fingerprint, wx: Arc<DenseMatrix>) {
+        let pair = self.pair((graph_fp, seed_fp));
+        let mut state = pair.lock().expect("summary pair poisoned");
+        if state.wx.is_none() {
+            state.wx = Some(wx);
+        }
+    }
+
     /// Drop one key's cached artifacts (counts for both modes and `W · X`). Used by
     /// long-lived sessions to evict summaries of superseded seed sets so the cache
     /// does not grow with every mutation. The cache-wide counters are unaffected;

@@ -55,6 +55,12 @@ impl DceWithRestarts {
 
     /// Run DCEr on a precomputed graph summary, returning the best estimate and its
     /// energy.
+    ///
+    /// The `r` restarts are independent `k x k` optimizations, so they fan out
+    /// through [`fg_sparse::run_ordered_cells`] under the configured thread policy.
+    /// The restart points are drawn once up front and the winner is reduced
+    /// serially in restart order with a strict `<` (first of equal energies wins),
+    /// so the result is bit-identical to the serial loop at any thread count.
     pub fn estimate_from_summary(&self, summary: &GraphSummary) -> Result<(DenseMatrix, f64)> {
         if self.restarts == 0 {
             return Err(CoreError::InvalidConfig(
@@ -64,9 +70,12 @@ impl DceWithRestarts {
         let dce = DistantCompatibilityEstimation::new(self.config.clone());
         let mut rng = StdRng::seed_from_u64(self.seed);
         let starts = restart_points(summary.k, self.restarts, &mut rng);
+        let results: Vec<(DenseMatrix, f64)> =
+            fg_sparse::run_ordered_cells(starts.len(), self.config.threads, |i| {
+                dce.estimate_from_summary_with_start(summary, &starts[i])
+            })?;
         let mut best: Option<(DenseMatrix, f64)> = None;
-        for start in &starts {
-            let (candidate, energy) = dce.estimate_from_summary_with_start(summary, start)?;
+        for (candidate, energy) in results {
             let replace = match &best {
                 None => true,
                 Some((_, best_energy)) => energy < *best_energy,
@@ -188,6 +197,31 @@ mod tests {
         let graph = Graph::from_edges(4, &[(0, 1), (1, 2)]).unwrap();
         let seeds = SeedLabels::new(vec![None; 4], 2).unwrap();
         assert!(DceWithRestarts::default().estimate(&graph, &seeds).is_err());
+    }
+
+    #[test]
+    fn parallel_restarts_are_bit_identical_to_serial() {
+        let cfg = GeneratorConfig::balanced(800, 12.0, 3, 6.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(91);
+        let syn = generate(&cfg, &mut rng).unwrap();
+        let seeds = syn.labeling.stratified_sample(0.02, &mut rng);
+        let summary =
+            summarize(&syn.graph, &seeds, &DceConfig::default().summary_config()).unwrap();
+        let serial = DceWithRestarts::default();
+        let (h_serial, e_serial) = serial.estimate_from_summary(&summary).unwrap();
+        for threads in [Threads::Fixed(2), Threads::Fixed(4), Threads::Auto] {
+            let parallel = DceWithRestarts {
+                config: DceConfig {
+                    threads,
+                    ..DceConfig::default()
+                },
+                ..DceWithRestarts::default()
+            };
+            let (h, e) = parallel.estimate_from_summary(&summary).unwrap();
+            assert_eq!(e.to_bits(), e_serial.to_bits(), "{threads:?}");
+            let bits = |m: &DenseMatrix| m.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&h), bits(&h_serial), "{threads:?}");
+        }
     }
 
     #[test]

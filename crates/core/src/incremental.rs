@@ -260,6 +260,14 @@ impl DeltaSummary {
         &self.counts
     }
 
+    /// The maintained `N(1) = W · X` product (`n x k`) — the statistic LCE's energy
+    /// is built from. `N(1)` is independent of the counting mode, and the same
+    /// rank-one updates that keep the counts exact keep it bit-identical to a cold
+    /// product on the current seed set.
+    pub fn wx(&self) -> &DenseMatrix {
+        &self.n_mats[0]
+    }
+
     /// Cumulative work counters.
     pub fn stats(&self) -> DeltaStats {
         self.stats
@@ -302,10 +310,12 @@ impl DeltaSummary {
         ))
     }
 
-    /// Write-back the maintained counts into a shared [`SummaryCache`] under the
-    /// current fingerprints (no computation is counted: the counts already exist).
-    /// Subsequent [`EstimationContext`](crate::EstimationContext) requests on the
-    /// same data are then pure cache hits.
+    /// Write-back the maintained counts **and** the maintained `W · X` product into
+    /// a shared [`SummaryCache`] under the current fingerprints (no computation is
+    /// counted: both artifacts already exist). Subsequent
+    /// [`EstimationContext`](crate::EstimationContext) requests on the same data —
+    /// including LCE's [`wx`](crate::EstimationContext::wx) — are then pure cache
+    /// hits.
     pub fn publish_to(&self, cache: &SummaryCache) {
         cache.publish(
             self.graph_fingerprint(),
@@ -313,6 +323,13 @@ impl DeltaSummary {
             self.non_backtracking,
             self.counts.clone(),
         );
+        if let Some(wx) = self.n_mats.first() {
+            cache.publish_wx(
+                self.graph_fingerprint(),
+                self.seed_fingerprint(),
+                Arc::new(wx.clone()),
+            );
+        }
     }
 
     /// Persist the maintained counts into a [`SummaryStore`] under the current
@@ -908,6 +925,69 @@ mod tests {
                 fresh.count(l).unwrap().data()
             );
         }
+    }
+
+    #[test]
+    fn wx_is_maintained_and_published_bit_identically() {
+        use crate::context::EstimationContext;
+
+        let (graph, seeds, truth) = seeded_case(21);
+        let mut engine =
+            DeltaSummary::new(Arc::clone(&graph), seeds, 4, true, Threads::Serial).unwrap();
+        // Stream adds, a relabel, and a remove through the delta path.
+        let nodes: Vec<usize> = engine.seeds().unlabeled_nodes()[..6].to_vec();
+        for &node in &nodes {
+            engine
+                .apply(&[SeedMutation::Add {
+                    node,
+                    label: truth.class_of(node),
+                }])
+                .unwrap();
+        }
+        engine
+            .apply(&[
+                SeedMutation::Relabel {
+                    node: nodes[0],
+                    label: (truth.class_of(nodes[0]) + 1) % engine.seeds().k(),
+                },
+                SeedMutation::Remove { node: nodes[1] },
+            ])
+            .unwrap();
+        assert_eq!(engine.stats().full_summarizations, 1);
+        // The maintained N(1) is bit-identical to a cold W·X on the final seeds.
+        let cold = graph
+            .adjacency()
+            .spmm_dense(&engine.seeds().to_matrix())
+            .unwrap();
+        let bits = |m: &DenseMatrix| m.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(engine.wx()), bits(&cold));
+        // publish_to also publishes W·X: the context serves it without recomputing
+        // (and bit-identical to the cold product).
+        let cache = SummaryCache::shared();
+        engine.publish_to(&cache);
+        let current = engine.seeds().clone();
+        let ctx = EstimationContext::with_cache(&graph, &current, Arc::clone(&cache));
+        let served = ctx.wx().unwrap();
+        assert_eq!(bits(&served), bits(&cold));
+        // A published entry is kept: a second publish under the same key does not
+        // replace the Arc the context already handed out.
+        let other = Arc::new(engine.wx().clone());
+        cache.publish_wx(
+            engine.graph_fingerprint(),
+            engine.seed_fingerprint(),
+            Arc::clone(&other),
+        );
+        assert!(!Arc::ptr_eq(&ctx.wx().unwrap(), &other));
+        // On a fresh cache, a pre-published wx is returned as the very same Arc —
+        // proof the product was served, not recomputed.
+        let fresh_cache = SummaryCache::shared();
+        fresh_cache.publish_wx(
+            engine.graph_fingerprint(),
+            engine.seed_fingerprint(),
+            Arc::clone(&other),
+        );
+        let ctx2 = EstimationContext::with_cache(&graph, &current, Arc::clone(&fresh_cache));
+        assert!(Arc::ptr_eq(&ctx2.wx().unwrap(), &other));
     }
 
     #[test]

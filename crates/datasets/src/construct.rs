@@ -1,0 +1,1080 @@
+//! Graph construction from raw feature matrices.
+//!
+//! Everything else in the workspace starts from an explicit edge list, but the
+//! paper's estimation/propagation machinery is agnostic to where the graph comes
+//! from. This module turns a dense `n x d` feature matrix into a [`Graph`], making
+//! construction a sweepable, first-class pipeline stage:
+//!
+//! * [`KnnBuilder`] — exact brute-force k-nearest-neighbor graphs with a choice of
+//!   [`Metric`] (euclidean / cosine), edge [`Weighting`] (binary / heat kernel /
+//!   inverse distance), and [`Symmetrize`] policy (union / intersection / mutual).
+//! * [`SparseRegBuilder`] — per-node l1-penalized reconstruction over a candidate
+//!   neighbor set, solved by nonnegative coordinate descent; rows are normalized and
+//!   then symmetrized, in the spirit of sparse affinity-graph learning.
+//!
+//! Both builders fan the per-node work out through
+//! [`fg_sparse::run_ordered_cells`], and the result is **bit-identical at any
+//! thread count**: every per-node computation depends only on its node index, and
+//! the edge set is assembled serially in sorted order. Constructed graphs carry the
+//! usual content [`Graph::fingerprint`], so they flow through the summary cache and
+//! persistent store exactly like loaded ones.
+//!
+//! Builders are addressed by name or by a parameterized spec string in exactly the
+//! format [`GraphBuilder::name`] renders — `Knn(k=10,metric=cosine,weighting=heat,
+//! sym=union)` — mirroring the estimator and propagator registries.
+
+use fg_graph::{Graph, GraphError, Labeling, Result};
+use fg_sparse::{run_ordered_cells, DenseMatrix, Threads};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Distance metric for the kNN builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Metric {
+    /// Euclidean (l2) distance.
+    #[default]
+    Euclidean,
+    /// Cosine distance `1 - cos(x, y)`; zero vectors are at distance 1 from
+    /// everything.
+    Cosine,
+}
+
+impl std::str::FromStr for Metric {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "euclidean" | "l2" => Ok(Metric::Euclidean),
+            "cosine" | "cos" => Ok(Metric::Cosine),
+            other => Err(format!(
+                "unknown metric '{other}' (expected euclidean or cosine)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Metric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Metric::Euclidean => write!(f, "euclidean"),
+            Metric::Cosine => write!(f, "cosine"),
+        }
+    }
+}
+
+/// Edge-weight scheme for the kNN builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Weighting {
+    /// Every kept edge has weight 1.
+    #[default]
+    Binary,
+    /// Heat kernel `exp(-d^2 / (2 sigma^2))`. The bandwidth is the builder's
+    /// `sigma` knob, or — when unset — the mean distance to each node's k-th
+    /// neighbor (a deterministic, data-driven default).
+    HeatKernel,
+    /// Bounded inverse distance `1 / (1 + d)`.
+    InverseDistance,
+}
+
+impl std::str::FromStr for Weighting {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "binary" => Ok(Weighting::Binary),
+            "heat" | "heat-kernel" | "heatkernel" => Ok(Weighting::HeatKernel),
+            "inverse" | "inverse-distance" | "inversedistance" => Ok(Weighting::InverseDistance),
+            other => Err(format!(
+                "unknown weighting '{other}' (expected binary, heat, or inverse)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Weighting {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Weighting::Binary => write!(f, "binary"),
+            Weighting::HeatKernel => write!(f, "heat"),
+            Weighting::InverseDistance => write!(f, "inverse"),
+        }
+    }
+}
+
+/// How the directed nearest-neighbor (or reconstruction) weights become an
+/// undirected graph. Writing `w(u→v)` for the directed weight (0 when absent):
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Symmetrize {
+    /// Keep an edge when **either** direction selected it; weight
+    /// `max(w(u→v), w(v→u))`.
+    #[default]
+    Union,
+    /// Keep an edge only when **both** directions selected it; weight
+    /// `min(w(u→v), w(v→u))`.
+    Intersection,
+    /// Keep an edge only when both directions selected it; weight
+    /// `(w(u→v) + w(v→u)) / 2`. For the kNN weightings (symmetric functions of
+    /// the distance) this coincides with [`Symmetrize::Intersection`]; the
+    /// sparse-regularized coefficients are genuinely asymmetric, so it differs
+    /// there.
+    Mutual,
+}
+
+impl std::str::FromStr for Symmetrize {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "union" => Ok(Symmetrize::Union),
+            "intersection" | "inter" => Ok(Symmetrize::Intersection),
+            "mutual" => Ok(Symmetrize::Mutual),
+            other => Err(format!(
+                "unknown symmetrization '{other}' (expected union, intersection, or mutual)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Symmetrize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Symmetrize::Union => write!(f, "union"),
+            Symmetrize::Intersection => write!(f, "intersection"),
+            Symmetrize::Mutual => write!(f, "mutual"),
+        }
+    }
+}
+
+/// A graph-construction backend: features in, [`Graph`] out.
+pub trait GraphBuilder: Send + Sync {
+    /// Build a graph over the rows of `features` (one node per row).
+    fn build(&self, features: &DenseMatrix) -> Result<Graph>;
+
+    /// Parameterized display name, parseable back through
+    /// [`construction_by_name`].
+    fn name(&self) -> String;
+}
+
+fn invalid(message: impl Into<String>) -> GraphError {
+    GraphError::InvalidGeneratorConfig(message.into())
+}
+
+/// Shared input validation: at least two rows, one column, all entries finite.
+fn validate_features(features: &DenseMatrix) -> Result<()> {
+    if features.rows() < 2 || features.cols() == 0 {
+        return Err(invalid(format!(
+            "feature matrix must be at least 2x1, got {}x{}",
+            features.rows(),
+            features.cols()
+        )));
+    }
+    if let Some(pos) = features.data().iter().position(|v| !v.is_finite()) {
+        return Err(invalid(format!(
+            "feature matrix contains a non-finite value at row {}",
+            pos / features.cols()
+        )));
+    }
+    Ok(())
+}
+
+/// Squared euclidean distance between two feature rows.
+fn euclidean_sq(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// The k smallest `(distance, node)` pairs among `i`'s rows, ties broken by node
+/// index so the selection is deterministic.
+fn nearest(
+    features: &DenseMatrix,
+    norms: &[f64],
+    metric: Metric,
+    i: usize,
+    k: usize,
+) -> Vec<(usize, f64)> {
+    let n = features.rows();
+    let xi = features.row(i);
+    let mut dists: Vec<(f64, usize)> = Vec::with_capacity(n - 1);
+    for j in 0..n {
+        if j == i {
+            continue;
+        }
+        let d = match metric {
+            Metric::Euclidean => euclidean_sq(xi, features.row(j)).sqrt(),
+            Metric::Cosine => {
+                let denom = norms[i] * norms[j];
+                if denom == 0.0 {
+                    1.0
+                } else {
+                    let dot: f64 = xi.iter().zip(features.row(j)).map(|(x, y)| x * y).sum();
+                    1.0 - dot / denom
+                }
+            }
+        };
+        dists.push((d, j));
+    }
+    dists.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    dists.truncate(k);
+    dists.into_iter().map(|(d, j)| (j, d)).collect()
+}
+
+/// Fold per-node directed weights into an undirected edge list under a
+/// [`Symmetrize`] policy. The output is sorted by `(u, v)`, each undirected edge
+/// exactly once — deterministic no matter how the directed lists were produced.
+fn symmetrized_edges(
+    directed: &[Vec<(usize, f64)>],
+    policy: Symmetrize,
+) -> Vec<(usize, usize, f64)> {
+    use std::collections::HashMap;
+    let mut pairs: HashMap<(usize, usize), (Option<f64>, Option<f64>)> = HashMap::new();
+    for (i, list) in directed.iter().enumerate() {
+        for &(j, w) in list {
+            let slot = pairs.entry((i.min(j), i.max(j))).or_insert((None, None));
+            if i < j {
+                slot.0 = Some(w);
+            } else {
+                slot.1 = Some(w);
+            }
+        }
+    }
+    let mut edges: Vec<(usize, usize, f64)> = pairs
+        .into_iter()
+        .filter_map(|((u, v), (fwd, bwd))| {
+            let w = match policy {
+                Symmetrize::Union => match (fwd, bwd) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    (Some(a), None) | (None, Some(a)) => Some(a),
+                    (None, None) => None,
+                },
+                Symmetrize::Intersection => fwd.zip(bwd).map(|(a, b)| a.min(b)),
+                Symmetrize::Mutual => fwd.zip(bwd).map(|(a, b)| 0.5 * (a + b)),
+            }?;
+            (w > 0.0).then_some((u, v, w))
+        })
+        .collect();
+    edges.sort_unstable_by_key(|&(u, v, _)| (u, v));
+    edges
+}
+
+/// Exact brute-force k-nearest-neighbor graph construction.
+#[derive(Debug, Clone)]
+pub struct KnnBuilder {
+    /// Number of nearest neighbors per node (capped at `n - 1`).
+    pub k: usize,
+    /// Distance metric.
+    pub metric: Metric,
+    /// Edge-weight scheme.
+    pub weighting: Weighting,
+    /// Symmetrization policy.
+    pub symmetrize: Symmetrize,
+    /// Heat-kernel bandwidth; `None` uses the mean k-th-neighbor distance.
+    pub sigma: Option<f64>,
+    /// Thread policy for the per-node distance scans (bit-identical output at
+    /// any count).
+    pub threads: Threads,
+}
+
+impl Default for KnnBuilder {
+    fn default() -> Self {
+        KnnBuilder {
+            k: 10,
+            metric: Metric::Euclidean,
+            weighting: Weighting::Binary,
+            symmetrize: Symmetrize::Union,
+            sigma: None,
+            threads: Threads::Serial,
+        }
+    }
+}
+
+impl GraphBuilder for KnnBuilder {
+    fn build(&self, features: &DenseMatrix) -> Result<Graph> {
+        validate_features(features)?;
+        if self.k == 0 {
+            return Err(invalid("kNN construction needs k >= 1"));
+        }
+        if let Some(sigma) = self.sigma {
+            if !sigma.is_finite() || sigma <= 0.0 {
+                return Err(invalid(format!("sigma must be positive, got {sigma}")));
+            }
+        }
+        let n = features.rows();
+        let k = self.k.min(n - 1);
+        let norms: Vec<f64> = match self.metric {
+            Metric::Cosine => (0..n)
+                .map(|i| features.row(i).iter().map(|v| v * v).sum::<f64>().sqrt())
+                .collect(),
+            Metric::Euclidean => Vec::new(),
+        };
+        // Per-node scans are independent; `run_ordered_cells` returns them in node
+        // order regardless of which worker ran which node.
+        let lists: Vec<Vec<(usize, f64)>> = run_ordered_cells(n, self.threads, |i| {
+            Ok::<_, GraphError>(nearest(features, &norms, self.metric, i, k))
+        })?;
+        // The heat-kernel bandwidth defaults to the mean k-th-neighbor distance,
+        // reduced serially in node order — the same value at any thread count.
+        let sigma = match (self.weighting, self.sigma) {
+            (Weighting::HeatKernel, None) => {
+                let mean: f64 = lists
+                    .iter()
+                    .map(|l| l.last().map_or(0.0, |&(_, d)| d))
+                    .sum::<f64>()
+                    / n as f64;
+                if mean > 0.0 {
+                    mean
+                } else {
+                    1.0
+                }
+            }
+            (_, sigma) => sigma.unwrap_or(1.0),
+        };
+        let weighted: Vec<Vec<(usize, f64)>> = lists
+            .iter()
+            .map(|list| {
+                list.iter()
+                    .map(|&(j, d)| {
+                        let w = match self.weighting {
+                            Weighting::Binary => 1.0,
+                            Weighting::HeatKernel => (-d * d / (2.0 * sigma * sigma)).exp(),
+                            Weighting::InverseDistance => 1.0 / (1.0 + d),
+                        };
+                        (j, w)
+                    })
+                    .collect()
+            })
+            .collect();
+        Graph::from_weighted_edges(n, &symmetrized_edges(&weighted, self.symmetrize))
+    }
+
+    fn name(&self) -> String {
+        let sigma = match self.sigma {
+            Some(s) => format!(",sigma={s}"),
+            None => String::new(),
+        };
+        format!(
+            "Knn(k={},metric={},weighting={}{sigma},sym={})",
+            self.k, self.metric, self.weighting, self.symmetrize
+        )
+    }
+}
+
+/// Sparse-regularized graph construction: each node's edge weights are the
+/// nonnegative l1-penalized coefficients reconstructing its (l2-normalized)
+/// feature row from its `k` candidate neighbors, solved by cyclic coordinate
+/// descent, then row-normalized and symmetrized.
+#[derive(Debug, Clone)]
+pub struct SparseRegBuilder {
+    /// Candidate-neighbor count (euclidean kNN over normalized rows).
+    pub k: usize,
+    /// l1 penalty on the reconstruction coefficients.
+    pub alpha: f64,
+    /// Coordinate-descent sweeps per node (with early exit on stagnation).
+    pub iterations: usize,
+    /// Symmetrization policy.
+    pub symmetrize: Symmetrize,
+    /// Thread policy for the per-node solves (bit-identical output at any count).
+    pub threads: Threads,
+}
+
+impl Default for SparseRegBuilder {
+    fn default() -> Self {
+        SparseRegBuilder {
+            k: 10,
+            alpha: 0.1,
+            iterations: 50,
+            symmetrize: Symmetrize::Union,
+            threads: Threads::Serial,
+        }
+    }
+}
+
+impl SparseRegBuilder {
+    /// Solve `min_{w >= 0} 0.5 ||x - C w||^2 + alpha ||w||_1` by cyclic coordinate
+    /// descent over the candidate columns. `gram[j][l] = c_j . c_l`, `corr[j] =
+    /// c_j . x`. Deterministic: fixed cycle order, fixed sweep count, per-node
+    /// stagnation test.
+    fn solve(&self, gram: &[Vec<f64>], corr: &[f64]) -> Vec<f64> {
+        let k = corr.len();
+        let mut w = vec![0.0; k];
+        for _ in 0..self.iterations {
+            let mut max_change = 0.0f64;
+            for j in 0..k {
+                if gram[j][j] <= 0.0 {
+                    continue;
+                }
+                // Gradient of the smooth part at w_j = 0, holding the others fixed.
+                let residual: f64 = corr[j]
+                    - (0..k)
+                        .filter(|&l| l != j)
+                        .map(|l| gram[j][l] * w[l])
+                        .sum::<f64>();
+                let updated = ((residual - self.alpha) / gram[j][j]).max(0.0);
+                max_change = max_change.max((updated - w[j]).abs());
+                w[j] = updated;
+            }
+            if max_change < 1e-12 {
+                break;
+            }
+        }
+        w
+    }
+}
+
+impl GraphBuilder for SparseRegBuilder {
+    fn build(&self, features: &DenseMatrix) -> Result<Graph> {
+        validate_features(features)?;
+        if self.k == 0 {
+            return Err(invalid("sparse-regularized construction needs k >= 1"));
+        }
+        if !self.alpha.is_finite() || self.alpha < 0.0 {
+            return Err(invalid(format!(
+                "alpha must be non-negative, got {}",
+                self.alpha
+            )));
+        }
+        if self.iterations == 0 {
+            return Err(invalid("sparse-regularized construction needs iters >= 1"));
+        }
+        let n = features.rows();
+        let k = self.k.min(n - 1);
+        // l2-normalize rows so the reconstruction problem is scale-free.
+        let mut unit = features.clone();
+        for i in 0..n {
+            let row = unit.row_mut(i);
+            let norm = row.iter().map(|v| v * v).sum::<f64>().sqrt();
+            if norm > 0.0 {
+                for v in row.iter_mut() {
+                    *v /= norm;
+                }
+            }
+        }
+        let directed: Vec<Vec<(usize, f64)>> = run_ordered_cells(n, self.threads, |i| {
+            let candidates = nearest(&unit, &[], Metric::Euclidean, i, k);
+            let xi = unit.row(i);
+            let m = candidates.len();
+            let mut gram = vec![vec![0.0; m]; m];
+            let mut corr = vec![0.0; m];
+            for (a, &(ja, _)) in candidates.iter().enumerate() {
+                let ca = unit.row(ja);
+                corr[a] = ca.iter().zip(xi).map(|(x, y)| x * y).sum();
+                for (b, &(jb, _)) in candidates.iter().enumerate().take(a + 1) {
+                    let dot: f64 = ca.iter().zip(unit.row(jb)).map(|(x, y)| x * y).sum();
+                    gram[a][b] = dot;
+                    gram[b][a] = dot;
+                }
+            }
+            let mut w = self.solve(&gram, &corr);
+            let total: f64 = w.iter().sum();
+            if total > 0.0 {
+                for v in &mut w {
+                    *v /= total;
+                }
+            }
+            Ok::<_, GraphError>(
+                candidates
+                    .iter()
+                    .zip(&w)
+                    .filter(|&(_, &wv)| wv > 1e-12)
+                    .map(|(&(j, _), &wv)| (j, wv))
+                    .collect::<Vec<_>>(),
+            )
+        })?;
+        Graph::from_weighted_edges(n, &symmetrized_edges(&directed, self.symmetrize))
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "SparseReg(k={},alpha={},iters={},sym={})",
+            self.k, self.alpha, self.iterations, self.symmetrize
+        )
+    }
+}
+
+/// Builder-agnostic configuration overrides understood by every registered
+/// construction backend; keys a builder has no use for are ignored, mirroring
+/// the estimator-registry option semantics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConstructionOptions {
+    /// Neighbor / candidate count (key `k`).
+    pub k: Option<usize>,
+    /// Distance metric (key `metric`; kNN only).
+    pub metric: Option<Metric>,
+    /// Edge weighting (key `weighting` / `w`; kNN only).
+    pub weighting: Option<Weighting>,
+    /// Symmetrization policy (key `sym` / `symmetrize`).
+    pub symmetrize: Option<Symmetrize>,
+    /// Heat-kernel bandwidth (key `sigma`; kNN only).
+    pub sigma: Option<f64>,
+    /// l1 penalty (key `alpha`; sparse-regularized only).
+    pub alpha: Option<f64>,
+    /// Coordinate-descent sweeps (key `iters`; sparse-regularized only).
+    pub iterations: Option<usize>,
+    /// Thread policy; results are bit-identical at any count.
+    pub threads: Option<Threads>,
+}
+
+/// A registry entry: canonical name, accepted aliases, one-line description, and a
+/// constructor honoring [`ConstructionOptions`].
+pub struct ConstructionSpec {
+    /// Canonical lowercase name.
+    pub name: &'static str,
+    /// Alternative names accepted by [`construction_by_name`].
+    pub aliases: &'static [&'static str],
+    /// One-line human-readable description for help output.
+    pub description: &'static str,
+    /// Build the backend with the given option overrides.
+    pub build: fn(&ConstructionOptions) -> Box<dyn GraphBuilder>,
+}
+
+fn build_knn(opts: &ConstructionOptions) -> Box<dyn GraphBuilder> {
+    let mut builder = KnnBuilder::default();
+    if let Some(k) = opts.k {
+        builder.k = k;
+    }
+    if let Some(metric) = opts.metric {
+        builder.metric = metric;
+    }
+    if let Some(weighting) = opts.weighting {
+        builder.weighting = weighting;
+    }
+    if let Some(symmetrize) = opts.symmetrize {
+        builder.symmetrize = symmetrize;
+    }
+    if opts.sigma.is_some() {
+        builder.sigma = opts.sigma;
+    }
+    if let Some(threads) = opts.threads {
+        builder.threads = threads;
+    }
+    Box::new(builder)
+}
+
+fn build_sparse_reg(opts: &ConstructionOptions) -> Box<dyn GraphBuilder> {
+    let mut builder = SparseRegBuilder::default();
+    if let Some(k) = opts.k {
+        builder.k = k;
+    }
+    if let Some(alpha) = opts.alpha {
+        builder.alpha = alpha;
+    }
+    if let Some(iterations) = opts.iterations {
+        builder.iterations = iterations;
+    }
+    if let Some(symmetrize) = opts.symmetrize {
+        builder.symmetrize = symmetrize;
+    }
+    if let Some(threads) = opts.threads {
+        builder.threads = threads;
+    }
+    Box::new(builder)
+}
+
+const REGISTRY: &[ConstructionSpec] = &[
+    ConstructionSpec {
+        name: "knn",
+        aliases: &["k-nn", "nearest"],
+        description: "Exact brute-force kNN graph (euclidean/cosine; binary/heat/inverse weights)",
+        build: build_knn,
+    },
+    ConstructionSpec {
+        name: "sparsereg",
+        aliases: &["sparse-reg", "sparse", "l1"],
+        description: "Sparse-regularized graph: nonnegative l1 reconstruction per node",
+        build: build_sparse_reg,
+    },
+];
+
+/// All registered construction specs, in registration order.
+pub fn construction_registry() -> &'static [ConstructionSpec] {
+    REGISTRY
+}
+
+/// The canonical names of all registered construction backends.
+pub fn construction_names() -> Vec<&'static str> {
+    REGISTRY.iter().map(|s| s.name).collect()
+}
+
+/// Resolve a (case-insensitive) base name or alias — without any parameter list —
+/// to its canonical construction name.
+pub fn canonical_construction_name(name: &str) -> Option<&'static str> {
+    let lowered = name.trim().to_ascii_lowercase();
+    REGISTRY
+        .iter()
+        .find(|s| s.name == lowered || s.aliases.contains(&lowered.as_str()))
+        .map(|s| s.name)
+}
+
+/// Split a spec string into its base name and the overrides encoded in its
+/// parenthesized key/value list.
+fn parse_spec(spec: &str) -> std::result::Result<(String, ConstructionOptions), String> {
+    let spec = spec.trim();
+    let (base, args) = match spec.split_once('(') {
+        None => (spec, None),
+        Some((base, rest)) => {
+            let inner = rest.strip_suffix(')').ok_or_else(|| {
+                format!("construction spec '{spec}' has an unterminated parameter list")
+            })?;
+            (base, Some(inner))
+        }
+    };
+    let mut opts = ConstructionOptions::default();
+    if let Some(args) = args {
+        for pair in args.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = pair.split_once('=').ok_or_else(|| {
+                format!("construction parameter '{pair}' is not of the form key=value")
+            })?;
+            let key = key.trim().to_ascii_lowercase();
+            let value = value.trim();
+            let bad =
+                |what: &str| format!("construction parameter '{key}' has invalid {what} '{value}'");
+            match key.as_str() {
+                "k" => opts.k = Some(value.parse().map_err(|_| bad("count"))?),
+                "metric" => opts.metric = Some(value.parse().map_err(|e: String| e)?),
+                "weighting" | "w" => opts.weighting = Some(value.parse().map_err(|e: String| e)?),
+                "sym" | "symmetrize" => {
+                    opts.symmetrize = Some(value.parse().map_err(|e: String| e)?)
+                }
+                "sigma" => opts.sigma = Some(value.parse().map_err(|_| bad("number"))?),
+                "alpha" => opts.alpha = Some(value.parse().map_err(|_| bad("number"))?),
+                "iters" | "iterations" => {
+                    opts.iterations = Some(value.parse().map_err(|_| bad("count"))?)
+                }
+                other => {
+                    return Err(format!(
+                        "unknown construction parameter '{other}' \
+                         (expected k, metric, weighting, sym, sigma, alpha, or iters)"
+                    ))
+                }
+            }
+        }
+    }
+    Ok((base.to_string(), opts))
+}
+
+/// Merge spec-string overrides (`overlay`) on top of caller defaults (`base`).
+fn merge(base: &ConstructionOptions, overlay: &ConstructionOptions) -> ConstructionOptions {
+    ConstructionOptions {
+        k: overlay.k.or(base.k),
+        metric: overlay.metric.or(base.metric),
+        weighting: overlay.weighting.or(base.weighting),
+        symmetrize: overlay.symmetrize.or(base.symmetrize),
+        sigma: overlay.sigma.or(base.sigma),
+        alpha: overlay.alpha.or(base.alpha),
+        iterations: overlay.iterations.or(base.iterations),
+        threads: overlay.threads.or(base.threads),
+    }
+}
+
+/// Build a construction backend from a name or parameterized spec string (e.g.
+/// `"knn"`, `"Knn(k=10,metric=cosine)"`) with default options.
+pub fn construction_by_name(spec: &str) -> std::result::Result<Box<dyn GraphBuilder>, String> {
+    construction_by_name_with(spec, &ConstructionOptions::default())
+}
+
+/// Build a construction backend from a name or parameterized spec string, applying
+/// the given option defaults; keys in the spec string take precedence.
+pub fn construction_by_name_with(
+    spec: &str,
+    defaults: &ConstructionOptions,
+) -> std::result::Result<Box<dyn GraphBuilder>, String> {
+    let (base, overrides) = parse_spec(spec)?;
+    let canonical = canonical_construction_name(&base).ok_or_else(|| {
+        format!(
+            "unknown construction method '{base}' (expected one of {})",
+            construction_names().join(", ")
+        )
+    })?;
+    let spec = REGISTRY
+        .iter()
+        .find(|s| s.name == canonical)
+        .expect("canonical name is registered");
+    Ok((spec.build)(&merge(defaults, &overrides)))
+}
+
+/// Configuration for [`synthesize_blobs`]: isotropic Gaussian clusters, one per
+/// class, on deterministic axis-aligned centers.
+#[derive(Debug, Clone)]
+pub struct BlobConfig {
+    /// Number of points (nodes).
+    pub nodes: usize,
+    /// Number of classes (one blob each).
+    pub classes: usize,
+    /// Feature dimensionality.
+    pub dims: usize,
+    /// Standard deviation of each blob around its center (centers sit at
+    /// distance [`BlobConfig::SEPARATION`] from the origin).
+    pub spread: f64,
+    /// Per-class spread multiplier ramp: class 0 keeps `spread`, the last
+    /// class's noise is `spread * spread_skew`, and classes in between
+    /// interpolate linearly. `1.0` (the default) gives identical isotropic
+    /// blobs; larger values make later classes progressively more diffuse —
+    /// the heteroscedastic regime where distance-aware edge weightings
+    /// outperform binary kNN.
+    pub spread_skew: f64,
+    /// RNG seed; fixed seeds give identical clouds.
+    pub seed: u64,
+}
+
+impl BlobConfig {
+    /// Distance of each blob center from the origin along its axis.
+    pub const SEPARATION: f64 = 3.0;
+}
+
+impl Default for BlobConfig {
+    fn default() -> Self {
+        BlobConfig {
+            nodes: 200,
+            classes: 3,
+            dims: 4,
+            spread: 1.0,
+            spread_skew: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Synthesize a labeled Gaussian-blob feature cloud: class `c`'s center is
+/// `SEPARATION * (1 + c / dims)` along axis `c % dims`, points are the center
+/// plus Gaussian noise (Box–Muller over the seeded generator) scaled by
+/// `spread` and the per-class [`BlobConfig::spread_skew`] ramp, and node `i`
+/// belongs to class `i % classes`. Returns the `nodes x dims` feature matrix
+/// and the full ground-truth labeling.
+pub fn synthesize_blobs(config: &BlobConfig) -> Result<(DenseMatrix, Labeling)> {
+    if config.nodes < config.classes || config.classes == 0 || config.dims == 0 {
+        return Err(invalid(format!(
+            "blob config needs nodes >= classes >= 1 and dims >= 1, \
+             got nodes={}, classes={}, dims={}",
+            config.nodes, config.classes, config.dims
+        )));
+    }
+    if !config.spread.is_finite() || config.spread < 0.0 {
+        return Err(invalid(format!(
+            "blob spread must be non-negative, got {}",
+            config.spread
+        )));
+    }
+    if !config.spread_skew.is_finite() || config.spread_skew <= 0.0 {
+        return Err(invalid(format!(
+            "blob spread_skew must be positive, got {}",
+            config.spread_skew
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut gaussian = move || -> f64 {
+        // Box–Muller; 1 - u is in (0, 1], so the log is finite.
+        let u: f64 = rng.gen();
+        let v: f64 = rng.gen();
+        (-2.0 * (1.0 - u).ln()).sqrt() * (2.0 * std::f64::consts::PI * v).cos()
+    };
+    let class_spread = |class: usize| -> f64 {
+        if config.classes < 2 {
+            config.spread
+        } else {
+            let t = class as f64 / (config.classes - 1) as f64;
+            config.spread * (1.0 + (config.spread_skew - 1.0) * t)
+        }
+    };
+    let mut features = DenseMatrix::zeros(config.nodes, config.dims);
+    let mut labels = Vec::with_capacity(config.nodes);
+    for i in 0..config.nodes {
+        let class = i % config.classes;
+        let axis = class % config.dims;
+        let center = BlobConfig::SEPARATION * (1.0 + (class / config.dims) as f64);
+        let spread = class_spread(class);
+        let row = features.row_mut(i);
+        for (d, value) in row.iter_mut().enumerate() {
+            let mean = if d == axis { center } else { 0.0 };
+            *value = mean + spread * gaussian();
+        }
+        labels.push(class);
+    }
+    Ok((features, Labeling::new(labels, config.classes)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob_features(nodes: usize, spread: f64, seed: u64) -> DenseMatrix {
+        synthesize_blobs(&BlobConfig {
+            nodes,
+            spread,
+            seed,
+            ..BlobConfig::default()
+        })
+        .unwrap()
+        .0
+    }
+
+    #[test]
+    fn knn_graph_is_valid_and_deterministic() {
+        let x = blob_features(60, 0.8, 1);
+        let builder = KnnBuilder::default();
+        let g = builder.build(&x).unwrap();
+        assert_eq!(g.num_nodes(), 60);
+        assert!(g.num_edges() >= 60 * 10 / 2, "{} edges", g.num_edges());
+        // Symmetric CSR, zero diagonal, no negative weights.
+        assert!(g.adjacency().is_symmetric(0.0));
+        assert!(g.adjacency().diagonal().iter().all(|&d| d == 0.0));
+        assert!(g.edges().all(|(_, _, w)| w > 0.0));
+        // Re-running reproduces the exact graph (same fingerprint).
+        let again = builder.build(&x).unwrap();
+        assert_eq!(g.fingerprint(), again.fingerprint());
+    }
+
+    #[test]
+    fn knn_is_bit_identical_across_thread_counts() {
+        let x = blob_features(80, 1.2, 3);
+        for weighting in [
+            Weighting::Binary,
+            Weighting::HeatKernel,
+            Weighting::InverseDistance,
+        ] {
+            let serial = KnnBuilder {
+                weighting,
+                ..KnnBuilder::default()
+            };
+            let baseline = serial.build(&x).unwrap();
+            for threads in [Threads::Fixed(2), Threads::Fixed(4), Threads::Auto] {
+                let parallel = KnnBuilder {
+                    threads,
+                    ..serial.clone()
+                }
+                .build(&x)
+                .unwrap();
+                assert_eq!(
+                    baseline.fingerprint(),
+                    parallel.fingerprint(),
+                    "{weighting:?} {threads:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_reg_is_bit_identical_across_thread_counts() {
+        let x = blob_features(60, 1.0, 5);
+        let serial = SparseRegBuilder::default();
+        let baseline = serial.build(&x).unwrap();
+        assert!(baseline.adjacency().is_symmetric(0.0));
+        assert!(baseline.adjacency().diagonal().iter().all(|&d| d == 0.0));
+        assert!(baseline.edges().all(|(_, _, w)| w > 0.0));
+        for threads in [Threads::Fixed(2), Threads::Fixed(4), Threads::Auto] {
+            let parallel = SparseRegBuilder {
+                threads,
+                ..serial.clone()
+            }
+            .build(&x)
+            .unwrap();
+            assert_eq!(
+                baseline.fingerprint(),
+                parallel.fingerprint(),
+                "{threads:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_and_weightings_change_the_graph() {
+        let x = blob_features(50, 1.0, 7);
+        let base = KnnBuilder::default().build(&x).unwrap();
+        let cosine = KnnBuilder {
+            metric: Metric::Cosine,
+            ..KnnBuilder::default()
+        }
+        .build(&x)
+        .unwrap();
+        assert_ne!(base.fingerprint(), cosine.fingerprint());
+        let heat = KnnBuilder {
+            weighting: Weighting::HeatKernel,
+            ..KnnBuilder::default()
+        }
+        .build(&x)
+        .unwrap();
+        assert_ne!(base.fingerprint(), heat.fingerprint());
+        // Heat-kernel weights are in (0, 1]; an explicit sigma changes them.
+        assert!(heat.edges().all(|(_, _, w)| w > 0.0 && w <= 1.0));
+        let heat_sigma = KnnBuilder {
+            weighting: Weighting::HeatKernel,
+            sigma: Some(0.25),
+            ..KnnBuilder::default()
+        }
+        .build(&x)
+        .unwrap();
+        assert_ne!(heat.fingerprint(), heat_sigma.fingerprint());
+    }
+
+    #[test]
+    fn symmetrization_policies_nest() {
+        let x = blob_features(70, 1.5, 11);
+        let edges_of = |sym: Symmetrize| {
+            KnnBuilder {
+                symmetrize: sym,
+                k: 5,
+                ..KnnBuilder::default()
+            }
+            .build(&x)
+            .unwrap()
+        };
+        let union = edges_of(Symmetrize::Union);
+        let inter = edges_of(Symmetrize::Intersection);
+        let mutual = edges_of(Symmetrize::Mutual);
+        // Intersection and mutual keep a subset of the union's edges.
+        assert!(inter.num_edges() <= union.num_edges());
+        assert!(inter.num_edges() < union.num_edges() || union.num_edges() == 0);
+        for (u, v, _) in inter.edges() {
+            assert!(union.has_edge(u, v));
+        }
+        // For distance-symmetric kNN weights, intersection == mutual.
+        assert_eq!(inter.fingerprint(), mutual.fingerprint());
+        // The sparse-regularized weights are asymmetric, so the policies differ.
+        let sr = |sym: Symmetrize| {
+            SparseRegBuilder {
+                symmetrize: sym,
+                ..SparseRegBuilder::default()
+            }
+            .build(&x)
+            .unwrap()
+        };
+        assert_ne!(
+            sr(Symmetrize::Intersection).fingerprint(),
+            sr(Symmetrize::Mutual).fingerprint()
+        );
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let tiny = DenseMatrix::zeros(1, 3);
+        assert!(KnnBuilder::default().build(&tiny).is_err());
+        let mut nan = DenseMatrix::zeros(4, 2);
+        nan.set(2, 1, f64::NAN);
+        assert!(KnnBuilder::default().build(&nan).is_err());
+        assert!(SparseRegBuilder::default().build(&nan).is_err());
+        let x = blob_features(20, 1.0, 1);
+        assert!(KnnBuilder {
+            k: 0,
+            ..KnnBuilder::default()
+        }
+        .build(&x)
+        .is_err());
+        assert!(KnnBuilder {
+            sigma: Some(-1.0),
+            ..KnnBuilder::default()
+        }
+        .build(&x)
+        .is_err());
+        assert!(SparseRegBuilder {
+            alpha: f64::NAN,
+            ..SparseRegBuilder::default()
+        }
+        .build(&x)
+        .is_err());
+        assert!(SparseRegBuilder {
+            iterations: 0,
+            ..SparseRegBuilder::default()
+        }
+        .build(&x)
+        .is_err());
+        let skewed = |spread_skew| BlobConfig {
+            spread_skew,
+            ..BlobConfig::default()
+        };
+        assert!(synthesize_blobs(&skewed(0.0)).is_err());
+        assert!(synthesize_blobs(&skewed(-2.0)).is_err());
+        assert!(synthesize_blobs(&skewed(f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn registry_round_trips_every_builder_name() {
+        for spec in construction_registry() {
+            let built = (spec.build)(&ConstructionOptions::default());
+            let name = built.name();
+            let rebuilt = construction_by_name(&name)
+                .unwrap_or_else(|e| panic!("name '{name}' failed to parse: {e}"));
+            assert_eq!(rebuilt.name(), name, "round trip changed the builder");
+        }
+        assert_eq!(construction_names(), vec!["knn", "sparsereg"]);
+        assert_eq!(canonical_construction_name("Knn"), Some("knn"));
+        assert_eq!(canonical_construction_name("sparse-reg"), Some("sparsereg"));
+        assert_eq!(canonical_construction_name("l1"), Some("sparsereg"));
+        assert_eq!(canonical_construction_name("nope"), None);
+    }
+
+    #[test]
+    fn parameterized_specs_apply_overrides() {
+        let b = construction_by_name("Knn(k=7,metric=cosine,weighting=heat,sym=mutual)").unwrap();
+        assert_eq!(b.name(), "Knn(k=7,metric=cosine,weighting=heat,sym=mutual)");
+        let b = construction_by_name("knn(sigma=0.5,weighting=heat)").unwrap();
+        assert_eq!(
+            b.name(),
+            "Knn(k=10,metric=euclidean,weighting=heat,sigma=0.5,sym=union)"
+        );
+        let b = construction_by_name("SparseReg(k=6,alpha=0.05,iters=20)").unwrap();
+        assert_eq!(b.name(), "SparseReg(k=6,alpha=0.05,iters=20,sym=union)");
+        // Defaults fill unspecified keys; spec keys win.
+        let defaults = ConstructionOptions {
+            k: Some(4),
+            symmetrize: Some(Symmetrize::Mutual),
+            ..ConstructionOptions::default()
+        };
+        let b = construction_by_name_with("knn(k=9)", &defaults).unwrap();
+        assert_eq!(
+            b.name(),
+            "Knn(k=9,metric=euclidean,weighting=binary,sym=mutual)"
+        );
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_with_messages() {
+        let err_of = |spec: &str| construction_by_name(spec).map(|_| ()).unwrap_err();
+        assert!(err_of("nope").contains("unknown construction method"));
+        assert!(err_of("knn(k=10").contains("unterminated"));
+        assert!(err_of("knn(k)").contains("key=value"));
+        assert!(err_of("knn(k=lots)").contains("invalid"));
+        assert!(err_of("knn(frobs=1)").contains("unknown construction parameter"));
+        assert!(err_of("knn(metric=manhattan)").contains("unknown metric"));
+        assert!(err_of("knn(weighting=wishful)").contains("unknown weighting"));
+        assert!(err_of("knn(sym=sideways)").contains("unknown symmetrization"));
+    }
+
+    #[test]
+    fn blobs_are_deterministic_and_separable() {
+        let config = BlobConfig {
+            nodes: 90,
+            classes: 3,
+            dims: 4,
+            spread: 0.5,
+            spread_skew: 1.0,
+            seed: 9,
+        };
+        let (xa, la) = synthesize_blobs(&config).unwrap();
+        let (xb, lb) = synthesize_blobs(&config).unwrap();
+        assert_eq!(xa.data(), xb.data());
+        assert_eq!(la.as_slice(), lb.as_slice());
+        assert_eq!(xa.shape(), (90, 4));
+        assert_eq!(la.k(), 3);
+        // With tight blobs, most kNN edges connect same-class nodes.
+        let g = KnnBuilder {
+            k: 5,
+            ..KnnBuilder::default()
+        }
+        .build(&xa)
+        .unwrap();
+        let same = g
+            .edges()
+            .filter(|&(u, v, _)| la.as_slice()[u] == la.as_slice()[v])
+            .count();
+        assert!(same * 10 >= g.num_edges() * 9, "{same}/{}", g.num_edges());
+        // Invalid configs error.
+        assert!(synthesize_blobs(&BlobConfig {
+            classes: 0,
+            ..config.clone()
+        })
+        .is_err());
+        assert!(synthesize_blobs(&BlobConfig {
+            spread: -1.0,
+            ..config.clone()
+        })
+        .is_err());
+        assert!(synthesize_blobs(&BlobConfig { dims: 0, ..config }).is_err());
+    }
+}

@@ -9,6 +9,7 @@
 //!   are unlabeled.
 
 use fg_graph::{Graph, GraphError, Labeling, Result, SeedLabels};
+use fg_sparse::DenseMatrix;
 use std::fs;
 use std::io::Write;
 use std::path::Path;
@@ -123,6 +124,133 @@ pub fn read_labels(path: &Path, n: usize, k: usize) -> Result<SeedLabels> {
     parse_labels(n, k, &content)
 }
 
+/// A parsed feature file: one node per row, its feature vector followed by a class
+/// label in the last column (`?` marks an unlabeled node).
+#[derive(Debug, Clone)]
+pub struct FeatureData {
+    /// Dense `n x d` feature matrix (labels column excluded).
+    pub features: DenseMatrix,
+    /// Per-node observed class, `None` where the label column was `?`.
+    pub labels: Vec<Option<usize>>,
+    /// `1 + max(observed class)`, or 0 when every node is unlabeled.
+    pub num_classes: usize,
+}
+
+impl FeatureData {
+    /// The full ground-truth labeling, when **every** node is labeled.
+    pub fn truth(&self) -> Option<Labeling> {
+        let labels: Option<Vec<usize>> = self.labels.iter().copied().collect();
+        Labeling::new(labels?, self.num_classes.max(1)).ok()
+    }
+
+    /// The observed labels as a seed set over `k` classes (defaults to the
+    /// inferred [`FeatureData::num_classes`] when `k` is `None`).
+    pub fn seed_labels(&self, k: Option<usize>) -> Result<SeedLabels> {
+        SeedLabels::new(self.labels.clone(), k.unwrap_or(self.num_classes))
+    }
+}
+
+/// Parse a dense feature matrix with a trailing labels column. Values are separated
+/// by commas and/or whitespace (so both CSV and TSV work); lines that are empty or
+/// start with `#` are ignored. Ragged rows, non-finite feature values, and malformed
+/// labels are rejected as [`GraphError::Parse`] with their 1-based line number.
+pub fn parse_features(content: &str) -> Result<FeatureData> {
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut labels: Vec<Option<usize>> = Vec::new();
+    let mut width = None;
+    for (line_no, line) in content.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let tokens: Vec<&str> = trimmed
+            .split(|c: char| c == ',' || c.is_whitespace())
+            .filter(|t| !t.is_empty())
+            .collect();
+        if tokens.len() < 2 {
+            return Err(parse_err(
+                line_no,
+                "feature row needs at least one feature and a label column",
+            ));
+        }
+        let expected = *width.get_or_insert(tokens.len());
+        if tokens.len() != expected {
+            return Err(parse_err(
+                line_no,
+                format!(
+                    "ragged row: expected {expected} columns, got {}",
+                    tokens.len()
+                ),
+            ));
+        }
+        let mut row = Vec::with_capacity(tokens.len() - 1);
+        for tok in &tokens[..tokens.len() - 1] {
+            let value = tok
+                .parse::<f64>()
+                .map_err(|_| parse_err(line_no, format!("invalid feature value '{tok}'")))?;
+            if !value.is_finite() {
+                return Err(parse_err(
+                    line_no,
+                    format!("non-finite feature value '{tok}'"),
+                ));
+            }
+            row.push(value);
+        }
+        let label_tok = tokens[tokens.len() - 1];
+        labels.push(if label_tok == "?" {
+            None
+        } else {
+            Some(
+                label_tok.parse::<usize>().map_err(|_| {
+                    parse_err(line_no, format!("invalid class label '{label_tok}'"))
+                })?,
+            )
+        });
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err(parse_err(0, "feature file contains no data rows"));
+    }
+    let num_classes = labels.iter().flatten().max().map_or(0, |&c| c + 1);
+    Ok(FeatureData {
+        features: DenseMatrix::from_rows(&rows)?,
+        labels,
+        num_classes,
+    })
+}
+
+/// Serialize a feature matrix with its labels column (`?` for unlabeled nodes) in
+/// the format [`parse_features`] reads.
+pub fn format_features(features: &DenseMatrix, labels: &[Option<usize>]) -> String {
+    let mut out = String::new();
+    out.push_str("# features: f_1,...,f_d,label ('?' = unlabeled)\n");
+    for i in 0..features.rows() {
+        for v in features.row(i) {
+            out.push_str(&format!("{v},"));
+        }
+        match labels.get(i).copied().flatten() {
+            Some(c) => out.push_str(&format!("{c}\n")),
+            None => out.push_str("?\n"),
+        }
+    }
+    out
+}
+
+/// Read a feature file (see [`parse_features`] for the format).
+pub fn read_features(path: &Path) -> Result<FeatureData> {
+    let content = fs::read_to_string(path)
+        .map_err(|e| GraphError::Io(format!("cannot read {path:?}: {e}")))?;
+    parse_features(&content)
+}
+
+/// Write a feature matrix with its labels column to a file.
+pub fn write_features(path: &Path, features: &DenseMatrix, labels: &[Option<usize>]) -> Result<()> {
+    let mut file = fs::File::create(path)
+        .map_err(|e| GraphError::Io(format!("cannot create {path:?}: {e}")))?;
+    file.write_all(format_features(features, labels).as_bytes())
+        .map_err(|e| GraphError::Io(format!("cannot write {path:?}: {e}")))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,6 +320,61 @@ mod tests {
         assert!(parse_labels(2, 2, "5\t0\n").is_err());
         assert!(parse_labels(2, 2, "0\t7\n").is_err());
         assert!(parse_labels(2, 2, "0\n").is_err());
+    }
+
+    #[test]
+    fn feature_file_roundtrip() {
+        let text = "# header\n0.5, 1.0, 0\n-1.25\t2.5\t1\n0.0, 0.0, ?\n";
+        let data = parse_features(text).unwrap();
+        assert_eq!(data.features.shape(), (3, 2));
+        assert_eq!(data.features.get(1, 0), -1.25);
+        assert_eq!(data.labels, vec![Some(0), Some(1), None]);
+        assert_eq!(data.num_classes, 2);
+        assert!(data.truth().is_none());
+        assert_eq!(data.seed_labels(None).unwrap().num_labeled(), 2);
+        // Round trip through the formatter.
+        let again = parse_features(&format_features(&data.features, &data.labels)).unwrap();
+        assert_eq!(again.features.data(), data.features.data());
+        assert_eq!(again.labels, data.labels);
+        // Fully labeled data exposes a ground-truth labeling.
+        let full = parse_features("1,0\n2,1\n3,0\n").unwrap();
+        assert_eq!(full.truth().unwrap().as_slice(), &[0, 1, 0]);
+    }
+
+    #[test]
+    fn feature_parse_errors_carry_the_line_number() {
+        // Ragged row (comment still counts toward the line number).
+        let err = parse_features("# header\n1,2,0\n1,2,3,0\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 3, .. }), "{err}");
+        assert!(err.to_string().contains("ragged"), "{err}");
+        // NaN / non-finite feature values.
+        let err = parse_features("1,2,0\n1,NaN,1\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }), "{err}");
+        assert!(err.to_string().contains("non-finite"), "{err}");
+        let err = parse_features("1,inf,0\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }), "{err}");
+        // Garbage feature values, bad labels, missing columns, empty files.
+        let err = parse_features("1,x,0\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }), "{err}");
+        let err = parse_features("1,2,maybe\n").unwrap_err();
+        assert!(err.to_string().contains("invalid class label"), "{err}");
+        assert!(parse_features("7\n").is_err());
+        assert!(parse_features("# only comments\n").is_err());
+    }
+
+    #[test]
+    fn feature_file_io() {
+        let dir = std::env::temp_dir().join("fg_datasets_feature_io_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("features.csv");
+        let features = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        write_features(&path, &features, &[Some(1), None]).unwrap();
+        let read = read_features(&path).unwrap();
+        assert_eq!(read.features.data(), features.data());
+        assert_eq!(read.labels, vec![Some(1), None]);
+        let missing = read_features(Path::new("/nonexistent/file")).unwrap_err();
+        assert!(matches!(missing, GraphError::Io(_)), "{missing}");
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -9,17 +9,29 @@
 //! estimation experiments exercise the same code paths without redistributing the
 //! original data. A simple edge-list / label-file IO layer is included for running the
 //! estimators on user-provided graphs.
+//!
+//! The [`construct`] module opens a second front door: it builds graphs directly from
+//! raw feature matrices (exact kNN and sparse-regularized reconstruction builders),
+//! so any tabular or embedding dataset becomes a workload without a pre-existing
+//! edge list.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod construct;
 pub mod io;
 pub mod specs;
 pub mod synthesize;
 
+pub use construct::{
+    canonical_construction_name, construction_by_name, construction_by_name_with,
+    construction_names, construction_registry, synthesize_blobs, BlobConfig, ConstructionOptions,
+    ConstructionSpec, GraphBuilder, KnnBuilder, Metric, SparseRegBuilder, Symmetrize, Weighting,
+};
 pub use io::{
-    format_edge_list, format_labels, parse_edge_list, parse_labels, read_edge_list, read_labels,
-    write_edge_list,
+    format_edge_list, format_features, format_labels, parse_edge_list, parse_features,
+    parse_labels, read_edge_list, read_features, read_labels, write_edge_list, write_features,
+    FeatureData,
 };
 pub use specs::{spec, DatasetId, DatasetSpec};
 pub use synthesize::{synthesize, DatasetInstance};

@@ -1,0 +1,67 @@
+//! Feature classification: start from a raw feature matrix (no graph anywhere),
+//! build a graph with the construction subsystem, and classify the unlabeled
+//! points through the standard estimation + propagation pipeline.
+//!
+//! Run with: `cargo run --release --example feature_classification`
+
+use fg_core::prelude::*;
+use fg_datasets::{construction_by_name, synthesize_blobs, BlobConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. A labeled point cloud: three Gaussian blobs in four dimensions, the last
+    //    class three times noisier than the first (spread_skew) so the clusters
+    //    overlap and the construction choice actually matters.
+    let config = BlobConfig {
+        nodes: 1_500,
+        classes: 3,
+        dims: 4,
+        spread: 1.0,
+        spread_skew: 3.0,
+        seed: 42,
+    };
+    let (features, labeling) = synthesize_blobs(&config).expect("blob synthesis succeeds");
+    println!(
+        "feature matrix: {} points x {} dims, {} classes",
+        features.rows(),
+        features.cols(),
+        labeling.k()
+    );
+
+    // 2. Observe labels on 5% of the points.
+    let mut rng = StdRng::seed_from_u64(7);
+    let seeds = labeling.stratified_sample(0.05, &mut rng);
+    println!(
+        "observed labels: {} of {} points",
+        seeds.num_labeled(),
+        seeds.n()
+    );
+
+    // 3. Compare construction backends: the default union-kNN, mutual-kNN (prunes
+    //    the asymmetric neighbor links the diffuse cluster creates), and the
+    //    sparse-regularized reconstruction builder. Specs resolve through the
+    //    same registry `fg construct --builder ...` uses; builders can also be
+    //    configured directly as structs (`KnnBuilder` / `SparseRegBuilder`).
+    for spec in ["knn", "Knn(k=10,sym=mutual)", "SparseReg(k=10,alpha=0.05)"] {
+        let builder = construction_by_name(spec).expect("registered builder");
+        let graph = builder.build(&features).expect("construction succeeds");
+
+        // 4. The constructed graph is a first-class citizen: fingerprinted,
+        //    cacheable, and classified by the standard pipeline.
+        let report = Pipeline::on(&graph)
+            .seeds(&seeds)
+            .estimator(DceWithRestarts::default())
+            .propagator(LinBp::default())
+            .run()
+            .expect("estimation and propagation succeed");
+        println!(
+            "\n{}:\n  {} edges (mean degree {:.1}), accuracy {:.3}, fingerprint {}",
+            builder.name(),
+            graph.num_edges(),
+            graph.average_degree(),
+            report.accuracy(&labeling, &seeds),
+            graph.fingerprint(),
+        );
+    }
+}
