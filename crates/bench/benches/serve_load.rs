@@ -1,0 +1,36 @@
+//! `cargo bench --bench serve_load` — load-generate against the fg-serve TCP
+//! tier and publish the serving perf trajectory.
+//!
+//! Concurrent clients drive disjoint named datasets with deterministic mixed
+//! read/mutate streams; every run verifies each client's response stream is
+//! byte-identical to a serial replay before reporting throughput and latency
+//! percentiles (see [`fg_bench::serve_load`]).
+//!
+//! Output: one aligned line per client count on stdout, and the JSON report at
+//! the repository root (`BENCH_serve.json`) for the committed trajectory.
+//! Env knobs: `FG_BENCH_SMOKE=1` runs a seconds-scale configuration;
+//! `FG_BENCH_OUT` overrides the report path.
+
+use fg_bench::serve_load::{render_report, run_serve_load, ServeLoadConfig};
+use std::path::PathBuf;
+
+fn main() {
+    let smoke = std::env::var("FG_BENCH_SMOKE").as_deref() == Ok("1");
+    let cfg = if smoke {
+        ServeLoadConfig::smoke()
+    } else {
+        ServeLoadConfig::full()
+    };
+    let rows = run_serve_load(&cfg).expect("serve_load run failed");
+    for row in &rows {
+        println!("{}", row.to_line());
+    }
+    let out: PathBuf = match std::env::var_os("FG_BENCH_OUT") {
+        Some(path) => PathBuf::from(path),
+        // CARGO_MANIFEST_DIR is crates/bench; the committed report lives at the
+        // repository root.
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json"),
+    };
+    std::fs::write(&out, render_report(&cfg, &rows)).expect("cannot write the report");
+    println!("serve_load report written to {}", out.display());
+}

@@ -14,10 +14,12 @@
 
 pub mod harness;
 pub mod micro;
+pub mod serve_load;
 pub mod sweeps;
 
 pub use harness::{scale_factor, scaled_n, time_it, ExperimentTable};
 pub use micro::{bench_iters, run_bench, BenchMeasurement};
+pub use serve_load::{percentile_ms, render_report, run_serve_load, LoadRow, ServeLoadConfig};
 pub use sweeps::{
     accuracy_vs_backend, accuracy_vs_backend_parallel, accuracy_vs_construction,
     accuracy_vs_sparsity, accuracy_vs_sparsity_parallel, accuracy_vs_sparsity_with,

@@ -895,8 +895,13 @@ mod tests {
                 assert_eq!(p.l2_error, s.l2_error, "{threads:?}");
             }
         }
-        // One file per (fraction, repetition) cell group.
-        assert_eq!(store.entries().unwrap().len(), fractions.len());
+        // One summary per (fraction, repetition) cell group, plus one persisted
+        // H estimate per content-addressable estimator in each group.
+        let entries = store.entries().unwrap();
+        let count_suffix =
+            |suffix: &str| entries.iter().filter(|e| e.file.ends_with(suffix)).count();
+        assert_eq!(count_suffix(".fgsum"), fractions.len());
+        assert_eq!(count_suffix(".fgh"), fractions.len() * kinds.len());
         // A repeated sweep cell is served from disk: rebuilding one cell's context
         // against the store answers its warm-up without any computation.
         // The first cell's RNG seed: sweep seed 17, fraction index 0, repetition 0.

@@ -202,7 +202,34 @@ pub fn cmd_construct(args: &ArgMap) -> CommandResult {
             ..Default::default()
         },
     )?;
-    let graph = builder.build(&features).map_err(err)?;
+    // With --summary-cache, constructed graphs are content-addressed by the
+    // feature matrix's fingerprint plus the parameterized builder spec: a warm
+    // run loads the finished edge list instead of repeating the O(n^2 d) build.
+    let store = open_summary_store(args)?;
+    let features_fp = fg_datasets::features_fingerprint(&features);
+    let spec_name = builder.name();
+    let cached = store
+        .as_ref()
+        .and_then(|s| match s.load_graph(features_fp, &spec_name) {
+            Ok(found) => found,
+            Err(e) => {
+                eprintln!("warning: {e}; reconstructing");
+                None
+            }
+        });
+    let from_cache = cached.is_some();
+    let graph = match cached {
+        Some(graph) => graph,
+        None => {
+            let graph = builder.build(&features).map_err(err)?;
+            if let Some(s) = &store {
+                if let Err(e) = s.save_graph(features_fp, &spec_name, &graph) {
+                    eprintln!("warning: cannot persist the constructed graph: {e}");
+                }
+            }
+            graph
+        }
+    };
     fg_datasets::write_edge_list(Path::new(&out_edges), &graph).map_err(err)?;
     if let Some(out) = args.get("out-features") {
         fg_datasets::write_features(Path::new(out), &features, &labels).map_err(err)?;
@@ -217,8 +244,9 @@ pub fn cmd_construct(args: &ArgMap) -> CommandResult {
         std::fs::write(Path::new(out), text).map_err(err)?;
     }
     Ok(format!(
-        "constructed graph with {} ({} nodes, {} edges, mean degree {:.2}); wrote {out_edges}",
-        builder.name(),
+        "constructed graph with {}{} ({} nodes, {} edges, mean degree {:.2}); wrote {out_edges}",
+        spec_name,
+        if from_cache { " [cached]" } else { "" },
         graph.num_nodes(),
         graph.num_edges(),
         graph.average_degree()
@@ -400,9 +428,10 @@ pub fn cmd_classify(args: &ArgMap) -> CommandResult {
     );
     if let Some(store) = &store {
         rendered.push_str(&format!(
-            "\nsummary computations: {} (store hits: {}, cache dir {})",
+            "\nsummary computations: {} (store hits: {}, estimate hits: {}, cache dir {})",
             report.summary_computations,
             report.summary_store_hits,
+            report.optimize_store_hits,
             store.dir().display()
         ));
     }
@@ -469,8 +498,8 @@ pub fn cmd_cache(args: &ArgMap) -> CommandResult {
                 if entries.len() == 1 { "" } else { "s" }
             )];
             for entry in entries {
-                match entry.meta {
-                    Some(meta) => out.push(format!(
+                if let Some(meta) = entry.meta {
+                    out.push(format!(
                         "  {}  k={} lmax={} mode={} graph={}.. seeds={}.. ({} bytes)",
                         entry.file,
                         meta.k,
@@ -479,11 +508,32 @@ pub fn cmd_cache(args: &ArgMap) -> CommandResult {
                         &meta.graph_fp.to_hex()[..12],
                         &meta.seed_fp.to_hex()[..12],
                         entry.bytes
-                    )),
-                    None => out.push(format!(
+                    ));
+                } else if let Some(meta) = entry.h_meta {
+                    out.push(format!(
+                        "  {}  H estimate k={} estimator={} graph={}.. seeds={}.. ({} bytes)",
+                        entry.file,
+                        meta.k,
+                        meta.estimator,
+                        &meta.graph_fp.to_hex()[..12],
+                        &meta.seed_fp.to_hex()[..12],
+                        entry.bytes
+                    ));
+                } else if let Some(meta) = entry.graph_meta {
+                    out.push(format!(
+                        "  {}  constructed graph nodes={} edges={} builder={} features={}.. ({} bytes)",
+                        entry.file,
+                        meta.nodes,
+                        meta.edges,
+                        meta.builder,
+                        &meta.features_fp.to_hex()[..12],
+                        entry.bytes
+                    ));
+                } else {
+                    out.push(format!(
                         "  {}  CORRUPT or unreadable ({} bytes)",
                         entry.file, entry.bytes
-                    )),
+                    ));
                 }
             }
             Ok(out.join("\n"))
@@ -585,19 +635,37 @@ pub fn cmd_run(args: &ArgMap) -> CommandResult {
 
 /// `fg serve`: host a long-lived serving session over stdin/stdout (default) or a
 /// TCP listener (`--port P`, port 0 picks an ephemeral port). `--summary-cache
-/// [DIR]` attaches the persistent store; `--threads` sets the kernel thread policy.
-/// The TCP banner (`fg serve listening on ADDR`) goes to stdout; in stdio mode the
-/// protocol owns stdout, so diagnostics go to stderr.
+/// [DIR]` attaches the persistent store; `--threads` sets the kernel thread policy;
+/// `--engine-states N` sizes each dataset's warm engine LRU. Transport limits are
+/// `--max-connections`, `--max-request-bytes`, and `--max-requests` (per
+/// connection; 0 = unlimited). The TCP banner (`fg serve listening on ADDR`) goes
+/// to stdout; in stdio mode the protocol owns stdout, so diagnostics go to stderr.
 pub fn cmd_serve(args: &ArgMap) -> CommandResult {
     let threads = args
         .get_parsed_or("threads", Threads::Serial)
         .map_err(err)?;
     let store = open_summary_store(args)?;
-    let session = std::sync::Arc::new(fg_serve::Session::new(threads, store));
+    let mut session = fg_serve::Session::new(threads, store);
+    if let Some(capacity) = args.get_parsed::<usize>("engine-states").map_err(err)? {
+        session = session.with_engine_states(capacity);
+    }
+    let session = std::sync::Arc::new(session);
+    let defaults = fg_serve::ServeLimits::default();
+    let limits = fg_serve::ServeLimits {
+        max_connections: args
+            .get_parsed_or("max-connections", defaults.max_connections)
+            .map_err(err)?,
+        max_line_bytes: args
+            .get_parsed_or("max-request-bytes", defaults.max_line_bytes)
+            .map_err(err)?,
+        max_requests_per_connection: args
+            .get_parsed_or("max-requests", defaults.max_requests_per_connection)
+            .map_err(err)?,
+    };
     match args.get_parsed::<u16>("port").map_err(err)? {
         Some(port) => {
             let host = args.get("host").unwrap_or("127.0.0.1");
-            let server = fg_serve::TcpServer::bind(session, (host, port))
+            let server = fg_serve::TcpServer::bind_with(session, (host, port), limits)
                 .map_err(|e| format!("cannot bind {host}:{port}: {e}"))?;
             let addr = server.local_addr().map_err(err)?;
             println!("fg serve listening on {addr}");
@@ -610,7 +678,8 @@ pub fn cmd_serve(args: &ArgMap) -> CommandResult {
             eprintln!("fg serve: reading JSON-lines requests from stdin");
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
-            fg_serve::serve_lines(&session, stdin.lock(), stdout.lock()).map_err(err)?;
+            fg_serve::serve_lines_with(&session, stdin.lock(), stdout.lock(), &limits)
+                .map_err(err)?;
             Ok("fg serve: session closed".to_string())
         }
     }
@@ -668,11 +737,13 @@ pub fn usage() -> String {
         "  construct  [--features FILE | --blobs N [--classes K] [--dims D]",
         "             [--spread S] [--seed S]] [--builder knn|sparsereg |",
         "             'Knn(k=10,metric=cosine,weighting=heat,sym=union)']",
-        "             [--threads N|auto] --out-edges FILE [--out-labels FILE]",
-        "             [--out-features FILE]",
+        "             [--threads N|auto] [--summary-cache [DIR]] --out-edges FILE",
+        "             [--out-labels FILE] [--out-features FILE]",
         "             build a graph from a dense feature matrix (file rows:",
         "             f_1,..,f_d,label with '?' = unlabeled) or synthesized Gaussian",
-        "             blobs; output is bit-identical at any thread count",
+        "             blobs; output is bit-identical at any thread count;",
+        "             --summary-cache reuses constructed graphs keyed by the",
+        "             feature-matrix fingerprint + builder spec",
         "  estimate   --edges FILE --nodes N --classes K --labels FILE",
         "             [--method dcer|dce|mce|lce|holdout | 'DCEr(r=10,l=5,lambda=10)']",
         "             [--lmax L] [--lambda X] [--restarts R] [--splits B]",
@@ -694,8 +765,12 @@ pub fn usage() -> String {
         "             cache dir; one report JSON per [[run]] entry; --threads runs",
         "             independent entries in parallel, byte-identical to serial)",
         "  serve      [--port P [--host H]] [--summary-cache [DIR]] [--threads N|auto]",
+        "             [--engine-states N] [--max-connections N] [--max-request-bytes N]",
+        "             [--max-requests N]",
         "             long-lived serving session over stdin/stdout (default) or TCP;",
-        "             JSON-lines commands: load, seed, estimate, classify, stats.",
+        "             JSON-lines commands: load, unload, seed, estimate, classify,",
+        "             stats (each takes an optional \"dataset\" name; warm reads on a",
+        "             dataset run concurrently, mutations are exclusive).",
         "             Seed mutations update the factorized summaries incrementally —",
         "             after warm-up, requests report zero full summarizations.",
         "  client     --port P [--host H] [--predictions-out FILE] [REQUEST...]",
@@ -704,9 +779,10 @@ pub fn usage() -> String {
         "             inspect, empty, or garbage-collect (LRU by mtime) a summary",
         "             cache (default dir: target/experiments/summaries)",
         "",
-        "  --summary-cache persists factorized path counts keyed by content",
-        "  fingerprints: repeated invocations on the same dataset skip graph",
-        "  summarization entirely, with bit-identical results.",
+        "  --summary-cache persists factorized path counts, estimated H matrices,",
+        "  and constructed graphs keyed by content fingerprints: repeated",
+        "  invocations on the same dataset skip summarization, optimization, and",
+        "  graph construction entirely, with bit-identical results.",
         "  classify --abstain adds the abstention rate and abstaining macro accuracy",
         "  to the text and --json reports.",
     ]
@@ -1132,11 +1208,14 @@ mod tests {
             std::fs::read(&pred_plain).unwrap()
         );
 
-        // fg cache ls lists the file; clear removes it.
+        // fg cache ls lists both entries (the path summary and the persisted H
+        // estimate the cold run stored); clear removes them.
         let ls = cmd_cache(&args(&["ls", "--dir", cache_dir.to_str().unwrap()])).unwrap();
         assert!(ls.contains("k=3 lmax=5 mode=nb"), "{ls}");
+        assert!(ls.contains("H estimate k=3"), "{ls}");
+        assert!(ls.contains("estimator=DCEr"), "{ls}");
         let cleared = cmd_cache(&args(&["clear", "--dir", cache_dir.to_str().unwrap()])).unwrap();
-        assert!(cleared.contains("removed 1"), "{cleared}");
+        assert!(cleared.contains("removed 2"), "{cleared}");
         let empty = cmd_cache(&args(&["ls", "--dir", cache_dir.to_str().unwrap()])).unwrap();
         assert!(empty.contains("empty"), "{empty}");
         // Bad action errors.
@@ -1600,6 +1679,69 @@ mod tests {
         ]))
         .unwrap_err()
         .contains("unterminated"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn construct_command_caches_graphs_by_feature_fingerprint() {
+        let dir = temp_dir("construct_cache");
+        let features = dir.join("blobs.csv");
+        let cache_dir = dir.join("summaries");
+        let edges_cold = dir.join("edges_cold.tsv");
+        let edges_warm = dir.join("edges_warm.tsv");
+        let base = |out: &Path| {
+            vec![
+                "--features".to_string(),
+                features.to_str().unwrap().to_string(),
+                "--summary-cache".to_string(),
+                cache_dir.to_str().unwrap().to_string(),
+                "--out-edges".to_string(),
+                out.to_str().unwrap().to_string(),
+            ]
+        };
+        cmd_construct(&args(&[
+            "--blobs",
+            "60",
+            "--classes",
+            "3",
+            "--dims",
+            "4",
+            "--seed",
+            "3",
+            "--out-features",
+            features.to_str().unwrap(),
+            "--out-edges",
+            dir.join("seed_edges.tsv").to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        // Cold: builds and persists the graph, content-addressed by the feature
+        // matrix fingerprint + builder spec.
+        let cold_args = base(&edges_cold);
+        let argv: Vec<&str> = cold_args.iter().map(String::as_str).collect();
+        let cold = cmd_construct(&args(&argv)).unwrap();
+        assert!(!cold.contains("[cached]"), "{cold}");
+        let ls = cmd_cache(&args(&["ls", "--dir", cache_dir.to_str().unwrap()])).unwrap();
+        assert!(ls.contains("constructed graph nodes=60"), "{ls}");
+        assert!(ls.contains("builder=Knn(k=10"), "{ls}");
+
+        // Warm: the O(n²·d) build is skipped, output is byte-identical.
+        let warm_args = base(&edges_warm);
+        let argv: Vec<&str> = warm_args.iter().map(String::as_str).collect();
+        let warm = cmd_construct(&args(&argv)).unwrap();
+        assert!(warm.contains("[cached]"), "{warm}");
+        assert_eq!(
+            std::fs::read(&edges_cold).unwrap(),
+            std::fs::read(&edges_warm).unwrap()
+        );
+
+        // A different builder spec is a different cache key.
+        let other = dir.join("edges_other.tsv");
+        let mut argv = base(&other);
+        argv.extend(["--builder".to_string(), "Knn(k=5)".to_string()]);
+        let argv: Vec<&str> = argv.iter().map(String::as_str).collect();
+        let miss = cmd_construct(&args(&argv)).unwrap();
+        assert!(!miss.contains("[cached]"), "{miss}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -37,6 +37,12 @@ impl CompatibilityEstimator for GoldStandard {
         Ok(measure_compatibilities(graph, &self.labeling)?)
     }
 
+    fn content_addressable(&self) -> bool {
+        // The measurement reads the full ground-truth labeling, which is not part
+        // of the `(graph, seeds, name)` store key — never persist or serve it.
+        false
+    }
+
     fn with_threads(&self, _threads: Threads) -> Box<dyn CompatibilityEstimator> {
         // The measurement is a single pass over the edge list; no parallel stage.
         Box::new(self.clone())

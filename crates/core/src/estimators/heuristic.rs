@@ -42,6 +42,12 @@ impl CompatibilityEstimator for TwoValueHeuristic {
         Ok(h.into_dense())
     }
 
+    fn content_addressable(&self) -> bool {
+        // Derived from the gold-standard matrix and a configured spread, neither of
+        // which is part of the `(graph, seeds, name)` store key.
+        false
+    }
+
     fn with_threads(&self, _threads: Threads) -> Box<dyn CompatibilityEstimator> {
         // Pure k x k arithmetic; no parallel stage.
         Box::new(self.clone())

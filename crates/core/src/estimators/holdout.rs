@@ -8,10 +8,11 @@
 
 use super::CompatibilityEstimator;
 use crate::error::{CoreError, Result};
-use crate::optimize::{nelder_mead, NelderMeadConfig};
+use crate::optimize::{nelder_mead_batch, NelderMeadConfig};
 use crate::param::{free_to_matrix, uniform_start};
 use fg_graph::{Graph, SeedLabels};
 use fg_propagation::{holdout_accuracy, propagate, LinBpConfig};
+use fg_sparse::parallel::run_ordered_cells;
 use fg_sparse::{DenseMatrix, Threads};
 
 /// Configuration for the Holdout estimator.
@@ -23,6 +24,10 @@ pub struct HoldoutConfig {
     pub propagation: LinBpConfig,
     /// Derivative-free optimizer settings.
     pub optimizer: NelderMeadConfig,
+    /// Thread policy for evaluating independent simplex candidates in parallel
+    /// (each candidate is a full propagation per split, so this is the coarse-grained
+    /// win; bit-identical to serial at any count).
+    pub threads: Threads,
 }
 
 impl Default for HoldoutConfig {
@@ -35,6 +40,7 @@ impl Default for HoldoutConfig {
                 max_evaluations: 200,
                 ..NelderMeadConfig::default()
             },
+            threads: Threads::Serial,
         }
     }
 }
@@ -98,8 +104,23 @@ impl CompatibilityEstimator for HoldoutEstimation {
         }
         let k = seeds.k();
         let partitions = seeds.holdout_partitions(self.config.num_splits);
-        let outcome = nelder_mead(
-            |free| self.objective(graph, &partitions, free, k),
+        // Nelder–Mead hands independently evaluable candidate groups (the initial
+        // simplex, every shrink step) to the batch evaluator; fan them out across the
+        // ordered cell runner. Results come back in point order, so the run is
+        // bit-identical to serial at any thread count (same pattern as DCEr's `r`
+        // restarts).
+        let outcome = nelder_mead_batch(
+            |points: &[Vec<f64>]| {
+                run_ordered_cells(points.len(), self.config.threads, |i| {
+                    Ok::<f64, std::convert::Infallible>(self.objective(
+                        graph,
+                        &partitions,
+                        &points[i],
+                        k,
+                    ))
+                })
+                .expect("holdout objective is infallible")
+            },
             &uniform_start(k),
             &self.config.optimizer,
         )?;
@@ -107,10 +128,12 @@ impl CompatibilityEstimator for HoldoutEstimation {
     }
 
     fn with_threads(&self, threads: Threads) -> Box<dyn CompatibilityEstimator> {
-        // Every objective evaluation is a full propagation: route the policy into the
-        // inner LinBP config so those propagations use the parallel kernels.
+        // Coarse-grained first: independent simplex candidates evaluate in parallel.
+        // The policy is also routed into the inner LinBP config so each propagation
+        // uses the parallel kernels (both layers are bit-identical to serial).
         Box::new(HoldoutEstimation {
             config: HoldoutConfig {
+                threads,
                 propagation: LinBpConfig {
                     threads,
                     ..self.config.propagation.clone()
@@ -153,6 +176,29 @@ mod tests {
         assert!(h.is_symmetric(1e-9));
         for s in h.row_sums() {
             assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn holdout_is_bit_identical_across_thread_counts() {
+        let cfg = GeneratorConfig::balanced(300, 10.0, 3, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let syn = generate(&cfg, &mut rng).unwrap();
+        let seeds = syn.labeling.stratified_sample(0.25, &mut rng);
+        let serial = HoldoutEstimation::with_splits(2)
+            .estimate(&syn.graph, &seeds)
+            .unwrap();
+        for threads in [
+            Threads::Serial,
+            Threads::Fixed(2),
+            Threads::Fixed(4),
+            Threads::Auto,
+        ] {
+            let parallel = HoldoutEstimation::with_splits(2)
+                .with_threads(threads)
+                .estimate(&syn.graph, &seeds)
+                .unwrap();
+            assert_eq!(serial.data(), parallel.data(), "{threads:?}");
         }
     }
 

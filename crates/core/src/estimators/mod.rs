@@ -77,6 +77,15 @@ pub trait CompatibilityEstimator {
         None
     }
 
+    /// Whether the estimate is a pure function of the graph, the seed labels, and
+    /// the parameterized [`name`](Self::name) — the triple a persistent store keys
+    /// `H` entries by. Estimators that consume side data outside that key (the gold
+    /// standard reads the full ground-truth labeling) return `false` so their
+    /// estimates are never persisted or served from the store.
+    fn content_addressable(&self) -> bool {
+        true
+    }
+
     /// Return a copy of this estimator with its [`Threads`] policy replaced (trait
     /// parity with `Propagator::with_threads`). The parallel kernels are bit-identical
     /// to the serial ones, so the returned estimator produces exactly the same `H`,
@@ -104,6 +113,10 @@ impl<E: CompatibilityEstimator + ?Sized> CompatibilityEstimator for &E {
         (**self).summary_requirements()
     }
 
+    fn content_addressable(&self) -> bool {
+        (**self).content_addressable()
+    }
+
     fn with_threads(&self, threads: Threads) -> Box<dyn CompatibilityEstimator> {
         (**self).with_threads(threads)
     }
@@ -126,6 +139,10 @@ impl CompatibilityEstimator for Box<dyn CompatibilityEstimator + '_> {
 
     fn summary_requirements(&self) -> Option<SummaryConfig> {
         (**self).summary_requirements()
+    }
+
+    fn content_addressable(&self) -> bool {
+        (**self).content_addressable()
     }
 
     fn with_threads(&self, threads: Threads) -> Box<dyn CompatibilityEstimator> {

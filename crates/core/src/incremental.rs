@@ -347,6 +347,32 @@ impl DeltaSummary {
             .map(|_| ())
     }
 
+    /// An independent engine for the same `(graph, mode, ℓmax)` configuration,
+    /// starting from the current counts and seed state but with **zeroed work
+    /// counters**.
+    ///
+    /// The serving tier's engine LRU forks the live engine before applying a
+    /// mutation batch, so the pre-mutation state stays warm for reverts. Zeroing
+    /// the fork's [`stats`](Self::stats) keeps session-wide summarization totals
+    /// honest: the original retains the full summarizations it actually ran, and
+    /// the fork reports only the work it does itself.
+    pub fn fork(&self) -> DeltaSummary {
+        DeltaSummary {
+            graph: Arc::clone(&self.graph),
+            seeds: self.seeds.clone(),
+            max_length: self.max_length,
+            non_backtracking: self.non_backtracking,
+            threads: self.threads,
+            n_mats: self.n_mats.clone(),
+            counts: self.counts.clone(),
+            exact: self.exact,
+            magnitude_limit: self.magnitude_limit,
+            violated: self.violated,
+            stats: DeltaStats::default(),
+            scratch: self.scratch.clone(),
+        }
+    }
+
     /// Apply a batch of seed mutations, keeping counts bit-identical to a cold
     /// summarization of the resulting seed set.
     ///
@@ -732,6 +758,41 @@ mod tests {
             assert_eq!(engine.stats().full_summarizations, 1);
             assert_eq!(engine.stats().delta_mutations, 3);
         }
+    }
+
+    #[test]
+    fn forked_engines_diverge_independently_with_zeroed_counters() {
+        let (graph, seeds, truth) = seeded_case(17);
+        let mut original =
+            DeltaSummary::new(Arc::clone(&graph), seeds, 4, true, Threads::Serial).unwrap();
+        let node = original.seeds().unlabeled_nodes()[0];
+        let fork = original.fork();
+        assert_eq!(fork.stats().full_summarizations, 0);
+        assert_eq!(fork.seed_fingerprint(), original.seed_fingerprint());
+
+        // Mutate only the fork: the original's counts and fingerprint are untouched,
+        // and both engines independently match fresh summaries of their own state.
+        let mut fork = fork;
+        fork.apply(&[SeedMutation::Add {
+            node,
+            label: truth.class_of(node),
+        }])
+        .unwrap();
+        assert_ne!(fork.seed_fingerprint(), original.seed_fingerprint());
+        assert_counts_match_fresh(&fork, "fork after mutation");
+        assert_counts_match_fresh(&original, "original after fork mutation");
+        assert_eq!(fork.stats().full_summarizations, 0);
+        assert_eq!(fork.stats().delta_mutations, 1);
+        assert_eq!(original.stats().delta_mutations, 0);
+
+        // The original can still take its own mutations.
+        original
+            .apply(&[SeedMutation::Add {
+                node,
+                label: (truth.class_of(node) + 1) % original.seeds().k(),
+            }])
+            .unwrap();
+        assert_counts_match_fresh(&original, "original after own mutation");
     }
 
     #[test]

@@ -115,7 +115,9 @@ pub use paths::{
     summarize_with, GraphSummary, SummaryConfig,
 };
 pub use pipeline::{Pipeline, PipelineReport};
-pub use store::{GcOutcome, StoreEntry, StoreMeta, StoredCounts, SummaryStore};
+pub use store::{
+    GcOutcome, GraphStoreMeta, HStoreMeta, StoreEntry, StoreMeta, StoredCounts, SummaryStore,
+};
 
 /// Convenience re-exports covering the most common end-to-end usage: graph generation,
 /// estimation, propagation, and metrics.

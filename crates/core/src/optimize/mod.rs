@@ -14,4 +14,4 @@ pub mod gradient_descent;
 pub mod nelder_mead;
 
 pub use gradient_descent::{minimize, GradientDescentConfig, OptimizationOutcome};
-pub use nelder_mead::{nelder_mead, NelderMeadConfig, NelderMeadOutcome};
+pub use nelder_mead::{nelder_mead, nelder_mead_batch, NelderMeadConfig, NelderMeadOutcome};

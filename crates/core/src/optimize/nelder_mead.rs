@@ -45,6 +45,11 @@ pub struct NelderMeadOutcome {
 
 /// Minimize a black-box function with the Nelder–Mead simplex algorithm
 /// (reflection / expansion / contraction / shrink with the standard coefficients).
+///
+/// A convenience wrapper over [`nelder_mead_batch`] that evaluates each batch
+/// serially in index order — callers whose objective evaluations are independent and
+/// expensive (e.g. the Holdout estimator's full propagations) can instead supply a
+/// batch evaluator that fans the candidate points out across threads.
 pub fn nelder_mead<F>(
     mut objective: F,
     x0: &[f64],
@@ -52,6 +57,32 @@ pub fn nelder_mead<F>(
 ) -> Result<NelderMeadOutcome>
 where
     F: FnMut(&[f64]) -> f64,
+{
+    nelder_mead_batch(
+        |points: &[Vec<f64>]| points.iter().map(|p| objective(p)).collect(),
+        x0,
+        config,
+    )
+}
+
+/// [`nelder_mead`] with a *batch* objective evaluator.
+///
+/// The algorithm's independently evaluable candidate groups — the `dim + 1` initial
+/// simplex vertices and the `dim` shrunk points of every shrink step — are handed to
+/// `evaluate` as one slice; the sequential decision points (reflection, expansion,
+/// contraction) arrive as single-point batches. `evaluate` must return one value per
+/// point, in point order. Because the *set* of evaluated points, their order, and the
+/// evaluation count are identical to the serial algorithm for any correct evaluator,
+/// a batch evaluator that runs the points in parallel and reassembles the results in
+/// index order (e.g. via `fg_sparse::parallel::run_ordered_cells`) is bit-identical
+/// to the serial run.
+pub fn nelder_mead_batch<F>(
+    mut evaluate: F,
+    x0: &[f64],
+    config: &NelderMeadConfig,
+) -> Result<NelderMeadOutcome>
+where
+    F: FnMut(&[Vec<f64>]) -> Vec<f64>,
 {
     let dim = x0.len();
     if dim == 0 {
@@ -69,22 +100,41 @@ where
     const RHO: f64 = 0.5; // contraction
     const SIGMA: f64 = 0.5; // shrink
 
-    let mut evaluations = 0usize;
-    let mut eval = |point: &[f64], evaluations: &mut usize| -> f64 {
-        *evaluations += 1;
-        objective(point)
-    };
+    fn eval_batch<F: FnMut(&[Vec<f64>]) -> Vec<f64>>(
+        evaluate: &mut F,
+        points: Vec<Vec<f64>>,
+        evaluations: &mut usize,
+    ) -> Vec<f64> {
+        *evaluations += points.len();
+        let values = evaluate(&points);
+        assert_eq!(
+            values.len(),
+            points.len(),
+            "batch evaluator must return one value per point"
+        );
+        values
+    }
+    fn eval_one<F: FnMut(&[Vec<f64>]) -> Vec<f64>>(
+        evaluate: &mut F,
+        point: &[f64],
+        evaluations: &mut usize,
+    ) -> f64 {
+        eval_batch(evaluate, vec![point.to_vec()], evaluations)[0]
+    }
 
-    // Initial simplex: x0 plus a step along each coordinate.
-    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(dim + 1);
-    let v0 = eval(x0, &mut evaluations);
-    simplex.push((x0.to_vec(), v0));
+    let mut evaluations = 0usize;
+
+    // Initial simplex: x0 plus a step along each coordinate — dim + 1 independent
+    // points, evaluated as one batch.
+    let mut points: Vec<Vec<f64>> = Vec::with_capacity(dim + 1);
+    points.push(x0.to_vec());
     for i in 0..dim {
         let mut p = x0.to_vec();
         p[i] += config.initial_step;
-        let v = eval(&p, &mut evaluations);
-        simplex.push((p, v));
+        points.push(p);
     }
+    let values = eval_batch(&mut evaluate, points.clone(), &mut evaluations);
+    let mut simplex: Vec<(Vec<f64>, f64)> = points.into_iter().zip(values).collect();
 
     let mut converged = false;
     while evaluations < config.max_evaluations {
@@ -127,7 +177,7 @@ where
             .zip(worst.0.iter())
             .map(|(&c, &w)| c + ALPHA * (c - w))
             .collect();
-        let reflected_value = eval(&reflected, &mut evaluations);
+        let reflected_value = eval_one(&mut evaluate, &reflected, &mut evaluations);
 
         if reflected_value < simplex[0].1 {
             // Expansion.
@@ -136,7 +186,7 @@ where
                 .zip(worst.0.iter())
                 .map(|(&c, &w)| c + GAMMA * (c - w))
                 .collect();
-            let expanded_value = eval(&expanded, &mut evaluations);
+            let expanded_value = eval_one(&mut evaluate, &expanded, &mut evaluations);
             simplex[dim] = if expanded_value < reflected_value {
                 (expanded, expanded_value)
             } else {
@@ -156,20 +206,30 @@ where
                 .zip(base.iter())
                 .map(|(&c, &b)| c + RHO * (b - c))
                 .collect();
-            let contracted_value = eval(&contracted, &mut evaluations);
+            let contracted_value = eval_one(&mut evaluate, &contracted, &mut evaluations);
             if contracted_value < base_value {
                 simplex[dim] = (contracted, contracted_value);
             } else {
-                // Shrink toward the best point.
+                // Shrink toward the best point: dim independent points, one batch.
                 let best = simplex[0].0.clone();
-                for entry in simplex.iter_mut().skip(1) {
-                    let shrunk: Vec<f64> = best
-                        .iter()
-                        .zip(entry.0.iter())
-                        .map(|(&b, &p)| b + SIGMA * (p - b))
-                        .collect();
-                    let value = eval(&shrunk, &mut evaluations);
-                    *entry = (shrunk, value);
+                let shrunk_points: Vec<Vec<f64>> = simplex
+                    .iter()
+                    .skip(1)
+                    .map(|(p, _)| {
+                        best.iter()
+                            .zip(p.iter())
+                            .map(|(&b, &x)| b + SIGMA * (x - b))
+                            .collect()
+                    })
+                    .collect();
+                let shrunk_values =
+                    eval_batch(&mut evaluate, shrunk_points.clone(), &mut evaluations);
+                for (entry, shrunk) in simplex
+                    .iter_mut()
+                    .skip(1)
+                    .zip(shrunk_points.into_iter().zip(shrunk_values))
+                {
+                    *entry = shrunk;
                 }
             }
         }
@@ -253,6 +313,43 @@ mod tests {
         )
         .unwrap();
         assert!(count <= 55); // small overshoot allowed for the final simplex operations
+    }
+
+    #[test]
+    fn batch_evaluator_is_bit_identical_to_serial_for_any_cell_order() {
+        // Evaluate each batch through the parallel cell runner at several thread
+        // counts: the evaluated points, their count, and the outcome must match the
+        // serial closure exactly (this is the contract Holdout's parallel candidate
+        // evaluation relies on).
+        let objective =
+            |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2) + x[2].abs();
+        let cfg = NelderMeadConfig {
+            max_evaluations: 400,
+            ..NelderMeadConfig::default()
+        };
+        let serial = nelder_mead(objective, &[-1.2, 1.0, 0.5], &cfg).unwrap();
+        for threads in [
+            fg_sparse::Threads::Serial,
+            fg_sparse::Threads::Fixed(2),
+            fg_sparse::Threads::Fixed(4),
+            fg_sparse::Threads::Auto,
+        ] {
+            let batched = nelder_mead_batch(
+                |points: &[Vec<f64>]| {
+                    fg_sparse::parallel::run_ordered_cells(points.len(), threads, |i| {
+                        Ok::<f64, std::convert::Infallible>(objective(&points[i]))
+                    })
+                    .expect("objective is infallible")
+                },
+                &[-1.2, 1.0, 0.5],
+                &cfg,
+            )
+            .unwrap();
+            assert_eq!(serial.x, batched.x, "{threads:?}");
+            assert_eq!(serial.value, batched.value, "{threads:?}");
+            assert_eq!(serial.evaluations, batched.evaluations, "{threads:?}");
+            assert_eq!(serial.converged, batched.converged, "{threads:?}");
+        }
     }
 
     #[test]

@@ -61,6 +61,11 @@ pub struct PipelineReport {
     /// How many summary requests this run answered from a persistent
     /// [`SummaryStore`] instead of recomputing.
     pub summary_store_hits: usize,
+    /// Whether this run served the estimated `H` itself from a persistent
+    /// [`SummaryStore`] (`1`) instead of optimizing (`0`) — the warm path that skips
+    /// *both* halves of the estimation stage. Only content-addressable estimators
+    /// (see [`CompatibilityEstimator::content_addressable`]) participate.
+    pub optimize_store_hits: usize,
     /// Macro-averaged accuracy on the unlabeled nodes (unweighted mean of per-class
     /// recalls), recorded by [`PipelineReport::evaluate`] when ground truth is
     /// available.
@@ -152,6 +157,7 @@ impl PipelineReport {
             ),
             format!("\"summary_computations\":{}", self.summary_computations),
             format!("\"summary_store_hits\":{}", self.summary_store_hits),
+            format!("\"optimize_store_hits\":{}", self.optimize_store_hits),
             format!("\"iterations\":{}", self.outcome.iterations),
             format!("\"converged\":{}", self.outcome.converged),
             format!(
@@ -378,7 +384,7 @@ impl<'a> Pipeline<'a> {
             let k = seeds.k();
             DenseMatrix::filled(k, k, 1.0 / k as f64)
         };
-        let (h, estimator_name, summarize_time, optimize_time, computations, store_hits) =
+        let (h, estimator_name, summarize_time, optimize_time, computations, store_hits, h_hits) =
             match self.h_source {
                 Some(HSource::Estimate(estimator)) if !propagator.uses_compatibilities() => {
                     // The backend ignores H: skip the (potentially expensive)
@@ -389,6 +395,7 @@ impl<'a> Pipeline<'a> {
                         format!("{base} (skipped)"),
                         Duration::ZERO,
                         Duration::ZERO,
+                        0,
                         0,
                         0,
                     )
@@ -425,25 +432,65 @@ impl<'a> Pipeline<'a> {
                             &owned_ctx
                         }
                     };
-                    // Counter deltas around this run, so the report stays meaningful
-                    // for shared contexts with cumulative counters.
-                    let computations_before = ctx.summary_computations();
-                    let store_hits_before = ctx.store_hits();
-                    let summarize_start = Instant::now();
-                    if let Some(summary_config) = estimator.summary_requirements() {
-                        ctx.warm(&summary_config)?;
+                    // The persistent store keys estimated matrices by the canonical
+                    // (un-overridden) estimator name; a hit skips both halves of the
+                    // estimation stage with a bit-identical H. Non-content-addressable
+                    // estimators (gold standard, heuristic) never touch the store.
+                    let h_store = ctx
+                        .summary_store()
+                        .filter(|_| estimator.content_addressable())
+                        .map(Arc::clone);
+                    let store_key = estimator.name();
+                    let stored_h = h_store.as_ref().and_then(|store| {
+                        match store.load_h(
+                            ctx.graph_fingerprint(),
+                            ctx.seed_fingerprint(),
+                            &store_key,
+                        ) {
+                            Ok(found) => found,
+                            Err(e) => {
+                                // Loud-rejection policy: warn, re-estimate, overwrite.
+                                eprintln!("warning: {e}; re-estimating");
+                                None
+                            }
+                        }
+                    });
+                    if let Some(h) = stored_h {
+                        (h, name, Duration::ZERO, Duration::ZERO, 0, 0, 1)
+                    } else {
+                        // Counter deltas around this run, so the report stays
+                        // meaningful for shared contexts with cumulative counters.
+                        let computations_before = ctx.summary_computations();
+                        let store_hits_before = ctx.store_hits();
+                        let summarize_start = Instant::now();
+                        if let Some(summary_config) = estimator.summary_requirements() {
+                            ctx.warm(&summary_config)?;
+                        }
+                        let summarize_time = summarize_start.elapsed();
+                        let optimize_start = Instant::now();
+                        let h = estimator.estimate_with_context(ctx)?;
+                        let optimize_time = optimize_start.elapsed();
+                        if let Some(store) = &h_store {
+                            // Best effort: a full disk never costs correctness.
+                            if let Err(e) = store.save_h(
+                                ctx.graph_fingerprint(),
+                                ctx.seed_fingerprint(),
+                                &store_key,
+                                &h,
+                            ) {
+                                eprintln!("warning: cannot persist the estimate: {e}");
+                            }
+                        }
+                        (
+                            h,
+                            name,
+                            summarize_time,
+                            optimize_time,
+                            ctx.summary_computations() - computations_before,
+                            ctx.store_hits() - store_hits_before,
+                            0,
+                        )
                     }
-                    let summarize_time = summarize_start.elapsed();
-                    let optimize_start = Instant::now();
-                    let h = estimator.estimate_with_context(ctx)?;
-                    (
-                        h,
-                        name,
-                        summarize_time,
-                        optimize_start.elapsed(),
-                        ctx.summary_computations() - computations_before,
-                        ctx.store_hits() - store_hits_before,
-                    )
                 }
                 Some(HSource::Explicit(name, h)) => (
                     h.clone(),
@@ -452,12 +499,14 @@ impl<'a> Pipeline<'a> {
                     Duration::ZERO,
                     0,
                     0,
+                    0,
                 ),
                 None if !propagator.uses_compatibilities() => (
                     uniform_h(seeds),
                     "none".to_string(),
                     Duration::ZERO,
                     Duration::ZERO,
+                    0,
                     0,
                     0,
                 ),
@@ -487,6 +536,7 @@ impl<'a> Pipeline<'a> {
             propagation_time,
             summary_computations: computations,
             summary_store_hits: store_hits,
+            optimize_store_hits: h_hits,
             accuracy: None,
             micro_accuracy: None,
             abstention_rate: None,
@@ -807,7 +857,10 @@ mod tests {
             .unwrap();
         assert_eq!(cold.summary_computations, 1);
         assert_eq!(cold.summary_store_hits, 0);
+        assert_eq!(cold.optimize_store_hits, 0);
 
+        // Fully warm: the persisted H estimate answers the whole estimation stage,
+        // so neither the summary nor the optimizer runs.
         let warm = Pipeline::on(&syn.graph)
             .seeds(&seeds)
             .estimator(DceWithRestarts::default())
@@ -815,14 +868,66 @@ mod tests {
             .run()
             .unwrap();
         assert_eq!(warm.summary_computations, 0);
-        assert_eq!(warm.summary_store_hits, 1);
+        assert_eq!(warm.summary_store_hits, 0);
+        assert_eq!(warm.optimize_store_hits, 1);
+        assert_eq!(warm.estimation_time, Duration::ZERO);
         // The warm path is bit-identical: same estimate, same predictions.
         assert_eq!(warm.estimated_h.data(), cold.estimated_h.data());
         assert_eq!(warm.outcome.predictions, cold.outcome.predictions);
         assert_eq!(warm.outcome.beliefs.data(), cold.outcome.beliefs.data());
         let json = warm.to_json();
         assert!(json.contains("\"summary_computations\":0"));
-        assert!(json.contains("\"summary_store_hits\":1"));
+        assert!(json.contains("\"optimize_store_hits\":1"));
+
+        // With only the H entry removed, the run falls back to the stored summary
+        // (the pre-existing warm tier) and re-optimizes to the same matrix.
+        let name = DceWithRestarts::default().name();
+        assert!(store
+            .remove_h(syn.graph.fingerprint(), seeds.fingerprint(), &name)
+            .unwrap());
+        let half_warm = Pipeline::on(&syn.graph)
+            .seeds(&seeds)
+            .estimator(DceWithRestarts::default())
+            .summary_store(Arc::clone(&store))
+            .run()
+            .unwrap();
+        assert_eq!(half_warm.summary_computations, 0);
+        assert_eq!(half_warm.summary_store_hits, 1);
+        assert_eq!(half_warm.optimize_store_hits, 0);
+        assert_eq!(half_warm.estimated_h.data(), cold.estimated_h.data());
+        // ... and it re-persisted the estimate for the next run.
+        assert!(store
+            .load_h(syn.graph.fingerprint(), seeds.fingerprint(), &name)
+            .unwrap()
+            .is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn non_content_addressable_estimators_bypass_the_h_store() {
+        let cfg = GeneratorConfig::balanced(200, 8.0, 3, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(79);
+        let syn = generate(&cfg, &mut rng).unwrap();
+        let seeds = syn.labeling.stratified_sample(0.2, &mut rng);
+        let dir = std::env::temp_dir().join("fg_pipeline_h_gs");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = Arc::new(crate::store::SummaryStore::open(&dir).unwrap());
+
+        // The gold standard reads the full labeling, which the (graph, seeds, name)
+        // key cannot see — two runs must both measure, and nothing lands on disk.
+        for _ in 0..2 {
+            let report = Pipeline::on(&syn.graph)
+                .seeds(&seeds)
+                .estimator(GoldStandard::new(syn.labeling.clone()))
+                .summary_store(Arc::clone(&store))
+                .run()
+                .unwrap();
+            assert_eq!(report.optimize_store_hits, 0);
+        }
+        assert!(store
+            .load_h(syn.graph.fingerprint(), seeds.fingerprint(), "GS")
+            .unwrap()
+            .is_none());
         std::fs::remove_dir_all(&dir).ok();
     }
 

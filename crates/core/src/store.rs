@@ -30,6 +30,38 @@
 //! summary is **bit-identical** to the freshly computed one — the store never changes
 //! a result, only whether it is recomputed.
 //!
+//! # `H`-estimate entries (version 1)
+//!
+//! The store also persists *estimated compatibility matrices* so warm runs skip the
+//! optimization stage too. One `.fgh` file per `(graph, seeds, estimator name)`
+//! triple, named `<graph_fp>-<seed_fp>-<name digest>.fgh`:
+//!
+//! | field      | size       | content                                          |
+//! |------------|------------|--------------------------------------------------|
+//! | magic      | 6 bytes    | `FGHEST`                                         |
+//! | version    | `u16`      | `1`                                              |
+//! | graph_fp   | `u128`     | graph fingerprint                                |
+//! | seed_fp    | `u128`     | seed-set fingerprint                             |
+//! | name_len   | `u32`      | byte length of the estimator name                |
+//! | k          | `u32`      | number of classes                                |
+//! | name       | `name_len` | the parameterized estimator name, UTF-8          |
+//! | h          | `k²` f64   | the estimate, row-major, exact bit patterns      |
+//! | checksum   | `u128`     | domain-separated hash of every preceding byte    |
+//!
+//! The full estimator name is embedded (the file name only carries a digest of it)
+//! and validated on load, so an estimate can never be served to a differently
+//! parameterized estimator. The same loud-rejection policy applies.
+//!
+//! # Constructed-graph entries (version 1)
+//!
+//! Finally, the store persists *constructed* graphs so warm `fg construct` runs skip
+//! the `O(n²·d)` build. One `.fgg` file per `(feature matrix, builder spec)` pair,
+//! named `<features_fp>-<spec digest>.fgg`: magic `FGGRPH`, version, the feature
+//! matrix's content fingerprint, the embedded builder spec, node/edge counts, the
+//! sorted weighted edge list with exact `f64` weight bit patterns, and a
+//! domain-separated checksum. A loaded graph has the same content fingerprint as
+//! the freshly built one.
+//!
 //! # Failure policy
 //!
 //! Corrupt or mismatched files (wrong magic or version, truncated payload, failed
@@ -51,8 +83,27 @@ const MAGIC: &[u8; 6] = b"FGSUMM";
 pub const STORE_FORMAT_VERSION: u16 = 1;
 /// File extension used by the store.
 pub const STORE_EXTENSION: &str = "fgsum";
+/// Magic bytes of a persisted *estimated compatibility matrix* (`H`) entry.
+const H_MAGIC: &[u8; 6] = b"FGHEST";
+/// Current `H`-entry format version.
+pub const H_STORE_FORMAT_VERSION: u16 = 1;
+/// File extension used by persisted `H` estimates.
+pub const H_STORE_EXTENSION: &str = "fgh";
+/// Magic bytes of a persisted *constructed graph* entry.
+const G_MAGIC: &[u8; 6] = b"FGGRPH";
+/// Current constructed-graph entry format version.
+pub const GRAPH_STORE_FORMAT_VERSION: u16 = 1;
+/// File extension used by persisted constructed graphs.
+pub const GRAPH_STORE_EXTENSION: &str = "fgg";
 /// Fixed header size: magic + version + two fingerprints + mode + k + lmax.
 const HEADER_LEN: usize = 6 + 2 + 16 + 16 + 1 + 4 + 4;
+/// Fixed `H`-entry header size: magic + version + two fingerprints + name length +
+/// k (the variable-length estimator name follows the fixed part).
+const H_HEADER_LEN: usize = 6 + 2 + 16 + 16 + 4 + 4;
+/// Fixed constructed-graph header size: magic + version + features fingerprint +
+/// builder-name length + node count + edge count (the variable-length builder name
+/// follows the fixed part).
+const G_HEADER_LEN: usize = 6 + 2 + 16 + 4 + 8 + 8;
 /// Trailing checksum size.
 const CHECKSUM_LEN: usize = 16;
 /// Per-process counter disambiguating concurrent temp-file writes (see
@@ -91,6 +142,35 @@ pub struct StoreMeta {
     pub max_length: usize,
 }
 
+/// Parsed header of a persisted `H` estimate, for `fg cache ls`-style listings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HStoreMeta {
+    /// Fingerprint of the graph the estimate was computed on.
+    pub graph_fp: Fingerprint,
+    /// Fingerprint of the seed set the estimate was computed from.
+    pub seed_fp: Fingerprint,
+    /// The parameterized estimator name (e.g. `DCEr(r=10,l=5,lambda=10)`) — part of
+    /// the key, since different estimators yield different matrices.
+    pub estimator: String,
+    /// Number of classes (`H` is `k x k`).
+    pub k: usize,
+}
+
+/// Parsed header of a persisted constructed graph, for `fg cache ls`-style
+/// listings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphStoreMeta {
+    /// Fingerprint of the feature matrix the graph was constructed from.
+    pub features_fp: Fingerprint,
+    /// The parameterized builder spec (e.g. `Knn(k=10,metric=euclidean,...)`) —
+    /// part of the key, since different builders yield different graphs.
+    pub builder: String,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of undirected edges.
+    pub edges: usize,
+}
+
 /// What a [`SummaryStore::gc`] pass did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GcOutcome {
@@ -111,8 +191,15 @@ pub struct StoreEntry {
     pub file: String,
     /// File size in bytes.
     pub bytes: u64,
-    /// Parsed header, or `None` when the file is unreadable / corrupt.
+    /// Parsed summary (`.fgsum`) header, or `None` when the file is a different
+    /// entry kind or unreadable / corrupt.
     pub meta: Option<StoreMeta>,
+    /// Parsed `H`-estimate (`.fgh`) header, or `None` when the file is a different
+    /// entry kind or unreadable / corrupt.
+    pub h_meta: Option<HStoreMeta>,
+    /// Parsed constructed-graph (`.fgg`) header, or `None` when the file is a
+    /// different entry kind or unreadable / corrupt.
+    pub graph_meta: Option<GraphStoreMeta>,
 }
 
 fn io_err(action: &str, path: &Path, e: std::io::Error) -> CoreError {
@@ -281,9 +368,10 @@ impl SummaryStore {
         Ok(Some(StoredCounts { counts, k }))
     }
 
-    /// List every store file — `.fgsum` plus any `.fgsum.tmp` left behind by an
-    /// interrupted write — with its parsed header (`meta: None` marks unreadable /
-    /// corrupt / stale-temporary files). Sorted by file name for stable output.
+    /// List every store file — `.fgsum` summaries, `.fgh` persisted `H` estimates,
+    /// `.fgg` constructed graphs, plus any `.tmp` leftovers of interrupted writes —
+    /// with its parsed header (all meta fields `None` marks unreadable / corrupt /
+    /// stale-temporary files). Sorted by file name for stable output.
     pub fn entries(&self) -> Result<Vec<StoreEntry>> {
         let mut entries = Vec::new();
         let dir_iter = match fs::read_dir(&self.dir) {
@@ -292,18 +380,30 @@ impl SummaryStore {
             Err(e) => return Err(io_err("read store directory", &self.dir, e)),
         };
         let store_suffix = format!(".{STORE_EXTENSION}");
-        let tmp_marker = format!(".{STORE_EXTENSION}.");
+        let h_suffix = format!(".{H_STORE_EXTENSION}");
+        let g_suffix = format!(".{GRAPH_STORE_EXTENSION}");
+        let tmp_markers = [
+            format!(".{STORE_EXTENSION}."),
+            format!(".{H_STORE_EXTENSION}."),
+            format!(".{GRAPH_STORE_EXTENSION}."),
+        ];
         for item in dir_iter {
             let item = item.map_err(|e| io_err("read store directory", &self.dir, e))?;
             let path = item.path();
             let file = item.file_name().to_string_lossy().into_owned();
             let is_store_file = file.ends_with(&store_suffix);
+            let is_h_file = file.ends_with(&h_suffix);
+            let is_g_file = file.ends_with(&g_suffix);
             // A crash between `fs::write` and `fs::rename` strands a temp file
-            // (`*.fgsum.<pid>-<seq>.tmp`, or the pre-unique `*.fgsum.tmp` spelling);
-            // listing it (always as corrupt) keeps it visible and clearable.
-            let is_tmp_file =
-                !is_store_file && file.ends_with(".tmp") && file.contains(&tmp_marker);
-            if !is_store_file && !is_tmp_file {
+            // (`*.fgsum.<pid>-<seq>.tmp`, same pattern for `.fgh` / `.fgg`, or the
+            // pre-unique `*.fgsum.tmp` spelling); listing it (always as corrupt)
+            // keeps it visible and clearable.
+            let is_tmp_file = !is_store_file
+                && !is_h_file
+                && !is_g_file
+                && file.ends_with(".tmp")
+                && tmp_markers.iter().any(|m| file.contains(m));
+            if !is_store_file && !is_h_file && !is_g_file && !is_tmp_file {
                 continue;
             }
             let bytes = item.metadata().map(|m| m.len()).unwrap_or(0);
@@ -314,7 +414,27 @@ impl SummaryStore {
             } else {
                 None
             };
-            entries.push(StoreEntry { file, bytes, meta });
+            let h_meta = if is_h_file {
+                fs::read(&path)
+                    .ok()
+                    .and_then(|bytes| parse_h_header(&bytes).ok().map(|(meta, _)| meta))
+            } else {
+                None
+            };
+            let graph_meta = if is_g_file {
+                fs::read(&path)
+                    .ok()
+                    .and_then(|bytes| parse_graph_header(&bytes).ok().map(|(meta, _)| meta))
+            } else {
+                None
+            };
+            entries.push(StoreEntry {
+                file,
+                bytes,
+                meta,
+                h_meta,
+                graph_meta,
+            });
         }
         entries.sort_by(|a, b| a.file.cmp(&b.file));
         Ok(entries)
@@ -331,6 +451,273 @@ impl SummaryStore {
         non_backtracking: bool,
     ) -> Result<bool> {
         let path = self.path_for(graph_fp, seed_fp, non_backtracking);
+        match fs::remove_file(&path) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(io_err("remove", &path, e)),
+        }
+    }
+
+    /// The file path an estimated `H` is stored under. The parameterized estimator
+    /// name contains characters that are awkward in file names (`(`, `=`, `,`), so
+    /// the name is folded into a hex digest for the path while the full string is
+    /// embedded in (and validated against) the file itself.
+    pub fn path_for_h(
+        &self,
+        graph_fp: Fingerprint,
+        seed_fp: Fingerprint,
+        estimator: &str,
+    ) -> PathBuf {
+        self.dir.join(format!(
+            "{}-{}-{}.{H_STORE_EXTENSION}",
+            graph_fp.to_hex(),
+            seed_fp.to_hex(),
+            name_digest(estimator)
+        ))
+    }
+
+    /// Persist an estimated compatibility matrix `H` keyed by
+    /// `(graph, seeds, estimator name)`, overwriting any existing entry (written via
+    /// a unique temporary file + atomic rename, like [`SummaryStore::save`]). The
+    /// matrix must be square.
+    pub fn save_h(
+        &self,
+        graph_fp: Fingerprint,
+        seed_fp: Fingerprint,
+        estimator: &str,
+        h: &DenseMatrix,
+    ) -> Result<PathBuf> {
+        let k = h.rows();
+        if k == 0 || h.cols() != k {
+            return Err(CoreError::Store(format!(
+                "refusing to persist a {}x{} estimate (H must be square and non-empty)",
+                h.rows(),
+                h.cols()
+            )));
+        }
+        let name = estimator.as_bytes();
+        if name.is_empty() || name.len() > u32::MAX as usize {
+            return Err(CoreError::Store(
+                "estimator name must be non-empty to key a persisted estimate".into(),
+            ));
+        }
+        let mut bytes = Vec::with_capacity(H_HEADER_LEN + name.len() + k * k * 8 + CHECKSUM_LEN);
+        bytes.extend_from_slice(H_MAGIC);
+        bytes.extend_from_slice(&H_STORE_FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&graph_fp.as_u128().to_le_bytes());
+        bytes.extend_from_slice(&seed_fp.as_u128().to_le_bytes());
+        bytes.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&(k as u32).to_le_bytes());
+        bytes.extend_from_slice(name);
+        for &v in h.data() {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        let checksum = h_checksum_of(&bytes);
+        bytes.extend_from_slice(&checksum.as_u128().to_le_bytes());
+
+        let path = self.path_for_h(graph_fp, seed_fp, estimator);
+        let tmp = path.with_extension(format!(
+            "{H_STORE_EXTENSION}.{}-{}.tmp",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        fs::write(&tmp, &bytes).map_err(|e| io_err("write", &tmp, e))?;
+        fs::rename(&tmp, &path).map_err(|e| io_err("rename", &tmp, e))?;
+        Ok(path)
+    }
+
+    /// Load the persisted `H` estimate for a `(graph, seeds, estimator)` triple.
+    ///
+    /// Returns `Ok(None)` when no file exists, `Ok(Some(..))` with the bit-exact
+    /// stored matrix, and [`CoreError::Store`] when the file exists but is corrupt
+    /// or keyed to different inputs than requested (the loud-rejection policy).
+    pub fn load_h(
+        &self,
+        graph_fp: Fingerprint,
+        seed_fp: Fingerprint,
+        estimator: &str,
+    ) -> Result<Option<DenseMatrix>> {
+        let path = self.path_for_h(graph_fp, seed_fp, estimator);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(io_err("read", &path, e)),
+        };
+        let (meta, payload_start) = parse_h_header(&bytes).map_err(|r| corrupt(&path, r))?;
+        if bytes.len() < payload_start + CHECKSUM_LEN {
+            return Err(corrupt(&path, "truncated payload"));
+        }
+        let (body, checksum_bytes) = bytes.split_at(bytes.len() - CHECKSUM_LEN);
+        let stored_checksum = Fingerprint::from_u128(u128::from_le_bytes(
+            checksum_bytes.try_into().expect("checksum is 16 bytes"),
+        ));
+        if h_checksum_of(body) != stored_checksum {
+            return Err(corrupt(&path, "checksum mismatch"));
+        }
+        if meta.graph_fp != graph_fp || meta.seed_fp != seed_fp {
+            return Err(corrupt(
+                &path,
+                "embedded fingerprints do not match the requested graph/seeds",
+            ));
+        }
+        if meta.estimator != estimator {
+            return Err(corrupt(
+                &path,
+                "embedded estimator name does not match the request",
+            ));
+        }
+        let k = meta.k;
+        let payload = &body[payload_start..];
+        if payload.len() != k * k * 8 {
+            return Err(corrupt(&path, "payload length disagrees with header"));
+        }
+        let mut data = Vec::with_capacity(k * k);
+        for e in 0..k * k {
+            let raw = u64::from_le_bytes(
+                payload[e * 8..(e + 1) * 8]
+                    .try_into()
+                    .expect("8-byte slice"),
+            );
+            data.push(f64::from_bits(raw));
+        }
+        let h = DenseMatrix::from_vec(k, k, data)
+            .map_err(|e| corrupt(&path, &format!("invalid matrix: {e}")))?;
+        Ok(Some(h))
+    }
+
+    /// Delete the persisted `H` estimate for one `(graph, seeds, estimator)` triple,
+    /// returning whether a file was removed.
+    pub fn remove_h(
+        &self,
+        graph_fp: Fingerprint,
+        seed_fp: Fingerprint,
+        estimator: &str,
+    ) -> Result<bool> {
+        let path = self.path_for_h(graph_fp, seed_fp, estimator);
+        match fs::remove_file(&path) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(io_err("remove", &path, e)),
+        }
+    }
+
+    /// The file path a constructed graph is stored under, keyed by the feature
+    /// matrix's content fingerprint and (a digest of) the parameterized builder
+    /// spec; the full spec string is embedded in the file and validated on load.
+    pub fn path_for_graph(&self, features_fp: Fingerprint, builder: &str) -> PathBuf {
+        self.dir.join(format!(
+            "{}-{}.{GRAPH_STORE_EXTENSION}",
+            features_fp.to_hex(),
+            name_digest(builder)
+        ))
+    }
+
+    /// Persist a constructed graph keyed by `(features fingerprint, builder spec)`,
+    /// overwriting any existing entry (unique temporary file + atomic rename, like
+    /// [`SummaryStore::save`]). Warm `fg construct` runs load the finished edge
+    /// list instead of repeating the `O(n²·d)` build.
+    pub fn save_graph(
+        &self,
+        features_fp: Fingerprint,
+        builder: &str,
+        graph: &fg_graph::Graph,
+    ) -> Result<PathBuf> {
+        let name = builder.as_bytes();
+        if name.is_empty() || name.len() > u32::MAX as usize {
+            return Err(CoreError::Store(
+                "builder spec must be non-empty to key a persisted graph".into(),
+            ));
+        }
+        let edges: Vec<(usize, usize, f64)> = graph.edges().collect();
+        let mut bytes =
+            Vec::with_capacity(G_HEADER_LEN + name.len() + edges.len() * 24 + CHECKSUM_LEN);
+        bytes.extend_from_slice(G_MAGIC);
+        bytes.extend_from_slice(&GRAPH_STORE_FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&features_fp.as_u128().to_le_bytes());
+        bytes.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&(graph.num_nodes() as u64).to_le_bytes());
+        bytes.extend_from_slice(&(edges.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(name);
+        for (u, v, w) in edges {
+            bytes.extend_from_slice(&(u as u64).to_le_bytes());
+            bytes.extend_from_slice(&(v as u64).to_le_bytes());
+            bytes.extend_from_slice(&w.to_bits().to_le_bytes());
+        }
+        let checksum = graph_checksum_of(&bytes);
+        bytes.extend_from_slice(&checksum.as_u128().to_le_bytes());
+
+        let path = self.path_for_graph(features_fp, builder);
+        let tmp = path.with_extension(format!(
+            "{GRAPH_STORE_EXTENSION}.{}-{}.tmp",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        fs::write(&tmp, &bytes).map_err(|e| io_err("write", &tmp, e))?;
+        fs::rename(&tmp, &path).map_err(|e| io_err("rename", &tmp, e))?;
+        Ok(path)
+    }
+
+    /// Load the persisted constructed graph for a `(features, builder)` pair.
+    ///
+    /// Returns `Ok(None)` when no file exists, `Ok(Some(..))` with a graph whose
+    /// edge weights are bit-exact, and [`CoreError::Store`] when the file exists
+    /// but is corrupt or keyed to different inputs (the loud-rejection policy).
+    pub fn load_graph(
+        &self,
+        features_fp: Fingerprint,
+        builder: &str,
+    ) -> Result<Option<fg_graph::Graph>> {
+        let path = self.path_for_graph(features_fp, builder);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(io_err("read", &path, e)),
+        };
+        let (meta, payload_start) = parse_graph_header(&bytes).map_err(|r| corrupt(&path, r))?;
+        if bytes.len() < payload_start + CHECKSUM_LEN {
+            return Err(corrupt(&path, "truncated payload"));
+        }
+        let (body, checksum_bytes) = bytes.split_at(bytes.len() - CHECKSUM_LEN);
+        let stored_checksum = Fingerprint::from_u128(u128::from_le_bytes(
+            checksum_bytes.try_into().expect("checksum is 16 bytes"),
+        ));
+        if graph_checksum_of(body) != stored_checksum {
+            return Err(corrupt(&path, "checksum mismatch"));
+        }
+        if meta.features_fp != features_fp {
+            return Err(corrupt(
+                &path,
+                "embedded fingerprints do not match the requested features",
+            ));
+        }
+        if meta.builder != builder {
+            return Err(corrupt(&path, "embedded builder spec does not match"));
+        }
+        let payload = &body[payload_start..];
+        if payload.len() != meta.edges * 24 {
+            return Err(corrupt(&path, "payload length disagrees with header"));
+        }
+        let mut edges = Vec::with_capacity(meta.edges);
+        for e in 0..meta.edges {
+            let at = |off: usize| e * 24 + off;
+            let u = u64::from_le_bytes(payload[at(0)..at(8)].try_into().expect("8-byte slice"))
+                as usize;
+            let v = u64::from_le_bytes(payload[at(8)..at(16)].try_into().expect("8-byte slice"))
+                as usize;
+            let w = f64::from_bits(u64::from_le_bytes(
+                payload[at(16)..at(24)].try_into().expect("8-byte slice"),
+            ));
+            edges.push((u, v, w));
+        }
+        let graph = fg_graph::Graph::from_weighted_edges(meta.nodes, &edges)
+            .map_err(|e| corrupt(&path, &format!("invalid graph: {e}")))?;
+        Ok(Some(graph))
+    }
+
+    /// Delete the persisted constructed graph for one `(features, builder)` pair,
+    /// returning whether a file was removed.
+    pub fn remove_graph(&self, features_fp: Fingerprint, builder: &str) -> Result<bool> {
+        let path = self.path_for_graph(features_fp, builder);
         match fs::remove_file(&path) {
             Ok(()) => Ok(true),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
@@ -436,6 +823,120 @@ fn checksum_of(bytes: &[u8]) -> Fingerprint {
     let mut h = FingerprintBuilder::new(b"fg-summary-store-v1");
     h.write_bytes(bytes);
     h.finish()
+}
+
+/// Checksum over an encoded `H` entry, domain-separated from both the fingerprint
+/// hashes and the summary-store checksum.
+fn h_checksum_of(bytes: &[u8]) -> Fingerprint {
+    let mut h = FingerprintBuilder::new(b"fg-h-store-v1");
+    h.write_bytes(bytes);
+    h.finish()
+}
+
+/// Checksum over an encoded constructed-graph entry, domain-separated from every
+/// other hash in the workspace.
+fn graph_checksum_of(bytes: &[u8]) -> Fingerprint {
+    let mut h = FingerprintBuilder::new(b"fg-graph-store-v1");
+    h.write_bytes(bytes);
+    h.finish()
+}
+
+/// Hex digest of an estimator name or builder spec, used only for file naming
+/// (the authoritative name is embedded in the entry and validated on load).
+fn name_digest(name: &str) -> String {
+    let mut h = FingerprintBuilder::new(b"fg-h-store-name-v1");
+    h.write_bytes(name.as_bytes());
+    h.finish().to_hex()
+}
+
+/// Parse and validate an `H`-entry header; returns the metadata and the payload
+/// offset (past the variable-length estimator name). Errors are static
+/// descriptions suitable for [`corrupt`].
+fn parse_h_header(bytes: &[u8]) -> std::result::Result<(HStoreMeta, usize), &'static str> {
+    if bytes.len() < H_HEADER_LEN + CHECKSUM_LEN {
+        return Err("file too short for an estimate header");
+    }
+    if &bytes[0..6] != H_MAGIC {
+        return Err("bad magic bytes");
+    }
+    let version = u16::from_le_bytes(bytes[6..8].try_into().expect("2 bytes"));
+    if version != H_STORE_FORMAT_VERSION {
+        return Err("unsupported format version");
+    }
+    let graph_fp = Fingerprint::from_u128(u128::from_le_bytes(
+        bytes[8..24].try_into().expect("16 bytes"),
+    ));
+    let seed_fp = Fingerprint::from_u128(u128::from_le_bytes(
+        bytes[24..40].try_into().expect("16 bytes"),
+    ));
+    let name_len = u32::from_le_bytes(bytes[40..44].try_into().expect("4 bytes")) as usize;
+    let k = u32::from_le_bytes(bytes[44..48].try_into().expect("4 bytes")) as usize;
+    if k == 0 || name_len == 0 {
+        return Err("header declares an empty estimate");
+    }
+    let payload_start = match H_HEADER_LEN.checked_add(name_len) {
+        Some(end) => end,
+        None => return Err("estimator name length overflows"),
+    };
+    if bytes.len() < payload_start + CHECKSUM_LEN {
+        return Err("file too short for the declared estimator name");
+    }
+    let estimator = std::str::from_utf8(&bytes[H_HEADER_LEN..payload_start])
+        .map_err(|_| "estimator name is not valid UTF-8")?
+        .to_string();
+    Ok((
+        HStoreMeta {
+            graph_fp,
+            seed_fp,
+            estimator,
+            k,
+        },
+        payload_start,
+    ))
+}
+
+/// Parse and validate a constructed-graph header; returns the metadata and the
+/// payload offset (past the variable-length builder spec). Errors are static
+/// descriptions suitable for [`corrupt`].
+fn parse_graph_header(bytes: &[u8]) -> std::result::Result<(GraphStoreMeta, usize), &'static str> {
+    if bytes.len() < G_HEADER_LEN + CHECKSUM_LEN {
+        return Err("file too short for a graph header");
+    }
+    if &bytes[0..6] != G_MAGIC {
+        return Err("bad magic bytes");
+    }
+    let version = u16::from_le_bytes(bytes[6..8].try_into().expect("2 bytes"));
+    if version != GRAPH_STORE_FORMAT_VERSION {
+        return Err("unsupported format version");
+    }
+    let features_fp = Fingerprint::from_u128(u128::from_le_bytes(
+        bytes[8..24].try_into().expect("16 bytes"),
+    ));
+    let name_len = u32::from_le_bytes(bytes[24..28].try_into().expect("4 bytes")) as usize;
+    let nodes = u64::from_le_bytes(bytes[28..36].try_into().expect("8 bytes")) as usize;
+    let edges = u64::from_le_bytes(bytes[36..44].try_into().expect("8 bytes")) as usize;
+    if name_len == 0 {
+        return Err("header declares an empty builder spec");
+    }
+    let payload_start = match G_HEADER_LEN.checked_add(name_len) {
+        Some(end) => end,
+        None => return Err("builder spec length overflows"),
+    };
+    if bytes.len() < payload_start + CHECKSUM_LEN {
+        return Err("file too short for the declared builder spec");
+    }
+    let builder = std::str::from_utf8(&bytes[G_HEADER_LEN..payload_start])
+        .map_err(|_| "builder spec is not valid UTF-8")?
+        .to_string();
+    Ok((
+        GraphStoreMeta {
+            features_fp,
+            builder,
+            nodes,
+            edges,
+        },
+        payload_start,
+    ))
 }
 
 /// Parse and validate the fixed-size header; returns the metadata and the payload
@@ -683,6 +1184,181 @@ mod tests {
             .unwrap()
             .iter()
             .all(|e| !e.file.ends_with(".tmp")));
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn h_save_load_round_trip_is_bit_exact() {
+        let store = temp_store("h_round_trip");
+        let (g, s) = fps();
+        let h = DenseMatrix::from_rows(&[vec![0.75, 0.25], vec![0.25, 0.75]]).unwrap();
+        store.save_h(g, s, "Holdout(b=3)", &h).unwrap();
+        let loaded = store.load_h(g, s, "Holdout(b=3)").unwrap().unwrap();
+        let bits = |m: &DenseMatrix| m.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&h), bits(&loaded));
+        // A differently parameterized estimator is a separate (absent) entry.
+        assert!(store.load_h(g, s, "Holdout(b=5)").unwrap().is_none());
+        // Overwrites replace the entry in place.
+        let h2 = DenseMatrix::from_rows(&[vec![0.5, 0.5], vec![0.5, 0.5]]).unwrap();
+        store.save_h(g, s, "Holdout(b=3)", &h2).unwrap();
+        let loaded = store.load_h(g, s, "Holdout(b=3)").unwrap().unwrap();
+        assert_eq!(bits(&h2), bits(&loaded));
+        // remove_h deletes exactly the requested entry.
+        assert!(store.remove_h(g, s, "Holdout(b=3)").unwrap());
+        assert!(!store.remove_h(g, s, "Holdout(b=3)").unwrap());
+        assert!(store.load_h(g, s, "Holdout(b=3)").unwrap().is_none());
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn h_entries_are_validated_loudly() {
+        let store = temp_store("h_corrupt");
+        let (g, s) = fps();
+        let h = DenseMatrix::from_rows(&[vec![0.9, 0.1], vec![0.1, 0.9]]).unwrap();
+        let path = store.save_h(g, s, "DCE(l=5)", &h).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        // Flipped payload byte (inside the matrix data, past the embedded name so
+        // the UTF-8 check cannot fire first): checksum catches it.
+        let mut bad = good.clone();
+        let idx = bad.len() - CHECKSUM_LEN - 4;
+        bad[idx] ^= 0xff;
+        std::fs::write(&path, &bad).unwrap();
+        let err = store.load_h(g, s, "DCE(l=5)").unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+
+        // Truncation is caught.
+        std::fs::write(&path, &good[..good.len() - 5]).unwrap();
+        assert!(store.load_h(g, s, "DCE(l=5)").is_err());
+
+        // Wrong magic is caught.
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        std::fs::write(&path, &bad_magic).unwrap();
+        let err = store.load_h(g, s, "DCE(l=5)").unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+
+        // A file copied under another key's name (mismatched fingerprints) is caught.
+        std::fs::write(&path, &good).unwrap();
+        let other = Fingerprint::from_u128(0x4242);
+        std::fs::copy(&path, store.path_for_h(g, other, "DCE(l=5)")).unwrap();
+        let err = store.load_h(g, other, "DCE(l=5)").unwrap_err();
+        assert!(err.to_string().contains("fingerprints"), "{err}");
+
+        // A file copied under another estimator's name is caught by the embedded name.
+        std::fs::copy(&path, store.path_for_h(g, s, "DCEr(r=10)")).unwrap();
+        let err = store.load_h(g, s, "DCEr(r=10)").unwrap_err();
+        assert!(err.to_string().contains("estimator name"), "{err}");
+
+        // Shape / key validation on save.
+        assert!(store
+            .save_h(g, s, "DCE(l=5)", &DenseMatrix::zeros(2, 3))
+            .is_err());
+        assert!(store.save_h(g, s, "", &DenseMatrix::zeros(2, 2)).is_err());
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn graph_save_load_round_trip_preserves_the_fingerprint() {
+        let store = temp_store("graph_round_trip");
+        let features_fp = Fingerprint::from_u128(0xfeed_beef);
+        let spec = "Knn(k=2,metric=euclidean,weighting=heat,sym=union)";
+        let graph = fg_graph::Graph::from_weighted_edges(
+            5,
+            &[(0, 1, 0.5), (1, 2, 1.0), (2, 3, 0.125), (3, 4, 1e-300)],
+        )
+        .unwrap();
+        store.save_graph(features_fp, spec, &graph).unwrap();
+        let loaded = store.load_graph(features_fp, spec).unwrap().unwrap();
+        // Content fingerprints match: the stored graph is the built graph.
+        assert_eq!(loaded.fingerprint(), graph.fingerprint());
+        assert_eq!(loaded.num_nodes(), 5);
+        assert_eq!(loaded.num_edges(), 4);
+        // A different builder spec is a separate (absent) entry.
+        assert!(store.load_graph(features_fp, "Knn(k=3)").unwrap().is_none());
+        // remove_graph deletes exactly the requested entry.
+        assert!(store.remove_graph(features_fp, spec).unwrap());
+        assert!(!store.remove_graph(features_fp, spec).unwrap());
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn graph_entries_are_validated_listed_and_cleared() {
+        let store = temp_store("graph_corrupt");
+        let features_fp = Fingerprint::from_u128(0xc0ffee);
+        let spec = "SparseReg(k=4,alpha=0.1,iters=50,sym=union)";
+        let graph = fg_graph::Graph::from_weighted_edges(3, &[(0, 1, 1.0), (1, 2, 2.0)]).unwrap();
+        let path = store.save_graph(features_fp, spec, &graph).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        // Flipped payload byte (past the embedded spec): checksum catches it.
+        let mut bad = good.clone();
+        let idx = bad.len() - CHECKSUM_LEN - 4;
+        bad[idx] ^= 0xff;
+        std::fs::write(&path, &bad).unwrap();
+        let err = store.load_graph(features_fp, spec).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+
+        // A file copied under another key's name is caught.
+        std::fs::write(&path, &good).unwrap();
+        let other = Fingerprint::from_u128(0xdead);
+        std::fs::copy(&path, store.path_for_graph(other, spec)).unwrap();
+        let err = store.load_graph(other, spec).unwrap_err();
+        assert!(err.to_string().contains("fingerprints"), "{err}");
+
+        // Entries list the graph with its parsed metadata; clear removes it.
+        let entries = store.entries().unwrap();
+        let g_entry = entries
+            .iter()
+            .find(|e| {
+                e.file.ends_with(&format!(".{GRAPH_STORE_EXTENSION}")) && e.graph_meta.is_some()
+            })
+            .unwrap();
+        let meta = g_entry.graph_meta.as_ref().unwrap();
+        assert_eq!(meta.features_fp, features_fp);
+        assert_eq!(meta.builder, spec);
+        assert_eq!(meta.nodes, 3);
+        assert_eq!(meta.edges, 2);
+        assert_eq!(store.clear().unwrap(), 2);
+        assert!(store.entries().unwrap().is_empty());
+        // Empty builder specs are rejected on save.
+        assert!(store.save_graph(features_fp, "", &graph).is_err());
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn h_entries_are_listed_cleared_and_gced() {
+        let store = temp_store("h_entries");
+        let (g, s) = fps();
+        store.save(g, s, true, 2, &sample_counts()).unwrap();
+        let h = DenseMatrix::from_rows(&[vec![0.6, 0.4], vec![0.4, 0.6]]).unwrap();
+        store.save_h(g, s, "LCE(l=3)", &h).unwrap();
+        // A stranded `.fgh` temp file is listed (as corrupt) and clearable.
+        std::fs::write(
+            store
+                .dir()
+                .join(format!("stale.{H_STORE_EXTENSION}.7-0.tmp")),
+            b"half a write",
+        )
+        .unwrap();
+
+        let entries = store.entries().unwrap();
+        assert_eq!(entries.len(), 3);
+        let h_entry = entries
+            .iter()
+            .find(|e| e.file.ends_with(&format!(".{H_STORE_EXTENSION}")))
+            .unwrap();
+        let meta = h_entry.h_meta.as_ref().unwrap();
+        assert_eq!(meta.graph_fp, g);
+        assert_eq!(meta.seed_fp, s);
+        assert_eq!(meta.estimator, "LCE(l=3)");
+        assert_eq!(meta.k, 2);
+        assert!(h_entry.meta.is_none());
+
+        // gc with max-bytes 0 removes `.fgh` files alongside `.fgsum`.
+        let outcome = store.gc(Some(0), None).unwrap();
+        assert_eq!(outcome.kept, 0);
+        assert!(store.entries().unwrap().is_empty());
         std::fs::remove_dir_all(store.dir()).ok();
     }
 

@@ -25,8 +25,9 @@ pub mod synthesize;
 
 pub use construct::{
     canonical_construction_name, construction_by_name, construction_by_name_with,
-    construction_names, construction_registry, synthesize_blobs, BlobConfig, ConstructionOptions,
-    ConstructionSpec, GraphBuilder, KnnBuilder, Metric, SparseRegBuilder, Symmetrize, Weighting,
+    construction_names, construction_registry, features_fingerprint, synthesize_blobs, BlobConfig,
+    ConstructionOptions, ConstructionSpec, GraphBuilder, KnnBuilder, Metric, SparseRegBuilder,
+    Symmetrize, Weighting,
 };
 pub use io::{
     format_edge_list, format_features, format_labels, parse_edge_list, parse_features,

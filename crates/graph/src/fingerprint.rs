@@ -130,6 +130,70 @@ impl FingerprintBuilder {
     }
 }
 
+/// Order-independent commutative accumulator over element [`Fingerprint`]s.
+///
+/// Elements are combined with wrapping 128-bit addition, which is commutative and
+/// associative, so the accumulated value depends only on the *multiset* of elements —
+/// never on insertion order — and every insertion has an exact inverse
+/// ([`remove`](Self::remove) undoes [`add`](Self::add) bit-for-bit). That inverse is
+/// what makes O(1) *rolling* fingerprints possible: a mutation updates the
+/// accumulator by removing the old element hash and adding the new one, instead of
+/// re-hashing the whole collection. The element count is folded in alongside the sum
+/// so multisets whose sums collide by wrapping (e.g. `{x}` vs `{x, 0}`) still
+/// separate.
+///
+/// `SeedLabels::fingerprint` builds on this: each `(node, label)` pair hashes to an
+/// independent element fingerprint, and the seed-set fingerprint is a domain-tagged
+/// hash of `(n, k, count, sum)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RollingFingerprint {
+    sum: u128,
+    count: u64,
+}
+
+impl RollingFingerprint {
+    /// An empty accumulator (no elements).
+    pub fn new() -> Self {
+        RollingFingerprint::default()
+    }
+
+    /// Fold one element in. O(1); order-independent.
+    pub fn add(&mut self, element: Fingerprint) {
+        self.sum = self.sum.wrapping_add(element.as_u128());
+        self.count += 1;
+    }
+
+    /// Remove one previously added element. O(1); the exact inverse of
+    /// [`add`](Self::add).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more elements are removed than were added — that is always a caller
+    /// bug (the accumulator cannot represent a negative multiset).
+    pub fn remove(&mut self, element: Fingerprint) {
+        self.count = self
+            .count
+            .checked_sub(1)
+            .expect("removed more elements than were added");
+        self.sum = self.sum.wrapping_sub(element.as_u128());
+    }
+
+    /// The commutative 128-bit sum over the current multiset.
+    pub fn value(&self) -> u128 {
+        self.sum
+    }
+
+    /// Number of elements currently accumulated.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no elements are accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,5 +263,58 @@ mod tests {
         // Only canonical hex round-trips: a sign prefix is rejected even though the
         // underlying integer parser would accept it.
         assert!(Fingerprint::parse_hex(&format!("+{}", &"0".repeat(31))).is_none());
+    }
+
+    #[test]
+    fn rolling_accumulator_is_order_independent_and_invertible() {
+        let elems: Vec<Fingerprint> = (0..6u64)
+            .map(|i| {
+                let mut b = FingerprintBuilder::new(b"roll");
+                b.write_u64(i);
+                b.finish()
+            })
+            .collect();
+        let mut forward = RollingFingerprint::new();
+        assert!(forward.is_empty());
+        for &e in &elems {
+            forward.add(e);
+        }
+        let mut backward = RollingFingerprint::new();
+        for &e in elems.iter().rev() {
+            backward.add(e);
+        }
+        assert_eq!(forward, backward);
+        assert_eq!(forward.len(), 6);
+        // Removal is the exact inverse of addition, at any position.
+        let mut rolled = forward;
+        rolled.remove(elems[2]);
+        rolled.remove(elems[5]);
+        let mut rebuilt = RollingFingerprint::new();
+        for (i, &e) in elems.iter().enumerate() {
+            if i != 2 && i != 5 {
+                rebuilt.add(e);
+            }
+        }
+        assert_eq!(rolled, rebuilt);
+        // Draining everything returns to the empty accumulator.
+        for (i, &e) in elems.iter().enumerate() {
+            if i != 2 && i != 5 {
+                rolled.remove(e);
+            }
+        }
+        assert_eq!(rolled, RollingFingerprint::new());
+        // The count separates multisets whose sums collide by wrapping.
+        let zero = Fingerprint::from_u128(0);
+        let mut with_zero = forward;
+        with_zero.add(zero);
+        assert_eq!(with_zero.value(), forward.value());
+        assert_ne!(with_zero, forward);
+    }
+
+    #[test]
+    #[should_panic(expected = "removed more elements")]
+    fn rolling_accumulator_rejects_excess_removal() {
+        let mut r = RollingFingerprint::new();
+        r.remove(Fingerprint::from_u128(1));
     }
 }

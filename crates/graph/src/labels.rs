@@ -6,10 +6,11 @@
 //! rows for labeled nodes, zero rows otherwise) used by both LinBP and the estimators.
 
 use crate::error::{GraphError, Result};
-use crate::fingerprint::{Fingerprint, FingerprintBuilder};
+use crate::fingerprint::{Fingerprint, FingerprintBuilder, RollingFingerprint};
 use fg_sparse::DenseMatrix;
 use rand::seq::SliceRandom;
 use rand::Rng;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A complete ground-truth labeling: every node has exactly one class in `0..k`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -113,12 +114,69 @@ impl Labeling {
     }
 }
 
+/// Hash one `(node, label)` seed observation into an independent element
+/// [`Fingerprint`] for the commutative rolling reduction (domain tag
+/// `fg-seed-pair-v2`).
+fn seed_pair_hash(node: usize, label: usize) -> Fingerprint {
+    let mut h = FingerprintBuilder::new(b"fg-seed-pair-v2");
+    h.write_usize(node);
+    h.write_usize(label);
+    h.finish()
+}
+
+/// Accumulate every labeled `(node, label)` pair of `observed` into a fresh rolling
+/// accumulator — the O(n) from-scratch derivation the rolling scheme avoids on the
+/// warm path.
+fn rolling_from_observed(observed: &[Option<usize>]) -> RollingFingerprint {
+    let mut rolling = RollingFingerprint::new();
+    for (node, observed) in observed.iter().enumerate() {
+        if let Some(c) = observed {
+            rolling.add(seed_pair_hash(node, *c));
+        }
+    }
+    rolling
+}
+
 /// A partial labeling: the seed labels visible to the estimation and propagation steps.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The seed-set [`fingerprint`](Self::fingerprint) is maintained *rolling*: a
+/// commutative [`RollingFingerprint`] over per-`(node, label)` hashes is updated in
+/// O(1) by every [`set_label`](Self::set_label) call, so serving layers that
+/// fingerprint the seed set on every request never pay the O(n) re-derivation
+/// ([`scratch_derivations`](Self::scratch_derivations) lets tests assert exactly
+/// that).
+#[derive(Debug)]
 pub struct SeedLabels {
     observed: Vec<Option<usize>>,
     k: usize,
+    /// Commutative accumulator over `seed_pair_hash(node, label)` for every labeled
+    /// node — always equal to `rolling_from_observed(&self.observed)`.
+    rolling: RollingFingerprint,
+    /// How many O(n) from-scratch fingerprint derivations ran *after* construction
+    /// (see [`scratch_derivations`](Self::scratch_derivations)).
+    scratch_derivations: AtomicUsize,
 }
+
+impl Clone for SeedLabels {
+    fn clone(&self) -> Self {
+        SeedLabels {
+            observed: self.observed.clone(),
+            k: self.k,
+            rolling: self.rolling,
+            scratch_derivations: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl PartialEq for SeedLabels {
+    fn eq(&self, other: &Self) -> bool {
+        // `rolling` is a pure function of the content and the counter is a
+        // diagnostic, so equality is decided by the observations alone.
+        self.observed == other.observed && self.k == other.k
+    }
+}
+
+impl Eq for SeedLabels {}
 
 impl SeedLabels {
     /// Create a seed set, validating that every present label is `< k`.
@@ -131,15 +189,27 @@ impl SeedLabels {
                 "seed label {bad} out of range for k = {k}"
             )));
         }
-        Ok(SeedLabels { observed, k })
+        Ok(Self::from_observed(observed, k))
+    }
+
+    /// Build from observations already known to be valid, initializing the rolling
+    /// fingerprint state (the one O(n) pass a seed set ever needs).
+    fn from_observed(observed: Vec<Option<usize>>, k: usize) -> Self {
+        let rolling = rolling_from_observed(&observed);
+        SeedLabels {
+            observed,
+            k,
+            rolling,
+            scratch_derivations: AtomicUsize::new(0),
+        }
     }
 
     /// Create a seed set that reveals every label of a full labeling (f = 1).
     pub fn fully_labeled(labeling: &Labeling) -> Self {
-        SeedLabels {
-            observed: labeling.as_slice().iter().map(|&c| Some(c)).collect(),
-            k: labeling.k(),
-        }
+        Self::from_observed(
+            labeling.as_slice().iter().map(|&c| Some(c)).collect(),
+            labeling.k(),
+        )
     }
 
     /// Number of nodes.
@@ -246,32 +316,98 @@ impl SeedLabels {
     }
 
     /// Deterministic [`Fingerprint`] of this seed set: a 128-bit content hash over
-    /// `n`, `k`, and every `(node id, observed label)` pair in node order (domain tag
-    /// `fg-seed-labels-v1`).
+    /// `n`, `k`, and the order-independent commutative reduction of every
+    /// `(node id, observed label)` pair hash (domain tag `fg-seed-labels-v2`).
     ///
     /// Two independently loaded copies of the same seed file share one fingerprint;
     /// adding, removing, moving, or relabeling any seed changes it (up to 128-bit
-    /// hash collisions). Computed in `O(n)` — cheap enough to recompute on demand.
+    /// hash collisions). **O(1)**: the pair-hash reduction is maintained rolling by
+    /// [`set_label`](Self::set_label), so per-request fingerprinting in the serving
+    /// layer costs a constant-size finishing hash, never an O(n) scan.
+    /// [`fingerprint_from_scratch`](Self::fingerprint_from_scratch) is the O(n)
+    /// re-derivation the property tests check this against.
     pub fn fingerprint(&self) -> Fingerprint {
-        let mut h = FingerprintBuilder::new(b"fg-seed-labels-v1");
-        h.write_usize(self.n());
-        h.write_usize(self.k);
-        for (i, observed) in self.observed.iter().enumerate() {
-            if let Some(c) = observed {
-                h.write_usize(i);
-                h.write_usize(*c);
-            }
-        }
+        Self::finish_fingerprint(b"fg-seed-labels-v2", &[], self.n(), self.k, self.rolling)
+    }
+
+    /// The same fingerprint as [`fingerprint`](Self::fingerprint), re-derived with a
+    /// full O(n) pass over the observations instead of the maintained rolling state.
+    ///
+    /// Exists as the equality oracle for the rolling scheme: after *any* interleaving
+    /// of [`set_label`](Self::set_label) mutations, both methods return identical
+    /// fingerprints. Each call bumps
+    /// [`scratch_derivations`](Self::scratch_derivations), which is how tests assert
+    /// the warm serving path never falls back to this.
+    pub fn fingerprint_from_scratch(&self) -> Fingerprint {
+        self.scratch_derivations.fetch_add(1, Ordering::Relaxed);
+        Self::finish_fingerprint(
+            b"fg-seed-labels-v2",
+            &[],
+            self.n(),
+            self.k,
+            rolling_from_observed(&self.observed),
+        )
+    }
+
+    /// A keyed variant of [`fingerprint`](Self::fingerprint) for stores and sessions
+    /// that cross trust boundaries (domain tag `fg-seed-labels-keyed-v2`).
+    ///
+    /// The caller's `key` is folded into the finishing hash, so fingerprints produced
+    /// under different keys are unrelated (an actor who can observe fingerprints
+    /// under one key learns nothing that lets them forge or correlate fingerprints
+    /// under another), while remaining stable per `(key, seed content)` pair. Same
+    /// O(1) cost in `n` as the unkeyed variant (O(|key|) overall).
+    pub fn keyed_fingerprint(&self, key: &[u8]) -> Fingerprint {
+        Self::finish_fingerprint(
+            b"fg-seed-labels-keyed-v2",
+            key,
+            self.n(),
+            self.k,
+            self.rolling,
+        )
+    }
+
+    /// Finish a seed-set fingerprint from its maintained (or re-derived) rolling
+    /// state: a constant-size domain-tagged stream over the key, `n`, `k`, and the
+    /// accumulator's `(count, sum)`.
+    fn finish_fingerprint(
+        domain: &[u8],
+        key: &[u8],
+        n: usize,
+        k: usize,
+        rolling: RollingFingerprint,
+    ) -> Fingerprint {
+        let mut h = FingerprintBuilder::new(domain);
+        h.write_usize(key.len());
+        h.write_bytes(key);
+        h.write_usize(n);
+        h.write_usize(k);
+        h.write_u64(rolling.len());
+        let sum = rolling.value();
+        h.write_u64(sum as u64);
+        h.write_u64((sum >> 64) as u64);
         h.finish()
+    }
+
+    /// How many O(n) from-scratch fingerprint derivations this instance ran after
+    /// construction (only [`fingerprint_from_scratch`](Self::fingerprint_from_scratch)
+    /// bumps it — [`fingerprint`](Self::fingerprint) and
+    /// [`set_label`](Self::set_label) never do). Serving tests assert this stays `0`
+    /// across mutate/fingerprint cycles, which is the O(1)-maintenance guarantee in
+    /// counter form. Clones start back at `0`.
+    pub fn scratch_derivations(&self) -> usize {
+        self.scratch_derivations.load(Ordering::Relaxed)
     }
 
     /// Set (or clear) the observed label of one node, returning the previous value.
     ///
     /// This is the mutation primitive behind the online-serving layer: streaming
     /// workloads adjust a handful of seeds between queries instead of rebuilding the
-    /// whole seed set. The [`fingerprint`](Self::fingerprint) is recomputed on demand,
-    /// so after any sequence of `set_label` calls it equals the fingerprint of a seed
-    /// set freshly constructed with the same observations.
+    /// whole seed set. The rolling [`fingerprint`](Self::fingerprint) state is
+    /// updated in **O(1)** — the old pair hash is subtracted and the new one added
+    /// under the commutative reduction — so after any sequence of `set_label` calls
+    /// the fingerprint equals that of a seed set freshly constructed with the same
+    /// observations.
     pub fn set_label(&mut self, node: usize, label: Option<usize>) -> Result<Option<usize>> {
         if node >= self.observed.len() {
             return Err(GraphError::InvalidLabels(format!(
@@ -287,7 +423,14 @@ impl SeedLabels {
                 )));
             }
         }
-        Ok(std::mem::replace(&mut self.observed[node], label))
+        let previous = std::mem::replace(&mut self.observed[node], label);
+        if let Some(c) = previous {
+            self.rolling.remove(seed_pair_hash(node, c));
+        }
+        if let Some(c) = label {
+            self.rolling.add(seed_pair_hash(node, c));
+        }
+        Ok(previous)
     }
 
     /// Restrict this seed set to a subset of nodes (everything else becomes unlabeled).
@@ -296,10 +439,7 @@ impl SeedLabels {
         for &i in nodes {
             observed[i] = self.observed[i];
         }
-        SeedLabels {
-            observed,
-            k: self.k,
-        }
+        Self::from_observed(observed, self.k)
     }
 }
 
@@ -480,6 +620,77 @@ mod tests {
         assert!(seeds.set_label(9, Some(0)).is_err());
         assert!(seeds.set_label(0, Some(5)).is_err());
         assert_eq!(seeds.fingerprint(), rebuilt.fingerprint());
+    }
+
+    #[test]
+    fn rolling_fingerprint_matches_from_scratch_under_random_interleavings() {
+        // Property-style: arbitrary interleavings of add / remove / relabel keep the
+        // O(1) rolling fingerprint equal to the O(n) from-scratch derivation and to
+        // the fingerprint of a freshly constructed equal seed set.
+        let n = 64;
+        let k = 4;
+        for trial in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(1000 + trial);
+            let mut seeds = SeedLabels::new(vec![None; n], k).unwrap();
+            for _ in 0..200 {
+                let node = rng.gen_index(n);
+                // ~1/3 removals, ~2/3 adds/relabels (including no-op rewrites).
+                let label = match rng.gen_index(3) {
+                    0 => None,
+                    _ => Some(rng.gen_index(k)),
+                };
+                seeds.set_label(node, label).unwrap();
+                assert_eq!(seeds.fingerprint(), seeds.fingerprint_from_scratch());
+            }
+            let rebuilt = SeedLabels::new(seeds.as_slice().to_vec(), k).unwrap();
+            assert_eq!(seeds.fingerprint(), rebuilt.fingerprint());
+            assert_eq!(
+                seeds.keyed_fingerprint(b"trust-key"),
+                rebuilt.keyed_fingerprint(b"trust-key")
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_o1_on_the_warm_path() {
+        // The counter form of the O(1) guarantee: mutate-and-fingerprint cycles never
+        // fall back to an O(n) from-scratch derivation.
+        let mut seeds = SeedLabels::new(vec![None; 100], 3).unwrap();
+        for i in 0..50 {
+            seeds.set_label(i, Some(i % 3)).unwrap();
+            let _ = seeds.fingerprint();
+            let _ = seeds.keyed_fingerprint(b"session");
+        }
+        assert_eq!(seeds.scratch_derivations(), 0);
+        // Only the explicit oracle pays O(n) — and says so in the counter.
+        let _ = seeds.fingerprint_from_scratch();
+        assert_eq!(seeds.scratch_derivations(), 1);
+        // Clones restart the diagnostic at zero.
+        assert_eq!(seeds.clone().scratch_derivations(), 0);
+    }
+
+    #[test]
+    fn keyed_fingerprints_differ_per_key_and_are_stable_per_key_and_content() {
+        let seeds = SeedLabels::new(vec![Some(1), None, Some(0), Some(2)], 3).unwrap();
+        let copy = SeedLabels::new(vec![Some(1), None, Some(0), Some(2)], 3).unwrap();
+        // Stable per (key, content): independently built copies agree under each key.
+        assert_eq!(
+            seeds.keyed_fingerprint(b"key-a"),
+            copy.keyed_fingerprint(b"key-a")
+        );
+        // Different keys give unrelated fingerprints, and none matches the unkeyed one.
+        assert_ne!(
+            seeds.keyed_fingerprint(b"key-a"),
+            seeds.keyed_fingerprint(b"key-b")
+        );
+        assert_ne!(seeds.keyed_fingerprint(b"key-a"), seeds.fingerprint());
+        assert_ne!(seeds.keyed_fingerprint(b""), seeds.fingerprint());
+        // Content still separates under a fixed key.
+        let other = SeedLabels::new(vec![Some(1), None, Some(0), None], 3).unwrap();
+        assert_ne!(
+            seeds.keyed_fingerprint(b"key-a"),
+            other.keyed_fingerprint(b"key-a")
+        );
     }
 
     #[test]

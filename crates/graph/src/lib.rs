@@ -30,7 +30,7 @@ pub mod labels;
 pub use compatibility::{two_value_heuristic, CompatibilityMatrix};
 pub use degree::DegreeDistribution;
 pub use error::{GraphError, Result};
-pub use fingerprint::{Fingerprint, FingerprintBuilder};
+pub use fingerprint::{Fingerprint, FingerprintBuilder, RollingFingerprint};
 pub use generator::{generate, measure_compatibilities, GeneratorConfig, SyntheticGraph};
 pub use graph::Graph;
 pub use labels::{Labeling, SeedLabels};

@@ -1,52 +1,181 @@
 //! Transports for a [`Session`]: a line loop over arbitrary reader/writer pairs
 //! (stdin/stdout for `fg serve`, a socket per TCP connection) and a `std::net` TCP
 //! listener that shares one session across concurrent connections.
+//!
+//! Both transports are bounded by [`ServeLimits`]: per-connection request lines are
+//! read through a fixed-size window (a client streaming an endless line cannot
+//! balloon memory), connections past the cap are refused with a structured error
+//! line instead of queueing, and a per-connection request budget (when set) closes
+//! the connection after its last allowed response. Every limit violation produces a
+//! well-formed protocol error — the process never hangs and never dies on abusive
+//! input.
 
+use crate::json::Json;
 use crate::session::{Flow, Session};
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+/// Resource bounds for a serving transport. `Default` gives production-safe
+/// values; `0` means "unlimited" for the connection and request counts, but the
+/// line length is always enforced.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeLimits {
+    /// Concurrent TCP connections accepted before new ones are refused with a
+    /// structured error line (`0` = unlimited).
+    pub max_connections: usize,
+    /// Longest accepted request line in bytes; an overlong line gets a structured
+    /// error response and closes the connection (the stream cannot be resynced).
+    pub max_line_bytes: usize,
+    /// Requests served per connection before it is closed (`0` = unlimited).
+    pub max_requests_per_connection: usize,
+}
+
+impl Default for ServeLimits {
+    fn default() -> ServeLimits {
+        ServeLimits {
+            max_connections: 64,
+            max_line_bytes: 1 << 20,
+            max_requests_per_connection: 0,
+        }
+    }
+}
+
+/// A protocol-shaped error line built transport-side (the session never sees the
+/// offending input).
+fn transport_error(line_no: usize, message: &str) -> String {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("id", Json::Null),
+        ("line", Json::num(line_no)),
+        ("error", Json::str(format!("line {line_no}: {message}"))),
+    ])
+    .to_string()
+}
+
+/// Read one `\n`-terminated line through a window of `max + 1` bytes. Returns
+/// `Ok(None)` at EOF and `Ok(Some((bytes, overlong)))` otherwise — `overlong`
+/// means the line was cut off at the window and the stream is unsafe to resync.
+fn read_bounded_line<R: BufRead>(
+    reader: &mut R,
+    max: usize,
+) -> io::Result<Option<(Vec<u8>, bool)>> {
+    let mut buf = Vec::new();
+    let n = reader
+        .by_ref()
+        .take(max as u64 + 1)
+        .read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    let overlong = buf.len() > max && buf.last() != Some(&b'\n');
+    Ok(Some((buf, overlong)))
+}
+
 /// Serve JSON-lines requests from `reader`, writing one response line per request
-/// to `writer`, until EOF or a `shutdown` request. Line numbers (1-based, counting
-/// every received line) are echoed in error responses.
-pub fn serve_lines<R: BufRead, W: Write>(
+/// to `writer`, until EOF, a `shutdown` request, or a limit violation. Line
+/// numbers (1-based, counting every received line) are echoed in error responses.
+pub fn serve_lines_with<R: BufRead, W: Write>(
     session: &Session,
-    reader: R,
+    mut reader: R,
     mut writer: W,
+    limits: &ServeLimits,
 ) -> io::Result<()> {
-    for (index, line) in reader.lines().enumerate() {
-        let line = line?;
+    let mut line_no = 0usize;
+    let mut served = 0usize;
+    let respond = |writer: &mut W, response: &str| -> io::Result<()> {
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()
+    };
+    while let Some((bytes, overlong)) = read_bounded_line(&mut reader, limits.max_line_bytes)? {
+        line_no += 1;
+        if overlong {
+            respond(
+                &mut writer,
+                &transport_error(
+                    line_no,
+                    &format!(
+                        "request line exceeds {} bytes; closing connection",
+                        limits.max_line_bytes
+                    ),
+                ),
+            )?;
+            break;
+        }
+        let line = match std::str::from_utf8(&bytes) {
+            Ok(line) => line,
+            Err(_) => {
+                respond(
+                    &mut writer,
+                    &transport_error(line_no, "request line is not valid UTF-8"),
+                )?;
+                continue;
+            }
+        };
         if line.trim().is_empty() {
             // Blank lines are tolerated between requests (they still count for
             // line numbering so errors point at the right request).
             continue;
         }
-        let (response, flow) = session.handle_line(&line, index + 1);
-        writer.write_all(response.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
+        let (response, flow) = session.handle_line(line, line_no);
+        respond(&mut writer, &response)?;
         if flow == Flow::Close {
+            break;
+        }
+        served += 1;
+        if limits.max_requests_per_connection > 0 && served >= limits.max_requests_per_connection {
             break;
         }
     }
     Ok(())
 }
 
+/// [`serve_lines_with`] under the default [`ServeLimits`].
+pub fn serve_lines<R: BufRead, W: Write>(
+    session: &Session,
+    reader: R,
+    writer: W,
+) -> io::Result<()> {
+    serve_lines_with(session, reader, writer, &ServeLimits::default())
+}
+
 /// A TCP front-end sharing one [`Session`] across connections.
 pub struct TcpServer {
     listener: TcpListener,
     session: Arc<Session>,
+    limits: ServeLimits,
+}
+
+/// Decrements the live-connection gauge when a connection handler exits, however
+/// it exits.
+struct ConnectionGuard(Arc<AtomicUsize>);
+
+impl Drop for ConnectionGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 impl TcpServer {
-    /// Bind the listener (use port 0 for an ephemeral port; the bound address is
-    /// reported by [`local_addr`](Self::local_addr)).
-    pub fn bind(session: Arc<Session>, addr: impl ToSocketAddrs) -> io::Result<TcpServer> {
+    /// Bind the listener under explicit limits (use port 0 for an ephemeral port;
+    /// the bound address is reported by [`local_addr`](Self::local_addr)).
+    pub fn bind_with(
+        session: Arc<Session>,
+        addr: impl ToSocketAddrs,
+        limits: ServeLimits,
+    ) -> io::Result<TcpServer> {
         Ok(TcpServer {
             listener: TcpListener::bind(addr)?,
             session,
+            limits,
         })
+    }
+
+    /// [`bind_with`](Self::bind_with) under the default [`ServeLimits`].
+    pub fn bind(session: Arc<Session>, addr: impl ToSocketAddrs) -> io::Result<TcpServer> {
+        TcpServer::bind_with(session, addr, ServeLimits::default())
     }
 
     /// The address the server accepts connections on.
@@ -54,17 +183,39 @@ impl TcpServer {
         self.listener.local_addr()
     }
 
-    /// Accept connections forever, one thread per connection; each connection runs
-    /// its own [`serve_lines`] loop against the shared session (request handling is
-    /// serialized inside the session, so concurrent clients see deterministic
-    /// responses). Connection-level I/O errors are logged to stderr and never take
+    /// Accept connections forever, one thread per connection up to the configured
+    /// cap; each connection runs its own [`serve_lines_with`] loop against the
+    /// shared session (warm requests on published state run concurrently; mutation
+    /// requests serialize per dataset, so concurrent clients see deterministic
+    /// responses). Connections past the cap receive one structured error line and
+    /// are closed. Connection-level I/O errors are logged to stderr and never take
     /// the server down.
     pub fn run(&self) -> io::Result<()> {
+        let active = Arc::new(AtomicUsize::new(0));
         for stream in self.listener.incoming() {
             match stream {
-                Ok(stream) => {
+                Ok(mut stream) => {
+                    if self.limits.max_connections > 0
+                        && active.load(Ordering::Relaxed) >= self.limits.max_connections
+                    {
+                        let refusal = transport_error(
+                            0,
+                            &format!(
+                                "server at capacity ({} connections); retry later",
+                                self.limits.max_connections
+                            ),
+                        );
+                        let _ = stream.write_all(refusal.as_bytes());
+                        let _ = stream.write_all(b"\n");
+                        let _ = stream.shutdown(std::net::Shutdown::Both);
+                        continue;
+                    }
+                    active.fetch_add(1, Ordering::Relaxed);
+                    let guard = ConnectionGuard(Arc::clone(&active));
                     let session = Arc::clone(&self.session);
+                    let limits = self.limits;
                     std::thread::spawn(move || {
+                        let _guard = guard;
                         let peer = stream
                             .peer_addr()
                             .map(|a| a.to_string())
@@ -76,7 +227,7 @@ impl TcpServer {
                                 return;
                             }
                         });
-                        if let Err(e) = serve_lines(&session, reader, stream) {
+                        if let Err(e) = serve_lines_with(&session, reader, stream, &limits) {
                             eprintln!("fg serve: connection {peer} failed: {e}");
                         }
                     });
@@ -87,15 +238,25 @@ impl TcpServer {
         Ok(())
     }
 
-    /// Spawn the accept loop on a background thread (used by tests and the one-shot
-    /// client helpers); the thread runs until the process exits.
-    pub fn spawn(session: Arc<Session>, addr: impl ToSocketAddrs) -> io::Result<SocketAddr> {
-        let server = TcpServer::bind(session, addr)?;
+    /// Spawn the accept loop on a background thread under explicit limits (used by
+    /// tests and the one-shot client helpers); the thread runs until the process
+    /// exits.
+    pub fn spawn_with(
+        session: Arc<Session>,
+        addr: impl ToSocketAddrs,
+        limits: ServeLimits,
+    ) -> io::Result<SocketAddr> {
+        let server = TcpServer::bind_with(session, addr, limits)?;
         let local = server.local_addr()?;
         std::thread::spawn(move || {
             let _ = server.run();
         });
         Ok(local)
+    }
+
+    /// [`spawn_with`](Self::spawn_with) under the default [`ServeLimits`].
+    pub fn spawn(session: Arc<Session>, addr: impl ToSocketAddrs) -> io::Result<SocketAddr> {
+        TcpServer::spawn_with(session, addr, ServeLimits::default())
     }
 }
 

@@ -1,18 +1,38 @@
-//! The long-lived serving [`Session`]: graph + seed state + incremental summary
-//! engines + shared caches behind a JSON-lines command protocol.
+//! The long-lived serving [`Session`]: named datasets + seed state + incremental
+//! summary engines + shared caches behind a JSON-lines command protocol.
 //!
 //! One session is shared by every connection of an `fg serve` process (that is the
-//! point: the expensive state — graph, `DeltaSummary` engines, summary cache — is
-//! paid once and amortized across requests). Request handling is serialized by one
-//! mutex, so every response is a deterministic function of the session history; all
-//! floating-point work runs through the bit-identical kernels, so responses carry no
-//! timing-dependent payloads (timings are only reported in aggregate by `stats`).
+//! point: the expensive state — graphs, [`DeltaSummary`] engines, the summary cache —
+//! is paid once and amortized across requests). A session manages **multiple named
+//! datasets** concurrently: each dataset lives behind its own reader/writer lock, so
+//! warm `estimate`/`classify`/`stats` requests on published state proceed in
+//! parallel (shared read locks), while `load`/`unload`/`seed` and cold
+//! engine-building requests take the dataset's exclusive write lock. All
+//! floating-point work runs through the bit-identical kernels and every engine is
+//! published before a read path can see it, so each response is a deterministic
+//! function of the per-dataset request history alone — clients driving disjoint
+//! datasets get byte-identical response streams under any interleaving (timings are
+//! only reported in aggregate by `stats`).
+//!
+//! Per dataset, a small LRU of engine states keyed by **seed-set fingerprint**
+//! keeps recently-used seed configurations warm: a `seed` mutation forks the live
+//! engines ([`DeltaSummary::fork`]) and folds the batch into the forks, so the
+//! pre-mutation state stays resident and reverting a mutation is a pure cache hit
+//! (`"engine_reused":true`, zero delta work). Seed fingerprints are maintained in
+//! O(1) per mutation by the rolling scheme in [`SeedLabels`]; `stats` exposes the
+//! per-dataset `seed_scratch_derivations` counter that proves the serving path
+//! never falls back to an O(n) re-derivation.
+//!
+//! When a persistent [`SummaryStore`] is attached, estimates for the *loaded* seed
+//! set are additionally served straight from persisted `H` entries
+//! (`optimize_store_hits`), skipping both summarization and optimization.
 //!
 //! # Protocol
 //!
 //! One JSON object per line in, one per line out. Requests name a command in `cmd`
-//! and may carry an `id` of any JSON type, echoed verbatim in the response.
-//! Responses are `{"ok":true,"id":...,"result":{...}}` or
+//! and may carry an `id` of any JSON type, echoed verbatim in the response, plus an
+//! optional `dataset` name (defaulting to `"default"`) selecting which dataset the
+//! command addresses. Responses are `{"ok":true,"id":...,"result":{...}}` or
 //! `{"ok":false,"id":...,"line":N,"error":"..."}` — malformed requests (bad JSON,
 //! unknown commands, invalid parameters) produce an error response with the
 //! connection's line number and never terminate the session.
@@ -20,7 +40,8 @@
 //! | command    | parameters                                                        |
 //! |------------|-------------------------------------------------------------------|
 //! | `ping`     | —                                                                 |
-//! | `load`     | `edges`, `labels`, `nodes`, `classes`                             |
+//! | `load`     | `edges`, `labels`, `nodes`, `classes`, `dataset` (optional name)  |
+//! | `unload`   | `dataset` (optional name)                                         |
 //! | `seed`     | `add` `[[node,label],..]`, `remove` `[node,..]`, `relabel` `[[node,label],..]` |
 //! | `estimate` | `method`, `lmax`, `lambda`, `restarts`, `splits`, `variant`       |
 //! | `classify` | estimate's parameters + `propagator`, `iterations`, `tolerance`, `damping`, `nodes` (subset), `abstain` |
@@ -39,10 +60,11 @@ use fg_core::prelude::*;
 use fg_core::{estimator_by_name_with, EstimatorOptions, SummaryStore};
 use fg_graph::Fingerprint;
 use fg_propagation::registry as propagation_registry;
-use fg_propagation::PropagatorOptions;
+use fg_propagation::{Propagator, PropagatorOptions};
 use std::collections::BTreeMap;
 use std::path::Path;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
 use std::time::{Duration, Instant};
 
 /// Whether the serving loop should keep reading after a response.
@@ -54,30 +76,70 @@ pub enum Flow {
     Close,
 }
 
-/// The loaded dataset plus its incremental machinery.
+/// The dataset name used when a request carries no `dataset` field.
+pub const DEFAULT_DATASET: &str = "default";
+
+/// How many seed-set engine states each dataset keeps warm by default.
+const DEFAULT_ENGINE_STATES: usize = 4;
+
+/// The engines maintained for one seed-set fingerprint: one slot per counting mode
+/// (index 0 = plain paths, 1 = non-backtracking), created lazily by the first
+/// estimator that needs the mode. An entry in the per-dataset LRU.
+struct EngineState {
+    seed_fp: Fingerprint,
+    engines: [Option<DeltaSummary>; 2],
+    /// Recency stamp from the session clock; atomic so warm reads can touch it
+    /// under a shared read lock.
+    last_used: AtomicU64,
+}
+
+impl EngineState {
+    fn full_summarizations(&self) -> usize {
+        self.engines
+            .iter()
+            .flatten()
+            .map(|e| e.stats().full_summarizations)
+            .sum()
+    }
+}
+
+/// One loaded dataset plus its incremental machinery. Lives behind a `RwLock` in
+/// the session's dataset map: warm reads share it, mutations own it.
 struct Dataset {
     graph: Arc<Graph>,
     seeds: SeedLabels,
     classes: usize,
     label: String,
-    /// One engine per counting mode (index 0 = plain paths, 1 = non-backtracking),
-    /// created lazily by the first estimator that needs the mode.
-    engines: [Option<DeltaSummary>; 2],
-    /// Whether the corresponding engine's current counts are already in the
-    /// shared cache (and store, when attached). Cleared by seed mutations and
-    /// engine (re)builds, so a warm session answering mutation-free requests does
-    /// zero publish clones and zero store writes.
-    published: [bool; 2],
+    /// LRU of engine states keyed by seed fingerprint. Every resident engine's
+    /// counts are already published to the shared cache (and persisted to the
+    /// store, when attached) — the read path never publishes.
+    states: Vec<EngineState>,
     /// Fingerprint of the seed set as loaded from disk. Store entries for this
     /// fingerprint are shared with batch runs and future sessions on the same
-    /// files, so mutation-time pruning must never touch it — only the session's
-    /// own intermediate (mutated) fingerprints are transient.
+    /// files, so pruning must never touch it — only the session's own intermediate
+    /// (mutated) fingerprints are transient.
     initial_seed_fp: Fingerprint,
+    /// The one intermediate (non-initial) seed fingerprint whose summaries are
+    /// currently persisted, if any. Each new persist prunes the previous
+    /// intermediate's files, so the store holds at most one transient state per
+    /// dataset alongside the shared initial one.
+    persisted_intermediate: Option<Fingerprint>,
 }
 
 impl Dataset {
     fn graph_fingerprint(&self) -> Fingerprint {
         self.graph.fingerprint()
+    }
+
+    fn state_index(&self, seed_fp: Fingerprint) -> Option<usize> {
+        self.states.iter().position(|s| s.seed_fp == seed_fp)
+    }
+
+    fn full_summarizations(&self) -> usize {
+        self.states
+            .iter()
+            .map(EngineState::full_summarizations)
+            .sum()
     }
 }
 
@@ -89,36 +151,41 @@ struct CommandStat {
     total: Duration,
 }
 
-struct State {
-    threads: Threads,
-    cache: Arc<SummaryCache>,
-    store: Option<Arc<SummaryStore>>,
-    dataset: Option<Dataset>,
-    requests: usize,
-    /// Full summarizations performed by engines that were since dropped (dataset
-    /// reloads, lmax upgrades) — keeps the session-wide total monotone.
-    retired_full_summarizations: usize,
-    commands: BTreeMap<String, CommandStat>,
-}
-
-impl State {
-    /// Session-wide count of full `O(n·paths)` summarizations: context/cache misses
-    /// plus every engine construction or fallback, including retired engines.
-    fn total_summary_computations(&self) -> usize {
-        let engine_total: usize = self
-            .dataset
-            .iter()
-            .flat_map(|d| d.engines.iter().flatten())
-            .map(|e| e.stats().full_summarizations)
-            .sum();
-        self.cache.computations() + engine_total + self.retired_full_summarizations
-    }
+/// The result of one estimation, with the per-request work counters.
+struct EstimateOutcome {
+    h: DenseMatrix,
+    estimator: String,
+    /// Full summarizations this request caused (engine builds + cache misses).
+    computations: usize,
+    /// Summaries this request pulled from the persistent store.
+    store_hits: usize,
+    /// Whether this request was answered straight from a persisted `H` estimate.
+    h_store_hits: usize,
 }
 
 /// A long-lived serving session (see the [module docs](self) for the protocol).
-/// Shared across connections behind an `Arc`; all request handling is serialized.
+/// Shared across connections behind an `Arc`. Named datasets are independent:
+/// requests on different datasets never contend beyond a brief map lookup, and
+/// warm reads on the *same* dataset run concurrently under its shared read lock.
 pub struct Session {
-    state: Mutex<State>,
+    threads: Threads,
+    cache: Arc<SummaryCache>,
+    store: Option<Arc<SummaryStore>>,
+    /// How many seed-set engine states each dataset keeps warm (LRU capacity).
+    engine_capacity: usize,
+    datasets: RwLock<BTreeMap<String, Arc<RwLock<Dataset>>>>,
+    requests: AtomicUsize,
+    /// Full summarizations performed by engines that were since dropped (dataset
+    /// reloads, lmax upgrades, LRU evictions) — keeps the session total monotone.
+    retired_full_summarizations: AtomicUsize,
+    /// Estimates answered straight from persisted `H` entries.
+    h_store_hits: AtomicUsize,
+    /// Monotone recency clock for the per-dataset engine LRUs.
+    clock: AtomicU64,
+    commands: Mutex<BTreeMap<String, CommandStat>>,
+    /// Test hook: invoked on every warm read while the dataset's shared read lock
+    /// is held, so concurrency tests can prove warm reads overlap.
+    warm_read_probe: Option<Box<dyn Fn() + Send + Sync>>,
 }
 
 impl Session {
@@ -126,16 +193,43 @@ impl Session {
     /// summary store.
     pub fn new(threads: Threads, store: Option<Arc<SummaryStore>>) -> Session {
         Session {
-            state: Mutex::new(State {
-                threads,
-                cache: SummaryCache::shared(),
-                store,
-                dataset: None,
-                requests: 0,
-                retired_full_summarizations: 0,
-                commands: BTreeMap::new(),
-            }),
+            threads,
+            cache: SummaryCache::shared(),
+            store,
+            engine_capacity: DEFAULT_ENGINE_STATES,
+            datasets: RwLock::new(BTreeMap::new()),
+            requests: AtomicUsize::new(0),
+            retired_full_summarizations: AtomicUsize::new(0),
+            h_store_hits: AtomicUsize::new(0),
+            clock: AtomicU64::new(0),
+            commands: Mutex::new(BTreeMap::new()),
+            warm_read_probe: None,
         }
+    }
+
+    /// Set how many seed-set engine states each dataset keeps warm (clamped to at
+    /// least one: the current seed set's engines are never evicted).
+    pub fn with_engine_states(mut self, capacity: usize) -> Session {
+        self.engine_capacity = capacity.max(1);
+        self
+    }
+
+    /// Install a hook invoked on every warm read while the dataset's shared read
+    /// lock is held. Concurrency tests use a barrier here to prove that warm reads
+    /// from multiple connections genuinely overlap.
+    #[doc(hidden)]
+    pub fn set_warm_read_probe(&mut self, probe: Box<dyn Fn() + Send + Sync>) {
+        self.warm_read_probe = Some(probe);
+    }
+
+    fn probe(&self) {
+        if let Some(probe) = &self.warm_read_probe {
+            probe();
+        }
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Handle one raw request line, producing the response line and the connection
@@ -171,29 +265,32 @@ impl Session {
         };
 
         let start = Instant::now();
-        let mut state = self.state.lock().expect("session state poisoned");
-        state.requests += 1;
+        self.requests.fetch_add(1, Ordering::Relaxed);
         let (outcome, flow) = match cmd.as_str() {
             "ping" => (Ok(Json::str("pong")), Flow::Continue),
-            "load" => (cmd_load(&mut state, &request), Flow::Continue),
-            "seed" => (cmd_seed(&mut state, &request), Flow::Continue),
-            "estimate" => (cmd_estimate(&mut state, &request), Flow::Continue),
-            "classify" => (cmd_classify(&mut state, &request), Flow::Continue),
-            "stats" => (Ok(cmd_stats(&state)), Flow::Continue),
+            "load" => (self.cmd_load(&request), Flow::Continue),
+            "unload" => (self.cmd_unload(&request), Flow::Continue),
+            "seed" => (self.cmd_seed(&request), Flow::Continue),
+            "estimate" => (self.cmd_estimate(&request), Flow::Continue),
+            "classify" => (self.cmd_classify(&request), Flow::Continue),
+            "stats" => (Ok(self.cmd_stats()), Flow::Continue),
             "shutdown" => (Ok(Json::str("closing connection")), Flow::Close),
             other => (
                 Err(format!(
-                    "unknown command '{other}' (expected ping, load, seed, estimate, \
-                     classify, stats, or shutdown)"
+                    "unknown command '{other}' (expected ping, load, unload, seed, \
+                     estimate, classify, stats, or shutdown)"
                 )),
                 Flow::Continue,
             ),
         };
-        let stat = state.commands.entry(cmd).or_default();
-        stat.count += 1;
-        stat.total += start.elapsed();
-        if outcome.is_err() {
-            stat.errors += 1;
+        {
+            let mut commands = self.commands.lock().expect("command stats poisoned");
+            let stat = commands.entry(cmd).or_default();
+            stat.count += 1;
+            stat.total += start.elapsed();
+            if outcome.is_err() {
+                stat.errors += 1;
+            }
         }
         let response = match outcome {
             Ok(result) => Json::obj(vec![
@@ -205,6 +302,572 @@ impl Session {
         };
         (response.to_string(), flow)
     }
+
+    /// Look up a loaded dataset's handle by name (brief shared lock on the map).
+    fn dataset_handle(&self, name: &str) -> Result<Arc<RwLock<Dataset>>, String> {
+        self.datasets
+            .read()
+            .expect("dataset map poisoned")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| missing_dataset(name))
+    }
+
+    /// `load`: read an edge list + seed label file into the named dataset,
+    /// replacing any previous dataset of that name (whose cache entries and
+    /// engines are retired).
+    fn cmd_load(&self, request: &Json) -> Result<Json, String> {
+        let name = dataset_name(request)?;
+        let edges = required_str(request, "edges")?;
+        let labels = required_str(request, "labels")?;
+        let nodes = required_usize(request, "nodes")?;
+        let classes = required_usize(request, "classes")?;
+        let graph =
+            fg_datasets::read_edge_list(Path::new(&edges), nodes).map_err(|e| e.to_string())?;
+        let seeds = fg_datasets::read_labels(Path::new(&labels), nodes, classes)
+            .map_err(|e| e.to_string())?;
+
+        let initial_seed_fp = seeds.fingerprint();
+        let dataset = Dataset {
+            graph: Arc::new(graph),
+            seeds,
+            classes,
+            label: edges.clone(),
+            states: Vec::new(),
+            initial_seed_fp,
+            persisted_intermediate: None,
+        };
+        let result = Json::obj(vec![
+            ("dataset", Json::str(name.clone())),
+            ("nodes", Json::num(dataset.graph.num_nodes())),
+            ("edges", Json::num(dataset.graph.num_edges())),
+            ("classes", Json::num(classes)),
+            ("labeled", Json::num(dataset.seeds.num_labeled())),
+            (
+                "graph_fingerprint",
+                Json::str(dataset.graph_fingerprint().to_hex()),
+            ),
+            (
+                "seed_fingerprint",
+                Json::str(dataset.seeds.fingerprint().to_hex()),
+            ),
+        ]);
+        let replaced = self
+            .datasets
+            .write()
+            .expect("dataset map poisoned")
+            .insert(name, Arc::new(RwLock::new(dataset)));
+        // Retire the replaced dataset outside the map lock: evict its cache
+        // entries so the session cache does not grow across reloads, keep its
+        // engines' work counters in the totals, and prune its transient store
+        // files. Waits for in-flight readers of the old dataset to drain.
+        if let Some(old) = replaced {
+            let mut old = old.write().expect("dataset poisoned");
+            self.retire_dataset(&mut old);
+        }
+        Ok(result)
+    }
+
+    /// `unload`: drop the named dataset, retiring its engines and cache entries.
+    fn cmd_unload(&self, request: &Json) -> Result<Json, String> {
+        let name = dataset_name(request)?;
+        let removed = self
+            .datasets
+            .write()
+            .expect("dataset map poisoned")
+            .remove(&name)
+            .ok_or_else(|| missing_dataset(&name))?;
+        let mut dataset = removed.write().expect("dataset poisoned");
+        self.retire_dataset(&mut dataset);
+        Ok(Json::obj(vec![
+            ("dataset", Json::str(name)),
+            ("unloaded", Json::Bool(true)),
+        ]))
+    }
+
+    /// Evict a dataset's cache entries, fold its engines' work into the retired
+    /// total, and prune its transient (intermediate-fingerprint) store files.
+    fn retire_dataset(&self, dataset: &mut Dataset) {
+        let graph_fp = dataset.graph_fingerprint();
+        for state in &dataset.states {
+            self.cache.remove(graph_fp, state.seed_fp);
+        }
+        self.retired_full_summarizations
+            .fetch_add(dataset.full_summarizations(), Ordering::Relaxed);
+        dataset.states.clear();
+        if let (Some(store), Some(fp)) = (&self.store, dataset.persisted_intermediate.take()) {
+            for non_backtracking in [false, true] {
+                if let Err(e) = store.remove(graph_fp, fp, non_backtracking) {
+                    eprintln!("warning: could not prune superseded summary: {e}");
+                }
+            }
+        }
+    }
+
+    /// Record that summaries for `fp` were just persisted: prune the previously
+    /// persisted intermediate state's files (the loaded seed set's entries are
+    /// shared with batch runs and always survive) and remember `fp` if it is
+    /// itself intermediate.
+    fn note_persisted(&self, dataset: &mut Dataset, fp: Fingerprint) {
+        if let Some(store) = &self.store {
+            if let Some(old) = dataset.persisted_intermediate {
+                if old != fp {
+                    for non_backtracking in [false, true] {
+                        if let Err(e) =
+                            store.remove(dataset.graph_fingerprint(), old, non_backtracking)
+                        {
+                            eprintln!("warning: could not prune superseded summary: {e}");
+                        }
+                    }
+                }
+            }
+        }
+        dataset.persisted_intermediate = (fp != dataset.initial_seed_fp).then_some(fp);
+    }
+
+    /// Shrink a dataset's engine LRU to capacity, never evicting `keep` (the
+    /// current seed set's state). Evicted engines' counters are retired and their
+    /// cache entries dropped; persisted files are governed by
+    /// [`note_persisted`](Self::note_persisted), not eviction.
+    fn evict_excess(&self, dataset: &mut Dataset, keep: Fingerprint) {
+        while dataset.states.len() > self.engine_capacity {
+            let victim = dataset
+                .states
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.seed_fp != keep)
+                .min_by_key(|(_, s)| s.last_used.load(Ordering::Relaxed))
+                .map(|(i, _)| i);
+            let Some(index) = victim else { break };
+            let state = dataset.states.remove(index);
+            self.retired_full_summarizations
+                .fetch_add(state.full_summarizations(), Ordering::Relaxed);
+            self.cache
+                .remove(dataset.graph_fingerprint(), state.seed_fp);
+        }
+    }
+
+    /// `seed`: apply a mutation batch to the named dataset under its exclusive
+    /// write lock. The pre-mutation engines stay resident in the LRU (forks absorb
+    /// the batch), so reverting a mutation later is a pure engine reuse.
+    fn cmd_seed(&self, request: &Json) -> Result<Json, String> {
+        let name = dataset_name(request)?;
+        let mutations = parse_mutations(request)?;
+        let handle = self.dataset_handle(&name)?;
+        let mut dataset = handle.write().expect("dataset poisoned");
+        validate_mutations(&dataset.seeds, &mutations).map_err(|e| e.to_string())?;
+
+        let old_fp = dataset.seeds.fingerprint();
+        // The post-mutation fingerprint decides between reusing a resident engine
+        // state and forking; deriving it from a scratch clone is fine here — the
+        // write path is exclusive, and the authoritative seed set below still
+        // pays only O(1) rolling updates per mutation.
+        let new_fp = {
+            let mut trial = dataset.seeds.clone();
+            apply_to_seeds(&mut trial, &mutations);
+            trial.fingerprint()
+        };
+
+        let mut delta_applied = 0usize;
+        let mut full_recomputes = 0usize;
+        let mut rows_touched = 0usize;
+        let engine_reused = dataset.state_index(new_fp).is_some();
+        if engine_reused {
+            let index = dataset.state_index(new_fp).expect("checked above");
+            dataset.states[index]
+                .last_used
+                .store(self.tick(), Ordering::Relaxed);
+        } else if let Some(index) = dataset.state_index(old_fp) {
+            // Fork the live engines and fold the batch into the forks; the
+            // pre-mutation state keeps its engines for a later revert.
+            let mut forks = [None, None];
+            for (slot, fork) in forks.iter_mut().enumerate() {
+                if let Some(engine) = &dataset.states[index].engines[slot] {
+                    let mut forked = engine.fork();
+                    let outcome = forked.apply(&mutations).map_err(|e| e.to_string())?;
+                    delta_applied += outcome.delta_applied;
+                    full_recomputes += outcome.full_recomputes;
+                    rows_touched += outcome.rows_touched;
+                    *fork = Some(forked);
+                }
+            }
+            if forks.iter().any(Option::is_some) {
+                for engine in forks.iter().flatten() {
+                    engine.publish_to(&self.cache);
+                    if let Some(store) = &self.store {
+                        if let Err(e) = engine.persist_to(store) {
+                            eprintln!("warning: could not persist summary: {e}");
+                        }
+                    }
+                }
+                dataset.states.push(EngineState {
+                    seed_fp: new_fp,
+                    engines: forks,
+                    last_used: AtomicU64::new(self.tick()),
+                });
+                self.evict_excess(&mut dataset, new_fp);
+                self.note_persisted(&mut dataset, new_fp);
+            }
+        }
+        // The authoritative seed set mutates in place: each set_label folds the
+        // change into the rolling fingerprint in O(1), which is what the
+        // `seed_scratch_derivations` counter in `stats` certifies.
+        apply_to_seeds(&mut dataset.seeds, &mutations);
+        debug_assert_eq!(dataset.seeds.fingerprint(), new_fp);
+        Ok(Json::obj(vec![
+            ("mutations", Json::num(mutations.len())),
+            ("labeled", Json::num(dataset.seeds.num_labeled())),
+            (
+                "seed_fingerprint",
+                Json::str(dataset.seeds.fingerprint().to_hex()),
+            ),
+            ("engine_reused", Json::Bool(engine_reused)),
+            ("delta_applied", Json::num(delta_applied)),
+            ("full_recomputes", Json::num(full_recomputes)),
+            ("rows_touched", Json::num(rows_touched)),
+        ]))
+    }
+
+    /// Run an estimator through a cache-backed context on a dataset, counting this
+    /// request's work via the key-scoped cache counters (deterministic under
+    /// concurrency: distinct datasets never share a key's counters).
+    fn estimate_with_ctx(
+        &self,
+        dataset: &Dataset,
+        estimator: &dyn CompatibilityEstimator,
+    ) -> Result<(DenseMatrix, usize, usize), String> {
+        let graph_fp = dataset.graph_fingerprint();
+        let seed_fp = dataset.seeds.fingerprint();
+        let computations_before = self.cache.key_computations(graph_fp, seed_fp);
+        let store_hits_before = self.cache.key_store_hits(graph_fp, seed_fp);
+        let mut ctx =
+            EstimationContext::with_cache(&dataset.graph, &dataset.seeds, Arc::clone(&self.cache))
+                .threads(self.threads);
+        if let Some(store) = &self.store {
+            ctx = ctx.store(Arc::clone(store));
+        }
+        let h = estimator
+            .estimate_with_context(&ctx)
+            .map_err(|e| e.to_string())?;
+        drop(ctx);
+        let computations = self.cache.key_computations(graph_fp, seed_fp) - computations_before;
+        let store_hits = self.cache.key_store_hits(graph_fp, seed_fp) - store_hits_before;
+        Ok((h, computations, store_hits))
+    }
+
+    /// Attempt to answer an estimation without exclusive access: from a persisted
+    /// `H` entry, from an estimator that needs no summaries, or from a resident
+    /// published engine state. Returns `None` when the request needs the write
+    /// path (engine build). Runs under the caller's shared read lock.
+    fn warm_estimate(
+        &self,
+        dataset: &Dataset,
+        estimator: &dyn CompatibilityEstimator,
+    ) -> Result<Option<EstimateOutcome>, String> {
+        let name = estimator.name();
+        let seed_fp = dataset.seeds.fingerprint();
+        if let Some(store) = &self.store {
+            if estimator.content_addressable() {
+                match store.load_h(dataset.graph_fingerprint(), seed_fp, &name) {
+                    Ok(Some(h)) => {
+                        self.h_store_hits.fetch_add(1, Ordering::Relaxed);
+                        self.probe();
+                        return Ok(Some(EstimateOutcome {
+                            h,
+                            estimator: name,
+                            computations: 0,
+                            store_hits: 0,
+                            h_store_hits: 1,
+                        }));
+                    }
+                    Ok(None) => {}
+                    // A corrupt or foreign store entry is loud but non-fatal:
+                    // re-estimate from the live state.
+                    Err(e) => eprintln!("warning: {e}; re-estimating"),
+                }
+            }
+        }
+        match estimator.summary_requirements() {
+            None => {
+                self.probe();
+                let (h, computations, store_hits) = self.estimate_with_ctx(dataset, estimator)?;
+                Ok(Some(EstimateOutcome {
+                    h,
+                    estimator: name,
+                    computations,
+                    store_hits,
+                    h_store_hits: 0,
+                }))
+            }
+            Some(requirements) => {
+                let slot = usize::from(requirements.non_backtracking);
+                let warm = dataset.state_index(seed_fp).is_some_and(|index| {
+                    let state = &dataset.states[index];
+                    let ready = state.engines[slot]
+                        .as_ref()
+                        .is_some_and(|e| e.max_length() >= requirements.max_length);
+                    if ready {
+                        state.last_used.store(self.tick(), Ordering::Relaxed);
+                    }
+                    ready
+                });
+                if !warm {
+                    return Ok(None);
+                }
+                self.probe();
+                let (h, computations, store_hits) = self.estimate_with_ctx(dataset, estimator)?;
+                Ok(Some(EstimateOutcome {
+                    h,
+                    estimator: name,
+                    computations,
+                    store_hits,
+                    h_store_hits: 0,
+                }))
+            }
+        }
+    }
+
+    /// Ensure an engine for the current seed set satisfies `requirements`,
+    /// building (or rebuilding longer) via one full summarization when needed and
+    /// publishing + persisting the fresh counts. Returns how many engines this
+    /// call built. Requires the caller's exclusive write lock.
+    fn ensure_engine(
+        &self,
+        dataset: &mut Dataset,
+        requirements: &SummaryConfig,
+    ) -> Result<usize, String> {
+        let seed_fp = dataset.seeds.fingerprint();
+        let slot = usize::from(requirements.non_backtracking);
+        let index = match dataset.state_index(seed_fp) {
+            Some(index) => index,
+            None => {
+                dataset.states.push(EngineState {
+                    seed_fp,
+                    engines: [None, None],
+                    last_used: AtomicU64::new(self.tick()),
+                });
+                self.evict_excess(&mut *dataset, seed_fp);
+                dataset.state_index(seed_fp).expect("just inserted")
+            }
+        };
+        let satisfied = dataset.states[index].engines[slot]
+            .as_ref()
+            .is_some_and(|e| e.max_length() >= requirements.max_length);
+        if satisfied {
+            dataset.states[index]
+                .last_used
+                .store(self.tick(), Ordering::Relaxed);
+            return Ok(0);
+        }
+        // Maintain at least the paper's ℓmax = 5 so later default requests reuse
+        // the same engine instead of forcing a rebuild.
+        let target = requirements.max_length.max(5);
+        if let Some(old) = dataset.states[index].engines[slot].take() {
+            self.retired_full_summarizations
+                .fetch_add(old.stats().full_summarizations, Ordering::Relaxed);
+        }
+        let engine = DeltaSummary::new(
+            Arc::clone(&dataset.graph),
+            dataset.seeds.clone(),
+            target,
+            requirements.non_backtracking,
+            self.threads,
+        )
+        .map_err(|e| e.to_string())?;
+        engine.publish_to(&self.cache);
+        if let Some(store) = &self.store {
+            if let Err(e) = engine.persist_to(store) {
+                eprintln!("warning: could not persist summary: {e}");
+            }
+        }
+        dataset.states[index].engines[slot] = Some(engine);
+        dataset.states[index]
+            .last_used
+            .store(self.tick(), Ordering::Relaxed);
+        self.note_persisted(dataset, seed_fp);
+        Ok(1)
+    }
+
+    /// The write-path estimation: re-check the warm path (another writer may have
+    /// built the engine while this request waited on the lock), then build what is
+    /// missing, estimate, and persist the loaded seed set's `H` for future
+    /// store-served requests.
+    fn cold_estimate(
+        &self,
+        dataset: &mut Dataset,
+        estimator: &dyn CompatibilityEstimator,
+    ) -> Result<EstimateOutcome, String> {
+        if let Some(outcome) = self.warm_estimate(dataset, estimator)? {
+            return Ok(outcome);
+        }
+        let mut built = 0usize;
+        if let Some(requirements) = estimator.summary_requirements() {
+            built = self.ensure_engine(dataset, &requirements)?;
+        }
+        let (h, computations, store_hits) = self.estimate_with_ctx(dataset, estimator)?;
+        let seed_fp = dataset.seeds.fingerprint();
+        if seed_fp == dataset.initial_seed_fp && estimator.content_addressable() {
+            if let Some(store) = &self.store {
+                if let Err(e) =
+                    store.save_h(dataset.graph_fingerprint(), seed_fp, &estimator.name(), &h)
+                {
+                    eprintln!("warning: could not persist the estimate: {e}");
+                }
+            }
+        }
+        Ok(EstimateOutcome {
+            h,
+            estimator: estimator.name(),
+            computations: computations + built,
+            store_hits,
+            h_store_hits: 0,
+        })
+    }
+
+    /// `estimate`: compatibility estimation on the named dataset's current seed
+    /// set — warm requests run under the shared read lock.
+    fn cmd_estimate(&self, request: &Json) -> Result<Json, String> {
+        let name = dataset_name(request)?;
+        let handle = self.dataset_handle(&name)?;
+        let estimator = build_estimator(request, self.threads)?;
+        let warm = {
+            let dataset = handle.read().expect("dataset poisoned");
+            self.warm_estimate(&dataset, estimator.as_ref())?
+        };
+        let outcome = match warm {
+            Some(outcome) => outcome,
+            None => {
+                let mut dataset = handle.write().expect("dataset poisoned");
+                self.cold_estimate(&mut dataset, estimator.as_ref())?
+            }
+        };
+        Ok(Json::obj(vec![
+            ("estimator", Json::str(outcome.estimator)),
+            ("h", matrix_to_json(&outcome.h)),
+            ("summary_computations", Json::num(outcome.computations)),
+            ("store_hits", Json::num(outcome.store_hits)),
+            ("optimize_store_hits", Json::num(outcome.h_store_hits)),
+        ]))
+    }
+
+    /// `classify`: end-to-end estimation + propagation, optionally restricted to a
+    /// node subset and optionally abstain-aware. The warm path holds one shared
+    /// read lock across estimation *and* propagation, so no mutation can slip
+    /// between the two stages.
+    fn cmd_classify(&self, request: &Json) -> Result<Json, String> {
+        let name = dataset_name(request)?;
+        let handle = self.dataset_handle(&name)?;
+        let propagator_name = request
+            .get("propagator")
+            .and_then(Json::as_str)
+            .unwrap_or("linbp");
+        let opts = PropagatorOptions {
+            max_iterations: optional_usize(request, "iterations")?,
+            tolerance: optional_f64(request, "tolerance")?,
+            damping: optional_f64(request, "damping")?,
+            threads: Some(self.threads),
+        };
+        let propagator =
+            propagation_registry::by_name_with(propagator_name, &opts).ok_or_else(|| {
+                format!(
+                    "unknown propagation method '{propagator_name}' (expected one of {})",
+                    propagation_registry::propagator_names().join(", ")
+                )
+            })?;
+        let estimator = if propagator.uses_compatibilities() {
+            Some(build_estimator(request, self.threads)?)
+        } else {
+            None
+        };
+        let subset = parse_subset(request)?;
+        let abstain = request
+            .get("abstain")
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
+
+        {
+            let dataset = handle.read().expect("dataset poisoned");
+            let warm = match &estimator {
+                Some(estimator) => self.warm_estimate(&dataset, estimator.as_ref())?,
+                None => {
+                    // Homophily propagators ignore H; a uniform matrix keeps the
+                    // call shape and never needs the write path.
+                    self.probe();
+                    let k = dataset.classes;
+                    Some(EstimateOutcome {
+                        h: DenseMatrix::filled(k, k, 1.0 / k as f64),
+                        estimator: "none".to_string(),
+                        computations: 0,
+                        store_hits: 0,
+                        h_store_hits: 0,
+                    })
+                }
+            };
+            if let Some(outcome) = warm {
+                return finish_classify(&dataset, outcome, propagator.as_ref(), &subset, abstain);
+            }
+        }
+        let mut dataset = handle.write().expect("dataset poisoned");
+        let outcome = self.cold_estimate(
+            &mut dataset,
+            estimator
+                .as_ref()
+                .expect("cold path implies estimator")
+                .as_ref(),
+        )?;
+        finish_classify(&dataset, outcome, propagator.as_ref(), &subset, abstain)
+    }
+
+    /// `stats`: session-wide counters (monotone across requests, engines, and
+    /// reloads) plus a per-dataset breakdown keyed by dataset name.
+    fn cmd_stats(&self) -> Json {
+        let handles: Vec<(String, Arc<RwLock<Dataset>>)> = self
+            .datasets
+            .read()
+            .expect("dataset map poisoned")
+            .iter()
+            .map(|(name, handle)| (name.clone(), Arc::clone(handle)))
+            .collect();
+        let mut live_full_summarizations = 0usize;
+        let mut datasets = Vec::with_capacity(handles.len());
+        for (name, handle) in handles {
+            let dataset: RwLockReadGuard<'_, Dataset> = handle.read().expect("dataset poisoned");
+            live_full_summarizations += dataset.full_summarizations();
+            datasets.push((name, dataset_stats(&dataset)));
+        }
+        let total = self.cache.computations()
+            + live_full_summarizations
+            + self.retired_full_summarizations.load(Ordering::Relaxed);
+        let commands = {
+            let commands = self.commands.lock().expect("command stats poisoned");
+            Json::Obj(
+                commands
+                    .iter()
+                    .map(|(name, stat)| {
+                        (
+                            name.clone(),
+                            Json::obj(vec![
+                                ("count", Json::num(stat.count)),
+                                ("errors", Json::num(stat.errors)),
+                                ("seconds", Json::Num(stat.total.as_secs_f64())),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            )
+        };
+        Json::obj(vec![
+            ("requests", Json::num(self.requests.load(Ordering::Relaxed))),
+            ("summary_computations", Json::num(total)),
+            ("store_hits", Json::num(self.cache.store_hits())),
+            (
+                "optimize_store_hits",
+                Json::num(self.h_store_hits.load(Ordering::Relaxed)),
+            ),
+            ("datasets", Json::Obj(datasets)),
+            ("commands", commands),
+        ])
+    }
 }
 
 fn error_response(id: &Json, line_no: usize, message: &str) -> Json {
@@ -214,6 +877,28 @@ fn error_response(id: &Json, line_no: usize, message: &str) -> Json {
         ("line", Json::num(line_no)),
         ("error", Json::str(format!("line {line_no}: {message}"))),
     ])
+}
+
+/// The dataset a request addresses: its optional `dataset` field, defaulting to
+/// [`DEFAULT_DATASET`].
+fn dataset_name(request: &Json) -> Result<String, String> {
+    match request.get("dataset") {
+        None | Some(Json::Null) => Ok(DEFAULT_DATASET.to_string()),
+        Some(v) => v
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| "field 'dataset' must be a string".to_string()),
+    }
+}
+
+fn missing_dataset(name: &str) -> String {
+    if name == DEFAULT_DATASET {
+        "no dataset loaded: send a 'load' request first".to_string()
+    } else {
+        format!(
+            "no dataset '{name}' loaded: send a 'load' request with \"dataset\":\"{name}\" first"
+        )
+    }
 }
 
 fn required_str(request: &Json, key: &str) -> Result<String, String> {
@@ -250,65 +935,6 @@ fn optional_f64(request: &Json, key: &str) -> Result<Option<f64>, String> {
             .map(Some)
             .ok_or_else(|| format!("field '{key}' must be a number")),
     }
-}
-
-fn dataset_of(state: &mut State) -> Result<&mut Dataset, String> {
-    state
-        .dataset
-        .as_mut()
-        .ok_or_else(|| "no dataset loaded: send a 'load' request first".to_string())
-}
-
-/// `load`: read an edge list + seed label file, replacing any previous dataset
-/// (whose cache entries and engines are retired).
-fn cmd_load(state: &mut State, request: &Json) -> Result<Json, String> {
-    let edges = required_str(request, "edges")?;
-    let labels = required_str(request, "labels")?;
-    let nodes = required_usize(request, "nodes")?;
-    let classes = required_usize(request, "classes")?;
-    let graph = fg_datasets::read_edge_list(Path::new(&edges), nodes).map_err(|e| e.to_string())?;
-    let seeds =
-        fg_datasets::read_labels(Path::new(&labels), nodes, classes).map_err(|e| e.to_string())?;
-
-    // Retire the previous dataset: evict its cache entry so the session cache does
-    // not grow across reloads, and keep its engines' work counters in the totals.
-    if let Some(old) = state.dataset.take() {
-        state
-            .cache
-            .remove(old.graph_fingerprint(), old.seeds.fingerprint());
-        state.retired_full_summarizations += old
-            .engines
-            .iter()
-            .flatten()
-            .map(|e| e.stats().full_summarizations)
-            .sum::<usize>();
-    }
-    let initial_seed_fp = seeds.fingerprint();
-    let dataset = Dataset {
-        graph: Arc::new(graph),
-        seeds,
-        classes,
-        label: edges.clone(),
-        engines: [None, None],
-        published: [false, false],
-        initial_seed_fp,
-    };
-    let result = Json::obj(vec![
-        ("nodes", Json::num(dataset.graph.num_nodes())),
-        ("edges", Json::num(dataset.graph.num_edges())),
-        ("classes", Json::num(classes)),
-        ("labeled", Json::num(dataset.seeds.num_labeled())),
-        (
-            "graph_fingerprint",
-            Json::str(dataset.graph_fingerprint().to_hex()),
-        ),
-        (
-            "seed_fingerprint",
-            Json::str(dataset.seeds.fingerprint().to_hex()),
-        ),
-    ]);
-    state.dataset = Some(dataset);
-    Ok(result)
 }
 
 /// Parse the `seed` request's three mutation arrays into one ordered batch
@@ -366,66 +992,18 @@ fn parse_mutations(request: &Json) -> Result<Vec<SeedMutation>, String> {
     Ok(mutations)
 }
 
-/// `seed`: apply a mutation batch to the authoritative seed set and every live
-/// engine, evicting the superseded cache entry.
-fn cmd_seed(state: &mut State, request: &Json) -> Result<Json, String> {
-    let mutations = parse_mutations(request)?;
-    let cache = Arc::clone(&state.cache);
-    let store = state.store.clone();
-    let dataset = dataset_of(state)?;
-    validate_mutations(&dataset.seeds, &mutations).map_err(|e| e.to_string())?;
-
-    let old_fp = dataset.seeds.fingerprint();
-    let mut delta_applied = 0usize;
-    let mut full_recomputes = 0usize;
-    let mut rows_touched = 0usize;
-    for engine in dataset.engines.iter_mut().flatten() {
-        let outcome = engine.apply(&mutations).map_err(|e| e.to_string())?;
-        delta_applied += outcome.delta_applied;
-        full_recomputes += outcome.full_recomputes;
-        rows_touched += outcome.rows_touched;
-    }
-    for m in &mutations {
+/// Apply a validated mutation batch to a seed set in place (O(1) rolling
+/// fingerprint update per mutation).
+fn apply_to_seeds(seeds: &mut SeedLabels, mutations: &[SeedMutation]) {
+    for m in mutations {
         let (node, label) = match *m {
             SeedMutation::Add { node, label } | SeedMutation::Relabel { node, label } => {
                 (node, Some(label))
             }
             SeedMutation::Remove { node } => (node, None),
         };
-        dataset
-            .seeds
-            .set_label(node, label)
-            .expect("validated above");
+        seeds.set_label(node, label).expect("validated by caller");
     }
-    // The old seed set's summaries are superseded; keep the cache at one live key
-    // per dataset and flag the engines' fresh counts for (re)publication. Persisted
-    // files are pruned only for the session's own intermediate fingerprints —
-    // a mutated state no other process can ever re-derive. The *loaded* seed
-    // file's entry is shared with batch runs and future sessions on the same
-    // files and must survive.
-    cache.remove(dataset.graph_fingerprint(), old_fp);
-    if old_fp != dataset.initial_seed_fp {
-        if let Some(store) = &store {
-            for non_backtracking in [false, true] {
-                if let Err(e) = store.remove(dataset.graph_fingerprint(), old_fp, non_backtracking)
-                {
-                    eprintln!("warning: could not prune superseded summary: {e}");
-                }
-            }
-        }
-    }
-    dataset.published = [false, false];
-    Ok(Json::obj(vec![
-        ("mutations", Json::num(mutations.len())),
-        ("labeled", Json::num(dataset.seeds.num_labeled())),
-        (
-            "seed_fingerprint",
-            Json::str(dataset.seeds.fingerprint().to_hex()),
-        ),
-        ("delta_applied", Json::num(delta_applied)),
-        ("full_recomputes", Json::num(full_recomputes)),
-        ("rows_touched", Json::num(rows_touched)),
-    ]))
 }
 
 /// Build the estimator described by a request through the fg-core registry.
@@ -456,95 +1034,6 @@ fn build_estimator(
     estimator_by_name_with(method, &defaults)
 }
 
-/// Ensure the engine for a counting mode maintains at least `max_length` paths,
-/// building (or rebuilding longer) via one full summarization when needed, then
-/// publish its counts so context requests are cache hits.
-fn ensure_engine(
-    state: &mut State,
-    non_backtracking: bool,
-    max_length: usize,
-) -> Result<(), String> {
-    let threads = state.threads;
-    let cache = Arc::clone(&state.cache);
-    let store = state.store.clone();
-    let mut retired = 0usize;
-    let dataset = dataset_of(state)?;
-    let slot = usize::from(non_backtracking);
-    let needs_build = match &dataset.engines[slot] {
-        Some(engine) => engine.max_length() < max_length,
-        None => true,
-    };
-    if needs_build {
-        // Maintain at least the paper's ℓmax = 5 so later default requests reuse
-        // the same engine instead of forcing a rebuild.
-        let target = max_length.max(5);
-        if let Some(old) = dataset.engines[slot].take() {
-            retired = old.stats().full_summarizations;
-        }
-        let engine = DeltaSummary::new(
-            Arc::clone(&dataset.graph),
-            dataset.seeds.clone(),
-            target,
-            non_backtracking,
-            threads,
-        )
-        .map_err(|e| e.to_string())?;
-        dataset.engines[slot] = Some(engine);
-        dataset.published[slot] = false;
-    }
-    // Publish (and persist) only when the engine's counts changed since the last
-    // publication — a warm session answering mutation-free requests re-does no
-    // cache clones and no store I/O.
-    if !dataset.published[slot] {
-        let engine = dataset.engines[slot].as_ref().expect("built above");
-        engine.publish_to(&cache);
-        if let Some(store) = &store {
-            if let Err(e) = engine.persist_to(store) {
-                eprintln!("warning: could not persist summary: {e}");
-            }
-        }
-        dataset.published[slot] = true;
-    }
-    state.retired_full_summarizations += retired;
-    Ok(())
-}
-
-/// Shared estimation path of `estimate` and `classify`: warm the right engine,
-/// publish its counts, and estimate through a cache-backed context. Returns the
-/// estimate plus the per-request work counters.
-fn estimate_h(
-    state: &mut State,
-    request: &Json,
-) -> Result<(DenseMatrix, String, usize, usize), String> {
-    let estimator = build_estimator(request, state.threads)?;
-    let computations_before = state.total_summary_computations();
-    if let Some(requirements) = estimator.summary_requirements() {
-        ensure_engine(
-            state,
-            requirements.non_backtracking,
-            requirements.max_length,
-        )?;
-    }
-    let threads = state.threads;
-    let cache = Arc::clone(&state.cache);
-    let store = state.store.clone();
-    let store_hits_before = cache.store_hits();
-    let dataset = dataset_of(state)?;
-    let mut ctx = EstimationContext::with_cache(&dataset.graph, &dataset.seeds, Arc::clone(&cache))
-        .threads(threads);
-    if let Some(store) = store {
-        ctx = ctx.store(store);
-    }
-    let h = estimator
-        .estimate_with_context(&ctx)
-        .map_err(|e| e.to_string())?;
-    let name = estimator.name();
-    drop(ctx);
-    let computations = state.total_summary_computations() - computations_before;
-    let store_hits = state.cache.store_hits() - store_hits_before;
-    Ok((h, name, computations, store_hits))
-}
-
 fn matrix_to_json(h: &DenseMatrix) -> Json {
     Json::Arr(
         (0..h.rows())
@@ -553,53 +1042,11 @@ fn matrix_to_json(h: &DenseMatrix) -> Json {
     )
 }
 
-/// `estimate`: compatibility estimation on the current seed set.
-fn cmd_estimate(state: &mut State, request: &Json) -> Result<Json, String> {
-    let (h, name, computations, store_hits) = estimate_h(state, request)?;
-    Ok(Json::obj(vec![
-        ("estimator", Json::str(name)),
-        ("h", matrix_to_json(&h)),
-        ("summary_computations", Json::num(computations)),
-        ("store_hits", Json::num(store_hits)),
-    ]))
-}
-
-/// `classify`: end-to-end estimation + propagation, optionally restricted to a node
-/// subset and optionally abstain-aware.
-fn cmd_classify(state: &mut State, request: &Json) -> Result<Json, String> {
-    let propagator_name = request
-        .get("propagator")
-        .and_then(Json::as_str)
-        .unwrap_or("linbp");
-    let opts = PropagatorOptions {
-        max_iterations: optional_usize(request, "iterations")?,
-        tolerance: optional_f64(request, "tolerance")?,
-        damping: optional_f64(request, "damping")?,
-        threads: Some(state.threads),
-    };
-    let propagator =
-        propagation_registry::by_name_with(propagator_name, &opts).ok_or_else(|| {
-            format!(
-                "unknown propagation method '{propagator_name}' (expected one of {})",
-                propagation_registry::propagator_names().join(", ")
-            )
-        })?;
-
-    let (h, estimator_name, computations, store_hits) = if propagator.uses_compatibilities() {
-        estimate_h(state, request)?
-    } else {
-        let k = dataset_of(state)?.classes;
-        (
-            DenseMatrix::filled(k, k, 1.0 / k as f64),
-            "none".to_string(),
-            0,
-            0,
-        )
-    };
-
-    let subset: Option<Vec<usize>> = match request.get("nodes") {
-        None | Some(Json::Null) => None,
-        Some(v) => Some(
+/// Parse the optional `nodes` subset of a `classify` request.
+fn parse_subset(request: &Json) -> Result<Option<Vec<usize>>, String> {
+    match request.get("nodes") {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => Ok(Some(
             v.as_array()
                 .ok_or_else(|| "field 'nodes' must be an array of node ids".to_string())?
                 .iter()
@@ -608,15 +1055,19 @@ fn cmd_classify(state: &mut State, request: &Json) -> Result<Json, String> {
                         .ok_or_else(|| "'nodes' ids must be integers".to_string())
                 })
                 .collect::<Result<Vec<_>, _>>()?,
-        ),
-    };
-    let abstain = request
-        .get("abstain")
-        .and_then(Json::as_bool)
-        .unwrap_or(false);
+        )),
+    }
+}
 
-    let dataset = dataset_of(state)?;
-    if let Some(nodes) = &subset {
+/// The propagation half of `classify`: runs with whichever lock the caller holds.
+fn finish_classify(
+    dataset: &Dataset,
+    estimate: EstimateOutcome,
+    propagator: &dyn Propagator,
+    subset: &Option<Vec<usize>>,
+    abstain: bool,
+) -> Result<Json, String> {
+    if let Some(nodes) = subset {
         if let Some(&bad) = nodes.iter().find(|&&n| n >= dataset.graph.num_nodes()) {
             return Err(format!(
                 "'nodes' id {bad} out of range (graph has {} nodes)",
@@ -625,7 +1076,7 @@ fn cmd_classify(state: &mut State, request: &Json) -> Result<Json, String> {
         }
     }
     let outcome = propagator
-        .propagate(&dataset.graph, &dataset.seeds, &h)
+        .propagate(&dataset.graph, &dataset.seeds, &estimate.h)
         .map_err(|e| e.to_string())?;
 
     let abstaining = abstain.then(|| outcome.predictions_or_abstain());
@@ -638,7 +1089,7 @@ fn cmd_classify(state: &mut State, request: &Json) -> Result<Json, String> {
             None => Json::num(outcome.predictions[node]),
         }
     };
-    let predictions = match &subset {
+    let predictions = match subset {
         Some(nodes) => Json::Arr(
             nodes
                 .iter()
@@ -648,13 +1099,14 @@ fn cmd_classify(state: &mut State, request: &Json) -> Result<Json, String> {
         None => Json::Arr((0..outcome.predictions.len()).map(label_json).collect()),
     };
     let mut fields = vec![
-        ("estimator", Json::str(estimator_name)),
+        ("estimator", Json::str(estimate.estimator)),
         ("propagator", Json::str(propagator.name())),
         ("iterations", Json::num(outcome.iterations)),
         ("converged", Json::Bool(outcome.converged)),
         ("predictions", predictions),
-        ("summary_computations", Json::num(computations)),
-        ("store_hits", Json::num(store_hits)),
+        ("summary_computations", Json::num(estimate.computations)),
+        ("store_hits", Json::num(estimate.store_hits)),
+        ("optimize_store_hits", Json::num(estimate.h_store_hits)),
     ];
     if let Some(abstaining) = &abstaining {
         let rate = fg_propagation::abstention_rate(abstaining, &dataset.seeds.unlabeled_nodes());
@@ -663,67 +1115,52 @@ fn cmd_classify(state: &mut State, request: &Json) -> Result<Json, String> {
     Ok(Json::obj(fields))
 }
 
-/// `stats`: session-wide counters (monotone across requests, engines, and reloads).
-fn cmd_stats(state: &State) -> Json {
-    let dataset = match &state.dataset {
-        Some(d) => {
-            let engines = Json::Arr(
-                d.engines
+/// The per-dataset block of a `stats` response.
+fn dataset_stats(dataset: &Dataset) -> Json {
+    let engines = Json::Arr(
+        dataset
+            .states
+            .iter()
+            .flat_map(|state| {
+                state
+                    .engines
                     .iter()
                     .enumerate()
-                    .filter_map(|(mode, engine)| engine.as_ref().map(|e| (mode, e)))
-                    .map(|(mode, engine)| {
-                        let stats = engine.stats();
-                        Json::obj(vec![
-                            ("mode", Json::str(if mode == 1 { "nb" } else { "all" })),
-                            ("lmax", Json::num(engine.max_length())),
-                            ("full_summarizations", Json::num(stats.full_summarizations)),
-                            ("delta_mutations", Json::num(stats.delta_mutations)),
-                            ("delta_rows_touched", Json::num(stats.delta_rows_touched)),
-                            (
-                                "full_rows_per_summarization",
-                                Json::num(stats.full_rows_per_summarization),
-                            ),
-                        ])
-                    })
-                    .collect(),
-            );
-            Json::obj(vec![
-                ("dataset", Json::str(d.label.clone())),
-                ("nodes", Json::num(d.graph.num_nodes())),
-                ("edges", Json::num(d.graph.num_edges())),
-                ("classes", Json::num(d.classes)),
-                ("labeled", Json::num(d.seeds.num_labeled())),
-                ("engines", engines),
-            ])
-        }
-        None => Json::Null,
-    };
-    let commands = Json::Obj(
-        state
-            .commands
-            .iter()
-            .map(|(name, stat)| {
-                (
-                    name.clone(),
-                    Json::obj(vec![
-                        ("count", Json::num(stat.count)),
-                        ("errors", Json::num(stat.errors)),
-                        ("seconds", Json::Num(stat.total.as_secs_f64())),
-                    ]),
-                )
+                    .filter_map(move |(mode, engine)| engine.as_ref().map(|e| (state, mode, e)))
+            })
+            .map(|(state, mode, engine)| {
+                let stats = engine.stats();
+                Json::obj(vec![
+                    ("seed_fingerprint", Json::str(state.seed_fp.to_hex())),
+                    ("mode", Json::str(if mode == 1 { "nb" } else { "all" })),
+                    ("lmax", Json::num(engine.max_length())),
+                    ("full_summarizations", Json::num(stats.full_summarizations)),
+                    ("delta_mutations", Json::num(stats.delta_mutations)),
+                    ("delta_rows_touched", Json::num(stats.delta_rows_touched)),
+                    (
+                        "full_rows_per_summarization",
+                        Json::num(stats.full_rows_per_summarization),
+                    ),
+                ])
             })
             .collect(),
     );
     Json::obj(vec![
-        ("requests", Json::num(state.requests)),
+        ("label", Json::str(dataset.label.clone())),
+        ("nodes", Json::num(dataset.graph.num_nodes())),
+        ("edges", Json::num(dataset.graph.num_edges())),
+        ("classes", Json::num(dataset.classes)),
+        ("labeled", Json::num(dataset.seeds.num_labeled())),
         (
-            "summary_computations",
-            Json::num(state.total_summary_computations()),
+            "seed_fingerprint",
+            Json::str(dataset.seeds.fingerprint().to_hex()),
         ),
-        ("store_hits", Json::num(state.cache.store_hits())),
-        ("dataset", dataset),
-        ("commands", commands),
+        (
+            "seed_scratch_derivations",
+            Json::num(dataset.seeds.scratch_derivations()),
+        ),
+        ("engine_states", Json::num(dataset.states.len())),
+        ("engines", engines),
     ])
 }
 

@@ -96,6 +96,10 @@ fn session_serves_load_seed_estimate_classify_with_incremental_counters() {
         Some(1)
     );
     assert_eq!(
+        seeded.get("engine_reused").and_then(Json::as_bool),
+        Some(false)
+    );
+    assert_eq!(
         seeded.get("full_recomputes").and_then(Json::as_usize),
         Some(0)
     );
@@ -155,16 +159,29 @@ fn session_serves_load_seed_estimate_classify_with_incremental_counters() {
         stats.get("summary_computations").and_then(Json::as_usize),
         Some(1)
     );
-    let engines = stats
-        .get("dataset")
-        .unwrap()
-        .get("engines")
-        .and_then(Json::as_array)
-        .unwrap();
-    assert_eq!(engines.len(), 1);
+    let default = stats
+        .get("datasets")
+        .and_then(|d| d.get("default"))
+        .expect("stats must describe the default dataset");
+    // Two resident engine states: the loaded seed set and the mutated fork.
     assert_eq!(
-        engines[0].get("delta_mutations").and_then(Json::as_usize),
-        Some(1)
+        default.get("engine_states").and_then(Json::as_usize),
+        Some(2)
+    );
+    let engines = default.get("engines").and_then(Json::as_array).unwrap();
+    assert_eq!(engines.len(), 2);
+    assert!(
+        engines
+            .iter()
+            .any(|e| e.get("delta_mutations").and_then(Json::as_usize) == Some(1)),
+        "the forked engine absorbed the mutation as a delta: {resp}"
+    );
+    // The rolling seed fingerprint never fell back to an O(n) re-derivation.
+    assert_eq!(
+        default
+            .get("seed_scratch_derivations")
+            .and_then(Json::as_usize),
+        Some(0)
     );
     assert!(stats.get("commands").unwrap().get("classify").is_some());
     std::fs::remove_dir_all(&dir).ok();
@@ -180,14 +197,27 @@ fn session_store_keeps_one_live_file_per_mode_across_mutations() {
     assert_ok(&resp);
     let (resp, _) = session.handle_line("{\"cmd\":\"estimate\",\"method\":\"dcer\"}", 2);
     assert_ok(&resp);
-    assert_eq!(store.entries().unwrap().len(), 1);
+    // The warm-up persists the loaded seed set's summary (`.fgsum`) and its
+    // estimated H (`.fgh`) — both shared with batch runs on the same files.
+    let files_with = |suffix: &str| -> Vec<String> {
+        store
+            .entries()
+            .unwrap()
+            .into_iter()
+            .map(|e| e.file)
+            .filter(|f| f.ends_with(suffix))
+            .collect()
+    };
+    assert_eq!(files_with(".fgsum").len(), 1);
+    assert_eq!(files_with(".fgh").len(), 1);
+    let initial_file = files_with(".fgsum")[0].clone();
 
     // Each mutation supersedes the previous *session-derived* fingerprint, whose
     // file is pruned when the replacement is persisted — but the loaded seed
-    // file's entry survives (batch runs and future sessions re-derive it), so the
-    // store holds at most two live files: the initial state and the current one.
+    // file's entries survive (batch runs and future sessions re-derive them), so
+    // the store holds at most two live summaries: the initial state's and the
+    // current one's.
     let seeds = fg_datasets::read_labels(&seeds_path, 400, 3).unwrap();
-    let initial_file = store.entries().unwrap()[0].file.clone();
     for (step, &node) in seeds.unlabeled_nodes().iter().take(3).enumerate() {
         let (resp, _) = session.handle_line(
             &format!(
@@ -207,16 +237,17 @@ fn session_store_keeps_one_live_file_per_mode_across_mutations() {
             Some(0),
             "{resp}"
         );
-        let entries = store.entries().unwrap();
+        let summaries = files_with(".fgsum");
         assert_eq!(
-            entries.len(),
+            summaries.len(),
             2,
-            "store accumulated dead files: {entries:?}"
+            "store accumulated dead files: {summaries:?}"
         );
         assert!(
-            entries.iter().any(|e| e.file == initial_file),
+            summaries.contains(&initial_file),
             "the loaded seed file's shared store entry must survive mutations"
         );
+        assert_eq!(files_with(".fgh").len(), 1);
     }
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -337,6 +368,208 @@ fn concurrent_tcp_clients_share_state_and_get_deterministic_responses() {
     assert_eq!(responses.len(), 2);
     assert!(responses[0].contains("\"ok\":false"));
     assert!(responses[1].contains("pong"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The locking-model guarantee of the serving tier: warm `classify` requests from
+/// concurrent clients genuinely overlap inside the dataset's shared read lock.
+/// Every warm read passes through a probe that blocks until all four clients have
+/// arrived — if warm reads were serialized (one lock-holder at a time), the first
+/// reader would wait out the timeout alone and the test would fail loudly.
+#[test]
+fn warm_reads_from_concurrent_clients_overlap() {
+    use std::sync::Condvar;
+    use std::time::Duration;
+
+    const CLIENTS: usize = 4;
+    let (dir, edges, seeds_path, _) = dataset("overlap");
+    let mut session = Session::new(Threads::Serial, None);
+    let latch = Arc::new((std::sync::Mutex::new(0usize), Condvar::new()));
+    let probe_latch = Arc::clone(&latch);
+    session.set_warm_read_probe(Box::new(move || {
+        let (count, cv) = &*probe_latch;
+        let mut arrived = count.lock().unwrap();
+        *arrived += 1;
+        cv.notify_all();
+        while *arrived < CLIENTS {
+            let (guard, timeout) = cv.wait_timeout(arrived, Duration::from_secs(20)).unwrap();
+            arrived = guard;
+            if timeout.timed_out() {
+                panic!(
+                    "warm reads did not overlap: only {} of {CLIENTS} readers arrived",
+                    *arrived
+                );
+            }
+        }
+    }));
+    let session = Arc::new(session);
+
+    // Warm up on the write path (engine build) — the probe only fires on warm reads.
+    let (resp, _) = session.handle_line(&load_line(&edges, &seeds_path), 1);
+    assert_ok(&resp);
+    let (resp, _) = session.handle_line("{\"cmd\":\"classify\",\"method\":\"dcer\"}", 2);
+    assert_ok(&resp);
+
+    let responses: Vec<String> = std::thread::scope(|scope| {
+        (0..CLIENTS)
+            .map(|_| {
+                let session = Arc::clone(&session);
+                scope.spawn(move || {
+                    let (resp, _) =
+                        session.handle_line("{\"cmd\":\"classify\",\"method\":\"dcer\"}", 1);
+                    resp
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    for other in &responses[1..] {
+        assert_eq!(other, &responses[0], "concurrent warm responses diverged");
+    }
+    assert!(responses[0].contains("\"summary_computations\":0"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn named_datasets_are_independent_and_unloadable() {
+    let (dir_a, edges_a, seeds_a, _) = dataset("multi_a");
+    let (dir_b, edges_b, seeds_b, _) = dataset("multi_b");
+    let session = Session::new(Threads::Serial, None);
+
+    let (resp, _) = session.handle_line(&load_line(&edges_a, &seeds_a), 1);
+    assert_ok(&resp);
+    let alt_load = format!(
+        "{{\"cmd\":\"load\",\"dataset\":\"alt\",\"edges\":\"{}\",\"labels\":\"{}\",\"nodes\":400,\"classes\":3}}",
+        edges_b.display(),
+        seeds_b.display()
+    );
+    let (resp, _) = session.handle_line(&alt_load, 2);
+    let loaded = assert_ok(&resp);
+    assert_eq!(loaded.get("dataset").and_then(Json::as_str), Some("alt"));
+
+    // Each dataset estimates against its own engines and seed state.
+    let (resp, _) = session.handle_line("{\"cmd\":\"estimate\",\"method\":\"dcer\"}", 3);
+    assert_ok(&resp);
+    let (resp, _) = session.handle_line(
+        "{\"cmd\":\"estimate\",\"method\":\"dcer\",\"dataset\":\"alt\"}",
+        4,
+    );
+    assert_ok(&resp);
+    let (resp, _) = session.handle_line("{\"cmd\":\"stats\"}", 5);
+    let stats = assert_ok(&resp);
+    let datasets = stats.get("datasets").unwrap();
+    assert!(datasets.get("default").is_some(), "{resp}");
+    assert!(datasets.get("alt").is_some(), "{resp}");
+
+    // Unloading one dataset leaves the other serving.
+    let (resp, _) = session.handle_line("{\"cmd\":\"unload\",\"dataset\":\"alt\"}", 6);
+    assert_ok(&resp);
+    let (resp, _) = session.handle_line(
+        "{\"cmd\":\"estimate\",\"method\":\"dcer\",\"dataset\":\"alt\"}",
+        7,
+    );
+    assert!(resp.contains("no dataset 'alt' loaded"), "{resp}");
+    let (resp, _) = session.handle_line("{\"cmd\":\"classify\",\"method\":\"dcer\"}", 8);
+    assert_ok(&resp);
+    std::fs::remove_dir_all(&dir_a).ok();
+    std::fs::remove_dir_all(&dir_b).ok();
+}
+
+/// Reverting a mutation lands back on a seed fingerprint whose engines are still
+/// resident in the LRU: the `seed` request reports `engine_reused` and performs
+/// zero delta work, and the follow-up estimate is computation-free.
+#[test]
+fn reverting_a_mutation_reuses_the_resident_engine_state() {
+    let (dir, edges, seeds_path, truth) = dataset("revert");
+    let session = Session::new(Threads::Serial, None);
+    let (resp, _) = session.handle_line(&load_line(&edges, &seeds_path), 1);
+    assert_ok(&resp);
+    let (resp, _) = session.handle_line("{\"cmd\":\"estimate\",\"method\":\"dcer\"}", 2);
+    assert!(resp.contains("\"summary_computations\":1"), "{resp}");
+
+    let seeds = fg_datasets::read_labels(&seeds_path, 400, 3).unwrap();
+    let node = seeds.unlabeled_nodes()[0];
+    let add = format!(
+        "{{\"cmd\":\"seed\",\"add\":[[{node},{}]]}}",
+        truth.class_of(node)
+    );
+    let (resp, _) = session.handle_line(&add, 3);
+    let seeded = assert_ok(&resp);
+    assert_eq!(
+        seeded.get("engine_reused").and_then(Json::as_bool),
+        Some(false)
+    );
+    assert_eq!(
+        seeded.get("delta_applied").and_then(Json::as_usize),
+        Some(1)
+    );
+
+    // Removing the same seed returns to the loaded fingerprint, whose engines
+    // never left the LRU.
+    let (resp, _) = session.handle_line(&format!("{{\"cmd\":\"seed\",\"remove\":[{node}]}}"), 4);
+    let reverted = assert_ok(&resp);
+    assert_eq!(
+        reverted.get("engine_reused").and_then(Json::as_bool),
+        Some(true),
+        "{resp}"
+    );
+    assert_eq!(
+        reverted.get("delta_applied").and_then(Json::as_usize),
+        Some(0)
+    );
+    let (resp, _) = session.handle_line("{\"cmd\":\"estimate\",\"method\":\"dcer\"}", 5);
+    assert!(resp.contains("\"summary_computations\":0"), "{resp}");
+
+    // Still exactly one full summarization session-wide, across the whole cycle.
+    let (resp, _) = session.handle_line("{\"cmd\":\"stats\"}", 6);
+    let stats = assert_ok(&resp);
+    assert_eq!(
+        stats.get("summary_computations").and_then(Json::as_usize),
+        Some(1)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A persisted `H` estimate serves a brand-new session (same store, same files)
+/// with zero summarizations *and* zero optimizations, bit-identically.
+#[test]
+fn persisted_h_estimates_serve_fresh_sessions_without_optimization() {
+    let (dir, edges, seeds_path, _) = dataset("h_store");
+    let store_dir = dir.join("summaries");
+    let store = Arc::new(fg_core::SummaryStore::open(&store_dir).unwrap());
+
+    let first = Session::new(Threads::Serial, Some(Arc::clone(&store)));
+    let (resp, _) = first.handle_line(&load_line(&edges, &seeds_path), 1);
+    assert_ok(&resp);
+    let (resp, _) = first.handle_line("{\"cmd\":\"estimate\",\"method\":\"dcer\"}", 2);
+    let cold = assert_ok(&resp);
+    assert_eq!(
+        cold.get("optimize_store_hits").and_then(Json::as_usize),
+        Some(0)
+    );
+
+    let second = Session::new(Threads::Serial, Some(Arc::clone(&store)));
+    let (resp, _) = second.handle_line(&load_line(&edges, &seeds_path), 1);
+    assert_ok(&resp);
+    let (resp, _) = second.handle_line("{\"cmd\":\"estimate\",\"method\":\"dcer\"}", 2);
+    let warm = assert_ok(&resp);
+    assert_eq!(
+        warm.get("summary_computations").and_then(Json::as_usize),
+        Some(0),
+        "{resp}"
+    );
+    assert_eq!(
+        warm.get("optimize_store_hits").and_then(Json::as_usize),
+        Some(1),
+        "{resp}"
+    );
+    assert_eq!(
+        warm.get("h").unwrap().to_string(),
+        cold.get("h").unwrap().to_string(),
+        "store-served H must be bit-identical to the estimate that produced it"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 
