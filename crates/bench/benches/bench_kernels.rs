@@ -1,0 +1,44 @@
+//! `cargo bench --bench bench_kernels` — measure the hot kernels (blocked SpMM
+//! vs the scalar reference, nnz-aware layout on a hub-heavy graph, the full
+//! summarize chain) and publish the kernel perf trajectory.
+//!
+//! Every measurement passes a bit-identity oracle before it is timed (blocked
+//! vs scalar output, parallel vs serial output), so a green bench run is a
+//! correctness gate as well as a timing source (see [`fg_bench::kernels`]).
+//!
+//! Output: aligned report lines on stdout and the JSON report at the repository
+//! root (`BENCH_kernels.json`) for the committed trajectory. The report embeds
+//! the detected core count and a derived `gating` mode — on sub-4-core hosts it
+//! says `"structure"` so CI gates shape + bit-identity rather than fictional
+//! speedups. Env knobs: `FG_BENCH_SMOKE=1` runs a seconds-scale configuration;
+//! `FG_BENCH_OUT` overrides the report path.
+
+use fg_bench::kernels::{render_kernel_report, run_kernel_bench, KernelBenchConfig};
+use std::path::PathBuf;
+
+fn main() {
+    let smoke = std::env::var("FG_BENCH_SMOKE").as_deref() == Ok("1");
+    let cfg = if smoke {
+        KernelBenchConfig::smoke()
+    } else {
+        KernelBenchConfig::full()
+    };
+    let report = run_kernel_bench(&cfg).expect("kernel bench failed");
+    for c in &report.comparisons {
+        println!(
+            "spmm_blocked_vs_scalar k={:<3} scalar {:>10.6}s  blocked {:>10.6}s  {:>5.2}x",
+            c.k, c.scalar_s, c.blocked_s, c.speedup
+        );
+    }
+    for row in &report.rows {
+        println!("{}", row.to_line());
+    }
+    let out: PathBuf = match std::env::var_os("FG_BENCH_OUT") {
+        Some(path) => PathBuf::from(path),
+        // CARGO_MANIFEST_DIR is crates/bench; the committed report lives at the
+        // repository root.
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_kernels.json"),
+    };
+    std::fs::write(&out, render_kernel_report(&cfg, &report)).expect("cannot write the report");
+    println!("kernel report written to {}", out.display());
+}

@@ -13,11 +13,16 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod kernels;
 pub mod micro;
 pub mod serve_load;
 pub mod sweeps;
 
 pub use harness::{scale_factor, scaled_n, time_it, ExperimentTable};
+pub use kernels::{
+    detected_cores, gating_mode, render_kernel_report, run_kernel_bench, KernelBenchConfig,
+    KernelReport, KernelRow, SpmmComparison,
+};
 pub use micro::{bench_iters, run_bench, BenchMeasurement};
 pub use serve_load::{percentile_ms, render_report, run_serve_load, LoadRow, ServeLoadConfig};
 pub use sweeps::{

@@ -296,8 +296,19 @@ pub fn run_serve_load(cfg: &ServeLoadConfig) -> io::Result<Vec<LoadRow>> {
 }
 
 /// Render the committed `BENCH_serve.json` report.
+///
+/// The report embeds the measuring host's core count and a derived `gating`
+/// mode (see [`crate::kernels::gating_mode`]): concurrent-throughput floors are
+/// only meaningful when the host can actually run clients in parallel, so on
+/// sub-4-core hosts the report says `"structure"` and CI skips them.
 pub fn render_report(cfg: &ServeLoadConfig, rows: &[LoadRow]) -> String {
+    let cores = crate::kernels::detected_cores();
     let mut out = String::from("{\n  \"bench\": \"serve_load\",\n");
+    out.push_str(&format!(
+        "  \"hardware\": {{\"cores\": {}}},\n  \"gating\": \"{}\",\n",
+        cores,
+        crate::kernels::gating_mode(cores)
+    ));
     out.push_str(&format!(
         "  \"config\": {{\"nodes\": {}, \"classes\": {}, \"requests_per_client\": {}, \"threads\": \"serial\"}},\n",
         cfg.nodes,
@@ -357,6 +368,15 @@ mod tests {
             parsed.get("bench").and_then(fg_serve::Json::as_str),
             Some("serve_load")
         );
+        assert_eq!(
+            parsed
+                .get("hardware")
+                .and_then(|h| h.get("cores"))
+                .and_then(fg_serve::Json::as_usize),
+            Some(crate::kernels::detected_cores())
+        );
+        let gating = parsed.get("gating").and_then(fg_serve::Json::as_str);
+        assert!(gating == Some("structure") || gating == Some("throughput"));
         let rendered_rows = parsed
             .get("rows")
             .and_then(fg_serve::Json::as_array)

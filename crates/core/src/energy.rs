@@ -224,6 +224,10 @@ pub struct LceEnergy {
     x: DenseMatrix,
     /// The neighbor-sum matrix `A = W X` (`n x k`).
     wx: DenseMatrix,
+    /// `Aᵀ` (`k x n`), cached once at construction: the gradient needs it on every
+    /// evaluation, and rebuilding an `n x k` transpose per optimizer step dominated
+    /// the gradient cost on large graphs.
+    wxt: DenseMatrix,
 }
 
 impl LceEnergy {
@@ -236,7 +240,8 @@ impl LceEnergy {
                 wx.shape()
             )));
         }
-        Ok(LceEnergy { x, wx })
+        let wxt = wx.transpose();
+        Ok(LceEnergy { x, wx, wxt })
     }
 }
 
@@ -257,7 +262,7 @@ impl EnergyFunction for LceEnergy {
         let h = free_to_matrix(free, self.k())?;
         // G = 2 Aᵀ (A H − X)
         let residual = self.wx.matmul(&h)?.sub(&self.x)?;
-        let g = self.wx.transpose().matmul(&residual)?.scaled(2.0);
+        let g = self.wxt.matmul(&residual)?.scaled(2.0);
         project_gradient(&g)
     }
 }

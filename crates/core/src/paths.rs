@@ -89,16 +89,35 @@ impl GraphSummary {
     }
 }
 
-/// Scale each row `i` of a dense matrix by `factors[i]` (multiplication by a diagonal
-/// matrix from the left, without building the diagonal matrix).
-fn scale_rows(m: &DenseMatrix, factors: &[f64]) -> DenseMatrix {
-    let mut out = m.clone();
+/// Subtract `diag(factors) * basis` from `out` in place: the degree correction of
+/// the non-backtracking recurrence, fused into the recurrence buffer instead of
+/// materializing the scaled matrix and a fresh difference. Per element this computes
+/// `out - (basis * factor)` — the exact multiply-then-subtract sequence the previous
+/// `sub(&scale_rows(..))` chain performed, so the results are bit-identical.
+fn sub_scaled_rows(out: &mut DenseMatrix, basis: &DenseMatrix, factors: &[f64]) {
     for (i, &f) in factors.iter().enumerate() {
-        for v in out.row_mut(i) {
-            *v *= f;
+        for (o, &v) in out.row_mut(i).iter_mut().zip(basis.row(i).iter()) {
+            *o -= v * f;
         }
     }
-    out
+}
+
+/// Count of `n x k` recurrence buffers allocated by [`run_recurrence`] since process
+/// start. The recurrence preallocates a constant number of buffers (two, plus one
+/// more in non-backtracking mode) and ping-pongs them across path lengths; tests
+/// assert this counter's delta is independent of `ℓmax`, i.e. zero per-length heap
+/// allocations. Not part of the supported API.
+static N_BUFFER_ALLOCS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Read [`N_BUFFER_ALLOCS`] (test hook). Not part of the supported API.
+#[doc(hidden)]
+pub fn n_buffer_allocations() -> usize {
+    N_BUFFER_ALLOCS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+fn alloc_n_buffer(n: usize, k: usize) -> DenseMatrix {
+    N_BUFFER_ALLOCS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    DenseMatrix::zeros(n, k)
 }
 
 /// Fixed row-block size for the chunked `Xᵀ N` reduction. The chunk boundaries are a
@@ -107,15 +126,15 @@ fn scale_rows(m: &DenseMatrix, factors: &[f64]) -> DenseMatrix {
 /// same per-chunk partials and merges them in the same order.
 const SEED_TRANSPOSE_CHUNK_ROWS: usize = 4096;
 
-/// Accumulate rows `range` of `M = Xᵀ N` into a fresh `k x k` partial: row `i` of `N`
-/// is added to row `class(i)` for every labeled node `i` in the range, in node order.
-fn seed_transpose_partial(
+/// Accumulate rows `range` of `M = Xᵀ N` into `m` (a zeroed `k x k` buffer): row `i`
+/// of `N` is added to row `class(i)` for every labeled node `i` in the range, in node
+/// order.
+fn seed_transpose_partial_into(
     seeds: &SeedLabels,
     n_matrix: &DenseMatrix,
     range: std::ops::Range<usize>,
-) -> DenseMatrix {
-    let k = seeds.k();
-    let mut m = DenseMatrix::zeros(k, k);
+    m: &mut DenseMatrix,
+) {
     for i in range {
         if let Some(c) = seeds.get(i) {
             let row = n_matrix.row(i);
@@ -124,13 +143,25 @@ fn seed_transpose_partial(
             }
         }
     }
+}
+
+/// Accumulate rows `range` of `M = Xᵀ N` into a fresh `k x k` partial.
+fn seed_transpose_partial(
+    seeds: &SeedLabels,
+    n_matrix: &DenseMatrix,
+    range: std::ops::Range<usize>,
+) -> DenseMatrix {
+    let k = seeds.k();
+    let mut m = DenseMatrix::zeros(k, k);
+    seed_transpose_partial_into(seeds, n_matrix, range, &mut m);
     m
 }
 
 /// Accumulate `M = Xᵀ N` where `X` is the one-hot seed matrix (serial entry point;
 /// see [`seed_transpose_product_with`] for the reduction contract).
 fn seed_transpose_product(seeds: &SeedLabels, n_matrix: &DenseMatrix) -> DenseMatrix {
-    seed_transpose_product_with(seeds, n_matrix, Threads::Serial)
+    let mut scratch = DenseMatrix::zeros(seeds.k(), seeds.k());
+    seed_transpose_product_with(seeds, n_matrix, Threads::Serial, &mut scratch)
 }
 
 /// `M = Xᵀ N` under a [`Threads`] policy, the last reduction of Algorithm 4.4.
@@ -142,12 +173,21 @@ fn seed_transpose_product(seeds: &SeedLabels, n_matrix: &DenseMatrix) -> DenseMa
 /// fixed by the data alone, the result is bit-identical at 1/2/4/auto threads — the
 /// same guarantee the `W·N(ℓ-1)` kernels give. A single-chunk input (n ≤ 4096) takes
 /// the exact serial path with no merge step at all.
+///
+/// `scratch` is a caller-owned `k x k` buffer the serial multi-chunk path reuses for
+/// its per-chunk partials, so a summarize run allocates it once instead of once per
+/// chunk per length. (The parallel path needs worker-private partials and ignores
+/// it.) Chunk 0 accumulates straight into the output; later chunks accumulate into
+/// the zeroed scratch and merge in chunk order — the exact partial-then-merge
+/// arithmetic of before, so results are unchanged bit for bit.
 fn seed_transpose_product_with(
     seeds: &SeedLabels,
     n_matrix: &DenseMatrix,
     threads: Threads,
+    scratch: &mut DenseMatrix,
 ) -> DenseMatrix {
     let n = seeds.n();
+    let k = seeds.k();
     let num_chunks = n.div_ceil(SEED_TRANSPOSE_CHUNK_ROWS).max(1);
     if num_chunks == 1 {
         return seed_transpose_partial(seeds, n_matrix, 0..n);
@@ -157,11 +197,20 @@ fn seed_transpose_product_with(
         start..(start + SEED_TRANSPOSE_CHUNK_ROWS).min(n)
     };
     let workers = threads.count_for(num_chunks);
-    let partials: Vec<DenseMatrix> = if workers <= 1 {
-        (0..num_chunks)
-            .map(|c| seed_transpose_partial(seeds, n_matrix, chunk_range(c)))
-            .collect()
-    } else {
+    if workers <= 1 {
+        debug_assert_eq!(scratch.shape(), (k, k));
+        let mut m = DenseMatrix::zeros(k, k);
+        seed_transpose_partial_into(seeds, n_matrix, chunk_range(0), &mut m);
+        for c in 1..num_chunks {
+            scratch.data_mut().fill(0.0);
+            seed_transpose_partial_into(seeds, n_matrix, chunk_range(c), scratch);
+            for (acc, &v) in m.data_mut().iter_mut().zip(scratch.data()) {
+                *acc += v;
+            }
+        }
+        return m;
+    }
+    let partials: Vec<DenseMatrix> = {
         // Workers pull chunk indices from a shared queue and tag each partial with
         // its index, so the merge below can replay chunk order regardless of which
         // worker computed which chunk.
@@ -265,9 +314,17 @@ pub(crate) fn compute_path_counts_and_intermediates(
 }
 
 /// The shared recurrence driver. With `keep_intermediates` every `N(ℓ)` is
-/// retained and returned; without it only the rolling `N(ℓ-1)` / `N(ℓ-2)` pair is
-/// alive at any time (the original batch memory profile). Identical arithmetic —
-/// and therefore bit-identical counts — either way.
+/// retained (as an independently owned clone) and returned; without it only the
+/// constant set of recurrence buffers is ever alive. Identical arithmetic — and
+/// therefore bit-identical counts — either way.
+///
+/// The buffers are allocated once up front and ping-ponged across path lengths via
+/// `mem::swap` — the per-length `W·N(ℓ-1)` product overwrites a retired buffer
+/// through [`CsrMatrix::spmm_dense_into`] and the non-backtracking degree correction
+/// is fused in place, so the loop performs zero per-length heap allocations for `N`
+/// buffers (tracked by [`n_buffer_allocations`]). Plain counting ping-pongs two
+/// buffers; non-backtracking rotates a third so `N(ℓ-2)` stays intact while `N(ℓ)`
+/// is built.
 fn run_recurrence(
     graph: &Graph,
     seeds: &SeedLabels,
@@ -278,60 +335,83 @@ fn run_recurrence(
 ) -> Result<(Vec<DenseMatrix>, Vec<DenseMatrix>)> {
     validate_summary_inputs(graph, seeds, max_length)?;
     let w = graph.adjacency();
-    let degrees = graph.degrees();
-    let degrees_minus_one: Vec<f64> = degrees.iter().map(|&d| d - 1.0).collect();
+    let n = graph.num_nodes();
+    let k = seeds.k();
     let x = seeds.to_matrix();
+    let mut scratch = DenseMatrix::zeros(k, k);
 
     let mut counts = Vec::with_capacity(max_length);
     let mut intermediates = Vec::new();
-    // The rolling window: in non-retaining mode only these two matrices (plus the
-    // one under construction) are ever alive.
-    let mut prev2: Option<DenseMatrix>; // N(ℓ-2)
-    let mut prev1: Option<DenseMatrix>; // N(ℓ-1)
 
-    // N(1) = W X for both counting modes.
-    let n1 = w.spmm_dense_with(&x, threads)?;
-    counts.push(seed_transpose_product_with(seeds, &n1, threads));
+    // N(1) = W X for both counting modes, written into the first rolling buffer.
+    let mut prev1 = alloc_n_buffer(n, k); // N(ℓ-1)
+    w.spmm_dense_into(&x, threads, &mut prev1)?;
+    counts.push(seed_transpose_product_with(
+        seeds,
+        &prev1,
+        threads,
+        &mut scratch,
+    ));
     if keep_intermediates {
-        intermediates.push(n1.clone());
+        intermediates.push(prev1.clone());
     }
-    prev1 = Some(n1);
 
     if max_length >= 2 {
-        let n2 = {
-            let n1 = prev1.as_ref().expect("set above");
-            if non_backtracking {
-                // N(2) = W N(1) - D X
-                w.spmm_dense_with(n1, threads)?
-                    .sub(&scale_rows(&x, &degrees))?
-            } else {
-                w.spmm_dense_with(n1, threads)?
-            }
+        // Only the non-backtracking corrections touch the degrees.
+        let (degrees, degrees_minus_one) = if non_backtracking {
+            let d = graph.degrees();
+            let dm1: Vec<f64> = d.iter().map(|&v| v - 1.0).collect();
+            (d, dm1)
+        } else {
+            (Vec::new(), Vec::new())
         };
-        counts.push(seed_transpose_product_with(seeds, &n2, threads));
-        if keep_intermediates {
-            intermediates.push(n2.clone());
+        let mut cur = alloc_n_buffer(n, k); // N(ℓ) under construction
+        let mut prev2 = if non_backtracking && max_length >= 3 {
+            Some(alloc_n_buffer(n, k)) // N(ℓ-2), needed intact by the correction
+        } else {
+            None
+        };
+
+        // N(2) = W N(1) (minus D X in non-backtracking mode).
+        w.spmm_dense_into(&prev1, threads, &mut cur)?;
+        if non_backtracking {
+            sub_scaled_rows(&mut cur, &x, &degrees);
         }
-        prev2 = prev1;
-        prev1 = Some(n2);
+        counts.push(seed_transpose_product_with(
+            seeds,
+            &cur,
+            threads,
+            &mut scratch,
+        ));
+        if keep_intermediates {
+            intermediates.push(cur.clone());
+        }
+        // Rotate: prev2 <- N(1), prev1 <- N(2); the retired buffer lands in `cur`.
+        if let Some(p2) = prev2.as_mut() {
+            std::mem::swap(p2, &mut prev1);
+        }
+        std::mem::swap(&mut prev1, &mut cur);
+
         for _ell in 3..=max_length {
-            let next = {
-                let p1 = prev1.as_ref().expect("set above");
-                let p2 = prev2.as_ref().expect("set above");
-                if non_backtracking {
-                    // N(ℓ) = W N(ℓ-1) - (D - I) N(ℓ-2)
-                    w.spmm_dense_with(p1, threads)?
-                        .sub(&scale_rows(p2, &degrees_minus_one))?
-                } else {
-                    w.spmm_dense_with(p1, threads)?
-                }
-            };
-            counts.push(seed_transpose_product_with(seeds, &next, threads));
-            if keep_intermediates {
-                intermediates.push(next.clone());
+            // N(ℓ) = W N(ℓ-1) - (D - I) N(ℓ-2), overwriting the retired buffer.
+            w.spmm_dense_into(&prev1, threads, &mut cur)?;
+            if non_backtracking {
+                let p2 = prev2.as_ref().expect("allocated above for NB mode");
+                sub_scaled_rows(&mut cur, p2, &degrees_minus_one);
             }
-            prev2 = prev1; // the old N(ℓ-2) is dropped here in rolling mode
-            prev1 = Some(next);
+            counts.push(seed_transpose_product_with(
+                seeds,
+                &cur,
+                threads,
+                &mut scratch,
+            ));
+            if keep_intermediates {
+                intermediates.push(cur.clone());
+            }
+            if let Some(p2) = prev2.as_mut() {
+                std::mem::swap(p2, &mut prev1);
+            }
+            std::mem::swap(&mut prev1, &mut cur);
         }
     }
     Ok((counts, intermediates))

@@ -124,6 +124,11 @@ struct Dataset {
     /// intermediate's files, so the store holds at most one transient state per
     /// dataset alongside the shared initial one.
     persisted_intermediate: Option<Fingerprint>,
+    /// How many engine states the LRU has evicted over this dataset's lifetime.
+    /// Exposed via `stats` so oscillating multi-tenant workloads — seed sets
+    /// cycling faster than the LRU capacity, re-summarizing on every swing — are
+    /// diagnosable from the outside.
+    engine_evictions: usize,
 }
 
 impl Dataset {
@@ -336,6 +341,7 @@ impl Session {
             states: Vec::new(),
             initial_seed_fp,
             persisted_intermediate: None,
+            engine_evictions: 0,
         };
         let result = Json::obj(vec![
             ("dataset", Json::str(name.clone())),
@@ -440,6 +446,7 @@ impl Session {
                 .map(|(i, _)| i);
             let Some(index) = victim else { break };
             let state = dataset.states.remove(index);
+            dataset.engine_evictions += 1;
             self.retired_full_summarizations
                 .fetch_add(state.full_summarizations(), Ordering::Relaxed);
             self.cache
@@ -1160,6 +1167,7 @@ fn dataset_stats(dataset: &Dataset) -> Json {
             Json::num(dataset.seeds.scratch_derivations()),
         ),
         ("engine_states", Json::num(dataset.states.len())),
+        ("engine_evictions", Json::num(dataset.engine_evictions)),
         ("engines", engines),
     ])
 }

@@ -584,3 +584,50 @@ fn predictions_round_trip_to_cli_file_format() {
     assert!(rendered.contains("9\tabstain\n"));
     assert!(fg_serve::predictions_to_file_format("{\"ok\":false}").is_none());
 }
+
+#[test]
+fn engine_lru_evictions_are_counted_in_stats() {
+    let (dir, edges, seeds_path, truth) = dataset("evictions");
+    // Capacity 1: every seed-set swing past the resident state must evict.
+    let session = Session::new(Threads::Serial, None).with_engine_states(1);
+
+    let (resp, _) = session.handle_line(&load_line(&edges, &seeds_path), 1);
+    assert_ok(&resp);
+    let (resp, _) = session.handle_line("{\"cmd\":\"estimate\",\"method\":\"dcer\"}", 2);
+    assert_ok(&resp);
+
+    let dataset_counter = |session: &Session, id: usize, field: &str| -> usize {
+        let (resp, _) = session.handle_line("{\"cmd\":\"stats\"}", id);
+        assert_ok(&resp)
+            .get("datasets")
+            .and_then(|d| d.get("default"))
+            .and_then(|d| d.get(field))
+            .and_then(Json::as_usize)
+            .unwrap_or_else(|| panic!("stats missing datasets.default.{field}: {resp}"))
+    };
+    assert_eq!(dataset_counter(&session, 3, "engine_evictions"), 0);
+    assert_eq!(dataset_counter(&session, 4, "engine_states"), 1);
+
+    // Mutating forks a second engine state; capacity 1 forces the loaded seed
+    // set's state out of the LRU.
+    let seeds = fg_datasets::read_labels(&seeds_path, 400, 3).unwrap();
+    let node = seeds.unlabeled_nodes()[0];
+    let (resp, _) = session.handle_line(
+        &format!(
+            "{{\"cmd\":\"seed\",\"add\":[[{node},{}]]}}",
+            truth.class_of(node)
+        ),
+        5,
+    );
+    assert_ok(&resp);
+    assert_eq!(dataset_counter(&session, 6, "engine_evictions"), 1);
+    assert_eq!(dataset_counter(&session, 7, "engine_states"), 1);
+
+    // Swinging back to the original seed set finds its state evicted, forks
+    // again, and evicts the intermediate state in turn.
+    let (resp, _) = session.handle_line(&format!("{{\"cmd\":\"seed\",\"remove\":[{node}]}}"), 8);
+    assert_ok(&resp);
+    assert_eq!(dataset_counter(&session, 9, "engine_evictions"), 2);
+    assert_eq!(dataset_counter(&session, 10, "engine_states"), 1);
+    std::fs::remove_dir_all(&dir).ok();
+}

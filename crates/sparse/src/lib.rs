@@ -37,7 +37,7 @@ pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use error::{Result, SparseError};
 pub use parallel::{
-    map_row_chunks, partition_rows, partition_rows_by_nnz, run_ordered_cells, Threads,
+    map_row_chunks, partition_rows, partition_rows_by_nnz, run_ordered_cells, RowBlocking, Threads,
 };
 pub use spectral::{spectral_radius, spectral_radius_dense, spectral_radius_sparse};
 

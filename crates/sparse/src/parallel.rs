@@ -147,6 +147,52 @@ pub fn partition_rows_by_nnz(indptr: &[usize], parts: usize) -> Vec<Range<usize>
     ranges
 }
 
+/// Row-blocking layout for the dense-RHS SpMM kernels.
+///
+/// [`RowBlocking::ByNnz`] bounds the stored entries processed per block, so on
+/// hub-heavy (power-law) graphs a run of low-degree rows — whose gathered RHS rows
+/// tend to share cache lines — is consumed while those lines are hot, instead of a
+/// single giant row evicting them between neighbors. Rows are never split and blocks
+/// run in row order, so the output is bit-identical to [`RowBlocking::Contiguous`]
+/// at any thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RowBlocking {
+    /// One contiguous pass over each worker's row range (the default).
+    #[default]
+    Contiguous,
+    /// Process each worker's range in sub-blocks of roughly this many stored
+    /// entries (at least one row per block; 0 behaves like `Contiguous`).
+    ByNnz(usize),
+}
+
+/// Split `range` into consecutive sub-ranges of roughly `target_nnz` stored entries
+/// each (read off `indptr`), never splitting a row. A degenerate target yields the
+/// whole range as one block.
+fn split_range_by_nnz(
+    indptr: &[usize],
+    range: Range<usize>,
+    target_nnz: usize,
+) -> Vec<Range<usize>> {
+    if range.is_empty() {
+        return Vec::new();
+    }
+    if target_nnz == 0 {
+        return vec![range];
+    }
+    let mut blocks = Vec::new();
+    let mut start = range.start;
+    while start < range.end {
+        let goal = indptr[start] + target_nnz;
+        let mut end = start + 1;
+        while end < range.end && indptr[end + 1] <= goal {
+            end += 1;
+        }
+        blocks.push(start..end);
+        start = end;
+    }
+    blocks
+}
+
 /// Run `f` over disjoint row-chunks of `out` on one scoped thread per range.
 ///
 /// `ranges` must be a contiguous partition of `0..out.len() / row_width` starting at 0
@@ -260,10 +306,19 @@ impl CsrMatrix {
     /// serial kernel: each worker owns a disjoint row range of the output, so no
     /// floating-point accumulation is reordered.
     pub fn spmm_dense_with(&self, dense: &DenseMatrix, threads: Threads) -> Result<DenseMatrix> {
-        let workers = threads.count_for(self.rows());
-        if workers <= 1 {
-            return self.spmm_dense(dense);
-        }
+        self.spmm_dense_blocked(dense, threads, RowBlocking::Contiguous)
+    }
+
+    /// [`CsrMatrix::spmm_dense_with`] with an explicit [`RowBlocking`] layout. The
+    /// blocking only changes the traversal grouping (each row's output is still
+    /// produced by exactly one pass, in row order), so every layout is bit-identical
+    /// to the serial kernel.
+    pub fn spmm_dense_blocked(
+        &self,
+        dense: &DenseMatrix,
+        threads: Threads,
+        blocking: RowBlocking,
+    ) -> Result<DenseMatrix> {
         if self.cols() != dense.rows() {
             return Err(SparseError::DimensionMismatch {
                 op: "csr * dense",
@@ -271,13 +326,74 @@ impl CsrMatrix {
                 right: dense.shape(),
             });
         }
-        let k = dense.cols();
-        let mut out = DenseMatrix::zeros(self.rows(), k);
-        let ranges = partition_rows_by_nnz(self.indptr(), workers);
-        map_row_chunks(out.data_mut(), k, &ranges, |rows, chunk| {
-            self.spmm_dense_rows_into(dense, rows, chunk)
-        });
+        let mut out = DenseMatrix::zeros(self.rows(), dense.cols());
+        self.spmm_dense_run(dense, threads, blocking, &mut out);
         Ok(out)
+    }
+
+    /// [`CsrMatrix::spmm_dense_with`] writing into a caller-owned output buffer of
+    /// shape `(self.rows(), dense.cols())`. Every output value is overwritten —
+    /// `out` needs no zeroing, so a loop like the path-count recurrence can reuse
+    /// the same buffers across iterations with zero per-iteration allocations.
+    pub fn spmm_dense_into(
+        &self,
+        dense: &DenseMatrix,
+        threads: Threads,
+        out: &mut DenseMatrix,
+    ) -> Result<()> {
+        if self.cols() != dense.rows() {
+            return Err(SparseError::DimensionMismatch {
+                op: "csr * dense",
+                left: self.shape(),
+                right: dense.shape(),
+            });
+        }
+        if out.shape() != (self.rows(), dense.cols()) {
+            return Err(SparseError::DimensionMismatch {
+                op: "csr * dense (into)",
+                left: (self.rows(), dense.cols()),
+                right: out.shape(),
+            });
+        }
+        self.spmm_dense_run(dense, threads, RowBlocking::Contiguous, out);
+        Ok(())
+    }
+
+    /// Shared driver behind the dense-RHS SpMM entry points: split the output rows
+    /// across workers by nnz, then run the (overwriting) row kernel per range —
+    /// optionally in nnz-bounded sub-blocks. Dimensions are already checked.
+    fn spmm_dense_run(
+        &self,
+        dense: &DenseMatrix,
+        threads: Threads,
+        blocking: RowBlocking,
+        out: &mut DenseMatrix,
+    ) {
+        let k = dense.cols();
+        let workers = threads.count_for(self.rows());
+        let ranges = if workers <= 1 {
+            if self.rows() == 0 {
+                Vec::new()
+            } else {
+                #[allow(clippy::single_range_in_vec_init)]
+                {
+                    vec![0..self.rows()]
+                }
+            }
+        } else {
+            partition_rows_by_nnz(self.indptr(), workers)
+        };
+        map_row_chunks(out.data_mut(), k, &ranges, |rows, chunk| match blocking {
+            RowBlocking::Contiguous => self.spmm_dense_rows_into(dense, rows, chunk),
+            RowBlocking::ByNnz(target) => {
+                let base = rows.start;
+                for block in split_range_by_nnz(self.indptr(), rows, target) {
+                    let lo = (block.start - base) * k;
+                    let hi = (block.end - base) * k;
+                    self.spmm_dense_rows_into(dense, block, &mut chunk[lo..hi]);
+                }
+            }
+        });
     }
 
     /// [`CsrMatrix::spmv`] under a [`Threads`] policy. Bit-identical to the serial
@@ -523,6 +639,132 @@ mod tests {
                 .data(),
             all_zero.spmm_dense(&x).unwrap().data()
         );
+    }
+
+    /// A hub-heavy (power-law-ish) matrix: a few rows hold a large share of the
+    /// entries, most rows hold 1–3, and every 11th row is empty.
+    fn hub_heavy_csr(rows: usize, cols: usize, seed: u64) -> CsrMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut triplets = Vec::new();
+        for r in 0..rows {
+            let nnz = if r % 97 == 0 {
+                cols / 2
+            } else if r % 11 == 0 {
+                0
+            } else {
+                1 + rng.gen_index(3)
+            };
+            for _ in 0..nnz {
+                triplets.push((r, rng.gen_index(cols), 2.0 * rng.gen::<f64>() - 1.0));
+            }
+        }
+        CsrMatrix::from_triplets(rows, cols, &triplets)
+    }
+
+    /// The blocked / monomorphized SpMM (k ≤ 8 takes a fixed-size-accumulator fast
+    /// path, larger k the generic column-blocked loop) must be bit-identical to the
+    /// scalar reference kernel for every k, thread count, and degree profile —
+    /// including hub rows and empty rows.
+    #[test]
+    fn blocked_spmm_matches_reference_across_k_and_threads() {
+        let matrices = [random_csr(301, 97, 5), hub_heavy_csr(500, 97, 13)];
+        for m in &matrices {
+            // Covers every dispatch arm: monomorphized (k ≤ 8), single-pass
+            // streaming (9..=64), and the column-blocked fallback (k > 64).
+            for k in [1usize, 2, 3, 5, 8, 17, 70] {
+                let x = random_dense(m.cols(), k, 40 + k as u64);
+                let reference = m.spmm_dense_reference(&x).unwrap();
+                assert_eq!(
+                    reference.data(),
+                    m.spmm_dense(&x).unwrap().data(),
+                    "serial blocked kernel diverged at k={k}"
+                );
+                for threads in [
+                    Threads::Serial,
+                    Threads::Fixed(2),
+                    Threads::Fixed(4),
+                    Threads::Auto,
+                ] {
+                    assert_eq!(
+                        reference.data(),
+                        m.spmm_dense_with(&x, threads).unwrap().data(),
+                        "k={k} {threads:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nnz_row_blocking_is_bit_identical() {
+        let m = hub_heavy_csr(600, 150, 21);
+        let x = random_dense(150, 3, 22);
+        let expected = m.spmm_dense_reference(&x).unwrap();
+        for blocking in [
+            RowBlocking::Contiguous,
+            RowBlocking::ByNnz(0),
+            RowBlocking::ByNnz(1),
+            RowBlocking::ByNnz(64),
+            RowBlocking::ByNnz(usize::MAX / 2),
+        ] {
+            for threads in [Threads::Serial, Threads::Fixed(2), Threads::Fixed(4)] {
+                let got = m.spmm_dense_blocked(&x, threads, blocking).unwrap();
+                assert_eq!(expected.data(), got.data(), "{blocking:?} {threads:?}");
+            }
+        }
+        assert!(m
+            .spmm_dense_blocked(
+                &DenseMatrix::zeros(3, 2),
+                Threads::Serial,
+                RowBlocking::ByNnz(8)
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn split_range_by_nnz_covers_range_without_splitting_rows() {
+        let m = hub_heavy_csr(200, 80, 31);
+        for target in [1usize, 16, 1000] {
+            let blocks = split_range_by_nnz(m.indptr(), 10..180, target);
+            assert_eq!(blocks.first().unwrap().start, 10);
+            assert_eq!(blocks.last().unwrap().end, 180);
+            for w in blocks.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+            for b in &blocks {
+                assert!(!b.is_empty());
+                // A block only exceeds the target when a single row does.
+                let nnz = m.indptr()[b.end] - m.indptr()[b.start];
+                assert!(
+                    nnz <= target || b.len() == 1 || {
+                        let last_row = m.indptr()[b.end] - m.indptr()[b.end - 1];
+                        nnz - last_row <= target
+                    }
+                );
+            }
+        }
+        assert!(split_range_by_nnz(m.indptr(), 5..5, 16).is_empty());
+        assert_eq!(split_range_by_nnz(m.indptr(), 0..7, 0), vec![0..7]);
+    }
+
+    #[test]
+    fn spmm_dense_into_overwrites_reused_buffers() {
+        let m = random_csr(157, 60, 17);
+        let x = random_dense(60, 4, 18);
+        let expected = m.spmm_dense(&x).unwrap();
+        // A dirty buffer must be fully overwritten, at any thread count.
+        for threads in [Threads::Serial, Threads::Fixed(3)] {
+            let mut out = DenseMatrix::filled(157, 4, f64::NAN);
+            m.spmm_dense_into(&x, threads, &mut out).unwrap();
+            assert_eq!(expected.data(), out.data(), "{threads:?}");
+        }
+        // Shape mismatches on either operand are rejected.
+        let mut wrong = DenseMatrix::zeros(10, 4);
+        assert!(m.spmm_dense_into(&x, Threads::Serial, &mut wrong).is_err());
+        let mut out = DenseMatrix::zeros(157, 4);
+        assert!(m
+            .spmm_dense_into(&DenseMatrix::zeros(3, 4), Threads::Serial, &mut out)
+            .is_err());
     }
 
     #[test]

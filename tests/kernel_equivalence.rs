@@ -1,0 +1,158 @@
+//! Kernel-rewrite equivalence suite: the blocked/monomorphized SpMM and the
+//! buffer-reusing summarize chain must leave every observable output unchanged
+//! **bit for bit**.
+//!
+//! The first test replays the pre-rewrite summarize chain out of public pieces —
+//! the retained scalar reference kernel ([`fg_sparse::CsrMatrix::spmm_dense_reference`]),
+//! an explicit `scale-rows-then-subtract` correction, and a dense `Xᵀ·N` product —
+//! and asserts `summarize_with` reproduces it exactly on a seeded family of graphs,
+//! at every thread count. The second asserts the recurrence's allocation discipline:
+//! a constant number of `N` buffers per summarize call, independent of `ℓmax`, on
+//! the fig3b-scale n = 50k graph.
+//!
+//! Both tests serialize on a shared lock: the `N`-buffer counter is process-global,
+//! so no other summarize may run concurrently while a delta is measured.
+
+use fg_core::paths::n_buffer_allocations;
+use fg_core::prelude::*;
+use fg_sparse::DenseMatrix as Dense;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Mutex;
+
+static SUMMARIZE_LOCK: Mutex<()> = Mutex::new(());
+
+/// `diag(factors) * m` — the degree-correction scaling exactly as the pre-rewrite
+/// chain computed it (value-times-factor, row by row).
+fn scale_rows(m: &Dense, factors: &[f64]) -> Dense {
+    let mut out = m.clone();
+    for (i, &f) in factors.iter().enumerate() {
+        for v in out.row_mut(i) {
+            *v *= f;
+        }
+    }
+    out
+}
+
+/// Replay the original summarize chain with the scalar reference kernel and
+/// per-length allocations: `N(ℓ)` via `spmm_dense_reference`, NB corrections via
+/// `sub(scale_rows(..))`, counts via `Xᵀ · N(ℓ)` (dense matmul — for n ≤ 4096 the
+/// production reduction is a single chunk accumulating in the same node order, and
+/// `1.0 * v` is bitwise `v`, so this is the exact old arithmetic).
+fn reference_counts(
+    graph: &fg_graph::Graph,
+    seeds: &fg_graph::SeedLabels,
+    max_length: usize,
+    non_backtracking: bool,
+) -> Vec<Dense> {
+    assert!(seeds.n() <= 4096, "single-chunk replay only");
+    let w = graph.adjacency();
+    let degrees = graph.degrees();
+    let degrees_minus_one: Vec<f64> = degrees.iter().map(|&d| d - 1.0).collect();
+    let x = seeds.to_matrix();
+    let xt = x.transpose();
+
+    let mut counts = Vec::new();
+    let mut prev1 = w.spmm_dense_reference(&x).unwrap();
+    counts.push(xt.matmul(&prev1).unwrap());
+    let mut prev2: Option<Dense> = None;
+    for ell in 2..=max_length {
+        let product = w.spmm_dense_reference(&prev1).unwrap();
+        let next = if non_backtracking {
+            if ell == 2 {
+                product.sub(&scale_rows(&x, &degrees)).unwrap()
+            } else {
+                let p2 = prev2.as_ref().unwrap();
+                product.sub(&scale_rows(p2, &degrees_minus_one)).unwrap()
+            }
+        } else {
+            product
+        };
+        counts.push(xt.matmul(&next).unwrap());
+        prev2 = Some(prev1);
+        prev1 = next;
+    }
+    counts
+}
+
+/// Property-style seeded sweep: `summarize_with` is bit-identical to the
+/// pre-rewrite chain for both counting modes, several graph shapes (including a
+/// hub-heavy skew), several `ℓmax`, and 1/2/4/auto threads.
+#[test]
+fn summarize_matches_pre_rewrite_chain_bit_for_bit() {
+    let _guard = SUMMARIZE_LOCK.lock().unwrap();
+    let cases = [
+        (500usize, 6.0f64, 3usize, 3.0f64, 7u64),
+        (800, 10.0, 4, 8.0, 11),
+        (1200, 4.0, 2, 2.0, 13),
+    ];
+    for &(n, degree, k, skew, seed) in &cases {
+        let cfg = GeneratorConfig::balanced(n, degree, k, skew).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let syn = generate(&cfg, &mut rng).unwrap();
+        let seeds = syn.labeling.stratified_sample(0.1, &mut rng);
+        for non_backtracking in [false, true] {
+            for max_length in [1usize, 2, 5] {
+                let expected = reference_counts(&syn.graph, &seeds, max_length, non_backtracking);
+                let config = SummaryConfig {
+                    max_length,
+                    non_backtracking,
+                    variant: NormalizationVariant::RowStochastic,
+                };
+                for threads in [
+                    Threads::Serial,
+                    Threads::Fixed(2),
+                    Threads::Fixed(4),
+                    Threads::Auto,
+                ] {
+                    let summary = summarize_with(&syn.graph, &seeds, &config, threads).unwrap();
+                    assert_eq!(summary.counts.len(), expected.len());
+                    for (ell, (got, want)) in summary.counts.iter().zip(expected.iter()).enumerate()
+                    {
+                        assert_eq!(
+                            got.data(),
+                            want.data(),
+                            "n={n} k={k} nb={non_backtracking} lmax={max_length} \
+                             {threads:?} length {}",
+                            ell + 1
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Acceptance gate: on the fig3b n = 50k graph, `summarize_with` allocates a
+/// constant number of `N` recurrence buffers — three in non-backtracking mode, two
+/// in plain mode — regardless of `ℓmax`. Zero per-length heap allocations.
+#[test]
+fn summarize_allocates_constant_n_buffers_on_fig3b_graph() {
+    let _guard = SUMMARIZE_LOCK.lock().unwrap();
+    let cfg = GeneratorConfig::balanced(50_000, 5.0, 3, 8.0).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let syn = generate(&cfg, &mut rng).unwrap();
+    let seeds = syn.labeling.stratified_sample(0.01, &mut rng);
+
+    let allocs_for = |max_length: usize, non_backtracking: bool| -> usize {
+        let config = SummaryConfig {
+            max_length,
+            non_backtracking,
+            variant: NormalizationVariant::RowStochastic,
+        };
+        let before = n_buffer_allocations();
+        summarize_with(&syn.graph, &seeds, &config, Threads::Serial).unwrap();
+        n_buffer_allocations() - before
+    };
+
+    // Non-backtracking rotates three preallocated buffers; the count must not
+    // grow with lmax (that would mean per-length allocations are back).
+    assert_eq!(allocs_for(3, true), 3);
+    assert_eq!(allocs_for(5, true), 3);
+    assert_eq!(allocs_for(8, true), 3);
+    // Plain counting ping-pongs two.
+    assert_eq!(allocs_for(5, false), 2);
+    // Degenerate lengths need even fewer.
+    assert_eq!(allocs_for(1, true), 1);
+    assert_eq!(allocs_for(2, true), 2);
+}
