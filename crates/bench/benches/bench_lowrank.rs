@@ -1,0 +1,52 @@
+//! `cargo bench --bench bench_lowrank` — measure the low-rank spectral
+//! counting backend against the exact kernel and publish the committed
+//! `BENCH_lowrank.json` trajectory.
+//!
+//! Before any timing, a full-rank oracle asserts the factor-space recurrence
+//! reproduces the exact counts and statistics in both counting modes, so a
+//! green bench run is a correctness gate as well as a timing source (see
+//! [`fg_bench::lowrank`]). The report also embeds the `accuracy_vs_rank`
+//! sweep, the detected core count, and the derived `gating` mode — CI only
+//! enforces the rank-64 speedup floor on `"throughput"` hosts.
+//!
+//! Env knobs: `FG_BENCH_SMOKE=1` runs a seconds-scale configuration;
+//! `FG_BENCH_OUT` overrides the report path.
+
+use fg_bench::lowrank::{render_lowrank_report, run_lowrank_bench, LowRankBenchConfig};
+use std::path::PathBuf;
+
+fn main() {
+    let smoke = std::env::var("FG_BENCH_SMOKE").as_deref() == Ok("1");
+    let cfg = if smoke {
+        LowRankBenchConfig::smoke()
+    } else {
+        LowRankBenchConfig::full()
+    };
+    let report = run_lowrank_bench(&cfg).expect("lowrank bench failed");
+    println!(
+        "summarize_exact lmax={} nnz={}: {:.6}s",
+        cfg.max_length, report.nnz, report.exact_s
+    );
+    for row in &report.rows {
+        println!("{}", row.to_line());
+    }
+    for o in &report.accuracy {
+        println!(
+            "accuracy {:<8} {:.4} (h_l2_vs_exact {:.6})",
+            match o.rank {
+                None => "exact".to_string(),
+                Some(r) => format!("rank={r}"),
+            },
+            o.accuracy,
+            o.h_l2_vs_exact
+        );
+    }
+    let out: PathBuf = match std::env::var_os("FG_BENCH_OUT") {
+        Some(path) => PathBuf::from(path),
+        // CARGO_MANIFEST_DIR is crates/bench; the committed report lives at the
+        // repository root.
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_lowrank.json"),
+    };
+    std::fs::write(&out, render_lowrank_report(&cfg, &report)).expect("cannot write the report");
+    println!("lowrank report written to {}", out.display());
+}

@@ -120,6 +120,7 @@ fn main() {
                 max_length: lmax,
                 non_backtracking,
                 variant: NormalizationVariant::RowStochastic,
+                ..SummaryConfig::default()
             };
             let final_seeds = engine.seeds().clone();
             let cold = summarize_with(&graph, &final_seeds, &summary_config, Threads::Serial)
@@ -204,6 +205,7 @@ fn main() {
             max_length: lmax,
             non_backtracking: true,
             variant: NormalizationVariant::RowStochastic,
+            ..SummaryConfig::default()
         };
         let final_seeds = engine.seeds().clone();
         let (cold, full_time) = fg_bench::time_it(|| {

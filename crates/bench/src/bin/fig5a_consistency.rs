@@ -30,6 +30,7 @@ fn main() {
             max_length,
             non_backtracking: true,
             variant: NormalizationVariant::RowStochastic,
+            ..SummaryConfig::default()
         },
     )
     .expect("NB summary");
@@ -40,6 +41,7 @@ fn main() {
             max_length,
             non_backtracking: false,
             variant: NormalizationVariant::RowStochastic,
+            ..SummaryConfig::default()
         },
     )
     .expect("full-path summary");

@@ -256,6 +256,7 @@ pub fn run_kernel_bench(cfg: &KernelBenchConfig) -> fg_core::Result<KernelReport
             max_length: 5,
             non_backtracking,
             variant: NormalizationVariant::RowStochastic,
+            ..SummaryConfig::default()
         };
         rows.push(scaling_row(label, cfg.iters, |threads| {
             let summary = summarize_with(&syn.graph, &seeds, &config, threads).unwrap();

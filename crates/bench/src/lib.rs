@@ -14,6 +14,7 @@
 
 pub mod harness;
 pub mod kernels;
+pub mod lowrank;
 pub mod micro;
 pub mod serve_load;
 pub mod sweeps;
@@ -23,12 +24,15 @@ pub use kernels::{
     detected_cores, gating_mode, render_kernel_report, run_kernel_bench, KernelBenchConfig,
     KernelReport, KernelRow, SpmmComparison,
 };
+pub use lowrank::{
+    render_lowrank_report, run_lowrank_bench, LowRankBenchConfig, LowRankReport, LowRankRow,
+};
 pub use micro::{bench_iters, run_bench, BenchMeasurement};
 pub use serve_load::{percentile_ms, render_report, run_serve_load, LoadRow, ServeLoadConfig};
 pub use sweeps::{
-    accuracy_vs_backend, accuracy_vs_backend_parallel, accuracy_vs_construction,
+    accuracy_vs_backend, accuracy_vs_backend_parallel, accuracy_vs_construction, accuracy_vs_rank,
     accuracy_vs_sparsity, accuracy_vs_sparsity_parallel, accuracy_vs_sparsity_with,
     backends_to_table, construction_to_table, estimator_set, l2_vs_sparsity, outcomes_to_table,
-    run_cells_parallel, warm_context_for, BackendOutcome, ConstructionOutcome, EstimatorKind,
-    SweepOutcome,
+    ranks_to_table, run_cells_parallel, warm_context_for, BackendOutcome, ConstructionOutcome,
+    EstimatorKind, RankOutcome, SweepOutcome,
 };

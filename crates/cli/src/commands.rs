@@ -45,15 +45,27 @@ fn load_graph_and_labels(args: &ArgMap) -> Result<(Graph, SeedLabels, usize), St
 ///
 /// `--method` accepts a plain registry name (`dcer`) or a fully parameterized spec
 /// (`"DCEr(r=10,l=5,lambda=0.1)"`); the `--lmax` / `--lambda` / `--restarts` /
-/// `--splits` / `--variant` / `--threads` options supply defaults that spec
-/// parameters override. `--threads` covers the estimation stage: the summarization
-/// kernels run in parallel with bit-identical output.
+/// `--splits` / `--variant` / `--mode` / `--rank` / `--threads` options supply
+/// defaults that spec parameters override. `--mode lowrank` (or a bare `--rank N`)
+/// selects the low-rank counting backend for DCE/DCEr. `--threads` covers the
+/// estimation stage: the summarization kernels run in parallel with bit-identical
+/// output.
 fn build_estimator(args: &ArgMap) -> Result<(Box<dyn CompatibilityEstimator>, String), String> {
     let method = args.get("method").unwrap_or("dcer");
     let variant = match args.get_parsed::<usize>("variant").map_err(err)? {
         Some(index) => Some(NormalizationVariant::from_index(index).ok_or_else(|| {
             format!("option --variant has invalid value '{index}' (expected 1, 2, or 3)")
         })?),
+        None => None,
+    };
+    let lowrank = match args.get("mode") {
+        Some("lowrank") => Some(true),
+        Some("exact") => Some(false),
+        Some(other) => {
+            return Err(format!(
+                "option --mode has invalid value '{other}' (expected exact or lowrank)"
+            ))
+        }
         None => None,
     };
     let defaults = EstimatorOptions {
@@ -63,6 +75,8 @@ fn build_estimator(args: &ArgMap) -> Result<(Box<dyn CompatibilityEstimator>, St
         splits: args.get_parsed("splits").map_err(err)?,
         variant,
         non_backtracking: None,
+        lowrank,
+        rank: args.get_parsed("rank").map_err(err)?,
         threads: args.get_parsed("threads").map_err(err)?,
     };
     let estimator = estimator_by_name_with(method, &defaults)?;
@@ -321,12 +335,20 @@ pub fn cmd_estimate(args: &ArgMap) -> CommandResult {
                 .threads(threads)
                 .store(Arc::clone(store));
             let h = estimator.estimate_with_context(&ctx).map_err(err)?;
-            let note = format!(
+            let mut note = format!(
                 "summary computations: {} (store hits: {}, cache dir {})",
                 ctx.summary_computations(),
                 ctx.store_hits(),
                 store.dir().display()
             );
+            let cache = ctx.cache();
+            if cache.factor_computations() + cache.factor_store_hits() > 0 {
+                note.push_str(&format!(
+                    "\nlow-rank eigensolves: {} (factor store hits: {})",
+                    cache.factor_computations(),
+                    cache.factor_store_hits()
+                ));
+            }
             (h, Some(note))
         }
     };
@@ -527,6 +549,15 @@ pub fn cmd_cache(args: &ArgMap) -> CommandResult {
                         meta.edges,
                         meta.builder,
                         &meta.features_fp.to_hex()[..12],
+                        entry.bytes
+                    ));
+                } else if let Some(meta) = entry.factor_meta {
+                    out.push(format!(
+                        "  {}  low-rank factor rank={} nodes={} graph={}.. ({} bytes)",
+                        entry.file,
+                        meta.rank,
+                        meta.nodes,
+                        &meta.graph_fp.to_hex()[..12],
                         entry.bytes
                     ));
                 } else {
@@ -747,8 +778,12 @@ pub fn usage() -> String {
         "  estimate   --edges FILE --nodes N --classes K --labels FILE",
         "             [--method dcer|dce|mce|lce|holdout | 'DCEr(r=10,l=5,lambda=10)']",
         "             [--lmax L] [--lambda X] [--restarts R] [--splits B]",
-        "             [--variant 1|2|3] [--threads N|auto] [--summary-cache [DIR]]",
+        "             [--variant 1|2|3] [--mode exact|lowrank] [--rank R]",
+        "             [--threads N|auto] [--summary-cache [DIR]]",
         "             [--out H_FILE] [--list-methods]",
+        "             (--mode lowrank, or a bare --rank R, counts paths through a",
+        "              rank-R spectral factor: edge-count-independent per length,",
+        "              persisted as .fgv entries by --summary-cache)",
         "  propagate  --edges FILE --nodes N --classes K --labels FILE",
         "             [--method linbp|bp|harmonic|rw] [--compat H_FILE]",
         "             [--iterations I] [--tolerance T] [--damping A] [--threads N|auto]",
@@ -1221,6 +1256,113 @@ mod tests {
         // Bad action errors.
         assert!(cmd_cache(&args(&["frob"])).is_err());
         assert!(cmd_cache(&args(&[])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lowrank_estimate_persists_the_factor_and_skips_the_eigensolve() {
+        let dir = temp_dir("lowrank_estimate");
+        let edges = dir.join("edges.tsv");
+        let labels = dir.join("labels.tsv");
+        cmd_generate(&args(&[
+            "--nodes",
+            "300",
+            "--degree",
+            "8",
+            "--classes",
+            "3",
+            "--out-edges",
+            edges.to_str().unwrap(),
+            "--out-labels",
+            labels.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let cache_dir = dir.join("summaries");
+        let base = [
+            "--edges",
+            edges.to_str().unwrap(),
+            "--nodes",
+            "300",
+            "--classes",
+            "3",
+            "--labels",
+            labels.to_str().unwrap(),
+            "--method",
+            "dce",
+            "--rank",
+            "8",
+            "--summary-cache",
+            cache_dir.to_str().unwrap(),
+        ];
+
+        // Cold run: one eigensolve, persisted as a .fgv entry.
+        let h_cold = dir.join("h_cold.txt");
+        let mut argv = base.to_vec();
+        argv.extend(["--out", h_cold.to_str().unwrap()]);
+        let cold = cmd_estimate(&args(&argv)).unwrap();
+        assert!(
+            cold.contains("DCE(l=5,lambda=10,mode=lowrank,rank=8)"),
+            "{cold}"
+        );
+        assert!(
+            cold.contains("low-rank eigensolves: 1 (factor store hits: 0)"),
+            "{cold}"
+        );
+
+        // Warm run: the factor comes from disk — zero eigensolves — and the
+        // estimate is bit-identical.
+        let h_warm = dir.join("h_warm.txt");
+        let mut argv = base.to_vec();
+        argv.extend(["--out", h_warm.to_str().unwrap()]);
+        let warm = cmd_estimate(&args(&argv)).unwrap();
+        assert!(
+            warm.contains("low-rank eigensolves: 0 (factor store hits: 1)"),
+            "{warm}"
+        );
+        assert_eq!(
+            std::fs::read(&h_cold).unwrap(),
+            std::fs::read(&h_warm).unwrap()
+        );
+
+        // fg cache ls renders the .fgv entry; clear removes it with the rest.
+        let ls = cmd_cache(&args(&["ls", "--dir", cache_dir.to_str().unwrap()])).unwrap();
+        assert!(ls.contains("low-rank factor rank=8 nodes=300"), "{ls}");
+        let cleared = cmd_cache(&args(&["clear", "--dir", cache_dir.to_str().unwrap()])).unwrap();
+        assert!(cleared.contains("removed"), "{cleared}");
+
+        // --mode exact overrides a configured rank; bad --mode values error.
+        let exact = cmd_estimate(&args(&[
+            "--edges",
+            edges.to_str().unwrap(),
+            "--nodes",
+            "300",
+            "--classes",
+            "3",
+            "--labels",
+            labels.to_str().unwrap(),
+            "--method",
+            "dce",
+            "--mode",
+            "exact",
+            "--rank",
+            "8",
+        ]))
+        .unwrap();
+        assert!(exact.contains("DCE(l=5,lambda=10)"), "{exact}");
+        let bad = cmd_estimate(&args(&[
+            "--edges",
+            edges.to_str().unwrap(),
+            "--nodes",
+            "300",
+            "--classes",
+            "3",
+            "--labels",
+            labels.to_str().unwrap(),
+            "--mode",
+            "spectral",
+        ]))
+        .unwrap_err();
+        assert!(bad.contains("exact or lowrank"), "{bad}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -62,6 +62,7 @@
 //! `dataset` plus `scale`, or `nodes` plus `degree`/`classes`/`skew` for the generator,
 //! or `features` plus `builder` to construct a graph from a raw feature matrix;
 //! `seed` and `fraction` apply to the synthetic and feature modes), `estimator`,
+//! `rank` (selects the low-rank counting backend at that factor rank),
 //! `propagator`, `iterations`, `tolerance`, `damping`, `threads`, `summary-cache`,
 //! `truth`, `out`, `report`. A `[construct]` section supplies feature-mode defaults
 //! (`features`, `builder`, `classes`) that apply when neither the entry nor the
@@ -287,6 +288,7 @@ const KNOWN_KEYS: &[&str] = &[
     "seed",
     "fraction",
     "estimator",
+    "rank",
     "propagator",
     "iterations",
     "tolerance",
@@ -772,6 +774,9 @@ fn execute_run(
         &estimator_spec,
         &EstimatorOptions {
             threads,
+            // A `rank =` key selects the low-rank counting backend for every
+            // estimator in the entry (spec-string keys still win).
+            rank: entry_or_default!(run, defaults, usize_value, "rank"),
             ..EstimatorOptions::default()
         },
     )
@@ -936,6 +941,29 @@ mod tests {
         assert!(dir.join("pred.tsv").exists());
         let report = std::fs::read_to_string(dir.join("report.json")).unwrap();
         assert!(report.contains("\"name\":\"small\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rank_key_selects_the_lowrank_backend() {
+        let dir = temp_dir("rank_key");
+        let manifest_path = dir.join("exp.toml");
+        std::fs::write(
+            &manifest_path,
+            "fraction = 0.1\n\
+             [[run]]\n\
+             name = \"lowrank\"\n\
+             nodes = 300\n\
+             seed = 3\n\
+             estimator = \"dce\"\n\
+             rank = 8\n",
+        )
+        .unwrap();
+        let output = run_manifest(&manifest_path).unwrap();
+        assert!(
+            output.contains("\"estimator\":\"DCE(l=5,lambda=10,mode=lowrank,rank=8)\""),
+            "{output}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

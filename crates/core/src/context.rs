@@ -36,11 +36,13 @@
 //! assert.
 
 use crate::error::Result;
+use crate::lowrank_counts::lowrank_path_counts;
 use crate::paths::{
-    compute_path_counts, summary_from_counts, validate_summary_inputs, GraphSummary, SummaryConfig,
+    compute_path_counts, summary_from_counts, validate_summary_inputs, CountingBackend,
+    GraphSummary, SummaryConfig,
 };
 use crate::store::SummaryStore;
-use fg_graph::{Fingerprint, Graph, SeedLabels};
+use fg_graph::{factor_fingerprint, FactorConfig, Fingerprint, Graph, LowRankFactor, SeedLabels};
 use fg_sparse::{DenseMatrix, Threads};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -49,12 +51,21 @@ use std::sync::{Arc, Mutex};
 /// The cache's key map: per-key state behind per-key locks.
 type PairMap = HashMap<(Fingerprint, Fingerprint), Arc<Mutex<PairState>>>;
 
+/// The factor map: one slot per factor fingerprint (which already folds in the
+/// graph fingerprint, rank, and solver parameters), behind per-slot locks so an
+/// eigensolve on one graph never blocks a different graph's.
+type FactorMap = HashMap<Fingerprint, Arc<Mutex<Option<Arc<LowRankFactor>>>>>;
+
 /// Cached artifacts for one `(graph_fp, seed_fp)` pair.
 #[derive(Debug, Default)]
 struct PairState {
     /// Cached raw count matrices per counting mode, index 0 = plain paths,
     /// index 1 = non-backtracking. Entry `i` of a vector holds `M(i+1)`.
     counts: [Option<Vec<DenseMatrix>>; 2],
+    /// Cached low-rank count matrices, keyed by `(factor fingerprint, NB mode)` —
+    /// each factor configuration yields different (approximate) counts, so they
+    /// never share an entry with the exact backend or with other ranks.
+    lowrank_counts: HashMap<(Fingerprint, bool), Vec<DenseMatrix>>,
     /// Cached `W · X` product (`n x k`), shared by both counting modes. Behind an
     /// `Arc` so callers copy it *outside* the cache mutex — the `n x k` copy must not
     /// serialize parallel sweep workers.
@@ -88,8 +99,11 @@ struct PairState {
 #[derive(Debug, Default)]
 pub struct SummaryCache {
     state: Mutex<PairMap>,
+    factors: Mutex<FactorMap>,
     computations: AtomicUsize,
     store_hits: AtomicUsize,
+    factor_computations: AtomicUsize,
+    factor_store_hits: AtomicUsize,
 }
 
 impl SummaryCache {
@@ -108,6 +122,20 @@ impl SummaryCache {
     /// instead of being recomputed.
     pub fn store_hits(&self) -> usize {
         self.store_hits.load(Ordering::Relaxed)
+    }
+
+    /// How many times a low-rank factor was actually computed (eigensolve run)
+    /// through this cache — cache *and* store misses. A sweep that evaluates many
+    /// ranks still pays one eigensolve per distinct factor configuration, and a
+    /// warm `.fgv` store tier drives this to zero.
+    pub fn factor_computations(&self) -> usize {
+        self.factor_computations.load(Ordering::Relaxed)
+    }
+
+    /// How many factor requests were answered from a persistent [`SummaryStore`]
+    /// (`.fgv` entries) instead of rerunning the eigensolve.
+    pub fn factor_store_hits(&self) -> usize {
+        self.factor_store_hits.load(Ordering::Relaxed)
     }
 
     /// Number of distinct `(graph, seeds)` pairs currently cached.
@@ -135,6 +163,15 @@ impl SummaryCache {
     fn existing_pair(&self, key: (Fingerprint, Fingerprint)) -> Option<Arc<Mutex<PairState>>> {
         let state = self.state.lock().expect("summary cache poisoned");
         state.get(&key).map(Arc::clone)
+    }
+
+    /// Get-or-insert the per-factor slot behind its own lock (same granularity
+    /// scheme as [`pair`](Self::pair): the outer map lock is released before the
+    /// caller locks the slot, so concurrent eigensolves on distinct factors
+    /// overlap while racing requests for one factor compute it exactly once).
+    fn factor_slot(&self, factor_fp: Fingerprint) -> Arc<Mutex<Option<Arc<LowRankFactor>>>> {
+        let mut factors = self.factors.lock().expect("factor cache poisoned");
+        Arc::clone(factors.entry(factor_fp).or_default())
     }
 
     /// How many computations this cache has recorded for one key (both counting
@@ -329,8 +366,30 @@ impl<'a> EstimationContext<'a> {
     /// Bit-identical to a fresh [`summarize`](crate::paths::summarize) call with the
     /// same configuration: counts are prefix-stable in `max_length`, independent of
     /// the normalization variant, and round-trip the store exactly.
+    ///
+    /// With [`CountingBackend::LowRank`] the spectral factor is resolved through
+    /// its own cache/store tier (see [`factor`](Self::factor)) and the counts come
+    /// from the `O(r²·k)`-per-length factor-space recurrence, cached per
+    /// `(factor, mode)` with the same prefix-stability.
     pub fn summary(&self, config: &SummaryConfig) -> Result<GraphSummary> {
         validate_summary_inputs(self.graph, self.seeds, config.max_length)?;
+        let counts = match config.backend {
+            CountingBackend::Exact => self.exact_counts(config)?,
+            CountingBackend::LowRank(factor_config) => {
+                self.lowrank_counts_for(config, &factor_config)?
+            }
+        };
+        Ok(summary_from_counts(
+            counts,
+            self.seeds.k(),
+            config.non_backtracking,
+            config.variant,
+        ))
+    }
+
+    /// The exact-backend count prefix for `config`: in-memory cache, then store,
+    /// then compute-and-persist.
+    fn exact_counts(&self, config: &SummaryConfig) -> Result<Vec<DenseMatrix>> {
         let mode = SummaryCache::mode_index(config.non_backtracking);
         let pair = self.cache.pair((self.graph_fp, self.seed_fp));
         let mut entry = pair.lock().expect("summary pair poisoned");
@@ -358,19 +417,94 @@ impl<'a> EstimationContext<'a> {
             };
             entry.counts[mode] = Some(counts);
         }
-        let counts = entry.counts[mode]
+        Ok(entry.counts[mode]
             .as_ref()
             .expect("counts cached above")
             .iter()
             .take(config.max_length)
             .cloned()
-            .collect();
-        Ok(summary_from_counts(
-            counts,
-            self.seeds.k(),
-            config.non_backtracking,
-            config.variant,
-        ))
+            .collect())
+    }
+
+    /// The low-rank-backend count prefix for `config`: the factor comes from its
+    /// cache/store tier, the recurrence result is cached per
+    /// `(factor fingerprint, mode)` under this context's pair key. Recomputing a
+    /// longer prefix reruns only the `O(r²·k·ℓmax)` recurrence — never the
+    /// eigensolve.
+    fn lowrank_counts_for(
+        &self,
+        config: &SummaryConfig,
+        factor_config: &FactorConfig,
+    ) -> Result<Vec<DenseMatrix>> {
+        let factor_fp = factor_fingerprint(self.graph_fp, factor_config);
+        let key = (factor_fp, config.non_backtracking);
+        let pair = self.cache.pair((self.graph_fp, self.seed_fp));
+        let mut entry = pair.lock().expect("summary pair poisoned");
+        let cached_len = entry.lowrank_counts.get(&key).map_or(0, |c| c.len());
+        if cached_len < config.max_length {
+            // Lock order is always pair → factor slot (nothing locks a pair while
+            // holding a slot), so resolving the factor here cannot deadlock.
+            let factor = self.factor(factor_config)?;
+            let counts = lowrank_path_counts(
+                &factor,
+                self.seeds,
+                config.max_length,
+                config.non_backtracking,
+            )?;
+            entry.computations += 1;
+            self.cache.computations.fetch_add(1, Ordering::Relaxed);
+            entry.lowrank_counts.insert(key, counts);
+        }
+        Ok(entry
+            .lowrank_counts
+            .get(&key)
+            .expect("counts cached above")
+            .iter()
+            .take(config.max_length)
+            .cloned()
+            .collect())
+    }
+
+    /// The low-rank factor of this context's graph under `factor_config`, served
+    /// from the in-memory factor cache, then the persistent `.fgv` store tier
+    /// (if attached), and computed — cached and persisted — otherwise. The
+    /// expensive eigensolve therefore runs **once** per
+    /// `(graph, rank, solver params)` across every context sharing the cache,
+    /// and not at all when a prior process left a `.fgv` entry behind.
+    pub fn factor(&self, factor_config: &FactorConfig) -> Result<Arc<LowRankFactor>> {
+        let factor_fp = factor_fingerprint(self.graph_fp, factor_config);
+        let slot = self.cache.factor_slot(factor_fp);
+        let mut guard = slot.lock().expect("factor slot poisoned");
+        if let Some(factor) = guard.as_ref() {
+            return Ok(Arc::clone(factor));
+        }
+        if let Some(store) = &self.store {
+            match store.load_factor(self.graph_fp, factor_config) {
+                Ok(Some(factor)) => {
+                    self.cache.factor_store_hits.fetch_add(1, Ordering::Relaxed);
+                    let factor = Arc::new(factor);
+                    *guard = Some(Arc::clone(&factor));
+                    return Ok(factor);
+                }
+                Ok(None) => {}
+                Err(e) => eprintln!("warning: {e}; recomputing factor"),
+            }
+        }
+        let factor = Arc::new(LowRankFactor::compute(
+            self.graph,
+            factor_config,
+            self.threads,
+        )?);
+        self.cache
+            .factor_computations
+            .fetch_add(1, Ordering::Relaxed);
+        if let Some(store) = &self.store {
+            if let Err(e) = store.save_factor(&factor) {
+                eprintln!("warning: could not persist factor: {e}");
+            }
+        }
+        *guard = Some(Arc::clone(&factor));
+        Ok(factor)
     }
 
     /// Try the persistent tier for a long-enough stored prefix. Returns `None` on a
@@ -469,6 +603,7 @@ mod tests {
                 max_length: 5,
                 non_backtracking: true,
                 variant: NormalizationVariant::MeanScaled,
+                ..SummaryConfig::default()
             })
             .unwrap();
         assert_eq!(ctx.summary_computations(), 1);
@@ -480,6 +615,7 @@ mod tests {
             max_length: 5,
             non_backtracking: false,
             variant: NormalizationVariant::RowStochastic,
+            ..SummaryConfig::default()
         })
         .unwrap();
         assert_eq!(ctx.summary_computations(), 2);
@@ -739,6 +875,115 @@ mod tests {
         healed.warm(&config).unwrap();
         assert_eq!(healed.summary_computations(), 0);
         assert_eq!(healed.store_hits(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lowrank_factor_is_computed_once_and_counts_are_cached() {
+        let (graph, seeds) = seeded_graph();
+        let cache = SummaryCache::shared();
+        let ctx = EstimationContext::with_cache(&graph, &seeds, Arc::clone(&cache));
+        let config = SummaryConfig {
+            max_length: 5,
+            ..SummaryConfig::with_lowrank_rank(8)
+        };
+        let five = ctx.summary(&config).unwrap();
+        assert_eq!(cache.factor_computations(), 1);
+        assert_eq!(ctx.summary_computations(), 1);
+        assert_eq!(five.max_length(), 5);
+
+        // Shorter prefixes and other variants reuse both the factor and the counts.
+        let three = ctx
+            .summary(&SummaryConfig {
+                max_length: 3,
+                variant: NormalizationVariant::MeanScaled,
+                ..config
+            })
+            .unwrap();
+        assert_eq!(cache.factor_computations(), 1);
+        assert_eq!(ctx.summary_computations(), 1);
+        assert_eq!(three.max_length(), 3);
+
+        // The other counting mode reruns only the recurrence, never the eigensolve.
+        ctx.warm(&SummaryConfig {
+            non_backtracking: false,
+            ..config
+        })
+        .unwrap();
+        assert_eq!(cache.factor_computations(), 1);
+        assert_eq!(ctx.summary_computations(), 2);
+
+        // A different rank is a different factor.
+        ctx.warm(&SummaryConfig {
+            max_length: 5,
+            ..SummaryConfig::with_lowrank_rank(4)
+        })
+        .unwrap();
+        assert_eq!(cache.factor_computations(), 2);
+
+        // Low-rank entries never pollute the exact tier (and vice versa).
+        ctx.warm(&SummaryConfig::with_max_length(5)).unwrap();
+        assert_eq!(ctx.summary_computations(), 4);
+        assert_eq!(cache.factor_computations(), 2);
+    }
+
+    #[test]
+    fn warm_fgv_store_skips_the_eigensolve() {
+        let (graph, seeds) = seeded_graph();
+        let dir = std::env::temp_dir().join("fg_ctx_factor_store");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = Arc::new(SummaryStore::open(&dir).unwrap());
+        let config = SummaryConfig {
+            max_length: 5,
+            ..SummaryConfig::with_lowrank_rank(8)
+        };
+
+        // Cold: runs the eigensolve and persists the factor as a `.fgv` entry.
+        let cold_cache = SummaryCache::shared();
+        let cold = EstimationContext::with_cache(&graph, &seeds, Arc::clone(&cold_cache))
+            .store(Arc::clone(&store));
+        let fresh = cold.summary(&config).unwrap();
+        assert_eq!(cold_cache.factor_computations(), 1);
+        assert_eq!(cold_cache.factor_store_hits(), 0);
+
+        // Warm: a brand-new cache (new process) loads the factor from disk — zero
+        // eigensolves — and produces bit-identical counts at any thread policy.
+        for threads in [Threads::Serial, Threads::Fixed(4)] {
+            let warm_cache = SummaryCache::shared();
+            let warm = EstimationContext::with_cache(&graph, &seeds, Arc::clone(&warm_cache))
+                .threads(threads)
+                .store(Arc::clone(&store));
+            let served = warm.summary(&config).unwrap();
+            assert_eq!(warm_cache.factor_computations(), 0, "{threads:?}");
+            assert_eq!(warm_cache.factor_store_hits(), 1, "{threads:?}");
+            for l in 1..=5 {
+                assert_eq!(
+                    served.count(l).unwrap().data(),
+                    fresh.count(l).unwrap().data(),
+                    "{threads:?} length {l}"
+                );
+            }
+        }
+
+        // A damaged `.fgv` entry is rejected, recomputed, and repaired in place.
+        let factor_config = FactorConfig::with_rank(8);
+        let path = store.path_for_factor(graph.fingerprint(), &factor_config);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let repair_cache = SummaryCache::shared();
+        let repair = EstimationContext::with_cache(&graph, &seeds, Arc::clone(&repair_cache))
+            .store(Arc::clone(&store));
+        repair.warm(&config).unwrap();
+        assert_eq!(repair_cache.factor_computations(), 1);
+        assert_eq!(repair_cache.factor_store_hits(), 0);
+        let healed_cache = SummaryCache::shared();
+        let healed = EstimationContext::with_cache(&graph, &seeds, Arc::clone(&healed_cache))
+            .store(Arc::clone(&store));
+        healed.warm(&config).unwrap();
+        assert_eq!(healed_cache.factor_computations(), 0);
+        assert_eq!(healed_cache.factor_store_hits(), 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -20,7 +20,7 @@ use crate::error::{CoreError, Result};
 use crate::normalization::NormalizationVariant;
 use crate::optimize::{minimize, GradientDescentConfig};
 use crate::param::{free_to_matrix, uniform_start};
-use crate::paths::{summarize_with, GraphSummary, SummaryConfig};
+use crate::paths::{summarize_with, CountingBackend, GraphSummary, SummaryConfig};
 use fg_graph::{Graph, SeedLabels};
 use fg_sparse::{DenseMatrix, Threads};
 
@@ -36,6 +36,9 @@ pub struct DceConfig {
     pub non_backtracking: bool,
     /// Normalization variant for the observed statistics.
     pub variant: NormalizationVariant,
+    /// Counting engine for the path statistics (exact, or the low-rank spectral
+    /// backend whose per-length cost is edge-count-independent).
+    pub backend: CountingBackend,
     /// Optimizer settings.
     pub optimizer: GradientDescentConfig,
     /// Thread policy for the summarization kernels (bit-identical at any count).
@@ -49,6 +52,7 @@ impl Default for DceConfig {
             lambda: 10.0,
             non_backtracking: true,
             variant: NormalizationVariant::RowStochastic,
+            backend: CountingBackend::Exact,
             optimizer: GradientDescentConfig::default(),
             threads: Threads::Serial,
         }
@@ -71,12 +75,15 @@ impl DceConfig {
             max_length: self.max_length,
             non_backtracking: self.non_backtracking,
             variant: self.variant,
+            backend: self.backend,
         }
     }
 
     /// The key-parameter fragment rendered into DCE/DCEr display names (e.g.
-    /// `l=5,lambda=10`); non-default counting mode and normalization variant are
-    /// appended so the registry can reconstruct the estimator from its name.
+    /// `l=5,lambda=10`); non-default counting mode, normalization variant, and
+    /// counting backend are appended so the registry can reconstruct the
+    /// estimator from its name — and so persisted `.fgh` estimates of different
+    /// backends/ranks never share a key.
     pub(crate) fn name_params(&self) -> String {
         let mut params = format!("l={},lambda={}", self.max_length, self.lambda);
         if !self.non_backtracking {
@@ -84,6 +91,9 @@ impl DceConfig {
         }
         if self.variant != NormalizationVariant::RowStochastic {
             params.push_str(&format!(",variant={}", self.variant.index()));
+        }
+        if let CountingBackend::LowRank(fc) = self.backend {
+            params.push_str(&format!(",mode=lowrank,rank={}", fc.rank));
         }
         params
     }

@@ -59,6 +59,7 @@ impl MyopicCompatibilityEstimation {
             max_length: 1,
             non_backtracking: true,
             variant: self.variant,
+            ..SummaryConfig::default()
         }
     }
 }

@@ -13,6 +13,8 @@ use super::{
     HoldoutEstimation, LinearCompatibilityEstimation, MyopicCompatibilityEstimation,
 };
 use crate::normalization::NormalizationVariant;
+use crate::paths::{CountingBackend, DEFAULT_LOWRANK_RANK};
+use fg_graph::FactorConfig;
 use fg_sparse::Threads;
 
 /// Estimator-agnostic configuration overrides understood by every registered
@@ -33,9 +35,31 @@ pub struct EstimatorOptions {
     pub variant: Option<NormalizationVariant>,
     /// Counting mode: non-backtracking paths when `true` (key `nb`; DCE, DCEr).
     pub non_backtracking: Option<bool>,
+    /// Counting backend (key `mode`, values `exact` / `lowrank`; DCE, DCEr). When
+    /// unset, a set [`rank`](Self::rank) implies the low-rank backend.
+    pub lowrank: Option<bool>,
+    /// Factor rank for the low-rank counting backend (key `rank`; DCE, DCEr).
+    /// Setting a rank without an explicit `mode` selects the low-rank backend;
+    /// `mode=lowrank` without a rank uses [`DEFAULT_LOWRANK_RANK`].
+    pub rank: Option<usize>,
     /// Thread policy for the estimator's parallel kernels. All estimators honor it;
     /// results are bit-identical at any thread count.
     pub threads: Option<Threads>,
+}
+
+impl EstimatorOptions {
+    /// The counting backend these options select: the low-rank backend when
+    /// `mode=lowrank` was given (or a `rank` without an explicit `mode=exact`),
+    /// the exact backend otherwise. An explicit `mode=exact` wins over a set
+    /// rank, mirroring how other inapplicable keys are ignored.
+    pub fn backend(&self) -> CountingBackend {
+        match (self.lowrank, self.rank) {
+            (Some(false), _) | (None, None) => CountingBackend::Exact,
+            (_, rank) => CountingBackend::LowRank(FactorConfig::with_rank(
+                rank.unwrap_or(DEFAULT_LOWRANK_RANK),
+            )),
+        }
+    }
 }
 
 /// A registry entry: canonical name, accepted aliases, a one-line description, and a
@@ -68,6 +92,7 @@ fn dce_config(opts: &EstimatorOptions) -> DceConfig {
     if let Some(threads) = opts.threads {
         config.threads = threads;
     }
+    config.backend = opts.backend();
     config
 }
 
@@ -206,10 +231,18 @@ fn parse_spec(spec: &str) -> Result<(String, EstimatorOptions), String> {
                         _ => return Err(bad("flag (expected true or false)")),
                     });
                 }
+                "mode" => {
+                    opts.lowrank = Some(match value.to_ascii_lowercase().as_str() {
+                        "lowrank" => true,
+                        "exact" => false,
+                        _ => return Err(bad("backend (expected exact or lowrank)")),
+                    });
+                }
+                "rank" => opts.rank = Some(value.parse().map_err(|_| bad("rank"))?),
                 other => {
                     return Err(format!(
                         "unknown estimator parameter '{other}' \
-                         (expected r, l, lambda, b, variant, or nb)"
+                         (expected r, l, lambda, b, variant, nb, mode, or rank)"
                     ))
                 }
             }
@@ -227,6 +260,8 @@ fn merge(base: &EstimatorOptions, overlay: &EstimatorOptions) -> EstimatorOption
         splits: overlay.splits.or(base.splits),
         variant: overlay.variant.or(base.variant),
         non_backtracking: overlay.non_backtracking.or(base.non_backtracking),
+        lowrank: overlay.lowrank.or(base.lowrank),
+        rank: overlay.rank.or(base.rank),
         threads: overlay.threads.or(base.threads),
     }
 }
@@ -343,6 +378,35 @@ mod tests {
     }
 
     #[test]
+    fn lowrank_mode_and_rank_keys_select_the_backend() {
+        // `mode=lowrank` with an explicit rank round-trips through the name.
+        let est = estimator_by_name("dce(mode=lowrank,rank=16)").unwrap();
+        assert_eq!(est.name(), "DCE(l=5,lambda=10,mode=lowrank,rank=16)");
+        let rebuilt = estimator_by_name(&est.name()).unwrap();
+        assert_eq!(rebuilt.name(), est.name());
+        // A rank alone implies the low-rank backend.
+        let est = estimator_by_name("dcer(r=3,rank=8)").unwrap();
+        assert_eq!(est.name(), "DCEr(r=3,l=5,lambda=10,mode=lowrank,rank=8)");
+        // `mode=lowrank` without a rank uses the default rank.
+        let est = estimator_by_name("dce(mode=lowrank)").unwrap();
+        assert_eq!(
+            est.name(),
+            format!("DCE(l=5,lambda=10,mode=lowrank,rank={DEFAULT_LOWRANK_RANK})")
+        );
+        // An explicit `mode=exact` wins over a set rank (inapplicable keys are
+        // ignored, not errors).
+        let est = estimator_by_name("dce(mode=exact,rank=8)").unwrap();
+        assert_eq!(est.name(), "DCE(l=5,lambda=10)");
+        // Defaults merge under spec keys like every other option.
+        let defaults = EstimatorOptions {
+            rank: Some(32),
+            ..EstimatorOptions::default()
+        };
+        let est = estimator_by_name_with("dce", &defaults).unwrap();
+        assert_eq!(est.name(), "DCE(l=5,lambda=10,mode=lowrank,rank=32)");
+    }
+
+    #[test]
     fn malformed_specs_are_rejected_with_messages() {
         let err_of = |spec: &str| estimator_by_name(spec).map(|_| ()).unwrap_err();
         assert!(err_of("nope").contains("unknown"));
@@ -352,6 +416,8 @@ mod tests {
         assert!(err_of("dcer(frobs=1)").contains("unknown estimator parameter"));
         assert!(err_of("mce(variant=9)").contains("variant"));
         assert!(err_of("dce(nb=perhaps)").contains("flag"));
+        assert!(err_of("dce(mode=spectral)").contains("exact or lowrank"));
+        assert!(err_of("dce(rank=lots)").contains("invalid rank"));
     }
 
     #[test]

@@ -289,6 +289,13 @@ impl DeltaSummary {
     /// normalization variant (counts are variant-independent), truncated to
     /// `max_length` (must be ≤ the maintained length).
     pub fn summary(&self, config: &SummaryConfig) -> Result<GraphSummary> {
+        if config.backend != crate::paths::CountingBackend::Exact {
+            return Err(CoreError::InvalidConfig(
+                "the incremental engine maintains exact counts; request the low-rank \
+                 backend through an EstimationContext instead"
+                    .into(),
+            ));
+        }
         if config.non_backtracking != self.non_backtracking {
             return Err(CoreError::InvalidConfig(format!(
                 "engine maintains non_backtracking = {}, requested {}",
@@ -706,6 +713,7 @@ mod tests {
             max_length: engine.max_length(),
             non_backtracking: engine.non_backtracking(),
             variant: NormalizationVariant::RowStochastic,
+            ..SummaryConfig::default()
         };
         let fresh =
             summarize_with(engine.graph(), engine.seeds(), &config, Threads::Serial).unwrap();
@@ -939,6 +947,7 @@ mod tests {
                 max_length: 2,
                 non_backtracking: true,
                 variant: NormalizationVariant::MeanScaled,
+                ..SummaryConfig::default()
             })
             .unwrap();
         assert_eq!(summary.max_length(), 2);
@@ -948,6 +957,7 @@ mod tests {
                 max_length: 2,
                 non_backtracking: false,
                 variant: NormalizationVariant::RowStochastic,
+                ..SummaryConfig::default()
             })
             .is_err());
     }

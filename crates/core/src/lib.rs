@@ -81,6 +81,7 @@ pub mod energy;
 pub mod error;
 pub mod estimators;
 pub mod incremental;
+pub mod lowrank_counts;
 pub mod normalization;
 pub mod optimize;
 pub mod param;
@@ -101,6 +102,7 @@ pub use estimators::{
     MyopicCompatibilityEstimation, TwoValueHeuristic,
 };
 pub use incremental::{validate_mutations, ApplyOutcome, DeltaStats, DeltaSummary, SeedMutation};
+pub use lowrank_counts::lowrank_path_counts;
 pub use normalization::NormalizationVariant;
 pub use optimize::{
     minimize, nelder_mead, GradientDescentConfig, NelderMeadConfig, NelderMeadOutcome,
@@ -112,11 +114,12 @@ pub use param::{
 };
 pub use paths::{
     explicit_adjacency_power, explicit_nb_power, statistics_from_explicit, summarize,
-    summarize_with, GraphSummary, SummaryConfig,
+    summarize_with, CountingBackend, GraphSummary, SummaryConfig, DEFAULT_LOWRANK_RANK,
 };
 pub use pipeline::{Pipeline, PipelineReport};
 pub use store::{
-    GcOutcome, GraphStoreMeta, HStoreMeta, StoreEntry, StoreMeta, StoredCounts, SummaryStore,
+    FactorStoreMeta, GcOutcome, GraphStoreMeta, HStoreMeta, StoreEntry, StoreMeta, StoredCounts,
+    SummaryStore,
 };
 
 /// Convenience re-exports covering the most common end-to-end usage: graph generation,
@@ -131,7 +134,7 @@ pub mod prelude {
     };
     pub use crate::incremental::{DeltaSummary, SeedMutation};
     pub use crate::normalization::NormalizationVariant;
-    pub use crate::paths::{summarize, summarize_with, SummaryConfig};
+    pub use crate::paths::{summarize, summarize_with, CountingBackend, SummaryConfig};
     pub use crate::pipeline::{Pipeline, PipelineReport};
     pub use crate::store::SummaryStore;
     pub use fg_graph::{

@@ -62,6 +62,36 @@
 //! domain-separated checksum. A loaded graph has the same content fingerprint as
 //! the freshly built one.
 //!
+//! # Low-rank factor entries (version 1)
+//!
+//! The store also persists the spectral factors behind the low-rank counting
+//! backend, so warm runs skip the eigensolve — the only edge-proportional cost
+//! of that backend. One `.fgv` file per `(graph, factor config)` pair, named
+//! `<graph_fp>-<factor_fp>.fgv` where the factor fingerprint is derived from
+//! `(graph fingerprint, rank, solver parameters)`:
+//!
+//! | field      | size          | content                                       |
+//! |------------|---------------|-----------------------------------------------|
+//! | magic      | 6 bytes       | `FGVFAC`                                      |
+//! | version    | `u16`         | `1`                                           |
+//! | graph_fp   | `u128`        | graph fingerprint                             |
+//! | factor_fp  | `u128`        | [`fg_graph::factor_fingerprint`]              |
+//! | rank       | `u32`         | retained rank `r`                             |
+//! | max_iter   | `u64`         | eigensolver iteration budget                  |
+//! | tol        | `f64`         | eigensolver tolerance, exact bit pattern      |
+//! | seed       | `u64`         | eigensolver starting-block seed               |
+//! | nodes      | `u64`         | node count `n`                                |
+//! | iterations | `u64`         | subspace-iteration rounds the solve used      |
+//! | V          | `n·r` f64     | eigenvector block, row-major, exact bits      |
+//! | lambda     | `r` f64       | eigenvalues, magnitude-descending             |
+//! | G          | `r²` f64      | projected degree correction `Vᵀ(D−I)V`        |
+//! | degrees    | `n` f64       | per-node weighted degrees                     |
+//! | checksum   | `u128`        | domain-separated hash of every preceding byte |
+//!
+//! Because all four solver parameters are embedded and validated (and enter the
+//! factor fingerprint), a stored factor can never be served to a differently
+//! configured solve. The loaded factor is bit-identical to the computed one.
+//!
 //! # Failure policy
 //!
 //! Corrupt or mismatched files (wrong magic or version, truncated payload, failed
@@ -72,7 +102,7 @@
 //! damaged cache can cost time, never correctness.
 
 use crate::error::{CoreError, Result};
-use fg_graph::{Fingerprint, FingerprintBuilder};
+use fg_graph::{factor_fingerprint, FactorConfig, Fingerprint, FingerprintBuilder, LowRankFactor};
 use fg_sparse::DenseMatrix;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -95,6 +125,12 @@ const G_MAGIC: &[u8; 6] = b"FGGRPH";
 pub const GRAPH_STORE_FORMAT_VERSION: u16 = 1;
 /// File extension used by persisted constructed graphs.
 pub const GRAPH_STORE_EXTENSION: &str = "fgg";
+/// Magic bytes of a persisted *low-rank factor* entry.
+const V_MAGIC: &[u8; 6] = b"FGVFAC";
+/// Current low-rank factor entry format version.
+pub const FACTOR_STORE_FORMAT_VERSION: u16 = 1;
+/// File extension used by persisted low-rank factors.
+pub const FACTOR_STORE_EXTENSION: &str = "fgv";
 /// Fixed header size: magic + version + two fingerprints + mode + k + lmax.
 const HEADER_LEN: usize = 6 + 2 + 16 + 16 + 1 + 4 + 4;
 /// Fixed `H`-entry header size: magic + version + two fingerprints + name length +
@@ -104,6 +140,9 @@ const H_HEADER_LEN: usize = 6 + 2 + 16 + 16 + 4 + 4;
 /// builder-name length + node count + edge count (the variable-length builder name
 /// follows the fixed part).
 const G_HEADER_LEN: usize = 6 + 2 + 16 + 4 + 8 + 8;
+/// Fixed low-rank factor header size: magic + version + two fingerprints + rank +
+/// max_iter + tol + seed + node count + iteration count.
+const V_HEADER_LEN: usize = 6 + 2 + 16 + 16 + 4 + 8 + 8 + 8 + 8 + 8;
 /// Trailing checksum size.
 const CHECKSUM_LEN: usize = 16;
 /// Per-process counter disambiguating concurrent temp-file writes (see
@@ -171,6 +210,20 @@ pub struct GraphStoreMeta {
     pub edges: usize,
 }
 
+/// Parsed header of a persisted low-rank factor, for `fg cache ls`-style
+/// listings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FactorStoreMeta {
+    /// Fingerprint of the graph the factor was computed from.
+    pub graph_fp: Fingerprint,
+    /// The factor's own fingerprint, derived from `(graph, rank, solver params)`.
+    pub factor_fp: Fingerprint,
+    /// Retained rank `r`.
+    pub rank: usize,
+    /// Number of graph nodes `n`.
+    pub nodes: usize,
+}
+
 /// What a [`SummaryStore::gc`] pass did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GcOutcome {
@@ -200,6 +253,9 @@ pub struct StoreEntry {
     /// Parsed constructed-graph (`.fgg`) header, or `None` when the file is a
     /// different entry kind or unreadable / corrupt.
     pub graph_meta: Option<GraphStoreMeta>,
+    /// Parsed low-rank factor (`.fgv`) header, or `None` when the file is a
+    /// different entry kind or unreadable / corrupt.
+    pub factor_meta: Option<FactorStoreMeta>,
 }
 
 fn io_err(action: &str, path: &Path, e: std::io::Error) -> CoreError {
@@ -369,9 +425,10 @@ impl SummaryStore {
     }
 
     /// List every store file — `.fgsum` summaries, `.fgh` persisted `H` estimates,
-    /// `.fgg` constructed graphs, plus any `.tmp` leftovers of interrupted writes —
-    /// with its parsed header (all meta fields `None` marks unreadable / corrupt /
-    /// stale-temporary files). Sorted by file name for stable output.
+    /// `.fgg` constructed graphs, `.fgv` low-rank factors, plus any `.tmp`
+    /// leftovers of interrupted writes — with its parsed header (all meta fields
+    /// `None` marks unreadable / corrupt / stale-temporary files). Sorted by file
+    /// name for stable output.
     pub fn entries(&self) -> Result<Vec<StoreEntry>> {
         let mut entries = Vec::new();
         let dir_iter = match fs::read_dir(&self.dir) {
@@ -382,10 +439,12 @@ impl SummaryStore {
         let store_suffix = format!(".{STORE_EXTENSION}");
         let h_suffix = format!(".{H_STORE_EXTENSION}");
         let g_suffix = format!(".{GRAPH_STORE_EXTENSION}");
+        let v_suffix = format!(".{FACTOR_STORE_EXTENSION}");
         let tmp_markers = [
             format!(".{STORE_EXTENSION}."),
             format!(".{H_STORE_EXTENSION}."),
             format!(".{GRAPH_STORE_EXTENSION}."),
+            format!(".{FACTOR_STORE_EXTENSION}."),
         ];
         for item in dir_iter {
             let item = item.map_err(|e| io_err("read store directory", &self.dir, e))?;
@@ -394,16 +453,18 @@ impl SummaryStore {
             let is_store_file = file.ends_with(&store_suffix);
             let is_h_file = file.ends_with(&h_suffix);
             let is_g_file = file.ends_with(&g_suffix);
+            let is_v_file = file.ends_with(&v_suffix);
             // A crash between `fs::write` and `fs::rename` strands a temp file
-            // (`*.fgsum.<pid>-<seq>.tmp`, same pattern for `.fgh` / `.fgg`, or the
-            // pre-unique `*.fgsum.tmp` spelling); listing it (always as corrupt)
-            // keeps it visible and clearable.
+            // (`*.fgsum.<pid>-<seq>.tmp`, same pattern for `.fgh` / `.fgg` /
+            // `.fgv`, or the pre-unique `*.fgsum.tmp` spelling); listing it
+            // (always as corrupt) keeps it visible and clearable.
             let is_tmp_file = !is_store_file
                 && !is_h_file
                 && !is_g_file
+                && !is_v_file
                 && file.ends_with(".tmp")
                 && tmp_markers.iter().any(|m| file.contains(m));
-            if !is_store_file && !is_h_file && !is_g_file && !is_tmp_file {
+            if !is_store_file && !is_h_file && !is_g_file && !is_v_file && !is_tmp_file {
                 continue;
             }
             let bytes = item.metadata().map(|m| m.len()).unwrap_or(0);
@@ -428,12 +489,20 @@ impl SummaryStore {
             } else {
                 None
             };
+            let factor_meta = if is_v_file {
+                fs::read(&path)
+                    .ok()
+                    .and_then(|bytes| parse_factor_header(&bytes).ok().map(|(meta, _)| meta))
+            } else {
+                None
+            };
             entries.push(StoreEntry {
                 file,
                 bytes,
                 meta,
                 h_meta,
                 graph_meta,
+                factor_meta,
             });
         }
         entries.sort_by(|a, b| a.file.cmp(&b.file));
@@ -725,6 +794,147 @@ impl SummaryStore {
         }
     }
 
+    /// The file path a low-rank factor is stored under, keyed by the graph
+    /// fingerprint and the factor fingerprint (which folds in the rank and every
+    /// solver parameter).
+    pub fn path_for_factor(&self, graph_fp: Fingerprint, config: &FactorConfig) -> PathBuf {
+        self.dir.join(format!(
+            "{}-{}.{FACTOR_STORE_EXTENSION}",
+            graph_fp.to_hex(),
+            factor_fingerprint(graph_fp, config).to_hex()
+        ))
+    }
+
+    /// Persist a computed low-rank factor keyed by `(graph, factor config)`,
+    /// overwriting any existing entry (unique temporary file + atomic rename,
+    /// like [`SummaryStore::save`]). Warm runs of the low-rank counting backend
+    /// load the factor instead of repeating the eigensolve — the backend's only
+    /// edge-proportional cost.
+    pub fn save_factor(&self, factor: &LowRankFactor) -> Result<PathBuf> {
+        let graph_fp = factor.graph_fingerprint();
+        let config = factor.config();
+        let n = factor.num_nodes();
+        let r = factor.rank();
+        let payload_values = n * r + r + r * r + n;
+        let mut bytes = Vec::with_capacity(V_HEADER_LEN + payload_values * 8 + CHECKSUM_LEN);
+        bytes.extend_from_slice(V_MAGIC);
+        bytes.extend_from_slice(&FACTOR_STORE_FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&graph_fp.as_u128().to_le_bytes());
+        bytes.extend_from_slice(&factor.fingerprint().as_u128().to_le_bytes());
+        bytes.extend_from_slice(&(r as u32).to_le_bytes());
+        bytes.extend_from_slice(&(config.max_iter as u64).to_le_bytes());
+        bytes.extend_from_slice(&config.tol.to_bits().to_le_bytes());
+        bytes.extend_from_slice(&config.seed.to_le_bytes());
+        bytes.extend_from_slice(&(n as u64).to_le_bytes());
+        bytes.extend_from_slice(&(factor.iterations() as u64).to_le_bytes());
+        for &v in factor.v().data() {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        for &v in factor.lambda() {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        for &v in factor.g().data() {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        for &v in factor.degrees() {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        let checksum = factor_checksum_of(&bytes);
+        bytes.extend_from_slice(&checksum.as_u128().to_le_bytes());
+
+        let path = self.path_for_factor(graph_fp, config);
+        let tmp = path.with_extension(format!(
+            "{FACTOR_STORE_EXTENSION}.{}-{}.tmp",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        fs::write(&tmp, &bytes).map_err(|e| io_err("write", &tmp, e))?;
+        fs::rename(&tmp, &path).map_err(|e| io_err("rename", &tmp, e))?;
+        Ok(path)
+    }
+
+    /// Load the persisted low-rank factor for a `(graph, factor config)` pair.
+    ///
+    /// Returns `Ok(None)` when no file exists, `Ok(Some(..))` with the bit-exact
+    /// stored factor, and [`CoreError::Store`] when the file exists but is
+    /// corrupt or keyed to different inputs than requested (the loud-rejection
+    /// policy).
+    pub fn load_factor(
+        &self,
+        graph_fp: Fingerprint,
+        config: &FactorConfig,
+    ) -> Result<Option<LowRankFactor>> {
+        let path = self.path_for_factor(graph_fp, config);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(io_err("read", &path, e)),
+        };
+        let (meta, payload_start) = parse_factor_header(&bytes).map_err(|r| corrupt(&path, r))?;
+        if bytes.len() < payload_start + CHECKSUM_LEN {
+            return Err(corrupt(&path, "truncated payload"));
+        }
+        let (body, checksum_bytes) = bytes.split_at(bytes.len() - CHECKSUM_LEN);
+        let stored_checksum = Fingerprint::from_u128(u128::from_le_bytes(
+            checksum_bytes.try_into().expect("checksum is 16 bytes"),
+        ));
+        if factor_checksum_of(body) != stored_checksum {
+            return Err(corrupt(&path, "checksum mismatch"));
+        }
+        if meta.graph_fp != graph_fp {
+            return Err(corrupt(
+                &path,
+                "embedded fingerprint does not match the requested graph",
+            ));
+        }
+        if meta.factor_fp != factor_fingerprint(graph_fp, config) {
+            return Err(corrupt(
+                &path,
+                "embedded factor fingerprint does not match the requested solver config",
+            ));
+        }
+        let (n, r) = (meta.nodes, meta.rank);
+        let payload = &body[payload_start..];
+        if payload.len() != (n * r + r + r * r + n) * 8 {
+            return Err(corrupt(&path, "payload length disagrees with header"));
+        }
+        let mut values = Vec::with_capacity(payload.len() / 8);
+        for chunk in payload.chunks_exact(8) {
+            values.push(f64::from_bits(u64::from_le_bytes(
+                chunk.try_into().expect("8-byte slice"),
+            )));
+        }
+        let mut rest = values;
+        let degrees = rest.split_off(n * r + r + r * r);
+        let g_data = rest.split_off(n * r + r);
+        let lambda = rest.split_off(n * r);
+        let v = DenseMatrix::from_vec(n, r, rest)
+            .map_err(|e| corrupt(&path, &format!("invalid V matrix: {e}")))?;
+        let g = DenseMatrix::from_vec(r, r, g_data)
+            .map_err(|e| corrupt(&path, &format!("invalid G matrix: {e}")))?;
+        // The iteration count sits in the last header field (validated by the
+        // checksum like everything else).
+        let iterations = u64::from_le_bytes(
+            body[V_HEADER_LEN - 8..V_HEADER_LEN]
+                .try_into()
+                .expect("8 bytes"),
+        ) as usize;
+        LowRankFactor::from_parts(v, lambda, g, degrees, graph_fp, *config, iterations)
+            .map(Some)
+            .map_err(|e| corrupt(&path, &format!("invalid factor: {e}")))
+    }
+
+    /// Delete the persisted low-rank factor for one `(graph, factor config)`
+    /// pair, returning whether a file was removed.
+    pub fn remove_factor(&self, graph_fp: Fingerprint, config: &FactorConfig) -> Result<bool> {
+        let path = self.path_for_factor(graph_fp, config);
+        match fs::remove_file(&path) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(io_err("remove", &path, e)),
+        }
+    }
+
     /// Delete every store file (including stale `.fgsum.tmp` leftovers), returning
     /// how many were removed.
     pub fn clear(&self) -> Result<usize> {
@@ -841,6 +1051,14 @@ fn graph_checksum_of(bytes: &[u8]) -> Fingerprint {
     h.finish()
 }
 
+/// Checksum over an encoded low-rank factor entry, domain-separated from every
+/// other hash in the workspace.
+fn factor_checksum_of(bytes: &[u8]) -> Fingerprint {
+    let mut h = FingerprintBuilder::new(b"fg-v-store-v1");
+    h.write_bytes(bytes);
+    h.finish()
+}
+
 /// Hex digest of an estimator name or builder spec, used only for file naming
 /// (the authoritative name is embedded in the entry and validated on load).
 fn name_digest(name: &str) -> String {
@@ -936,6 +1154,43 @@ fn parse_graph_header(bytes: &[u8]) -> std::result::Result<(GraphStoreMeta, usiz
             edges,
         },
         payload_start,
+    ))
+}
+
+/// Parse and validate a low-rank factor header; returns the metadata and the
+/// payload offset. Errors are static descriptions suitable for [`corrupt`].
+fn parse_factor_header(
+    bytes: &[u8],
+) -> std::result::Result<(FactorStoreMeta, usize), &'static str> {
+    if bytes.len() < V_HEADER_LEN + CHECKSUM_LEN {
+        return Err("file too short for a factor header");
+    }
+    if &bytes[0..6] != V_MAGIC {
+        return Err("bad magic bytes");
+    }
+    let version = u16::from_le_bytes(bytes[6..8].try_into().expect("2 bytes"));
+    if version != FACTOR_STORE_FORMAT_VERSION {
+        return Err("unsupported format version");
+    }
+    let graph_fp = Fingerprint::from_u128(u128::from_le_bytes(
+        bytes[8..24].try_into().expect("16 bytes"),
+    ));
+    let factor_fp = Fingerprint::from_u128(u128::from_le_bytes(
+        bytes[24..40].try_into().expect("16 bytes"),
+    ));
+    let rank = u32::from_le_bytes(bytes[40..44].try_into().expect("4 bytes")) as usize;
+    let nodes = u64::from_le_bytes(bytes[68..76].try_into().expect("8 bytes")) as usize;
+    if rank == 0 || nodes == 0 || rank > nodes {
+        return Err("header declares an impossible rank/node combination");
+    }
+    Ok((
+        FactorStoreMeta {
+            graph_fp,
+            factor_fp,
+            rank,
+            nodes,
+        },
+        V_HEADER_LEN,
     ))
 }
 
@@ -1358,6 +1613,102 @@ mod tests {
         // gc with max-bytes 0 removes `.fgh` files alongside `.fgsum`.
         let outcome = store.gc(Some(0), None).unwrap();
         assert_eq!(outcome.kept, 0);
+        assert!(store.entries().unwrap().is_empty());
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn factor_save_load_round_trip_is_bit_exact() {
+        let store = temp_store("factor_round_trip");
+        let graph = fg_graph::Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)],
+        )
+        .unwrap();
+        let config = FactorConfig::with_rank(4);
+        let factor = LowRankFactor::compute(&graph, &config, fg_sparse::Threads::Serial).unwrap();
+        store.save_factor(&factor).unwrap();
+        let loaded = store
+            .load_factor(graph.fingerprint(), &config)
+            .unwrap()
+            .unwrap();
+        let bits = |m: &DenseMatrix| m.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(factor.v()), bits(loaded.v()));
+        assert_eq!(bits(factor.g()), bits(loaded.g()));
+        let fbits = |s: &[f64]| s.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(fbits(factor.lambda()), fbits(loaded.lambda()));
+        assert_eq!(fbits(factor.degrees()), fbits(loaded.degrees()));
+        assert_eq!(factor.iterations(), loaded.iterations());
+        assert_eq!(factor.fingerprint(), loaded.fingerprint());
+        // A different rank is a separate (absent) entry.
+        assert!(store
+            .load_factor(graph.fingerprint(), &FactorConfig::with_rank(3))
+            .unwrap()
+            .is_none());
+        // remove_factor deletes exactly the requested entry.
+        assert!(store.remove_factor(graph.fingerprint(), &config).unwrap());
+        assert!(!store.remove_factor(graph.fingerprint(), &config).unwrap());
+        assert!(store
+            .load_factor(graph.fingerprint(), &config)
+            .unwrap()
+            .is_none());
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn factor_entries_are_validated_listed_and_cleared() {
+        let store = temp_store("factor_corrupt");
+        let graph =
+            fg_graph::Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        let config = FactorConfig::with_rank(3);
+        let factor = LowRankFactor::compute(&graph, &config, fg_sparse::Threads::Serial).unwrap();
+        let path = store.save_factor(&factor).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        // Flipped payload byte: checksum catches it.
+        let mut bad = good.clone();
+        let idx = bad.len() - CHECKSUM_LEN - 4;
+        bad[idx] ^= 0xff;
+        std::fs::write(&path, &bad).unwrap();
+        let err = store.load_factor(graph.fingerprint(), &config).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+
+        // Truncation is caught.
+        std::fs::write(&path, &good[..good.len() - 5]).unwrap();
+        assert!(store.load_factor(graph.fingerprint(), &config).is_err());
+
+        // Wrong magic is caught.
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        std::fs::write(&path, &bad_magic).unwrap();
+        let err = store.load_factor(graph.fingerprint(), &config).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+
+        // A file copied under another solver config's name is caught by the
+        // embedded factor fingerprint.
+        std::fs::write(&path, &good).unwrap();
+        let other = FactorConfig {
+            seed: 0x1234,
+            ..config
+        };
+        std::fs::copy(&path, store.path_for_factor(graph.fingerprint(), &other)).unwrap();
+        let err = store.load_factor(graph.fingerprint(), &other).unwrap_err();
+        assert!(err.to_string().contains("factor fingerprint"), "{err}");
+
+        // Entries list the factor with its parsed metadata; clear removes it.
+        let entries = store.entries().unwrap();
+        let f_entry = entries
+            .iter()
+            .find(|e| {
+                e.file.ends_with(&format!(".{FACTOR_STORE_EXTENSION}")) && e.factor_meta.is_some()
+            })
+            .unwrap();
+        let meta = f_entry.factor_meta.as_ref().unwrap();
+        assert_eq!(meta.graph_fp, graph.fingerprint());
+        assert_eq!(meta.factor_fp, factor.fingerprint());
+        assert_eq!(meta.rank, 3);
+        assert_eq!(meta.nodes, 5);
+        assert!(store.clear().unwrap() >= 2);
         assert!(store.entries().unwrap().is_empty());
         std::fs::remove_dir_all(store.dir()).ok();
     }

@@ -160,6 +160,7 @@ fn factorized_summary_equals_explicit_on_random_graphs() {
             max_length: 4,
             non_backtracking: true,
             variant: NormalizationVariant::RowStochastic,
+            ..SummaryConfig::default()
         };
         let summary = summarize(&graph, &seeds, &config).unwrap();
         for length in 1..=4usize {

@@ -15,6 +15,9 @@
 //!   `(n, m, α, H, dist)` with controlled degree distributions and planted compatibilities.
 //! * [`measure_compatibilities`] — the gold-standard measurement of `H` from a fully
 //!   labeled graph.
+//! * [`LowRankFactor`] — a rank-`r` spectral factorization `W ≈ V·Λ·Vᵀ` of the
+//!   adjacency (plus the projected degree correction) powering the low-rank
+//!   counting backend, fingerprinted by `(graph, rank, solver params)`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +29,7 @@ pub mod fingerprint;
 pub mod generator;
 pub mod graph;
 pub mod labels;
+pub mod lowrank;
 
 pub use compatibility::{two_value_heuristic, CompatibilityMatrix};
 pub use degree::DegreeDistribution;
@@ -34,3 +38,4 @@ pub use fingerprint::{Fingerprint, FingerprintBuilder, RollingFingerprint};
 pub use generator::{generate, measure_compatibilities, GeneratorConfig, SyntheticGraph};
 pub use graph::Graph;
 pub use labels::{Labeling, SeedLabels};
+pub use lowrank::{factor_fingerprint, FactorConfig, LowRankFactor};

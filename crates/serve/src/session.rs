@@ -91,6 +91,12 @@ struct EngineState {
     /// Recency stamp from the session clock; atomic so warm reads can touch it
     /// under a shared read lock.
     last_used: AtomicU64,
+    /// Row units it took to materialize this state: delta rows replayed at fork
+    /// time, plus full-summarization rows for engines built from scratch. The
+    /// LRU treats this as the state's rebuild cost — cheap-to-rebuild states
+    /// evict first, recency only breaks ties — so an expensive fully summarized
+    /// state is not sacrificed to keep a one-mutation fork warm.
+    rebuild_rows: usize,
 }
 
 impl EngineState {
@@ -432,8 +438,11 @@ impl Session {
     }
 
     /// Shrink a dataset's engine LRU to capacity, never evicting `keep` (the
-    /// current seed set's state). Evicted engines' counters are retired and their
-    /// cache entries dropped; persisted files are governed by
+    /// current seed set's state). The victim is the state that is cheapest to
+    /// rebuild (fewest row units replayed to materialize it), with recency
+    /// breaking ties — pure recency would happily drop a fully summarized state
+    /// to keep a one-mutation fork warm. Evicted engines' counters are retired
+    /// and their cache entries dropped; persisted files are governed by
     /// [`note_persisted`](Self::note_persisted), not eviction.
     fn evict_excess(&self, dataset: &mut Dataset, keep: Fingerprint) {
         while dataset.states.len() > self.engine_capacity {
@@ -442,7 +451,7 @@ impl Session {
                 .iter()
                 .enumerate()
                 .filter(|(_, s)| s.seed_fp != keep)
-                .min_by_key(|(_, s)| s.last_used.load(Ordering::Relaxed))
+                .min_by_key(|(_, s)| (s.rebuild_rows, s.last_used.load(Ordering::Relaxed)))
                 .map(|(i, _)| i);
             let Some(index) = victim else { break };
             let state = dataset.states.remove(index);
@@ -511,6 +520,7 @@ impl Session {
                     seed_fp: new_fp,
                     engines: forks,
                     last_used: AtomicU64::new(self.tick()),
+                    rebuild_rows: rows_touched,
                 });
                 self.evict_excess(&mut dataset, new_fp);
                 self.note_persisted(&mut dataset, new_fp);
@@ -652,6 +662,7 @@ impl Session {
                     seed_fp,
                     engines: [None, None],
                     last_used: AtomicU64::new(self.tick()),
+                    rebuild_rows: 0,
                 });
                 self.evict_excess(&mut *dataset, seed_fp);
                 dataset.state_index(seed_fp).expect("just inserted")
@@ -687,6 +698,9 @@ impl Session {
                 eprintln!("warning: could not persist summary: {e}");
             }
         }
+        // A from-scratch engine raises the state's rebuild cost by the rows one
+        // full summarization touches, making it a last-resort eviction victim.
+        dataset.states[index].rebuild_rows += engine.stats().full_rows_per_summarization;
         dataset.states[index].engines[slot] = Some(engine);
         dataset.states[index]
             .last_used
@@ -1036,6 +1050,8 @@ fn build_estimator(
         splits: optional_usize(request, "splits")?,
         variant,
         non_backtracking: None,
+        lowrank: None,
+        rank: optional_usize(request, "rank")?,
         threads: Some(threads),
     };
     estimator_by_name_with(method, &defaults)
@@ -1139,6 +1155,7 @@ fn dataset_stats(dataset: &Dataset) -> Json {
                 let stats = engine.stats();
                 Json::obj(vec![
                     ("seed_fingerprint", Json::str(state.seed_fp.to_hex())),
+                    ("rebuild_rows", Json::num(state.rebuild_rows)),
                     ("mode", Json::str(if mode == 1 { "nb" } else { "all" })),
                     ("lmax", Json::num(engine.max_length())),
                     ("full_summarizations", Json::num(stats.full_summarizations)),
@@ -1168,6 +1185,10 @@ fn dataset_stats(dataset: &Dataset) -> Json {
         ),
         ("engine_states", Json::num(dataset.states.len())),
         ("engine_evictions", Json::num(dataset.engine_evictions)),
+        (
+            "engine_rebuild_rows",
+            Json::num(dataset.states.iter().map(|s| s.rebuild_rows).sum::<usize>()),
+        ),
         ("engines", engines),
     ])
 }

@@ -631,3 +631,113 @@ fn engine_lru_evictions_are_counted_in_stats() {
     assert_eq!(dataset_counter(&session, 10, "engine_states"), 1);
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn eviction_prefers_cheap_forks_over_fully_summarized_states() {
+    let (dir, edges, seeds_path, truth) = dataset("cost_weighted_lru");
+    let session = Session::new(Threads::Serial, None).with_engine_states(2);
+
+    let (resp, _) = session.handle_line(&load_line(&edges, &seeds_path), 1);
+    assert_ok(&resp);
+    // Build the initial state via one full summarization: its rebuild cost is
+    // the full n·ℓmax row sweep.
+    let (resp, _) = session.handle_line("{\"cmd\":\"estimate\",\"method\":\"dcer\"}", 2);
+    assert_ok(&resp);
+
+    let default_stats = |session: &Session, id: usize| -> Json {
+        let (resp, _) = session.handle_line("{\"cmd\":\"stats\"}", id);
+        assert_ok(&resp)
+            .get("datasets")
+            .and_then(|d| d.get("default"))
+            .cloned()
+            .unwrap_or_else(|| panic!("stats missing datasets.default: {resp}"))
+    };
+    let state_fps = |stats: &Json| -> Vec<String> {
+        stats
+            .get("engines")
+            .and_then(Json::as_array)
+            .unwrap()
+            .iter()
+            .map(|e| {
+                e.get("seed_fingerprint")
+                    .and_then(Json::as_str)
+                    .unwrap()
+                    .to_string()
+            })
+            .collect()
+    };
+
+    let loaded = default_stats(&session, 3);
+    let initial_fp = state_fps(&loaded)[0].clone();
+    // The full summarization's cost is exposed per state and per dataset.
+    let full_rows = loaded
+        .get("engines")
+        .and_then(Json::as_array)
+        .unwrap()
+        .first()
+        .and_then(|e| e.get("rebuild_rows"))
+        .and_then(Json::as_usize)
+        .unwrap();
+    assert_eq!(
+        full_rows,
+        400 * 5,
+        "full summarize sweeps n rows per length"
+    );
+    assert_eq!(
+        loaded.get("engine_rebuild_rows").and_then(Json::as_usize),
+        Some(full_rows)
+    );
+
+    // Two successive mutations create two cheap fork states (B then C). At
+    // capacity 2 the second fork must evict B — the cheap, more recently used
+    // fork — not the expensive initial full summarization, even though the
+    // initial state is the least recently used.
+    let seeds = fg_datasets::read_labels(&seeds_path, 400, 3).unwrap();
+    let unlabeled = seeds.unlabeled_nodes();
+    let (first, second) = (unlabeled[0], unlabeled[1]);
+    let (resp, _) = session.handle_line(
+        &format!(
+            "{{\"cmd\":\"seed\",\"add\":[[{first},{}]]}}",
+            truth.class_of(first)
+        ),
+        4,
+    );
+    let fork_fp = assert_ok(&resp)
+        .get("seed_fingerprint")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+    let (resp, _) = session.handle_line(
+        &format!(
+            "{{\"cmd\":\"seed\",\"add\":[[{second},{}]]}}",
+            truth.class_of(second)
+        ),
+        5,
+    );
+    let current_fp = assert_ok(&resp)
+        .get("seed_fingerprint")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+
+    let after = default_stats(&session, 6);
+    assert_eq!(after.get("engine_states").and_then(Json::as_usize), Some(2));
+    assert_eq!(
+        after.get("engine_evictions").and_then(Json::as_usize),
+        Some(1)
+    );
+    let fps = state_fps(&after);
+    assert!(
+        fps.contains(&initial_fp),
+        "the fully summarized state must survive cost-weighted eviction: {after:?}"
+    );
+    assert!(
+        fps.contains(&current_fp),
+        "the current seed set's state is never evicted: {after:?}"
+    );
+    assert!(
+        !fps.contains(&fork_fp),
+        "the cheap intermediate fork is the correct victim: {after:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

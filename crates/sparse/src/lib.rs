@@ -19,6 +19,11 @@
 //!   with a [`Threads`] policy and bit-identical output to the serial paths.
 //! * [`spectral`] — power-iteration spectral-radius estimates used for LinBP's
 //!   convergence scaling (Eq. 2).
+//! * [`eigen`] — a dependency-free symmetric eigensolver (blocked subspace
+//!   iteration + Rayleigh–Ritz, deterministic seeded start) powering the
+//!   low-rank `V·Λ·Vᵀ` counting backend.
+//! * [`reorder`] — degree-sort CSR reordering for hub-heavy graphs, with
+//!   bit-exact dense row permutation helpers.
 //! * [`vector`] — plain-slice vector helpers.
 
 #![forbid(unsafe_code)]
@@ -27,18 +32,25 @@
 pub mod coo;
 pub mod csr;
 pub mod dense;
+pub mod eigen;
 pub mod error;
 pub mod parallel;
+pub mod reorder;
 pub mod spectral;
 pub mod vector;
 
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
+pub use eigen::{
+    symmetric_eigen, EigenConfig, EigenPairs, DEFAULT_EIGEN_MAX_ITER, DEFAULT_EIGEN_SEED,
+    DEFAULT_EIGEN_TOL,
+};
 pub use error::{Result, SparseError};
 pub use parallel::{
     map_row_chunks, partition_rows, partition_rows_by_nnz, run_ordered_cells, RowBlocking, Threads,
 };
+pub use reorder::{permute_rows, reorder_by_degree, DegreeReordering};
 pub use spectral::{spectral_radius, spectral_radius_dense, spectral_radius_sparse};
 
 #[cfg(test)]

@@ -1,0 +1,222 @@
+//! CSR bandwidth-friendly reordering: degree-sorted row/column permutation.
+//!
+//! Hub-heavy (power-law) graphs scatter their high-degree rows across the index
+//! space, so the SpMM kernels touch the dense-RHS rows in a cache-hostile
+//! pattern. Sorting nodes by degree (hubs first) clusters the hot rows at the
+//! top of the matrix — the layout the `RowBlocking::ByNnz` work splitting only
+//! approximates. This module is the first installment of that reordering story:
+//! a deterministic degree-sort permutation, the permuted matrix, and the
+//! row-permutation helpers needed to push dense node-indexed data (seed
+//! matrices, predictions) into and back out of the reordered index space.
+//!
+//! Reordering is a relabeling, not an approximation: on unweighted graphs the
+//! per-row SpMM sums are integer-valued and therefore order-independent, so
+//! path counts — and the predictions derived from them — map back
+//! **bit-identically** (covered by the hub-graph round-trip test).
+
+use crate::csr::CsrMatrix;
+use crate::dense::DenseMatrix;
+use crate::error::{Result, SparseError};
+
+/// A degree-sort reordering of a square CSR matrix: the permuted matrix plus
+/// both directions of the node relabeling.
+#[derive(Debug, Clone)]
+pub struct DegreeReordering {
+    /// The reordered matrix: row/column `new` holds old node `perm[new]`.
+    pub matrix: CsrMatrix,
+    /// `perm[new] = old`: the old node stored at each new position.
+    pub perm: Vec<usize>,
+    /// `inverse[old] = new`: where each old node landed.
+    pub inverse: Vec<usize>,
+}
+
+impl DegreeReordering {
+    /// Map dense node-indexed rows (seed matrix, features) into the reordered
+    /// index space: `out.row(new) = x.row(perm[new])`.
+    pub fn permute_dense(&self, x: &DenseMatrix) -> Result<DenseMatrix> {
+        permute_rows(x, &self.perm)
+    }
+
+    /// Map reordered results (counts, predictions) back to original node
+    /// order: `out.row(old) = y.row(inverse[old])`. Exact inverse of
+    /// [`DegreeReordering::permute_dense`] — no arithmetic, so bit-identical.
+    pub fn restore_dense(&self, y: &DenseMatrix) -> Result<DenseMatrix> {
+        permute_rows(y, &self.inverse)
+    }
+}
+
+/// Reorder a square CSR matrix so rows are sorted by stored-entry count
+/// (degree) descending, ties broken by the original index ascending — a
+/// deterministic hub-first relabeling applied symmetrically to rows and
+/// columns.
+pub fn reorder_by_degree(a: &CsrMatrix) -> Result<DegreeReordering> {
+    if !a.is_square() {
+        return Err(SparseError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let n = a.rows();
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.sort_by(|&i, &j| a.row_nnz(j).cmp(&a.row_nnz(i)).then(i.cmp(&j)));
+    let mut inverse = vec![0usize; n];
+    for (new, &old) in perm.iter().enumerate() {
+        inverse[old] = new;
+    }
+    // Rebuild the CSR arrays directly: row `new` is old row `perm[new]` with
+    // every column index relabeled through `inverse` and re-sorted (CSR keeps
+    // columns ascending within a row).
+    let mut indptr = Vec::with_capacity(n + 1);
+    let mut indices = Vec::with_capacity(a.nnz());
+    let mut values = Vec::with_capacity(a.nnz());
+    indptr.push(0);
+    let mut row_buf: Vec<(usize, f64)> = Vec::new();
+    for &old in &perm {
+        let (cols, vals) = a.row(old);
+        row_buf.clear();
+        row_buf.extend(cols.iter().zip(vals.iter()).map(|(&c, &v)| (inverse[c], v)));
+        row_buf.sort_by_key(|&(c, _)| c);
+        for &(c, v) in &row_buf {
+            indices.push(c);
+            values.push(v);
+        }
+        indptr.push(indices.len());
+    }
+    let matrix = CsrMatrix::from_raw(n, n, indptr, indices, values)?;
+    Ok(DegreeReordering {
+        matrix,
+        perm,
+        inverse,
+    })
+}
+
+/// Permute dense rows: `out.row(i) = x.row(p[i])`. `p` must be a permutation
+/// of `0..x.rows()` (validated); pure data movement, so always bit-exact.
+pub fn permute_rows(x: &DenseMatrix, p: &[usize]) -> Result<DenseMatrix> {
+    let n = x.rows();
+    if p.len() != n {
+        return Err(SparseError::InvalidInput(format!(
+            "permutation length {} does not match {} rows",
+            p.len(),
+            n
+        )));
+    }
+    let mut seen = vec![false; n];
+    for &old in p {
+        if old >= n || seen[old] {
+            return Err(SparseError::InvalidInput(format!(
+                "invalid permutation entry {old} (rows {n})"
+            )));
+        }
+        seen[old] = true;
+    }
+    let mut out = DenseMatrix::zeros(n, x.cols());
+    for (new, &old) in p.iter().enumerate() {
+        out.row_mut(new).copy_from_slice(x.row(old));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hub-and-spoke graph: node 3 is the hub, plus a 0–1 edge.
+    fn hub_graph() -> CsrMatrix {
+        CsrMatrix::from_triplets(
+            5,
+            5,
+            &[
+                (3, 0, 1.0),
+                (0, 3, 1.0),
+                (3, 1, 1.0),
+                (1, 3, 1.0),
+                (3, 2, 1.0),
+                (2, 3, 1.0),
+                (3, 4, 1.0),
+                (4, 3, 1.0),
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn hub_lands_first_and_degrees_are_sorted() {
+        let a = hub_graph();
+        let r = reorder_by_degree(&a).unwrap();
+        assert_eq!(r.perm[0], 3, "hub must be relabeled to node 0");
+        let degrees: Vec<usize> = (0..5).map(|i| r.matrix.row_nnz(i)).collect();
+        let mut sorted = degrees.clone();
+        sorted.sort_by(|a, b| b.cmp(a));
+        assert_eq!(degrees, sorted);
+        assert_eq!(r.matrix.nnz(), a.nnz());
+        assert!(r.matrix.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn reordering_is_a_relabeling() {
+        let a = hub_graph();
+        let r = reorder_by_degree(&a).unwrap();
+        for new_i in 0..5 {
+            for new_j in 0..5 {
+                assert_eq!(
+                    r.matrix.get(new_i, new_j),
+                    a.get(r.perm[new_i], r.perm[new_j])
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_round_trip_is_bit_identical() {
+        let a = hub_graph();
+        let r = reorder_by_degree(&a).unwrap();
+        let x = DenseMatrix::from_rows(&[
+            vec![1.0, 0.25],
+            vec![0.0, -3.5],
+            vec![0.5, 2.0],
+            vec![7.0, 0.125],
+            vec![-1.0, 0.0625],
+        ])
+        .unwrap();
+        let permuted = r.permute_dense(&x).unwrap();
+        let restored = r.restore_dense(&permuted).unwrap();
+        assert_eq!(restored.data(), x.data());
+    }
+
+    #[test]
+    fn spmm_on_reordered_matrix_maps_back_bit_identically() {
+        // Unweighted graph, integer-valued seed matrix: every per-row sum is an
+        // exact integer, so summation order cannot change the result and the
+        // reordered computation must map back bit-for-bit.
+        let a = hub_graph();
+        let r = reorder_by_degree(&a).unwrap();
+        let x = DenseMatrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+        ])
+        .unwrap();
+        // Two hops in each index space.
+        let direct = a.spmm_dense(&a.spmm_dense(&x).unwrap()).unwrap();
+        let xp = r.permute_dense(&x).unwrap();
+        let two_hop = r
+            .matrix
+            .spmm_dense(&r.matrix.spmm_dense(&xp).unwrap())
+            .unwrap();
+        let restored = r.restore_dense(&two_hop).unwrap();
+        assert_eq!(restored.data(), direct.data());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(reorder_by_degree(&CsrMatrix::zeros(2, 3)).is_err());
+        let x = DenseMatrix::zeros(3, 2);
+        assert!(permute_rows(&x, &[0, 1]).is_err());
+        assert!(permute_rows(&x, &[0, 1, 1]).is_err());
+        assert!(permute_rows(&x, &[0, 1, 5]).is_err());
+    }
+}

@@ -40,6 +40,7 @@ fn summary_configs() -> Vec<SummaryConfig> {
                 max_length: 5,
                 non_backtracking,
                 variant,
+                ..SummaryConfig::default()
             });
         }
     }
@@ -88,6 +89,7 @@ fn cached_lmax5_context_answers_lmax3_requests_identically() {
                 max_length: 3,
                 non_backtracking: true,
                 variant,
+                ..SummaryConfig::default()
             };
             let cached = ctx.summary(&config).unwrap();
             let fresh = summarize(&graph, &seeds, &config).unwrap();
@@ -120,6 +122,7 @@ fn context_summaries_match_explicit_computation_for_both_modes() {
             max_length: 5,
             non_backtracking,
             variant: NormalizationVariant::RowStochastic,
+            ..SummaryConfig::default()
         };
         let summary = ctx.summary(&config).unwrap();
         for l in 1..=5 {

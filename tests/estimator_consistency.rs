@@ -29,6 +29,7 @@ fn nb_statistics_track_powers_of_h_example_4_2() {
             max_length: 4,
             non_backtracking: true,
             variant: NormalizationVariant::RowStochastic,
+            ..SummaryConfig::default()
         },
     )
     .unwrap();
@@ -39,6 +40,7 @@ fn nb_statistics_track_powers_of_h_example_4_2() {
             max_length: 4,
             non_backtracking: false,
             variant: NormalizationVariant::RowStochastic,
+            ..SummaryConfig::default()
         },
     )
     .unwrap();

@@ -102,6 +102,7 @@ fn delta_summaries_are_bit_identical_to_cold_summaries_across_modes_and_threads(
                     max_length: 5,
                     non_backtracking,
                     variant: NormalizationVariant::RowStochastic,
+                    ..SummaryConfig::default()
                 };
                 let cold = summarize_with(&graph, &final_seeds, &config, threads).unwrap();
                 for l in 1..=5 {
@@ -118,6 +119,7 @@ fn delta_summaries_are_bit_identical_to_cold_summaries_across_modes_and_threads(
                             max_length: 5,
                             non_backtracking,
                             variant,
+                            ..SummaryConfig::default()
                         })
                         .unwrap();
                     let cold = summarize_with(
@@ -127,6 +129,7 @@ fn delta_summaries_are_bit_identical_to_cold_summaries_across_modes_and_threads(
                             max_length: 5,
                             non_backtracking,
                             variant,
+                            ..SummaryConfig::default()
                         },
                         threads,
                     )

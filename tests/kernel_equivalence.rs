@@ -98,6 +98,7 @@ fn summarize_matches_pre_rewrite_chain_bit_for_bit() {
                     max_length,
                     non_backtracking,
                     variant: NormalizationVariant::RowStochastic,
+                    ..SummaryConfig::default()
                 };
                 for threads in [
                     Threads::Serial,
@@ -139,6 +140,7 @@ fn summarize_allocates_constant_n_buffers_on_fig3b_graph() {
             max_length,
             non_backtracking,
             variant: NormalizationVariant::RowStochastic,
+            ..SummaryConfig::default()
         };
         let before = n_buffer_allocations();
         summarize_with(&syn.graph, &seeds, &config, Threads::Serial).unwrap();

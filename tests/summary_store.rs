@@ -93,6 +93,7 @@ fn warm_path_round_trip_is_bit_identical_for_both_modes_and_all_variants() {
             max_length: 5,
             non_backtracking,
             variant: NormalizationVariant::RowStochastic,
+            ..SummaryConfig::default()
         };
         // Cold context computes and persists.
         let cold = EstimationContext::new(&graph, &seeds).store(Arc::clone(&store));
@@ -108,6 +109,7 @@ fn warm_path_round_trip_is_bit_identical_for_both_modes_and_all_variants() {
                     max_length: 5,
                     non_backtracking,
                     variant,
+                    ..SummaryConfig::default()
                 })
                 .unwrap();
             for l in 1..=5 {
@@ -123,6 +125,7 @@ fn warm_path_round_trip_is_bit_identical_for_both_modes_and_all_variants() {
                         max_length: 5,
                         non_backtracking,
                         variant,
+                        ..SummaryConfig::default()
                     },
                 )
                 .unwrap();
