@@ -1,0 +1,51 @@
+//! `cargo bench --bench bench_obs` — measure the cost of the observability
+//! layer and publish the overhead trajectory.
+//!
+//! Three sections: primitive costs (span enter/drop with tracing off and on,
+//! counter increment, histogram observation), end-to-end classify medians with
+//! tracing off vs on (predictions asserted byte-identical before timing), and
+//! the derived disabled-path overhead, which must stay under 2% on every host
+//! (see [`fg_bench::obs`]).
+//!
+//! Output: aligned report lines on stdout and the JSON report at the repository
+//! root (`BENCH_obs.json`) for the committed trajectory. The report embeds the
+//! detected core count and a derived `gating` mode — on sub-4-core hosts the
+//! measured traced-vs-untraced delta is informational only. Env knobs:
+//! `FG_BENCH_SMOKE=1` runs a seconds-scale configuration; `FG_BENCH_OUT`
+//! overrides the report path.
+
+use fg_bench::obs::{render_obs_report, run_obs_bench, ObsBenchConfig};
+use std::path::PathBuf;
+
+fn main() {
+    let smoke = std::env::var("FG_BENCH_SMOKE").as_deref() == Ok("1");
+    let cfg = if smoke {
+        ObsBenchConfig::smoke()
+    } else {
+        ObsBenchConfig::full()
+    };
+    let report = run_obs_bench(&cfg).expect("obs bench failed");
+    println!(
+        "span_disabled      {:>10.2} ns/call\nspan_enabled       {:>10.2} ns/call\ncounter_inc        {:>10.2} ns/call\nhistogram_observe  {:>10.2} ns/call",
+        report.span_disabled_ns,
+        report.span_enabled_ns,
+        report.counter_inc_ns,
+        report.histogram_observe_ns
+    );
+    println!(
+        "classify disabled {:>10.6}s  traced {:>10.6}s  ({} spans/run)",
+        report.classify_disabled_s, report.classify_traced_s, report.spans_per_run
+    );
+    println!(
+        "disabled-path overhead {:.4}%  measured delta {:+.2}%",
+        report.disabled_overhead_pct, report.measured_delta_pct
+    );
+    let out: PathBuf = match std::env::var_os("FG_BENCH_OUT") {
+        Some(path) => PathBuf::from(path),
+        // CARGO_MANIFEST_DIR is crates/bench; the committed report lives at the
+        // repository root.
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_obs.json"),
+    };
+    std::fs::write(&out, render_obs_report(&cfg, &report)).expect("cannot write the report");
+    println!("obs report written to {}", out.display());
+}

@@ -16,6 +16,7 @@ pub mod harness;
 pub mod kernels;
 pub mod lowrank;
 pub mod micro;
+pub mod obs;
 pub mod serve_load;
 pub mod sweeps;
 
@@ -28,6 +29,9 @@ pub use lowrank::{
     render_lowrank_report, run_lowrank_bench, LowRankBenchConfig, LowRankReport, LowRankRow,
 };
 pub use micro::{bench_iters, run_bench, BenchMeasurement};
+pub use obs::{
+    render_obs_report, run_obs_bench, ObsBenchConfig, ObsReport, DISABLED_OVERHEAD_LIMIT_PCT,
+};
 pub use serve_load::{percentile_ms, render_report, run_serve_load, LoadRow, ServeLoadConfig};
 pub use sweeps::{
     accuracy_vs_backend, accuracy_vs_backend_parallel, accuracy_vs_construction, accuracy_vs_rank,

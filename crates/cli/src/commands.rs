@@ -436,6 +436,13 @@ pub fn cmd_classify(args: &ArgMap) -> CommandResult {
     if let Some(store) = &store {
         pipeline = pipeline.summary_store(Arc::clone(store));
     }
+    // --trace-out captures the span hierarchy (pipeline → estimate → summarize →
+    // spmm) as Chrome trace-event JSON. Tracing only observes wall-clock time:
+    // predictions are byte-identical with and without it.
+    let trace_out = args.get("trace-out").map(std::path::PathBuf::from);
+    if trace_out.is_some() {
+        pipeline = pipeline.trace(true);
+    }
     let mut report = pipeline.run().map_err(err)?;
     if let Some(out) = args.get("out") {
         matrix_io::write_predictions(Path::new(out), &report.outcome.predictions).map_err(err)?;
@@ -455,6 +462,15 @@ pub fn cmd_classify(args: &ArgMap) -> CommandResult {
             report.summary_store_hits,
             report.optimize_store_hits,
             store.dir().display()
+        ));
+    }
+    if let Some(path) = &trace_out {
+        let trace = report.trace.as_ref().expect("tracing was enabled");
+        std::fs::write(path, trace.chrome_json()).map_err(err)?;
+        rendered.push_str(&format!(
+            "\nwrote Chrome trace ({} spans) to {}",
+            trace.len(),
+            path.display()
         ));
     }
     let mut truth_labeling = None;
@@ -510,6 +526,9 @@ pub fn cmd_cache(args: &ArgMap) -> CommandResult {
     match action {
         "ls" => {
             let entries = store.entries().map_err(err)?;
+            if args.has_flag("json") {
+                return Ok(cache_entries_json(&store, entries));
+            }
             if entries.is_empty() {
                 return Ok(format!("summary cache {} is empty", dir.display()));
             }
@@ -610,6 +629,65 @@ pub fn cmd_cache(args: &ArgMap) -> CommandResult {
     }
 }
 
+/// Render `fg cache ls --json`: one JSON object per store entry (kind,
+/// fingerprints, bytes, mtime) so operators can script against the store.
+fn cache_entries_json(store: &SummaryStore, entries: Vec<fg_core::StoreEntry>) -> String {
+    use fg_serve::Json;
+    let items: Vec<Json> = entries
+        .into_iter()
+        .map(|entry| {
+            let mtime_unix = std::fs::metadata(store.dir().join(&entry.file))
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+                .map(|d| d.as_secs());
+            let mut fields = vec![
+                ("file", Json::str(entry.file.clone())),
+                ("bytes", Json::num(entry.bytes as usize)),
+                (
+                    "mtime_unix",
+                    match mtime_unix {
+                        Some(secs) => Json::num(secs as usize),
+                        None => Json::Null,
+                    },
+                ),
+            ];
+            if let Some(meta) = entry.meta {
+                fields.push(("kind", Json::str("summary")));
+                fields.push(("k", Json::num(meta.k)));
+                fields.push(("lmax", Json::num(meta.max_length)));
+                fields.push((
+                    "mode",
+                    Json::str(if meta.non_backtracking { "nb" } else { "all" }),
+                ));
+                fields.push(("graph_fingerprint", Json::str(meta.graph_fp.to_hex())));
+                fields.push(("seed_fingerprint", Json::str(meta.seed_fp.to_hex())));
+            } else if let Some(meta) = entry.h_meta {
+                fields.push(("kind", Json::str("h")));
+                fields.push(("k", Json::num(meta.k)));
+                fields.push(("estimator", Json::str(meta.estimator)));
+                fields.push(("graph_fingerprint", Json::str(meta.graph_fp.to_hex())));
+                fields.push(("seed_fingerprint", Json::str(meta.seed_fp.to_hex())));
+            } else if let Some(meta) = entry.graph_meta {
+                fields.push(("kind", Json::str("graph")));
+                fields.push(("nodes", Json::num(meta.nodes)));
+                fields.push(("edges", Json::num(meta.edges)));
+                fields.push(("builder", Json::str(meta.builder)));
+                fields.push(("features_fingerprint", Json::str(meta.features_fp.to_hex())));
+            } else if let Some(meta) = entry.factor_meta {
+                fields.push(("kind", Json::str("factor")));
+                fields.push(("rank", Json::num(meta.rank)));
+                fields.push(("nodes", Json::num(meta.nodes)));
+                fields.push(("graph_fingerprint", Json::str(meta.graph_fp.to_hex())));
+            } else {
+                fields.push(("kind", Json::str("corrupt")));
+            }
+            Json::obj(fields)
+        })
+        .collect();
+    Json::Arr(items).to_string()
+}
+
 /// Parse a byte count with an optional `K`/`M`/`G` suffix (powers of 1024).
 fn parse_bytes(raw: &str) -> Result<u64, String> {
     let trimmed = raw.trim();
@@ -669,8 +747,11 @@ pub fn cmd_run(args: &ArgMap) -> CommandResult {
 /// [DIR]` attaches the persistent store; `--threads` sets the kernel thread policy;
 /// `--engine-states N` sizes each dataset's warm engine LRU. Transport limits are
 /// `--max-connections`, `--max-request-bytes`, and `--max-requests` (per
-/// connection; 0 = unlimited). The TCP banner (`fg serve listening on ADDR`) goes
-/// to stdout; in stdio mode the protocol owns stdout, so diagnostics go to stderr.
+/// connection; 0 = unlimited). `--metrics-port P` starts the Prometheus-style
+/// scrape listener on a second socket; `--slow-request-ms N` logs requests at or
+/// above the threshold to stderr. The TCP banner (`fg serve listening on ADDR`)
+/// goes to stdout; in stdio mode the protocol owns stdout, so diagnostics (and
+/// the `fg serve metrics on ADDR` banner) go to stderr.
 pub fn cmd_serve(args: &ArgMap) -> CommandResult {
     let threads = args
         .get_parsed_or("threads", Threads::Serial)
@@ -679,6 +760,11 @@ pub fn cmd_serve(args: &ArgMap) -> CommandResult {
     let mut session = fg_serve::Session::new(threads, store);
     if let Some(capacity) = args.get_parsed::<usize>("engine-states").map_err(err)? {
         session = session.with_engine_states(capacity);
+    }
+    // --slow-request-ms logs one stderr line per request at or above the
+    // threshold (0 logs every request — the CI smoke mode).
+    if let Some(millis) = args.get_parsed::<u64>("slow-request-ms").map_err(err)? {
+        session = session.with_slow_request_millis(millis);
     }
     let session = std::sync::Arc::new(session);
     let defaults = fg_serve::ServeLimits::default();
@@ -693,6 +779,15 @@ pub fn cmd_serve(args: &ArgMap) -> CommandResult {
             .get_parsed_or("max-requests", defaults.max_requests_per_connection)
             .map_err(err)?,
     };
+    // --metrics-port starts the Prometheus-style scrape listener on a second
+    // socket. It shares the session's registry but never touches session state,
+    // so the protocol port stays byte-deterministic while being scraped.
+    if let Some(metrics_port) = args.get_parsed::<u16>("metrics-port").map_err(err)? {
+        let host = args.get("host").unwrap_or("127.0.0.1");
+        let addr = fg_serve::MetricsServer::spawn(session.metrics(), (host, metrics_port), limits)
+            .map_err(|e| format!("cannot bind metrics listener {host}:{metrics_port}: {e}"))?;
+        eprintln!("fg serve metrics on {addr}");
+    }
     match args.get_parsed::<u16>("port").map_err(err)? {
         Some(port) => {
             let host = args.get("host").unwrap_or("127.0.0.1");
@@ -792,27 +887,38 @@ pub fn usage() -> String {
         "  classify   --edges FILE --nodes N --classes K --labels FILE",
         "             [--method ...] [--propagator linbp|bp|harmonic|rw] [--threads N|auto]",
         "             [--summary-cache [DIR]] [--truth FULL_LABELS] [--out PREDICTIONS]",
-        "             [--json]",
+        "             [--json] [--trace-out TRACE.json]",
         "             (--threads parallelizes estimation and propagation alike;",
-        "              output is bit-identical at any thread count)",
+        "              output is bit-identical at any thread count; --trace-out",
+        "              writes the nested span capture — pipeline, estimate,",
+        "              summarize, spmm, per-worker chunks — as Chrome trace-event",
+        "              JSON for chrome://tracing or Perfetto, and adds a span_tree",
+        "              to --json; predictions are byte-identical with it on or off)",
         "  run        MANIFEST.toml [--threads N|auto]   execute a config-file",
         "             experiment manifest (datasets, estimators, propagators, threads,",
         "             cache dir; one report JSON per [[run]] entry; --threads runs",
         "             independent entries in parallel, byte-identical to serial)",
         "  serve      [--port P [--host H]] [--summary-cache [DIR]] [--threads N|auto]",
         "             [--engine-states N] [--max-connections N] [--max-request-bytes N]",
-        "             [--max-requests N]",
+        "             [--max-requests N] [--metrics-port P] [--slow-request-ms N]",
         "             long-lived serving session over stdin/stdout (default) or TCP;",
         "             JSON-lines commands: load, unload, seed, estimate, classify,",
         "             stats (each takes an optional \"dataset\" name; warm reads on a",
         "             dataset run concurrently, mutations are exclusive).",
         "             Seed mutations update the factorized summaries incrementally —",
         "             after warm-up, requests report zero full summarizations.",
+        "             --metrics-port exposes Prometheus-format metrics (per-command",
+        "             latency histograms, per-dataset cache/engine counters,",
+        "             lock-wait histograms, connection gauge) on a second listener;",
+        "             --slow-request-ms logs slow requests to stderr (0 = all).",
         "  client     --port P [--host H] [--predictions-out FILE] [REQUEST...]",
         "             one-shot sender for fg serve (requests as args or on stdin)",
-        "  cache      ls|clear|gc [--dir DIR] [--max-bytes N[K|M|G]] [--max-age AGE]",
+        "  cache      ls|clear|gc [--dir DIR] [--json] [--max-bytes N[K|M|G]]",
+        "             [--max-age AGE]",
         "             inspect, empty, or garbage-collect (LRU by mtime) a summary",
-        "             cache (default dir: target/experiments/summaries)",
+        "             cache (default dir: target/experiments/summaries);",
+        "             ls --json emits one machine-readable object per entry",
+        "             (kind, fingerprints, bytes, mtime)",
         "",
         "  --summary-cache persists factorized path counts, estimated H matrices,",
         "  and constructed graphs keyed by content fingerprints: repeated",

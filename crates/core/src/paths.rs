@@ -373,6 +373,14 @@ fn run_recurrence(
     keep_intermediates: bool,
 ) -> Result<(Vec<DenseMatrix>, Vec<DenseMatrix>)> {
     validate_summary_inputs(graph, seeds, max_length)?;
+    let _span = fg_obs::Span::enter_with(
+        "summarize",
+        &[
+            ("lmax", max_length as u64),
+            ("k", seeds.k() as u64),
+            ("nb", non_backtracking as u64),
+        ],
+    );
     let w = graph.adjacency();
     let n = graph.num_nodes();
     let k = seeds.k();

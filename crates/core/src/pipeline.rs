@@ -22,6 +22,7 @@ use crate::error::{CoreError, Result};
 use crate::estimators::CompatibilityEstimator;
 use crate::store::SummaryStore;
 use fg_graph::{Graph, Labeling, SeedLabels};
+use fg_obs::{Span, Trace};
 use fg_propagation::{LinBp, PropagationOutcome, Propagator};
 use fg_sparse::{DenseMatrix, Threads};
 use std::sync::Arc;
@@ -83,6 +84,13 @@ pub struct PipelineReport {
     /// that does not inflate class-0 recall). Recorded by
     /// [`PipelineReport::evaluate_abstain`] when ground truth is available.
     pub abstaining_macro_accuracy: Option<f64>,
+    /// The span capture of this run when tracing was requested via
+    /// [`Pipeline::trace`]: every `pipeline → estimate → summarize → spmm` scope
+    /// with monotonic timings. Render it with [`Trace::chrome_json`]
+    /// (`chrome://tracing` / Perfetto) or read the aggregated span tree in
+    /// [`PipelineReport::to_json`]'s `span_tree` field. Tracing only observes
+    /// wall-clock time — predictions are byte-identical with it on or off.
+    pub trace: Option<Trace>,
 }
 
 impl PipelineReport {
@@ -182,6 +190,22 @@ impl PipelineReport {
         if let Some(acc) = self.abstaining_macro_accuracy {
             fields.push(format!("\"abstaining_macro_accuracy\":{acc}"));
         }
+        if let Some(trace) = &self.trace {
+            let nodes: Vec<String> = trace
+                .aggregate()
+                .iter()
+                .map(|node| {
+                    format!(
+                        "{{\"path\":{},\"depth\":{},\"count\":{},\"seconds\":{:.6}}}",
+                        json_string(&node.path),
+                        node.depth,
+                        node.count,
+                        node.total_ns as f64 / 1e9
+                    )
+                })
+                .collect();
+            fields.push(format!("\"span_tree\":[{}]", nodes.join(",")));
+        }
         format!("{{{}}}", fields.join(","))
     }
 }
@@ -230,6 +254,7 @@ pub struct Pipeline<'a> {
     context: Option<&'a EstimationContext<'a>>,
     summary_cache: Option<Arc<crate::context::SummaryCache>>,
     summary_store: Option<Arc<SummaryStore>>,
+    trace: bool,
 }
 
 impl<'a> Pipeline<'a> {
@@ -247,6 +272,7 @@ impl<'a> Pipeline<'a> {
             context: None,
             summary_cache: None,
             summary_store: None,
+            trace: false,
         }
     }
 
@@ -347,8 +373,39 @@ impl<'a> Pipeline<'a> {
         self
     }
 
+    /// Capture a hierarchical span trace of this run ([`fg_obs::start_capture`] /
+    /// [`fg_obs::finish_capture`] around the stages), recorded into
+    /// [`PipelineReport::trace`]. The capture is process-wide, so concurrent
+    /// pipelines with tracing enabled would interleave into one capture — the
+    /// intended owner is a single CLI invocation (`fg classify --trace-out`) or
+    /// test. Tracing never changes results (a root test pins the predictions
+    /// byte-identical with tracing on and off).
+    pub fn trace(mut self, enabled: bool) -> Self {
+        self.trace = enabled;
+        self
+    }
+
     /// Execute both stages and collect the [`PipelineReport`].
     pub fn run(self) -> Result<PipelineReport> {
+        let capture = self.trace;
+        if capture {
+            fg_obs::start_capture();
+        }
+        let result = self.run_stages();
+        // Disarm on every path (including errors) so a failed traced run never
+        // leaves the process-wide collector armed.
+        let trace = if capture {
+            Some(fg_obs::finish_capture())
+        } else {
+            None
+        };
+        let mut report = result?;
+        report.trace = trace;
+        Ok(report)
+    }
+
+    fn run_stages(self) -> Result<PipelineReport> {
+        let pipeline_span = Span::enter("pipeline");
         let seeds = self.seeds.ok_or_else(|| {
             CoreError::InvalidConfig("Pipeline requires seed labels: call .seeds(...)".into())
         })?;
@@ -460,6 +517,7 @@ impl<'a> Pipeline<'a> {
                     } else {
                         // Counter deltas around this run, so the report stays
                         // meaningful for shared contexts with cumulative counters.
+                        let estimate_span = Span::enter("estimate");
                         let computations_before = ctx.summary_computations();
                         let store_hits_before = ctx.store_hits();
                         let summarize_start = Instant::now();
@@ -467,9 +525,12 @@ impl<'a> Pipeline<'a> {
                             ctx.warm(&summary_config)?;
                         }
                         let summarize_time = summarize_start.elapsed();
+                        let optimize_span = Span::enter("optimize");
                         let optimize_start = Instant::now();
                         let h = estimator.estimate_with_context(ctx)?;
                         let optimize_time = optimize_start.elapsed();
+                        drop(optimize_span);
+                        drop(estimate_span);
                         if let Some(store) = &h_store {
                             // Best effort: a full disk never costs correctness.
                             if let Err(e) = store.save_h(
@@ -519,11 +580,14 @@ impl<'a> Pipeline<'a> {
                 }
             };
 
+        let propagate_span = Span::enter("propagate");
         let prop_start = Instant::now();
         let outcome = propagator
             .propagate(self.graph, seeds, &h)
             .map_err(CoreError::Graph)?;
         let propagation_time = prop_start.elapsed();
+        drop(propagate_span);
+        drop(pipeline_span);
 
         Ok(PipelineReport {
             estimator: estimator_name,
@@ -541,6 +605,7 @@ impl<'a> Pipeline<'a> {
             micro_accuracy: None,
             abstention_rate: None,
             abstaining_macro_accuracy: None,
+            trace: None,
         })
     }
 }

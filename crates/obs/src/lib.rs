@@ -1,0 +1,30 @@
+//! Dependency-free observability for the factorized-graphs workspace.
+//!
+//! Two independent facilities, both compiled in everywhere and both designed so
+//! the *disabled* path costs one relaxed atomic load:
+//!
+//! - [`metrics`] — a global-free [`MetricsRegistry`] of atomic counters, gauges,
+//!   and fixed-bucket latency histograms (with p50/p95/p99 readout), rendered in
+//!   Prometheus text exposition format. The serving tier owns a registry per
+//!   session and exposes it over a `/metrics`-style scrape listener.
+//! - [`trace`] — hierarchical [`Span`] tracing with monotonic timings that nest
+//!   (pipeline → estimate → summarize → spmm), captured process-wide between
+//!   [`start_capture`] and [`finish_capture`] and exportable as Chrome
+//!   trace-event JSON (`chrome://tracing`, Perfetto) or aggregated into a span
+//!   tree for reports.
+//!
+//! Instrumentation never changes results: spans and metrics only *observe*
+//! wall-clock time, and nothing in this crate feeds back into kernel output.
+//! Protocol responses of the serving tier therefore stay byte-deterministic —
+//! all timing data lives in the metrics/trace channels only.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{default_latency_buckets, Counter, Gauge, Histogram, MetricsRegistry};
+pub use trace::{
+    finish_capture, start_capture, tracing_enabled, Span, SpanRecord, SpanSummary, Trace,
+};

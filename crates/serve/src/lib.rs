@@ -29,5 +29,8 @@ pub mod server;
 pub mod session;
 
 pub use json::Json;
-pub use server::{send_requests, serve_lines, serve_lines_with, ServeLimits, TcpServer};
+pub use server::{
+    scrape_metrics, send_requests, serve_lines, serve_lines_with, MetricsServer, ServeLimits,
+    TcpServer,
+};
 pub use session::{predictions_to_file_format, Flow, Session, DEFAULT_DATASET};

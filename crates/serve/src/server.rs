@@ -12,6 +12,7 @@
 
 use crate::json::Json;
 use crate::session::{Flow, Session};
+use fg_obs::{Gauge, MetricsRegistry};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -148,13 +149,14 @@ pub struct TcpServer {
     limits: ServeLimits,
 }
 
-/// Decrements the live-connection gauge when a connection handler exits, however
-/// it exits.
-struct ConnectionGuard(Arc<AtomicUsize>);
+/// Decrements the live-connection count (and the scrapeable gauge) when a
+/// connection handler exits, however it exits.
+struct ConnectionGuard(Arc<AtomicUsize>, Arc<Gauge>);
 
 impl Drop for ConnectionGuard {
     fn drop(&mut self) {
         self.0.fetch_sub(1, Ordering::Relaxed);
+        self.1.dec();
     }
 }
 
@@ -192,12 +194,29 @@ impl TcpServer {
     /// the server down.
     pub fn run(&self) -> io::Result<()> {
         let active = Arc::new(AtomicUsize::new(0));
+        let metrics = self.session.metrics();
+        let connections_total = metrics.counter(
+            "fg_connections_total",
+            "TCP connections accepted over the server's lifetime.",
+            &[],
+        );
+        let connections_refused = metrics.counter(
+            "fg_connections_refused_total",
+            "TCP connections refused because the server was at capacity.",
+            &[],
+        );
+        let connections_active = metrics.gauge(
+            "fg_connections_active",
+            "TCP connections currently being served.",
+            &[],
+        );
         for stream in self.listener.incoming() {
             match stream {
                 Ok(mut stream) => {
                     if self.limits.max_connections > 0
                         && active.load(Ordering::Relaxed) >= self.limits.max_connections
                     {
+                        connections_refused.inc();
                         let refusal = transport_error(
                             0,
                             &format!(
@@ -210,8 +229,11 @@ impl TcpServer {
                         let _ = stream.shutdown(std::net::Shutdown::Both);
                         continue;
                     }
+                    connections_total.inc();
+                    connections_active.inc();
                     active.fetch_add(1, Ordering::Relaxed);
-                    let guard = ConnectionGuard(Arc::clone(&active));
+                    let guard =
+                        ConnectionGuard(Arc::clone(&active), Arc::clone(&connections_active));
                     let session = Arc::clone(&self.session);
                     let limits = self.limits;
                     std::thread::spawn(move || {
@@ -257,6 +279,128 @@ impl TcpServer {
     /// [`spawn_with`](Self::spawn_with) under the default [`ServeLimits`].
     pub fn spawn(session: Arc<Session>, addr: impl ToSocketAddrs) -> io::Result<SocketAddr> {
         TcpServer::spawn_with(session, addr, ServeLimits::default())
+    }
+}
+
+/// A minimal Prometheus-style scrape listener for a [`MetricsRegistry`]
+/// (`fg serve --metrics-port`). Speaks just enough HTTP for `curl` and a
+/// Prometheus scraper: it reads and discards the request head (bounded by
+/// [`ServeLimits::max_line_bytes`] per line, so an abusive client cannot balloon
+/// memory), then answers every request with a `200 OK` carrying the rendered
+/// text exposition and closes the connection (`Connection: close`, HTTP/1.0).
+///
+/// Runs strictly one-way: it *renders* the registry and never touches session
+/// state, so scraping cannot perturb the byte-deterministic protocol port.
+pub struct MetricsServer {
+    listener: TcpListener,
+    registry: Arc<MetricsRegistry>,
+    limits: ServeLimits,
+}
+
+impl MetricsServer {
+    /// Bind the scrape listener (port 0 for ephemeral; see
+    /// [`local_addr`](Self::local_addr)).
+    pub fn bind(
+        registry: Arc<MetricsRegistry>,
+        addr: impl ToSocketAddrs,
+        limits: ServeLimits,
+    ) -> io::Result<MetricsServer> {
+        Ok(MetricsServer {
+            listener: TcpListener::bind(addr)?,
+            registry,
+            limits,
+        })
+    }
+
+    /// The address the listener accepts scrapes on.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accept scrapes forever, one short-lived thread per connection.
+    /// Connection-level I/O errors are logged and never take the listener down.
+    pub fn run(&self) -> io::Result<()> {
+        for stream in self.listener.incoming() {
+            match stream {
+                Ok(stream) => {
+                    let registry = Arc::clone(&self.registry);
+                    let max_line = self.limits.max_line_bytes;
+                    std::thread::spawn(move || {
+                        if let Err(e) = serve_scrape(&registry, stream, max_line) {
+                            eprintln!("fg serve: metrics scrape failed: {e}");
+                        }
+                    });
+                }
+                Err(e) => eprintln!("fg serve: metrics accept failed: {e}"),
+            }
+        }
+        Ok(())
+    }
+
+    /// Bind and run the accept loop on a background thread; the thread runs until
+    /// the process exits. Returns the bound address.
+    pub fn spawn(
+        registry: Arc<MetricsRegistry>,
+        addr: impl ToSocketAddrs,
+        limits: ServeLimits,
+    ) -> io::Result<SocketAddr> {
+        let server = MetricsServer::bind(registry, addr, limits)?;
+        let local = server.local_addr()?;
+        std::thread::spawn(move || {
+            let _ = server.run();
+        });
+        Ok(local)
+    }
+}
+
+/// Answer one scrape connection: drain the request head (up to the first blank
+/// line or EOF), then write the full exposition and close.
+fn serve_scrape(
+    registry: &MetricsRegistry,
+    stream: TcpStream,
+    max_line_bytes: usize,
+) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    while let Some((bytes, overlong)) = read_bounded_line(&mut reader, max_line_bytes)? {
+        if overlong {
+            // The head line blew the window: answer anyway and close — the
+            // response never depends on the request.
+            break;
+        }
+        if bytes == b"\r\n" || bytes == b"\n" {
+            break;
+        }
+    }
+    let body = registry.render();
+    let mut writer = stream;
+    writer.write_all(
+        format!(
+            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        )
+        .as_bytes(),
+    )?;
+    writer.write_all(body.as_bytes())?;
+    writer.flush()?;
+    let _ = writer.shutdown(std::net::Shutdown::Both);
+    Ok(())
+}
+
+/// One-shot scrape client: fetch and return the exposition body from a
+/// [`MetricsServer`] (used by tests, CI, and `fg client --metrics`).
+pub fn scrape_metrics(addr: impl ToSocketAddrs) -> io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(b"GET /metrics HTTP/1.0\r\n\r\n")?;
+    stream.flush()?;
+    let mut response = String::new();
+    BufReader::new(stream).read_to_string(&mut response)?;
+    match response.split_once("\r\n\r\n") {
+        Some((_head, body)) => Ok(body.to_string()),
+        None => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "metrics response carries no HTTP header/body separator",
+        )),
     }
 }
 

@@ -11,8 +11,11 @@
 //! floating-point work runs through the bit-identical kernels and every engine is
 //! published before a read path can see it, so each response is a deterministic
 //! function of the per-dataset request history alone — clients driving disjoint
-//! datasets get byte-identical response streams under any interleaving (timings are
-//! only reported in aggregate by `stats`).
+//! datasets get byte-identical response streams under any interleaving. Timings
+//! never appear on this port at all: all wall-clock data (per-command latency
+//! histograms, lock-wait histograms) lives in the session's
+//! [`MetricsRegistry`], scraped over the separate metrics listener
+//! ([`MetricsServer`](crate::MetricsServer)).
 //!
 //! Per dataset, a small LRU of engine states keyed by **seed-set fingerprint**
 //! keeps recently-used seed configurations warm: a `seed` mutation forks the live
@@ -59,13 +62,14 @@ use fg_core::incremental::{validate_mutations, DeltaSummary, SeedMutation};
 use fg_core::prelude::*;
 use fg_core::{estimator_by_name_with, EstimatorOptions, SummaryStore};
 use fg_graph::Fingerprint;
+use fg_obs::{default_latency_buckets, MetricsRegistry};
 use fg_propagation::registry as propagation_registry;
 use fg_propagation::{Propagator, PropagatorOptions};
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
-use std::time::{Duration, Instant};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Instant;
 
 /// Whether the serving loop should keep reading after a response.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,6 +116,8 @@ impl EngineState {
 /// One loaded dataset plus its incremental machinery. Lives behind a `RwLock` in
 /// the session's dataset map: warm reads share it, mutations own it.
 struct Dataset {
+    /// The map key this dataset lives under (the `dataset` label on its metrics).
+    name: String,
     graph: Arc<Graph>,
     seeds: SeedLabels,
     classes: usize,
@@ -154,12 +160,15 @@ impl Dataset {
     }
 }
 
-/// Aggregate per-command counters for `stats`.
+/// Aggregate per-command counters for `stats`. Deliberately holds **no timing**:
+/// `stats` responses travel over the byte-deterministic protocol port, so they
+/// report only counters that are a pure function of the request history. All
+/// wall-clock aggregation (latency histograms, percentiles) lives in the
+/// session's [`MetricsRegistry`], scraped over the separate metrics listener.
 #[derive(Debug, Default, Clone)]
 struct CommandStat {
     count: usize,
     errors: usize,
-    total: Duration,
 }
 
 /// The result of one estimation, with the per-request work counters.
@@ -194,6 +203,14 @@ pub struct Session {
     /// Monotone recency clock for the per-dataset engine LRUs.
     clock: AtomicU64,
     commands: Mutex<BTreeMap<String, CommandStat>>,
+    /// The session's metrics registry: per-command latency histograms, lock-wait
+    /// histograms, and per-dataset cache/engine counters. Scraped over the
+    /// metrics listener (`fg serve --metrics-port`); never consulted by the
+    /// protocol port, so responses stay byte-deterministic.
+    metrics: Arc<MetricsRegistry>,
+    /// Requests slower than this many milliseconds log one stderr line
+    /// (`u64::MAX` disables the slow-request log).
+    slow_request_millis: AtomicU64,
     /// Test hook: invoked on every warm read while the dataset's shared read lock
     /// is held, so concurrency tests can prove warm reads overlap.
     warm_read_probe: Option<Box<dyn Fn() + Send + Sync>>,
@@ -214,8 +231,22 @@ impl Session {
             h_store_hits: AtomicUsize::new(0),
             clock: AtomicU64::new(0),
             commands: Mutex::new(BTreeMap::new()),
+            metrics: Arc::new(MetricsRegistry::new()),
+            slow_request_millis: AtomicU64::new(u64::MAX),
             warm_read_probe: None,
         }
+    }
+
+    /// The session's metrics registry (shared with the metrics listener).
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Log one stderr line for every request slower than `millis` milliseconds.
+    /// A threshold of 0 logs every request (the CI smoke mode).
+    pub fn with_slow_request_millis(self, millis: u64) -> Session {
+        self.slow_request_millis.store(millis, Ordering::Relaxed);
+        self
     }
 
     /// Set how many seed-set engine states each dataset keeps warm (clamped to at
@@ -241,6 +272,79 @@ impl Session {
 
     fn tick(&self) -> u64 {
         self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Record how long a lock acquisition waited, labeled by lock and operation.
+    /// Lock contention is the one latency source the per-command histograms
+    /// cannot attribute (a warm read stalled behind a writer looks identical to
+    /// a slow kernel), so it gets its own histogram family.
+    fn observe_lock_wait(&self, lock: &'static str, op: &'static str, start: Instant) {
+        self.metrics
+            .histogram(
+                "fg_lock_wait_seconds",
+                "Time spent waiting to acquire session RwLocks, by lock and operation.",
+                &[("lock", lock), ("op", op)],
+                default_latency_buckets(),
+            )
+            .observe_duration(start.elapsed());
+    }
+
+    /// Timed shared lock on the dataset map.
+    fn map_read(&self) -> RwLockReadGuard<'_, BTreeMap<String, Arc<RwLock<Dataset>>>> {
+        let start = Instant::now();
+        let guard = self.datasets.read().expect("dataset map poisoned");
+        self.observe_lock_wait("dataset_map", "read", start);
+        guard
+    }
+
+    /// Timed exclusive lock on the dataset map.
+    fn map_write(&self) -> RwLockWriteGuard<'_, BTreeMap<String, Arc<RwLock<Dataset>>>> {
+        let start = Instant::now();
+        let guard = self.datasets.write().expect("dataset map poisoned");
+        self.observe_lock_wait("dataset_map", "write", start);
+        guard
+    }
+
+    /// Timed shared lock on one dataset.
+    fn dataset_read<'l>(&self, handle: &'l RwLock<Dataset>) -> RwLockReadGuard<'l, Dataset> {
+        let start = Instant::now();
+        let guard = handle.read().expect("dataset poisoned");
+        self.observe_lock_wait("dataset", "read", start);
+        guard
+    }
+
+    /// Timed exclusive lock on one dataset.
+    fn dataset_write<'l>(&self, handle: &'l RwLock<Dataset>) -> RwLockWriteGuard<'l, Dataset> {
+        let start = Instant::now();
+        let guard = handle.write().expect("dataset poisoned");
+        self.observe_lock_wait("dataset", "write", start);
+        guard
+    }
+
+    /// Fold one estimation outcome into the per-dataset counter families.
+    fn record_estimate_metrics(&self, dataset: &str, outcome: &EstimateOutcome) {
+        let labels = &[("dataset", dataset)];
+        self.metrics
+            .counter(
+                "fg_summary_computations_total",
+                "Full O(m*k*lmax) summarizations performed, by dataset.",
+                labels,
+            )
+            .add(outcome.computations as u64);
+        self.metrics
+            .counter(
+                "fg_store_hits_total",
+                "Summaries served from the persistent store, by dataset.",
+                labels,
+            )
+            .add(outcome.store_hits as u64);
+        self.metrics
+            .counter(
+                "fg_optimize_store_hits_total",
+                "Estimates served straight from persisted H entries, by dataset.",
+                labels,
+            )
+            .add(outcome.h_store_hits as u64);
     }
 
     /// Handle one raw request line, producing the response line and the connection
@@ -294,14 +398,42 @@ impl Session {
                 Flow::Continue,
             ),
         };
+        let elapsed = start.elapsed();
         {
             let mut commands = self.commands.lock().expect("command stats poisoned");
-            let stat = commands.entry(cmd).or_default();
+            let stat = commands.entry(cmd.clone()).or_default();
             stat.count += 1;
-            stat.total += start.elapsed();
             if outcome.is_err() {
                 stat.errors += 1;
             }
+        }
+        let labels = &[("cmd", cmd.as_str())];
+        self.metrics
+            .counter("fg_requests_total", "Requests handled, by command.", labels)
+            .inc();
+        if outcome.is_err() {
+            self.metrics
+                .counter(
+                    "fg_request_errors_total",
+                    "Requests answered with an error response, by command.",
+                    labels,
+                )
+                .inc();
+        }
+        self.metrics
+            .histogram(
+                "fg_request_seconds",
+                "Request handling latency, by command.",
+                labels,
+                default_latency_buckets(),
+            )
+            .observe_duration(elapsed);
+        if elapsed.as_millis() as u64 >= self.slow_request_millis.load(Ordering::Relaxed) {
+            eprintln!(
+                "fg serve: slow request cmd={cmd} elapsed_ms={} line_bytes={}",
+                elapsed.as_millis(),
+                line.len()
+            );
         }
         let response = match outcome {
             Ok(result) => Json::obj(vec![
@@ -316,9 +448,7 @@ impl Session {
 
     /// Look up a loaded dataset's handle by name (brief shared lock on the map).
     fn dataset_handle(&self, name: &str) -> Result<Arc<RwLock<Dataset>>, String> {
-        self.datasets
-            .read()
-            .expect("dataset map poisoned")
+        self.map_read()
             .get(name)
             .cloned()
             .ok_or_else(|| missing_dataset(name))
@@ -340,6 +470,7 @@ impl Session {
 
         let initial_seed_fp = seeds.fingerprint();
         let dataset = Dataset {
+            name: name.clone(),
             graph: Arc::new(graph),
             seeds,
             classes,
@@ -349,6 +480,13 @@ impl Session {
             persisted_intermediate: None,
             engine_evictions: 0,
         };
+        self.metrics
+            .counter(
+                "fg_dataset_loads_total",
+                "Datasets loaded (including reloads), by dataset.",
+                &[("dataset", &name)],
+            )
+            .inc();
         let result = Json::obj(vec![
             ("dataset", Json::str(name.clone())),
             ("nodes", Json::num(dataset.graph.num_nodes())),
@@ -365,16 +503,14 @@ impl Session {
             ),
         ]);
         let replaced = self
-            .datasets
-            .write()
-            .expect("dataset map poisoned")
+            .map_write()
             .insert(name, Arc::new(RwLock::new(dataset)));
         // Retire the replaced dataset outside the map lock: evict its cache
         // entries so the session cache does not grow across reloads, keep its
         // engines' work counters in the totals, and prune its transient store
         // files. Waits for in-flight readers of the old dataset to drain.
         if let Some(old) = replaced {
-            let mut old = old.write().expect("dataset poisoned");
+            let mut old = self.dataset_write(&old);
             self.retire_dataset(&mut old);
         }
         Ok(result)
@@ -384,12 +520,10 @@ impl Session {
     fn cmd_unload(&self, request: &Json) -> Result<Json, String> {
         let name = dataset_name(request)?;
         let removed = self
-            .datasets
-            .write()
-            .expect("dataset map poisoned")
+            .map_write()
             .remove(&name)
             .ok_or_else(|| missing_dataset(&name))?;
-        let mut dataset = removed.write().expect("dataset poisoned");
+        let mut dataset = self.dataset_write(&removed);
         self.retire_dataset(&mut dataset);
         Ok(Json::obj(vec![
             ("dataset", Json::str(name)),
@@ -456,6 +590,13 @@ impl Session {
             let Some(index) = victim else { break };
             let state = dataset.states.remove(index);
             dataset.engine_evictions += 1;
+            self.metrics
+                .counter(
+                    "fg_engine_evictions_total",
+                    "Engine states evicted from the per-dataset LRU, by dataset.",
+                    &[("dataset", &dataset.name)],
+                )
+                .inc();
             self.retired_full_summarizations
                 .fetch_add(state.full_summarizations(), Ordering::Relaxed);
             self.cache
@@ -470,7 +611,7 @@ impl Session {
         let name = dataset_name(request)?;
         let mutations = parse_mutations(request)?;
         let handle = self.dataset_handle(&name)?;
-        let mut dataset = handle.write().expect("dataset poisoned");
+        let mut dataset = self.dataset_write(&handle);
         validate_mutations(&dataset.seeds, &mutations).map_err(|e| e.to_string())?;
 
         let old_fp = dataset.seeds.fingerprint();
@@ -489,6 +630,13 @@ impl Session {
         let mut rows_touched = 0usize;
         let engine_reused = dataset.state_index(new_fp).is_some();
         if engine_reused {
+            self.metrics
+                .counter(
+                    "fg_engine_reuse_total",
+                    "Seed mutations answered by a resident engine state, by dataset.",
+                    &[("dataset", &name)],
+                )
+                .inc();
             let index = dataset.state_index(new_fp).expect("checked above");
             dataset.states[index]
                 .last_used
@@ -752,16 +900,17 @@ impl Session {
         let handle = self.dataset_handle(&name)?;
         let estimator = build_estimator(request, self.threads)?;
         let warm = {
-            let dataset = handle.read().expect("dataset poisoned");
+            let dataset = self.dataset_read(&handle);
             self.warm_estimate(&dataset, estimator.as_ref())?
         };
         let outcome = match warm {
             Some(outcome) => outcome,
             None => {
-                let mut dataset = handle.write().expect("dataset poisoned");
+                let mut dataset = self.dataset_write(&handle);
                 self.cold_estimate(&mut dataset, estimator.as_ref())?
             }
         };
+        self.record_estimate_metrics(&name, &outcome);
         Ok(Json::obj(vec![
             ("estimator", Json::str(outcome.estimator)),
             ("h", matrix_to_json(&outcome.h)),
@@ -807,7 +956,7 @@ impl Session {
             .unwrap_or(false);
 
         {
-            let dataset = handle.read().expect("dataset poisoned");
+            let dataset = self.dataset_read(&handle);
             let warm = match &estimator {
                 Some(estimator) => self.warm_estimate(&dataset, estimator.as_ref())?,
                 None => {
@@ -825,10 +974,11 @@ impl Session {
                 }
             };
             if let Some(outcome) = warm {
+                self.record_estimate_metrics(&name, &outcome);
                 return finish_classify(&dataset, outcome, propagator.as_ref(), &subset, abstain);
             }
         }
-        let mut dataset = handle.write().expect("dataset poisoned");
+        let mut dataset = self.dataset_write(&handle);
         let outcome = self.cold_estimate(
             &mut dataset,
             estimator
@@ -836,6 +986,7 @@ impl Session {
                 .expect("cold path implies estimator")
                 .as_ref(),
         )?;
+        self.record_estimate_metrics(&name, &outcome);
         finish_classify(&dataset, outcome, propagator.as_ref(), &subset, abstain)
     }
 
@@ -843,16 +994,14 @@ impl Session {
     /// reloads) plus a per-dataset breakdown keyed by dataset name.
     fn cmd_stats(&self) -> Json {
         let handles: Vec<(String, Arc<RwLock<Dataset>>)> = self
-            .datasets
-            .read()
-            .expect("dataset map poisoned")
+            .map_read()
             .iter()
             .map(|(name, handle)| (name.clone(), Arc::clone(handle)))
             .collect();
         let mut live_full_summarizations = 0usize;
         let mut datasets = Vec::with_capacity(handles.len());
         for (name, handle) in handles {
-            let dataset: RwLockReadGuard<'_, Dataset> = handle.read().expect("dataset poisoned");
+            let dataset: RwLockReadGuard<'_, Dataset> = self.dataset_read(&handle);
             live_full_summarizations += dataset.full_summarizations();
             datasets.push((name, dataset_stats(&dataset)));
         }
@@ -870,7 +1019,6 @@ impl Session {
                             Json::obj(vec![
                                 ("count", Json::num(stat.count)),
                                 ("errors", Json::num(stat.errors)),
-                                ("seconds", Json::Num(stat.total.as_secs_f64())),
                             ]),
                         )
                     })

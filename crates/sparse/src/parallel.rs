@@ -18,6 +18,7 @@
 use crate::csr::CsrMatrix;
 use crate::dense::DenseMatrix;
 use crate::error::{Result, SparseError};
+use fg_obs::Span;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -371,6 +372,15 @@ impl CsrMatrix {
     ) {
         let k = dense.cols();
         let workers = threads.count_for(self.rows());
+        let _span = Span::enter_with(
+            "spmm",
+            &[
+                ("rows", self.rows() as u64),
+                ("nnz", self.nnz() as u64),
+                ("k", k as u64),
+                ("workers", workers as u64),
+            ],
+        );
         let ranges = if workers <= 1 {
             if self.rows() == 0 {
                 Vec::new()
@@ -383,14 +393,24 @@ impl CsrMatrix {
         } else {
             partition_rows_by_nnz(self.indptr(), workers)
         };
-        map_row_chunks(out.data_mut(), k, &ranges, |rows, chunk| match blocking {
-            RowBlocking::Contiguous => self.spmm_dense_rows_into(dense, rows, chunk),
-            RowBlocking::ByNnz(target) => {
-                let base = rows.start;
-                for block in split_range_by_nnz(self.indptr(), rows, target) {
-                    let lo = (block.start - base) * k;
-                    let hi = (block.end - base) * k;
-                    self.spmm_dense_rows_into(dense, block, &mut chunk[lo..hi]);
+        map_row_chunks(out.data_mut(), k, &ranges, |rows, chunk| {
+            let indptr = self.indptr();
+            let _chunk_span = Span::enter_with(
+                "spmm_chunk",
+                &[
+                    ("rows", rows.len() as u64),
+                    ("nnz", (indptr[rows.end] - indptr[rows.start]) as u64),
+                ],
+            );
+            match blocking {
+                RowBlocking::Contiguous => self.spmm_dense_rows_into(dense, rows, chunk),
+                RowBlocking::ByNnz(target) => {
+                    let base = rows.start;
+                    for block in split_range_by_nnz(indptr, rows, target) {
+                        let lo = (block.start - base) * k;
+                        let hi = (block.end - base) * k;
+                        self.spmm_dense_rows_into(dense, block, &mut chunk[lo..hi]);
+                    }
                 }
             }
         });

@@ -15,6 +15,7 @@
 pub use fg_core as core;
 pub use fg_datasets as datasets;
 pub use fg_graph as graph;
+pub use fg_obs as obs;
 pub use fg_propagation as propagation;
 pub use fg_serve as serve;
 pub use fg_sparse as sparse;
